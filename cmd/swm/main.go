@@ -1,0 +1,180 @@
+// Command swm runs the window manager against the in-memory X server
+// with a scripted demo session: it loads a template (OpenLook+ or
+// Motif emulation), starts clients, exercises the Virtual Desktop,
+// sticky windows, icons and session management, and prints ASCII
+// renderings of the screen along the way.
+//
+//	swm                          # default demo with the OpenLook+ template
+//	swm -template motif          # Motif emulation
+//	swm -resources user.ad       # overlay user resources on the template
+//	swm -places session.sh       # write the f.places file here
+//	swm -restore session.sh      # restore a previously saved session
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/clients"
+	"repro/internal/core"
+	"repro/internal/raster"
+	"repro/internal/session"
+	"repro/internal/templates"
+	"repro/internal/xproto"
+	"repro/internal/xserver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swm: ")
+	template := flag.String("template", "openlook", "configuration template: openlook, motif or default")
+	resources := flag.String("resources", "", "resource file overlaid on the template")
+	placesOut := flag.String("places", "", "write the f.places session file here")
+	restore := flag.String("restore", "", "restore a session from a places file")
+	desktop := flag.Bool("desktop", true, "enable the Virtual Desktop")
+	panner := flag.Bool("panner", true, "enable the Virtual Desktop panner")
+	scrollbars := flag.Bool("scrollbars", false, "enable desktop scrollbars")
+	verbose := flag.Bool("v", false, "log WM diagnostics")
+	flag.Parse()
+
+	db, err := templates.LoadByName(*template)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *resources != "" {
+		data, err := os.ReadFile(*resources)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// User files may `#include "openlook"` etc. and override on top.
+		if err := db.LoadWithIncludes(strings.NewReader(string(data)), templates.Resolver); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	s := xserver.NewServer()
+
+	// Session restore: replay the places file into SWM_HINTS before the
+	// WM starts, exactly like running it as .xinitrc.
+	if *restore != "" {
+		data, err := os.ReadFile(*restore)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hints, err := session.ParsePlaces(string(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+		boot := s.Connect("xinitrc")
+		root := s.Screens()[0].Root
+		var sb strings.Builder
+		for _, h := range hints {
+			sb.WriteString(session.Encode(h))
+			sb.WriteByte('\n')
+		}
+		err = boot.ChangeProperty(root, boot.InternAtom("SWM_HINTS"),
+			boot.InternAtom("STRING"), 8, xproto.PropModeAppend, []byte(sb.String()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		boot.Close()
+		fmt.Printf("restored %d session hints from %s\n", len(hints), *restore)
+	}
+
+	opts := core.Options{
+		DB:               db,
+		VirtualDesktop:   *desktop,
+		EnablePanner:     *desktop && *panner,
+		EnableScrollbars: *desktop && *scrollbars,
+	}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+	wm, err := core.New(s, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The demo session: the workloads the paper's introduction
+	// motivates — terminals, a sticky clock, a shaped clock, mail.
+	term, err := clients.Xterm(s, "xterm: ~/src")
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.MustPut("swm*XClock*sticky", "True")
+	if _, err := clients.Xclock(s); err != nil {
+		log.Fatal(err)
+	}
+	oclock, err := clients.Oclock(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := clients.Xbiff(s); err != nil {
+		log.Fatal(err)
+	}
+	wm.Pump()
+
+	fmt.Printf("swm managing %d clients with the %s template\n\n", len(wm.Clients()), *template)
+	for _, c := range wm.Clients() {
+		state := "normal"
+		if c.State == xproto.IconicState {
+			state = "iconic"
+		}
+		sticky := ""
+		if c.Sticky {
+			sticky = " [sticky]"
+		}
+		shaped := ""
+		if c.Shaped {
+			shaped = " [shaped]"
+		}
+		fmt.Printf("  %-10s decoration=%-10s %s %v%s%s\n",
+			c.Class.Instance, c.Decoration(), state, c.FrameRect, sticky, shaped)
+	}
+
+	// Exercise the Virtual Desktop.
+	if *desktop {
+		scr := wm.Screens()[0]
+		fmt.Printf("\nVirtual Desktop: %dx%d, viewport %v\n", scr.DesktopW, scr.DesktopH, scr.Viewport())
+		wm.PanTo(scr, 400, 300)
+		wm.Pump()
+		fmt.Printf("after f.pangoto(400,300): viewport %v\n", scr.Viewport())
+		wm.PanTo(scr, 0, 0)
+		wm.Pump()
+	}
+
+	// Iconify the oclock via the function interface.
+	if c, ok := wm.ClientOf(oclock.Win); ok {
+		if err := wm.Iconify(c); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\noclock iconified (shaped client, shapeit decoration)")
+	}
+
+	// Screenshot.
+	root := s.Screens()[0].Root
+	art, err := raster.RenderWindow(wm.Conn(), root, raster.Options{
+		ScaleX: 16, ScaleY: 30, DrawLabels: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nscreen (%s template):\n%s\n", *template, art)
+
+	// Session save.
+	if err := wm.ExecuteString(&core.FuncContext{Screen: wm.Screens()[0]}, "f.places"); err != nil {
+		log.Fatal(err)
+	}
+	if *placesOut != "" {
+		if err := os.WriteFile(*placesOut, []byte(wm.LastPlaces()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("session saved to %s\n", *placesOut)
+	} else {
+		fmt.Printf("f.places output:\n%s", wm.LastPlaces())
+	}
+	_ = term
+}

@@ -1,0 +1,126 @@
+// Command swmcmd demonstrates the paper's out-of-process command
+// protocol (§5): "By writing a special property on the root window, swm
+// interprets its contents and executes commands."
+//
+// Because the X server in this reproduction is in-process, swmcmd runs
+// a self-contained demonstration: it starts a server + swm + a few
+// clients, then delivers the given command string exactly the way the
+// real swmcmd does — by writing the SWM_COMMAND property from a second
+// client connection — and reports the observable effect.
+//
+//	swmcmd 'f.iconify(XTerm)'
+//	swmcmd 'f.save(XTerm) f.zoom(XTerm)'
+//	swmcmd -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/clients"
+	"repro/internal/core"
+	"repro/internal/raster"
+	"repro/internal/templates"
+	"repro/internal/xproto"
+	"repro/internal/xserver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swmcmd: ")
+	list := flag.Bool("list", false, "list the window manager functions swm understands")
+	render := flag.Bool("render", false, "render the screen after executing the command")
+	flag.Parse()
+
+	if *list {
+		for _, name := range []string{
+			"f.raise", "f.lower", "f.iconify", "f.deiconify", "f.move",
+			"f.resize", "f.zoom", "f.save", "f.restore", "f.stick",
+			"f.unstick", "f.focus", "f.delete", "f.destroy",
+			"f.warpvertical", "f.warphorizontal", "f.panvertical",
+			"f.panhorizontal", "f.pangoto", "f.places", "f.quit",
+			"f.restart", "f.refresh", "f.circleup", "f.circledown",
+			"f.menu", "f.setlabel", "f.setbindings", "f.nop",
+		} {
+			fmt.Println(name)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		log.Fatal("usage: swmcmd [-render] '<f.function ...>'")
+	}
+	command := strings.Join(flag.Args(), " ")
+
+	// Bring up the demo session.
+	s := xserver.NewServer()
+	db, err := templates.Load(templates.OpenLook)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wm, err := core.New(s, core.Options{DB: db, VirtualDesktop: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	term, err := clients.Xterm(s, "shell")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := clients.Xclock(s); err != nil {
+		log.Fatal(err)
+	}
+	wm.Pump()
+
+	before := describe(wm, term)
+
+	// The actual protocol: write SWM_COMMAND on the root from a separate
+	// connection, exactly as the real swmcmd does from an xterm.
+	cmdConn := s.Connect("swmcmd")
+	root := s.Screens()[0].Root
+	err = cmdConn.ChangeProperty(root, cmdConn.InternAtom("SWM_COMMAND"),
+		cmdConn.InternAtom("STRING"), 8, xproto.PropModeReplace, []byte(command))
+	if err != nil {
+		log.Fatal(err)
+	}
+	wm.Pump()
+
+	after := describe(wm, term)
+	fmt.Printf("executed: %s\n", command)
+	fmt.Printf("before:   %s\n", before)
+	fmt.Printf("after:    %s\n", after)
+	if wm.QuitRequested() {
+		fmt.Println("state:    quit requested")
+	}
+	if wm.RestartRequested() {
+		fmt.Println("state:    restart requested")
+	}
+	if out := wm.LastPlaces(); out != "" {
+		fmt.Printf("places file:\n%s", out)
+	}
+	if *render {
+		art, err := raster.RenderWindow(wm.Conn(), root, raster.Options{
+			ScaleX: 16, ScaleY: 28, DrawLabels: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("screen:\n%s", art)
+	}
+}
+
+func describe(wm *core.WM, app *clients.App) string {
+	c, ok := wm.ClientOf(app.Win)
+	if !ok {
+		return "xterm: unmanaged"
+	}
+	state := "normal"
+	if c.State == xproto.IconicState {
+		state = "iconic"
+	}
+	extra := ""
+	if c.Sticky {
+		extra = " sticky"
+	}
+	return fmt.Sprintf("xterm: %s at %v%s", state, c.FrameRect, extra)
+}

@@ -1,0 +1,70 @@
+// Command swmhints is the session-hint client from the paper (§7): it
+// encodes one client's saved state as a record that swm reads at
+// startup. In the paper it appends the record to a root-window property;
+// here (the server is in-process) it prints the record to stdout, and a
+// places file pipes these lines into swm's bootstrap.
+//
+//	swmhints -geometry 120x120+1010+359 -icongeometry +0+0 \
+//	    -state NormalState -cmd "oclock -geom 100x100 "
+//
+// With -decode FILE it parses a places file back into records, which is
+// what `swm -places FILE` does internally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/session"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swmhints: ")
+
+	geometry := flag.String("geometry", "", "window geometry (WxH+X+Y)")
+	iconGeometry := flag.String("icongeometry", "", "icon position (+X+Y)")
+	state := flag.String("state", "NormalState", "NormalState or IconicState")
+	sticky := flag.Bool("sticky", false, "window is sticky")
+	rootIcon := flag.Bool("rooticon", false, "icon lives on the root window")
+	machine := flag.String("machine", "", "WM_CLIENT_MACHINE for remote clients")
+	cmd := flag.String("cmd", "", "exact WM_COMMAND string")
+	decode := flag.String("decode", "", "parse a places file and dump its records")
+	flag.Parse()
+
+	if *decode != "" {
+		data, err := os.ReadFile(*decode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hints, err := session.ParsePlaces(string(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, h := range hints {
+			fmt.Println(session.Encode(h))
+		}
+		return
+	}
+
+	if *geometry == "" || *cmd == "" {
+		log.Fatal("both -geometry and -cmd are required (see -h)")
+	}
+	h := session.Hint{
+		Geometry:     *geometry,
+		IconGeometry: *iconGeometry,
+		State:        *state,
+		Sticky:       *sticky,
+		IconOnRoot:   *rootIcon,
+		Machine:      *machine,
+		Cmd:          *cmd,
+	}
+	record := session.Encode(h)
+	// Validate by round-tripping before emitting.
+	if _, err := session.Decode(record); err != nil {
+		log.Fatalf("invalid hint: %v", err)
+	}
+	fmt.Println(record)
+}

@@ -1,0 +1,154 @@
+// Command swmrender regenerates the paper's figures as ASCII renderings
+// of the same panel definitions, using the simulated X server:
+//
+//	swmrender -figure 1   OpenLook+ decoration (paper Figure 1)
+//	swmrender -figure 2   reparented root panel (paper Figure 2)
+//	swmrender -figure 3   Virtual Desktop panner (paper Figure 3)
+//	swmrender -figure 0   all three
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/clients"
+	"repro/internal/core"
+	"repro/internal/icccm"
+	"repro/internal/raster"
+	"repro/internal/templates"
+	"repro/internal/xserver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swmrender: ")
+	figure := flag.Int("figure", 0, "figure number to render (1-3, 0 = all)")
+	flag.Parse()
+
+	figures := map[int]func() (string, string){
+		1: figure1,
+		2: figure2,
+		3: figure3,
+	}
+	if *figure != 0 {
+		fn, ok := figures[*figure]
+		if !ok {
+			log.Fatalf("no figure %d (valid: 1, 2, 3)", *figure)
+		}
+		title, art := fn()
+		fmt.Printf("%s\n\n%s\n", title, art)
+		return
+	}
+	for _, n := range []int{1, 2, 3} {
+		title, art := figures[n]()
+		fmt.Printf("%s\n\n%s\n\n", title, art)
+	}
+	_ = os.Stdout
+}
+
+func newWM(opts core.Options) (*xserver.Server, *core.WM) {
+	s := xserver.NewServer()
+	db, err := templates.Load(templates.OpenLook)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts.DB = db
+	wm, err := core.New(s, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s, wm
+}
+
+// figure1 reproduces Figure 1: a client window decorated with the
+// paper's openLook panel (pulldown / name / nail buttons + client).
+func figure1() (string, string) {
+	s, wm := newWM(core.Options{})
+	app, err := clients.Launch(s, clients.Config{
+		Instance: "xterm", Class: "XTerm", Name: "swm demo",
+		Width: 320, Height: 168,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wm.Pump()
+	c, ok := wm.ClientOf(app.Win)
+	if !ok {
+		log.Fatal("client not managed")
+	}
+	art, err := raster.RenderWindow(wm.Conn(), c.FrameWindow(), raster.Options{DrawLabels: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return "Figure 1: OpenLook+ Decoration (Swm*panel.openLook)", art
+}
+
+// figure2 reproduces Figure 2: the reparented RootPanel with its 4x2
+// grid of command buttons, using the paper's definition verbatim.
+func figure2() (string, string) {
+	s := xserver.NewServer()
+	db, err := templates.Load(templates.OpenLook)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.MustPut("swm*rootPanels", "RootPanel")
+	db.MustPut("Swm*panel.RootPanel",
+		"button quit +0+0\nbutton restart +1+0\nbutton iconify +2+0\nbutton deiconify +3+0\n"+
+			"button move +0+1\nbutton resize +1+1\nbutton raise +2+1\nbutton lower +3+1")
+	wm, err := core.New(s, core.Options{DB: db})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wm.Pump()
+	panels := wm.Screens()[0].RootPanels()
+	if len(panels) == 0 {
+		log.Fatal("root panel missing")
+	}
+	art, err := raster.RenderWindow(wm.Conn(), panels[0].FrameWindow(), raster.Options{DrawLabels: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return "Figure 2: Root Panel Example (Swm*panel.RootPanel)", art
+}
+
+// figure3 reproduces Figure 3: the Virtual Desktop panner with
+// miniature windows and the viewport outline.
+func figure3() (string, string) {
+	s, wm := newWM(core.Options{VirtualDesktop: true, EnablePanner: true})
+	scr := wm.Screens()[0]
+	// Spread a few clients over the desktop like the paper's screenshot.
+	positions := []struct {
+		inst string
+		x, y int
+		w, h int
+	}{
+		{"xterm", 200, 150, 600, 400},
+		{"emacs", 1400, 300, 700, 500},
+		{"xclock", 2600, 200, 300, 300},
+		{"xmail", 600, 1500, 500, 350},
+		{"xfig", 2200, 1800, 800, 600},
+		{"xcalc", 3400, 2600, 300, 400},
+	}
+	for _, p := range positions {
+		_, err := clients.Launch(s, clients.Config{
+			Instance: p.inst, Class: p.inst, Width: p.w, Height: p.h,
+			NormalHints: &icccm.NormalHints{Flags: icccm.USPosition, X: p.x, Y: p.y},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	wm.Pump()
+	wm.PanTo(scr, 25, 25)
+	wm.Pump()
+	p := scr.Panner()
+	art, err := raster.RenderWindow(wm.Conn(), p.Window(), raster.Options{
+		ScaleX: 2, ScaleY: 4, DrawLabels: false,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return "Figure 3: Virtual Desktop Panner (miniatures + viewport outline)", art
+}

@@ -1,0 +1,61 @@
+// Quickstart: the minimal swm program — start the simulated display,
+// run the window manager with the built-in default configuration,
+// launch one client, and look at the result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/clients"
+	"repro/internal/core"
+	"repro/internal/raster"
+	"repro/internal/xserver"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A display server (one 1152x900 screen by default).
+	server := xserver.NewServer()
+
+	// 2. The window manager. A nil DB loads the default template.
+	wm, err := core.New(server, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. A client application.
+	term, err := clients.Xterm(server, "hello, swm")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Let the WM process the MapRequest and manage the window.
+	wm.Pump()
+
+	c, ok := wm.ClientOf(term.Win)
+	if !ok {
+		log.Fatal("xterm was not managed")
+	}
+	fmt.Printf("managed %q with decoration %q, frame %v\n",
+		c.Name, c.Decoration(), c.FrameRect)
+
+	// 5. Drive it through the function interface.
+	ctx := &core.FuncContext{Client: c, Screen: wm.Screens()[0]}
+	if err := wm.ExecuteString(ctx, "f.iconify"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("iconified via f.iconify")
+	if err := wm.ExecuteString(ctx, "f.deiconify f.raise"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("restored via f.deiconify f.raise")
+
+	// 6. Render the decorated window.
+	art, err := raster.RenderWindow(wm.Conn(), c.FrameWindow(), raster.Options{DrawLabels: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s", art)
+}

@@ -1,0 +1,134 @@
+// Session management: the paper's §7 workflow end to end. A user lays
+// out a working environment, swm saves it with f.places, "X restarts",
+// and the saved file brings every client back — size, position, icon
+// position, sticky flag and iconic state — regardless of toolkit or
+// remote host.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/clients"
+	"repro/internal/core"
+	"repro/internal/session"
+	"repro/internal/templates"
+	"repro/internal/xproto"
+	"repro/internal/xserver"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// ---------------- Session 1: the user arranges their desk ----------
+	fmt.Println("=== session 1: arranging the environment ===")
+	s1 := xserver.NewServer()
+	db1, err := templates.Load(templates.OpenLook)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wm1, err := core.New(s1, core.Options{DB: db1, VirtualDesktop: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	term, err := clients.Xterm(s1, "work shell")
+	if err != nil {
+		log.Fatal(err)
+	}
+	clock, err := clients.Xclock(s1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A remote client: running on another machine entirely (§7.1).
+	remote, err := clients.Launch(s1, clients.Config{
+		Instance: "xload", Class: "XLoad", Width: 80, Height: 60,
+		Command: []string{"xload"}, Machine: "kandinsky",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wm1.Pump()
+
+	tc, _ := wm1.ClientOf(term.Win)
+	cc, _ := wm1.ClientOf(clock.Win)
+	rc, _ := wm1.ClientOf(remote.Win)
+
+	// Arrange: move the terminal, stick the clock, iconify the monitor.
+	wm1.MoveClientTo(tc, 700, 500)
+	if err := wm1.Stick(cc); err != nil {
+		log.Fatal(err)
+	}
+	if err := wm1.Iconify(rc); err != nil {
+		log.Fatal(err)
+	}
+	wm1.MoveIcon(rc, 10, 10)
+	for _, c := range []*core.Client{tc, cc, rc} {
+		fmt.Printf("  %-8s state=%d sticky=%v frame=%v\n",
+			c.Class.Instance, c.State, c.Sticky, c.FrameRect)
+	}
+
+	// Save with f.places.
+	if err := wm1.ExecuteString(&core.FuncContext{Screen: wm1.Screens()[0]}, "f.places"); err != nil {
+		log.Fatal(err)
+	}
+	placesFile := wm1.LastPlaces()
+	fmt.Printf("\nf.places wrote the .xinitrc replacement:\n%s\n", placesFile)
+
+	// ---------------- X restarts --------------------------------------
+	fmt.Println("=== X restarts: replaying the places file ===")
+	s2 := xserver.NewServer()
+	hints, err := session.ParsePlaces(placesFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	boot := s2.Connect("xinitrc")
+	var sb strings.Builder
+	for _, h := range hints {
+		sb.WriteString(session.Encode(h))
+		sb.WriteByte('\n')
+	}
+	root := s2.Screens()[0].Root
+	if err := boot.ChangeProperty(root, boot.InternAtom("SWM_HINTS"),
+		boot.InternAtom("STRING"), 8, xproto.PropModeAppend, []byte(sb.String())); err != nil {
+		log.Fatal(err)
+	}
+	boot.Close()
+
+	db2, _ := templates.Load(templates.OpenLook)
+	wm2, err := core.New(s2, core.Options{DB: db2, VirtualDesktop: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The places file restarts each client with its exact WM_COMMAND.
+	term2, _ := clients.Xterm(s2, "work shell")
+	clock2, _ := clients.Xclock(s2)
+	remote2, _ := clients.Launch(s2, clients.Config{
+		Instance: "xload", Class: "XLoad", Width: 80, Height: 60,
+		Command: []string{"xload"}, Machine: "kandinsky",
+	})
+	wm2.Pump()
+
+	fmt.Println("restored clients:")
+	for _, app := range []*clients.App{term2, clock2, remote2} {
+		c, ok := wm2.ClientOf(app.Win)
+		if !ok {
+			log.Fatalf("%s not managed after restart", app.Cfg.Instance)
+		}
+		state := "normal"
+		if c.State == xproto.IconicState {
+			state = "iconic"
+		}
+		sticky := ""
+		if c.Sticky {
+			sticky = " [sticky]"
+		}
+		machine := "local"
+		if c.Machine != "" {
+			machine = "on " + c.Machine
+		}
+		fmt.Printf("  %-8s %s frame=%v%s (%s)\n",
+			c.Class.Instance, state, c.FrameRect, sticky, machine)
+	}
+}

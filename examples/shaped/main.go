@@ -1,0 +1,88 @@
+// SHAPE support (paper §5.1): shaped clients like oclock and xeyes are
+// recognized by swm, which prepends "shaped" to their resource lookups
+// so they can receive the invisible "shapeit" decoration — "invoking
+// the X11R4 oclock or xeyes clients and they would be displayed without
+// visible decoration".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/clients"
+	"repro/internal/core"
+	"repro/internal/raster"
+	"repro/internal/templates"
+	"repro/internal/xserver"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	db, err := templates.Load(templates.OpenLook)
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := xserver.NewServer()
+	wm, err := core.New(server, core.Options{DB: db})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A rectangular clock and two shaped clients.
+	xclock, err := clients.Xclock(server)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oclock, err := clients.Oclock(server)
+	if err != nil {
+		log.Fatal(err)
+	}
+	xeyes, err := clients.Xeyes(server)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wm.Pump()
+
+	fmt.Println("decoration selection (shaped clients get the 'shaped' resource prefix):")
+	for _, app := range []*clients.App{xclock, oclock, xeyes} {
+		c, ok := wm.ClientOf(app.Win)
+		if !ok {
+			log.Fatalf("%s not managed", app.Cfg.Instance)
+		}
+		shaped := "rectangular"
+		if c.Shaped {
+			shaped = "shaped"
+		}
+		fmt.Printf("  %-8s %-12s decoration=%s\n", c.Class.Instance, shaped, c.Decoration())
+	}
+
+	// The shapeit frame takes the shape of its contents: no visible
+	// decoration around the round clock.
+	c, _ := wm.ClientOf(oclock.Win)
+	shapedFrame, rects, err := wm.Conn().ShapeQuery(c.FrameWindow())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noclock frame shaped=%v, bounding rects=%v\n", shapedFrame, rects)
+
+	// Render the oclock frame: the diamond shape shows through, no
+	// titlebar anywhere.
+	art, err := raster.RenderWindow(wm.Conn(), c.FrameWindow(), raster.Options{
+		ScaleX: 4, ScaleY: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noclock with invisible (shapeit) decoration:\n%s\n", art)
+
+	// Contrast: the xclock with its normal openLook titlebar.
+	rc, _ := wm.ClientOf(xclock.Win)
+	art, err = raster.RenderWindow(wm.Conn(), rc.FrameWindow(), raster.Options{
+		ScaleX: 8, ScaleY: 14, DrawLabels: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("xclock with openLook decoration:\n%s", art)
+}

@@ -1,0 +1,153 @@
+package repro_bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clients"
+	"repro/internal/core"
+	"repro/internal/icccm"
+	"repro/internal/raster"
+	"repro/internal/templates"
+	"repro/internal/xserver"
+)
+
+// TestFigure1OpenLookDecoration regenerates paper Figure 1: a client
+// decorated with the openLook panel definition.
+func TestFigure1OpenLookDecoration(t *testing.T) {
+	s := xserver.NewServer()
+	db, err := templates.Load(templates.OpenLook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, err := core.New(s, core.Options{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := clients.Launch(s, clients.Config{
+		Instance: "xterm", Class: "XTerm", Name: "swm demo",
+		Width: 320, Height: 168,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm.Pump()
+	c, ok := wm.ClientOf(app.Win)
+	if !ok {
+		t.Fatal("client not managed")
+	}
+	if c.Decoration() != "openLook" {
+		t.Fatalf("decoration = %q", c.Decoration())
+	}
+	art, err := raster.RenderWindow(wm.Conn(), c.FrameWindow(), raster.Options{DrawLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural assertions on the rendered figure: pulldown glyph at
+	// the left of the title row, name centered, nail at the right.
+	lines := strings.Split(art, "\n")
+	title := lines[0]
+	if !strings.Contains(title, "v") {
+		t.Errorf("pulldown glyph missing from titlebar: %q", title)
+	}
+	if !strings.Contains(title, "swm demo") {
+		t.Errorf("WM_NAME missing from titlebar: %q", title)
+	}
+	if !strings.Contains(title, "O") {
+		t.Errorf("nail glyph missing from titlebar: %q", title)
+	}
+	nameIdx := strings.Index(title, "swm demo")
+	nailIdx := strings.LastIndex(title, "O")
+	vIdx := strings.Index(title, "v")
+	if !(vIdx < nameIdx && nameIdx < nailIdx) {
+		t.Errorf("titlebar order wrong (v=%d name=%d nail=%d): %q", vIdx, nameIdx, nailIdx, title)
+	}
+	// The client area occupies the rows below the titlebar.
+	if len(lines) < 5 {
+		t.Fatalf("figure too short:\n%s", art)
+	}
+}
+
+// TestFigure2RootPanel regenerates paper Figure 2: the reparented
+// RootPanel with its 4x2 grid of buttons.
+func TestFigure2RootPanel(t *testing.T) {
+	s := xserver.NewServer()
+	db, err := templates.Load(templates.OpenLook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustPut("swm*rootPanels", "RootPanel")
+	// The paper's definition, verbatim.
+	db.MustPut("Swm*panel.RootPanel",
+		"button quit +0+0\nbutton restart +1+0\nbutton iconify +2+0\nbutton deiconify +3+0\n"+
+			"button move +0+1\nbutton resize +1+1\nbutton raise +2+1\nbutton lower +3+1")
+	wm, err := core.New(s, core.Options{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm.Pump()
+	panels := wm.Screens()[0].RootPanels()
+	if len(panels) != 1 {
+		t.Fatalf("%d root panels", len(panels))
+	}
+	art, err := raster.RenderWindow(wm.Conn(), panels[0].FrameWindow(), raster.Options{DrawLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"quit", "restart", "iconify", "deiconify", "move", "resize", "raise", "lower"} {
+		if !strings.Contains(art, label) {
+			t.Errorf("button %q missing from figure:\n%s", label, art)
+		}
+	}
+	// Row structure: quit row above move row.
+	if strings.Index(art, "quit") > strings.Index(art, "move") {
+		t.Errorf("rows out of order:\n%s", art)
+	}
+}
+
+// TestFigure3Panner regenerates paper Figure 3: the Virtual Desktop
+// panner with miniatures and the viewport outline.
+func TestFigure3Panner(t *testing.T) {
+	s := xserver.NewServer()
+	db, err := templates.Load(templates.OpenLook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, err := core.New(s, core.Options{DB: db, VirtualDesktop: true, EnablePanner: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr := wm.Screens()[0]
+	positions := [][4]int{
+		{200, 150, 600, 400}, {1400, 300, 700, 500}, {2600, 200, 300, 300},
+		{600, 1500, 500, 350}, {2200, 1800, 800, 600}, {3400, 2600, 300, 400},
+	}
+	for i, p := range positions {
+		_, err := clients.Launch(s, clients.Config{
+			Instance: "app" + string(rune('a'+i)), Class: "App",
+			Width: p[2], Height: p[3],
+			NormalHints: &icccm.NormalHints{Flags: icccm.USPosition, X: p[0], Y: p[1]},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	wm.Pump()
+	wm.PanTo(scr, 25, 25)
+	p := scr.Panner()
+	if got := len(p.Miniatures()); got != 6 {
+		t.Fatalf("%d miniatures, want 6", got)
+	}
+	art, err := raster.RenderWindow(wm.Conn(), p.Window(), raster.Options{ScaleX: 2, ScaleY: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All six miniatures show as filled boxes.
+	if strings.Count(art, "#") < 6 {
+		t.Errorf("miniatures missing from figure:\n%s", art)
+	}
+	// The viewport outline sits near the top-left (pan is 25,25).
+	if !strings.Contains(strings.Split(art, "\n")[0], "+") {
+		t.Errorf("no outline on the top row:\n%s", art)
+	}
+}

@@ -1,0 +1,451 @@
+package gwm
+
+import (
+	"fmt"
+
+	"repro/internal/icccm"
+	"repro/internal/xproto"
+	"repro/internal/xserver"
+)
+
+// DefaultPolicy is the built-in WOOL policy program: the decoration
+// parameters and all event behavior are Lisp. Implementing a different
+// look-and-feel means writing a different program — the paper's point
+// about gwm requiring "command of the Lisp language".
+const DefaultPolicy = `
+; gwm default policy
+(define title-height 18)
+(define frame-border 2)
+
+; (describe-window name class) -> (title-height frame-border titled?)
+(defun describe-window (name class)
+  (if (= class "XClock")
+      (list 0 frame-border nil)        ; clocks get no titlebar
+      (list title-height frame-border t)))
+
+; (handle-button button context) -> action symbol
+(defun handle-button (button context)
+  (if (= context 'title)
+      (if (= button 1) 'raise
+        (if (= button 2) 'move
+          (if (= button 3) 'iconify 'none)))
+      (if (= context 'icon)
+          (if (= button 1) 'deiconify 'none)
+          'none)))
+`
+
+// WM is a running gwm instance. Every managed window and every event
+// round-trips through the interpreter.
+type WM struct {
+	server *xserver.Server
+	conn   *xserver.Conn
+	env    *Env
+
+	root    xproto.XID
+	clients map[xproto.XID]*Client
+	byFrame map[xproto.XID]*Client
+	byTitle map[xproto.XID]*Client
+	byIcon  map[xproto.XID]*Client
+
+	placeX, placeY int
+	scrW, scrH     int
+}
+
+// Client is one managed window.
+type Client struct {
+	Win         xproto.XID
+	Frame       xproto.XID
+	Title       xproto.XID
+	IconWin     xproto.XID
+	Name        string
+	Class       icccm.Class
+	Iconified   bool
+	FrameRect   xproto.Rect
+	titleHeight int
+	frameBorder int
+	clientW     int
+	clientH     int
+}
+
+// New starts gwm with the given WOOL policy program ("" uses
+// DefaultPolicy).
+func New(server *xserver.Server, policy string) (*WM, error) {
+	if policy == "" {
+		policy = DefaultPolicy
+	}
+	wm := &WM{
+		server:  server,
+		conn:    server.Connect("gwm"),
+		env:     NewEnv(),
+		clients: make(map[xproto.XID]*Client),
+		byFrame: make(map[xproto.XID]*Client),
+		byTitle: make(map[xproto.XID]*Client),
+		byIcon:  make(map[xproto.XID]*Client),
+	}
+	scr := server.Screens()[0]
+	wm.root = scr.Root
+	wm.scrW, wm.scrH = scr.Width, scr.Height
+	wm.installPrimitives()
+	if _, err := EvalString(wm.env, policy); err != nil {
+		wm.conn.Close()
+		return nil, fmt.Errorf("gwm: policy program: %w", err)
+	}
+	err := wm.conn.SelectInput(wm.root,
+		xproto.SubstructureRedirectMask|xproto.SubstructureNotifyMask|
+			xproto.ButtonPressMask|xproto.ButtonReleaseMask)
+	if err != nil {
+		wm.conn.Close()
+		return nil, fmt.Errorf("gwm: another window manager is running: %w", err)
+	}
+	return wm, nil
+}
+
+// Env exposes the interpreter environment (tests poke at policy).
+func (wm *WM) Env() *Env { return wm.env }
+
+// Conn returns the WM connection.
+func (wm *WM) Conn() *xserver.Conn { return wm.conn }
+
+// ClientOf looks up a managed client.
+func (wm *WM) ClientOf(win xproto.XID) (*Client, bool) {
+	c, ok := wm.clients[win]
+	return c, ok
+}
+
+// installPrimitives registers the WM primitives policy programs use.
+func (wm *WM) installPrimitives() {
+	def := func(name string, fn Builtin) { wm.env.Define(Sym(name), fn) }
+	def("raise-window", func(_ *Env, args []Value) (Value, error) {
+		c, err := wm.clientArg(args)
+		if err != nil {
+			return nil, err
+		}
+		return T, wm.conn.RaiseWindow(c.Frame)
+	})
+	def("lower-window", func(_ *Env, args []Value) (Value, error) {
+		c, err := wm.clientArg(args)
+		if err != nil {
+			return nil, err
+		}
+		return T, wm.conn.LowerWindow(c.Frame)
+	})
+	def("move-window", func(_ *Env, args []Value) (Value, error) {
+		if len(args) != 3 {
+			return nil, fmt.Errorf("gwm: move-window wants (win x y)")
+		}
+		c, err := wm.clientArg(args[:1])
+		if err != nil {
+			return nil, err
+		}
+		x, xok := args[1].(Num)
+		y, yok := args[2].(Num)
+		if !xok || !yok {
+			return nil, fmt.Errorf("gwm: move-window wants numeric coordinates")
+		}
+		wm.moveFrame(c, int(x), int(y))
+		return T, nil
+	})
+	def("window-name", func(_ *Env, args []Value) (Value, error) {
+		c, err := wm.clientArg(args)
+		if err != nil {
+			return nil, err
+		}
+		return Str(c.Name), nil
+	})
+}
+
+func (wm *WM) clientArg(args []Value) (*Client, error) {
+	if len(args) < 1 {
+		return nil, fmt.Errorf("gwm: missing window argument")
+	}
+	n, ok := args[0].(Num)
+	if !ok {
+		return nil, fmt.Errorf("gwm: %v is not a window id", args[0])
+	}
+	c, ok := wm.clients[xproto.XID(n)]
+	if !ok {
+		return nil, fmt.Errorf("gwm: window %d not managed", n)
+	}
+	return c, nil
+}
+
+// Pump drains pending events.
+func (wm *WM) Pump() int {
+	n := 0
+	for {
+		ev, ok := wm.conn.PollEvent()
+		if !ok {
+			return n
+		}
+		wm.handleEvent(ev)
+		n++
+	}
+}
+
+// Shutdown releases clients and closes the connection.
+func (wm *WM) Shutdown() {
+	for _, c := range wm.clients {
+		_ = wm.conn.ReparentWindow(c.Win, wm.root, c.FrameRect.X, c.FrameRect.Y)
+		_ = wm.conn.MapWindow(c.Win)
+	}
+	wm.conn.Close()
+}
+
+func (wm *WM) handleEvent(ev xproto.Event) {
+	switch ev.Type {
+	case xproto.MapRequest:
+		if c, ok := wm.clients[ev.Subwindow]; ok {
+			wm.Deiconify(c)
+			return
+		}
+		if _, err := wm.Manage(ev.Subwindow); err != nil {
+			_ = wm.conn.MapWindow(ev.Subwindow)
+		}
+	case xproto.DestroyNotify:
+		if c, ok := wm.clients[ev.Subwindow]; ok {
+			wm.unmanage(c)
+		}
+	case xproto.ButtonPress:
+		wm.handleButtonPress(ev)
+	case xproto.ConfigureRequest:
+		wm.handleConfigureRequest(ev)
+	}
+}
+
+// Manage asks the policy program how to decorate, then builds the frame
+// accordingly.
+func (wm *WM) Manage(win xproto.XID) (*Client, error) {
+	if c, ok := wm.clients[win]; ok {
+		return c, nil
+	}
+	g, err := wm.conn.GetGeometry(win)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{Win: win, clientW: g.Rect.Width, clientH: g.Rect.Height}
+	if name, ok := icccm.GetName(wm.conn, win); ok {
+		c.Name = name
+	}
+	if cl, ok, _ := icccm.GetClass(wm.conn, win); ok {
+		c.Class = cl
+	}
+
+	// Policy decision via Lisp: (describe-window name class).
+	fn, ok := wm.env.Get("describe-window")
+	if !ok {
+		return nil, fmt.Errorf("gwm: policy defines no describe-window")
+	}
+	desc, err := Apply(wm.env, fn, []Value{Str(c.Name), Str(c.Class.Class)})
+	if err != nil {
+		return nil, fmt.Errorf("gwm: describe-window: %w", err)
+	}
+	dl, ok := desc.(List)
+	if !ok || len(dl) < 2 {
+		return nil, fmt.Errorf("gwm: describe-window returned %v", desc)
+	}
+	th, _ := dl[0].(Num)
+	fb, _ := dl[1].(Num)
+	c.titleHeight = int(th)
+	c.frameBorder = int(fb)
+
+	x, y := g.Rect.X, g.Rect.Y
+	if x == 0 && y == 0 {
+		wm.placeX += 24
+		wm.placeY += 24
+		if wm.placeX+g.Rect.Width > wm.scrW || wm.placeY+g.Rect.Height > wm.scrH {
+			wm.placeX, wm.placeY = 24, 24
+		}
+		x, y = wm.placeX, wm.placeY
+	}
+	c.FrameRect = xproto.Rect{
+		X: x, Y: y,
+		Width:  g.Rect.Width + 2*c.frameBorder,
+		Height: g.Rect.Height + c.titleHeight + 2*c.frameBorder,
+	}
+	frame, err := wm.conn.CreateWindow(wm.root, c.FrameRect, 1,
+		xserver.WindowAttributes{OverrideRedirect: true})
+	if err != nil {
+		return nil, err
+	}
+	// Client configure requests must route through the WM: the frame
+	// (the client's new parent) selects SubstructureRedirect.
+	if err := wm.conn.SelectInput(frame,
+		xproto.SubstructureRedirectMask|xproto.SubstructureNotifyMask); err != nil {
+		return nil, err
+	}
+	if c.titleHeight > 0 {
+		title, err := wm.conn.CreateWindow(frame, xproto.Rect{
+			X: c.frameBorder, Y: c.frameBorder,
+			Width: g.Rect.Width, Height: c.titleHeight,
+		}, 0, xserver.WindowAttributes{OverrideRedirect: true, Label: c.Name})
+		if err != nil {
+			return nil, err
+		}
+		if err := wm.conn.SelectInput(title, xproto.ButtonPressMask); err != nil {
+			return nil, err
+		}
+		if err := wm.conn.MapWindow(title); err != nil {
+			return nil, err
+		}
+		c.Title = title
+		wm.byTitle[title] = c
+	}
+	if err := wm.conn.ChangeSaveSet(win, true); err != nil {
+		return nil, err
+	}
+	if err := wm.conn.ReparentWindow(win, frame, c.frameBorder, c.frameBorder+c.titleHeight); err != nil {
+		return nil, err
+	}
+	if err := wm.conn.MapWindow(win); err != nil {
+		return nil, err
+	}
+	if err := wm.conn.MapWindow(frame); err != nil {
+		return nil, err
+	}
+	_ = icccm.SetState(wm.conn, win, icccm.State{State: xproto.NormalState})
+	c.Frame = frame
+	wm.clients[win] = c
+	wm.byFrame[frame] = c
+	return c, nil
+}
+
+func (wm *WM) unmanage(c *Client) {
+	delete(wm.clients, c.Win)
+	delete(wm.byFrame, c.Frame)
+	if c.Title != xproto.None {
+		delete(wm.byTitle, c.Title)
+	}
+	if c.IconWin != xproto.None {
+		delete(wm.byIcon, c.IconWin)
+		_ = wm.conn.DestroyWindow(c.IconWin)
+	}
+	_ = wm.conn.DestroyWindow(c.Frame)
+}
+
+func (wm *WM) moveFrame(c *Client, x, y int) {
+	c.FrameRect.X, c.FrameRect.Y = x, y
+	_ = wm.conn.MoveWindow(c.Frame, x, y)
+	_ = icccm.SendSyntheticConfigureNotify(wm.conn, c.Win,
+		x+c.frameBorder, y+c.frameBorder+c.titleHeight, c.clientW, c.clientH)
+}
+
+func (wm *WM) handleConfigureRequest(ev xproto.Event) {
+	c, ok := wm.clients[ev.Subwindow]
+	if !ok {
+		_ = wm.conn.ConfigureWindow(ev.Subwindow, xproto.WindowChanges{
+			Mask: ev.ValueMask, X: ev.GX, Y: ev.GY,
+			Width: ev.Width, Height: ev.Height,
+		})
+		return
+	}
+	if ev.ValueMask&(xproto.CWWidth|xproto.CWHeight) != 0 {
+		w, h := c.clientW, c.clientH
+		if ev.ValueMask&xproto.CWWidth != 0 {
+			w = ev.Width
+		}
+		if ev.ValueMask&xproto.CWHeight != 0 {
+			h = ev.Height
+		}
+		c.clientW, c.clientH = w, h
+		_ = wm.conn.ResizeWindow(c.Win, w, h)
+		c.FrameRect.Width = w + 2*c.frameBorder
+		c.FrameRect.Height = h + c.titleHeight + 2*c.frameBorder
+		_ = wm.conn.ResizeWindow(c.Frame, c.FrameRect.Width, c.FrameRect.Height)
+		if c.Title != xproto.None {
+			_ = wm.conn.ResizeWindow(c.Title, w, c.titleHeight)
+		}
+	}
+	if ev.ValueMask&(xproto.CWX|xproto.CWY) != 0 {
+		x, y := c.FrameRect.X, c.FrameRect.Y
+		if ev.ValueMask&xproto.CWX != 0 {
+			x = ev.GX
+		}
+		if ev.ValueMask&xproto.CWY != 0 {
+			y = ev.GY
+		}
+		wm.moveFrame(c, x, y)
+	}
+}
+
+// handleButtonPress routes the decision through (handle-button ...) in
+// the policy program, then performs the returned action.
+func (wm *WM) handleButtonPress(ev xproto.Event) {
+	var c *Client
+	context := Sym("root")
+	if cc, ok := wm.byTitle[ev.Window]; ok {
+		c, context = cc, "title"
+	} else if cc, ok := wm.byFrame[ev.Window]; ok {
+		c, context = cc, "window"
+	} else if cc, ok := wm.byIcon[ev.Window]; ok {
+		c, context = cc, "icon"
+	}
+	fn, ok := wm.env.Get("handle-button")
+	if !ok {
+		return
+	}
+	action, err := Apply(wm.env, fn, []Value{Num(ev.Button), context})
+	if err != nil {
+		return
+	}
+	sym, _ := action.(Sym)
+	switch sym {
+	case "raise":
+		if c != nil {
+			_ = wm.conn.RaiseWindow(c.Frame)
+		}
+	case "lower":
+		if c != nil {
+			_ = wm.conn.LowerWindow(c.Frame)
+		}
+	case "iconify":
+		if c != nil {
+			wm.Iconify(c)
+		}
+	case "deiconify":
+		if c != nil {
+			wm.Deiconify(c)
+		}
+	case "move":
+		// Simplified: a policy-driven move jumps the frame to the
+		// pointer (gwm's outline move is out of scope here).
+		if c != nil {
+			wm.moveFrame(c, ev.RootX, ev.RootY)
+		}
+	}
+}
+
+// Iconify hides the frame behind a simple icon window.
+func (wm *WM) Iconify(c *Client) {
+	if c.Iconified {
+		return
+	}
+	_ = wm.conn.UnmapWindow(c.Frame)
+	if c.IconWin == xproto.None {
+		icon, err := wm.conn.CreateWindow(wm.root, xproto.Rect{
+			X: 8, Y: 8, Width: 64, Height: 64,
+		}, 1, xserver.WindowAttributes{OverrideRedirect: true, Label: c.Name})
+		if err == nil {
+			_ = wm.conn.SelectInput(icon, xproto.ButtonPressMask)
+			c.IconWin = icon
+			wm.byIcon[icon] = c
+		}
+	}
+	if c.IconWin != xproto.None {
+		_ = wm.conn.MapWindow(c.IconWin)
+	}
+	c.Iconified = true
+	_ = icccm.SetState(wm.conn, c.Win, icccm.State{State: xproto.IconicState})
+}
+
+// Deiconify restores a client.
+func (wm *WM) Deiconify(c *Client) {
+	if !c.Iconified {
+		return
+	}
+	if c.IconWin != xproto.None {
+		_ = wm.conn.UnmapWindow(c.IconWin)
+	}
+	_ = wm.conn.MapWindow(c.Frame)
+	c.Iconified = false
+	_ = icccm.SetState(wm.conn, c.Win, icccm.State{State: xproto.NormalState})
+}

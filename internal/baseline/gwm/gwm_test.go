@@ -1,0 +1,181 @@
+package gwm
+
+import (
+	"testing"
+
+	"repro/internal/clients"
+	"repro/internal/xproto"
+	"repro/internal/xserver"
+)
+
+func newGwm(t *testing.T, policy string) (*xserver.Server, *WM) {
+	t.Helper()
+	s := xserver.NewServer()
+	wm, err := New(s, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, wm
+}
+
+func launch(t *testing.T, s *xserver.Server, wm *WM, cfg clients.Config) (*clients.App, *Client) {
+	t.Helper()
+	app, err := clients.Launch(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm.Pump()
+	c, ok := wm.ClientOf(app.Win)
+	if !ok {
+		t.Fatalf("client %s not managed", cfg.Instance)
+	}
+	return app, c
+}
+
+func TestPolicyDrivenDecoration(t *testing.T) {
+	s, wm := newGwm(t, "")
+	_, term := launch(t, s, wm, clients.Config{Instance: "xterm", Class: "XTerm", Width: 300, Height: 200})
+	_, clock := launch(t, s, wm, clients.Config{Instance: "xclock", Class: "XClock", Width: 120, Height: 120})
+	if term.Title == xproto.None {
+		t.Error("xterm should be titled per default policy")
+	}
+	if clock.Title != xproto.None {
+		t.Error("xclock should be title-less per default policy")
+	}
+}
+
+func TestCustomPolicyChangesLookAndFeel(t *testing.T) {
+	// Implementing a different look-and-feel = writing Lisp (paper §1).
+	policy := `
+(defun describe-window (name class) (list 40 5 t))
+(defun handle-button (button context) 'none)
+`
+	s, wm := newGwm(t, policy)
+	_, c := launch(t, s, wm, clients.Config{Instance: "xterm", Class: "XTerm", Width: 100, Height: 100})
+	g, _ := wm.conn.GetGeometry(c.Title)
+	if g.Rect.Height != 40 {
+		t.Errorf("title height = %d, want the policy's 40", g.Rect.Height)
+	}
+	if c.FrameRect.Width != 100+2*5 {
+		t.Errorf("frame width = %d, want policy border 5 applied", c.FrameRect.Width)
+	}
+}
+
+func TestBadPolicyRejected(t *testing.T) {
+	s := xserver.NewServer()
+	if _, err := New(s, "(this is not"); err == nil {
+		t.Error("unparsable policy accepted")
+	}
+	if _, err := New(s, "(undefined-fn)"); err == nil {
+		t.Error("crashing policy accepted")
+	}
+}
+
+func TestPolicyMissingDescribeWindow(t *testing.T) {
+	s, wm := newGwm(t, "(define unused 1)")
+	app, err := clients.Launch(s, clients.Config{Instance: "x", Class: "X", Width: 50, Height: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm.Pump()
+	if _, ok := wm.ClientOf(app.Win); ok {
+		t.Error("managed despite missing describe-window")
+	}
+	// The window must still be mapped (fallback).
+	attrs, _ := app.Conn.GetWindowAttributes(app.Win)
+	if attrs.MapState != xproto.IsViewable {
+		t.Error("client locked out by broken policy")
+	}
+}
+
+func TestButtonDispatchThroughLisp(t *testing.T) {
+	s, wm := newGwm(t, "")
+	_, c1 := launch(t, s, wm, clients.Config{Instance: "a", Class: "A", Width: 200, Height: 200, X: 100, Y: 100})
+	launch(t, s, wm, clients.Config{Instance: "b", Class: "B", Width: 200, Height: 200, X: 150, Y: 150})
+	rx, ry, _, _ := wm.conn.TranslateCoordinates(c1.Title, s.Screens()[0].Root, 2, 2)
+	s.FakeMotion(rx, ry)
+	s.FakeButtonPress(xproto.Button1, 0) // policy: title+Btn1 = raise
+	s.FakeButtonRelease(xproto.Button1, 0)
+	wm.Pump()
+	_, _, children, _ := wm.conn.QueryTree(s.Screens()[0].Root)
+	var top xproto.XID
+	for _, ch := range children {
+		if _, ok := wm.byFrame[ch]; ok {
+			top = ch
+		}
+	}
+	if top != c1.Frame {
+		t.Error("Lisp-dispatched raise failed")
+	}
+}
+
+func TestIconifyThroughLisp(t *testing.T) {
+	s, wm := newGwm(t, "")
+	_, c := launch(t, s, wm, clients.Config{Instance: "a", Class: "A", Width: 200, Height: 200, X: 300, Y: 300})
+	rx, ry, _, _ := wm.conn.TranslateCoordinates(c.Title, s.Screens()[0].Root, 2, 2)
+	s.FakeMotion(rx, ry)
+	s.FakeButtonPress(xproto.Button3, 0) // policy: title+Btn3 = iconify
+	s.FakeButtonRelease(xproto.Button3, 0)
+	wm.Pump()
+	if !c.Iconified {
+		t.Fatal("Btn3 on title did not iconify")
+	}
+	// Click the icon to deiconify.
+	rx, ry, _, _ = wm.conn.TranslateCoordinates(c.IconWin, s.Screens()[0].Root, 2, 2)
+	s.FakeMotion(rx, ry)
+	s.FakeButtonPress(xproto.Button1, 0)
+	s.FakeButtonRelease(xproto.Button1, 0)
+	wm.Pump()
+	if c.Iconified {
+		t.Error("icon click did not deiconify")
+	}
+}
+
+func TestPrimitivesCallableFromPolicy(t *testing.T) {
+	s, wm := newGwm(t, "")
+	app, c := launch(t, s, wm, clients.Config{Instance: "xterm", Class: "XTerm", Name: "shell", Width: 100, Height: 100})
+	// Policy code can drive the WM directly.
+	winID := Num(int64(app.Win))
+	wm.env.Define("w", winID)
+	v, err := EvalString(wm.env, "(window-name w)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != Str("shell") {
+		t.Errorf("window-name = %v", v)
+	}
+	if _, err := EvalString(wm.env, "(move-window w 500 600)"); err != nil {
+		t.Fatal(err)
+	}
+	if c.FrameRect.X != 500 || c.FrameRect.Y != 600 {
+		t.Errorf("frame at (%d,%d)", c.FrameRect.X, c.FrameRect.Y)
+	}
+	if _, err := EvalString(wm.env, "(raise-window w)"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResizeRequestHonored(t *testing.T) {
+	s, wm := newGwm(t, "")
+	app, c := launch(t, s, wm, clients.Config{Instance: "xterm", Class: "XTerm", Width: 300, Height: 200})
+	if err := app.Resize(400, 300); err != nil {
+		t.Fatal(err)
+	}
+	wm.Pump()
+	g, _ := app.Conn.GetGeometry(app.Win)
+	if g.Rect.Width != 400 {
+		t.Errorf("client width = %d", g.Rect.Width)
+	}
+	if c.FrameRect.Width != 400+2*c.frameBorder {
+		t.Errorf("frame width = %d", c.FrameRect.Width)
+	}
+}
+
+func TestShutdownReleasesClients(t *testing.T) {
+	s, wm := newGwm(t, "")
+	app, _ := launch(t, s, wm, clients.Config{Instance: "xterm", Class: "XTerm", Width: 100, Height: 100})
+	wm.Shutdown()
+	if _, err := app.Conn.GetWindowAttributes(app.Win); err != nil {
+		t.Fatalf("client died with WM: %v", err)
+	}
+}

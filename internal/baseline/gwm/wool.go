@@ -1,0 +1,643 @@
+// Package gwm implements a baseline window manager in the style of
+// Colas Nahaboo's GWM, the paper's second comparison point: policy-free
+// like swm, but it "requires command of the Lisp language to implement
+// a particular look-and-feel" (§1). All policy — decoration parameters
+// and event behavior — is evaluated by a small WOOL-like Lisp
+// interpreter on every decision, which is also what makes it the
+// slowest of the three window managers in the evaluation benchmarks.
+package gwm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Value is a WOOL value: Num, Str, Sym, List, Builtin or *Lambda. The
+// empty list is false; everything else is true.
+type Value interface{}
+
+// Num is an integer.
+type Num int64
+
+// Str is a string literal.
+type Str string
+
+// Sym is a symbol.
+type Sym string
+
+// List is a proper list.
+type List []Value
+
+// Builtin is a native function.
+type Builtin func(env *Env, args []Value) (Value, error)
+
+// Lambda is a user-defined function with lexical scope.
+type Lambda struct {
+	Params []Sym
+	Body   []Value
+	Env    *Env
+}
+
+// Nil is the empty list / false.
+var Nil = List(nil)
+
+// T is canonical truth.
+var T = Sym("t")
+
+// Truthy reports WOOL truth: everything except the empty list is true.
+func Truthy(v Value) bool {
+	if l, ok := v.(List); ok {
+		return len(l) != 0
+	}
+	return v != nil
+}
+
+// Env is a lexical environment.
+type Env struct {
+	vars   map[Sym]Value
+	parent *Env
+}
+
+// NewEnv creates a root environment with the standard builtins.
+func NewEnv() *Env {
+	env := &Env{vars: make(map[Sym]Value)}
+	installBuiltins(env)
+	return env
+}
+
+// Child creates a nested scope.
+func (e *Env) Child() *Env {
+	return &Env{vars: make(map[Sym]Value), parent: e}
+}
+
+// Get resolves a symbol.
+func (e *Env) Get(s Sym) (Value, bool) {
+	for env := e; env != nil; env = env.parent {
+		if v, ok := env.vars[s]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Set assigns in the scope where the symbol is bound, or the current
+// scope if unbound (setq semantics).
+func (e *Env) Set(s Sym, v Value) {
+	for env := e; env != nil; env = env.parent {
+		if _, ok := env.vars[s]; ok {
+			env.vars[s] = v
+			return
+		}
+	}
+	e.vars[s] = v
+}
+
+// Define binds in the current scope.
+func (e *Env) Define(s Sym, v Value) { e.vars[s] = v }
+
+// --- Reader -------------------------------------------------------------
+
+type reader struct {
+	src []rune
+	pos int
+}
+
+// Parse reads all top-level forms from src.
+func Parse(src string) ([]Value, error) {
+	r := &reader{src: []rune(src)}
+	var forms []Value
+	for {
+		r.skipSpace()
+		if r.pos >= len(r.src) {
+			return forms, nil
+		}
+		f, err := r.readForm()
+		if err != nil {
+			return nil, err
+		}
+		forms = append(forms, f)
+	}
+}
+
+func (r *reader) skipSpace() {
+	for r.pos < len(r.src) {
+		ch := r.src[r.pos]
+		if ch == ';' {
+			for r.pos < len(r.src) && r.src[r.pos] != '\n' {
+				r.pos++
+			}
+			continue
+		}
+		if ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r' {
+			r.pos++
+			continue
+		}
+		return
+	}
+}
+
+func (r *reader) readForm() (Value, error) {
+	r.skipSpace()
+	if r.pos >= len(r.src) {
+		return nil, fmt.Errorf("wool: unexpected end of input")
+	}
+	switch ch := r.src[r.pos]; {
+	case ch == '(':
+		r.pos++
+		var items List
+		for {
+			r.skipSpace()
+			if r.pos >= len(r.src) {
+				return nil, fmt.Errorf("wool: unterminated list")
+			}
+			if r.src[r.pos] == ')' {
+				r.pos++
+				return items, nil
+			}
+			item, err := r.readForm()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, item)
+		}
+	case ch == ')':
+		return nil, fmt.Errorf("wool: unexpected ')'")
+	case ch == '\'':
+		r.pos++
+		f, err := r.readForm()
+		if err != nil {
+			return nil, err
+		}
+		return List{Sym("quote"), f}, nil
+	case ch == '"':
+		r.pos++
+		var sb strings.Builder
+		for r.pos < len(r.src) && r.src[r.pos] != '"' {
+			if r.src[r.pos] == '\\' && r.pos+1 < len(r.src) {
+				r.pos++
+			}
+			sb.WriteRune(r.src[r.pos])
+			r.pos++
+		}
+		if r.pos >= len(r.src) {
+			return nil, fmt.Errorf("wool: unterminated string")
+		}
+		r.pos++
+		return Str(sb.String()), nil
+	default:
+		start := r.pos
+		for r.pos < len(r.src) && !strings.ContainsRune(" \t\n\r()';\"", r.src[r.pos]) {
+			r.pos++
+		}
+		tok := string(r.src[start:r.pos])
+		if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+			return Num(n), nil
+		}
+		return Sym(tok), nil
+	}
+}
+
+// --- Evaluator ----------------------------------------------------------
+
+// Eval evaluates one form.
+func Eval(env *Env, form Value) (Value, error) {
+	switch v := form.(type) {
+	case Num, Str, Builtin, *Lambda:
+		return v, nil
+	case Sym:
+		if val, ok := env.Get(v); ok {
+			return val, nil
+		}
+		return nil, fmt.Errorf("wool: unbound symbol %q", v)
+	case List:
+		if len(v) == 0 {
+			return Nil, nil
+		}
+		if head, ok := v[0].(Sym); ok {
+			switch head {
+			case "quote":
+				if len(v) != 2 {
+					return nil, fmt.Errorf("wool: quote wants 1 argument")
+				}
+				return v[1], nil
+			case "if":
+				if len(v) < 3 || len(v) > 4 {
+					return nil, fmt.Errorf("wool: if wants 2 or 3 arguments")
+				}
+				cond, err := Eval(env, v[1])
+				if err != nil {
+					return nil, err
+				}
+				if Truthy(cond) {
+					return Eval(env, v[2])
+				}
+				if len(v) == 4 {
+					return Eval(env, v[3])
+				}
+				return Nil, nil
+			case "setq", "define":
+				if len(v) != 3 {
+					return nil, fmt.Errorf("wool: %s wants 2 arguments", head)
+				}
+				name, ok := v[1].(Sym)
+				if !ok {
+					return nil, fmt.Errorf("wool: %s: %v is not a symbol", head, v[1])
+				}
+				val, err := Eval(env, v[2])
+				if err != nil {
+					return nil, err
+				}
+				if head == "define" {
+					env.Define(name, val)
+				} else {
+					env.Set(name, val)
+				}
+				return val, nil
+			case "lambda", "defun-anon":
+				if len(v) < 3 {
+					return nil, fmt.Errorf("wool: lambda wants params and body")
+				}
+				params, err := paramList(v[1])
+				if err != nil {
+					return nil, err
+				}
+				return &Lambda{Params: params, Body: v[2:], Env: env}, nil
+			case "defun":
+				if len(v) < 4 {
+					return nil, fmt.Errorf("wool: defun wants name, params, body")
+				}
+				name, ok := v[1].(Sym)
+				if !ok {
+					return nil, fmt.Errorf("wool: defun: bad name %v", v[1])
+				}
+				params, err := paramList(v[2])
+				if err != nil {
+					return nil, err
+				}
+				fn := &Lambda{Params: params, Body: v[3:], Env: env}
+				env.Define(name, fn)
+				return fn, nil
+			case "progn", "begin":
+				return evalBody(env, v[1:])
+			case "while":
+				if len(v) < 2 {
+					return nil, fmt.Errorf("wool: while wants a condition")
+				}
+				var last Value = Nil
+				for i := 0; ; i++ {
+					if i > 1_000_000 {
+						return nil, fmt.Errorf("wool: while exceeded iteration limit")
+					}
+					cond, err := Eval(env, v[1])
+					if err != nil {
+						return nil, err
+					}
+					if !Truthy(cond) {
+						return last, nil
+					}
+					last, err = evalBody(env, v[2:])
+					if err != nil {
+						return nil, err
+					}
+				}
+			case "let":
+				if len(v) < 2 {
+					return nil, fmt.Errorf("wool: let wants bindings")
+				}
+				binds, ok := v[1].(List)
+				if !ok {
+					return nil, fmt.Errorf("wool: let: bad bindings %v", v[1])
+				}
+				child := env.Child()
+				for _, b := range binds {
+					pair, ok := b.(List)
+					if !ok || len(pair) != 2 {
+						return nil, fmt.Errorf("wool: let: bad binding %v", b)
+					}
+					name, ok := pair[0].(Sym)
+					if !ok {
+						return nil, fmt.Errorf("wool: let: bad binding name %v", pair[0])
+					}
+					val, err := Eval(env, pair[1])
+					if err != nil {
+						return nil, err
+					}
+					child.Define(name, val)
+				}
+				return evalBody(child, v[2:])
+			case "and":
+				var last Value = T
+				for _, f := range v[1:] {
+					val, err := Eval(env, f)
+					if err != nil {
+						return nil, err
+					}
+					if !Truthy(val) {
+						return Nil, nil
+					}
+					last = val
+				}
+				return last, nil
+			case "or":
+				for _, f := range v[1:] {
+					val, err := Eval(env, f)
+					if err != nil {
+						return nil, err
+					}
+					if Truthy(val) {
+						return val, nil
+					}
+				}
+				return Nil, nil
+			}
+		}
+		// Application.
+		fn, err := Eval(env, v[0])
+		if err != nil {
+			return nil, err
+		}
+		args := make([]Value, len(v)-1)
+		for i, a := range v[1:] {
+			args[i], err = Eval(env, a)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return Apply(env, fn, args)
+	case nil:
+		return Nil, nil
+	}
+	return nil, fmt.Errorf("wool: cannot evaluate %T", form)
+}
+
+// Apply calls a builtin or lambda.
+func Apply(env *Env, fn Value, args []Value) (Value, error) {
+	switch f := fn.(type) {
+	case Builtin:
+		return f(env, args)
+	case *Lambda:
+		if len(args) != len(f.Params) {
+			return nil, fmt.Errorf("wool: arity mismatch: want %d args, got %d", len(f.Params), len(args))
+		}
+		child := f.Env.Child()
+		for i, p := range f.Params {
+			child.Define(p, args[i])
+		}
+		return evalBody(child, f.Body)
+	}
+	return nil, fmt.Errorf("wool: %v is not callable", fn)
+}
+
+func evalBody(env *Env, body []Value) (Value, error) {
+	var last Value = Nil
+	for _, f := range body {
+		var err error
+		last, err = Eval(env, f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+func paramList(v Value) ([]Sym, error) {
+	l, ok := v.(List)
+	if !ok {
+		return nil, fmt.Errorf("wool: bad parameter list %v", v)
+	}
+	params := make([]Sym, len(l))
+	for i, p := range l {
+		s, ok := p.(Sym)
+		if !ok {
+			return nil, fmt.Errorf("wool: bad parameter %v", p)
+		}
+		params[i] = s
+	}
+	return params, nil
+}
+
+// EvalString parses and evaluates a program, returning the last value.
+func EvalString(env *Env, src string) (Value, error) {
+	forms, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return evalBody(env, forms)
+}
+
+// --- Builtins -----------------------------------------------------------
+
+func installBuiltins(env *Env) {
+	env.Define("t", T)
+	env.Define("nil", Nil)
+	def := func(name string, fn Builtin) { env.Define(Sym(name), fn) }
+
+	def("+", numFold(func(a, b int64) int64 { return a + b }, 0))
+	def("*", numFold(func(a, b int64) int64 { return a * b }, 1))
+	def("-", func(_ *Env, args []Value) (Value, error) {
+		ns, err := nums(args)
+		if err != nil {
+			return nil, err
+		}
+		if len(ns) == 0 {
+			return nil, fmt.Errorf("wool: - wants arguments")
+		}
+		if len(ns) == 1 {
+			return Num(-ns[0]), nil
+		}
+		acc := ns[0]
+		for _, n := range ns[1:] {
+			acc -= n
+		}
+		return Num(acc), nil
+	})
+	def("/", func(_ *Env, args []Value) (Value, error) {
+		ns, err := nums(args)
+		if err != nil {
+			return nil, err
+		}
+		if len(ns) != 2 {
+			return nil, fmt.Errorf("wool: / wants 2 arguments")
+		}
+		if ns[1] == 0 {
+			return nil, fmt.Errorf("wool: division by zero")
+		}
+		return Num(ns[0] / ns[1]), nil
+	})
+	def("<", numCmp(func(a, b int64) bool { return a < b }))
+	def(">", numCmp(func(a, b int64) bool { return a > b }))
+	def("<=", numCmp(func(a, b int64) bool { return a <= b }))
+	def(">=", numCmp(func(a, b int64) bool { return a >= b }))
+	def("=", func(_ *Env, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("wool: = wants 2 arguments")
+		}
+		if valueEqual(args[0], args[1]) {
+			return T, nil
+		}
+		return Nil, nil
+	})
+	def("not", func(_ *Env, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("wool: not wants 1 argument")
+		}
+		if Truthy(args[0]) {
+			return Nil, nil
+		}
+		return T, nil
+	})
+	def("car", func(_ *Env, args []Value) (Value, error) {
+		l, err := oneList(args, "car")
+		if err != nil {
+			return nil, err
+		}
+		if len(l) == 0 {
+			return Nil, nil
+		}
+		return l[0], nil
+	})
+	def("cdr", func(_ *Env, args []Value) (Value, error) {
+		l, err := oneList(args, "cdr")
+		if err != nil {
+			return nil, err
+		}
+		if len(l) == 0 {
+			return Nil, nil
+		}
+		return l[1:], nil
+	})
+	def("cons", func(_ *Env, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("wool: cons wants 2 arguments")
+		}
+		tail, ok := args[1].(List)
+		if !ok {
+			return nil, fmt.Errorf("wool: cons onto non-list %v", args[1])
+		}
+		return append(List{args[0]}, tail...), nil
+	})
+	def("list", func(_ *Env, args []Value) (Value, error) {
+		return List(args), nil
+	})
+	def("length", func(_ *Env, args []Value) (Value, error) {
+		switch v := args[0].(type) {
+		case List:
+			return Num(len(v)), nil
+		case Str:
+			return Num(len(v)), nil
+		}
+		return nil, fmt.Errorf("wool: length of %T", args[0])
+	})
+	def("concat", func(_ *Env, args []Value) (Value, error) {
+		var sb strings.Builder
+		for _, a := range args {
+			sb.WriteString(Format(a))
+		}
+		return Str(sb.String()), nil
+	})
+}
+
+func nums(args []Value) ([]int64, error) {
+	out := make([]int64, len(args))
+	for i, a := range args {
+		n, ok := a.(Num)
+		if !ok {
+			return nil, fmt.Errorf("wool: %v is not a number", a)
+		}
+		out[i] = int64(n)
+	}
+	return out, nil
+}
+
+func numFold(f func(a, b int64) int64, init int64) Builtin {
+	return func(_ *Env, args []Value) (Value, error) {
+		ns, err := nums(args)
+		if err != nil {
+			return nil, err
+		}
+		acc := init
+		for _, n := range ns {
+			acc = f(acc, n)
+		}
+		return Num(acc), nil
+	}
+}
+
+func numCmp(f func(a, b int64) bool) Builtin {
+	return func(_ *Env, args []Value) (Value, error) {
+		ns, err := nums(args)
+		if err != nil {
+			return nil, err
+		}
+		if len(ns) != 2 {
+			return nil, fmt.Errorf("wool: comparison wants 2 arguments")
+		}
+		if f(ns[0], ns[1]) {
+			return T, nil
+		}
+		return Nil, nil
+	}
+}
+
+func oneList(args []Value, name string) (List, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("wool: %s wants 1 argument", name)
+	}
+	l, ok := args[0].(List)
+	if !ok {
+		return nil, fmt.Errorf("wool: %s of non-list %v", name, args[0])
+	}
+	return l, nil
+}
+
+func valueEqual(a, b Value) bool {
+	switch av := a.(type) {
+	case Num:
+		bv, ok := b.(Num)
+		return ok && av == bv
+	case Str:
+		bv, ok := b.(Str)
+		return ok && av == bv
+	case Sym:
+		bv, ok := b.(Sym)
+		return ok && av == bv
+	case List:
+		bv, ok := b.(List)
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if !valueEqual(av[i], bv[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Format renders a value for display.
+func Format(v Value) string {
+	switch val := v.(type) {
+	case Num:
+		return strconv.FormatInt(int64(val), 10)
+	case Str:
+		return string(val)
+	case Sym:
+		return string(val)
+	case List:
+		parts := make([]string, len(val))
+		for i, item := range val {
+			parts[i] = Format(item)
+		}
+		return "(" + strings.Join(parts, " ") + ")"
+	case *Lambda:
+		return "#<lambda>"
+	case Builtin:
+		return "#<builtin>"
+	case nil:
+		return "()"
+	}
+	return fmt.Sprintf("%v", v)
+}

@@ -1,0 +1,290 @@
+package gwm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func evalOK(t *testing.T, src string) Value {
+	t.Helper()
+	env := NewEnv()
+	v, err := EvalString(env, src)
+	if err != nil {
+		t.Fatalf("EvalString(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := map[string]Num{
+		"(+ 1 2 3)":     6,
+		"(* 2 3 4)":     24,
+		"(- 10 3 2)":    5,
+		"(- 5)":         -5,
+		"(/ 20 4)":      5,
+		"(+ (* 2 3) 1)": 7,
+		"(+ )":          0,
+		"(* )":          1,
+	}
+	for src, want := range cases {
+		if got := evalOK(t, src); got != want {
+			t.Errorf("%s = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	trueCases := []string{"(< 1 2)", "(> 2 1)", "(<= 2 2)", "(>= 3 2)", "(= 4 4)", `(= "a" "a")`, "(= 'x 'x)"}
+	for _, src := range trueCases {
+		if !Truthy(evalOK(t, src)) {
+			t.Errorf("%s should be true", src)
+		}
+	}
+	falseCases := []string{"(< 2 1)", "(= 1 2)", `(= "a" "b")`, "(= 'x 'y)"}
+	for _, src := range falseCases {
+		if Truthy(evalOK(t, src)) {
+			t.Errorf("%s should be false", src)
+		}
+	}
+}
+
+func TestListOps(t *testing.T) {
+	if got := Format(evalOK(t, "(cons 1 (list 2 3))")); got != "(1 2 3)" {
+		t.Errorf("cons: %s", got)
+	}
+	if got := evalOK(t, "(car (list 7 8))"); got != Num(7) {
+		t.Errorf("car: %v", got)
+	}
+	if got := Format(evalOK(t, "(cdr (list 7 8 9))")); got != "(8 9)" {
+		t.Errorf("cdr: %s", got)
+	}
+	if got := evalOK(t, "(length (list 1 2 3 4))"); got != Num(4) {
+		t.Errorf("length: %v", got)
+	}
+	if got := evalOK(t, "(car ())"); !valueEqual(got, Nil) {
+		t.Errorf("car of empty: %v", got)
+	}
+}
+
+func TestQuote(t *testing.T) {
+	if got := Format(evalOK(t, "'(a b c)")); got != "(a b c)" {
+		t.Errorf("quote: %s", got)
+	}
+	if got := evalOK(t, "'sym"); got != Sym("sym") {
+		t.Errorf("quote sym: %v", got)
+	}
+}
+
+func TestIfAndTruth(t *testing.T) {
+	if got := evalOK(t, "(if (< 1 2) 'yes 'no)"); got != Sym("yes") {
+		t.Errorf("if true: %v", got)
+	}
+	if got := evalOK(t, "(if (< 2 1) 'yes 'no)"); got != Sym("no") {
+		t.Errorf("if false: %v", got)
+	}
+	if got := evalOK(t, "(if () 'yes 'no)"); got != Sym("no") {
+		t.Error("empty list should be false")
+	}
+	if got := evalOK(t, "(if 0 'yes 'no)"); got != Sym("yes") {
+		t.Error("0 is true in WOOL")
+	}
+	if got := evalOK(t, "(if (< 2 1) 'yes)"); !valueEqual(got, Nil) {
+		t.Errorf("if without else: %v", got)
+	}
+}
+
+func TestDefineAndSetq(t *testing.T) {
+	v := evalOK(t, "(define x 10) (setq x (+ x 5)) x")
+	if v != Num(15) {
+		t.Errorf("x = %v", v)
+	}
+}
+
+func TestLambdaAndDefun(t *testing.T) {
+	v := evalOK(t, "(defun sq (n) (* n n)) (sq 7)")
+	if v != Num(49) {
+		t.Errorf("sq 7 = %v", v)
+	}
+	v = evalOK(t, "((lambda (a b) (+ a b)) 3 4)")
+	if v != Num(7) {
+		t.Errorf("lambda = %v", v)
+	}
+}
+
+func TestClosure(t *testing.T) {
+	v := evalOK(t, `
+(defun make-adder (n) (lambda (m) (+ n m)))
+(define add5 (make-adder 5))
+(add5 10)`)
+	if v != Num(15) {
+		t.Errorf("closure = %v", v)
+	}
+}
+
+func TestLet(t *testing.T) {
+	v := evalOK(t, "(define x 1) (let ((x 10) (y 20)) (+ x y))")
+	if v != Num(30) {
+		t.Errorf("let = %v", v)
+	}
+	// Outer x untouched.
+	if evalOK(t, "(define x 1) (let ((x 10)) x) x") != Num(1) {
+		t.Error("let leaked bindings")
+	}
+}
+
+func TestWhile(t *testing.T) {
+	v := evalOK(t, `
+(define i 0)
+(define sum 0)
+(while (< i 5)
+  (setq sum (+ sum i))
+  (setq i (+ i 1)))
+sum`)
+	if v != Num(10) {
+		t.Errorf("while sum = %v", v)
+	}
+}
+
+func TestWhileIterationLimit(t *testing.T) {
+	env := NewEnv()
+	if _, err := EvalString(env, "(while t 1)"); err == nil {
+		t.Error("infinite loop not caught")
+	}
+}
+
+func TestAndOr(t *testing.T) {
+	if got := evalOK(t, "(and 1 2 3)"); got != Num(3) {
+		t.Errorf("and = %v", got)
+	}
+	if Truthy(evalOK(t, "(and 1 () 3)")) {
+		t.Error("and with false should be false")
+	}
+	if got := evalOK(t, "(or () 2)"); got != Num(2) {
+		t.Errorf("or = %v", got)
+	}
+}
+
+func TestProgn(t *testing.T) {
+	if got := evalOK(t, "(progn 1 2 3)"); got != Num(3) {
+		t.Errorf("progn = %v", got)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	if got := evalOK(t, `(concat "a" 1 'b)`); got != Str("a1b") {
+		t.Errorf("concat = %v", got)
+	}
+}
+
+func TestNot(t *testing.T) {
+	if !Truthy(evalOK(t, "(not ())")) {
+		t.Error("(not ()) should be t")
+	}
+	if Truthy(evalOK(t, "(not 1)")) {
+		t.Error("(not 1) should be nil")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"(", ")", "(foo", `"unterminated`, "(quote)"}
+	for _, src := range bad {
+		env := NewEnv()
+		if _, err := EvalString(env, src); err == nil {
+			t.Errorf("EvalString(%q) accepted", src)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	bad := []string{
+		"undefined-symbol",
+		"(+ 'a 1)",
+		"(/ 1 0)",
+		"(1 2 3)",
+		"((lambda (a) a) 1 2)",
+		"(car 5)",
+		"(cons 1 2)",
+	}
+	for _, src := range bad {
+		env := NewEnv()
+		if _, err := EvalString(env, src); err == nil {
+			t.Errorf("EvalString(%q) accepted", src)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	srcs := []string{"(1 2 3)", "(a (b c) 4)", "()"}
+	for _, src := range srcs {
+		forms, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Format(forms[0]); got != src {
+			t.Errorf("Format = %q, want %q", got, src)
+		}
+	}
+}
+
+// Property: integer arithmetic in WOOL matches Go.
+func TestArithmeticProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		env := NewEnv()
+		src := "(+ " + Format(Num(a)) + " " + Format(Num(b)) + ")"
+		v, err := EvalString(env, src)
+		return err == nil && v == Num(int64(a)+int64(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: parsing a formatted list round-trips.
+func TestParseFormatProperty(t *testing.T) {
+	f := func(xs []int8) bool {
+		if len(xs) > 12 {
+			return true
+		}
+		var l List
+		for _, x := range xs {
+			l = append(l, Num(x))
+		}
+		forms, err := Parse(Format(l))
+		if err != nil || len(forms) != 1 {
+			return false
+		}
+		return valueEqual(forms[0], l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The default policy program itself evaluates cleanly and yields
+// sensible decoration decisions.
+func TestDefaultPolicyDescribeWindow(t *testing.T) {
+	env := NewEnv()
+	if _, err := EvalString(env, DefaultPolicy); err != nil {
+		t.Fatal(err)
+	}
+	fn, ok := env.Get("describe-window")
+	if !ok {
+		t.Fatal("describe-window undefined")
+	}
+	v, err := Apply(env, fn, []Value{Str("shell"), Str("XTerm")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := v.(List)
+	if l[0] != Num(18) {
+		t.Errorf("xterm title height = %v", l[0])
+	}
+	v, err = Apply(env, fn, []Value{Str("xclock"), Str("XClock")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l = v.(List)
+	if l[0] != Num(0) {
+		t.Errorf("xclock title height = %v (policy says clocks get none)", l[0])
+	}
+}

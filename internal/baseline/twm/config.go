@@ -1,0 +1,158 @@
+package twm
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Context classifies where a button binding applies, mirroring twm's
+// fixed binding contexts (window / title / icon / root) — contrast with
+// swm, where *every object* is its own context (paper §4.6).
+type Context int
+
+const (
+	ContextWindow Context = iota
+	ContextTitle
+	ContextIcon
+	ContextRoot
+)
+
+var contextNames = map[string]Context{
+	"window": ContextWindow,
+	"title":  ContextTitle,
+	"icon":   ContextIcon,
+	"root":   ContextRoot,
+}
+
+type buttonBinding struct {
+	button  int
+	context Context
+	fn      string
+}
+
+// Config is a parsed .twmrc. Only a fixed set of variables exists — the
+// paper's point about limited configurability.
+type Config struct {
+	BorderWidth     int
+	TitleFont       string
+	ShowIconManager bool
+	NoTitle         map[string]bool
+	buttons         []buttonBinding
+}
+
+// DefaultConfig returns twm's built-in policy.
+func DefaultConfig() *Config {
+	return &Config{
+		BorderWidth:     defaultBorder,
+		TitleFont:       "fixed",
+		ShowIconManager: true,
+		NoTitle:         map[string]bool{},
+		buttons: []buttonBinding{
+			{1, ContextTitle, "f.raise"},
+			{2, ContextTitle, "f.move"},
+			{3, ContextTitle, "f.iconify"},
+			{1, ContextIcon, "f.iconify"},
+		},
+	}
+}
+
+// ButtonFunction returns the function bound to (button, context), or "".
+func (c *Config) ButtonFunction(button int, ctx Context) string {
+	for _, b := range c.buttons {
+		if b.button == button && b.context == ctx {
+			return b.fn
+		}
+	}
+	return ""
+}
+
+// ParseConfig reads a .twmrc-style file:
+//
+//	BorderWidth 2
+//	TitleFont "fixed"
+//	ShowIconManager
+//	NoTitle { "xclock" "XBiff" }
+//	Button1 = : title : f.raise
+//	Button2 = : title : f.move
+//
+// Unknown variables are errors — a private config format can't absorb
+// new keys the way the X resource database does (paper §8).
+func ParseConfig(src string) (*Config, error) {
+	cfg := &Config{
+		BorderWidth: defaultBorder,
+		TitleFont:   "fixed",
+		NoTitle:     map[string]bool{},
+	}
+	scanner := bufio.NewScanner(strings.NewReader(src))
+	lineno := 0
+	for scanner.Scan() {
+		lineno++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "BorderWidth"):
+			v := strings.TrimSpace(strings.TrimPrefix(line, "BorderWidth"))
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("twm: line %d: bad BorderWidth %q", lineno, v)
+			}
+			cfg.BorderWidth = n
+		case strings.HasPrefix(line, "TitleFont"):
+			v := strings.TrimSpace(strings.TrimPrefix(line, "TitleFont"))
+			cfg.TitleFont = strings.Trim(v, "\"")
+		case line == "ShowIconManager":
+			cfg.ShowIconManager = true
+		case strings.HasPrefix(line, "NoTitle"):
+			inner := line[len("NoTitle"):]
+			inner = strings.TrimSpace(inner)
+			if !strings.HasPrefix(inner, "{") || !strings.HasSuffix(inner, "}") {
+				return nil, fmt.Errorf("twm: line %d: NoTitle requires { ... }", lineno)
+			}
+			for _, name := range strings.Fields(inner[1 : len(inner)-1]) {
+				cfg.NoTitle[strings.Trim(name, "\"")] = true
+			}
+		case strings.HasPrefix(line, "Button"):
+			b, err := parseButtonLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("twm: line %d: %w", lineno, err)
+			}
+			cfg.buttons = append(cfg.buttons, b)
+		default:
+			return nil, fmt.Errorf("twm: line %d: unknown directive %q", lineno, line)
+		}
+	}
+	return cfg, scanner.Err()
+}
+
+func parseButtonLine(line string) (buttonBinding, error) {
+	// Button1 = : title : f.raise
+	var b buttonBinding
+	parts := strings.SplitN(line, "=", 2)
+	numStr := strings.TrimPrefix(strings.TrimSpace(parts[0]), "Button")
+	n, err := strconv.Atoi(numStr)
+	if err != nil || n < 1 || n > 5 {
+		return b, fmt.Errorf("bad button %q", parts[0])
+	}
+	if len(parts) != 2 {
+		return b, fmt.Errorf("missing '=' in %q", line)
+	}
+	fields := strings.Split(parts[1], ":")
+	if len(fields) != 3 {
+		return b, fmt.Errorf("want '= : context : function' in %q", line)
+	}
+	ctxName := strings.TrimSpace(fields[1])
+	ctx, ok := contextNames[strings.ToLower(ctxName)]
+	if !ok {
+		return b, fmt.Errorf("unknown context %q", ctxName)
+	}
+	fn := strings.TrimSpace(fields[2])
+	if !strings.HasPrefix(fn, "f.") {
+		return b, fmt.Errorf("unknown function %q", fn)
+	}
+	b.button, b.context, b.fn = n, ctx, fn
+	return b, nil
+}

@@ -1,0 +1,470 @@
+// Package twm implements a baseline window manager in the style of twm
+// (LaStrange's earlier "Tom's Window Manager"), the paper's first
+// comparison point: "easy to use but not very configurable". Decoration
+// is a hardcoded titlebar built directly on the (simulated) Xlib layer —
+// no object system, no resource database — configured through a private
+// .twmrc-style file, with a fixed-appearance icon manager.
+//
+// It exists to reproduce the paper's evaluation claims: the direct
+// window manager is faster than the toolkit-based swm (§8), and
+// "different window management policies are next to impossible to
+// implement" (§1) because look-and-feel lives in code.
+package twm
+
+import (
+	"fmt"
+
+	"repro/internal/icccm"
+	"repro/internal/xproto"
+	"repro/internal/xserver"
+)
+
+// Hardcoded look-and-feel: this is exactly what swm was built to avoid.
+const (
+	TitleHeight   = 20
+	FrameBorder   = 2
+	IconMgrRowH   = 18
+	IconMgrWidth  = 150
+	defaultBorder = 2
+)
+
+// WM is a running twm instance.
+type WM struct {
+	server *xserver.Server
+	conn   *xserver.Conn
+	cfg    *Config
+
+	root    xproto.XID
+	scrW    int
+	scrH    int
+	clients map[xproto.XID]*Client
+	byFrame map[xproto.XID]*Client
+	byTitle map[xproto.XID]*Client
+
+	iconMgr        xproto.XID
+	iconMgrEntries []*Client
+	byIconEntry    map[xproto.XID]*Client
+
+	placeX, placeY int
+	moveTarget     *Client
+	moveDX, moveDY int
+}
+
+// Client is one managed window.
+type Client struct {
+	Win   xproto.XID
+	Frame xproto.XID
+	Title xproto.XID
+	Name  string
+	Class icccm.Class
+
+	Iconified bool
+	iconEntry xproto.XID
+	FrameRect xproto.Rect
+	clientW   int
+	clientH   int
+}
+
+// New starts the baseline WM on the first screen.
+func New(server *xserver.Server, cfg *Config) (*WM, error) {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	wm := &WM{
+		server:      server,
+		conn:        server.Connect("twm"),
+		cfg:         cfg,
+		clients:     make(map[xproto.XID]*Client),
+		byFrame:     make(map[xproto.XID]*Client),
+		byTitle:     make(map[xproto.XID]*Client),
+		byIconEntry: make(map[xproto.XID]*Client),
+	}
+	scr := server.Screens()[0]
+	wm.root = scr.Root
+	wm.scrW, wm.scrH = scr.Width, scr.Height
+	err := wm.conn.SelectInput(wm.root,
+		xproto.SubstructureRedirectMask|xproto.SubstructureNotifyMask|
+			xproto.ButtonPressMask|xproto.ButtonReleaseMask)
+	if err != nil {
+		wm.conn.Close()
+		return nil, fmt.Errorf("twm: another window manager is running: %w", err)
+	}
+	// The icon manager window: a fixed-appearance list, in contrast
+	// with swm's user-defined icon holders.
+	if cfg.ShowIconManager {
+		img, err := wm.conn.CreateWindow(wm.root, xproto.Rect{
+			X: wm.scrW - IconMgrWidth - 4, Y: 4, Width: IconMgrWidth, Height: IconMgrRowH,
+		}, 1, xserver.WindowAttributes{OverrideRedirect: true, Label: "TwmIconMgr"})
+		if err != nil {
+			return nil, err
+		}
+		wm.iconMgr = img
+	}
+	return wm, nil
+}
+
+// Conn returns the WM connection.
+func (wm *WM) Conn() *xserver.Conn { return wm.conn }
+
+// Clients returns all managed clients.
+func (wm *WM) Clients() []*Client {
+	out := make([]*Client, 0, len(wm.clients))
+	for _, c := range wm.clients {
+		out = append(out, c)
+	}
+	return out
+}
+
+// ClientOf looks up a client by its window.
+func (wm *WM) ClientOf(win xproto.XID) (*Client, bool) {
+	c, ok := wm.clients[win]
+	return c, ok
+}
+
+// Pump drains and processes pending events.
+func (wm *WM) Pump() int {
+	n := 0
+	for {
+		ev, ok := wm.conn.PollEvent()
+		if !ok {
+			return n
+		}
+		wm.handleEvent(ev)
+		n++
+	}
+}
+
+// Shutdown releases clients back to the root and closes the connection.
+func (wm *WM) Shutdown() {
+	for _, c := range wm.clients {
+		_ = wm.conn.ReparentWindow(c.Win, wm.root, c.FrameRect.X, c.FrameRect.Y+TitleHeight)
+		_ = wm.conn.MapWindow(c.Win)
+	}
+	wm.conn.Close()
+}
+
+func (wm *WM) handleEvent(ev xproto.Event) {
+	switch ev.Type {
+	case xproto.MapRequest:
+		if c, ok := wm.clients[ev.Subwindow]; ok {
+			wm.Deiconify(c)
+			return
+		}
+		if _, err := wm.Manage(ev.Subwindow); err != nil {
+			_ = wm.conn.MapWindow(ev.Subwindow)
+		}
+	case xproto.ConfigureRequest:
+		wm.handleConfigureRequest(ev)
+	case xproto.DestroyNotify:
+		if c, ok := wm.clients[ev.Subwindow]; ok {
+			wm.unmanage(c)
+		}
+	case xproto.ButtonPress:
+		wm.handleButtonPress(ev)
+	case xproto.ButtonRelease:
+		if wm.moveTarget != nil {
+			c := wm.moveTarget
+			wm.moveTarget = nil
+			wm.conn.UngrabPointer()
+			wm.moveFrame(c, ev.RootX-wm.moveDX, ev.RootY-wm.moveDY)
+		}
+	case xproto.MotionNotify:
+		if wm.moveTarget != nil {
+			wm.moveFrame(wm.moveTarget, ev.RootX-wm.moveDX, ev.RootY-wm.moveDY)
+		}
+	case xproto.PropertyNotify:
+		if c, ok := wm.clients[ev.Window]; ok && wm.conn.AtomName(ev.Atom) == "WM_NAME" {
+			if name, ok := icccm.GetName(wm.conn, c.Win); ok {
+				c.Name = name
+				_ = wm.conn.SetWindowLabel(c.Title, name)
+			}
+		}
+	}
+}
+
+// Manage adopts a window with the hardcoded decoration: one frame
+// window with a title strip across the top. Everything is direct window
+// calls — the "written directly on top of Xlib" style the paper
+// benchmarks swm against.
+func (wm *WM) Manage(win xproto.XID) (*Client, error) {
+	if c, ok := wm.clients[win]; ok {
+		return c, nil
+	}
+	g, err := wm.conn.GetGeometry(win)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{Win: win, clientW: g.Rect.Width, clientH: g.Rect.Height}
+	if name, ok := icccm.GetName(wm.conn, win); ok {
+		c.Name = name
+	}
+	if cl, ok, _ := icccm.GetClass(wm.conn, win); ok {
+		c.Class = cl
+	}
+	noTitle := wm.cfg.NoTitle[c.Class.Instance] || wm.cfg.NoTitle[c.Class.Class]
+
+	// Placement: honor requested position or cascade.
+	x, y := g.Rect.X, g.Rect.Y
+	if x == 0 && y == 0 {
+		wm.placeX += 24
+		wm.placeY += 24
+		if wm.placeX+g.Rect.Width > wm.scrW || wm.placeY+g.Rect.Height > wm.scrH {
+			wm.placeX, wm.placeY = 24, 24
+		}
+		x, y = wm.placeX, wm.placeY
+	}
+
+	titleH := TitleHeight
+	if noTitle {
+		titleH = 0
+	}
+	frameRect := xproto.Rect{
+		X: x, Y: y,
+		Width:  g.Rect.Width + 2*FrameBorder,
+		Height: g.Rect.Height + titleH + 2*FrameBorder,
+	}
+	frame, err := wm.conn.CreateWindow(wm.root, frameRect, wm.cfg.BorderWidth,
+		xserver.WindowAttributes{OverrideRedirect: true})
+	if err != nil {
+		return nil, err
+	}
+	// Client configure requests must route through the WM: the frame
+	// (the client's new parent) selects SubstructureRedirect.
+	if err := wm.conn.SelectInput(frame,
+		xproto.SubstructureRedirectMask|xproto.SubstructureNotifyMask); err != nil {
+		return nil, err
+	}
+	if !noTitle {
+		title, err := wm.conn.CreateWindow(frame, xproto.Rect{
+			X: FrameBorder, Y: FrameBorder,
+			Width: g.Rect.Width, Height: titleH,
+		}, 0, xserver.WindowAttributes{OverrideRedirect: true, Label: c.Name, Fill: '='})
+		if err != nil {
+			return nil, err
+		}
+		if err := wm.conn.SelectInput(title,
+			xproto.ButtonPressMask|xproto.ButtonReleaseMask); err != nil {
+			return nil, err
+		}
+		if err := wm.conn.MapWindow(title); err != nil {
+			return nil, err
+		}
+		c.Title = title
+		wm.byTitle[title] = c
+	}
+	if err := wm.conn.ChangeSaveSet(win, true); err != nil {
+		return nil, err
+	}
+	if err := wm.conn.ReparentWindow(win, frame, FrameBorder, FrameBorder+titleH); err != nil {
+		return nil, err
+	}
+	if err := wm.conn.MapWindow(win); err != nil {
+		return nil, err
+	}
+	if err := wm.conn.MapWindow(frame); err != nil {
+		return nil, err
+	}
+	if err := wm.conn.SelectInput(win,
+		xproto.PropertyChangeMask|xproto.StructureNotifyMask); err != nil {
+		return nil, err
+	}
+	_ = icccm.SetState(wm.conn, win, icccm.State{State: xproto.NormalState})
+	c.Frame = frame
+	c.FrameRect = frameRect
+	wm.clients[win] = c
+	wm.byFrame[frame] = c
+	return c, nil
+}
+
+func (wm *WM) unmanage(c *Client) {
+	if c.iconEntry != xproto.None {
+		wm.removeIconEntry(c)
+	}
+	delete(wm.clients, c.Win)
+	delete(wm.byFrame, c.Frame)
+	if c.Title != xproto.None {
+		delete(wm.byTitle, c.Title)
+	}
+	_ = wm.conn.DestroyWindow(c.Frame)
+}
+
+func (wm *WM) moveFrame(c *Client, x, y int) {
+	c.FrameRect.X, c.FrameRect.Y = x, y
+	_ = wm.conn.MoveWindow(c.Frame, x, y)
+	_ = icccm.SendSyntheticConfigureNotify(wm.conn, c.Win,
+		x+FrameBorder, y+FrameBorder+TitleHeight, c.clientW, c.clientH)
+}
+
+func (wm *WM) handleConfigureRequest(ev xproto.Event) {
+	c, ok := wm.clients[ev.Subwindow]
+	if !ok {
+		_ = wm.conn.ConfigureWindow(ev.Subwindow, xproto.WindowChanges{
+			Mask: ev.ValueMask, X: ev.GX, Y: ev.GY,
+			Width: ev.Width, Height: ev.Height, BorderWidth: ev.BorderWidth,
+			Sibling: ev.Sibling, StackMode: ev.StackMode,
+		})
+		return
+	}
+	if ev.ValueMask&(xproto.CWWidth|xproto.CWHeight) != 0 {
+		w, h := c.clientW, c.clientH
+		if ev.ValueMask&xproto.CWWidth != 0 {
+			w = ev.Width
+		}
+		if ev.ValueMask&xproto.CWHeight != 0 {
+			h = ev.Height
+		}
+		wm.Resize(c, w, h)
+	}
+	if ev.ValueMask&(xproto.CWX|xproto.CWY) != 0 {
+		x, y := c.FrameRect.X, c.FrameRect.Y
+		if ev.ValueMask&xproto.CWX != 0 {
+			x = ev.GX
+		}
+		if ev.ValueMask&xproto.CWY != 0 {
+			y = ev.GY
+		}
+		wm.moveFrame(c, x, y)
+	}
+}
+
+// Resize resizes the client and its hardcoded frame.
+func (wm *WM) Resize(c *Client, w, h int) {
+	c.clientW, c.clientH = w, h
+	titleH := TitleHeight
+	if c.Title == xproto.None {
+		titleH = 0
+	}
+	_ = wm.conn.ResizeWindow(c.Win, w, h)
+	c.FrameRect.Width = w + 2*FrameBorder
+	c.FrameRect.Height = h + titleH + 2*FrameBorder
+	_ = wm.conn.ResizeWindow(c.Frame, c.FrameRect.Width, c.FrameRect.Height)
+	if c.Title != xproto.None {
+		_ = wm.conn.ResizeWindow(c.Title, w, titleH)
+	}
+}
+
+// handleButtonPress implements the *hardcoded* twm policy, driven by
+// the config's button-function table.
+func (wm *WM) handleButtonPress(ev xproto.Event) {
+	var c *Client
+	ctxKind := ContextRoot
+	if cc, ok := wm.byTitle[ev.Window]; ok {
+		c, ctxKind = cc, ContextTitle
+	} else if cc, ok := wm.byFrame[ev.Window]; ok {
+		c, ctxKind = cc, ContextWindow
+	} else if cc, ok := wm.byIconEntry[ev.Window]; ok {
+		c, ctxKind = cc, ContextIcon
+	}
+	fn := wm.cfg.ButtonFunction(ev.Button, ctxKind)
+	wm.runFunction(fn, c, ev)
+}
+
+func (wm *WM) runFunction(fn string, c *Client, ev xproto.Event) {
+	switch fn {
+	case "f.raise":
+		if c != nil {
+			_ = wm.conn.RaiseWindow(c.Frame)
+		}
+	case "f.lower":
+		if c != nil {
+			_ = wm.conn.LowerWindow(c.Frame)
+		}
+	case "f.iconify":
+		if c != nil {
+			if c.Iconified {
+				wm.Deiconify(c)
+			} else {
+				wm.Iconify(c)
+			}
+		}
+	case "f.move":
+		if c != nil {
+			wm.moveTarget = c
+			wm.moveDX = ev.RootX - c.FrameRect.X
+			wm.moveDY = ev.RootY - c.FrameRect.Y
+			_ = wm.conn.GrabPointer(wm.root,
+				xproto.PointerMotionMask|xproto.ButtonReleaseMask)
+		}
+	case "f.raiselower":
+		if c != nil {
+			_ = wm.conn.RaiseWindow(c.Frame)
+		}
+	}
+}
+
+// Iconify hides the frame and adds a fixed-appearance entry to the icon
+// manager (the feature swm's icon holders generalize).
+func (wm *WM) Iconify(c *Client) {
+	if c.Iconified {
+		return
+	}
+	_ = wm.conn.UnmapWindow(c.Frame)
+	c.Iconified = true
+	_ = icccm.SetState(wm.conn, c.Win, icccm.State{State: xproto.IconicState})
+	if wm.iconMgr == xproto.None {
+		return
+	}
+	entry, err := wm.conn.CreateWindow(wm.iconMgr, xproto.Rect{
+		X: 0, Y: len(wm.iconMgrEntries) * IconMgrRowH,
+		Width: IconMgrWidth, Height: IconMgrRowH,
+	}, 0, xserver.WindowAttributes{OverrideRedirect: true, Label: c.Name})
+	if err != nil {
+		return
+	}
+	_ = wm.conn.SelectInput(entry, xproto.ButtonPressMask)
+	_ = wm.conn.MapWindow(entry)
+	c.iconEntry = entry
+	wm.byIconEntry[entry] = c
+	wm.iconMgrEntries = append(wm.iconMgrEntries, c)
+	wm.layoutIconMgr()
+}
+
+// Deiconify restores a client and removes its icon manager entry.
+func (wm *WM) Deiconify(c *Client) {
+	if !c.Iconified {
+		return
+	}
+	_ = wm.conn.MapWindow(c.Frame)
+	c.Iconified = false
+	_ = icccm.SetState(wm.conn, c.Win, icccm.State{State: xproto.NormalState})
+	wm.removeIconEntry(c)
+}
+
+func (wm *WM) removeIconEntry(c *Client) {
+	if c.iconEntry == xproto.None {
+		return
+	}
+	_ = wm.conn.DestroyWindow(c.iconEntry)
+	delete(wm.byIconEntry, c.iconEntry)
+	c.iconEntry = xproto.None
+	entries := wm.iconMgrEntries[:0]
+	for _, e := range wm.iconMgrEntries {
+		if e != c {
+			entries = append(entries, e)
+		}
+	}
+	wm.iconMgrEntries = entries
+	wm.layoutIconMgr()
+}
+
+func (wm *WM) layoutIconMgr() {
+	if wm.iconMgr == xproto.None {
+		return
+	}
+	h := len(wm.iconMgrEntries) * IconMgrRowH
+	if h == 0 {
+		h = IconMgrRowH
+		_ = wm.conn.UnmapWindow(wm.iconMgr)
+	} else {
+		_ = wm.conn.MapWindow(wm.iconMgr)
+	}
+	_ = wm.conn.ResizeWindow(wm.iconMgr, IconMgrWidth, h)
+	for i, c := range wm.iconMgrEntries {
+		_ = wm.conn.MoveWindow(c.iconEntry, 0, i*IconMgrRowH)
+	}
+}
+
+// IconManagerEntries reports the icon manager contents (tests).
+func (wm *WM) IconManagerEntries() []*Client {
+	return append([]*Client(nil), wm.iconMgrEntries...)
+}

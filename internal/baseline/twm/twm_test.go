@@ -1,0 +1,272 @@
+package twm
+
+import (
+	"testing"
+
+	"repro/internal/clients"
+	"repro/internal/icccm"
+	"repro/internal/xproto"
+	"repro/internal/xserver"
+)
+
+func newTwm(t *testing.T, cfg *Config) (*xserver.Server, *WM) {
+	t.Helper()
+	s := xserver.NewServer()
+	wm, err := New(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, wm
+}
+
+func launch(t *testing.T, s *xserver.Server, wm *WM, cfg clients.Config) (*clients.App, *Client) {
+	t.Helper()
+	app, err := clients.Launch(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm.Pump()
+	c, ok := wm.ClientOf(app.Win)
+	if !ok {
+		t.Fatalf("client %s not managed", cfg.Instance)
+	}
+	return app, c
+}
+
+func TestManageHardcodedDecoration(t *testing.T) {
+	s, wm := newTwm(t, nil)
+	app, c := launch(t, s, wm, clients.Config{Instance: "xterm", Class: "XTerm", Name: "shell", Width: 300, Height: 200})
+	if c.Frame == xproto.None || c.Title == xproto.None {
+		t.Fatal("frame/title not created")
+	}
+	_, parent, _, _ := app.Conn.QueryTree(app.Win)
+	if parent != c.Frame {
+		t.Error("client not reparented into the frame")
+	}
+	// Hardcoded geometry: title strip height is a compile-time constant.
+	g, _ := wm.conn.GetGeometry(c.Title)
+	if g.Rect.Height != TitleHeight {
+		t.Errorf("title height = %d, want the hardcoded %d", g.Rect.Height, TitleHeight)
+	}
+	if c.FrameRect.Height != 200+TitleHeight+2*FrameBorder {
+		t.Errorf("frame height = %d", c.FrameRect.Height)
+	}
+	st, _ := icccm.GetState(wm.conn, app.Win)
+	if st.State != xproto.NormalState {
+		t.Error("WM_STATE not set")
+	}
+}
+
+func TestNoTitleList(t *testing.T) {
+	cfg, err := ParseConfig(`NoTitle { "xclock" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ShowIconManager = true
+	s, wm := newTwm(t, cfg)
+	_, c := launch(t, s, wm, clients.Config{Instance: "xclock", Class: "XClock", Width: 120, Height: 120})
+	if c.Title != xproto.None {
+		t.Error("NoTitle client got a titlebar")
+	}
+	if c.FrameRect.Height != 120+2*FrameBorder {
+		t.Errorf("frame height = %d", c.FrameRect.Height)
+	}
+}
+
+func TestIconManagerFixedAppearance(t *testing.T) {
+	s, wm := newTwm(t, nil)
+	_, c1 := launch(t, s, wm, clients.Config{Instance: "a", Class: "A", Width: 100, Height: 100})
+	_, c2 := launch(t, s, wm, clients.Config{Instance: "b", Class: "B", Width: 100, Height: 100})
+	wm.Iconify(c1)
+	wm.Iconify(c2)
+	entries := wm.IconManagerEntries()
+	if len(entries) != 2 {
+		t.Fatalf("%d icon manager entries, want 2", len(entries))
+	}
+	// Fixed-appearance rows, stacked at fixed height.
+	g1, _ := wm.conn.GetGeometry(entries[0].iconEntry)
+	g2, _ := wm.conn.GetGeometry(entries[1].iconEntry)
+	if g1.Rect.Height != IconMgrRowH || g2.Rect.Y != IconMgrRowH {
+		t.Errorf("entry rows wrong: %v %v", g1.Rect, g2.Rect)
+	}
+	wm.Deiconify(c1)
+	if len(wm.IconManagerEntries()) != 1 {
+		t.Error("deiconified entry not removed")
+	}
+}
+
+func TestTitleClickRaises(t *testing.T) {
+	s, wm := newTwm(t, nil)
+	_, c1 := launch(t, s, wm, clients.Config{Instance: "a", Class: "A", Width: 200, Height: 200, X: 100, Y: 100})
+	launch(t, s, wm, clients.Config{Instance: "b", Class: "B", Width: 200, Height: 200, X: 150, Y: 150})
+	// Click c1's title (default: Button1 raises).
+	rx, ry, _, _ := wm.conn.TranslateCoordinates(c1.Title, s.Screens()[0].Root, 2, 2)
+	s.FakeMotion(rx, ry)
+	s.FakeButtonPress(xproto.Button1, 0)
+	s.FakeButtonRelease(xproto.Button1, 0)
+	wm.Pump()
+	_, _, children, _ := wm.conn.QueryTree(s.Screens()[0].Root)
+	var topFrame xproto.XID
+	for _, ch := range children {
+		if _, ok := wm.byFrame[ch]; ok {
+			topFrame = ch
+		}
+	}
+	if topFrame != c1.Frame {
+		t.Error("title click did not raise")
+	}
+}
+
+func TestConfigureRequestHonored(t *testing.T) {
+	s, wm := newTwm(t, nil)
+	app, c := launch(t, s, wm, clients.Config{Instance: "xterm", Class: "XTerm", Width: 300, Height: 200})
+	if err := app.Resize(400, 300); err != nil {
+		t.Fatal(err)
+	}
+	wm.Pump()
+	g, _ := app.Conn.GetGeometry(app.Win)
+	if g.Rect.Width != 400 {
+		t.Errorf("client width = %d", g.Rect.Width)
+	}
+	if c.FrameRect.Width != 400+2*FrameBorder {
+		t.Errorf("frame width = %d", c.FrameRect.Width)
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := ParseConfig(`
+# comment
+BorderWidth 3
+TitleFont "lucida-12"
+ShowIconManager
+NoTitle { "xclock" "XBiff" }
+Button1 = : title : f.raise
+Button3 = : window : f.lower
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BorderWidth != 3 || cfg.TitleFont != "lucida-12" || !cfg.ShowIconManager {
+		t.Errorf("%+v", cfg)
+	}
+	if !cfg.NoTitle["xclock"] || !cfg.NoTitle["XBiff"] {
+		t.Error("NoTitle list wrong")
+	}
+	if cfg.ButtonFunction(1, ContextTitle) != "f.raise" {
+		t.Error("button binding lost")
+	}
+	if cfg.ButtonFunction(3, ContextWindow) != "f.lower" {
+		t.Error("window binding lost")
+	}
+	if cfg.ButtonFunction(2, ContextTitle) != "" {
+		t.Error("phantom binding")
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	bad := []string{
+		"BorderWidth abc",
+		"NoTitle xclock",
+		"Button9 = : title : f.raise",
+		"Button1 = : nowhere : f.raise",
+		"Button1 = : title : raise",
+		// The paper's configurability point: unknown directives are hard
+		// errors in a private config format.
+		"VirtualDesktop 4x4",
+	}
+	for _, src := range bad {
+		if _, err := ParseConfig(src); err == nil {
+			t.Errorf("ParseConfig(%q) accepted", src)
+		}
+	}
+}
+
+func TestSecondWMRejected(t *testing.T) {
+	s, _ := newTwm(t, nil)
+	if _, err := New(s, nil); err == nil {
+		t.Error("second WM accepted")
+	}
+}
+
+func TestShutdownReleasesClients(t *testing.T) {
+	s, wm := newTwm(t, nil)
+	app, _ := launch(t, s, wm, clients.Config{Instance: "xterm", Class: "XTerm", Width: 100, Height: 100})
+	wm.Shutdown()
+	attrs, err := app.Conn.GetWindowAttributes(app.Win)
+	if err != nil {
+		t.Fatalf("client died with WM: %v", err)
+	}
+	if attrs.MapState != xproto.IsViewable {
+		t.Error("client not viewable after WM shutdown")
+	}
+}
+
+func TestInteractiveMove(t *testing.T) {
+	s, wm := newTwm(t, nil)
+	_, c := launch(t, s, wm, clients.Config{Instance: "xterm", Class: "XTerm", Width: 200, Height: 150, X: 100, Y: 100})
+	// Button2 on the title starts a move (default config).
+	rx, ry, _, _ := wm.conn.TranslateCoordinates(c.Title, s.Screens()[0].Root, 5, 5)
+	s.FakeMotion(rx, ry)
+	s.FakeButtonPress(xproto.Button2, 0)
+	wm.Pump()
+	s.FakeMotion(rx+60, ry+40)
+	wm.Pump()
+	s.FakeButtonRelease(xproto.Button2, 0)
+	wm.Pump()
+	if c.FrameRect.X != 160 || c.FrameRect.Y != 140 {
+		t.Errorf("frame at (%d,%d), want (160,140)", c.FrameRect.X, c.FrameRect.Y)
+	}
+}
+
+func TestIconEntryClickDeiconifies(t *testing.T) {
+	s, wm := newTwm(t, nil)
+	_, c := launch(t, s, wm, clients.Config{Instance: "xterm", Class: "XTerm", Width: 200, Height: 150, X: 300, Y: 300})
+	wm.Iconify(c)
+	entry := c.iconEntry
+	rx, ry, _, _ := wm.conn.TranslateCoordinates(entry, s.Screens()[0].Root, 3, 3)
+	s.FakeMotion(rx, ry)
+	s.FakeButtonPress(xproto.Button1, 0)
+	s.FakeButtonRelease(xproto.Button1, 0)
+	wm.Pump()
+	if c.Iconified {
+		t.Error("icon manager entry click did not toggle iconify")
+	}
+}
+
+func TestWMNameUpdatesTitle(t *testing.T) {
+	s, wm := newTwm(t, nil)
+	app, c := launch(t, s, wm, clients.Config{Instance: "xterm", Class: "XTerm", Name: "one", Width: 100, Height: 100})
+	if err := app.SetName("two"); err != nil {
+		t.Fatal(err)
+	}
+	wm.Pump()
+	if c.Name != "two" {
+		t.Errorf("name = %q", c.Name)
+	}
+}
+
+func TestDestroyedClientUnmanaged(t *testing.T) {
+	s, wm := newTwm(t, nil)
+	app, c := launch(t, s, wm, clients.Config{Instance: "xterm", Class: "XTerm", Width: 100, Height: 100})
+	wm.Iconify(c)
+	app.Close()
+	wm.Pump()
+	if _, ok := wm.ClientOf(app.Win); ok {
+		t.Error("destroyed client still managed")
+	}
+	if len(wm.IconManagerEntries()) != 0 {
+		t.Error("icon manager entry leaked")
+	}
+}
+
+func TestClientsAccessor(t *testing.T) {
+	s, wm := newTwm(t, nil)
+	launch(t, s, wm, clients.Config{Instance: "a", Class: "A", Width: 50, Height: 50})
+	launch(t, s, wm, clients.Config{Instance: "b", Class: "B", Width: 50, Height: 50})
+	if len(wm.Clients()) != 2 {
+		t.Errorf("Clients() = %d", len(wm.Clients()))
+	}
+	if wm.Conn() == nil {
+		t.Error("Conn() nil")
+	}
+}

@@ -1,0 +1,236 @@
+package clients
+
+import (
+	"testing"
+
+	"repro/internal/icccm"
+	"repro/internal/xproto"
+	"repro/internal/xserver"
+)
+
+func TestLaunchSetsICCCMProperties(t *testing.T) {
+	s := xserver.NewServer()
+	app, err := Launch(s, Config{
+		Instance: "xterm", Class: "XTerm", Name: "shell", IconName: "sh",
+		Width: 300, Height: 200, X: 5, Y: 6,
+		Command:     []string{"xterm", "-T", "shell"},
+		Machine:     "hosta",
+		NormalHints: &icccm.NormalHints{Flags: icccm.PPosition, X: 5, Y: 6},
+		Protocols:   []string{"WM_DELETE_WINDOW"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := app.Conn
+	if cl, ok, _ := icccm.GetClass(conn, app.Win); !ok || cl.Instance != "xterm" || cl.Class != "XTerm" {
+		t.Errorf("class = %+v", cl)
+	}
+	if name, _ := icccm.GetName(conn, app.Win); name != "shell" {
+		t.Errorf("name = %q", name)
+	}
+	if iname, _ := icccm.GetIconName(conn, app.Win); iname != "sh" {
+		t.Errorf("icon name = %q", iname)
+	}
+	if cmd, _ := icccm.GetCommand(conn, app.Win); len(cmd) != 3 {
+		t.Errorf("command = %v", cmd)
+	}
+	if m, _ := icccm.GetClientMachine(conn, app.Win); m != "hosta" {
+		t.Errorf("machine = %q", m)
+	}
+	if !icccm.HasProtocol(conn, app.Win, "WM_DELETE_WINDOW") {
+		t.Error("protocol missing")
+	}
+	nh, ok, _ := icccm.GetNormalHints(conn, app.Win)
+	if !ok || nh.Flags&icccm.PPosition == 0 {
+		t.Errorf("normal hints = %+v", nh)
+	}
+	attrs, _ := conn.GetWindowAttributes(app.Win)
+	if attrs.MapState != xproto.IsViewable {
+		t.Error("window not mapped (no WM running, map should succeed)")
+	}
+}
+
+func TestLaunchDefaults(t *testing.T) {
+	s := xserver.NewServer()
+	app, err := Launch(s, Config{Instance: "plain"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Cfg.Width != 100 || app.Cfg.Height != 100 {
+		t.Errorf("default size %dx%d", app.Cfg.Width, app.Cfg.Height)
+	}
+	if app.Cfg.Name != "plain" || app.Cfg.IconName != "plain" {
+		t.Errorf("name defaults: %q %q", app.Cfg.Name, app.Cfg.IconName)
+	}
+}
+
+func TestLaunchBadScreen(t *testing.T) {
+	s := xserver.NewServer()
+	if _, err := Launch(s, Config{Instance: "x", Screen: 3}); err == nil {
+		t.Error("bad screen accepted")
+	}
+}
+
+func TestPumpTracksSyntheticConfigure(t *testing.T) {
+	s := xserver.NewServer()
+	app, err := Launch(s, Config{Instance: "x", X: 10, Y: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.BelievedRootX != 10 || app.BelievedRootY != 20 {
+		t.Fatalf("initial believed position (%d,%d)", app.BelievedRootX, app.BelievedRootY)
+	}
+	other := s.Connect("wm")
+	if err := icccm.SendSyntheticConfigureNotify(other, app.Win, 333, 444, 100, 100); err != nil {
+		t.Fatal(err)
+	}
+	app.Pump()
+	if app.BelievedRootX != 333 || app.BelievedRootY != 444 {
+		t.Errorf("believed position (%d,%d), want (333,444)", app.BelievedRootX, app.BelievedRootY)
+	}
+}
+
+func TestPumpIgnoresRealConfigure(t *testing.T) {
+	// Only SYNTHETIC ConfigureNotify carries root coordinates; real ones
+	// are parent-relative and must not update the believed position.
+	s := xserver.NewServer()
+	app, err := Launch(s, Config{Instance: "x", X: 10, Y: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Conn.MoveWindow(app.Win, 50, 60); err != nil {
+		t.Fatal(err)
+	}
+	app.Pump()
+	if app.BelievedRootX != 10 || app.BelievedRootY != 20 {
+		t.Errorf("real ConfigureNotify updated believed position: (%d,%d)",
+			app.BelievedRootX, app.BelievedRootY)
+	}
+}
+
+func TestPumpCountsDeleteRequests(t *testing.T) {
+	s := xserver.NewServer()
+	app, err := Launch(s, Config{Instance: "x", Protocols: []string{"WM_DELETE_WINDOW"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm := s.Connect("wm")
+	if err := icccm.SendDeleteWindow(wm, app.Win); err != nil {
+		t.Fatal(err)
+	}
+	if err := icccm.SendDeleteWindow(wm, app.Win); err != nil {
+		t.Fatal(err)
+	}
+	app.Pump()
+	if app.DeleteRequested != 2 {
+		t.Errorf("DeleteRequested = %d, want 2", app.DeleteRequested)
+	}
+}
+
+func TestPopupDialogFallbackWithoutSwmRoot(t *testing.T) {
+	s := xserver.NewServer()
+	app, err := Launch(s, Config{Instance: "x", X: 40, Y: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dlg, err := app.PopupDialog(10, 10, 30, 20, true) // asks for SWM_ROOT, absent
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := app.Conn.GetGeometry(dlg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fallback: believed position + offset on the real root.
+	if g.Rect.X != 50 || g.Rect.Y != 60 {
+		t.Errorf("dialog at (%d,%d), want (50,60)", g.Rect.X, g.Rect.Y)
+	}
+}
+
+func TestShapedPresets(t *testing.T) {
+	s := xserver.NewServer()
+	oclock, err := Oclock(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shaped, rects, err := oclock.Conn.ShapeQuery(oclock.Win)
+	if err != nil || !shaped || len(rects) != 2 {
+		t.Errorf("oclock shaped=%v rects=%v err=%v", shaped, rects, err)
+	}
+	xeyes, err := Xeyes(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shaped, rects, _ = xeyes.Conn.ShapeQuery(xeyes.Win)
+	if !shaped || len(rects) != 2 {
+		t.Errorf("xeyes shaped=%v rects=%v", shaped, rects)
+	}
+	// Both advertise WM_COMMAND so the session manager can restart them.
+	if cmd, ok := icccm.GetCommand(oclock.Conn, oclock.Win); !ok || cmd[0] != "oclock" {
+		t.Errorf("oclock command = %v", cmd)
+	}
+}
+
+func TestRectangularPresets(t *testing.T) {
+	s := xserver.NewServer()
+	for name, launch := range map[string]func(*xserver.Server) (*App, error){
+		"xclock": Xclock,
+		"xbiff":  Xbiff,
+	} {
+		app, err := launch(s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if shaped, _, _ := app.Conn.ShapeQuery(app.Win); shaped {
+			t.Errorf("%s should be rectangular", name)
+		}
+	}
+	term, err := Xterm(s, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !icccm.HasProtocol(term.Conn, term.Win, "WM_DELETE_WINDOW") {
+		t.Error("xterm should support WM_DELETE_WINDOW")
+	}
+	ed, err := EditorWithDialogs(s, "notes.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name, _ := icccm.GetName(ed.Conn, ed.Win); name != "xedit: notes.txt" {
+		t.Errorf("editor name = %q", name)
+	}
+}
+
+func TestWithdrawAndClose(t *testing.T) {
+	s := xserver.NewServer()
+	app, err := Launch(s, Config{Instance: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Withdraw(); err != nil {
+		t.Fatal(err)
+	}
+	attrs, _ := app.Conn.GetWindowAttributes(app.Win)
+	if attrs.MapState != xproto.IsUnmapped {
+		t.Error("window still mapped after withdraw")
+	}
+	app.Close()
+	other := s.Connect("check")
+	if _, err := other.GetGeometry(app.Win); err == nil {
+		t.Error("window survived Close without a save-set")
+	}
+}
+
+func TestSetNameUpdatesProperty(t *testing.T) {
+	s := xserver.NewServer()
+	app, err := Launch(s, Config{Instance: "x", Name: "one"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.SetName("two"); err != nil {
+		t.Fatal(err)
+	}
+	if name, _ := icccm.GetName(app.Conn, app.Win); name != "two" {
+		t.Errorf("name = %q", name)
+	}
+}

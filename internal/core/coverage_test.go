@@ -1,0 +1,281 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clients"
+	"repro/internal/icccm"
+	"repro/internal/xproto"
+	"repro/internal/xserver"
+)
+
+// The paper's own binding example puts a KEY binding on a button:
+// "<Key>Up : f.warpvertical(-50) ... If the Up key is pressed while the
+// pointer is over the button, the pointer will be warped up 50 pixels."
+func TestKeyBindingOnDecorationObject(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	db := wm.db
+	db.MustPut("swm*button.name.bindings",
+		"<Btn1> : f.raise\n<Key>Up : f.warpvertical(-50)")
+	_, c := launch(t, s, wm, clients.Config{Instance: "xterm", Class: "XTerm", Width: 300, Height: 200,
+		NormalHints: &icccm.NormalHints{Flags: icccm.PPosition, X: 200, Y: 300}})
+	nameObj := c.frame.Find("name")
+	rx, ry, _, _ := wm.conn.TranslateCoordinates(nameObj.Window, wm.screens[0].Root, 3, 3)
+	s.FakeMotion(rx, ry)
+	wm.Pump()
+	before := wm.conn.QueryPointer()
+	s.FakeKeyPress("Up", 0)
+	wm.Pump()
+	after := wm.conn.QueryPointer()
+	if after.RootY != before.RootY-50 {
+		t.Errorf("pointer y %d -> %d, want -50", before.RootY, after.RootY)
+	}
+}
+
+func TestLowerFunction(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	_, c1 := launch(t, s, wm, clients.Config{Instance: "a", Class: "A", Width: 100, Height: 100})
+	launch(t, s, wm, clients.Config{Instance: "b", Class: "B", Width: 100, Height: 100})
+	if err := wm.ExecuteString(&FuncContext{Client: c1, Screen: c1.scr}, "f.raise"); err != nil {
+		t.Fatal(err)
+	}
+	if err := wm.ExecuteString(&FuncContext{Client: c1, Screen: c1.scr}, "f.lower"); err != nil {
+		t.Fatal(err)
+	}
+	frames := wm.stackedFrames(wm.screens[0])
+	if frames[0] != c1.frame.Window {
+		t.Error("f.lower did not lower")
+	}
+	_ = s
+}
+
+func TestRaiseLowerIconicOperatesOnIcon(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	_, c := launch(t, s, wm, clients.Config{Instance: "a", Class: "A", Width: 100, Height: 100})
+	if err := wm.Iconify(c); err != nil {
+		t.Fatal(err)
+	}
+	// Raising/lowering an iconic client moves its icon, not the frame.
+	if err := wm.ExecuteString(&FuncContext{Client: c, Screen: c.scr}, "f.raise f.lower"); err != nil {
+		t.Fatal(err)
+	}
+	_ = s
+}
+
+func TestResizeFunctionDirect(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	app, c := launch(t, s, wm, clients.Config{Instance: "xterm", Class: "XTerm", Width: 100, Height: 100})
+	if err := wm.ExecuteString(&FuncContext{Client: c, Screen: c.scr}, "f.resize(320x240)"); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := app.Conn.GetGeometry(app.Win)
+	if g.Rect.Width != 320 || g.Rect.Height != 240 {
+		t.Errorf("client %dx%d", g.Rect.Width, g.Rect.Height)
+	}
+	_ = s
+}
+
+func TestResizeFunctionToPointer(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	app, c := launch(t, s, wm, clients.Config{Instance: "xterm", Class: "XTerm", Width: 100, Height: 100,
+		NormalHints: &icccm.NormalHints{Flags: icccm.PPosition, X: 50, Y: 50}})
+	// Put the pointer 200 px right / 150 below the client origin.
+	rx, ry, _, _ := app.Conn.TranslateCoordinates(app.Win, wm.screens[0].Root, 0, 0)
+	s.FakeMotion(rx+200, ry+150)
+	wm.Pump()
+	if err := wm.ExecuteString(&FuncContext{Client: c, Screen: c.scr}, "f.resize"); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := app.Conn.GetGeometry(app.Win)
+	if g.Rect.Width != 200 || g.Rect.Height != 150 {
+		t.Errorf("client %dx%d, want 200x150 (pointer-driven)", g.Rect.Width, g.Rect.Height)
+	}
+}
+
+func TestStickToggle(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	_, c := launch(t, s, wm, clients.Config{Instance: "xterm", Class: "XTerm", Width: 100, Height: 100})
+	ctx := &FuncContext{Client: c, Screen: c.scr}
+	if err := wm.ExecuteString(ctx, "f.stick"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Sticky {
+		t.Fatal("not sticky after f.stick")
+	}
+	// f.stick toggles (like the nail button in OpenLook).
+	if err := wm.ExecuteString(ctx, "f.stick"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Sticky {
+		t.Error("still sticky after second f.stick")
+	}
+	// f.unstick on an unstuck window is a no-op.
+	if err := wm.ExecuteString(ctx, "f.unstick"); err != nil {
+		t.Fatal(err)
+	}
+	_ = s
+}
+
+func TestDestroyFunction(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	app, c := launch(t, s, wm, clients.Config{Instance: "victim", Class: "Victim", Width: 100, Height: 100,
+		Protocols: []string{"WM_DELETE_WINDOW"}})
+	// f.destroy kills outright, even protocol participants.
+	if err := wm.ExecuteString(&FuncContext{Client: c, Screen: c.scr}, "f.destroy"); err != nil {
+		t.Fatal(err)
+	}
+	if !app.Conn.Closed() {
+		t.Error("f.destroy did not kill the client")
+	}
+	wm.Pump()
+	_ = s
+}
+
+func TestRefreshAndNop(t *testing.T) {
+	_, wm := newWM(t, Options{VirtualDesktop: true, EnablePanner: true})
+	ctx := &FuncContext{Screen: wm.screens[0]}
+	if err := wm.ExecuteString(ctx, "f.refresh f.nop"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLoopQuits(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	done := make(chan bool, 1)
+	go func() {
+		done <- wm.Run()
+	}()
+	// Deliver f.quit through the swmcmd protocol.
+	cmdr := s.Connect("swmcmd")
+	err := cmdr.ChangeProperty(wm.screens[0].Root, cmdr.InternAtom("SWM_COMMAND"),
+		cmdr.InternAtom("STRING"), 8, xproto.PropModeReplace, []byte("f.quit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case restart := <-done:
+		if restart {
+			t.Error("Run reported restart for f.quit")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not exit on f.quit")
+	}
+}
+
+func TestRunLoopRestart(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	done := make(chan bool, 1)
+	go func() {
+		done <- wm.Run()
+	}()
+	cmdr := s.Connect("swmcmd")
+	err := cmdr.ChangeProperty(wm.screens[0].Root, cmdr.InternAtom("SWM_COMMAND"),
+		cmdr.InternAtom("STRING"), 8, xproto.PropModeReplace, []byte("f.restart"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case restart := <-done:
+		if !restart {
+			t.Error("Run did not report restart")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not exit on f.restart")
+	}
+	wm.Shutdown()
+}
+
+func TestConfigureRequestUnmanagedWindow(t *testing.T) {
+	s, wm := newWM(t, Options{})
+	// An unmanaged override-redirect-less window that never mapped:
+	// configure requests pass through verbatim.
+	conn := s.Connect("raw")
+	win, err := conn.CreateWindow(wm.screens[0].Root, xproto.Rect{Width: 50, Height: 50}, 0,
+		xserver.WindowAttributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.MoveResizeWindow(win, xproto.Rect{X: 40, Y: 50, Width: 80, Height: 90}); err != nil {
+		t.Fatal(err)
+	}
+	wm.Pump()
+	g, _ := conn.GetGeometry(win)
+	if g.Rect.X != 40 || g.Rect.Width != 80 {
+		t.Errorf("unmanaged configure not honored: %v", g.Rect)
+	}
+}
+
+func TestConfigureRequestRaise(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	app1, c1 := launch(t, s, wm, clients.Config{Instance: "a", Class: "A", Width: 100, Height: 100})
+	launch(t, s, wm, clients.Config{Instance: "b", Class: "B", Width: 100, Height: 100})
+	// The client asks to be raised (ConfigureRequest with stack mode).
+	err := app1.Conn.ConfigureWindow(app1.Win, xproto.WindowChanges{
+		Mask: xproto.CWStackMode, StackMode: xproto.Above,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm.Pump()
+	frames := wm.stackedFrames(wm.screens[0])
+	if frames[len(frames)-1] != c1.frame.Window {
+		t.Error("client-requested raise not honored on the frame")
+	}
+}
+
+func TestClientAccessors(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true, EnablePanner: true})
+	_, c := launch(t, s, wm, clients.Config{Instance: "xterm", Class: "XTerm", Width: 100, Height: 100})
+	if c.FrameWindow() == xproto.None || c.Frame() == nil {
+		t.Error("frame accessors broken")
+	}
+	if c.IconWindow() != xproto.None {
+		t.Error("icon window before iconify")
+	}
+	if err := wm.Iconify(c); err != nil {
+		t.Fatal(err)
+	}
+	if c.IconWindow() == xproto.None {
+		t.Error("icon window after iconify")
+	}
+	if c.Decoration() != "openLook" {
+		t.Errorf("Decoration() = %q", c.Decoration())
+	}
+	if c.IsInternal() {
+		t.Error("user client flagged internal")
+	}
+	if !wm.screens[0].Panner().Client().IsInternal() {
+		t.Error("panner client not flagged internal")
+	}
+	if wm.Conn() == nil || wm.DB() == nil {
+		t.Error("WM accessors broken")
+	}
+	vp := wm.screens[0].Viewport()
+	if vp.Width != wm.screens[0].Width {
+		t.Errorf("viewport %v", vp)
+	}
+	_ = s
+}
+
+func TestFocusFollowsMouse(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	wm.db.MustPut("swm*focusFollowsMouse", "True")
+	app1, _ := launch(t, s, wm, clients.Config{Instance: "a", Class: "A", Width: 150, Height: 150,
+		NormalHints: &icccm.NormalHints{Flags: icccm.PPosition, X: 100, Y: 100}})
+	app2, _ := launch(t, s, wm, clients.Config{Instance: "b", Class: "B", Width: 150, Height: 150,
+		NormalHints: &icccm.NormalHints{Flags: icccm.PPosition, X: 500, Y: 100}})
+	// Glide the pointer into each frame in turn.
+	rx, ry, _, _ := app1.Conn.TranslateCoordinates(app1.Win, wm.screens[0].Root, 10, 10)
+	s.FakeMotion(rx, ry)
+	wm.Pump()
+	if got := wm.conn.GetInputFocus(); got != app1.Win {
+		t.Errorf("focus = %v, want first client %v", got, app1.Win)
+	}
+	rx, ry, _, _ = app2.Conn.TranslateCoordinates(app2.Win, wm.screens[0].Root, 10, 10)
+	s.FakeMotion(rx, ry)
+	wm.Pump()
+	if got := wm.conn.GetInputFocus(); got != app2.Win {
+		t.Errorf("focus = %v, want second client %v", got, app2.Win)
+	}
+}

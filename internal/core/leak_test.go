@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/clients"
+	"repro/internal/xproto"
+)
+
+// TestNoMapLeaksAtScale manages, manipulates and destroys a large batch
+// of clients and asserts that the WM's internal indices shrink back to
+// their baseline — catching object-window registration leaks, frame
+// map leaks and icon leaks.
+func TestNoMapLeaksAtScale(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true, EnablePanner: true})
+	baselineClients := len(wm.clients)
+	baselineFrames := len(wm.byFrame)
+	baselineObjWins := len(wm.byObjWin)
+
+	const n = 60
+	apps := make([]*clients.App, n)
+	for i := 0; i < n; i++ {
+		app, err := clients.Launch(s, clients.Config{
+			Instance: fmt.Sprintf("app%d", i), Class: "Load",
+			Width: 120, Height: 90, X: (i * 13) % 900, Y: (i * 7) % 700,
+			Command: []string{fmt.Sprintf("app%d", i)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps[i] = app
+	}
+	wm.Pump()
+	if len(wm.clients) != baselineClients+n {
+		t.Fatalf("managed %d clients, want %d", len(wm.clients)-baselineClients, n)
+	}
+
+	// Exercise everything: iconify the whole class, pan, deiconify,
+	// stick/unstick a third, zoom another third.
+	ctx := &FuncContext{Screen: wm.screens[0]}
+	if err := wm.ExecuteString(ctx, "f.iconify(Load)"); err != nil {
+		t.Fatal(err)
+	}
+	wm.PanBy(wm.screens[0], 512, 256)
+	if err := wm.ExecuteString(ctx, "f.deiconify(Load)"); err != nil {
+		t.Fatal(err)
+	}
+	for i, app := range apps {
+		c, ok := wm.ClientOf(app.Win)
+		if !ok {
+			t.Fatalf("client %d lost", i)
+		}
+		switch i % 3 {
+		case 0:
+			if err := wm.Stick(c); err != nil {
+				t.Fatal(err)
+			}
+			if err := wm.Unstick(c); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			if err := wm.ExecuteString(&FuncContext{Client: c, Screen: c.scr}, "f.save f.zoom f.restore"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	wm.Pump()
+
+	// Tear everything down.
+	for _, app := range apps {
+		app.Close()
+	}
+	wm.Pump()
+
+	if got := len(wm.clients); got != baselineClients {
+		t.Errorf("clients map leaked: %d -> %d", baselineClients, got)
+	}
+	if got := len(wm.byFrame); got != baselineFrames {
+		t.Errorf("byFrame map leaked: %d -> %d", baselineFrames, got)
+	}
+	if got := len(wm.byObjWin); got != baselineObjWins {
+		t.Errorf("byObjWin map leaked: %d -> %d (decoration/icon windows not unregistered)",
+			baselineObjWins, got)
+	}
+	// The panner shows no stale miniatures.
+	if got := len(wm.screens[0].Panner().Miniatures()); got != 0 {
+		t.Errorf("%d stale panner miniatures", got)
+	}
+}
+
+// TestServerWindowCountStable verifies the server-side window count
+// returns to its pre-client level after unmanaging (no leaked frames,
+// icons, slots or corner handles on the server).
+func TestServerWindowCountStable(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	scr := wm.screens[0]
+	countWindows := func() int {
+		n := 0
+		var walk func(id xproto.XID)
+		walk = func(id xproto.XID) {
+			n++
+			_, _, children, err := wm.conn.QueryTree(id)
+			if err != nil {
+				return
+			}
+			for _, ch := range children {
+				walk(ch)
+			}
+		}
+		walk(scr.Root)
+		return n
+	}
+	before := countWindows()
+	app, c := launch(t, s, wm, clients.Config{Instance: "xterm", Class: "XTerm", Width: 100, Height: 100})
+	if err := wm.Iconify(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := wm.Deiconify(c); err != nil {
+		t.Fatal(err)
+	}
+	app.Close()
+	wm.Pump()
+	after := countWindows()
+	if after != before {
+		t.Errorf("server window count %d -> %d: WM furniture leaked", before, after)
+	}
+}

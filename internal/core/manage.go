@@ -1,0 +1,621 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/icccm"
+	"repro/internal/objects"
+	"repro/internal/session"
+	"repro/internal/xproto"
+	"repro/internal/xserver"
+)
+
+// Manage adopts a client window: reads its ICCCM properties, chooses and
+// builds a decoration panel, reparents the client into it, places the
+// frame on the Virtual Desktop (or the root for sticky windows), applies
+// any session restart hint, and maps everything. It returns the managed
+// client.
+func (wm *WM) Manage(win xproto.XID) (*Client, error) {
+	if c, ok := wm.clients[win]; ok {
+		return c, nil
+	}
+	scr := wm.screenOf(win)
+	if scr == nil {
+		return nil, fmt.Errorf("core: window 0x%x has no screen", uint32(win))
+	}
+
+	c := &Client{wm: wm, scr: scr, Win: win, State: xproto.NormalState}
+	if cl, ok, _ := icccm.GetClass(wm.conn, win); ok {
+		c.Class = cl
+	}
+	if name, ok := icccm.GetName(wm.conn, win); ok {
+		c.Name = name
+	}
+	if iname, ok := icccm.GetIconName(wm.conn, win); ok {
+		c.IconName = iname
+	} else {
+		c.IconName = c.Name
+	}
+	if cmd, ok := icccm.GetCommand(wm.conn, win); ok {
+		c.Command = cmd
+	}
+	if m, ok := icccm.GetClientMachine(wm.conn, win); ok {
+		c.Machine = m
+	}
+	if shaped, _, err := wm.conn.ShapeQuery(win); err == nil {
+		c.Shaped = shaped
+	}
+	if p, ok, _ := wm.conn.GetProperty(win, wm.conn.InternAtom("WM_TRANSIENT_FOR")); ok && len(p.Data) >= 4 {
+		c.Transient = xproto.XID(uint32(p.Data[0]) | uint32(p.Data[1])<<8 |
+			uint32(p.Data[2])<<16 | uint32(p.Data[3])<<24)
+	}
+
+	// Sticky start-up (paper §6.2): swm*xclock*sticky: True.
+	lookupCtx := wm.ctx(scr)
+	if v, ok := lookupCtx.LookupClient(c.Class.Class, c.Class.Instance, "sticky"); ok {
+		c.Sticky = v == "True" || v == "true"
+	}
+
+	// Client geometry as requested.
+	g, err := wm.conn.GetGeometry(win)
+	if err != nil {
+		return nil, err
+	}
+	c.clientW, c.clientH = g.Rect.Width, g.Rect.Height
+
+	hints, hasHints, _ := icccm.GetHints(wm.conn, win)
+	normal, hasNormal, _ := icccm.GetNormalHints(wm.conn, win)
+
+	// Session restart hint (paper §7): match WM_COMMAND (+ machine),
+	// restore size, location, icon location, sticky and state.
+	var sessHint *sessionPlacement
+	if len(c.Command) > 0 && c.Transient == xproto.None {
+		if h, ok := wm.hintTable.Match(c.Command, c.Machine); ok {
+			sp := sessionPlacement{hint: h}
+			if hg, err := h.ParseGeometry(); err == nil {
+				sp.geom = hg
+				sp.valid = true
+			}
+			if h.IconGeometry != "" {
+				if ig, err := geom.Parse(h.IconGeometry); err == nil && ig.HasPosition {
+					c.iconX, c.iconY = ig.X, ig.Y
+					c.hasIconPos = true
+				}
+			}
+			c.Sticky = c.Sticky || h.Sticky
+			sessHint = &sp
+		}
+	}
+	if sessHint != nil && sessHint.valid && sessHint.geom.HasSize {
+		c.clientW, c.clientH = sessHint.geom.Width, sessHint.geom.Height
+		_ = wm.conn.ResizeWindow(win, c.clientW, c.clientH)
+	}
+
+	// Icon position from WM_HINTS when the session has none.
+	if !c.hasIconPos && hasHints && hints.Flags&icccm.IconPositionHint != 0 {
+		c.iconX, c.iconY = hints.IconX, hints.IconY
+		c.hasIconPos = true
+	}
+
+	// Build the decoration.
+	if err := wm.decorate(c); err != nil {
+		return nil, err
+	}
+
+	// Placement (paper §6.3.2): session hint > USPosition (absolute
+	// desktop coordinates) > PPosition (viewport-relative) > cascade.
+	fx, fy := wm.placeClient(c, sessHint, normal, hasNormal, g.Rect)
+	c.FrameRect.X, c.FrameRect.Y = fx, fy
+
+	parent := wm.frameParent(c)
+	if err := objects.Realize(wm.conn, c.frame, parent, fx, fy); err != nil {
+		return nil, err
+	}
+	c.FrameRect = xproto.Rect{X: fx, Y: fy, Width: c.frame.Rect.Width, Height: c.frame.Rect.Height}
+
+	// Rescue the client if we die (ICCCM / X save-set).
+	if err := wm.conn.ChangeSaveSet(win, true); err != nil {
+		return nil, err
+	}
+	// Strip the client's border: the decoration replaces it.
+	if g.BorderWidth != 0 {
+		if err := wm.conn.ConfigureWindow(win, xproto.WindowChanges{
+			Mask: xproto.CWBorderWidth, BorderWidth: 0,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// Reparent into the client slot and map. Configure requests from the
+	// client must keep flowing through the WM, so the slot (the client's
+	// new parent) selects SubstructureRedirect, exactly as twm-style WMs
+	// do on their frames.
+	if err := wm.conn.ReparentWindow(win, c.clientSlot.Window, 0, 0); err != nil {
+		return nil, err
+	}
+	if err := wm.conn.SelectInput(c.clientSlot.Window,
+		xproto.SubstructureRedirectMask|xproto.SubstructureNotifyMask); err != nil {
+		return nil, err
+	}
+	if err := wm.conn.MapWindow(c.clientSlot.Window); err != nil {
+		return nil, err
+	}
+	if err := wm.conn.MapWindow(win); err != nil {
+		return nil, err
+	}
+
+	// Watch the client. SelectInput replaces this connection's mask, so
+	// preserve anything already selected (the panner content window, a
+	// WM-owned client, selects button/motion events). With the
+	// focusFollowsMouse resource, the pointer entering the client
+	// focuses it, so the WM watches crossings too.
+	prevAttrs, _ := wm.conn.GetWindowAttributes(win)
+	clientMask := prevAttrs.YourEventMask | xproto.PropertyChangeMask | xproto.StructureNotifyMask
+	if v, ok := wm.ctx(scr).LookupGlobal("focusFollowsMouse"); ok && strings.EqualFold(v, "true") {
+		clientMask |= xproto.EnterWindowMask
+	}
+	if err := wm.conn.SelectInput(win, clientMask); err != nil {
+		return nil, err
+	}
+
+	// SWM_ROOT (paper §6.3.1): tell toolkits which window is their
+	// effective root so popups place correctly on the Virtual Desktop.
+	wm.setSwmRoot(c)
+	wm.applyClientShapeToFrame(c)
+
+	wm.clients[win] = c
+	wm.createResizeCorners(c)
+	wm.byFrame[c.frame.Window] = c
+	wm.registerObjectWindows(c)
+	wm.applyNameLabels(c)
+
+	// Initial state: iconic via WM_HINTS or session.
+	wantIconic := hasHints && hints.Flags&icccm.StateHint != 0 && hints.InitialState == xproto.IconicState
+	if sessHint != nil && sessHint.hint.StateNumber() == xproto.IconicState {
+		wantIconic = true
+	}
+	if wantIconic {
+		if err := wm.Iconify(c); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := wm.conn.MapWindow(c.frame.Window); err != nil {
+			return nil, err
+		}
+		_ = icccm.SetState(wm.conn, win, icccm.State{State: xproto.NormalState})
+		c.State = xproto.NormalState
+	}
+
+	wm.sendSyntheticConfigure(c)
+	wm.updatePanner(scr)
+	return c, nil
+}
+
+type sessionPlacement struct {
+	hint  session.Hint
+	geom  geom.Geometry
+	valid bool
+}
+
+// placeClient decides the frame's position in parent coordinates.
+func (wm *WM) placeClient(c *Client, sess *sessionPlacement, normal icccm.NormalHints, hasNormal bool, req xproto.Rect) (int, int) {
+	scr := c.scr
+	// The frame is larger than the client; requested positions refer to
+	// the client window, so offset by the client slot position.
+	slotX, slotY := wm.clientSlotOffset(c)
+
+	if sess != nil && sess.valid && sess.geom.HasPosition {
+		// Session geometry is saved in desktop coordinates.
+		return sess.geom.X - slotX, sess.geom.Y - slotY
+	}
+	if hasNormal && normal.Flags&icccm.USPosition != 0 {
+		// USPosition: "the window is placed at the absolute location
+		// requested by the user, even if the coordinates on the desktop
+		// are not currently visible" (§6.3.2).
+		x, y := normal.X, normal.Y
+		if c.Sticky || scr.Desktop == xproto.None {
+			return x - slotX, y - slotY
+		}
+		return x - slotX, y - slotY
+	}
+	if hasNormal && normal.Flags&icccm.PPosition != 0 {
+		// PPosition: coordinates are relative to the current visible
+		// portion of the Virtual Desktop.
+		x, y := normal.X, normal.Y
+		if c.Sticky || scr.Desktop == xproto.None {
+			return x - slotX, y - slotY
+		}
+		return scr.PanX + x - slotX, scr.PanY + y - slotY
+	}
+	// Transients with no user-specified position center over their
+	// owner (a bare window position does not outrank this: dialogs keep
+	// stale coordinates across withdraw/remap cycles).
+	if c.Transient != xproto.None {
+		if owner, ok := wm.clients[c.Transient]; ok {
+			x := owner.FrameRect.X + (owner.FrameRect.Width-c.frame.Rect.Width)/2
+			y := owner.FrameRect.Y + (owner.FrameRect.Height-c.frame.Rect.Height)/2
+			return x, y
+		}
+	}
+	if req.X != 0 || req.Y != 0 {
+		// A bare window position set at CreateWindow time behaves like
+		// PPosition for pre-ICCCM clients.
+		if c.Sticky || scr.Desktop == xproto.None {
+			return req.X, req.Y
+		}
+		return scr.PanX + req.X, scr.PanY + req.Y
+	}
+	// Default placement: cascade within the current viewport.
+	const step = 32
+	x := scr.placeCursorX + step
+	y := scr.placeCursorY + step
+	if x+c.frame.Rect.Width > scr.Width || y+c.frame.Rect.Height > scr.Height {
+		x, y = step, step
+	}
+	scr.placeCursorX, scr.placeCursorY = x, y
+	if c.Sticky || scr.Desktop == xproto.None {
+		return x, y
+	}
+	return scr.PanX + x, scr.PanY + y
+}
+
+// decorate selects and builds the decoration object tree for a client.
+func (wm *WM) decorate(c *Client) error {
+	ctx := wm.clientCtx(c.scr, c.Shaped, c.Sticky)
+	if c.Transient != xproto.None {
+		ctx.Prefixes = append(ctx.Prefixes, "transient")
+	}
+	name, ok := ctx.LookupClient(c.Class.Class, c.Class.Instance, "decoration")
+	if !ok {
+		name = "default"
+	}
+	tree, err := objects.Build(ctx, name)
+	if err != nil {
+		// Fall back to a minimal frame: bare client slot panel.
+		tree = &objects.Object{Kind: objects.KindPanel, Name: "swmFallback"}
+		slot := &objects.Object{Kind: objects.KindPanel, Name: "client", Parent: tree}
+		tree.Children = []*objects.Object{slot}
+		wm.logf("decoration %q: %v (using fallback)", name, err)
+	}
+	slot := tree.Find("client")
+	if slot == nil {
+		return fmt.Errorf("core: decoration panel %q has no client panel", name)
+	}
+	c.frame = tree
+	c.clientSlot = slot
+	c.decoration = name
+	objects.Layout(tree, c.clientW, c.clientH)
+	return nil
+}
+
+// redecorate tears down and rebuilds the decoration (used by
+// f.stick/f.unstick, since decorations may depend on stickiness, and on
+// ShapeNotify).
+func (wm *WM) redecorate(c *Client) error {
+	// Detach the client from the old frame first. Reparenting a mapped
+	// window unmaps and remaps it; those UnmapNotify events are ours.
+	rx, ry := wm.clientRootPos(c)
+	if attrs, err := wm.conn.GetWindowAttributes(c.Win); err == nil && attrs.MapState != xproto.IsUnmapped {
+		c.ignoreUnmaps++
+	}
+	_ = wm.conn.ReparentWindow(c.Win, c.scr.Root, rx, ry)
+	wm.unregisterObjectWindows(c)
+	wm.dropResizeCorners(c)
+	delete(wm.byFrame, c.frame.Window)
+	_ = objects.Destroy(wm.conn, c.frame)
+
+	if err := wm.decorate(c); err != nil {
+		return err
+	}
+	parent := wm.frameParent(c)
+	if err := objects.Realize(wm.conn, c.frame, parent, c.FrameRect.X, c.FrameRect.Y); err != nil {
+		return err
+	}
+	c.FrameRect.Width = c.frame.Rect.Width
+	c.FrameRect.Height = c.frame.Rect.Height
+	if attrs, err := wm.conn.GetWindowAttributes(c.Win); err == nil && attrs.MapState != xproto.IsUnmapped {
+		c.ignoreUnmaps++
+	}
+	if err := wm.conn.ReparentWindow(c.Win, c.clientSlot.Window, 0, 0); err != nil {
+		return err
+	}
+	if err := wm.conn.SelectInput(c.clientSlot.Window,
+		xproto.SubstructureRedirectMask|xproto.SubstructureNotifyMask); err != nil {
+		return err
+	}
+	if err := wm.conn.MapWindow(c.clientSlot.Window); err != nil {
+		return err
+	}
+	if err := wm.conn.MapWindow(c.Win); err != nil {
+		return err
+	}
+	wm.byFrame[c.frame.Window] = c
+	wm.registerObjectWindows(c)
+	wm.applyNameLabels(c)
+	wm.applyClientShapeToFrame(c)
+	if c.State == xproto.NormalState {
+		if err := wm.conn.MapWindow(c.frame.Window); err != nil {
+			return err
+		}
+	}
+	wm.setSwmRoot(c)
+	wm.createResizeCorners(c)
+	wm.sendSyntheticConfigure(c)
+	return nil
+}
+
+// Unmanage withdraws a client: the window is reparented back to the
+// root (if it still exists) and the decoration destroyed.
+func (wm *WM) Unmanage(c *Client, clientGone bool) {
+	if !clientGone {
+		rx, ry := wm.clientRootPos(c)
+		_ = wm.conn.ReparentWindow(c.Win, c.scr.Root, rx, ry)
+		_ = wm.conn.ChangeSaveSet(c.Win, false)
+		_ = wm.conn.DeleteProperty(c.Win, wm.conn.InternAtom("SWM_ROOT"))
+	}
+	if c.icon != nil {
+		wm.removeIcon(c)
+	}
+	wm.unregisterObjectWindows(c)
+	wm.dropResizeCorners(c)
+	delete(wm.byFrame, c.frame.Window)
+	delete(wm.clients, c.Win)
+	_ = objects.Destroy(wm.conn, c.frame)
+	if wm.focus == c {
+		wm.focus = nil
+	}
+	wm.updatePanner(c.scr)
+}
+
+// registerObjectWindows indexes every decoration object window for
+// binding dispatch.
+func (wm *WM) registerObjectWindows(c *Client) {
+	c.frame.Walk(func(o *objects.Object) {
+		if o.Window != xproto.None {
+			wm.byObjWin[o.Window] = objRef{client: c, screen: c.scr, obj: o}
+		}
+	})
+}
+
+func (wm *WM) unregisterObjectWindows(c *Client) {
+	c.frame.Walk(func(o *objects.Object) {
+		if o.Window != xproto.None {
+			delete(wm.byObjWin, o.Window)
+		}
+	})
+}
+
+// applyNameLabels pushes WM_NAME into "name" objects and WM_ICON_NAME
+// into "iconname" objects (paper §4.1.1: "a button or text object called
+// name ... displays the WM_NAME property of the client").
+func (wm *WM) applyNameLabels(c *Client) {
+	changed := false
+	if o := c.frame.Find("name"); o != nil && c.Name != "" {
+		o.SetLabel(c.Name)
+		changed = true
+	}
+	if changed {
+		objects.Layout(c.frame, c.clientW, c.clientH)
+		_ = objects.SyncGeometry(wm.conn, c.frame)
+		c.FrameRect.Width = c.frame.Rect.Width
+		c.FrameRect.Height = c.frame.Rect.Height
+	}
+	if c.icon != nil {
+		if o := c.icon.tree.Find("iconname"); o != nil && c.IconName != "" {
+			o.SetLabel(c.IconName)
+			objects.Layout(c.icon.tree, 0, 0)
+			_ = objects.SyncGeometry(wm.conn, c.icon.tree)
+		}
+	}
+}
+
+// frameParent returns the window the client's frame lives under:
+// the Virtual Desktop normally, the real root for sticky windows
+// (paper §6.2) or when the desktop is disabled.
+func (wm *WM) frameParent(c *Client) xproto.XID {
+	if c.Sticky || c.scr.Desktop == xproto.None {
+		return c.scr.Root
+	}
+	return wm.desktopWindow(c.scr, c.scr.currentDesktop)
+}
+
+// clientSlotOffset returns the client slot position within the frame.
+func (wm *WM) clientSlotOffset(c *Client) (int, int) {
+	if c.clientSlot == nil {
+		return 0, 0
+	}
+	return c.clientSlot.Rect.X, c.clientSlot.Rect.Y
+}
+
+// clientRootPos computes the client window's current real-root-relative
+// position: frames on the desktop shift by the pan offset.
+func (wm *WM) clientRootPos(c *Client) (int, int) {
+	slotX, slotY := wm.clientSlotOffset(c)
+	x := c.FrameRect.X + slotX
+	y := c.FrameRect.Y + slotY
+	if !c.Sticky && c.scr.Desktop != xproto.None {
+		x -= c.scr.PanX
+		y -= c.scr.PanY
+	}
+	return x, y
+}
+
+// setSwmRoot writes the SWM_ROOT property: "When swm reparents a window
+// it places a property on the window indicating the window ID of its
+// root window. This will be the window ID of the real root window or
+// the ID of the Virtual Desktop window" (§6.3.1).
+func (wm *WM) setSwmRoot(c *Client) {
+	root := wm.frameParent(c)
+	data := []byte{
+		byte(root), byte(root >> 8), byte(root >> 16), byte(root >> 24),
+	}
+	_ = wm.conn.ChangeProperty(c.Win, wm.conn.InternAtom("SWM_ROOT"),
+		wm.conn.InternAtom("WINDOW"), 32, xproto.PropModeReplace, data)
+}
+
+// SwmRoot reads a window's SWM_ROOT property (what OI-style toolkits
+// use to position popups).
+func SwmRoot(conn *xserver.Conn, win xproto.XID) (xproto.XID, bool) {
+	p, ok, err := conn.GetProperty(win, conn.InternAtom("SWM_ROOT"))
+	if err != nil || !ok || len(p.Data) < 4 {
+		return xproto.None, false
+	}
+	return xproto.XID(uint32(p.Data[0]) | uint32(p.Data[1])<<8 |
+		uint32(p.Data[2])<<16 | uint32(p.Data[3])<<24), true
+}
+
+// sendSyntheticConfigure tells the client its root-relative geometry
+// (ICCCM §4.1.5).
+func (wm *WM) sendSyntheticConfigure(c *Client) {
+	rx, ry := wm.clientRootPos(c)
+	_ = icccm.SendSyntheticConfigureNotify(wm.conn, c.Win, rx, ry, c.clientW, c.clientH)
+}
+
+// moveFrame moves the frame in parent coordinates and informs the
+// client of its new root-relative position.
+func (wm *WM) moveFrame(c *Client, x, y int) {
+	c.FrameRect.X, c.FrameRect.Y = x, y
+	_ = wm.conn.MoveWindow(c.frame.Window, x, y)
+	wm.sendSyntheticConfigure(c)
+	wm.updatePanner(c.scr)
+}
+
+// resizeClient resizes the client window and rebuilds the frame layout
+// around the new size.
+func (wm *WM) resizeClient(c *Client, w, h int) {
+	if w <= 0 || h <= 0 {
+		return
+	}
+	c.clientW, c.clientH = w, h
+	_ = wm.conn.ResizeWindow(c.Win, w, h)
+	objects.Layout(c.frame, w, h)
+	_ = objects.SyncGeometry(wm.conn, c.frame)
+	_ = wm.conn.MoveResizeWindow(c.frame.Window, xproto.Rect{
+		X: c.FrameRect.X, Y: c.FrameRect.Y,
+		Width: c.frame.Rect.Width, Height: c.frame.Rect.Height,
+	})
+	c.FrameRect.Width = c.frame.Rect.Width
+	c.FrameRect.Height = c.frame.Rect.Height
+	wm.syncResizeCorners(c)
+	wm.sendSyntheticConfigure(c)
+	wm.updatePanner(c.scr)
+}
+
+// screenOf finds the Screen whose root is an ancestor of win.
+func (wm *WM) screenOf(win xproto.XID) *Screen {
+	root, _, _, err := wm.conn.QueryTree(win)
+	if err != nil {
+		return nil
+	}
+	for _, scr := range wm.screens {
+		if scr.Root == root {
+			return scr
+		}
+	}
+	return nil
+}
+
+// handleConfigureRequest honours a client's configure request
+// (ICCCM-compliant WMs must respond even if they modify the result).
+func (wm *WM) handleConfigureRequest(ev xproto.Event) {
+	c, managed := wm.clients[ev.Subwindow]
+	if !managed {
+		// Unmanaged window: apply the request verbatim.
+		_ = wm.conn.ConfigureWindow(ev.Subwindow, xproto.WindowChanges{
+			Mask: ev.ValueMask, X: ev.GX, Y: ev.GY,
+			Width: ev.Width, Height: ev.Height,
+			BorderWidth: ev.BorderWidth, Sibling: ev.Sibling,
+			StackMode: ev.StackMode,
+		})
+		return
+	}
+	if ev.ValueMask&(xproto.CWWidth|xproto.CWHeight) != 0 {
+		w, h := c.clientW, c.clientH
+		if ev.ValueMask&xproto.CWWidth != 0 {
+			w = ev.Width
+		}
+		if ev.ValueMask&xproto.CWHeight != 0 {
+			h = ev.Height
+		}
+		wm.resizeClient(c, w, h)
+	}
+	if ev.ValueMask&(xproto.CWX|xproto.CWY) != 0 {
+		slotX, slotY := wm.clientSlotOffset(c)
+		x, y := c.FrameRect.X, c.FrameRect.Y
+		if ev.ValueMask&xproto.CWX != 0 {
+			x = ev.GX - slotX
+			if !c.Sticky && c.scr.Desktop != xproto.None {
+				x += c.scr.PanX
+			}
+		}
+		if ev.ValueMask&xproto.CWY != 0 {
+			y = ev.GY - slotY
+			if !c.Sticky && c.scr.Desktop != xproto.None {
+				y += c.scr.PanY
+			}
+		}
+		wm.moveFrame(c, x, y)
+	}
+	if ev.ValueMask&xproto.CWStackMode != 0 {
+		switch ev.StackMode {
+		case xproto.Above:
+			_ = wm.conn.RaiseWindow(c.frame.Window)
+		case xproto.Below:
+			_ = wm.conn.LowerWindow(c.frame.Window)
+		}
+	}
+	wm.sendSyntheticConfigure(c)
+}
+
+// relayoutFrame re-runs layout after a dynamic object change (relabel,
+// rebind) and pushes the new geometry to the server.
+func (wm *WM) relayoutFrame(c *Client) {
+	objects.Layout(c.frame, c.clientW, c.clientH)
+	_ = objects.SyncGeometry(wm.conn, c.frame)
+	_ = wm.conn.MoveResizeWindow(c.frame.Window, xproto.Rect{
+		X: c.FrameRect.X, Y: c.FrameRect.Y,
+		Width: c.frame.Rect.Width, Height: c.frame.Rect.Height,
+	})
+	c.FrameRect.Width = c.frame.Rect.Width
+	c.FrameRect.Height = c.frame.Rect.Height
+}
+
+// MoveClientTo places the client's frame at (x, y) in parent
+// coordinates (desktop coordinates normally; root coordinates when
+// sticky). Programmatic counterpart of the interactive f.move.
+func (wm *WM) MoveClientTo(c *Client, x, y int) {
+	wm.moveFrame(c, x, y)
+}
+
+// applyClientShapeToFrame propagates a shaped client's bounding region
+// to a shaped decoration frame: the frame's shape becomes the union of
+// the non-client objects plus the client's own shape, offset into frame
+// coordinates. This is what makes the shapeit decoration truly
+// invisible around oclock/xeyes (§5.1).
+func (wm *WM) applyClientShapeToFrame(c *Client) {
+	if !c.Shaped || c.frame == nil || !c.frame.Attrs.Shape {
+		return
+	}
+	shaped, clientRects, err := wm.conn.ShapeQuery(c.Win)
+	if err != nil || !shaped {
+		return
+	}
+	slotX, slotY := wm.clientSlotOffset(c)
+	var rects []xproto.Rect
+	for _, o := range c.frame.Children {
+		if o == c.clientSlot {
+			continue
+		}
+		rects = append(rects, o.Rect)
+	}
+	for _, r := range clientRects {
+		rects = append(rects, xproto.Rect{
+			X: r.X + slotX, Y: r.Y + slotY, Width: r.Width, Height: r.Height,
+		})
+	}
+	_ = wm.conn.ShapeCombineRectangles(c.frame.Window, rects)
+	// The client slot inherits the client's shape too, so hit-testing
+	// inside the frame matches the visible pixels.
+	_ = wm.conn.ShapeCombineRectangles(c.clientSlot.Window, clientRects)
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/clients"
+	"repro/internal/icccm"
+	"repro/internal/xproto"
+)
+
+func TestSelectDesktopCreatesAndSwitches(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	scr := wm.screens[0]
+	if scr.NumDesktops() != 1 || scr.CurrentDesktop() != 0 {
+		t.Fatalf("initial desktops=%d current=%d", scr.NumDesktops(), scr.CurrentDesktop())
+	}
+	if err := wm.SelectDesktop(scr, 2); err != nil {
+		t.Fatal(err)
+	}
+	if scr.NumDesktops() != 3 {
+		t.Errorf("desktops = %d, want 3 (lazy creation up to index)", scr.NumDesktops())
+	}
+	if scr.CurrentDesktop() != 2 {
+		t.Errorf("current = %d", scr.CurrentDesktop())
+	}
+	// Desktop 0 is hidden, desktop 2 visible.
+	attrs, _ := wm.conn.GetWindowAttributes(scr.Desktop)
+	if attrs.MapState != xproto.IsUnmapped {
+		t.Error("desktop 0 still mapped")
+	}
+	_ = s
+}
+
+func TestDesktopIsolation(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	scr := wm.screens[0]
+	app, c := launch(t, s, wm, clients.Config{Instance: "xterm", Class: "XTerm", Width: 200, Height: 150,
+		NormalHints: &icccm.NormalHints{Flags: icccm.USPosition, X: 100, Y: 100}})
+	if wm.DesktopOf(c) != 0 {
+		t.Fatalf("client on desktop %d", wm.DesktopOf(c))
+	}
+	// Switch to desktop 1: the client's frame becomes unviewable
+	// (its desktop is unmapped) without any Unmap of the client itself.
+	app.Pump()
+	if err := wm.SelectDesktop(scr, 1); err != nil {
+		t.Fatal(err)
+	}
+	attrs, _ := wm.conn.GetWindowAttributes(app.Win)
+	if attrs.MapState != xproto.IsUnviewable {
+		t.Errorf("client map state = %v, want unviewable on a hidden desktop", attrs.MapState)
+	}
+	for _, ev := range app.Pump() {
+		if ev.Type == xproto.UnmapNotify {
+			t.Error("client received UnmapNotify on desktop switch")
+		}
+	}
+	// New clients land on the current desktop.
+	_, c2 := launch(t, s, wm, clients.Config{Instance: "xedit", Class: "XEdit", Width: 200, Height: 150})
+	if wm.DesktopOf(c2) != 1 {
+		t.Errorf("new client on desktop %d, want 1", wm.DesktopOf(c2))
+	}
+	// Back to desktop 0: the first client is visible again.
+	if err := wm.SelectDesktop(scr, 0); err != nil {
+		t.Fatal(err)
+	}
+	attrs, _ = wm.conn.GetWindowAttributes(app.Win)
+	if attrs.MapState != xproto.IsViewable {
+		t.Error("client not viewable after returning to its desktop")
+	}
+}
+
+func TestDesktopPanRemembered(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	scr := wm.screens[0]
+	wm.PanTo(scr, 300, 200)
+	if err := wm.SelectDesktop(scr, 1); err != nil {
+		t.Fatal(err)
+	}
+	if scr.PanX != 0 || scr.PanY != 0 {
+		t.Errorf("fresh desktop pan = (%d,%d), want (0,0)", scr.PanX, scr.PanY)
+	}
+	wm.PanTo(scr, 700, 600)
+	if err := wm.SelectDesktop(scr, 0); err != nil {
+		t.Fatal(err)
+	}
+	if scr.PanX != 300 || scr.PanY != 200 {
+		t.Errorf("desktop 0 pan = (%d,%d), want the remembered (300,200)", scr.PanX, scr.PanY)
+	}
+	if err := wm.SelectDesktop(scr, 1); err != nil {
+		t.Fatal(err)
+	}
+	if scr.PanX != 700 || scr.PanY != 600 {
+		t.Errorf("desktop 1 pan = (%d,%d), want (700,600)", scr.PanX, scr.PanY)
+	}
+	_ = s
+}
+
+func TestStickyVisibleOnEveryDesktop(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	scr := wm.screens[0]
+	_, c := launch(t, s, wm, clients.Config{Instance: "xclock", Class: "XClock", Width: 120, Height: 120})
+	if err := wm.Stick(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := wm.SelectDesktop(scr, 1); err != nil {
+		t.Fatal(err)
+	}
+	attrs, _ := wm.conn.GetWindowAttributes(c.Win)
+	if attrs.MapState != xproto.IsViewable {
+		t.Error("sticky window hidden by desktop switch")
+	}
+	if wm.DesktopOf(c) != -1 {
+		t.Errorf("sticky DesktopOf = %d, want -1", wm.DesktopOf(c))
+	}
+}
+
+func TestSendToDesktop(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	scr := wm.screens[0]
+	app, c := launch(t, s, wm, clients.Config{Instance: "xterm", Class: "XTerm", Width: 200, Height: 150})
+	if err := wm.SelectDesktop(scr, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := wm.SelectDesktop(scr, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := wm.SendToDesktop(c, 1); err != nil {
+		t.Fatal(err)
+	}
+	if wm.DesktopOf(c) != 1 {
+		t.Errorf("client on desktop %d after send", wm.DesktopOf(c))
+	}
+	// SWM_ROOT follows the frame to the new desktop.
+	got, ok := SwmRoot(app.Conn, app.Win)
+	if !ok || got != wm.desktopWindow(scr, 1) {
+		t.Errorf("SWM_ROOT = %v, want desktop 1 window", got)
+	}
+	// Invalid targets are rejected.
+	if err := wm.SendToDesktop(c, 9); err == nil {
+		t.Error("send to nonexistent desktop accepted")
+	}
+	if err := wm.Stick(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := wm.SendToDesktop(c, 0); err == nil {
+		t.Error("send of a sticky window accepted")
+	}
+}
+
+func TestDesktopFunctions(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	scr := wm.screens[0]
+	ctx := &FuncContext{Screen: scr}
+	if err := wm.ExecuteString(ctx, "f.selectdesktop(2)"); err != nil {
+		t.Fatal(err)
+	}
+	if scr.CurrentDesktop() != 2 {
+		t.Errorf("current = %d", scr.CurrentDesktop())
+	}
+	if err := wm.ExecuteString(ctx, "f.nextdesktop"); err != nil {
+		t.Fatal(err)
+	}
+	if scr.CurrentDesktop() != 0 {
+		t.Errorf("after nextdesktop: %d, want wraparound to 0", scr.CurrentDesktop())
+	}
+	_, c := launch(t, s, wm, clients.Config{Instance: "xterm", Class: "XTerm", Width: 100, Height: 100})
+	if err := wm.ExecuteString(&FuncContext{Client: c, Screen: scr}, "f.sendtodesktop(1)"); err != nil {
+		t.Fatal(err)
+	}
+	if wm.DesktopOf(c) != 1 {
+		t.Errorf("client desktop = %d", wm.DesktopOf(c))
+	}
+}
+
+func TestSelectDesktopWithoutVirtualDesktop(t *testing.T) {
+	_, wm := newWM(t, Options{})
+	if err := wm.SelectDesktop(wm.screens[0], 1); err == nil {
+		t.Error("desktop switch accepted without Virtual Desktop")
+	}
+}
+
+func TestPannerTracksDesktopSwitch(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true, EnablePanner: true})
+	scr := wm.screens[0]
+	launch(t, s, wm, clients.Config{Instance: "a", Class: "A", Width: 300, Height: 200,
+		NormalHints: &icccm.NormalHints{Flags: icccm.USPosition, X: 400, Y: 300}})
+	if got := len(scr.Panner().Miniatures()); got != 1 {
+		t.Fatalf("minis on desktop 0: %d", got)
+	}
+	if err := wm.SelectDesktop(scr, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The panner shows the current desktop; the desktop-0 client still
+	// appears because miniatures track all normal-state clients of the
+	// screen — but the client is on another desktop, which DesktopOf
+	// distinguishes.
+	_, c2 := launch(t, s, wm, clients.Config{Instance: "b", Class: "B", Width: 300, Height: 200})
+	if wm.DesktopOf(c2) != 1 {
+		t.Errorf("new client desktop = %d", wm.DesktopOf(c2))
+	}
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/icccm"
+	"repro/internal/xproto"
+)
+
+// Panner is the Virtual Desktop panner (paper §6.1): a miniature
+// representation of the whole desktop showing every client window and
+// an outline of the current viewport. Button 1 pans; button 2 over a
+// miniature moves the corresponding client; resizing the panner resizes
+// the desktop. The panner window is managed like any other client (it
+// is reparented and decorated) and is sticky so it never pans itself
+// off-screen.
+type Panner struct {
+	wm  *WM
+	scr *Screen
+
+	// content is the panner's client window (owned by the WM
+	// connection, managed through the normal client path).
+	content xproto.XID
+	client  *Client
+
+	scale int // desktop pixels per panner pixel
+
+	viewport xproto.XID             // viewport outline child window
+	minis    map[xproto.XID]*Client // miniature child -> client
+}
+
+// createPanner builds and manages the panner window.
+func (wm *WM) createPanner(scr *Screen) error {
+	scale := wm.opts.PannerScale
+	pw := scr.DesktopW / scale
+	ph := scr.DesktopH / scale
+	if pw < 10 {
+		pw = 10
+	}
+	if ph < 10 {
+		ph = 10
+	}
+	content, err := wm.conn.CreateWindow(scr.Root,
+		xproto.Rect{X: scr.Width - pw - 20, Y: scr.Height - ph - 40, Width: pw, Height: ph},
+		1, xserverAttrs("panner"))
+	if err != nil {
+		return err
+	}
+	p := &Panner{
+		wm: wm, scr: scr, content: content, scale: scale,
+		minis: make(map[xproto.XID]*Client),
+	}
+	_ = icccm.SetClass(wm.conn, content, icccm.Class{Instance: "panner", Class: "SwmPanner"})
+	_ = icccm.SetName(wm.conn, content, "Virtual Desktop")
+	// The panner must not pan with the desktop: start sticky.
+	wm.db.MustPut("swm*SwmPanner*sticky", "True")
+	if err := wm.conn.SelectInput(content,
+		xproto.ButtonPressMask|xproto.ButtonReleaseMask|xproto.PointerMotionMask); err != nil {
+		return err
+	}
+	if err := wm.conn.MapWindow(content); err != nil {
+		return err
+	}
+	scr.panner = p
+	c, err := wm.Manage(content)
+	if err != nil {
+		return err
+	}
+	c.isPanner = true
+	p.client = c
+
+	// Viewport outline.
+	vp, err := wm.conn.CreateWindow(content, xproto.Rect{
+		X: 0, Y: 0, Width: scr.Width / scale, Height: scr.Height / scale,
+	}, 1, xserverAttrs("view"))
+	if err != nil {
+		return err
+	}
+	if err := wm.conn.MapWindow(vp); err != nil {
+		return err
+	}
+	p.viewport = vp
+	wm.updatePanner(scr)
+	return nil
+}
+
+// Panner returns the screen's panner (nil when disabled).
+func (scr *Screen) Panner() *Panner { return scr.panner }
+
+// Window returns the panner's content window.
+func (p *Panner) Window() xproto.XID { return p.content }
+
+// Client returns the managed client wrapping the panner.
+func (p *Panner) Client() *Client { return p.client }
+
+// Scale returns desktop pixels per panner pixel.
+func (p *Panner) Scale() int { return p.scale }
+
+// Miniatures returns the miniature-window -> client mapping.
+func (p *Panner) Miniatures() map[xproto.XID]*Client {
+	out := make(map[xproto.XID]*Client, len(p.minis))
+	for k, v := range p.minis {
+		out[k] = v
+	}
+	return out
+}
+
+// updatePanner rebuilds the miniature windows to match current client
+// geometry. Sticky clients and the panner itself are not shown: they do
+// not live on the desktop.
+func (wm *WM) updatePanner(scr *Screen) {
+	p := scr.panner
+	if p == nil {
+		return
+	}
+	for mini := range p.minis {
+		_ = wm.conn.DestroyWindow(mini)
+		delete(p.minis, mini)
+	}
+	for _, c := range wm.clients {
+		if c.scr != scr || c.Sticky || c.isPanner || c.State != xproto.NormalState {
+			continue
+		}
+		r := xproto.Rect{
+			X:      c.FrameRect.X / p.scale,
+			Y:      c.FrameRect.Y / p.scale,
+			Width:  max(c.FrameRect.Width/p.scale, 2),
+			Height: max(c.FrameRect.Height/p.scale, 2),
+		}
+		mini, err := wm.conn.CreateWindow(p.content, r, 0, xserverAttrs(miniLabel(c)))
+		if err != nil {
+			continue
+		}
+		_ = wm.conn.SetWindowFill(mini, '#')
+		if err := wm.conn.MapWindow(mini); err != nil {
+			continue
+		}
+		p.minis[mini] = c
+	}
+	wm.updatePannerViewport(scr)
+}
+
+func miniLabel(c *Client) string {
+	if c.Class.Instance != "" {
+		return c.Class.Instance
+	}
+	return c.Name
+}
+
+// updatePannerViewport moves the viewport outline to the current pan
+// position.
+func (wm *WM) updatePannerViewport(scr *Screen) {
+	p := scr.panner
+	if p == nil || p.viewport == xproto.None {
+		return
+	}
+	_ = wm.conn.MoveWindow(p.viewport, scr.PanX/p.scale, scr.PanY/p.scale)
+	_ = wm.conn.RaiseWindow(p.viewport)
+}
+
+// handlePress processes a button press inside the panner content
+// window at panner-relative (x, y).
+func (p *Panner) handlePress(button, x, y int) {
+	wm := p.wm
+	switch button {
+	case xproto.Button1:
+		// Pan so the clicked point becomes the viewport center
+		// ("the current position outline can be moved to view another
+		// portion of the desktop").
+		wm.PanTo(p.scr, x*p.scale-p.scr.Width/2, y*p.scale-p.scr.Height/2)
+	case xproto.Button2:
+		// Start a move of the client whose miniature is under the
+		// pointer ("a move operation is started on the window").
+		mini := p.miniAt(x, y)
+		if mini == xproto.None {
+			return
+		}
+		c := p.minis[mini]
+		wm.moveState = &moveState{client: c, viaPanner: true}
+	}
+}
+
+// handleRelease finishes a panner-mediated move: the client frame is
+// repositioned to the drop point, scaled up to desktop coordinates.
+func (p *Panner) handleRelease(button, x, y int) {
+	wm := p.wm
+	if button != xproto.Button2 || wm.moveState == nil || !wm.moveState.viaPanner {
+		return
+	}
+	c := wm.moveState.client
+	wm.moveState = nil
+	wm.moveFrame(c, x*p.scale, y*p.scale)
+	wm.updatePanner(p.scr)
+}
+
+// miniAt returns the miniature window containing the panner-relative
+// point.
+func (p *Panner) miniAt(x, y int) xproto.XID {
+	for mini, c := range p.minis {
+		_ = c
+		g, err := p.wm.conn.GetGeometry(mini)
+		if err != nil {
+			continue
+		}
+		if g.Rect.Contains(x, y) {
+			return mini
+		}
+	}
+	return xproto.None
+}
+
+// handleResize reacts to the panner client being resized: "The act of
+// resizing the panner object causes the underlying Virtual Desktop
+// window to resize."
+func (p *Panner) handleResize(w, h int) {
+	wm := p.wm
+	wm.ResizeDesktop(p.scr, w*p.scale, h*p.scale)
+	_ = wm.conn.MoveResizeWindow(p.viewport, xproto.Rect{
+		X: p.scr.PanX / p.scale, Y: p.scr.PanY / p.scale,
+		Width: p.scr.Width / p.scale, Height: p.scr.Height / p.scale,
+	})
+}
+
+// MiniatureClients returns the clients currently represented by
+// miniatures, sorted by frame position for deterministic iteration.
+func (p *Panner) MiniatureClients() []*Client {
+	out := make([]*Client, 0, len(p.minis))
+	for _, c := range p.minis {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FrameRect.Y != out[j].FrameRect.Y {
+			return out[i].FrameRect.Y < out[j].FrameRect.Y
+		}
+		return out[i].FrameRect.X < out[j].FrameRect.X
+	})
+	return out
+}

@@ -1,0 +1,171 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseFullGeometry(t *testing.T) {
+	// The paper's swmhints example: -geometry 120x120+1010+359
+	g, err := Parse("120x120+1010+359")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasSize || g.Width != 120 || g.Height != 120 {
+		t.Errorf("size = %dx%d", g.Width, g.Height)
+	}
+	if !g.HasPosition || g.X != 1010 || g.Y != 359 {
+		t.Errorf("pos = %+d%+d", g.X, g.Y)
+	}
+}
+
+func TestParseSizeOnly(t *testing.T) {
+	g, err := Parse("100x100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasSize || g.HasPosition {
+		t.Errorf("HasSize=%v HasPosition=%v", g.HasSize, g.HasPosition)
+	}
+}
+
+func TestParsePositionOnly(t *testing.T) {
+	g, err := Parse("+0+0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.HasSize || !g.HasPosition || g.X != 0 || g.Y != 0 {
+		t.Errorf("%+v", g)
+	}
+}
+
+func TestParseNegativeOffsets(t *testing.T) {
+	g, err := Parse("80x24-10-20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.X != -10 || g.Y != -20 || !g.XNegative || !g.YNegative {
+		t.Errorf("%+v", g)
+	}
+}
+
+func TestParseMinusZeroDiffersFromPlusZero(t *testing.T) {
+	gm, err := Parse("-0-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := Parse("+0+0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gm.XNegative || !gm.YNegative || gp.XNegative || gp.YNegative {
+		t.Error("sign flags not preserved for zero offsets")
+	}
+	// Applied to a 1000x800 screen with a 100x50 window:
+	x, y, _, _ := gm.Apply(1000, 800, 100, 50)
+	if x != 900 || y != 750 {
+		t.Errorf("-0-0 => (%d,%d), want (900,750)", x, y)
+	}
+	x, y, _, _ = gp.Apply(1000, 800, 100, 50)
+	if x != 0 || y != 0 {
+		t.Errorf("+0+0 => (%d,%d), want (0,0)", x, y)
+	}
+}
+
+func TestParseEqualsPrefix(t *testing.T) {
+	g, err := Parse("=300x200+5+5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Width != 300 || g.X != 5 {
+		t.Errorf("%+v", g)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "x", "100", "100x", "100x200+", "+5", "+5+6junk", "axb"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestApplySizeOverride(t *testing.T) {
+	g, _ := Parse("120x120+10+10")
+	x, y, w, h := g.Apply(1000, 1000, 50, 50)
+	if w != 120 || h != 120 || x != 10 || y != 10 {
+		t.Errorf("(%d,%d,%d,%d)", x, y, w, h)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"120x120+1010+359", "100x100", "+0+0", "-0-0", "80x24-10+5"} {
+		g, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got := g.String(); got != s {
+			t.Errorf("String() = %q, want %q", got, s)
+		}
+	}
+}
+
+func TestParseStringRoundTripProperty(t *testing.T) {
+	f := func(w, h uint16, x, y int16) bool {
+		g := Geometry{
+			HasSize: true, Width: int(w), Height: int(h),
+			HasPosition: true, X: int(x), Y: int(y),
+			XNegative: x < 0, YNegative: y < 0,
+		}
+		g2, err := Parse(g.String())
+		if err != nil {
+			return false
+		}
+		return g2 == g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- panel positions ---
+
+func TestParsePanelPosSimple(t *testing.T) {
+	p, err := ParsePanelPos("+0+1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Col != 0 || p.Row != 1 || p.ColCentered || p.ColFromRight {
+		t.Errorf("%+v", p)
+	}
+}
+
+func TestParsePanelPosCentered(t *testing.T) {
+	// The paper: `button name +C+0` centers the name button in row 0.
+	p, err := ParsePanelPos("+C+0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.ColCentered || p.Row != 0 {
+		t.Errorf("%+v", p)
+	}
+}
+
+func TestParsePanelPosFromRight(t *testing.T) {
+	// The paper: `button nail -0+0` puts the nail at the right edge.
+	p, err := ParsePanelPos("-0+0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.ColFromRight || p.Col != 0 || p.Row != 0 {
+		t.Errorf("%+v", p)
+	}
+}
+
+func TestParsePanelPosErrors(t *testing.T) {
+	for _, bad := range []string{"", "+0", "0+0", "+0+0x", "+x+0", "++0"} {
+		if _, err := ParsePanelPos(bad); err == nil {
+			t.Errorf("ParsePanelPos(%q) accepted", bad)
+		}
+	}
+}

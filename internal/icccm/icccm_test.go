@@ -1,0 +1,266 @@
+package icccm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xproto"
+	"repro/internal/xserver"
+)
+
+func testConnWindow(t *testing.T) (*xserver.Conn, xproto.XID) {
+	t.Helper()
+	s := xserver.NewServer()
+	c := s.Connect("icccm-test")
+	w, err := c.CreateWindow(s.Screens()[0].Root, xproto.Rect{Width: 100, Height: 100}, 0, xserver.WindowAttributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, w
+}
+
+func TestNormalHintsRoundTrip(t *testing.T) {
+	c, w := testConnWindow(t)
+	in := NormalHints{
+		Flags: USPosition | PSize | PMinSize | PResizeInc,
+		X:     -100, Y: 359, Width: 120, Height: 120,
+		MinWidth: 10, MinHeight: 20, MaxWidth: 2000, MaxHeight: 1500,
+		WidthInc: 6, HeightInc: 13,
+	}
+	if err := SetNormalHints(c, w, in); err != nil {
+		t.Fatal(err)
+	}
+	out, ok, err := GetNormalHints(c, w)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestNormalHintsAbsent(t *testing.T) {
+	c, w := testConnWindow(t)
+	_, ok, err := GetNormalHints(c, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("hints reported present on a bare window")
+	}
+}
+
+func TestNormalHintsEncodingProperty(t *testing.T) {
+	f := func(flags uint32, x, y, w, h int16) bool {
+		in := NormalHints{Flags: flags, X: int(x), Y: int(y), Width: int(w), Height: int(h)}
+		out, err := DecodeNormalHints(EncodeNormalHints(in))
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeNormalHintsTooShort(t *testing.T) {
+	if _, err := DecodeNormalHints([]byte{1, 2}); err == nil {
+		t.Error("short data accepted")
+	}
+}
+
+func TestHintsRoundTrip(t *testing.T) {
+	c, w := testConnWindow(t)
+	in := Hints{
+		Flags: StateHint | IconPositionHint | IconPixmapHint | InputHint,
+		Input: true, InitialState: xproto.IconicState,
+		IconPixmap: "xlogo32", IconX: 5, IconY: -7,
+	}
+	if err := SetHints(c, w, in); err != nil {
+		t.Fatal(err)
+	}
+	out, ok, err := GetHints(c, w)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if out != in {
+		t.Errorf("got %+v, want %+v", out, in)
+	}
+}
+
+func TestHintsIconWindow(t *testing.T) {
+	c, w := testConnWindow(t)
+	in := Hints{Flags: IconWindowHint, IconWindow: 0xabcd}
+	if err := SetHints(c, w, in); err != nil {
+		t.Fatal(err)
+	}
+	out, _, _ := GetHints(c, w)
+	if out.IconWindow != 0xabcd {
+		t.Errorf("icon window = %#x", uint32(out.IconWindow))
+	}
+}
+
+func TestClassRoundTrip(t *testing.T) {
+	c, w := testConnWindow(t)
+	in := Class{Instance: "xclock", Class: "XClock"}
+	if err := SetClass(c, w, in); err != nil {
+		t.Fatal(err)
+	}
+	out, ok, err := GetClass(c, w)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if out != in {
+		t.Errorf("got %+v", out)
+	}
+}
+
+func TestDecodeClassMalformed(t *testing.T) {
+	if _, err := DecodeClass([]byte("justone\x00")); err == nil {
+		t.Error("single-component WM_CLASS accepted")
+	}
+}
+
+func TestNameIconName(t *testing.T) {
+	c, w := testConnWindow(t)
+	if err := SetName(c, w, "emacs: main.go"); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetIconName(c, w, "emacs"); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := GetName(c, w); !ok || got != "emacs: main.go" {
+		t.Errorf("name = %q ok=%v", got, ok)
+	}
+	if got, ok := GetIconName(c, w); !ok || got != "emacs" {
+		t.Errorf("icon name = %q ok=%v", got, ok)
+	}
+}
+
+func TestCommandRoundTrip(t *testing.T) {
+	c, w := testConnWindow(t)
+	argv := []string{"oclock", "-geom", "100x100"}
+	if err := SetCommand(c, w, argv); err != nil {
+		t.Fatal(err)
+	}
+	out, ok := GetCommand(c, w)
+	if !ok || len(out) != 3 {
+		t.Fatalf("out=%v ok=%v", out, ok)
+	}
+	for i := range argv {
+		if out[i] != argv[i] {
+			t.Errorf("argv[%d] = %q, want %q", i, out[i], argv[i])
+		}
+	}
+}
+
+func TestCommandEncodeDecodeProperty(t *testing.T) {
+	f := func(parts []string) bool {
+		// NULs inside arguments are not representable; skip those.
+		for _, p := range parts {
+			for i := 0; i < len(p); i++ {
+				if p[i] == 0 {
+					return true
+				}
+			}
+			if p == "" {
+				return true // empty args are ambiguous in the wire format
+			}
+		}
+		out := DecodeCommand(EncodeCommand(parts))
+		if len(out) != len(parts) {
+			return len(parts) == 0 && out == nil
+		}
+		for i := range parts {
+			if out[i] != parts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClientMachine(t *testing.T) {
+	c, w := testConnWindow(t)
+	if err := SetClientMachine(c, w, "remotehost"); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := GetClientMachine(c, w); !ok || got != "remotehost" {
+		t.Errorf("machine = %q ok=%v", got, ok)
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	c, w := testConnWindow(t)
+	in := State{State: xproto.IconicState, IconWindow: 0x42}
+	if err := SetState(c, w, in); err != nil {
+		t.Fatal(err)
+	}
+	out, ok := GetState(c, w)
+	if !ok || out != in {
+		t.Errorf("got %+v ok=%v", out, ok)
+	}
+}
+
+func TestProtocols(t *testing.T) {
+	c, w := testConnWindow(t)
+	if err := SetProtocols(c, w, []string{"WM_DELETE_WINDOW", "WM_TAKE_FOCUS"}); err != nil {
+		t.Fatal(err)
+	}
+	if !HasProtocol(c, w, "WM_DELETE_WINDOW") {
+		t.Error("WM_DELETE_WINDOW not found")
+	}
+	if !HasProtocol(c, w, "WM_TAKE_FOCUS") {
+		t.Error("WM_TAKE_FOCUS not found")
+	}
+	if HasProtocol(c, w, "WM_SAVE_YOURSELF") {
+		t.Error("phantom protocol reported")
+	}
+}
+
+func TestSendDeleteWindow(t *testing.T) {
+	s := xserver.NewServer()
+	client := s.Connect("client")
+	wm := s.Connect("wm")
+	w, err := client.CreateWindow(s.Screens()[0].Root, xproto.Rect{Width: 10, Height: 10}, 0, xserver.WindowAttributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SendDeleteWindow(wm, w); err != nil {
+		t.Fatal(err)
+	}
+	ev, ok := client.PollEvent()
+	if !ok || ev.Type != xproto.ClientMessage {
+		t.Fatalf("ev=%+v ok=%v", ev, ok)
+	}
+	if client.AtomName(ev.MessageType) != "WM_PROTOCOLS" {
+		t.Errorf("message type = %q", client.AtomName(ev.MessageType))
+	}
+	if client.AtomName(DecodeAtom32(ev.Data)) != "WM_DELETE_WINDOW" {
+		t.Errorf("payload atom = %q", client.AtomName(DecodeAtom32(ev.Data)))
+	}
+}
+
+func TestSyntheticConfigureNotify(t *testing.T) {
+	s := xserver.NewServer()
+	client := s.Connect("client")
+	wm := s.Connect("wm")
+	w, err := client.CreateWindow(s.Screens()[0].Root, xproto.Rect{Width: 50, Height: 60}, 0, xserver.WindowAttributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SelectInput(w, xproto.StructureNotifyMask); err != nil {
+		t.Fatal(err)
+	}
+	if err := SendSyntheticConfigureNotify(wm, w, 310, 420, 50, 60); err != nil {
+		t.Fatal(err)
+	}
+	ev, ok := client.PollEvent()
+	if !ok || ev.Type != xproto.ConfigureNotify || !ev.SendEvent {
+		t.Fatalf("ev=%+v ok=%v", ev, ok)
+	}
+	if ev.GX != 310 || ev.GY != 420 {
+		t.Errorf("synthetic coords (%d,%d)", ev.GX, ev.GY)
+	}
+}

@@ -1,0 +1,279 @@
+package objects
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/xproto"
+	"repro/internal/xserver"
+)
+
+// Layout computes geometry for a panel's object tree. Objects within a
+// panel are organized into rows (the Y component of each object's
+// position selects the row); within a row, left-anchored objects pack
+// from the left in column order, right-anchored ("-N") objects pack
+// from the right, and centered ("+C") objects split the remaining space
+// (paper §4.1).
+//
+// clientW/clientH give the size of the special "client" panel, if the
+// tree contains one (zero for panels without a client slot). Layout
+// returns the panel's total size.
+func Layout(root *Object, clientW, clientH int) (w, h int) {
+	layoutPanel(root, clientW, clientH)
+	return root.Rect.Width, root.Rect.Height
+}
+
+type rowInfo struct {
+	index  int
+	items  []*Object
+	width  int // natural width of all items
+	height int
+}
+
+func layoutPanel(p *Object, clientW, clientH int) {
+	if p.Kind != KindPanel {
+		w, h := p.naturalSize()
+		p.Rect.Width, p.Rect.Height = w, h
+		return
+	}
+	if p.Name == "client" && len(p.Children) == 0 {
+		p.Rect.Width, p.Rect.Height = clientW, clientH
+		return
+	}
+	if len(p.Children) == 0 {
+		// An empty non-client panel keeps any size it was given, or a
+		// minimal placeholder.
+		if p.Rect.Width == 0 {
+			p.Rect.Width = MinButtonWpx
+		}
+		if p.Rect.Height == 0 {
+			p.Rect.Height = CharHeight + 2*ObjectPadY
+		}
+		return
+	}
+
+	// Size children first (nested panels recurse).
+	for _, c := range p.Children {
+		layoutPanel(c, clientW, clientH)
+	}
+
+	// Group into rows.
+	rowsByIndex := map[int]*rowInfo{}
+	for _, c := range p.Children {
+		ri, ok := rowsByIndex[c.Pos.Row]
+		if !ok {
+			ri = &rowInfo{index: c.Pos.Row}
+			rowsByIndex[c.Pos.Row] = ri
+		}
+		ri.items = append(ri.items, c)
+		ri.width += c.Rect.Width
+		if c.Rect.Height > ri.height {
+			ri.height = c.Rect.Height
+		}
+	}
+	rows := make([]*rowInfo, 0, len(rowsByIndex))
+	for _, ri := range rowsByIndex {
+		rows = append(rows, ri)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].index < rows[j].index })
+
+	// Panel content width is the widest row.
+	width := 0
+	for _, ri := range rows {
+		if ri.width > width {
+			width = ri.width
+		}
+	}
+
+	// Place rows top to bottom, items within each row by anchor class.
+	y := 0
+	for _, ri := range rows {
+		placeRow(ri, width, y)
+		y += ri.height + RowGap
+	}
+	height := y - RowGap
+
+	p.Rect.Width = width
+	p.Rect.Height = height
+}
+
+// placeRow assigns x positions within one row.
+func placeRow(ri *rowInfo, panelWidth, y int) {
+	var left, right, center []*Object
+	for _, c := range ri.items {
+		switch {
+		case c.Pos.ColCentered:
+			center = append(center, c)
+		case c.Pos.ColFromRight:
+			right = append(right, c)
+		default:
+			left = append(left, c)
+		}
+	}
+	sort.SliceStable(left, func(i, j int) bool { return left[i].Pos.Col < left[j].Pos.Col })
+	// Right-anchored: column 0 is flush against the right edge, column 1
+	// next to it, etc.
+	sort.SliceStable(right, func(i, j int) bool { return right[i].Pos.Col < right[j].Pos.Col })
+
+	x := 0
+	for _, c := range left {
+		c.Rect.X = x
+		c.Rect.Y = y + (ri.height-c.Rect.Height)/2
+		x += c.Rect.Width
+	}
+	leftEnd := x
+
+	rx := panelWidth
+	for _, c := range right {
+		rx -= c.Rect.Width
+		c.Rect.X = rx
+		c.Rect.Y = y + (ri.height-c.Rect.Height)/2
+	}
+	rightStart := rx
+
+	// Centered objects share the hole between left and right packs,
+	// centered as a group within the full panel width (matching how the
+	// OpenLook name button sits centered in the titlebar).
+	if len(center) > 0 {
+		total := 0
+		for _, c := range center {
+			total += c.Rect.Width
+		}
+		start := (panelWidth - total) / 2
+		if start < leftEnd {
+			start = leftEnd
+		}
+		if start+total > rightStart {
+			start = rightStart - total
+		}
+		for _, c := range center {
+			c.Rect.X = start
+			c.Rect.Y = y + (ri.height-c.Rect.Height)/2
+			start += c.Rect.Width
+		}
+	}
+}
+
+// ShapeRects computes the union-of-children shape for a panel whose
+// Shape attribute is set without an explicit mask: "if a panel object is
+// to be shaped and no shape mask is specified, it is shaped to contain
+// its children" (§5.1). Rectangles are relative to the panel.
+func ShapeRects(p *Object) []xproto.Rect {
+	var rects []xproto.Rect
+	for _, c := range p.Children {
+		rects = append(rects, c.Rect)
+	}
+	if len(rects) == 0 {
+		rects = append(rects, xproto.Rect{Width: p.Rect.Width, Height: p.Rect.Height})
+	}
+	return rects
+}
+
+// Realize creates server windows for the object tree: the root panel
+// becomes a child of parent at (x, y), children nest inside it. Buttons
+// and text objects select button/key/crossing events so bindings can
+// fire. Realize maps every interior window except the "client" slot
+// (the client window itself is reparented into that slot by the window
+// manager); the tree root stays unmapped until the caller maps it.
+func Realize(conn *xserver.Conn, root *Object, parent xproto.XID, x, y int) error {
+	root.Rect.X, root.Rect.Y = x, y
+	return realize(conn, root, parent, true)
+}
+
+func realize(conn *xserver.Conn, o *Object, parent xproto.XID, isRoot bool) error {
+	if o.Rect.Width <= 0 || o.Rect.Height <= 0 {
+		// Give degenerate objects a minimal footprint so the server
+		// accepts them; layout normally prevents this.
+		if o.Rect.Width <= 0 {
+			o.Rect.Width = 1
+		}
+		if o.Rect.Height <= 0 {
+			o.Rect.Height = 1
+		}
+	}
+	fill := byte(' ')
+	switch o.Kind {
+	case KindButton:
+		fill = '.'
+	case KindText:
+		fill = ' '
+	case KindMenu:
+		fill = ':'
+	}
+	id, err := conn.CreateWindow(parent, o.Rect, 0, xserver.WindowAttributes{
+		OverrideRedirect: true, // decoration internals are never managed
+		Fill:             fill,
+		Label:            o.label,
+	})
+	if err != nil {
+		return fmt.Errorf("objects: realizing %s %q: %w", o.Kind, o.Name, err)
+	}
+	o.Window = id
+	var mask xproto.EventMask
+	if o.Bindings != nil {
+		mask |= xproto.ButtonPressMask | xproto.ButtonReleaseMask |
+			xproto.KeyPressMask | xproto.KeyReleaseMask |
+			xproto.EnterWindowMask | xproto.LeaveWindowMask
+	}
+	if mask != 0 {
+		if err := conn.SelectInput(id, mask); err != nil {
+			return err
+		}
+	}
+	for _, c := range o.Children {
+		if err := realize(conn, c, id, false); err != nil {
+			return err
+		}
+	}
+	// Apply shaping after children exist so union-of-children works.
+	if o.Attrs.Shape && o.Kind == KindPanel {
+		if err := conn.ShapeCombineRectangles(id, ShapeRects(o)); err != nil {
+			return err
+		}
+	}
+	if !isRoot && !(o.Kind == KindPanel && o.Name == "client") {
+		if err := conn.MapWindow(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SyncGeometry pushes layout changes of an already-realized tree back to
+// the server (used after dynamic label changes re-run Layout).
+func SyncGeometry(conn *xserver.Conn, root *Object) error {
+	var firstErr error
+	root.Walk(func(o *Object) {
+		if o.Window == xproto.None {
+			return
+		}
+		if err := conn.MoveResizeWindow(o.Window, o.Rect); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := conn.SetWindowLabel(o.Window, o.label); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	})
+	return firstErr
+}
+
+// Destroy tears down the realized windows of the tree.
+func Destroy(conn *xserver.Conn, root *Object) error {
+	if root.Window == xproto.None {
+		return nil
+	}
+	err := conn.DestroyWindow(root.Window)
+	root.Walk(func(o *Object) { o.Window = xproto.None })
+	return err
+}
+
+// FindByWindow returns the object realized as the given window, or nil.
+func FindByWindow(root *Object, id xproto.XID) *Object {
+	var hit *Object
+	root.Walk(func(o *Object) {
+		if o.Window == id {
+			hit = o
+		}
+	})
+	return hit
+}

@@ -1,0 +1,172 @@
+package objects
+
+import (
+	"testing"
+
+	"repro/internal/xrdb"
+)
+
+func TestLayoutMenuObjectsAreColumn(t *testing.T) {
+	ctx := newCtx(t, `Swm*panel.m: \
+	button one +0+0 \
+	button two +0+1 \
+	button three +0+2
+`)
+	root, err := Build(ctx, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Layout(root, 0, 0)
+	var lastY int = -1
+	for _, name := range []string{"one", "two", "three"} {
+		o := root.Find(name)
+		if o.Rect.Y <= lastY {
+			t.Errorf("%s not below previous item (y=%d after %d)", name, o.Rect.Y, lastY)
+		}
+		if o.Rect.X != 0 {
+			t.Errorf("%s not left-aligned (x=%d)", name, o.Rect.X)
+		}
+		lastY = o.Rect.Y
+	}
+	// The panel is as wide as the widest item.
+	if root.Rect.Width != root.Find("three").Rect.Width {
+		t.Errorf("panel width %d != widest item %d", root.Rect.Width, root.Find("three").Rect.Width)
+	}
+}
+
+func TestLayoutOnlyRightAnchored(t *testing.T) {
+	ctx := newCtx(t, "Swm*panel.p: button a -0+0\nSwm*panel.p.unused: x\n")
+	root, err := Build(ctx, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := Layout(root, 0, 0)
+	a := root.Find("a")
+	if a.Rect.X+a.Rect.Width != w {
+		t.Errorf("right-anchored item not at right edge: %v in width %d", a.Rect, w)
+	}
+}
+
+func TestLayoutMultipleCentered(t *testing.T) {
+	ctx := newCtx(t, `Swm*panel.p: \
+	button aa +C+0 \
+	button bb +C+0 \
+	panel client +0+1
+`)
+	root, err := Build(ctx, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := Layout(root, 400, 100)
+	aa, bb := root.Find("aa"), root.Find("bb")
+	// The centered group is contiguous...
+	if bb.Rect.X != aa.Rect.X+aa.Rect.Width {
+		t.Errorf("centered group not contiguous: %v %v", aa.Rect, bb.Rect)
+	}
+	// ...and roughly centered in the panel.
+	groupCenter := aa.Rect.X + (aa.Rect.Width+bb.Rect.Width)/2
+	if groupCenter < w/2-CharWidth*2 || groupCenter > w/2+CharWidth*2 {
+		t.Errorf("group center %d, want ~%d", groupCenter, w/2)
+	}
+}
+
+func TestLayoutMixedRowAnchors(t *testing.T) {
+	ctx := newCtx(t, `Swm*panel.p: \
+	button l0 +0+0 \
+	button l1 +1+0 \
+	button c +C+0 \
+	button r1 -1+0 \
+	button r0 -0+0 \
+	panel client +0+1
+`)
+	root, err := Build(ctx, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := Layout(root, 500, 100)
+	l0, l1 := root.Find("l0"), root.Find("l1")
+	r0, r1 := root.Find("r0"), root.Find("r1")
+	c := root.Find("c")
+	if l0.Rect.X != 0 || l1.Rect.X != l0.Rect.Width {
+		t.Errorf("left pack wrong: %v %v", l0.Rect, l1.Rect)
+	}
+	if r0.Rect.X+r0.Rect.Width != w {
+		t.Errorf("r0 not flush right: %v (w=%d)", r0.Rect, w)
+	}
+	if r1.Rect.X+r1.Rect.Width != r0.Rect.X {
+		t.Errorf("r1 not left of r0: %v %v", r1.Rect, r0.Rect)
+	}
+	if c.Rect.X <= l1.Rect.X || c.Rect.X+c.Rect.Width >= r1.Rect.X+r1.Rect.Width {
+		t.Errorf("centered item not between packs: %v", c.Rect)
+	}
+}
+
+func TestEmptyPanelGetsPlaceholderSize(t *testing.T) {
+	o := &Object{Kind: KindPanel, Name: "empty"}
+	w, h := Layout(o, 0, 0)
+	if w <= 0 || h <= 0 {
+		t.Errorf("empty panel %dx%d", w, h)
+	}
+}
+
+func TestClientSlotWithZeroSize(t *testing.T) {
+	ctx := newCtx(t, "Swm*panel.p: panel client +0+0\n")
+	root, _ := Build(ctx, "p")
+	w, h := Layout(root, 0, 0)
+	// Degenerate but non-crashing; realize pads to 1x1.
+	if w < 0 || h < 0 {
+		t.Errorf("negative layout %dx%d", w, h)
+	}
+}
+
+func TestDestroyUnrealizedTree(t *testing.T) {
+	o := &Object{Kind: KindPanel, Name: "never"}
+	if err := Destroy(nil, o); err != nil {
+		t.Errorf("Destroy of unrealized tree errored: %v", err)
+	}
+}
+
+func TestMenuKindParsesAndSizes(t *testing.T) {
+	ctx := newCtx(t, "Swm*panel.p: menu chooser +0+0\n")
+	root, err := Build(ctx, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := root.Find("chooser")
+	if m.Kind != KindMenu {
+		t.Fatalf("kind = %v", m.Kind)
+	}
+	Layout(root, 0, 0)
+	if m.Rect.Width <= 0 {
+		t.Error("menu object has no size")
+	}
+}
+
+func BenchmarkBuildOpenLook(b *testing.B) {
+	db := xrdb.New()
+	db.MustPut("Swm*panel.openLook",
+		"button pulldown +0+0\nbutton name +C+0\nbutton nail -0+0\npanel client +0+1")
+	db.MustPut("swm*button.name.bindings", "<Btn1> : f.raise\n<Btn2> : f.move")
+	ctx := &Context{DB: db}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(ctx, "openLook"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLayoutOpenLook(b *testing.B) {
+	db := xrdb.New()
+	db.MustPut("Swm*panel.openLook",
+		"button pulldown +0+0\nbutton name +C+0\nbutton nail -0+0\npanel client +0+1")
+	ctx := &Context{DB: db}
+	root, err := Build(ctx, "openLook")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Layout(root, 300+i%10, 200)
+	}
+}

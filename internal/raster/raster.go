@@ -1,0 +1,194 @@
+// Package raster renders a snapshot of the simulated X server's window
+// tree as ASCII art. The paper's figures are screen photographs; we
+// reproduce them as deterministic text renderings of the same panel
+// definitions, at a configurable pixels-per-character-cell scale.
+package raster
+
+import (
+	"strings"
+
+	"repro/internal/xproto"
+	"repro/internal/xserver"
+)
+
+// Canvas is a fixed-size character grid.
+type Canvas struct {
+	W, H  int
+	cells [][]byte
+}
+
+// NewCanvas allocates a W x H canvas filled with spaces.
+func NewCanvas(w, h int) *Canvas {
+	cells := make([][]byte, h)
+	backing := make([]byte, w*h)
+	for i := range backing {
+		backing[i] = ' '
+	}
+	for y := range cells {
+		cells[y], backing = backing[:w], backing[w:]
+	}
+	return &Canvas{W: w, H: h, cells: cells}
+}
+
+// Set writes one cell if it is inside the canvas.
+func (c *Canvas) Set(x, y int, ch byte) {
+	if x >= 0 && y >= 0 && x < c.W && y < c.H {
+		c.cells[y][x] = ch
+	}
+}
+
+// Get reads one cell ('\x00' outside the canvas).
+func (c *Canvas) Get(x, y int) byte {
+	if x >= 0 && y >= 0 && x < c.W && y < c.H {
+		return c.cells[y][x]
+	}
+	return 0
+}
+
+// String renders the canvas, one row per line, trailing spaces trimmed.
+func (c *Canvas) String() string {
+	var sb strings.Builder
+	for _, row := range c.cells {
+		sb.WriteString(strings.TrimRight(string(row), " "))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Options configure rendering.
+type Options struct {
+	// ScaleX/ScaleY are pixels per character cell. Zero values default
+	// to 8x14 (the object layer's text metrics), which maps one text
+	// label character to one canvas cell.
+	ScaleX, ScaleY int
+	// DrawLabels centers window labels inside their boxes.
+	DrawLabels bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.ScaleX == 0 {
+		o.ScaleX = 8
+	}
+	if o.ScaleY == 0 {
+		o.ScaleY = 14
+	}
+	return o
+}
+
+// Render draws the window tree (root node clipped to its own size) and
+// returns the canvas.
+func Render(root *xserver.TreeNode, opts Options) *Canvas {
+	opts = opts.withDefaults()
+	w := (root.Rect.Width + opts.ScaleX - 1) / opts.ScaleX
+	h := (root.Rect.Height + opts.ScaleY - 1) / opts.ScaleY
+	if w < 2 {
+		w = 2
+	}
+	if h < 2 {
+		h = 2
+	}
+	cv := NewCanvas(w+1, h+1)
+	drawNode(cv, root, 0, 0, opts, true)
+	return cv
+}
+
+// RenderWindow snapshots and renders one window.
+func RenderWindow(conn *xserver.Conn, id xproto.XID, opts Options) (string, error) {
+	node, err := conn.Snapshot(id)
+	if err != nil {
+		return "", err
+	}
+	return Render(node, opts).String(), nil
+}
+
+// drawNode paints a node at the given pixel origin, then its mapped
+// children bottom-to-top so stacking order is respected.
+func drawNode(cv *Canvas, n *xserver.TreeNode, px, py int, opts Options, isRoot bool) {
+	if !n.Mapped && !isRoot {
+		return
+	}
+	// InputOnly windows are invisible by definition.
+	if n.InputOnly {
+		return
+	}
+	x0 := px / opts.ScaleX
+	y0 := py / opts.ScaleY
+	x1 := (px + n.Rect.Width) / opts.ScaleX
+	y1 := (py + n.Rect.Height) / opts.ScaleY
+	if x1 <= x0 {
+		x1 = x0 + 1
+	}
+	if y1 <= y0 {
+		y1 = y0 + 1
+	}
+
+	inShape := func(cellX, cellY int) bool {
+		if !n.Shaped {
+			return true
+		}
+		// Cell center in window-relative pixels.
+		wx := (cellX-x0)*opts.ScaleX + opts.ScaleX/2
+		wy := (cellY-y0)*opts.ScaleY + opts.ScaleY/2
+		for _, r := range n.ShapeRects {
+			if r.Contains(wx, wy) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Fill interior. A zero fill byte means "transparent": only the
+	// border is drawn (outline windows like the panner viewport).
+	if n.Fill != 0 {
+		for y := y0 + 1; y < y1; y++ {
+			for x := x0 + 1; x < x1; x++ {
+				if inShape(x, y) {
+					cv.Set(x, y, n.Fill)
+				}
+			}
+		}
+	}
+
+	// Border box.
+	for x := x0; x <= x1; x++ {
+		if inShape(x, y0) {
+			cv.Set(x, y0, '-')
+		}
+		if inShape(x, y1) {
+			cv.Set(x, y1, '-')
+		}
+	}
+	for y := y0; y <= y1; y++ {
+		if inShape(x0, y) {
+			cv.Set(x0, y, '|')
+		}
+		if inShape(x1, y) {
+			cv.Set(x1, y, '|')
+		}
+	}
+	for _, pt := range [][2]int{{x0, y0}, {x1, y0}, {x0, y1}, {x1, y1}} {
+		if inShape(pt[0], pt[1]) {
+			cv.Set(pt[0], pt[1], '+')
+		}
+	}
+
+	// Label, centered.
+	if opts.DrawLabels && n.Label != "" {
+		label := n.Label
+		maxLen := x1 - x0 - 1
+		if maxLen > 0 {
+			if len(label) > maxLen {
+				label = label[:maxLen]
+			}
+			lx := x0 + 1 + (maxLen-len(label))/2
+			ly := (y0 + y1) / 2
+			for i := 0; i < len(label); i++ {
+				cv.Set(lx+i, ly, label[i])
+			}
+		}
+	}
+
+	for _, c := range n.Children {
+		drawNode(cv, c, px+c.Rect.X, py+c.Rect.Y, opts, false)
+	}
+}

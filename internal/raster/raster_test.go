@@ -1,0 +1,181 @@
+package raster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/objects"
+	"repro/internal/xproto"
+	"repro/internal/xrdb"
+	"repro/internal/xserver"
+)
+
+func TestCanvasBasics(t *testing.T) {
+	cv := NewCanvas(10, 3)
+	cv.Set(0, 0, 'A')
+	cv.Set(9, 2, 'Z')
+	cv.Set(-1, 0, 'X') // out of range: ignored
+	cv.Set(10, 0, 'X')
+	cv.Set(0, 3, 'X')
+	if cv.Get(0, 0) != 'A' || cv.Get(9, 2) != 'Z' {
+		t.Error("set/get failed")
+	}
+	if cv.Get(-1, 0) != 0 {
+		t.Error("out-of-range get should return 0")
+	}
+	lines := strings.Split(strings.TrimRight(cv.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Errorf("got %d lines", len(lines))
+	}
+	if lines[0] != "A" {
+		t.Errorf("line 0 = %q (trailing spaces should be trimmed)", lines[0])
+	}
+}
+
+func TestRenderSingleWindowBox(t *testing.T) {
+	s := xserver.NewServer()
+	conn := s.Connect("t")
+	w, err := conn.CreateWindow(s.Screens()[0].Root,
+		xproto.Rect{Width: 80, Height: 42}, 0,
+		xserver.WindowAttributes{Label: "hello"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.MapWindow(w); err != nil {
+		t.Fatal(err)
+	}
+	out, err := RenderWindow(conn, w, Options{DrawLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "hello") {
+		t.Errorf("label missing:\n%s", out)
+	}
+	if !strings.Contains(out, "+") || !strings.Contains(out, "-") || !strings.Contains(out, "|") {
+		t.Errorf("border missing:\n%s", out)
+	}
+	// 80px wide at 8px/cell = 10 cells + border column.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines[0]) != 11 {
+		t.Errorf("top border is %d chars, want 11: %q", len(lines[0]), lines[0])
+	}
+}
+
+func TestRenderSkipsUnmappedChildren(t *testing.T) {
+	s := xserver.NewServer()
+	conn := s.Connect("t")
+	parent, _ := conn.CreateWindow(s.Screens()[0].Root, xproto.Rect{Width: 160, Height: 140}, 0, xserver.WindowAttributes{})
+	if err := conn.MapWindow(parent); err != nil {
+		t.Fatal(err)
+	}
+	hidden, _ := conn.CreateWindow(parent, xproto.Rect{X: 8, Y: 14, Width: 80, Height: 56}, 0, xserver.WindowAttributes{Label: "SECRET"})
+	_ = hidden // never mapped
+	out, err := RenderWindow(conn, parent, Options{DrawLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "SECRET") {
+		t.Errorf("unmapped child rendered:\n%s", out)
+	}
+}
+
+func TestRenderStackingOrder(t *testing.T) {
+	s := xserver.NewServer()
+	conn := s.Connect("t")
+	root := s.Screens()[0].Root
+	below, _ := conn.CreateWindow(root, xproto.Rect{X: 0, Y: 0, Width: 160, Height: 140}, 0, xserver.WindowAttributes{Fill: 'b'})
+	above, _ := conn.CreateWindow(root, xproto.Rect{X: 0, Y: 0, Width: 160, Height: 140}, 0, xserver.WindowAttributes{Fill: 'a'})
+	if err := conn.MapWindow(below); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.MapWindow(above); err != nil {
+		t.Fatal(err)
+	}
+	out, err := RenderWindow(conn, root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "b") {
+		t.Errorf("occluded window visible:\n%s", out)
+	}
+	if !strings.Contains(out, "a") {
+		t.Errorf("top window invisible:\n%s", out)
+	}
+	// Raise the lower one and re-render.
+	if err := conn.RaiseWindow(below); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = RenderWindow(conn, root, Options{})
+	if !strings.Contains(out, "b") || strings.Contains(out, "a") {
+		t.Errorf("stacking change not reflected:\n%s", out)
+	}
+}
+
+func TestRenderShapedWindow(t *testing.T) {
+	s := xserver.NewServer()
+	conn := s.Connect("t")
+	w, _ := conn.CreateWindow(s.Screens()[0].Root, xproto.Rect{Width: 160, Height: 140}, 0, xserver.WindowAttributes{Fill: '#'})
+	// Shape to the left half only.
+	if err := conn.ShapeCombineRectangles(w, []xproto.Rect{{X: 0, Y: 0, Width: 80, Height: 140}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.MapWindow(w); err != nil {
+		t.Fatal(err)
+	}
+	out, err := RenderWindow(conn, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	// A middle row should have fill on the left, nothing on the right.
+	mid := lines[5]
+	if !strings.Contains(mid, "#") {
+		t.Errorf("no fill in shaped region:\n%s", out)
+	}
+	if len(strings.TrimRight(mid, " ")) > 12 {
+		t.Errorf("fill leaked outside shape (row %q):\n%s", mid, out)
+	}
+}
+
+// Rendering a realized OpenLook decoration produces a recognizable
+// titlebar: the three buttons and the client area.
+func TestRenderOpenLookDecoration(t *testing.T) {
+	s := xserver.NewServer()
+	conn := s.Connect("wm")
+	db := xrdb.New()
+	db.MustPut("Swm*panel.openLook", "button pulldown +0+0\nbutton name +C+0\nbutton nail -0+0\npanel client +0+1")
+	ctx := &objects.Context{DB: db}
+	tree, err := objects.Build(ctx, "openLook")
+	if err != nil {
+		t.Fatal(err)
+	}
+	objects.Layout(tree, 320, 140)
+	if err := objects.Realize(conn, tree, s.Screens()[0].Root, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.MapWindow(tree.Window); err != nil {
+		t.Fatal(err)
+	}
+	out, err := RenderWindow(conn, tree.Window, Options{DrawLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pulldown", "name", "nail"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("%q missing from render:\n%s", want, out)
+		}
+	}
+	// The nail button must appear to the right of the name button.
+	nameIdx := strings.Index(out, "name")
+	nailIdx := strings.Index(out, "nail")
+	if nailIdx < nameIdx {
+		t.Errorf("button order wrong:\n%s", out)
+	}
+}
+
+func TestRenderDefaultScale(t *testing.T) {
+	opts := Options{}.withDefaults()
+	if opts.ScaleX != 8 || opts.ScaleY != 14 {
+		t.Errorf("defaults = %dx%d", opts.ScaleX, opts.ScaleY)
+	}
+}

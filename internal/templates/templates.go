@@ -1,0 +1,190 @@
+// Package templates ships the standard swm configuration templates the
+// paper describes (§3): "Several template files are supplied with swm to
+// get the user up and running quickly... Among the template files are
+// emulations for both the OPEN LOOK and OSF/Motif window managers."
+//
+// Each template is a complete resource file; users load one and override
+// individual resources on top (see xrdb.DB.Merge).
+package templates
+
+import "repro/internal/xrdb"
+
+// OpenLook is the OpenLook+ emulation template. The openLook decoration
+// panel and Xicon icon panel definitions are the paper's own examples
+// (Figures 1 and the §4.1.2 icon definition), verbatim.
+const OpenLook = `! OpenLook+ template for swm
+Swm*panel.openLook: \
+	button pulldown +0+0 \
+	button name +C+0 \
+	button nail -0+0 \
+	panel client +0+1
+Swm*panel.openLook.resizeCorners: True
+swm*decoration: openLook
+
+Swm*panel.Xicon: \
+	button iconimage +C+0 \
+	button iconname +C+1
+swm*iconPanel: Xicon
+
+! Shaped clients are decorated invisibly (paper 5.1).
+swm*shaped*decoration: shapeit
+Swm*panel.shapeit: panel client +0+0
+Swm*panel.shapeit*shape: True
+
+swm*button.pulldown.label: v
+swm*button.pulldown.bindings: \
+	<Btn1> : f.menu(windowMenu)
+swm*button.name.bindings: \
+	<Btn1> : f.raise \
+	<Btn2> : f.move \
+	Meta <Btn1> : f.iconify
+swm*button.nail.label: O
+swm*button.nail.bindings: \
+	<Btn1> : f.stick
+swm*button.iconimage.image: xlogo32
+swm*button.iconimage.bindings: \
+	<Btn1> : f.deiconify
+swm*button.iconname.bindings: \
+	<Btn1> : f.deiconify
+
+Swm*panel.windowMenu: \
+	button wmRaise +0+0 \
+	button wmLower +0+1 \
+	button wmIconify +0+2 \
+	button wmZoom +0+3 \
+	button wmDelete +0+4
+swm*button.wmRaise.label: Raise
+swm*button.wmRaise.bindings: <Btn1Up> : f.raise
+swm*button.wmLower.label: Lower
+swm*button.wmLower.bindings: <Btn1Up> : f.lower
+swm*button.wmIconify.label: Iconify
+swm*button.wmIconify.bindings: <Btn1Up> : f.iconify
+swm*button.wmZoom.label: Zoom
+swm*button.wmZoom.bindings: <Btn1Up> : f.save f.zoom
+swm*button.wmDelete.label: Delete
+swm*button.wmDelete.bindings: <Btn1Up> : f.delete
+
+! Root (desktop) bindings.
+swm*root.bindings: \
+	<Btn3> : f.menu(windowMenu) \
+	Meta <Key>Left : f.panhorizontal(-100) \
+	Meta <Key>Right : f.panhorizontal(100) \
+	Meta <Key>Up : f.panvertical(-100) \
+	Meta <Key>Down : f.panvertical(100)
+`
+
+// Motif is the OSF/Motif emulation template: menu button at the left,
+// minimize/maximize at the right, resize handles via the frame border.
+const Motif = `! OSF/Motif emulation template for swm
+Swm*panel.motif: \
+	button menub +0+0 \
+	button name +C+0 \
+	button minimize -1+0 \
+	button maximize -0+0 \
+	panel client +0+1
+swm*decoration: motif
+
+Swm*panel.Micon: \
+	button iconimage +C+0 \
+	button iconname +C+1
+swm*iconPanel: Micon
+
+swm*shaped*decoration: shapeit
+Swm*panel.shapeit: panel client +0+0
+Swm*panel.shapeit*shape: True
+
+swm*button.menub.label: =
+swm*button.menub.bindings: \
+	<Btn1> : f.menu(mwmMenu)
+swm*button.name.bindings: \
+	<Btn1> : f.move \
+	<Btn2> : f.raise
+swm*button.minimize.label: _
+swm*button.minimize.bindings: \
+	<Btn1> : f.iconify
+swm*button.maximize.label: ^
+swm*button.maximize.bindings: \
+	<Btn1> : f.save f.zoom
+swm*button.iconimage.image: xlogo32
+swm*button.iconimage.bindings: <Btn1> : f.deiconify
+swm*button.iconname.bindings: <Btn1> : f.deiconify
+
+Swm*panel.mwmMenu: \
+	button mwmRestore +0+0 \
+	button mwmMinimize +0+1 \
+	button mwmMaximize +0+2 \
+	button mwmLower +0+3 \
+	button mwmClose +0+4
+swm*button.mwmRestore.label: Restore
+swm*button.mwmRestore.bindings: <Btn1Up> : f.restore
+swm*button.mwmMinimize.label: Minimize
+swm*button.mwmMinimize.bindings: <Btn1Up> : f.iconify
+swm*button.mwmMaximize.label: Maximize
+swm*button.mwmMaximize.bindings: <Btn1Up> : f.save f.zoom
+swm*button.mwmLower.label: Lower
+swm*button.mwmLower.bindings: <Btn1Up> : f.lower
+swm*button.mwmClose.label: Close
+swm*button.mwmClose.bindings: <Btn1Up> : f.delete
+`
+
+// Default is the minimal fallback configuration loaded when the user
+// has specified no swm resources at all (§3: "If no swm configuration
+// resources have been specified, a default configuration can be
+// loaded").
+const Default = `! swm built-in default configuration
+Swm*panel.default: \
+	button name +C+0 \
+	panel client +0+1
+swm*decoration: default
+Swm*panel.defIcon: \
+	button iconname +C+0
+swm*iconPanel: defIcon
+swm*button.name.bindings: \
+	<Btn1> : f.raise \
+	<Btn2> : f.move \
+	Meta <Btn1> : f.iconify
+swm*button.iconname.bindings: <Btn1> : f.deiconify
+swm*shaped*decoration: shapeit
+Swm*panel.shapeit: panel client +0+0
+Swm*panel.shapeit*shape: True
+`
+
+// Names lists the available template names for LoadByName.
+var Names = []string{"openlook", "motif", "default"}
+
+// Load parses a template source into a fresh resource database.
+func Load(src string) (*xrdb.DB, error) {
+	db := xrdb.New()
+	if err := db.LoadString(src); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// LoadByName loads one of the shipped templates ("openlook", "motif",
+// "default"). Unknown names fall back to Default.
+func LoadByName(name string) (*xrdb.DB, error) {
+	switch name {
+	case "openlook", "OpenLook", "openLook":
+		return Load(OpenLook)
+	case "motif", "Motif":
+		return Load(Motif)
+	default:
+		return Load(Default)
+	}
+}
+
+// Resolver resolves `#include "name"` directives in user resource files
+// against the shipped templates, enabling the paper's §3 workflow:
+// "include and then override defaults in a standard template file".
+func Resolver(name string) (string, bool) {
+	switch name {
+	case "openlook", "OpenLook", "openLook":
+		return OpenLook, true
+	case "motif", "Motif":
+		return Motif, true
+	case "default", "Default":
+		return Default, true
+	}
+	return "", false
+}

@@ -1,0 +1,152 @@
+package templates
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bindings"
+	"repro/internal/objects"
+	"repro/internal/xrdb"
+)
+
+// Every shipped template must parse and provide the resources swm needs
+// to run: a decoration panel with a client slot and an icon panel.
+func TestTemplatesComplete(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		src  string
+	}{
+		{"openlook", OpenLook},
+		{"motif", Motif},
+		{"default", Default},
+	} {
+		db, err := Load(tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		ctx := &objects.Context{DB: db}
+		deco, ok := ctx.LookupClient("XTerm", "xterm", "decoration")
+		if !ok {
+			t.Fatalf("%s: no decoration resource", tc.name)
+		}
+		tree, err := objects.Build(ctx, deco)
+		if err != nil {
+			t.Fatalf("%s: decoration panel %q: %v", tc.name, deco, err)
+		}
+		if tree.Find("client") == nil {
+			t.Errorf("%s: decoration %q lacks a client slot", tc.name, deco)
+		}
+		iconPanel, ok := ctx.LookupClient("XTerm", "xterm", "iconPanel")
+		if !ok {
+			t.Fatalf("%s: no iconPanel resource", tc.name)
+		}
+		if _, err := objects.Build(ctx, iconPanel); err != nil {
+			t.Errorf("%s: icon panel %q: %v", tc.name, iconPanel, err)
+		}
+		// Shaped clients map to a shaped decoration in every template.
+		shapedCtx := &objects.Context{DB: db, Prefixes: []string{"shaped"}}
+		sdeco, ok := shapedCtx.LookupClient("Clock", "oclock", "decoration")
+		if !ok || sdeco == deco {
+			t.Errorf("%s: shaped decoration = %q ok=%v", tc.name, sdeco, ok)
+		}
+	}
+}
+
+// All bindings strings in the templates must parse.
+func TestTemplateBindingsParse(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		src     string
+		objects []string
+	}{
+		{"openlook", OpenLook, []string{"pulldown", "name", "nail", "iconimage", "iconname",
+			"wmRaise", "wmLower", "wmIconify", "wmZoom", "wmDelete"}},
+		{"motif", Motif, []string{"menub", "name", "minimize", "maximize",
+			"mwmRestore", "mwmMinimize", "mwmMaximize", "mwmLower", "mwmClose"}},
+		{"default", Default, []string{"name", "iconname"}},
+	} {
+		db, err := Load(tc.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := &objects.Context{DB: db}
+		for _, obj := range tc.objects {
+			v, ok := ctx.Lookup(objects.KindButton, obj, "bindings")
+			if !ok {
+				t.Errorf("%s: button %q has no bindings", tc.name, obj)
+				continue
+			}
+			if _, err := bindings.Parse(v); err != nil {
+				t.Errorf("%s: button %q bindings: %v", tc.name, obj, err)
+			}
+		}
+	}
+}
+
+func TestOpenLookMatchesPaperDefinition(t *testing.T) {
+	// The openLook panel must be exactly the paper's Figure 1 layout.
+	db, _ := Load(OpenLook)
+	ctx := &objects.Context{DB: db}
+	def, err := ctx.PanelDefFor("openLook")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def.Items) != 4 {
+		t.Fatalf("openLook has %d items, want 4", len(def.Items))
+	}
+	names := []string{"pulldown", "name", "nail", "client"}
+	for i, want := range names {
+		if def.Items[i].Name != want {
+			t.Errorf("item %d = %q, want %q", i, def.Items[i].Name, want)
+		}
+	}
+	// resizeCorners: True, as in the paper.
+	v, ok := db.QueryString("swm.panel.openLook.resizeCorners", "Swm.Panel.OpenLook.ResizeCorners")
+	if !ok || v != "True" {
+		t.Errorf("resizeCorners = %q ok=%v", v, ok)
+	}
+}
+
+func TestLoadByName(t *testing.T) {
+	for _, name := range Names {
+		db, err := LoadByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if db.Len() == 0 {
+			t.Errorf("%s: empty database", name)
+		}
+	}
+	// Unknown names fall back to the default configuration.
+	db, err := LoadByName("nonsense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &objects.Context{DB: db}
+	if v, _ := ctx.LookupClient("X", "x", "decoration"); v != "default" {
+		t.Errorf("fallback decoration = %q", v)
+	}
+}
+
+func TestResolverIncludesTemplates(t *testing.T) {
+	db := xrdb.New()
+	user := `#include "openlook"
+swm*decoration: custom
+Swm*panel.custom: panel client +0+0
+`
+	if err := db.LoadWithIncludes(strings.NewReader(user), Resolver); err != nil {
+		t.Fatal(err)
+	}
+	ctx := &objects.Context{DB: db}
+	// The override wins...
+	if v, _ := ctx.LookupClient("XTerm", "xterm", "decoration"); v != "custom" {
+		t.Errorf("decoration = %q", v)
+	}
+	// ...but the template's other panels are present.
+	if _, err := ctx.PanelDefFor("windowMenu"); err != nil {
+		t.Errorf("included template panels missing: %v", err)
+	}
+	if _, ok := Resolver("nonsense"); ok {
+		t.Error("phantom template resolved")
+	}
+}

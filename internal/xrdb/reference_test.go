@@ -1,0 +1,194 @@
+package xrdb
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// This file cross-checks the indexed matcher against a brute-force
+// reference implementation of the Xrm precedence rules, over randomized
+// databases and queries. Any divergence is a bug in one of them; the
+// reference is written independently (plain enumeration of alignments,
+// no index, no DFS sharing) to make shared-bug coincidences unlikely.
+
+// refMatch enumerates every possible alignment of entry components onto
+// query levels and returns the best score, brute force.
+func refMatch(comps []component, names, classes []string) ([]int, bool) {
+	type state struct {
+		ci, li int
+		acc    []int
+	}
+	var results [][]int
+	stack := []state{{0, 0, nil}}
+	for len(stack) > 0 {
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if st.ci == len(comps) {
+			if st.li == len(names) {
+				results = append(results, st.acc)
+			}
+			continue
+		}
+		if st.li >= len(names) {
+			continue
+		}
+		c := comps[st.ci]
+		score := -1
+		switch {
+		case c.name == names[st.li]:
+			score = scoreName
+		case c.name == classes[st.li]:
+			score = scoreClass
+		case c.name == "?":
+			score = scoreWildcard
+		}
+		if score >= 0 {
+			s := score
+			if c.binding == Tight {
+				s += scoreTightBit
+			}
+			acc := append(append([]int(nil), st.acc...), s)
+			stack = append(stack, state{st.ci + 1, st.li + 1, acc})
+		}
+		if c.binding == Loose {
+			acc := append(append([]int(nil), st.acc...), scoreSkipped)
+			stack = append(stack, state{st.ci, st.li + 1, acc})
+		}
+	}
+	if len(results) == 0 {
+		return nil, false
+	}
+	best := results[0]
+	for _, r := range results[1:] {
+		if compareScores(r, best) > 0 {
+			best = r
+		}
+	}
+	return best, true
+}
+
+// refQuery is the reference top-level query: scan every entry, keep the
+// best score (later seq wins ties), no index.
+func refQuery(db *DB, names, classes []string) (string, bool) {
+	best := -1
+	var bestScore []int
+	for i := range db.entries {
+		e := &db.entries[i]
+		if len(e.components) > len(names) {
+			continue
+		}
+		score, ok := refMatch(e.components, names, classes)
+		if !ok {
+			continue
+		}
+		if best == -1 || compareScores(score, bestScore) > 0 ||
+			(compareScores(score, bestScore) == 0 && e.seq > db.entries[best].seq) {
+			best = i
+			bestScore = score
+		}
+	}
+	if best == -1 {
+		return "", false
+	}
+	return db.entries[best].value, true
+}
+
+// vocab components for randomized specifiers and queries. Names are
+// lowercase; their classes are the capitalized forms.
+var refNames = []string{"swm", "color", "screen0", "xterm", "xclock", "panel", "button", "decoration", "bindings"}
+
+func refClassOf(name string) string {
+	return strings.ToUpper(name[:1]) + name[1:]
+}
+
+func randSpecifier(rng *rand.Rand) string {
+	n := 1 + rng.Intn(4)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 || rng.Intn(3) == 0 {
+			if rng.Intn(2) == 0 {
+				sb.WriteByte('*')
+			} else if i > 0 {
+				sb.WriteByte('.')
+			}
+		}
+		// Occasionally use a class form or "?".
+		switch rng.Intn(6) {
+		case 0:
+			sb.WriteString("?")
+		case 1:
+			sb.WriteString(refClassOf(refNames[rng.Intn(len(refNames))]))
+		default:
+			sb.WriteString(refNames[rng.Intn(len(refNames))])
+		}
+	}
+	return sb.String()
+}
+
+func TestQueryMatchesReferenceImplementation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		db := New()
+		entries := 1 + rng.Intn(12)
+		for i := 0; i < entries; i++ {
+			spec := randSpecifier(rng)
+			if err := db.Put(spec, fmt.Sprintf("v%d", i)); err != nil {
+				continue // malformed random specifier: skip
+			}
+		}
+		// Random queries of depth 2..6.
+		for q := 0; q < 10; q++ {
+			depth := 2 + rng.Intn(5)
+			names := make([]string, depth)
+			classes := make([]string, depth)
+			for i := range names {
+				names[i] = refNames[rng.Intn(len(refNames))]
+				classes[i] = refClassOf(names[i])
+			}
+			gotV, gotOK := db.Query(names, classes)
+			wantV, wantOK := refQuery(db, names, classes)
+			if gotOK != wantOK || gotV != wantV {
+				var dump strings.Builder
+				_ = db.Dump(&dump)
+				t.Fatalf("trial %d query %v/%v:\n got (%q,%v)\nwant (%q,%v)\ndb:\n%s",
+					trial, names, classes, gotV, gotOK, wantV, wantOK, dump.String())
+			}
+		}
+	}
+}
+
+// The same equivalence under the exact specifiers swm's templates use.
+func TestQueryMatchesReferenceOnTemplateShapes(t *testing.T) {
+	db := New()
+	specs := []string{
+		"swm*decoration", "Swm*XTerm*decoration", "swm*xterm*decoration",
+		"swm.color.screen0.XTerm.xterm.decoration",
+		"swm*shaped*decoration", "swm*sticky*decoration",
+		"Swm*panel.openLook", "swm*button.name.bindings",
+		"swm*iconPanel", "swm.monochrome.screen1*decoration",
+	}
+	for i, spec := range specs {
+		db.MustPut(spec, fmt.Sprintf("v%d", i))
+	}
+	queries := [][2][]string{
+		{{"swm", "color", "screen0", "xterm", "xterm", "decoration"},
+			{"Swm", "Color", "Screen0", "XTerm", "XTerm", "Decoration"}},
+		{{"swm", "color", "screen0", "shaped", "xterm", "xterm", "decoration"},
+			{"Swm", "Color", "Screen0", "Shaped", "XTerm", "XTerm", "Decoration"}},
+		{{"swm", "monochrome", "screen1", "xclock", "xclock", "decoration"},
+			{"Swm", "Monochrome", "Screen1", "XClock", "XClock", "Decoration"}},
+		{{"swm", "color", "screen0", "panel", "openLook"},
+			{"Swm", "Color", "Screen0", "Panel", "openLook"}},
+		{{"swm", "color", "screen0", "button", "name", "bindings"},
+			{"Swm", "Color", "Screen0", "Button", "name", "Bindings"}},
+	}
+	for _, q := range queries {
+		gotV, gotOK := db.Query(q[0], q[1])
+		wantV, wantOK := refQuery(db, q[0], q[1])
+		if gotOK != wantOK || gotV != wantV {
+			t.Errorf("query %v: got (%q,%v), reference (%q,%v)", q[0], gotV, gotOK, wantV, wantOK)
+		}
+	}
+}

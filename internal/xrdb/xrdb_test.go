@@ -1,0 +1,432 @@
+package xrdb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutQueryExact(t *testing.T) {
+	db := New()
+	db.MustPut("swm.color.screen0.xclock.xclock.decoration", "notitlepanel")
+	got, ok := db.Query(
+		[]string{"swm", "color", "screen0", "xclock", "xclock", "decoration"},
+		[]string{"Swm", "Color", "Screen0", "XClock", "XClock", "Decoration"},
+	)
+	if !ok || got != "notitlepanel" {
+		t.Errorf("got %q ok=%v", got, ok)
+	}
+}
+
+func TestLooseBindingSkipsLevels(t *testing.T) {
+	db := New()
+	db.MustPut("swm*decoration", "openLook")
+	got, ok := db.Query(
+		[]string{"swm", "color", "screen0", "xterm", "xterm", "decoration"},
+		[]string{"Swm", "Color", "Screen0", "XTerm", "XTerm", "Decoration"},
+	)
+	if !ok || got != "openLook" {
+		t.Errorf("got %q ok=%v", got, ok)
+	}
+}
+
+func TestTightBindingDoesNotSkip(t *testing.T) {
+	db := New()
+	db.MustPut("swm.decoration", "titled")
+	_, ok := db.Query(
+		[]string{"swm", "color", "decoration"},
+		[]string{"Swm", "Color", "Decoration"},
+	)
+	if ok {
+		t.Error("tight binding matched across an intermediate level")
+	}
+}
+
+func TestClassMatch(t *testing.T) {
+	db := New()
+	db.MustPut("Swm*XClock*decoration", "clockpanel")
+	got, ok := db.Query(
+		[]string{"swm", "color", "screen0", "xclock", "xclock", "decoration"},
+		[]string{"Swm", "Color", "Screen0", "XClock", "XClock", "Decoration"},
+	)
+	if !ok || got != "clockpanel" {
+		t.Errorf("got %q ok=%v", got, ok)
+	}
+}
+
+func TestInstanceBeatsClass(t *testing.T) {
+	db := New()
+	db.MustPut("Swm*XClock*decoration", "classpanel")
+	db.MustPut("swm*xclock*decoration", "instancepanel")
+	got, _ := db.Query(
+		[]string{"swm", "color", "screen0", "xclock", "xclock", "decoration"},
+		[]string{"Swm", "Color", "Screen0", "XClock", "XClock", "Decoration"},
+	)
+	if got != "instancepanel" {
+		t.Errorf("got %q, want instance to beat class", got)
+	}
+}
+
+// The paper: "All swm resources begin with the class of the window
+// manager, either Swm or swm, the latter having precedence."
+func TestLowercaseSwmBeatsClassSwm(t *testing.T) {
+	db := New()
+	db.MustPut("Swm*decoration", "viaClass")
+	db.MustPut("swm*decoration", "viaInstance")
+	got, _ := db.Query(
+		[]string{"swm", "color", "screen0", "xterm", "xterm", "decoration"},
+		[]string{"Swm", "Color", "Screen0", "XTerm", "XTerm", "Decoration"},
+	)
+	if got != "viaInstance" {
+		t.Errorf("got %q, want the swm (instance) entry to win", got)
+	}
+}
+
+func TestMoreSpecificEntryWins(t *testing.T) {
+	db := New()
+	db.MustPut("swm*decoration", "generic")
+	db.MustPut("swm*screen0*decoration", "perScreen")
+	db.MustPut("swm.color.screen0.xclock.xclock.decoration", "exact")
+	got, _ := db.Query(
+		[]string{"swm", "color", "screen0", "xclock", "xclock", "decoration"},
+		[]string{"Swm", "Color", "Screen0", "XClock", "XClock", "Decoration"},
+	)
+	if got != "exact" {
+		t.Errorf("got %q, want the fully tight entry", got)
+	}
+	got, _ = db.Query(
+		[]string{"swm", "color", "screen0", "xterm", "xterm", "decoration"},
+		[]string{"Swm", "Color", "Screen0", "XTerm", "XTerm", "Decoration"},
+	)
+	if got != "perScreen" {
+		t.Errorf("got %q, want the per-screen entry", got)
+	}
+	got, _ = db.Query(
+		[]string{"swm", "color", "screen1", "xterm", "xterm", "decoration"},
+		[]string{"Swm", "Color", "Screen1", "XTerm", "XTerm", "Decoration"},
+	)
+	if got != "generic" {
+		t.Errorf("got %q, want the generic entry", got)
+	}
+}
+
+func TestEarlierLevelDominates(t *testing.T) {
+	// X precedence is decided at the first differing level, not by
+	// counting matches.
+	db := New()
+	db.MustPut("swm.color*decoration", "tightColor")
+	db.MustPut("swm*screen0.xclock.xclock.decoration", "looseButDeep")
+	got, _ := db.Query(
+		[]string{"swm", "color", "screen0", "xclock", "xclock", "decoration"},
+		[]string{"Swm", "Color", "Screen0", "XClock", "XClock", "Decoration"},
+	)
+	if got != "tightColor" {
+		t.Errorf("got %q; the level-2 name match must dominate later levels", got)
+	}
+}
+
+func TestQuestionMarkWildcard(t *testing.T) {
+	db := New()
+	db.MustPut("swm.?.screen0*decoration", "wild")
+	got, ok := db.Query(
+		[]string{"swm", "monochrome", "screen0", "xterm", "xterm", "decoration"},
+		[]string{"Swm", "Monochrome", "Screen0", "XTerm", "XTerm", "Decoration"},
+	)
+	if !ok || got != "wild" {
+		t.Errorf("got %q ok=%v", got, ok)
+	}
+	// "?" does not skip multiple levels.
+	_, ok = db.Query(
+		[]string{"swm", "a", "b", "screen0", "decoration"},
+		[]string{"Swm", "A", "B", "Screen0", "Decoration"},
+	)
+	if ok {
+		t.Error("'?' matched more than one level")
+	}
+}
+
+func TestNameBeatsWildcardBeatsSkip(t *testing.T) {
+	db := New()
+	db.MustPut("swm*screen0*decoration", "named")
+	db.MustPut("swm.?.?*decoration", "wild")
+	db.MustPut("swm*decoration", "skipped")
+	got, _ := db.Query(
+		[]string{"swm", "color", "screen0", "xterm", "xterm", "decoration"},
+		[]string{"Swm", "Color", "Screen0", "XTerm", "XTerm", "Decoration"},
+	)
+	// At level 2 ("color"): "wild" matches via ?, "named" skips (loose),
+	// "skipped" skips. ? beats skip, so "wild" wins at that level.
+	if got != "wild" {
+		t.Errorf("got %q, want wild (? beats loose skip at level 2)", got)
+	}
+}
+
+func TestOverrideSameSpecifier(t *testing.T) {
+	db := New()
+	db.MustPut("swm*decoration", "first")
+	db.MustPut("swm*decoration", "second")
+	if db.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (override, not duplicate)", db.Len())
+	}
+	got, _ := db.Query(
+		[]string{"swm", "decoration"}, []string{"Swm", "Decoration"},
+	)
+	if got != "second" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	db := New()
+	for _, bad := range []string{"", ".foo", "a..b", "a.", "a*", "a.b."} {
+		if err := db.Put(bad, "v"); err == nil {
+			t.Errorf("Put(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLeadingStar(t *testing.T) {
+	db := New()
+	db.MustPut("*decoration", "anything")
+	got, ok := db.Query(
+		[]string{"swm", "color", "decoration"},
+		[]string{"Swm", "Color", "Decoration"},
+	)
+	if !ok || got != "anything" {
+		t.Errorf("got %q ok=%v", got, ok)
+	}
+}
+
+func TestLoadResourceFile(t *testing.T) {
+	src := `
+! swm template excerpt
+Swm*panel.openLook: \
+	button pulldown +0+0 \
+	button name +C+0 \
+	button nail -0+0 \
+	panel client +0+1
+Swm*panel.openLook.resizeCorners: True
+swm*xclock*sticky: True
+# a directive line that must be ignored
+swm*button.foo.bindings: <Btn1> : f.raise
+`
+	db := New()
+	if err := db.LoadString(src); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := db.QueryString("swm.panel.openLook", "Swm.Panel.OpenLook")
+	if !ok {
+		t.Fatal("panel definition not found")
+	}
+	if !strings.Contains(got, "button pulldown +0+0") || !strings.Contains(got, "panel client +0+1") {
+		t.Errorf("panel value mangled: %q", got)
+	}
+	// Continuation preserves component separation via newlines.
+	if len(strings.Fields(got)) != 12 {
+		t.Errorf("panel definition has %d fields, want 12: %q", len(strings.Fields(got)), got)
+	}
+	got, _ = db.QueryString("swm.button.foo.bindings", "Swm.Button.Foo.Bindings")
+	if got != "<Btn1> : f.raise" {
+		t.Errorf("bindings = %q", got)
+	}
+	got, _ = db.QueryString("swm.panel.openLook.resizeCorners", "Swm.Panel.OpenLook.ResizeCorners")
+	if got != "True" {
+		t.Errorf("resizeCorners = %q", got)
+	}
+}
+
+func TestLoadBadLine(t *testing.T) {
+	db := New()
+	if err := db.LoadString("this line has no separator\n"); err == nil {
+		t.Error("missing ':' accepted")
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	db := New()
+	db.MustPut("swm*a.b", "1")
+	db.MustPut("Swm.c*d", "2")
+	var buf bytes.Buffer
+	if err := db.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := New()
+	if err := db2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != 2 {
+		t.Fatalf("round trip lost entries: %d", db2.Len())
+	}
+	if got, _ := db2.QueryString("swm.x.a.b", "Swm.X.A.B"); got != "1" {
+		t.Errorf("entry 1 = %q", got)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	db := New()
+	db.MustPut("swm*v", "orig")
+	cp := db.Clone()
+	cp.MustPut("swm*v", "changed")
+	got, _ := db.QueryString("swm.v", "Swm.V")
+	if got != "orig" {
+		t.Errorf("clone mutation leaked into original: %q", got)
+	}
+}
+
+func TestMergeOverrides(t *testing.T) {
+	template := New()
+	template.MustPut("swm*decoration", "openLook")
+	template.MustPut("swm*iconPanel", "Xicon")
+	user := New()
+	user.MustPut("swm*decoration", "myPanel")
+	template.Merge(user)
+	got, _ := template.QueryString("swm.x.decoration", "Swm.X.Decoration")
+	if got != "myPanel" {
+		t.Errorf("user override lost: %q", got)
+	}
+	got, _ = template.QueryString("swm.x.iconPanel", "Swm.X.IconPanel")
+	if got != "Xicon" {
+		t.Errorf("template entry lost: %q", got)
+	}
+}
+
+// Property: any entry stored with an all-tight specifier is found by the
+// exactly-matching query.
+func TestTightRoundTripProperty(t *testing.T) {
+	f := func(parts []uint8, val uint16) bool {
+		if len(parts) == 0 || len(parts) > 6 {
+			return true
+		}
+		names := make([]string, len(parts))
+		classes := make([]string, len(parts))
+		for i, p := range parts {
+			names[i] = strings.Repeat(string(rune('a'+p%26)), 1+int(p%3))
+			classes[i] = strings.ToUpper(names[i])
+		}
+		db := New()
+		spec := strings.Join(names, ".")
+		if err := db.Put(spec, "v"); err != nil {
+			return true // degenerate specifier
+		}
+		got, ok := db.Query(names, classes)
+		return ok && got == "v"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a loose single-component entry matches any query ending in
+// that component.
+func TestLooseTailProperty(t *testing.T) {
+	f := func(depth uint8) bool {
+		d := int(depth%6) + 1
+		names := make([]string, d+1)
+		classes := make([]string, d+1)
+		for i := 0; i < d; i++ {
+			names[i] = "n"
+			classes[i] = "N"
+		}
+		names[d] = "target"
+		classes[d] = "Target"
+		db := New()
+		db.MustPut("*target", "hit")
+		got, ok := db.Query(names, classes)
+		return ok && got == "hit"
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkQuerySmallDB(b *testing.B) {
+	db := New()
+	db.MustPut("swm*decoration", "openLook")
+	db.MustPut("swm*XTerm*decoration", "termPanel")
+	db.MustPut("swm*iconPanel", "Xicon")
+	names := []string{"swm", "color", "screen0", "xterm", "xterm", "decoration"}
+	classes := []string{"Swm", "Color", "Screen0", "XTerm", "XTerm", "Decoration"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := db.Query(names, classes); !ok {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkQueryLargeDB(b *testing.B) {
+	db := New()
+	classNames := []string{"XTerm", "XClock", "XLoad", "XMail", "XEdit", "XFig", "XCalc", "XMan"}
+	for _, cn := range classNames {
+		for i := 0; i < 16; i++ {
+			db.MustPut("swm*"+cn+"*attr"+string(rune('a'+i)), "v")
+		}
+	}
+	db.MustPut("swm*XTerm*decoration", "termPanel")
+	names := []string{"swm", "color", "screen0", "xterm", "xterm", "decoration"}
+	classes := []string{"Swm", "Color", "Screen0", "XTerm", "XTerm", "Decoration"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := db.Query(names, classes); !ok {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func TestLoadWithIncludes(t *testing.T) {
+	// §3: "include and then override defaults in a standard template
+	// file".
+	templates := map[string]string{
+		"base": "swm*decoration: openLook\nswm*iconPanel: Xicon\n",
+	}
+	resolve := func(name string) (string, bool) {
+		src, ok := templates[name]
+		return src, ok
+	}
+	db := New()
+	user := `#include "base"
+swm*decoration: myPanel
+`
+	if err := db.LoadWithIncludes(strings.NewReader(user), resolve); err != nil {
+		t.Fatal(err)
+	}
+	// The user's line overrides the included default...
+	if got, _ := db.QueryString("swm.x.decoration", "Swm.X.Decoration"); got != "myPanel" {
+		t.Errorf("decoration = %q", got)
+	}
+	// ...while untouched template entries survive.
+	if got, _ := db.QueryString("swm.x.iconPanel", "Swm.X.IconPanel"); got != "Xicon" {
+		t.Errorf("iconPanel = %q", got)
+	}
+}
+
+func TestLoadWithIncludesUnknown(t *testing.T) {
+	db := New()
+	err := db.LoadWithIncludes(strings.NewReader(`#include "nope"`), func(string) (string, bool) {
+		return "", false
+	})
+	if err == nil {
+		t.Error("unknown include accepted")
+	}
+}
+
+func TestLoadWithIncludesCycle(t *testing.T) {
+	db := New()
+	resolve := func(name string) (string, bool) {
+		return `#include "self"`, true // includes itself forever
+	}
+	if err := db.LoadWithIncludes(strings.NewReader(`#include "self"`), resolve); err == nil {
+		t.Error("include cycle not detected")
+	}
+}
+
+func TestPlainLoadIgnoresDirectives(t *testing.T) {
+	db := New()
+	if err := db.LoadString("#include \"whatever\"\nswm*a: 1\n"); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 1 {
+		t.Errorf("Len = %d", db.Len())
+	}
+}

@@ -1,0 +1,152 @@
+package xserver
+
+import (
+	"testing"
+
+	"repro/internal/xproto"
+)
+
+func BenchmarkCreateDestroyWindow(b *testing.B) {
+	s := NewServer()
+	c := s.Connect("bench")
+	root := s.Screens()[0].Root
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w, err := c.CreateWindow(root, xproto.Rect{Width: 100, Height: 100}, 0, WindowAttributes{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.DestroyWindow(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMapUnmap(b *testing.B) {
+	s := NewServer()
+	c := s.Connect("bench")
+	root := s.Screens()[0].Root
+	w, err := c.CreateWindow(root, xproto.Rect{Width: 100, Height: 100}, 0, WindowAttributes{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.MapWindow(w); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.UnmapWindow(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConfigureWindow(b *testing.B) {
+	s := NewServer()
+	c := s.Connect("bench")
+	root := s.Screens()[0].Root
+	w, err := c.CreateWindow(root, xproto.Rect{Width: 100, Height: 100}, 0, WindowAttributes{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.MoveWindow(w, i%500, i%400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPropertyChange(b *testing.B) {
+	s := NewServer()
+	c := s.Connect("bench")
+	root := s.Screens()[0].Root
+	w, _ := c.CreateWindow(root, xproto.Rect{Width: 10, Height: 10}, 0, WindowAttributes{})
+	prop := c.InternAtom("BENCH")
+	str := c.InternAtom("STRING")
+	data := []byte("some property value")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.ChangeProperty(w, prop, str, 8, xproto.PropModeReplace, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkButtonEventDispatch(b *testing.B) {
+	s := NewServer()
+	c := s.Connect("bench")
+	root := s.Screens()[0].Root
+	// A stack of 10 nested windows; the deepest selects button events.
+	parent := root
+	var leaf xproto.XID
+	for i := 0; i < 10; i++ {
+		w, err := c.CreateWindow(parent, xproto.Rect{X: 1, Y: 1, Width: 500 - i, Height: 500 - i}, 0, WindowAttributes{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.MapWindow(w); err != nil {
+			b.Fatal(err)
+		}
+		parent, leaf = w, w
+	}
+	if err := c.SelectInput(leaf, xproto.ButtonPressMask|xproto.ButtonReleaseMask); err != nil {
+		b.Fatal(err)
+	}
+	s.FakeMotion(100, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.FakeButtonPress(1, 0)
+		s.FakeButtonRelease(1, 0)
+		// Drain to keep the queue bounded.
+		for {
+			if _, ok := c.PollEvent(); !ok {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkQueryTreeDeep(b *testing.B) {
+	s := NewServer()
+	c := s.Connect("bench")
+	root := s.Screens()[0].Root
+	for i := 0; i < 50; i++ {
+		if _, err := c.CreateWindow(root, xproto.Rect{Width: 10, Height: 10}, 0, WindowAttributes{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, children, err := c.QueryTree(root); err != nil || len(children) != 50 {
+			b.Fatal("query failed")
+		}
+	}
+}
+
+func BenchmarkTranslateCoordinates(b *testing.B) {
+	s := NewServer()
+	c := s.Connect("bench")
+	root := s.Screens()[0].Root
+	parent := root
+	var leaf xproto.XID
+	for i := 0; i < 8; i++ {
+		w, err := c.CreateWindow(parent, xproto.Rect{X: 3, Y: 4, Width: 400, Height: 400}, 0, WindowAttributes{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		parent, leaf = w, w
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := c.TranslateCoordinates(leaf, root, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,736 @@
+package xserver
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/xproto"
+)
+
+// Conn is a client connection to the simulated server. All request
+// methods are safe for concurrent use; events are read with WaitEvent,
+// PollEvent or Pending.
+type Conn struct {
+	server *Server
+	fd     int
+	name   string
+
+	queue   []xproto.Event
+	cond    *sync.Cond
+	closed  bool
+	saveSet map[xproto.XID]bool
+}
+
+// Name returns the diagnostic name given at Connect.
+func (c *Conn) Name() string { return c.name }
+
+// Server returns the server this connection is attached to.
+func (c *Conn) Server() *Server { return c.server }
+
+// --- Window lifecycle -------------------------------------------------
+
+// WindowAttributes configures CreateWindow.
+type WindowAttributes struct {
+	OverrideRedirect bool
+	Class            xproto.WindowClass
+	EventMask        xproto.EventMask
+	// Fill and Label are rendering hints for internal/raster (standing
+	// in for background pixmaps/GCs).
+	Fill  byte
+	Label string
+}
+
+// CreateWindow creates a child of parent at the given parent-relative
+// geometry and returns its XID. The window starts unmapped.
+func (c *Conn) CreateWindow(parent xproto.XID, r xproto.Rect, borderWidth int, attrs WindowAttributes) (xproto.XID, error) {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, err := s.lookupLocked(parent)
+	if err != nil {
+		return xproto.None, err
+	}
+	if r.Width <= 0 || r.Height <= 0 {
+		return xproto.None, fmt.Errorf("xserver: BadValue: zero-sized window %v", r)
+	}
+	w := &window{
+		id:          s.allocIDLocked(),
+		rect:        r,
+		borderWidth: borderWidth,
+		class:       attrs.Class,
+		override:    attrs.OverrideRedirect,
+		props:       make(map[xproto.Atom]Property),
+		masks:       make(map[*Conn]xproto.EventMask),
+		owner:       c,
+		fill:        attrs.Fill,
+		label:       attrs.Label,
+	}
+	if attrs.EventMask != 0 {
+		w.masks[c] = attrs.EventMask
+	}
+	w.attachLocked(p)
+	s.windows[w.id] = w
+	s.deliverLocked(p, xproto.SubstructureNotifyMask, xproto.Event{
+		Type: xproto.CreateNotify, Window: p.id, Subwindow: w.id, Parent: p.id,
+		GX: r.X, GY: r.Y, Width: r.Width, Height: r.Height,
+		BorderWidth: borderWidth, OverrideRedirect: w.override,
+		Time: s.tickLocked(),
+	})
+	return w.id, nil
+}
+
+// DestroyWindow destroys the window and all its descendants.
+func (c *Conn) DestroyWindow(id xproto.XID) error {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.lookupLocked(id)
+	if err != nil {
+		return err
+	}
+	if w.isRoot {
+		return fmt.Errorf("xserver: cannot destroy root window")
+	}
+	s.destroyLocked(w)
+	return nil
+}
+
+func (s *Server) destroyLocked(w *window) {
+	// Destroy children first (depth-first), as in X.
+	for len(w.children) > 0 {
+		s.destroyLocked(w.children[len(w.children)-1])
+	}
+	if w.mapped {
+		s.unmapLocked(w, false)
+	}
+	parent := w.parent
+	w.detachLocked()
+	w.destroyed = true
+	delete(s.windows, w.id)
+	ev := xproto.Event{
+		Type: xproto.DestroyNotify, Window: w.id, Subwindow: w.id,
+		Time: s.tickLocked(),
+	}
+	s.deliverLocked(w, xproto.StructureNotifyMask, ev)
+	if parent != nil {
+		pev := ev
+		pev.Window = parent.id
+		s.deliverLocked(parent, xproto.SubstructureNotifyMask, pev)
+	}
+	for _, conn := range s.conns {
+		delete(conn.saveSet, w.id)
+	}
+	if s.focus == w.id {
+		s.focus = xproto.PointerRoot
+	}
+}
+
+// MapWindow maps the window. If another client has selected
+// SubstructureRedirect on the parent and the window is not
+// override-redirect, a MapRequest is sent to that client instead.
+func (c *Conn) MapWindow(id xproto.XID) error {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.lookupLocked(id)
+	if err != nil {
+		return err
+	}
+	if w.mapped {
+		return nil
+	}
+	if !w.override && w.parent != nil {
+		if redirector := s.redirectorLocked(w.parent); redirector != nil && redirector != c {
+			redirector.enqueueLocked(xproto.Event{
+				Type: xproto.MapRequest, Window: w.parent.id, Subwindow: w.id,
+				Parent: w.parent.id, Time: s.tickLocked(),
+			})
+			return nil
+		}
+	}
+	s.mapLocked(w)
+	return nil
+}
+
+func (s *Server) mapLocked(w *window) {
+	w.mapped = true
+	ev := xproto.Event{
+		Type: xproto.MapNotify, Window: w.id, Subwindow: w.id,
+		OverrideRedirect: w.override, Time: s.tickLocked(),
+	}
+	s.deliverLocked(w, xproto.StructureNotifyMask, ev)
+	if w.parent != nil {
+		pev := ev
+		pev.Window = w.parent.id
+		s.deliverLocked(w.parent, xproto.SubstructureNotifyMask, pev)
+	}
+	if w.viewableLocked() {
+		s.deliverLocked(w, xproto.ExposureMask, xproto.Event{
+			Type: xproto.Expose, Window: w.id,
+			Width: w.rect.Width, Height: w.rect.Height, Time: s.tickLocked(),
+		})
+	}
+	s.updatePointerWindowLocked()
+}
+
+// UnmapWindow unmaps the window.
+func (c *Conn) UnmapWindow(id xproto.XID) error {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.lookupLocked(id)
+	if err != nil {
+		return err
+	}
+	if !w.mapped {
+		return nil
+	}
+	s.unmapLocked(w, false)
+	return nil
+}
+
+func (s *Server) unmapLocked(w *window, fromConfigure bool) {
+	w.mapped = false
+	ev := xproto.Event{
+		Type: xproto.UnmapNotify, Window: w.id, Subwindow: w.id,
+		FromConfigure: fromConfigure, Time: s.tickLocked(),
+	}
+	s.deliverLocked(w, xproto.StructureNotifyMask, ev)
+	if w.parent != nil {
+		pev := ev
+		pev.Window = w.parent.id
+		s.deliverLocked(w.parent, xproto.SubstructureNotifyMask, pev)
+	}
+	s.updatePointerWindowLocked()
+}
+
+// ReparentWindow makes the window a child of newParent at (x, y). The
+// window keeps its map state; a ReparentNotify is generated.
+func (c *Conn) ReparentWindow(id, newParent xproto.XID, x, y int) error {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.lookupLocked(id)
+	if err != nil {
+		return err
+	}
+	np, err := s.lookupLocked(newParent)
+	if err != nil {
+		return err
+	}
+	if w == np || w.isAncestorOfLocked(np) {
+		return fmt.Errorf("xserver: BadMatch: reparent would create a cycle")
+	}
+	wasMapped := w.mapped
+	if wasMapped {
+		s.unmapLocked(w, false)
+	}
+	oldParent := w.parent
+	w.detachLocked()
+	w.rect.X, w.rect.Y = x, y
+	w.attachLocked(np)
+	ev := xproto.Event{
+		Type: xproto.ReparentNotify, Window: w.id, Subwindow: w.id,
+		Parent: np.id, GX: x, GY: y, OverrideRedirect: w.override,
+		Time: s.tickLocked(),
+	}
+	s.deliverLocked(w, xproto.StructureNotifyMask, ev)
+	if oldParent != nil {
+		oev := ev
+		oev.Window = oldParent.id
+		s.deliverLocked(oldParent, xproto.SubstructureNotifyMask, oev)
+	}
+	nev := ev
+	nev.Window = np.id
+	s.deliverLocked(np, xproto.SubstructureNotifyMask, nev)
+	if wasMapped {
+		// Remapping after reparent bypasses redirection, as the X server
+		// does for the re-map performed as part of ReparentWindow.
+		s.mapLocked(w)
+	}
+	return nil
+}
+
+// ConfigureWindow changes window geometry and/or stacking. If another
+// client holds SubstructureRedirect on the parent, the request is
+// redirected as a ConfigureRequest.
+func (c *Conn) ConfigureWindow(id xproto.XID, ch xproto.WindowChanges) error {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.lookupLocked(id)
+	if err != nil {
+		return err
+	}
+	if !w.override && w.parent != nil {
+		if redirector := s.redirectorLocked(w.parent); redirector != nil && redirector != c {
+			redirector.enqueueLocked(xproto.Event{
+				Type: xproto.ConfigureRequest, Window: w.parent.id, Subwindow: w.id,
+				Parent: w.parent.id, ValueMask: ch.Mask,
+				GX: ch.X, GY: ch.Y, Width: ch.Width, Height: ch.Height,
+				BorderWidth: ch.BorderWidth, Sibling: ch.Sibling,
+				StackMode: ch.StackMode, Time: s.tickLocked(),
+			})
+			return nil
+		}
+	}
+	return s.configureLocked(w, ch)
+}
+
+func (s *Server) configureLocked(w *window, ch xproto.WindowChanges) error {
+	if ch.Mask&xproto.CWX != 0 {
+		w.rect.X = ch.X
+	}
+	if ch.Mask&xproto.CWY != 0 {
+		w.rect.Y = ch.Y
+	}
+	if ch.Mask&xproto.CWWidth != 0 {
+		if ch.Width <= 0 {
+			return fmt.Errorf("xserver: BadValue: width %d", ch.Width)
+		}
+		w.rect.Width = ch.Width
+	}
+	if ch.Mask&xproto.CWHeight != 0 {
+		if ch.Height <= 0 {
+			return fmt.Errorf("xserver: BadValue: height %d", ch.Height)
+		}
+		w.rect.Height = ch.Height
+	}
+	if ch.Mask&xproto.CWBorderWidth != 0 {
+		w.borderWidth = ch.BorderWidth
+	}
+	if ch.Mask&xproto.CWStackMode != 0 {
+		var sibling *window
+		if ch.Mask&xproto.CWSibling != 0 && ch.Sibling != xproto.None {
+			sb, err := s.lookupLocked(ch.Sibling)
+			if err != nil {
+				return err
+			}
+			sibling = sb
+		}
+		w.restackLocked(ch.StackMode, sibling)
+	}
+	ev := xproto.Event{
+		Type: xproto.ConfigureNotify, Window: w.id, Subwindow: w.id,
+		GX: w.rect.X, GY: w.rect.Y, Width: w.rect.Width, Height: w.rect.Height,
+		BorderWidth: w.borderWidth, Time: s.tickLocked(),
+	}
+	s.deliverLocked(w, xproto.StructureNotifyMask, ev)
+	if w.parent != nil {
+		pev := ev
+		pev.Window = w.parent.id
+		s.deliverLocked(w.parent, xproto.SubstructureNotifyMask, pev)
+	}
+	s.updatePointerWindowLocked()
+	return nil
+}
+
+// MoveWindow is shorthand for ConfigureWindow with CWX|CWY.
+func (c *Conn) MoveWindow(id xproto.XID, x, y int) error {
+	return c.ConfigureWindow(id, xproto.WindowChanges{Mask: xproto.CWX | xproto.CWY, X: x, Y: y})
+}
+
+// ResizeWindow is shorthand for ConfigureWindow with CWWidth|CWHeight.
+func (c *Conn) ResizeWindow(id xproto.XID, width, height int) error {
+	return c.ConfigureWindow(id, xproto.WindowChanges{Mask: xproto.CWWidth | xproto.CWHeight, Width: width, Height: height})
+}
+
+// MoveResizeWindow combines a move and a resize in one request.
+func (c *Conn) MoveResizeWindow(id xproto.XID, r xproto.Rect) error {
+	return c.ConfigureWindow(id, xproto.WindowChanges{
+		Mask: xproto.CWX | xproto.CWY | xproto.CWWidth | xproto.CWHeight,
+		X:    r.X, Y: r.Y, Width: r.Width, Height: r.Height,
+	})
+}
+
+// RaiseWindow raises the window to the top of its siblings.
+func (c *Conn) RaiseWindow(id xproto.XID) error {
+	return c.ConfigureWindow(id, xproto.WindowChanges{Mask: xproto.CWStackMode, StackMode: xproto.Above})
+}
+
+// LowerWindow lowers the window to the bottom of its siblings.
+func (c *Conn) LowerWindow(id xproto.XID) error {
+	return c.ConfigureWindow(id, xproto.WindowChanges{Mask: xproto.CWStackMode, StackMode: xproto.Below})
+}
+
+// --- Queries ------------------------------------------------------------
+
+// Geometry describes a window's geometry as returned by GetGeometry.
+type Geometry struct {
+	Root        xproto.XID
+	Rect        xproto.Rect // parent-relative
+	BorderWidth int
+}
+
+// GetGeometry returns the window's parent-relative geometry.
+func (c *Conn) GetGeometry(id xproto.XID) (Geometry, error) {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.lookupLocked(id)
+	if err != nil {
+		return Geometry{}, err
+	}
+	return Geometry{
+		Root:        s.screens[w.screenLocked()].Root,
+		Rect:        w.rect,
+		BorderWidth: w.borderWidth,
+	}, nil
+}
+
+// Attributes reports a window's attributes (GetWindowAttributes).
+type Attributes struct {
+	Class            xproto.WindowClass
+	MapState         xproto.MapState
+	OverrideRedirect bool
+	YourEventMask    xproto.EventMask
+	AllEventMasks    xproto.EventMask
+}
+
+// GetWindowAttributes returns the window's attributes.
+func (c *Conn) GetWindowAttributes(id xproto.XID) (Attributes, error) {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.lookupLocked(id)
+	if err != nil {
+		return Attributes{}, err
+	}
+	a := Attributes{
+		Class:            w.class,
+		OverrideRedirect: w.override,
+		YourEventMask:    w.masks[c],
+	}
+	for _, m := range w.masks {
+		a.AllEventMasks |= m
+	}
+	switch {
+	case !w.mapped:
+		a.MapState = xproto.IsUnmapped
+	case w.viewableLocked():
+		a.MapState = xproto.IsViewable
+	default:
+		a.MapState = xproto.IsUnviewable
+	}
+	return a, nil
+}
+
+// QueryTree returns the root, parent and children (bottom-to-top) of the
+// window.
+func (c *Conn) QueryTree(id xproto.XID) (root, parent xproto.XID, children []xproto.XID, err error) {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.lookupLocked(id)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	root = s.screens[w.screenLocked()].Root
+	if w.parent != nil {
+		parent = w.parent.id
+	}
+	children = make([]xproto.XID, len(w.children))
+	for i, ch := range w.children {
+		children[i] = ch.id
+	}
+	return root, parent, children, nil
+}
+
+// TranslateCoordinates converts (x, y) in src's coordinate space to
+// dst's, returning also the child of dst containing the point (or None).
+func (c *Conn) TranslateCoordinates(src, dst xproto.XID, x, y int) (dx, dy int, child xproto.XID, err error) {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, err := s.lookupLocked(src)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	dw, err := s.lookupLocked(dst)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	sx, sy := sw.rootCoordsLocked()
+	dxr, dyr := dw.rootCoordsLocked()
+	rx, ry := sx+x, sy+y
+	dx, dy = rx-dxr, ry-dyr
+	for i := len(dw.children) - 1; i >= 0; i-- {
+		ch := dw.children[i]
+		if ch.mapped && ch.containsPointLocked(rx, ry) {
+			child = ch.id
+			break
+		}
+	}
+	return dx, dy, child, nil
+}
+
+// SelectInput sets this connection's event mask on the window. Only one
+// client at a time may select SubstructureRedirect on a given window.
+func (c *Conn) SelectInput(id xproto.XID, mask xproto.EventMask) error {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.lookupLocked(id)
+	if err != nil {
+		return err
+	}
+	if mask&xproto.SubstructureRedirectMask != 0 {
+		for conn, m := range w.masks {
+			if conn != c && m&xproto.SubstructureRedirectMask != 0 {
+				return fmt.Errorf("xserver: BadAccess: SubstructureRedirect already selected on 0x%x", uint32(id))
+			}
+		}
+	}
+	if mask == 0 {
+		delete(w.masks, c)
+	} else {
+		w.masks[c] = mask
+	}
+	return nil
+}
+
+// --- Properties ---------------------------------------------------------
+
+// InternAtom returns the atom for name, interning it if needed.
+func (c *Conn) InternAtom(name string) xproto.Atom {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.internAtomLocked(name)
+}
+
+// AtomName returns the name of an atom, or "" if unknown.
+func (c *Conn) AtomName(a xproto.Atom) string {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.atomNames[a]
+}
+
+// ChangeProperty replaces, prepends or appends data to a window property
+// and notifies PropertyChangeMask selectors.
+func (c *Conn) ChangeProperty(id xproto.XID, prop, typ xproto.Atom, format int, mode xproto.PropMode, data []byte) error {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.lookupLocked(id)
+	if err != nil {
+		return err
+	}
+	if format != 8 && format != 16 && format != 32 {
+		return fmt.Errorf("xserver: BadValue: property format %d", format)
+	}
+	old, exists := w.props[prop]
+	next := Property{Type: typ, Format: format}
+	switch mode {
+	case xproto.PropModeReplace:
+		next.Data = append([]byte(nil), data...)
+	case xproto.PropModeAppend:
+		if exists && (old.Type != typ || old.Format != format) {
+			return fmt.Errorf("xserver: BadMatch: append with mismatched type/format")
+		}
+		next.Data = append(append([]byte(nil), old.Data...), data...)
+	case xproto.PropModePrepend:
+		if exists && (old.Type != typ || old.Format != format) {
+			return fmt.Errorf("xserver: BadMatch: prepend with mismatched type/format")
+		}
+		next.Data = append(append([]byte(nil), data...), old.Data...)
+	}
+	w.props[prop] = next
+	s.deliverLocked(w, xproto.PropertyChangeMask, xproto.Event{
+		Type: xproto.PropertyNotify, Window: w.id, Atom: prop,
+		PropertyState: xproto.PropertyNewValue, Time: s.tickLocked(),
+	})
+	return nil
+}
+
+// GetProperty returns a property's value. ok is false if the property is
+// not set.
+func (c *Conn) GetProperty(id xproto.XID, prop xproto.Atom) (Property, bool, error) {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.lookupLocked(id)
+	if err != nil {
+		return Property{}, false, err
+	}
+	p, ok := w.props[prop]
+	if ok {
+		p.Data = append([]byte(nil), p.Data...)
+	}
+	return p, ok, nil
+}
+
+// DeleteProperty removes a property, notifying PropertyChangeMask
+// selectors with state PropertyDeleted.
+func (c *Conn) DeleteProperty(id xproto.XID, prop xproto.Atom) error {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.lookupLocked(id)
+	if err != nil {
+		return err
+	}
+	if _, ok := w.props[prop]; !ok {
+		return nil
+	}
+	delete(w.props, prop)
+	s.deliverLocked(w, xproto.PropertyChangeMask, xproto.Event{
+		Type: xproto.PropertyNotify, Window: w.id, Atom: prop,
+		PropertyState: xproto.PropertyDeleted, Time: s.tickLocked(),
+	})
+	return nil
+}
+
+// ListProperties returns the atoms of all properties set on the window.
+func (c *Conn) ListProperties(id xproto.XID) ([]xproto.Atom, error) {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.lookupLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]xproto.Atom, 0, len(w.props))
+	for a := range w.props {
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// --- Save-set and connection shutdown -----------------------------------
+
+// ChangeSaveSet adds (insert=true) or removes a window from this
+// connection's save-set. When the connection closes, save-set windows are
+// reparented back to their screen's root and remapped — this is what
+// keeps clients alive across a window-manager restart.
+func (c *Conn) ChangeSaveSet(id xproto.XID, insert bool) error {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.lookupLocked(id); err != nil {
+		return err
+	}
+	if insert {
+		c.saveSet[id] = true
+	} else {
+		delete(c.saveSet, id)
+	}
+	return nil
+}
+
+// Close shuts down the connection: save-set windows are rescued to their
+// root, all other windows created by this connection are destroyed, and
+// its grabs and event selections are dropped.
+func (c *Conn) Close() {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+
+	// Rescue save-set windows first.
+	for id := range c.saveSet {
+		w, ok := s.windows[id]
+		if !ok || w.destroyed {
+			continue
+		}
+		root := s.rootOfLocked(w)
+		if w.parent != root {
+			rx, ry := w.rootCoordsLocked()
+			wasMapped := w.mapped
+			if wasMapped {
+				s.unmapLocked(w, false)
+			}
+			w.detachLocked()
+			w.rect.X, w.rect.Y = rx, ry
+			w.attachLocked(root)
+			s.deliverLocked(w, xproto.StructureNotifyMask, xproto.Event{
+				Type: xproto.ReparentNotify, Window: w.id, Subwindow: w.id,
+				Parent: root.id, GX: rx, GY: ry, Time: s.tickLocked(),
+			})
+			s.deliverLocked(root, xproto.SubstructureNotifyMask, xproto.Event{
+				Type: xproto.ReparentNotify, Window: root.id, Subwindow: w.id,
+				Parent: root.id, GX: rx, GY: ry, Time: s.tickLocked(),
+			})
+			s.mapLocked(w)
+		} else if !w.mapped {
+			s.mapLocked(w)
+		}
+	}
+
+	// Destroy remaining windows owned by this connection (top-level
+	// first to avoid double-destroys via recursion).
+	var owned []*window
+	for _, w := range s.windows {
+		if w.owner == c && !w.destroyed {
+			owned = append(owned, w)
+		}
+	}
+	for _, w := range owned {
+		if !w.destroyed {
+			s.destroyLocked(w)
+		}
+	}
+
+	// Drop event selections and grabs.
+	for _, w := range s.windows {
+		delete(w.masks, c)
+	}
+	grabs := s.buttonGrabs[:0]
+	for _, g := range s.buttonGrabs {
+		if g.conn != c {
+			grabs = append(grabs, g)
+		}
+	}
+	s.buttonGrabs = grabs
+	kgrabs := s.keyGrabs[:0]
+	for _, g := range s.keyGrabs {
+		if g.conn != c {
+			kgrabs = append(kgrabs, g)
+		}
+	}
+	s.keyGrabs = kgrabs
+	if s.activeGrab != nil && s.activeGrab.conn == c {
+		s.activeGrab = nil
+	}
+	delete(s.conns, c.fd)
+	c.cond.Broadcast()
+}
+
+// Closed reports whether the connection has been shut down.
+func (c *Conn) Closed() bool {
+	c.server.mu.Lock()
+	defer c.server.mu.Unlock()
+	return c.closed
+}
+
+// --- Rendering hints ------------------------------------------------------
+
+// SetWindowLabel sets the raster label drawn inside the window.
+func (c *Conn) SetWindowLabel(id xproto.XID, label string) error {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.lookupLocked(id)
+	if err != nil {
+		return err
+	}
+	w.label = label
+	return nil
+}
+
+// SetWindowFill sets the raster fill glyph for the window background.
+func (c *Conn) SetWindowFill(id xproto.XID, fill byte) error {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.lookupLocked(id)
+	if err != nil {
+		return err
+	}
+	w.fill = fill
+	return nil
+}

@@ -1,0 +1,157 @@
+package xserver
+
+import (
+	"fmt"
+
+	"repro/internal/xproto"
+)
+
+// redirectorLocked returns the connection holding SubstructureRedirect
+// on w, or nil.
+func (s *Server) redirectorLocked(w *window) *Conn {
+	for conn, m := range w.masks {
+		if m&xproto.SubstructureRedirectMask != 0 {
+			return conn
+		}
+	}
+	return nil
+}
+
+// deliverLocked appends ev to the queue of every connection that
+// selected mask on w.
+func (s *Server) deliverLocked(w *window, mask xproto.EventMask, ev xproto.Event) {
+	ev.Root = s.screens[w.screenLocked()].Root
+	for conn, m := range w.masks {
+		if m&mask != 0 {
+			conn.enqueueLocked(ev)
+		}
+	}
+}
+
+func (c *Conn) enqueueLocked(ev xproto.Event) {
+	if c.closed {
+		return
+	}
+	c.queue = append(c.queue, ev)
+	c.cond.Broadcast()
+}
+
+// WaitEvent blocks until an event is available and returns it. It
+// returns ok=false if the connection is closed.
+func (c *Conn) WaitEvent() (xproto.Event, bool) {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(c.queue) == 0 && !c.closed {
+		c.cond.Wait()
+	}
+	if len(c.queue) == 0 {
+		return xproto.Event{}, false
+	}
+	ev := c.queue[0]
+	c.queue = c.queue[1:]
+	return ev, true
+}
+
+// PollEvent returns the next queued event without blocking.
+func (c *Conn) PollEvent() (xproto.Event, bool) {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(c.queue) == 0 {
+		return xproto.Event{}, false
+	}
+	ev := c.queue[0]
+	c.queue = c.queue[1:]
+	return ev, true
+}
+
+// Pending reports the number of queued events.
+func (c *Conn) Pending() int {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(c.queue)
+}
+
+// SendEvent delivers a synthetic event. If mask is zero the event goes to
+// the owner of the destination window (as X does for NoEventMask);
+// otherwise it goes to every connection selecting mask on the window.
+// The event is flagged SendEvent.
+func (c *Conn) SendEvent(dst xproto.XID, mask xproto.EventMask, ev xproto.Event) error {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.lookupLocked(dst)
+	if err != nil {
+		return err
+	}
+	ev.SendEvent = true
+	ev.Window = dst
+	if ev.Time == 0 {
+		ev.Time = s.tickLocked()
+	}
+	if mask == 0 {
+		if w.owner != nil {
+			w.owner.enqueueLocked(ev)
+		}
+		return nil
+	}
+	s.deliverLocked(w, mask, ev)
+	return nil
+}
+
+// SetInputFocus assigns keyboard focus. PointerRoot means
+// focus-follows-pointer.
+func (c *Conn) SetInputFocus(id xproto.XID) error {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id != xproto.None && id != xproto.PointerRoot {
+		if _, err := s.lookupLocked(id); err != nil {
+			return err
+		}
+	}
+	old := s.focus
+	s.focus = id
+	if old != id {
+		if ow, ok := s.windows[old]; ok && !ow.destroyed {
+			s.deliverLocked(ow, xproto.FocusChangeMask, xproto.Event{
+				Type: xproto.FocusOut, Window: old, Time: s.tickLocked(),
+			})
+		}
+		if nw, ok := s.windows[id]; ok && !nw.destroyed {
+			s.deliverLocked(nw, xproto.FocusChangeMask, xproto.Event{
+				Type: xproto.FocusIn, Window: id, Time: s.tickLocked(),
+			})
+		}
+	}
+	return nil
+}
+
+// GetInputFocus returns the current focus window.
+func (c *Conn) GetInputFocus() xproto.XID {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.focus
+}
+
+// KillClient closes the connection owning the given resource, as the X
+// KillClient request does. Used by f.delete fallbacks.
+func (c *Conn) KillClient(id xproto.XID) error {
+	s := c.server
+	s.mu.Lock()
+	w, err := s.lookupLocked(id)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	owner := w.owner
+	s.mu.Unlock()
+	if owner == nil {
+		return fmt.Errorf("xserver: BadValue: window 0x%x has no owner", uint32(id))
+	}
+	owner.Close()
+	return nil
+}

@@ -1,0 +1,523 @@
+package xserver
+
+import (
+	"fmt"
+
+	"repro/internal/xproto"
+)
+
+// --- Grabs ----------------------------------------------------------------
+
+// GrabButton establishes a passive grab: when the button is pressed with
+// exactly the given modifiers while the pointer is inside grabWindow (or
+// a descendant), the press is delivered to this connection with
+// grabWindow as the event window and an active grab begins.
+// modifiers may be xproto.AnyModifier; button may be xproto.AnyButton.
+func (c *Conn) GrabButton(grabWindow xproto.XID, button int, modifiers uint16, eventMask xproto.EventMask) error {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.lookupLocked(grabWindow); err != nil {
+		return err
+	}
+	for _, g := range s.buttonGrabs {
+		if g.window == grabWindow && g.button == button && g.modifiers == modifiers {
+			if g.conn != c {
+				return fmt.Errorf("xserver: BadAccess: button %d already grabbed on 0x%x", button, uint32(grabWindow))
+			}
+			g.eventMask = eventMask
+			return nil
+		}
+	}
+	s.buttonGrabs = append(s.buttonGrabs, &buttonGrab{
+		conn: c, window: grabWindow, button: button,
+		modifiers: modifiers, eventMask: eventMask,
+	})
+	return nil
+}
+
+// UngrabButton removes a passive button grab.
+func (c *Conn) UngrabButton(grabWindow xproto.XID, button int, modifiers uint16) {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.buttonGrabs[:0]
+	for _, g := range s.buttonGrabs {
+		if g.conn == c && g.window == grabWindow && g.button == button && g.modifiers == modifiers {
+			continue
+		}
+		out = append(out, g)
+	}
+	s.buttonGrabs = out
+}
+
+// GrabKey establishes a passive key grab on a window.
+func (c *Conn) GrabKey(grabWindow xproto.XID, keysym string, modifiers uint16) error {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.lookupLocked(grabWindow); err != nil {
+		return err
+	}
+	s.keyGrabs = append(s.keyGrabs, &keyGrab{
+		conn: c, window: grabWindow, keysym: keysym, modifiers: modifiers,
+	})
+	return nil
+}
+
+// UngrabKey removes passive key grabs matching the arguments.
+func (c *Conn) UngrabKey(grabWindow xproto.XID, keysym string, modifiers uint16) {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.keyGrabs[:0]
+	for _, g := range s.keyGrabs {
+		if g.conn == c && g.window == grabWindow && g.keysym == keysym && g.modifiers == modifiers {
+			continue
+		}
+		out = append(out, g)
+	}
+	s.keyGrabs = out
+}
+
+// GrabPointer begins an active pointer grab: all subsequent pointer
+// events are delivered to this connection with grabWindow as the event
+// window, until UngrabPointer.
+func (c *Conn) GrabPointer(grabWindow xproto.XID, eventMask xproto.EventMask) error {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.lookupLocked(grabWindow); err != nil {
+		return err
+	}
+	if s.activeGrab != nil && s.activeGrab.conn != c {
+		return fmt.Errorf("xserver: AlreadyGrabbed")
+	}
+	s.activeGrab = &activeGrab{conn: c, window: grabWindow, eventMask: eventMask}
+	return nil
+}
+
+// UngrabPointer releases an active pointer grab held by this connection.
+func (c *Conn) UngrabPointer() {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.activeGrab != nil && s.activeGrab.conn == c {
+		s.activeGrab = nil
+	}
+}
+
+// --- Pointer queries -------------------------------------------------------
+
+// PointerInfo describes the pointer as returned by QueryPointer.
+type PointerInfo struct {
+	Screen       int
+	Root         xproto.XID
+	RootX, RootY int
+	Child        xproto.XID // top-level child of root containing the pointer
+	State        uint16
+}
+
+// QueryPointer reports the pointer position and the root child under it.
+func (c *Conn) QueryPointer() PointerInfo {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	scr := s.screens[s.pointer.screen]
+	info := PointerInfo{
+		Screen: s.pointer.screen, Root: scr.Root,
+		RootX: s.pointer.x, RootY: s.pointer.y, State: s.pointer.state,
+	}
+	root := s.windows[scr.Root]
+	for i := len(root.children) - 1; i >= 0; i-- {
+		ch := root.children[i]
+		if ch.mapped && ch.containsPointLocked(s.pointer.x, s.pointer.y) {
+			info.Child = ch.id
+			break
+		}
+	}
+	return info
+}
+
+// WindowAt returns the deepest viewable window containing the
+// root-relative point on the given screen.
+func (c *Conn) WindowAt(screen, rootX, rootY int) xproto.XID {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if screen < 0 || screen >= len(s.screens) {
+		return xproto.None
+	}
+	root := s.windows[s.screens[screen].Root]
+	if hit := root.descendantAtLocked(rootX, rootY); hit != nil {
+		return hit.id
+	}
+	return xproto.None
+}
+
+// WarpPointer moves the pointer to root-relative coordinates on the
+// pointer's current screen, generating crossing and motion events.
+func (c *Conn) WarpPointer(rootX, rootY int) {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.motionLocked(rootX, rootY)
+}
+
+// --- Input injection (test/driver API) --------------------------------------
+//
+// These methods stand in for a human at the physical display; they live
+// on Server rather than Conn because input originates at the device, not
+// at any client.
+
+// FakeMotion moves the pointer to root coordinates, delivering
+// MotionNotify and crossing events.
+func (s *Server) FakeMotion(rootX, rootY int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.motionLocked(rootX, rootY)
+}
+
+// FakeSetScreen moves the pointer to another screen.
+func (s *Server) FakeSetScreen(screen int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if screen >= 0 && screen < len(s.screens) {
+		s.pointer.screen = screen
+		s.pointer.lastWin = xproto.None
+	}
+}
+
+// FakeButtonPress presses a pointer button at the current pointer
+// position, running passive-grab activation and event delivery.
+func (s *Server) FakeButtonPress(button int, modifiers uint16) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pointer.state |= buttonStateBit(button)
+	s.pointer.state |= modifiers
+	s.buttonEventLocked(xproto.ButtonPress, button, modifiers)
+}
+
+// FakeButtonRelease releases a pointer button.
+func (s *Server) FakeButtonRelease(button int, modifiers uint16) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buttonEventLocked(xproto.ButtonRelease, button, modifiers)
+	s.pointer.state &^= buttonStateBit(button)
+	s.pointer.state &^= modifiers
+	// A button release ends an implicit grab.
+	if s.activeGrab != nil && s.activeGrab.implicit && s.pointer.state&allButtonsMask == 0 {
+		s.activeGrab = nil
+	}
+}
+
+// FakeKeyPress presses a key described by an X keysym name ("a", "Up",
+// "F1"...), honouring passive key grabs.
+func (s *Server) FakeKeyPress(keysym string, modifiers uint16) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.keyEventLocked(xproto.KeyPress, keysym, modifiers)
+}
+
+// FakeKeyRelease releases a key.
+func (s *Server) FakeKeyRelease(keysym string, modifiers uint16) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.keyEventLocked(xproto.KeyRelease, keysym, modifiers)
+}
+
+const allButtonsMask = uint16(xproto.Button1Mask | xproto.Button2Mask |
+	xproto.Button3Mask | xproto.Button4Mask | xproto.Button5Mask)
+
+func buttonStateBit(button int) uint16 {
+	switch button {
+	case 1:
+		return xproto.Button1Mask
+	case 2:
+		return xproto.Button2Mask
+	case 3:
+		return xproto.Button3Mask
+	case 4:
+		return xproto.Button4Mask
+	case 5:
+		return xproto.Button5Mask
+	}
+	return 0
+}
+
+// motionLocked updates pointer position and emits crossing + motion
+// events.
+func (s *Server) motionLocked(rootX, rootY int) {
+	s.pointer.x, s.pointer.y = rootX, rootY
+	s.updatePointerWindowLocked()
+	// Motion delivery: to the active grab, else to the deepest window
+	// selecting PointerMotion, walking up.
+	t := s.tickLocked()
+	if g := s.activeGrab; g != nil {
+		if g.eventMask&xproto.PointerMotionMask != 0 {
+			gw, ok := s.windows[g.window]
+			if ok {
+				gx, gy := gw.rootCoordsLocked()
+				g.conn.enqueueLocked(xproto.Event{
+					Type: xproto.MotionNotify, Window: g.window,
+					X: rootX - gx, Y: rootY - gy, RootX: rootX, RootY: rootY,
+					State: s.pointer.state, Time: t,
+					Root: s.screens[s.pointer.screen].Root,
+				})
+			}
+		}
+		return
+	}
+	w := s.pointerWindowLocked()
+	for ; w != nil; w = w.parent {
+		delivered := false
+		for conn, m := range w.masks {
+			if m&xproto.PointerMotionMask != 0 {
+				wx, wy := w.rootCoordsLocked()
+				conn.enqueueLocked(xproto.Event{
+					Type: xproto.MotionNotify, Window: w.id,
+					X: rootX - wx, Y: rootY - wy, RootX: rootX, RootY: rootY,
+					State: s.pointer.state, Time: t,
+					Root: s.screens[s.pointer.screen].Root,
+				})
+				delivered = true
+			}
+		}
+		if delivered {
+			break
+		}
+	}
+}
+
+// pointerWindowLocked returns the deepest viewable window under the
+// pointer.
+func (s *Server) pointerWindowLocked() *window {
+	root := s.windows[s.screens[s.pointer.screen].Root]
+	return root.descendantAtLocked(s.pointer.x, s.pointer.y)
+}
+
+// updatePointerWindowLocked recomputes the window under the pointer and
+// emits Enter/Leave events on change. Called after motion and after any
+// geometry/map change that can move the pointer between windows.
+func (s *Server) updatePointerWindowLocked() {
+	w := s.pointerWindowLocked()
+	var id xproto.XID
+	if w != nil {
+		id = w.id
+	}
+	if id == s.pointer.lastWin {
+		return
+	}
+	t := s.tickLocked()
+	if old, ok := s.windows[s.pointer.lastWin]; ok && !old.destroyed {
+		ox, oy := old.rootCoordsLocked()
+		s.deliverLocked(old, xproto.LeaveWindowMask, xproto.Event{
+			Type: xproto.LeaveNotify, Window: old.id,
+			X: s.pointer.x - ox, Y: s.pointer.y - oy,
+			RootX: s.pointer.x, RootY: s.pointer.y,
+			State: s.pointer.state, Time: t,
+		})
+	}
+	s.pointer.lastWin = id
+	if w != nil {
+		wx, wy := w.rootCoordsLocked()
+		s.deliverLocked(w, xproto.EnterWindowMask, xproto.Event{
+			Type: xproto.EnterNotify, Window: w.id,
+			X: s.pointer.x - wx, Y: s.pointer.y - wy,
+			RootX: s.pointer.x, RootY: s.pointer.y,
+			State: s.pointer.state, Time: t,
+		})
+	}
+}
+
+// buttonEventLocked dispatches a button press/release: active grab
+// first, then passive grab activation (press only), then normal
+// delivery to the deepest selecting window with upward propagation.
+func (s *Server) buttonEventLocked(typ xproto.EventType, button int, modifiers uint16) {
+	t := s.tickLocked()
+	rootID := s.screens[s.pointer.screen].Root
+	under := s.pointerWindowLocked()
+	var underID xproto.XID
+	if under != nil {
+		underID = under.id
+	}
+
+	mask := xproto.ButtonPressMask
+	if typ == xproto.ButtonRelease {
+		mask = xproto.ButtonReleaseMask
+	}
+
+	// Active grab takes priority.
+	if g := s.activeGrab; g != nil {
+		if g.eventMask&mask != 0 {
+			if gw, ok := s.windows[g.window]; ok {
+				gx, gy := gw.rootCoordsLocked()
+				g.conn.enqueueLocked(xproto.Event{
+					Type: typ, Window: g.window, Subwindow: underID,
+					X: s.pointer.x - gx, Y: s.pointer.y - gy,
+					RootX: s.pointer.x, RootY: s.pointer.y,
+					Button: button, State: modifiers | s.pointer.state,
+					Time: t, Root: rootID,
+				})
+			}
+		}
+		return
+	}
+
+	// Passive grabs: on press, find the most specific grab whose window
+	// is the pointer window or an ancestor. Deepest grab window wins.
+	if typ == xproto.ButtonPress && under != nil {
+		var best *buttonGrab
+		bestDepth := -1
+		for _, g := range s.buttonGrabs {
+			if g.button != button && g.button != xproto.AnyButton {
+				continue
+			}
+			if g.modifiers != xproto.AnyModifier && g.modifiers != modifiers {
+				continue
+			}
+			gw, ok := s.windows[g.window]
+			if !ok || gw.destroyed {
+				continue
+			}
+			if gw != under && !gw.isAncestorOfLocked(under) {
+				continue
+			}
+			depth := 0
+			for p := under; p != nil && p != gw; p = p.parent {
+				depth++
+			}
+			// Smaller depth = grab window closer to the pointer window.
+			if best == nil || depth < bestDepth {
+				best, bestDepth = g, depth
+			}
+		}
+		if best != nil {
+			gw := s.windows[best.window]
+			gx, gy := gw.rootCoordsLocked()
+			best.conn.enqueueLocked(xproto.Event{
+				Type: typ, Window: best.window, Subwindow: underID,
+				X: s.pointer.x - gx, Y: s.pointer.y - gy,
+				RootX: s.pointer.x, RootY: s.pointer.y,
+				Button: button, State: modifiers | s.pointer.state,
+				Time: t, Root: rootID,
+			})
+			// Activate an implicit grab so the matching release goes to
+			// the same client.
+			s.activeGrab = &activeGrab{
+				conn: best.conn, window: best.window,
+				eventMask: best.eventMask | mask | xproto.ButtonReleaseMask,
+				implicit:  true,
+			}
+			return
+		}
+	}
+
+	// Normal delivery: deepest window selecting the mask, walking up.
+	for w := under; w != nil; w = w.parent {
+		delivered := false
+		for conn, m := range w.masks {
+			if m&mask != 0 {
+				wx, wy := w.rootCoordsLocked()
+				conn.enqueueLocked(xproto.Event{
+					Type: typ, Window: w.id, Subwindow: underID,
+					X: s.pointer.x - wx, Y: s.pointer.y - wy,
+					RootX: s.pointer.x, RootY: s.pointer.y,
+					Button: button, State: modifiers | s.pointer.state,
+					Time: t, Root: rootID,
+				})
+				delivered = true
+			}
+		}
+		if delivered {
+			if typ == xproto.ButtonPress {
+				// Implicit grab for press/release pairing.
+				for conn, m := range w.masks {
+					if m&mask != 0 {
+						s.activeGrab = &activeGrab{
+							conn: conn, window: w.id,
+							eventMask: m | xproto.ButtonReleaseMask,
+							implicit:  true,
+						}
+						break
+					}
+				}
+			}
+			return
+		}
+	}
+}
+
+// keyEventLocked dispatches a key press/release: passive key grabs
+// first, then focus/pointer delivery.
+func (s *Server) keyEventLocked(typ xproto.EventType, keysym string, modifiers uint16) {
+	t := s.tickLocked()
+	rootID := s.screens[s.pointer.screen].Root
+	under := s.pointerWindowLocked()
+
+	mask := xproto.KeyPressMask
+	if typ == xproto.KeyRelease {
+		mask = xproto.KeyReleaseMask
+	}
+
+	if typ == xproto.KeyPress && under != nil {
+		for _, g := range s.keyGrabs {
+			if g.keysym != keysym {
+				continue
+			}
+			if g.modifiers != xproto.AnyModifier && g.modifiers != modifiers {
+				continue
+			}
+			gw, ok := s.windows[g.window]
+			if !ok || gw.destroyed {
+				continue
+			}
+			if gw != under && !gw.isAncestorOfLocked(under) {
+				continue
+			}
+			gx, gy := gw.rootCoordsLocked()
+			var underID xproto.XID
+			if under != nil {
+				underID = under.id
+			}
+			g.conn.enqueueLocked(xproto.Event{
+				Type: typ, Window: g.window, Subwindow: underID,
+				X: s.pointer.x - gx, Y: s.pointer.y - gy,
+				RootX: s.pointer.x, RootY: s.pointer.y,
+				Keysym: keysym, State: modifiers | s.pointer.state,
+				Time: t, Root: rootID,
+			})
+			return
+		}
+	}
+
+	// Determine the delivery window: explicit focus, else pointer window.
+	var target *window
+	if s.focus != xproto.PointerRoot && s.focus != xproto.None {
+		if fw, ok := s.windows[s.focus]; ok && !fw.destroyed {
+			target = fw
+		}
+	}
+	if target == nil {
+		target = under
+	}
+	for w := target; w != nil; w = w.parent {
+		delivered := false
+		for conn, m := range w.masks {
+			if m&mask != 0 {
+				wx, wy := w.rootCoordsLocked()
+				conn.enqueueLocked(xproto.Event{
+					Type: typ, Window: w.id,
+					X: s.pointer.x - wx, Y: s.pointer.y - wy,
+					RootX: s.pointer.x, RootY: s.pointer.y,
+					Keysym: keysym, State: modifiers | s.pointer.state,
+					Time: t, Root: rootID,
+				})
+				delivered = true
+			}
+		}
+		if delivered {
+			return
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package xserver implements an in-memory model of an X11 server
+// sufficient to host a reparenting window manager and its clients: a
+// window tree with stacking order, properties and atoms, event masks and
+// delivery (including SubstructureRedirect), reparenting with save-sets,
+// passive button grabs and active pointer grabs, pointer/crossing
+// events, synthetic events via SendEvent, multiple screens, and the
+// SHAPE extension.
+//
+// The server is a deterministic, single-process model: requests take
+// effect immediately under one lock and events are appended to
+// per-connection FIFO queues. This gives window-manager code the exact
+// protocol surface it would see against a real display while keeping
+// tests and benchmarks reproducible.
+package xserver
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/xproto"
+)
+
+// Server is a simulated X display server. Create one with NewServer and
+// attach clients with Connect.
+type Server struct {
+	mu     sync.Mutex
+	nextID xproto.XID
+	now    xproto.Timestamp
+
+	atoms     map[string]xproto.Atom
+	atomNames map[xproto.Atom]string
+	nextAtom  xproto.Atom
+
+	windows map[xproto.XID]*window
+	screens []*Screen
+	conns   map[int]*Conn
+	nextFD  int
+
+	pointer pointerState
+	focus   xproto.XID
+
+	// passive button grabs established with GrabButton.
+	buttonGrabs []*buttonGrab
+	// keyGrabs established with GrabKey.
+	keyGrabs []*keyGrab
+	// active pointer grab, if any.
+	activeGrab *activeGrab
+}
+
+// Screen describes one head of the display. Root is the root window.
+type Screen struct {
+	Number     int
+	Root       xproto.XID
+	Width      int
+	Height     int
+	Monochrome bool
+}
+
+// ScreenSpec configures one screen at server creation.
+type ScreenSpec struct {
+	Width      int
+	Height     int
+	Monochrome bool
+}
+
+type pointerState struct {
+	screen  int
+	x, y    int // root-relative on the current screen
+	state   uint16
+	lastWin xproto.XID // window the pointer was last inside (for crossing events)
+}
+
+type buttonGrab struct {
+	conn      *Conn
+	window    xproto.XID
+	button    int
+	modifiers uint16
+	eventMask xproto.EventMask
+}
+
+type keyGrab struct {
+	conn      *Conn
+	window    xproto.XID
+	keysym    string
+	modifiers uint16
+}
+
+type activeGrab struct {
+	conn      *Conn
+	window    xproto.XID
+	eventMask xproto.EventMask
+	// implicit grabs are created automatically between ButtonPress and
+	// ButtonRelease delivery, as in real X.
+	implicit bool
+}
+
+// NewServer creates a server with the given screens. With no specs, a
+// single 1152x900 color screen is created (the Sun-era default that swm
+// was developed on).
+func NewServer(specs ...ScreenSpec) *Server {
+	if len(specs) == 0 {
+		specs = []ScreenSpec{{Width: 1152, Height: 900}}
+	}
+	s := &Server{
+		nextID:    0x200000,
+		atoms:     make(map[string]xproto.Atom),
+		atomNames: make(map[xproto.Atom]string),
+		nextAtom:  1,
+		windows:   make(map[xproto.XID]*window),
+		conns:     make(map[int]*Conn),
+		nextFD:    1,
+	}
+	for _, name := range xproto.PredefinedAtoms {
+		s.internAtomLocked(name)
+	}
+	for i, spec := range specs {
+		root := &window{
+			id:     s.allocIDLocked(),
+			rect:   xproto.Rect{Width: spec.Width, Height: spec.Height},
+			mapped: true,
+			class:  xproto.InputOutput,
+			props:  make(map[xproto.Atom]Property),
+			masks:  make(map[*Conn]xproto.EventMask),
+			screen: i,
+			isRoot: true,
+		}
+		s.windows[root.id] = root
+		s.screens = append(s.screens, &Screen{
+			Number:     i,
+			Root:       root.id,
+			Width:      spec.Width,
+			Height:     spec.Height,
+			Monochrome: spec.Monochrome,
+		})
+	}
+	s.focus = xproto.PointerRoot
+	return s
+}
+
+// Screens returns the screen descriptors.
+func (s *Server) Screens() []*Screen {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Screen, len(s.screens))
+	copy(out, s.screens)
+	return out
+}
+
+// Connect attaches a new client connection. Name is used in diagnostics.
+func (s *Server) Connect(name string) *Conn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := &Conn{
+		server:  s,
+		fd:      s.nextFD,
+		name:    name,
+		saveSet: make(map[xproto.XID]bool),
+	}
+	c.cond = sync.NewCond(&s.mu)
+	s.nextFD++
+	s.conns[c.fd] = c
+	return c
+}
+
+func (s *Server) allocIDLocked() xproto.XID {
+	id := s.nextID
+	s.nextID++
+	return id
+}
+
+func (s *Server) tickLocked() xproto.Timestamp {
+	s.now++
+	return s.now
+}
+
+func (s *Server) internAtomLocked(name string) xproto.Atom {
+	if a, ok := s.atoms[name]; ok {
+		return a
+	}
+	a := s.nextAtom
+	s.nextAtom++
+	s.atoms[name] = a
+	s.atomNames[a] = name
+	return a
+}
+
+func (s *Server) lookupLocked(id xproto.XID) (*window, error) {
+	w, ok := s.windows[id]
+	if !ok || w.destroyed {
+		return nil, fmt.Errorf("xserver: BadWindow 0x%x", uint32(id))
+	}
+	return w, nil
+}
+
+// screenOf returns the screen struct for a window.
+func (s *Server) screenOfLocked(w *window) *Screen {
+	return s.screens[w.screenLocked()]
+}
+
+// rootOfLocked returns the root window of w's screen.
+func (s *Server) rootOfLocked(w *window) *window {
+	return s.windows[s.screens[w.screenLocked()].Root]
+}
+
+// NumConns reports the number of live client connections (diagnostics).
+func (s *Server) NumConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Now returns the current server timestamp without advancing it.
+func (s *Server) Now() xproto.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}

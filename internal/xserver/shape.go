@@ -1,0 +1,73 @@
+package xserver
+
+import (
+	"sort"
+
+	"repro/internal/xproto"
+)
+
+// SHAPE extension support: windows may have a non-rectangular bounding
+// region expressed as a union of window-relative rectangles. Shaped
+// windows hit-test against their region; ShapeNotify events inform
+// interested clients (the WM selects them to apply shaped decoration).
+
+// ShapeCombineRectangles sets the window's bounding region to the union
+// of the given window-relative rectangles and notifies shape listeners.
+// Passing no rectangles resets the window to an ordinary rectangular
+// shape.
+func (c *Conn) ShapeCombineRectangles(id xproto.XID, rects []xproto.Rect) error {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.lookupLocked(id)
+	if err != nil {
+		return err
+	}
+	if len(rects) == 0 {
+		w.shaped = false
+		w.shapeRects = nil
+	} else {
+		w.shaped = true
+		w.shapeRects = append([]xproto.Rect(nil), rects...)
+	}
+	s.deliverLocked(w, xproto.StructureNotifyMask, xproto.Event{
+		Type: xproto.ShapeNotify, Window: w.id, Shaped: w.shaped,
+		Width: w.rect.Width, Height: w.rect.Height, Time: s.tickLocked(),
+	})
+	return nil
+}
+
+// ShapeQuery reports whether the window is shaped and returns a copy of
+// its bounding rectangles (window-relative, sorted for determinism).
+func (c *Conn) ShapeQuery(id xproto.XID) (shaped bool, rects []xproto.Rect, err error) {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.lookupLocked(id)
+	if err != nil {
+		return false, nil, err
+	}
+	out := append([]xproto.Rect(nil), w.shapeRects...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Y != out[j].Y {
+			return out[i].Y < out[j].Y
+		}
+		return out[i].X < out[j].X
+	})
+	return w.shaped, out, nil
+}
+
+// ShapeSelectInput arranges for ShapeNotify events on the window to be
+// delivered to this connection (implemented via StructureNotify
+// selection, which is how our model routes ShapeNotify).
+func (c *Conn) ShapeSelectInput(id xproto.XID) error {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.lookupLocked(id)
+	if err != nil {
+		return err
+	}
+	w.masks[c] |= xproto.StructureNotifyMask
+	return nil
+}

@@ -1,0 +1,55 @@
+package xserver
+
+import (
+	"repro/internal/xproto"
+)
+
+// TreeNode is an exported snapshot of one window for rendering and
+// debugging: geometry is parent-relative, children are in
+// bottom-to-top stacking order.
+type TreeNode struct {
+	ID          xproto.XID
+	Rect        xproto.Rect
+	BorderWidth int
+	Mapped      bool
+	Override    bool
+	InputOnly   bool
+	Label       string
+	Fill        byte
+	Shaped      bool
+	ShapeRects  []xproto.Rect
+	Children    []*TreeNode
+}
+
+// Snapshot captures the window tree rooted at id. Unmapped windows are
+// included (their Mapped flag is false) so callers can decide what to
+// draw.
+func (c *Conn) Snapshot(id xproto.XID) (*TreeNode, error) {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.lookupLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	return snapshotLocked(w), nil
+}
+
+func snapshotLocked(w *window) *TreeNode {
+	n := &TreeNode{
+		ID:          w.id,
+		Rect:        w.rect,
+		BorderWidth: w.borderWidth,
+		Mapped:      w.mapped,
+		Override:    w.override,
+		InputOnly:   w.class == xproto.InputOnly,
+		Label:       w.label,
+		Fill:        w.fill,
+		Shaped:      w.shaped,
+		ShapeRects:  append([]xproto.Rect(nil), w.shapeRects...),
+	}
+	for _, ch := range w.children {
+		n.Children = append(n.Children, snapshotLocked(ch))
+	}
+	return n
+}

@@ -1,0 +1,208 @@
+package xserver
+
+import (
+	"repro/internal/xproto"
+)
+
+// Property is a window property value: typed, formatted bytes exactly as
+// in the X protocol.
+type Property struct {
+	Type   xproto.Atom
+	Format int // 8, 16 or 32
+	Data   []byte
+}
+
+// window is the server-internal window record. Clients refer to windows
+// only by XID; all fields are guarded by Server.mu.
+type window struct {
+	id     xproto.XID
+	parent *window
+	// children in bottom-to-top stacking order: children[len-1] is the
+	// highest window.
+	children []*window
+
+	rect        xproto.Rect // relative to parent
+	borderWidth int
+	class       xproto.WindowClass
+	mapped      bool
+	override    bool
+	destroyed   bool
+	isRoot      bool
+	screen      int // valid for roots; others derive from ancestry
+
+	props map[xproto.Atom]Property
+	masks map[*Conn]xproto.EventMask
+
+	owner *Conn // creating connection; nil for roots
+
+	// SHAPE extension: when shaped is true, the effective bounding
+	// region is the union of shapeRects (window-relative).
+	shaped     bool
+	shapeRects []xproto.Rect
+
+	// Rendering hints consumed by internal/raster. A real server stores
+	// pixmaps and GC state; for figure reproduction we keep a label and
+	// a fill glyph per window.
+	label string
+	fill  byte
+}
+
+func (w *window) screenLocked() int {
+	for p := w; p != nil; p = p.parent {
+		if p.isRoot {
+			return p.screen
+		}
+	}
+	return 0
+}
+
+// rootCoordsLocked returns w's top-left corner in root coordinates.
+func (w *window) rootCoordsLocked() (x, y int) {
+	for p := w; p != nil && !p.isRoot; p = p.parent {
+		x += p.rect.X + p.borderWidth
+		y += p.rect.Y + p.borderWidth
+	}
+	return x, y
+}
+
+// viewableLocked reports whether w and all ancestors are mapped.
+func (w *window) viewableLocked() bool {
+	for p := w; p != nil; p = p.parent {
+		if !p.mapped {
+			return false
+		}
+	}
+	return true
+}
+
+// isAncestorOfLocked reports whether w is a (transitive) ancestor of o.
+func (w *window) isAncestorOfLocked(o *window) bool {
+	for p := o.parent; p != nil; p = p.parent {
+		if p == w {
+			return true
+		}
+	}
+	return false
+}
+
+// stackIndexLocked returns w's index in its parent's children slice, or
+// -1 for roots.
+func (w *window) stackIndexLocked() int {
+	if w.parent == nil {
+		return -1
+	}
+	for i, c := range w.parent.children {
+		if c == w {
+			return i
+		}
+	}
+	return -1
+}
+
+// detachLocked removes w from its parent's children.
+func (w *window) detachLocked() {
+	if w.parent == nil {
+		return
+	}
+	idx := w.stackIndexLocked()
+	if idx >= 0 {
+		w.parent.children = append(w.parent.children[:idx], w.parent.children[idx+1:]...)
+	}
+	w.parent = nil
+}
+
+// attachLocked appends w on top of parent's children.
+func (w *window) attachLocked(parent *window) {
+	w.parent = parent
+	parent.children = append(parent.children, w)
+}
+
+// containsPointLocked reports whether the root-relative point lies
+// within w's (possibly shaped) extent.
+func (w *window) containsPointLocked(rootX, rootY int) bool {
+	wx, wy := w.rootCoordsLocked()
+	lx, ly := rootX-wx, rootY-wy
+	if lx < 0 || ly < 0 || lx >= w.rect.Width || ly >= w.rect.Height {
+		return false
+	}
+	if !w.shaped {
+		return true
+	}
+	for _, r := range w.shapeRects {
+		if r.Contains(lx, ly) {
+			return true
+		}
+	}
+	return false
+}
+
+// descendantAtLocked returns the deepest viewable descendant of w (or w
+// itself) containing the root-relative point, honouring stacking order
+// (topmost child wins). Returns nil if the point is outside w.
+func (w *window) descendantAtLocked(rootX, rootY int) *window {
+	if !w.mapped || !w.containsPointLocked(rootX, rootY) {
+		return nil
+	}
+	// Scan children top-to-bottom.
+	for i := len(w.children) - 1; i >= 0; i-- {
+		c := w.children[i]
+		if !c.mapped {
+			continue
+		}
+		if hit := c.descendantAtLocked(rootX, rootY); hit != nil {
+			return hit
+		}
+	}
+	return w
+}
+
+// restackLocked applies a stacking change relative to an optional
+// sibling, mirroring ConfigureWindow's sibling/stack-mode semantics for
+// the modes a WM uses (Above, Below, Opposite).
+func (w *window) restackLocked(mode xproto.StackMode, sibling *window) {
+	parent := w.parent
+	if parent == nil {
+		return
+	}
+	idx := w.stackIndexLocked()
+	if idx < 0 {
+		return
+	}
+	parent.children = append(parent.children[:idx], parent.children[idx+1:]...)
+	switch mode {
+	case xproto.Above:
+		if sibling == nil {
+			parent.children = append(parent.children, w)
+		} else {
+			si := sibling.stackIndexLocked()
+			// insert just above sibling
+			parent.children = append(parent.children, nil)
+			copy(parent.children[si+2:], parent.children[si+1:])
+			parent.children[si+1] = w
+		}
+	case xproto.Below:
+		if sibling == nil {
+			parent.children = append([]*window{w}, parent.children...)
+		} else {
+			si := sibling.stackIndexLocked()
+			parent.children = append(parent.children, nil)
+			copy(parent.children[si+1:], parent.children[si:])
+			parent.children[si] = w
+		}
+	case xproto.Opposite:
+		// Raise if anything overlaps above it; we approximate with: if
+		// not already topmost, raise, else lower.
+		if idx == len(parent.children) {
+			parent.children = append([]*window{w}, parent.children...)
+		} else {
+			parent.children = append(parent.children, w)
+		}
+	default:
+		// TopIf / BottomIf degrade to Above / Below for our purposes.
+		if mode == xproto.TopIf {
+			parent.children = append(parent.children, w)
+		} else {
+			parent.children = append([]*window{w}, parent.children...)
+		}
+	}
+}

@@ -1,0 +1,1084 @@
+package xserver
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xproto"
+)
+
+func newTestServer(t *testing.T) (*Server, *Conn) {
+	t.Helper()
+	s := NewServer()
+	return s, s.Connect("test")
+}
+
+func mustCreate(t *testing.T, c *Conn, parent xproto.XID, r xproto.Rect) xproto.XID {
+	t.Helper()
+	id, err := c.CreateWindow(parent, r, 0, WindowAttributes{})
+	if err != nil {
+		t.Fatalf("CreateWindow: %v", err)
+	}
+	return id
+}
+
+func drain(c *Conn) []xproto.Event {
+	var evs []xproto.Event
+	for {
+		ev, ok := c.PollEvent()
+		if !ok {
+			return evs
+		}
+		evs = append(evs, ev)
+	}
+}
+
+func TestNewServerDefaultScreen(t *testing.T) {
+	s := NewServer()
+	scr := s.Screens()
+	if len(scr) != 1 {
+		t.Fatalf("got %d screens, want 1", len(scr))
+	}
+	if scr[0].Width != 1152 || scr[0].Height != 900 {
+		t.Errorf("default screen = %dx%d, want 1152x900", scr[0].Width, scr[0].Height)
+	}
+	if scr[0].Root == xproto.None {
+		t.Error("root window is None")
+	}
+}
+
+func TestMultiScreen(t *testing.T) {
+	s := NewServer(
+		ScreenSpec{Width: 1024, Height: 768},
+		ScreenSpec{Width: 800, Height: 600, Monochrome: true},
+	)
+	scr := s.Screens()
+	if len(scr) != 2 {
+		t.Fatalf("got %d screens, want 2", len(scr))
+	}
+	if !scr[1].Monochrome {
+		t.Error("screen 1 should be monochrome")
+	}
+	if scr[0].Root == scr[1].Root {
+		t.Error("screens share a root window")
+	}
+}
+
+func TestCreateWindowGeometry(t *testing.T) {
+	s, c := newTestServer(t)
+	root := s.Screens()[0].Root
+	id := mustCreate(t, c, root, xproto.Rect{X: 10, Y: 20, Width: 300, Height: 200})
+	g, err := c.GetGeometry(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := xproto.Rect{X: 10, Y: 20, Width: 300, Height: 200}
+	if g.Rect != want {
+		t.Errorf("geometry = %v, want %v", g.Rect, want)
+	}
+	if g.Root != root {
+		t.Errorf("root = %v, want %v", g.Root, root)
+	}
+}
+
+func TestCreateWindowRejectsZeroSize(t *testing.T) {
+	s, c := newTestServer(t)
+	root := s.Screens()[0].Root
+	if _, err := c.CreateWindow(root, xproto.Rect{Width: 0, Height: 10}, 0, WindowAttributes{}); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := c.CreateWindow(root, xproto.Rect{Width: 10, Height: 0}, 0, WindowAttributes{}); err == nil {
+		t.Error("zero height accepted")
+	}
+}
+
+func TestCreateNotifyDelivery(t *testing.T) {
+	s, c := newTestServer(t)
+	wm := s.Connect("wm")
+	root := s.Screens()[0].Root
+	if err := wm.SelectInput(root, xproto.SubstructureNotifyMask); err != nil {
+		t.Fatal(err)
+	}
+	id := mustCreate(t, c, root, xproto.Rect{X: 1, Y: 2, Width: 30, Height: 40})
+	evs := drain(wm)
+	if len(evs) != 1 || evs[0].Type != xproto.CreateNotify {
+		t.Fatalf("got %v, want one CreateNotify", evs)
+	}
+	if evs[0].Subwindow != id || evs[0].Width != 30 || evs[0].Height != 40 {
+		t.Errorf("CreateNotify fields wrong: %+v", evs[0])
+	}
+}
+
+func TestMapRequestRedirection(t *testing.T) {
+	s, c := newTestServer(t)
+	wm := s.Connect("wm")
+	root := s.Screens()[0].Root
+	if err := wm.SelectInput(root, xproto.SubstructureRedirectMask); err != nil {
+		t.Fatal(err)
+	}
+	id := mustCreate(t, c, root, xproto.Rect{Width: 100, Height: 100})
+	if err := c.MapWindow(id); err != nil {
+		t.Fatal(err)
+	}
+	// Window must NOT be mapped; wm gets MapRequest.
+	attrs, _ := c.GetWindowAttributes(id)
+	if attrs.MapState != xproto.IsUnmapped {
+		t.Error("window mapped despite redirection")
+	}
+	evs := drain(wm)
+	if len(evs) != 1 || evs[0].Type != xproto.MapRequest || evs[0].Subwindow != id {
+		t.Fatalf("got %v, want one MapRequest for %v", evs, id)
+	}
+	// WM maps it: no redirect applies to the redirector itself.
+	if err := wm.MapWindow(id); err != nil {
+		t.Fatal(err)
+	}
+	attrs, _ = c.GetWindowAttributes(id)
+	if attrs.MapState != xproto.IsViewable {
+		t.Error("window not viewable after WM mapped it")
+	}
+}
+
+func TestOverrideRedirectBypassesRedirection(t *testing.T) {
+	s, c := newTestServer(t)
+	wm := s.Connect("wm")
+	root := s.Screens()[0].Root
+	if err := wm.SelectInput(root, xproto.SubstructureRedirectMask); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.CreateWindow(root, xproto.Rect{Width: 50, Height: 50}, 0,
+		WindowAttributes{OverrideRedirect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MapWindow(id); err != nil {
+		t.Fatal(err)
+	}
+	attrs, _ := c.GetWindowAttributes(id)
+	if attrs.MapState != xproto.IsViewable {
+		t.Error("override-redirect window was redirected")
+	}
+	for _, ev := range drain(wm) {
+		if ev.Type == xproto.MapRequest {
+			t.Error("MapRequest generated for override-redirect window")
+		}
+	}
+}
+
+func TestConfigureRequestRedirection(t *testing.T) {
+	s, c := newTestServer(t)
+	wm := s.Connect("wm")
+	root := s.Screens()[0].Root
+	if err := wm.SelectInput(root, xproto.SubstructureRedirectMask); err != nil {
+		t.Fatal(err)
+	}
+	id := mustCreate(t, c, root, xproto.Rect{X: 5, Y: 5, Width: 100, Height: 100})
+	if err := c.MoveResizeWindow(id, xproto.Rect{X: 50, Y: 60, Width: 200, Height: 150}); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := c.GetGeometry(id)
+	if g.Rect.X != 5 || g.Rect.Width != 100 {
+		t.Error("geometry changed despite redirection")
+	}
+	evs := drain(wm)
+	if len(evs) != 1 || evs[0].Type != xproto.ConfigureRequest {
+		t.Fatalf("got %v, want one ConfigureRequest", evs)
+	}
+	ev := evs[0]
+	if ev.GX != 50 || ev.GY != 60 || ev.Width != 200 || ev.Height != 150 {
+		t.Errorf("ConfigureRequest fields: %+v", ev)
+	}
+	wantMask := xproto.CWX | xproto.CWY | xproto.CWWidth | xproto.CWHeight
+	if ev.ValueMask != wantMask {
+		t.Errorf("ValueMask = %b, want %b", ev.ValueMask, wantMask)
+	}
+}
+
+func TestOnlyOneSubstructureRedirector(t *testing.T) {
+	s, _ := newTestServer(t)
+	wm1 := s.Connect("wm1")
+	wm2 := s.Connect("wm2")
+	root := s.Screens()[0].Root
+	if err := wm1.SelectInput(root, xproto.SubstructureRedirectMask); err != nil {
+		t.Fatal(err)
+	}
+	if err := wm2.SelectInput(root, xproto.SubstructureRedirectMask); err == nil {
+		t.Error("second SubstructureRedirect selection should fail (another WM is running)")
+	}
+}
+
+func TestReparentWindow(t *testing.T) {
+	s, c := newTestServer(t)
+	root := s.Screens()[0].Root
+	frame := mustCreate(t, c, root, xproto.Rect{X: 100, Y: 100, Width: 220, Height: 240})
+	client := mustCreate(t, c, root, xproto.Rect{X: 5, Y: 5, Width: 200, Height: 200})
+	if err := c.SelectInput(client, xproto.StructureNotifyMask); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReparentWindow(client, frame, 10, 30); err != nil {
+		t.Fatal(err)
+	}
+	_, parent, _, err := c.QueryTree(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parent != frame {
+		t.Errorf("parent = %v, want %v", parent, frame)
+	}
+	g, _ := c.GetGeometry(client)
+	if g.Rect.X != 10 || g.Rect.Y != 30 {
+		t.Errorf("position after reparent = (%d,%d), want (10,30)", g.Rect.X, g.Rect.Y)
+	}
+	var sawReparent bool
+	for _, ev := range drain(c) {
+		if ev.Type == xproto.ReparentNotify && ev.Window == client && ev.Parent == frame {
+			sawReparent = true
+		}
+	}
+	if !sawReparent {
+		t.Error("no ReparentNotify delivered to the window")
+	}
+}
+
+func TestReparentCycleRejected(t *testing.T) {
+	s, c := newTestServer(t)
+	root := s.Screens()[0].Root
+	a := mustCreate(t, c, root, xproto.Rect{Width: 10, Height: 10})
+	b := mustCreate(t, c, a, xproto.Rect{Width: 5, Height: 5})
+	if err := c.ReparentWindow(a, b, 0, 0); err == nil {
+		t.Error("reparenting a window under its own descendant should fail")
+	}
+	if err := c.ReparentWindow(a, a, 0, 0); err == nil {
+		t.Error("reparenting a window under itself should fail")
+	}
+}
+
+func TestReparentKeepsMapState(t *testing.T) {
+	s, c := newTestServer(t)
+	root := s.Screens()[0].Root
+	frame := mustCreate(t, c, root, xproto.Rect{Width: 100, Height: 100})
+	client := mustCreate(t, c, root, xproto.Rect{Width: 50, Height: 50})
+	if err := c.MapWindow(frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MapWindow(client); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReparentWindow(client, frame, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	attrs, _ := c.GetWindowAttributes(client)
+	if attrs.MapState != xproto.IsViewable {
+		t.Error("mapped window not remapped after reparent")
+	}
+}
+
+func TestStackingRaiseLower(t *testing.T) {
+	s, c := newTestServer(t)
+	root := s.Screens()[0].Root
+	a := mustCreate(t, c, root, xproto.Rect{Width: 10, Height: 10})
+	b := mustCreate(t, c, root, xproto.Rect{Width: 10, Height: 10})
+	d := mustCreate(t, c, root, xproto.Rect{Width: 10, Height: 10})
+	_, _, children, _ := c.QueryTree(root)
+	if children[0] != a || children[2] != d {
+		t.Fatalf("initial stacking %v, want [a b d]", children)
+	}
+	if err := c.RaiseWindow(a); err != nil {
+		t.Fatal(err)
+	}
+	_, _, children, _ = c.QueryTree(root)
+	if children[2] != a {
+		t.Errorf("after raise, top = %v, want %v", children[2], a)
+	}
+	if err := c.LowerWindow(d); err != nil {
+		t.Fatal(err)
+	}
+	_, _, children, _ = c.QueryTree(root)
+	if children[0] != d {
+		t.Errorf("after lower, bottom = %v, want %v", children[0], d)
+	}
+	_ = b
+}
+
+func TestStackingAboveSibling(t *testing.T) {
+	s, c := newTestServer(t)
+	root := s.Screens()[0].Root
+	a := mustCreate(t, c, root, xproto.Rect{Width: 10, Height: 10})
+	b := mustCreate(t, c, root, xproto.Rect{Width: 10, Height: 10})
+	d := mustCreate(t, c, root, xproto.Rect{Width: 10, Height: 10})
+	err := c.ConfigureWindow(a, xproto.WindowChanges{
+		Mask:    xproto.CWStackMode | xproto.CWSibling,
+		Sibling: b, StackMode: xproto.Above,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, children, _ := c.QueryTree(root)
+	want := []xproto.XID{b, a, d}
+	for i := range want {
+		if children[i] != want[i] {
+			t.Fatalf("stacking = %v, want %v", children, want)
+		}
+	}
+}
+
+func TestDestroyWindowRecursive(t *testing.T) {
+	s, c := newTestServer(t)
+	root := s.Screens()[0].Root
+	a := mustCreate(t, c, root, xproto.Rect{Width: 10, Height: 10})
+	b := mustCreate(t, c, a, xproto.Rect{Width: 5, Height: 5})
+	if err := c.DestroyWindow(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetGeometry(a); err == nil {
+		t.Error("destroyed window still exists")
+	}
+	if _, err := c.GetGeometry(b); err == nil {
+		t.Error("descendant of destroyed window still exists")
+	}
+}
+
+func TestDestroyRootRejected(t *testing.T) {
+	s, c := newTestServer(t)
+	if err := c.DestroyWindow(s.Screens()[0].Root); err == nil {
+		t.Error("destroying the root should fail")
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	s, c := newTestServer(t)
+	root := s.Screens()[0].Root
+	w := mustCreate(t, c, root, xproto.Rect{Width: 10, Height: 10})
+	name := c.InternAtom("WM_NAME")
+	str := c.InternAtom("STRING")
+	if err := c.ChangeProperty(w, name, str, 8, xproto.PropModeReplace, []byte("xclock")); err != nil {
+		t.Fatal(err)
+	}
+	p, ok, err := c.GetProperty(w, name)
+	if err != nil || !ok {
+		t.Fatalf("GetProperty: ok=%v err=%v", ok, err)
+	}
+	if string(p.Data) != "xclock" || p.Type != str || p.Format != 8 {
+		t.Errorf("property = %+v", p)
+	}
+}
+
+func TestPropertyAppendPrepend(t *testing.T) {
+	s, c := newTestServer(t)
+	root := s.Screens()[0].Root
+	w := mustCreate(t, c, root, xproto.Rect{Width: 10, Height: 10})
+	a := c.InternAtom("TESTPROP")
+	str := c.InternAtom("STRING")
+	if err := c.ChangeProperty(w, a, str, 8, xproto.PropModeReplace, []byte("bb")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ChangeProperty(w, a, str, 8, xproto.PropModeAppend, []byte("cc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ChangeProperty(w, a, str, 8, xproto.PropModePrepend, []byte("aa")); err != nil {
+		t.Fatal(err)
+	}
+	p, _, _ := c.GetProperty(w, a)
+	if string(p.Data) != "aabbcc" {
+		t.Errorf("data = %q, want aabbcc", p.Data)
+	}
+	// Mismatched type must fail for append.
+	card := c.InternAtom("CARDINAL")
+	if err := c.ChangeProperty(w, a, card, 8, xproto.PropModeAppend, []byte("x")); err == nil {
+		t.Error("append with mismatched type accepted")
+	}
+}
+
+func TestPropertyNotify(t *testing.T) {
+	s, c := newTestServer(t)
+	watcher := s.Connect("watcher")
+	root := s.Screens()[0].Root
+	if err := watcher.SelectInput(root, xproto.PropertyChangeMask); err != nil {
+		t.Fatal(err)
+	}
+	a := c.InternAtom("SWM_COMMAND")
+	str := c.InternAtom("STRING")
+	if err := c.ChangeProperty(root, a, str, 8, xproto.PropModeReplace, []byte("f.raise")); err != nil {
+		t.Fatal(err)
+	}
+	evs := drain(watcher)
+	if len(evs) != 1 || evs[0].Type != xproto.PropertyNotify || evs[0].Atom != a {
+		t.Fatalf("got %v, want one PropertyNotify for %v", evs, a)
+	}
+	if evs[0].PropertyState != xproto.PropertyNewValue {
+		t.Error("state != PropertyNewValue")
+	}
+	if err := c.DeleteProperty(root, a); err != nil {
+		t.Fatal(err)
+	}
+	evs = drain(watcher)
+	if len(evs) != 1 || evs[0].PropertyState != xproto.PropertyDeleted {
+		t.Fatalf("got %v, want one PropertyDeleted notify", evs)
+	}
+}
+
+func TestDeleteAbsentPropertyNoNotify(t *testing.T) {
+	s, c := newTestServer(t)
+	watcher := s.Connect("watcher")
+	root := s.Screens()[0].Root
+	if err := watcher.SelectInput(root, xproto.PropertyChangeMask); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteProperty(root, c.InternAtom("NOPE")); err != nil {
+		t.Fatal(err)
+	}
+	if evs := drain(watcher); len(evs) != 0 {
+		t.Errorf("unexpected events: %v", evs)
+	}
+}
+
+func TestInternAtomStable(t *testing.T) {
+	s, c := newTestServer(t)
+	c2 := s.Connect("other")
+	a1 := c.InternAtom("MY_ATOM")
+	a2 := c2.InternAtom("MY_ATOM")
+	if a1 != a2 {
+		t.Errorf("same name interned to different atoms: %v %v", a1, a2)
+	}
+	if c.AtomName(a1) != "MY_ATOM" {
+		t.Errorf("AtomName = %q", c.AtomName(a1))
+	}
+}
+
+func TestPredefinedAtoms(t *testing.T) {
+	_, c := func() (*Server, *Conn) { s := NewServer(); return s, s.Connect("t") }()
+	for _, name := range xproto.PredefinedAtoms {
+		if c.InternAtom(name) == xproto.NoAtom {
+			t.Errorf("predefined atom %q not interned", name)
+		}
+	}
+}
+
+func TestTranslateCoordinates(t *testing.T) {
+	s, c := newTestServer(t)
+	root := s.Screens()[0].Root
+	frame := mustCreate(t, c, root, xproto.Rect{X: 100, Y: 50, Width: 200, Height: 200})
+	inner := mustCreate(t, c, frame, xproto.Rect{X: 10, Y: 20, Width: 100, Height: 100})
+	if err := c.MapWindow(frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MapWindow(inner); err != nil {
+		t.Fatal(err)
+	}
+	x, y, child, err := c.TranslateCoordinates(inner, root, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 110 || y != 70 {
+		t.Errorf("inner origin in root coords = (%d,%d), want (110,70)", x, y)
+	}
+	if child != frame {
+		t.Errorf("child = %v, want frame %v", child, frame)
+	}
+	// Reverse direction.
+	x, y, _, err = c.TranslateCoordinates(root, inner, 110, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 0 || y != 0 {
+		t.Errorf("root->inner = (%d,%d), want (0,0)", x, y)
+	}
+}
+
+func TestPointerMotionAndCrossing(t *testing.T) {
+	s, c := newTestServer(t)
+	root := s.Screens()[0].Root
+	w := mustCreate(t, c, root, xproto.Rect{X: 100, Y: 100, Width: 50, Height: 50})
+	if err := c.SelectInput(w, xproto.EnterWindowMask|xproto.LeaveWindowMask); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MapWindow(w); err != nil {
+		t.Fatal(err)
+	}
+	s.FakeMotion(125, 125)
+	evs := drain(c)
+	var entered bool
+	for _, ev := range evs {
+		if ev.Type == xproto.EnterNotify && ev.Window == w {
+			entered = true
+			if ev.X != 25 || ev.Y != 25 {
+				t.Errorf("enter at (%d,%d), want (25,25)", ev.X, ev.Y)
+			}
+		}
+	}
+	if !entered {
+		t.Fatalf("no EnterNotify; events: %v", evs)
+	}
+	s.FakeMotion(10, 10)
+	var left bool
+	for _, ev := range drain(c) {
+		if ev.Type == xproto.LeaveNotify && ev.Window == w {
+			left = true
+		}
+	}
+	if !left {
+		t.Error("no LeaveNotify when pointer left window")
+	}
+}
+
+func TestButtonDelivery(t *testing.T) {
+	s, c := newTestServer(t)
+	root := s.Screens()[0].Root
+	w := mustCreate(t, c, root, xproto.Rect{X: 0, Y: 0, Width: 100, Height: 100})
+	if err := c.SelectInput(w, xproto.ButtonPressMask|xproto.ButtonReleaseMask); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MapWindow(w); err != nil {
+		t.Fatal(err)
+	}
+	s.FakeMotion(40, 60)
+	drain(c)
+	s.FakeButtonPress(xproto.Button1, 0)
+	s.FakeButtonRelease(xproto.Button1, 0)
+	evs := drain(c)
+	var press, release bool
+	for _, ev := range evs {
+		switch ev.Type {
+		case xproto.ButtonPress:
+			press = true
+			if ev.Window != w || ev.X != 40 || ev.Y != 60 || ev.Button != 1 {
+				t.Errorf("press fields: %+v", ev)
+			}
+		case xproto.ButtonRelease:
+			release = true
+		}
+	}
+	if !press || !release {
+		t.Errorf("press=%v release=%v; events %v", press, release, evs)
+	}
+}
+
+func TestButtonPropagatesToAncestor(t *testing.T) {
+	s, c := newTestServer(t)
+	root := s.Screens()[0].Root
+	outer := mustCreate(t, c, root, xproto.Rect{Width: 100, Height: 100})
+	inner := mustCreate(t, c, outer, xproto.Rect{X: 10, Y: 10, Width: 50, Height: 50})
+	if err := c.SelectInput(outer, xproto.ButtonPressMask); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MapWindow(outer); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MapWindow(inner); err != nil {
+		t.Fatal(err)
+	}
+	s.FakeMotion(30, 30) // inside inner
+	drain(c)
+	s.FakeButtonPress(xproto.Button1, 0)
+	s.FakeButtonRelease(xproto.Button1, 0)
+	var got *xproto.Event
+	for _, ev := range drain(c) {
+		if ev.Type == xproto.ButtonPress {
+			e := ev
+			got = &e
+		}
+	}
+	if got == nil {
+		t.Fatal("no ButtonPress delivered")
+	}
+	if got.Window != outer {
+		t.Errorf("event window = %v, want outer %v", got.Window, outer)
+	}
+	if got.Subwindow != inner {
+		t.Errorf("subwindow = %v, want inner %v", got.Subwindow, inner)
+	}
+}
+
+func TestPassiveButtonGrab(t *testing.T) {
+	s, c := newTestServer(t)
+	wm := s.Connect("wm")
+	root := s.Screens()[0].Root
+	w := mustCreate(t, c, root, xproto.Rect{Width: 100, Height: 100})
+	if err := c.SelectInput(w, xproto.ButtonPressMask); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MapWindow(w); err != nil {
+		t.Fatal(err)
+	}
+	// WM grabs Mod1+Button1 on the root.
+	if err := wm.GrabButton(root, xproto.Button1, xproto.Mod1Mask, xproto.ButtonPressMask|xproto.ButtonReleaseMask); err != nil {
+		t.Fatal(err)
+	}
+	s.FakeMotion(50, 50)
+	drain(c)
+	drain(wm)
+	// Plain click: goes to the client.
+	s.FakeButtonPress(xproto.Button1, 0)
+	s.FakeButtonRelease(xproto.Button1, 0)
+	if evs := drain(wm); len(evs) != 0 {
+		t.Errorf("wm got ungrabbed click: %v", evs)
+	}
+	if evs := drain(c); len(evs) == 0 {
+		t.Error("client missed plain click")
+	}
+	// Mod1 click: grabbed by the WM.
+	s.FakeButtonPress(xproto.Button1, xproto.Mod1Mask)
+	s.FakeButtonRelease(xproto.Button1, xproto.Mod1Mask)
+	var wmPress bool
+	for _, ev := range drain(wm) {
+		if ev.Type == xproto.ButtonPress && ev.Window == root && ev.Subwindow == w {
+			wmPress = true
+		}
+	}
+	if !wmPress {
+		t.Error("wm did not receive grabbed Mod1+Button1 press")
+	}
+	for _, ev := range drain(c) {
+		if ev.Type == xproto.ButtonPress {
+			t.Error("client received grabbed press")
+		}
+	}
+}
+
+func TestActivePointerGrab(t *testing.T) {
+	s, c := newTestServer(t)
+	wm := s.Connect("wm")
+	root := s.Screens()[0].Root
+	w := mustCreate(t, c, root, xproto.Rect{Width: 100, Height: 100})
+	if err := c.SelectInput(w, xproto.ButtonPressMask|xproto.PointerMotionMask); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MapWindow(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := wm.GrabPointer(root, xproto.PointerMotionMask|xproto.ButtonPressMask); err != nil {
+		t.Fatal(err)
+	}
+	s.FakeMotion(10, 10)
+	s.FakeButtonPress(xproto.Button1, 0)
+	if evs := drain(c); len(evs) != 0 {
+		t.Errorf("client got events during active grab: %v", evs)
+	}
+	var wmMotion, wmPress bool
+	for _, ev := range drain(wm) {
+		switch ev.Type {
+		case xproto.MotionNotify:
+			wmMotion = true
+		case xproto.ButtonPress:
+			wmPress = true
+		}
+	}
+	if !wmMotion || !wmPress {
+		t.Errorf("wm motion=%v press=%v", wmMotion, wmPress)
+	}
+	wm.UngrabPointer()
+	s.FakeButtonRelease(xproto.Button1, 0)
+	s.FakeMotion(20, 20)
+	found := false
+	for _, ev := range drain(c) {
+		if ev.Type == xproto.MotionNotify {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("client got no motion after ungrab")
+	}
+}
+
+func TestKeyGrabAndDelivery(t *testing.T) {
+	s, c := newTestServer(t)
+	wm := s.Connect("wm")
+	root := s.Screens()[0].Root
+	w := mustCreate(t, c, root, xproto.Rect{Width: 100, Height: 100})
+	if err := c.SelectInput(w, xproto.KeyPressMask); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MapWindow(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := wm.GrabKey(root, "F1", 0); err != nil {
+		t.Fatal(err)
+	}
+	s.FakeMotion(50, 50)
+	drain(c)
+	s.FakeKeyPress("F1", 0)
+	if evs := drain(c); len(evs) != 0 {
+		t.Errorf("client got grabbed key: %v", evs)
+	}
+	var got bool
+	for _, ev := range drain(wm) {
+		if ev.Type == xproto.KeyPress && ev.Keysym == "F1" {
+			got = true
+		}
+	}
+	if !got {
+		t.Error("wm missed grabbed key")
+	}
+	// Ungrabbed key goes to the pointer window.
+	s.FakeKeyPress("a", 0)
+	got = false
+	for _, ev := range drain(c) {
+		if ev.Type == xproto.KeyPress && ev.Keysym == "a" {
+			got = true
+		}
+	}
+	if !got {
+		t.Error("client missed plain key")
+	}
+}
+
+func TestSendEventSynthetic(t *testing.T) {
+	s, c := newTestServer(t)
+	root := s.Screens()[0].Root
+	w := mustCreate(t, c, root, xproto.Rect{Width: 10, Height: 10})
+	if err := c.SelectInput(w, xproto.StructureNotifyMask); err != nil {
+		t.Fatal(err)
+	}
+	// Synthetic ConfigureNotify as the ICCCM requires of WMs.
+	err := c.SendEvent(w, xproto.StructureNotifyMask, xproto.Event{
+		Type: xproto.ConfigureNotify, GX: 300, GY: 400, Width: 10, Height: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := drain(c)
+	if len(evs) != 1 || evs[0].Type != xproto.ConfigureNotify {
+		t.Fatalf("got %v", evs)
+	}
+	if !evs[0].SendEvent {
+		t.Error("synthetic event not flagged SendEvent")
+	}
+	if evs[0].GX != 300 || evs[0].GY != 400 {
+		t.Errorf("coords (%d,%d), want (300,400)", evs[0].GX, evs[0].GY)
+	}
+}
+
+func TestSendEventToOwner(t *testing.T) {
+	s, _ := newTestServer(t)
+	client := s.Connect("client")
+	wm := s.Connect("wm")
+	root := s.Screens()[0].Root
+	w, err := client.CreateWindow(root, xproto.Rect{Width: 10, Height: 10}, 0, WindowAttributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := wm.InternAtom("WM_DELETE_WINDOW")
+	if err := wm.SendEvent(w, 0, xproto.Event{
+		Type: xproto.ClientMessage, MessageType: wm.InternAtom("WM_PROTOCOLS"),
+		Format: 32, Data: []byte{byte(del)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	evs := drain(client)
+	if len(evs) != 1 || evs[0].Type != xproto.ClientMessage {
+		t.Fatalf("owner got %v, want one ClientMessage", evs)
+	}
+}
+
+func TestSaveSetRescuesWindowsOnClose(t *testing.T) {
+	s, _ := newTestServer(t)
+	client := s.Connect("client")
+	wm := s.Connect("wm")
+	root := s.Screens()[0].Root
+	cw, err := client.CreateWindow(root, xproto.Rect{X: 7, Y: 9, Width: 50, Height: 50}, 0, WindowAttributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.MapWindow(cw); err != nil {
+		t.Fatal(err)
+	}
+	// WM frames the client and puts it in its save-set.
+	frame, err := wm.CreateWindow(root, xproto.Rect{X: 100, Y: 100, Width: 60, Height: 80}, 0, WindowAttributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wm.MapWindow(frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := wm.ReparentWindow(cw, frame, 5, 25); err != nil {
+		t.Fatal(err)
+	}
+	if err := wm.ChangeSaveSet(cw, true); err != nil {
+		t.Fatal(err)
+	}
+	// WM dies.
+	wm.Close()
+	// Client window must survive, reparented back to root and mapped.
+	_, parent, _, err := client.QueryTree(cw)
+	if err != nil {
+		t.Fatalf("client window destroyed with WM: %v", err)
+	}
+	if parent != root {
+		t.Errorf("parent after WM death = %v, want root %v", parent, root)
+	}
+	attrs, _ := client.GetWindowAttributes(cw)
+	if attrs.MapState != xproto.IsViewable {
+		t.Error("rescued window not mapped")
+	}
+	// The frame (owned by the WM) must be gone.
+	if _, err := client.GetGeometry(frame); err == nil {
+		t.Error("WM-owned frame survived WM close")
+	}
+}
+
+func TestCloseDestroysOwnedWindows(t *testing.T) {
+	s, _ := newTestServer(t)
+	client := s.Connect("client")
+	other := s.Connect("other")
+	root := s.Screens()[0].Root
+	w, err := client.CreateWindow(root, xproto.Rect{Width: 10, Height: 10}, 0, WindowAttributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	if _, err := other.GetGeometry(w); err == nil {
+		t.Error("window survived owner close without save-set")
+	}
+}
+
+func TestShapeRoundTrip(t *testing.T) {
+	s, c := newTestServer(t)
+	root := s.Screens()[0].Root
+	w := mustCreate(t, c, root, xproto.Rect{Width: 100, Height: 100})
+	rects := []xproto.Rect{{X: 0, Y: 0, Width: 50, Height: 100}, {X: 50, Y: 25, Width: 50, Height: 50}}
+	if err := c.ShapeCombineRectangles(w, rects); err != nil {
+		t.Fatal(err)
+	}
+	shaped, got, err := c.ShapeQuery(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shaped || len(got) != 2 {
+		t.Fatalf("shaped=%v rects=%v", shaped, got)
+	}
+	if err := c.ShapeCombineRectangles(w, nil); err != nil {
+		t.Fatal(err)
+	}
+	shaped, _, _ = c.ShapeQuery(w)
+	if shaped {
+		t.Error("shape not reset by empty rect list")
+	}
+}
+
+func TestShapeNotifyDelivery(t *testing.T) {
+	s, c := newTestServer(t)
+	wm := s.Connect("wm")
+	root := s.Screens()[0].Root
+	w := mustCreate(t, c, root, xproto.Rect{Width: 100, Height: 100})
+	if err := wm.ShapeSelectInput(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ShapeCombineRectangles(w, []xproto.Rect{{Width: 10, Height: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	var got bool
+	for _, ev := range drain(wm) {
+		if ev.Type == xproto.ShapeNotify && ev.Window == w && ev.Shaped {
+			got = true
+		}
+	}
+	if !got {
+		t.Error("no ShapeNotify delivered")
+	}
+}
+
+func TestShapedHitTesting(t *testing.T) {
+	s, c := newTestServer(t)
+	root := s.Screens()[0].Root
+	w := mustCreate(t, c, root, xproto.Rect{X: 0, Y: 0, Width: 100, Height: 100})
+	// Only the left half is part of the shape.
+	if err := c.ShapeCombineRectangles(w, []xproto.Rect{{X: 0, Y: 0, Width: 50, Height: 100}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MapWindow(w); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.WindowAt(0, 25, 50); got != w {
+		t.Errorf("point in shape: WindowAt = %v, want %v", got, w)
+	}
+	if got := c.WindowAt(0, 75, 50); got == w {
+		t.Error("point outside shape still hit the window")
+	}
+}
+
+func TestQueryPointerChild(t *testing.T) {
+	s, c := newTestServer(t)
+	root := s.Screens()[0].Root
+	w := mustCreate(t, c, root, xproto.Rect{X: 10, Y: 10, Width: 100, Height: 100})
+	if err := c.MapWindow(w); err != nil {
+		t.Fatal(err)
+	}
+	s.FakeMotion(50, 50)
+	info := c.QueryPointer()
+	if info.Child != w {
+		t.Errorf("pointer child = %v, want %v", info.Child, w)
+	}
+	if info.RootX != 50 || info.RootY != 50 {
+		t.Errorf("pointer at (%d,%d)", info.RootX, info.RootY)
+	}
+}
+
+func TestInputFocus(t *testing.T) {
+	s, c := newTestServer(t)
+	root := s.Screens()[0].Root
+	w := mustCreate(t, c, root, xproto.Rect{Width: 10, Height: 10})
+	if err := c.SelectInput(w, xproto.FocusChangeMask); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetInputFocus(w); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.GetInputFocus(); got != w {
+		t.Errorf("focus = %v, want %v", got, w)
+	}
+	var focusIn bool
+	for _, ev := range drain(c) {
+		if ev.Type == xproto.FocusIn && ev.Window == w {
+			focusIn = true
+		}
+	}
+	if !focusIn {
+		t.Error("no FocusIn event")
+	}
+	// Destroying the focus window resets focus.
+	if err := c.DestroyWindow(w); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.GetInputFocus(); got != xproto.PointerRoot {
+		t.Errorf("focus after destroy = %v, want PointerRoot", got)
+	}
+}
+
+func TestTimestampsMonotonic(t *testing.T) {
+	s, c := newTestServer(t)
+	root := s.Screens()[0].Root
+	if err := c.SelectInput(root, xproto.SubstructureNotifyMask); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		mustCreate(t, c, root, xproto.Rect{Width: 10, Height: 10})
+	}
+	var last xproto.Timestamp
+	for _, ev := range drain(c) {
+		if ev.Time <= last {
+			t.Fatalf("timestamp went backwards: %d after %d", ev.Time, last)
+		}
+		last = ev.Time
+	}
+}
+
+func TestKillClient(t *testing.T) {
+	s, _ := newTestServer(t)
+	victim := s.Connect("victim")
+	killer := s.Connect("killer")
+	root := s.Screens()[0].Root
+	w, err := victim.CreateWindow(root, xproto.Rect{Width: 10, Height: 10}, 0, WindowAttributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := killer.KillClient(w); err != nil {
+		t.Fatal(err)
+	}
+	if !victim.Closed() {
+		t.Error("victim connection still open")
+	}
+	if s.NumConns() != 2 { // test conn from newTestServer + killer
+		t.Errorf("NumConns = %d, want 2", s.NumConns())
+	}
+}
+
+// Property-based test: rectangle intersection is commutative and
+// contained within both operands.
+func TestRectIntersectProperties(t *testing.T) {
+	f := func(ax, ay int16, aw, ah uint8, bx, by int16, bw, bh uint8) bool {
+		a := xproto.Rect{X: int(ax), Y: int(ay), Width: int(aw) + 1, Height: int(ah) + 1}
+		b := xproto.Rect{X: int(bx), Y: int(by), Width: int(bw) + 1, Height: int(bh) + 1}
+		i1, ok1 := a.Intersect(b)
+		i2, ok2 := b.Intersect(a)
+		if ok1 != ok2 || i1 != i2 {
+			return false
+		}
+		if !ok1 {
+			return true
+		}
+		// Intersection is inside both.
+		inA := i1.X >= a.X && i1.Y >= a.Y && i1.X+i1.Width <= a.X+a.Width && i1.Y+i1.Height <= a.Y+a.Height
+		inB := i1.X >= b.X && i1.Y >= b.Y && i1.X+i1.Width <= b.X+b.Width && i1.Y+i1.Height <= b.Y+b.Height
+		return inA && inB && !i1.Empty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property-based test: after any sequence of raise/lower operations, the
+// children list is a permutation of the original set.
+func TestStackingPermutationProperty(t *testing.T) {
+	s, c := newTestServer(t)
+	root := s.Screens()[0].Root
+	const n = 6
+	ids := make([]xproto.XID, n)
+	for i := range ids {
+		ids[i] = mustCreate(t, c, root, xproto.Rect{Width: 10, Height: 10})
+	}
+	f := func(ops []uint8) bool {
+		for _, op := range ops {
+			idx := int(op) % n
+			if op%2 == 0 {
+				if err := c.RaiseWindow(ids[idx]); err != nil {
+					return false
+				}
+			} else {
+				if err := c.LowerWindow(ids[idx]); err != nil {
+					return false
+				}
+			}
+		}
+		_, _, children, err := c.QueryTree(root)
+		if err != nil || len(children) != n {
+			return false
+		}
+		seen := make(map[xproto.XID]bool, n)
+		for _, ch := range children {
+			seen[ch] = true
+		}
+		for _, id := range ids {
+			if !seen[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: root coordinates are the sum of ancestor offsets for
+// arbitrary nesting chains.
+func TestRootCoordsChainProperty(t *testing.T) {
+	f := func(offsets []int8) bool {
+		if len(offsets) == 0 || len(offsets) > 8 {
+			return true
+		}
+		s := NewServer()
+		c := s.Connect("t")
+		parent := s.Screens()[0].Root
+		wantX, wantY := 0, 0
+		var leaf xproto.XID
+		for _, off := range offsets {
+			x, y := int(off), int(-off)
+			id, err := c.CreateWindow(parent, xproto.Rect{X: x, Y: y, Width: 500, Height: 500}, 0, WindowAttributes{})
+			if err != nil {
+				return false
+			}
+			wantX += x
+			wantY += y
+			parent, leaf = id, id
+		}
+		root := s.Screens()[0].Root
+		gx, gy, _, err := c.TranslateCoordinates(leaf, root, 0, 0)
+		if err != nil {
+			return false
+		}
+		return gx == wantX && gy == wantY
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
