@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"repro/internal/bindings"
 	"repro/internal/icccm"
@@ -89,6 +90,21 @@ type WM struct {
 
 	quitRequested    bool
 	restartRequested bool
+
+	// orphans are WM-owned window IDs whose DestroyWindow failed; the
+	// janitor in Pump/Run retries them so server-side windows cannot
+	// leak across transient errors.
+	orphans []xproto.XID
+
+	// statsMu guards the observability counters below. It is a leaf
+	// lock: the connection error handler runs while the server lock is
+	// held, so nothing under statsMu may issue X requests.
+	statsMu    sync.Mutex
+	evCounts   map[xproto.EventType]int
+	errCounts  map[xproto.ErrorCode]int
+	managed    int
+	unmanaged  int
+	deathRaces int
 }
 
 // Screen is per-screen WM state.
@@ -242,10 +258,17 @@ func New(server *xserver.Server, opts Options) (*WM, error) {
 		conn:     server.Connect("swm"),
 		db:       opts.DB,
 		opts:     opts,
-		clients:  make(map[xproto.XID]*Client),
-		byFrame:  make(map[xproto.XID]*Client),
-		byObjWin: make(map[xproto.XID]objRef),
+		clients:   make(map[xproto.XID]*Client),
+		byFrame:   make(map[xproto.XID]*Client),
+		byObjWin:  make(map[xproto.XID]objRef),
+		evCounts:  make(map[xproto.EventType]int),
+		errCounts: make(map[xproto.ErrorCode]int),
 	}
+	wm.conn.SetErrorHandler(func(xe *xproto.XError) {
+		wm.statsMu.Lock()
+		wm.errCounts[xe.Code]++
+		wm.statsMu.Unlock()
+	})
 	wm.registerFunctions()
 
 	for _, srvScr := range server.Screens() {
@@ -514,12 +537,13 @@ func (wm *WM) loadHintTable() {
 	}
 	wm.hintTable = tbl
 	// Consume the property so a later swm restart starts fresh.
-	_ = wm.conn.DeleteProperty(root, wm.conn.InternAtom("SWM_HINTS"))
+	wm.check(nil, "consume SWM_HINTS", wm.conn.DeleteProperty(root, wm.conn.InternAtom("SWM_HINTS")))
 }
 
 // Pump synchronously processes all pending events and returns how many
 // were handled. Deterministic driver for tests and benchmarks.
 func (wm *WM) Pump() int {
+	wm.sweepOrphans()
 	n := 0
 	for {
 		ev, ok := wm.conn.PollEvent()
@@ -540,6 +564,7 @@ func (wm *WM) Run() (restart bool) {
 			return false
 		}
 		wm.handleEvent(ev)
+		wm.sweepOrphans()
 	}
 	return wm.restartRequested
 }
@@ -555,8 +580,10 @@ func (wm *WM) Shutdown() {
 			continue
 		}
 		rx, ry := wm.clientRootPos(c)
-		_ = wm.conn.ReparentWindow(c.Win, c.scr.Root, rx, ry)
-		_ = wm.conn.MapWindow(c.Win)
+		if !wm.check(c, "shutdown: reparent to root", wm.conn.ReparentWindow(c.Win, c.scr.Root, rx, ry)) {
+			continue
+		}
+		wm.check(c, "shutdown: remap", wm.conn.MapWindow(c.Win))
 	}
 	wm.conn.Close()
 }

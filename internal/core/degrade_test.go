@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/clients"
+	"repro/internal/xproto"
+	"repro/internal/xserver"
+)
+
+// Regression: a DestroyNotify whose Subwindow names some unrelated
+// window (frame child, slot, decoration object) must not fall back to
+// Window and unmanage a client that is still alive.
+func TestDestroyNotifySubwindowDoesNotUnmanageWrongClient(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	app, c := launch(t, s, wm, clients.Config{
+		Instance: "xterm", Class: "XTerm", Width: 300, Height: 200,
+	})
+
+	// SubstructureNotify shape: Window = parent, Subwindow = the window
+	// that actually died. Here a decoration child died, but Window
+	// carries the client window id — the buggy fallback would have
+	// unmanaged the client.
+	wm.handleEvent(xproto.Event{
+		Type:      xproto.DestroyNotify,
+		Window:    app.Win,
+		Subwindow: c.clientSlot.Window,
+	})
+	if _, ok := wm.ClientOf(app.Win); !ok {
+		t.Fatal("client was unmanaged by a DestroyNotify for a different window")
+	}
+
+	// The genuine SubstructureNotify form for the client's own death
+	// still unmanages.
+	wm.handleEvent(xproto.Event{
+		Type:      xproto.DestroyNotify,
+		Window:    c.clientSlot.Window,
+		Subwindow: app.Win,
+	})
+	if _, ok := wm.ClientOf(app.Win); ok {
+		t.Fatal("genuine DestroyNotify (Subwindow form) did not unmanage")
+	}
+
+	// And so does the StructureNotify form (Subwindow unset).
+	app2, _ := launch(t, s, wm, clients.Config{
+		Instance: "xclock", Class: "XClock", Width: 100, Height: 100,
+	})
+	wm.handleEvent(xproto.Event{Type: xproto.DestroyNotify, Window: app2.Win})
+	if _, ok := wm.ClientOf(app2.Win); ok {
+		t.Fatal("genuine DestroyNotify (Window form) did not unmanage")
+	}
+}
+
+// Regression: a transient (non-BadWindow) failure inside Manage must
+// roll back cleanly and be retried once from handleMapRequest, ending
+// with the window decorated.
+func TestMapRequestRetriesTransientManageFailure(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	base := s.NumWindows()
+
+	// The first GetGeometry the WM issues fails once with BadMatch:
+	// Manage aborts before building the frame, the retry succeeds.
+	wm.Conn().SetFaultPolicy(&xserver.FaultPolicy{
+		Ops: []string{"GetGeometry"}, EveryN: 1, Times: 1, Code: xproto.BadMatch,
+	})
+	app, err := clients.Launch(s, clients.Config{
+		Instance: "xterm", Class: "XTerm", Width: 300, Height: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm.Pump()
+	wm.Conn().SetFaultPolicy(nil)
+
+	c, ok := wm.ClientOf(app.Win)
+	if !ok {
+		t.Fatal("window not managed after retry")
+	}
+	if c.frame == nil || c.frame.Window == xproto.None {
+		t.Fatal("retried manage left the client undecorated")
+	}
+	if _, ok := wm.byFrame[c.frame.Window]; !ok {
+		t.Fatal("frame not registered after retry")
+	}
+	st := wm.Stats()
+	if st.Errors["BadMatch"] != 1 {
+		t.Errorf("Stats().Errors[BadMatch] = %d, want 1", st.Errors["BadMatch"])
+	}
+	if st.Managed == 0 {
+		t.Error("Stats().Managed not incremented")
+	}
+
+	// The aborted first attempt must not have leaked a half-built frame.
+	app.Close()
+	wm.Pump()
+	for i := 0; i < 10 && s.NumWindows() > base; i++ {
+		wm.Pump()
+	}
+	if got := s.NumWindows(); got != base {
+		t.Errorf("NumWindows = %d after close, want baseline %d", got, base)
+	}
+}
+
+// Regression: shrinking the Virtual Desktop must re-clamp the pan
+// offset and refresh scrollbars/panner unconditionally — PanTo's
+// early-out used to leave them stale whenever the clamped offset
+// equalled the current one.
+func TestResizeDesktopShrinkReclampsPanAndScrollbars(t *testing.T) {
+	_, wm := newWM(t, Options{
+		VirtualDesktop: true, EnablePanner: true, EnableScrollbars: true,
+	})
+	scr := wm.Screens()[0]
+
+	// Pan out, then shrink so the old offset is out of bounds.
+	wm.PanTo(scr, 1000, 800)
+	newW, newH := scr.Width+500, scr.Height+400
+	wm.ResizeDesktop(scr, newW, newH)
+	if scr.PanX != 500 || scr.PanY != 400 {
+		t.Fatalf("pan = (%d,%d) after shrink, want (500,400)", scr.PanX, scr.PanY)
+	}
+	g, err := wm.Conn().GetGeometry(scr.Desktop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rect.X != -500 || g.Rect.Y != -400 {
+		t.Errorf("desktop window at (%d,%d), want (-500,-400)", g.Rect.X, g.Rect.Y)
+	}
+
+	// Shrink again while the (clamped) pan offset stays in bounds: the
+	// old code's PanTo early-out skipped the scrollbar redraw, leaving
+	// labels advertising the old desktop size.
+	wm.PanTo(scr, 100, 100)
+	newW, newH = scr.Width+300, scr.Height+200
+	wm.ResizeDesktop(scr, newW, newH)
+	if scr.PanX != 100 || scr.PanY != 100 {
+		t.Fatalf("in-bounds pan moved to (%d,%d)", scr.PanX, scr.PanY)
+	}
+	snap, err := wm.Conn().Snapshot(scr.hscroll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf("h:%d/%d", 100, newW); snap.Label != want {
+		t.Errorf("hscroll label = %q, want %q", snap.Label, want)
+	}
+	snap, err = wm.Conn().Snapshot(scr.vscroll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf("v:%d/%d", 100, newH); snap.Label != want {
+		t.Errorf("vscroll label = %q, want %q", snap.Label, want)
+	}
+}

@@ -80,7 +80,7 @@ func (wm *WM) PanTo(scr *Screen, x, y int) {
 		return
 	}
 	scr.PanX, scr.PanY = x, y
-	_ = wm.conn.MoveWindow(scr.Desktop, -x, -y)
+	wm.check(nil, "pan desktop", wm.conn.MoveWindow(scr.Desktop, -x, -y))
 	wm.updatePannerViewport(scr)
 	wm.updateScrollbars(scr)
 }
@@ -100,8 +100,17 @@ func (wm *WM) ResizeDesktop(scr *Screen, w, h int) {
 	w = clamp(w, scr.Width, MaxDesktopSize)
 	h = clamp(h, scr.Height, MaxDesktopSize)
 	scr.DesktopW, scr.DesktopH = w, h
-	_ = wm.conn.ResizeWindow(scr.Desktop, w, h)
-	wm.PanTo(scr, scr.PanX, scr.PanY) // re-clamp
+	wm.check(nil, "resize desktop", wm.conn.ResizeWindow(scr.Desktop, w, h))
+	// Re-clamp the pan offset into the new bounds explicitly. PanTo
+	// early-outs when the clamped offset equals the current one, which
+	// is exactly the case after a shrink that leaves PanX/PanY inside
+	// the new bounds but the scrollbars and panner drawn for the old
+	// size — so move and redraw unconditionally here.
+	scr.PanX = clamp(scr.PanX, 0, w-scr.Width)
+	scr.PanY = clamp(scr.PanY, 0, h-scr.Height)
+	wm.check(nil, "pan desktop", wm.conn.MoveWindow(scr.Desktop, -scr.PanX, -scr.PanY))
+	wm.updatePannerViewport(scr)
+	wm.updateScrollbars(scr)
 	wm.updatePanner(scr)
 }
 
@@ -220,11 +229,11 @@ func (wm *WM) handleScrollbarPress(scr *Screen, win xproto.XID, x, y int) {
 // window labels; a real implementation would draw a thumb rectangle).
 func (wm *WM) updateScrollbars(scr *Screen) {
 	if scr.hscroll != xproto.None {
-		_ = wm.conn.SetWindowLabel(scr.hscroll,
-			fmt.Sprintf("h:%d/%d", scr.PanX, scr.DesktopW))
+		wm.check(nil, "hscroll label", wm.conn.SetWindowLabel(scr.hscroll,
+			fmt.Sprintf("h:%d/%d", scr.PanX, scr.DesktopW)))
 	}
 	if scr.vscroll != xproto.None {
-		_ = wm.conn.SetWindowLabel(scr.vscroll,
-			fmt.Sprintf("v:%d/%d", scr.PanY, scr.DesktopH))
+		wm.check(nil, "vscroll label", wm.conn.SetWindowLabel(scr.vscroll,
+			fmt.Sprintf("v:%d/%d", scr.PanY, scr.DesktopH)))
 	}
 }

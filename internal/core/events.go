@@ -9,6 +9,7 @@ import (
 
 // handleEvent is the WM's central dispatch.
 func (wm *WM) handleEvent(ev xproto.Event) {
+	wm.countEvent(ev.Type)
 	switch ev.Type {
 	case xproto.MapRequest:
 		wm.handleMapRequest(ev)
@@ -45,22 +46,38 @@ func (wm *WM) handleMapRequest(ev xproto.Event) {
 		return
 	}
 	if wm.ownsWindow(win) {
-		_ = wm.conn.MapWindow(win)
+		wm.check(nil, "map furniture", wm.conn.MapWindow(win))
 		return
 	}
-	if _, err := wm.Manage(win); err != nil {
+	_, err := wm.Manage(win)
+	if err != nil && !wm.confirmDead(win, err) {
+		// Transient failure (anything but a confirmed "this window is
+		// gone"): the manage rolled itself back cleanly, so try once
+		// more before giving up on decoration.
+		wm.logf("manage 0x%x: %v (retrying)", uint32(win), err)
+		_, err = wm.Manage(win)
+	}
+	if err != nil {
 		wm.logf("manage 0x%x: %v", uint32(win), err)
-		// Map it anyway so the client is not locked out.
-		_ = wm.conn.MapWindow(win)
+		if !wm.confirmDead(win, err) {
+			// Map it anyway so the client is not locked out.
+			wm.check(nil, "map unmanaged", wm.conn.MapWindow(win))
+		}
 	}
 }
 
 func (wm *WM) handleDestroyNotify(ev xproto.Event) {
-	if c, ok := wm.clients[ev.Subwindow]; ok {
-		wm.Unmanage(c, true)
-		return
+	// SubstructureNotify events carry the destroyed window in Subwindow
+	// with the parent in Window; StructureNotify events carry it in
+	// Window with Subwindow unset. When Subwindow is set it identifies
+	// the dead window — never fall back to Window then, or a
+	// DestroyNotify for a frame/slot child would unmanage the parent's
+	// client even though that client window is still alive.
+	dead := ev.Subwindow
+	if dead == xproto.None {
+		dead = ev.Window
 	}
-	if c, ok := wm.clients[ev.Window]; ok {
+	if c, ok := wm.clients[dead]; ok {
 		wm.Unmanage(c, true)
 	}
 }
@@ -83,7 +100,9 @@ func (wm *WM) handleUnmapNotify(ev xproto.Event) {
 		c.ignoreUnmaps--
 		return
 	}
-	_ = icccm.SetState(wm.conn, win, icccm.State{State: xproto.WithdrawnState})
+	if !wm.check(c, "withdraw WM_STATE", icccm.SetState(wm.conn, win, icccm.State{State: xproto.WithdrawnState})) {
+		return // check already unmanaged the dead client
+	}
 	wm.Unmanage(c, false)
 }
 
@@ -137,7 +156,7 @@ func (wm *WM) handleSwmCommand(scr *Screen) {
 	if err != nil || !ok {
 		return
 	}
-	_ = wm.conn.DeleteProperty(scr.Root, atom)
+	wm.check(nil, "consume SWM_COMMAND", wm.conn.DeleteProperty(scr.Root, atom))
 	cmd := string(prop.Data)
 	ctx := &FuncContext{Screen: scr, Client: wm.clientUnderPointer()}
 	if err := wm.ExecuteString(ctx, cmd); err != nil {
@@ -304,7 +323,7 @@ func (wm *WM) handleCrossing(ev xproto.Event) {
 	if ev.Type == xproto.EnterNotify {
 		if c, ok := wm.clients[ev.Window]; ok {
 			wm.focus = c
-			_ = wm.conn.SetInputFocus(c.Win)
+			wm.check(c, "focus on enter", wm.conn.SetInputFocus(c.Win))
 			return
 		}
 	}

@@ -35,9 +35,9 @@ func (wm *WM) Iconify(c *Client) error {
 	if err := wm.conn.MapWindow(c.icon.Window()); err != nil {
 		return err
 	}
-	_ = icccm.SetState(wm.conn, c.Win, icccm.State{
+	wm.check(c, "set WM_STATE iconic", icccm.SetState(wm.conn, c.Win, icccm.State{
 		State: xproto.IconicState, IconWindow: c.icon.Window(),
-	})
+	}))
 	wm.updatePanner(c.scr)
 	return nil
 }
@@ -59,7 +59,7 @@ func (wm *WM) Deiconify(c *Client) error {
 		return err
 	}
 	c.State = xproto.NormalState
-	_ = icccm.SetState(wm.conn, c.Win, icccm.State{State: xproto.NormalState})
+	wm.check(c, "set WM_STATE normal", icccm.SetState(wm.conn, c.Win, icccm.State{State: xproto.NormalState}))
 	wm.updatePanner(c.scr)
 	return nil
 }
@@ -131,6 +131,8 @@ func (wm *WM) buildIcon(c *Client) error {
 		}
 	}
 	if err := objects.Realize(wm.conn, tree, parent, ix, iy); err != nil {
+		// A partially realized icon tree still owns server windows.
+		wm.destroyTree(tree)
 		return err
 	}
 	c.icon = &Icon{tree: tree, parent: parent}
@@ -144,7 +146,7 @@ func (wm *WM) buildIcon(c *Client) error {
 	})
 	// Icons respond to clicks even without explicit bindings: a plain
 	// Btn1 deiconifies unless the user bound something else.
-	_ = wm.conn.SelectInput(tree.Window, xproto.ButtonPressMask|xproto.ButtonReleaseMask)
+	wm.check(c, "icon input", wm.conn.SelectInput(tree.Window, xproto.ButtonPressMask|xproto.ButtonReleaseMask))
 	wm.byObjWin[tree.Window] = objRef{client: c, screen: c.scr, obj: tree}
 	if holder != nil {
 		holder.addIcon(c)
@@ -166,7 +168,7 @@ func (wm *WM) removeIcon(c *Client) {
 			delete(wm.byObjWin, o.Window)
 		}
 	})
-	_ = objects.Destroy(wm.conn, c.icon.tree)
+	wm.destroyTree(c.icon.tree)
 	c.icon = nil
 }
 
@@ -178,7 +180,7 @@ func (wm *WM) MoveIcon(c *Client, x, y int) {
 	}
 	c.iconX, c.iconY = x, y
 	c.hasIconPos = true
-	_ = wm.conn.MoveWindow(c.icon.Window(), x, y)
+	wm.check(c, "move icon", wm.conn.MoveWindow(c.icon.Window(), x, y))
 }
 
 // IconScrollStep is the holder scroll increment per wheel click.
@@ -276,7 +278,7 @@ func (h *IconHolder) addIcon(c *Client) {
 	h.icons = append(h.icons, c)
 	h.layoutIcons()
 	if h.hideWhenEmpty {
-		_ = h.wm.conn.MapWindow(h.window)
+		h.wm.check(nil, "map holder", h.wm.conn.MapWindow(h.window))
 	}
 }
 
@@ -289,7 +291,7 @@ func (h *IconHolder) removeIcon(c *Client) {
 	}
 	h.layoutIcons()
 	if h.hideWhenEmpty && len(h.icons) == 0 {
-		_ = h.wm.conn.UnmapWindow(h.window)
+		h.wm.check(nil, "hide holder", h.wm.conn.UnmapWindow(h.window))
 	}
 }
 
@@ -324,7 +326,7 @@ func (h *IconHolder) layoutIcons() {
 			y += rowH + pad
 			rowH = 0
 		}
-		_ = h.wm.conn.MoveWindow(c.icon.Window(), x, y)
+		h.wm.check(c, "layout icon", h.wm.conn.MoveWindow(c.icon.Window(), x, y))
 		c.iconX, c.iconY = x, y
 		x += iw + pad
 		if ih > rowH {
@@ -340,7 +342,7 @@ func (h *IconHolder) layoutIcons() {
 		if w < 2*pad {
 			w = 2 * pad
 		}
-		_ = h.wm.conn.ResizeWindow(h.window, w, hh)
+		h.wm.check(nil, "size holder to fit", h.wm.conn.ResizeWindow(h.window, w, hh))
 		h.rect.Width, h.rect.Height = w, hh
 	}
 }
@@ -424,8 +426,8 @@ func (wm *WM) createRootPanel(scr *Screen, name string) error {
 		return err
 	}
 	win := tree.Window
-	_ = icccm.SetClass(wm.conn, win, icccm.Class{Instance: name, Class: "SwmRootPanel"})
-	_ = icccm.SetName(wm.conn, win, name)
+	wm.check(nil, "panel class", icccm.SetClass(wm.conn, win, icccm.Class{Instance: name, Class: "SwmRootPanel"}))
+	wm.check(nil, "panel name", icccm.SetName(wm.conn, win, name))
 	if err := wm.conn.MapWindow(win); err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -58,8 +59,13 @@ func (wm *WM) Manage(win xproto.XID) (*Client, error) {
 		c.Sticky = v == "True" || v == "true"
 	}
 
-	// Client geometry as requested.
+	// Client geometry as requested. Unless the window is confirmed
+	// gone, a failure is transient; retry once before giving up.
 	g, err := wm.conn.GetGeometry(win)
+	if err != nil && !wm.confirmDead(win, err) {
+		wm.logf("manage geometry 0x%x: %v (retrying)", uint32(win), err)
+		g, err = wm.conn.GetGeometry(win)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +96,7 @@ func (wm *WM) Manage(win xproto.XID) (*Client, error) {
 	}
 	if sessHint != nil && sessHint.valid && sessHint.geom.HasSize {
 		c.clientW, c.clientH = sessHint.geom.Width, sessHint.geom.Height
-		_ = wm.conn.ResizeWindow(win, c.clientW, c.clientH)
+		wm.check(nil, "session resize", wm.conn.ResizeWindow(win, c.clientW, c.clientH))
 	}
 
 	// Icon position from WM_HINTS when the session has none.
@@ -111,38 +117,74 @@ func (wm *WM) Manage(win xproto.XID) (*Client, error) {
 
 	parent := wm.frameParent(c)
 	if err := objects.Realize(wm.conn, c.frame, parent, fx, fy); err != nil {
+		wm.destroyTree(c.frame)
 		return nil, err
 	}
 	c.FrameRect = xproto.Rect{X: fx, Y: fy, Width: c.frame.Rect.Width, Height: c.frame.Rect.Height}
 
-	// Rescue the client if we die (ICCCM / X save-set).
-	if err := wm.conn.ChangeSaveSet(win, true); err != nil {
+	// Past this point a server-side frame exists. On failure, undo
+	// whatever was done (reparent, save-set) and destroy the frame so a
+	// transient error leaks nothing and the manage can be retried.
+	savedSet, reparented := false, false
+	fail := func(err error) (*Client, error) {
+		if reparented {
+			rx, ry := wm.clientRootPos(c)
+			wm.check(nil, "manage rollback: reparent", wm.conn.ReparentWindow(win, scr.Root, rx, ry))
+		}
+		if savedSet {
+			wm.check(nil, "manage rollback: save-set", wm.conn.ChangeSaveSet(win, false))
+		}
+		wm.destroyTree(c.frame)
 		return nil, err
 	}
+	// step retries a required manage request once on a transient
+	// failure. Only a confirmed death of win — the client dying under
+	// us — is final.
+	step := func(op string, f func() error) error {
+		err := f()
+		if err == nil || wm.confirmDead(win, err) {
+			return err
+		}
+		wm.logf("manage %s 0x%x: %v (retrying)", op, uint32(win), err)
+		return f()
+	}
+
+	// Rescue the client if we die (ICCCM / X save-set).
+	if err := step("save-set", func() error { return wm.conn.ChangeSaveSet(win, true) }); err != nil {
+		return fail(err)
+	}
+	savedSet = true
 	// Strip the client's border: the decoration replaces it.
 	if g.BorderWidth != 0 {
-		if err := wm.conn.ConfigureWindow(win, xproto.WindowChanges{
-			Mask: xproto.CWBorderWidth, BorderWidth: 0,
+		if err := step("strip border", func() error {
+			return wm.conn.ConfigureWindow(win, xproto.WindowChanges{
+				Mask: xproto.CWBorderWidth, BorderWidth: 0,
+			})
 		}); err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
 	// Reparent into the client slot and map. Configure requests from the
 	// client must keep flowing through the WM, so the slot (the client's
 	// new parent) selects SubstructureRedirect, exactly as twm-style WMs
 	// do on their frames.
-	if err := wm.conn.ReparentWindow(win, c.clientSlot.Window, 0, 0); err != nil {
-		return nil, err
+	if err := step("reparent", func() error {
+		return wm.conn.ReparentWindow(win, c.clientSlot.Window, 0, 0)
+	}); err != nil {
+		return fail(err)
 	}
-	if err := wm.conn.SelectInput(c.clientSlot.Window,
-		xproto.SubstructureRedirectMask|xproto.SubstructureNotifyMask); err != nil {
-		return nil, err
+	reparented = true
+	if err := step("slot input", func() error {
+		return wm.conn.SelectInput(c.clientSlot.Window,
+			xproto.SubstructureRedirectMask|xproto.SubstructureNotifyMask)
+	}); err != nil {
+		return fail(err)
 	}
-	if err := wm.conn.MapWindow(c.clientSlot.Window); err != nil {
-		return nil, err
+	if err := step("map slot", func() error { return wm.conn.MapWindow(c.clientSlot.Window) }); err != nil {
+		return fail(err)
 	}
-	if err := wm.conn.MapWindow(win); err != nil {
-		return nil, err
+	if err := step("map client", func() error { return wm.conn.MapWindow(win) }); err != nil {
+		return fail(err)
 	}
 
 	// Watch the client. SelectInput replaces this connection's mask, so
@@ -155,8 +197,8 @@ func (wm *WM) Manage(win xproto.XID) (*Client, error) {
 	if v, ok := wm.ctx(scr).LookupGlobal("focusFollowsMouse"); ok && strings.EqualFold(v, "true") {
 		clientMask |= xproto.EnterWindowMask
 	}
-	if err := wm.conn.SelectInput(win, clientMask); err != nil {
-		return nil, err
+	if err := step("client input", func() error { return wm.conn.SelectInput(win, clientMask) }); err != nil {
+		return fail(err)
 	}
 
 	// SWM_ROOT (paper §6.3.1): tell toolkits which window is their
@@ -165,6 +207,7 @@ func (wm *WM) Manage(win xproto.XID) (*Client, error) {
 	wm.applyClientShapeToFrame(c)
 
 	wm.clients[win] = c
+	wm.noteManaged()
 	wm.createResizeCorners(c)
 	wm.byFrame[c.frame.Window] = c
 	wm.registerObjectWindows(c)
@@ -180,15 +223,18 @@ func (wm *WM) Manage(win xproto.XID) (*Client, error) {
 			return nil, err
 		}
 	} else {
-		if err := wm.conn.MapWindow(c.frame.Window); err != nil {
-			return nil, err
-		}
-		_ = icccm.SetState(wm.conn, win, icccm.State{State: xproto.NormalState})
+		wm.check(c, "map frame", wm.conn.MapWindow(c.frame.Window))
+		wm.check(c, "set WM_STATE normal", icccm.SetState(wm.conn, win, icccm.State{State: xproto.NormalState}))
 		c.State = xproto.NormalState
 	}
 
 	wm.sendSyntheticConfigure(c)
 	wm.updatePanner(scr)
+	if _, still := wm.clients[win]; !still {
+		// A post-registration request hit the death race and the client
+		// was already unmanaged; it no longer exists for the caller.
+		return nil, &xproto.XError{Code: xproto.BadWindow, Major: "Manage", Resource: win}
+	}
 	return c, nil
 }
 
@@ -299,11 +345,13 @@ func (wm *WM) redecorate(c *Client) error {
 	if attrs, err := wm.conn.GetWindowAttributes(c.Win); err == nil && attrs.MapState != xproto.IsUnmapped {
 		c.ignoreUnmaps++
 	}
-	_ = wm.conn.ReparentWindow(c.Win, c.scr.Root, rx, ry)
+	if !wm.check(c, "redecorate: detach client", wm.conn.ReparentWindow(c.Win, c.scr.Root, rx, ry)) {
+		return nil
+	}
 	wm.unregisterObjectWindows(c)
 	wm.dropResizeCorners(c)
 	delete(wm.byFrame, c.frame.Window)
-	_ = objects.Destroy(wm.conn, c.frame)
+	wm.destroyTree(c.frame)
 
 	if err := wm.decorate(c); err != nil {
 		return err
@@ -348,11 +396,33 @@ func (wm *WM) redecorate(c *Client) error {
 // Unmanage withdraws a client: the window is reparented back to the
 // root (if it still exists) and the decoration destroyed.
 func (wm *WM) Unmanage(c *Client, clientGone bool) {
+	if _, ok := wm.clients[c.Win]; !ok {
+		return
+	}
+	// Deregister first: error classification during this teardown must
+	// never recurse into a second unmanage of the same client.
+	delete(wm.clients, c.Win)
+	wm.noteUnmanaged()
 	if !clientGone {
+		// Both requests retry once on a transient failure: a client left
+		// inside the frame would die with it, and a stale save-set entry
+		// would resurrect the withdrawn window when the client's
+		// connection closes. BadWindow means the client is really gone,
+		// in which case neither matters.
 		rx, ry := wm.clientRootPos(c)
-		_ = wm.conn.ReparentWindow(c.Win, c.scr.Root, rx, ry)
-		_ = wm.conn.ChangeSaveSet(c.Win, false)
-		_ = wm.conn.DeleteProperty(c.Win, wm.conn.InternAtom("SWM_ROOT"))
+		if err := wm.conn.ReparentWindow(c.Win, c.scr.Root, rx, ry); err != nil {
+			wm.logf("unmanage: reparent to root: %v (retrying)", err)
+			if !errors.Is(err, xproto.ErrBadWindow) {
+				wm.check(nil, "unmanage: reparent retry", wm.conn.ReparentWindow(c.Win, c.scr.Root, rx, ry))
+			}
+		}
+		if err := wm.conn.ChangeSaveSet(c.Win, false); err != nil {
+			wm.logf("unmanage: save-set: %v (retrying)", err)
+			if !errors.Is(err, xproto.ErrBadWindow) {
+				wm.check(nil, "unmanage: save-set retry", wm.conn.ChangeSaveSet(c.Win, false))
+			}
+		}
+		wm.check(nil, "unmanage: clear SWM_ROOT", wm.conn.DeleteProperty(c.Win, wm.conn.InternAtom("SWM_ROOT")))
 	}
 	if c.icon != nil {
 		wm.removeIcon(c)
@@ -360,10 +430,15 @@ func (wm *WM) Unmanage(c *Client, clientGone bool) {
 	wm.unregisterObjectWindows(c)
 	wm.dropResizeCorners(c)
 	delete(wm.byFrame, c.frame.Window)
-	delete(wm.clients, c.Win)
-	_ = objects.Destroy(wm.conn, c.frame)
+	wm.destroyTree(c.frame)
 	if wm.focus == c {
 		wm.focus = nil
+	}
+	if wm.moveState != nil && wm.moveState.client == c {
+		wm.moveState = nil
+	}
+	if wm.resizing != nil && wm.resizing.client == c {
+		wm.resizing = nil
 	}
 	wm.updatePanner(c.scr)
 }
@@ -397,7 +472,7 @@ func (wm *WM) applyNameLabels(c *Client) {
 	}
 	if changed {
 		objects.Layout(c.frame, c.clientW, c.clientH)
-		_ = objects.SyncGeometry(wm.conn, c.frame)
+		wm.check(c, "sync name labels", objects.SyncGeometry(wm.conn, c.frame))
 		c.FrameRect.Width = c.frame.Rect.Width
 		c.FrameRect.Height = c.frame.Rect.Height
 	}
@@ -405,7 +480,7 @@ func (wm *WM) applyNameLabels(c *Client) {
 		if o := c.icon.tree.Find("iconname"); o != nil && c.IconName != "" {
 			o.SetLabel(c.IconName)
 			objects.Layout(c.icon.tree, 0, 0)
-			_ = objects.SyncGeometry(wm.conn, c.icon.tree)
+			wm.check(c, "sync icon labels", objects.SyncGeometry(wm.conn, c.icon.tree))
 		}
 	}
 }
@@ -450,8 +525,8 @@ func (wm *WM) setSwmRoot(c *Client) {
 	data := []byte{
 		byte(root), byte(root >> 8), byte(root >> 16), byte(root >> 24),
 	}
-	_ = wm.conn.ChangeProperty(c.Win, wm.conn.InternAtom("SWM_ROOT"),
-		wm.conn.InternAtom("WINDOW"), 32, xproto.PropModeReplace, data)
+	wm.check(c, "set SWM_ROOT", wm.conn.ChangeProperty(c.Win, wm.conn.InternAtom("SWM_ROOT"),
+		wm.conn.InternAtom("WINDOW"), 32, xproto.PropModeReplace, data))
 }
 
 // SwmRoot reads a window's SWM_ROOT property (what OI-style toolkits
@@ -469,14 +544,14 @@ func SwmRoot(conn *xserver.Conn, win xproto.XID) (xproto.XID, bool) {
 // (ICCCM §4.1.5).
 func (wm *WM) sendSyntheticConfigure(c *Client) {
 	rx, ry := wm.clientRootPos(c)
-	_ = icccm.SendSyntheticConfigureNotify(wm.conn, c.Win, rx, ry, c.clientW, c.clientH)
+	wm.check(c, "synthetic ConfigureNotify", icccm.SendSyntheticConfigureNotify(wm.conn, c.Win, rx, ry, c.clientW, c.clientH))
 }
 
 // moveFrame moves the frame in parent coordinates and informs the
 // client of its new root-relative position.
 func (wm *WM) moveFrame(c *Client, x, y int) {
 	c.FrameRect.X, c.FrameRect.Y = x, y
-	_ = wm.conn.MoveWindow(c.frame.Window, x, y)
+	wm.check(c, "move frame", wm.conn.MoveWindow(c.frame.Window, x, y))
 	wm.sendSyntheticConfigure(c)
 	wm.updatePanner(c.scr)
 }
@@ -488,13 +563,15 @@ func (wm *WM) resizeClient(c *Client, w, h int) {
 		return
 	}
 	c.clientW, c.clientH = w, h
-	_ = wm.conn.ResizeWindow(c.Win, w, h)
+	if !wm.check(c, "resize client", wm.conn.ResizeWindow(c.Win, w, h)) {
+		return // the client died; check already unmanaged it
+	}
 	objects.Layout(c.frame, w, h)
-	_ = objects.SyncGeometry(wm.conn, c.frame)
-	_ = wm.conn.MoveResizeWindow(c.frame.Window, xproto.Rect{
+	wm.check(c, "sync frame geometry", objects.SyncGeometry(wm.conn, c.frame))
+	wm.check(c, "resize frame", wm.conn.MoveResizeWindow(c.frame.Window, xproto.Rect{
 		X: c.FrameRect.X, Y: c.FrameRect.Y,
 		Width: c.frame.Rect.Width, Height: c.frame.Rect.Height,
-	})
+	}))
 	c.FrameRect.Width = c.frame.Rect.Width
 	c.FrameRect.Height = c.frame.Rect.Height
 	wm.syncResizeCorners(c)
@@ -522,12 +599,12 @@ func (wm *WM) handleConfigureRequest(ev xproto.Event) {
 	c, managed := wm.clients[ev.Subwindow]
 	if !managed {
 		// Unmanaged window: apply the request verbatim.
-		_ = wm.conn.ConfigureWindow(ev.Subwindow, xproto.WindowChanges{
+		wm.check(nil, "configure unmanaged", wm.conn.ConfigureWindow(ev.Subwindow, xproto.WindowChanges{
 			Mask: ev.ValueMask, X: ev.GX, Y: ev.GY,
 			Width: ev.Width, Height: ev.Height,
 			BorderWidth: ev.BorderWidth, Sibling: ev.Sibling,
 			StackMode: ev.StackMode,
-		})
+		}))
 		return
 	}
 	if ev.ValueMask&(xproto.CWWidth|xproto.CWHeight) != 0 {
@@ -539,6 +616,9 @@ func (wm *WM) handleConfigureRequest(ev xproto.Event) {
 			h = ev.Height
 		}
 		wm.resizeClient(c, w, h)
+		if _, ok := wm.clients[c.Win]; !ok {
+			return // the resize hit the death race; c is unmanaged
+		}
 	}
 	if ev.ValueMask&(xproto.CWX|xproto.CWY) != 0 {
 		slotX, slotY := wm.clientSlotOffset(c)
@@ -560,9 +640,9 @@ func (wm *WM) handleConfigureRequest(ev xproto.Event) {
 	if ev.ValueMask&xproto.CWStackMode != 0 {
 		switch ev.StackMode {
 		case xproto.Above:
-			_ = wm.conn.RaiseWindow(c.frame.Window)
+			wm.check(c, "raise frame", wm.conn.RaiseWindow(c.frame.Window))
 		case xproto.Below:
-			_ = wm.conn.LowerWindow(c.frame.Window)
+			wm.check(c, "lower frame", wm.conn.LowerWindow(c.frame.Window))
 		}
 	}
 	wm.sendSyntheticConfigure(c)
@@ -572,11 +652,11 @@ func (wm *WM) handleConfigureRequest(ev xproto.Event) {
 // rebind) and pushes the new geometry to the server.
 func (wm *WM) relayoutFrame(c *Client) {
 	objects.Layout(c.frame, c.clientW, c.clientH)
-	_ = objects.SyncGeometry(wm.conn, c.frame)
-	_ = wm.conn.MoveResizeWindow(c.frame.Window, xproto.Rect{
+	wm.check(c, "sync frame geometry", objects.SyncGeometry(wm.conn, c.frame))
+	wm.check(c, "resize frame", wm.conn.MoveResizeWindow(c.frame.Window, xproto.Rect{
 		X: c.FrameRect.X, Y: c.FrameRect.Y,
 		Width: c.frame.Rect.Width, Height: c.frame.Rect.Height,
-	})
+	}))
 	c.FrameRect.Width = c.frame.Rect.Width
 	c.FrameRect.Height = c.frame.Rect.Height
 }
@@ -614,8 +694,8 @@ func (wm *WM) applyClientShapeToFrame(c *Client) {
 			X: r.X + slotX, Y: r.Y + slotY, Width: r.Width, Height: r.Height,
 		})
 	}
-	_ = wm.conn.ShapeCombineRectangles(c.frame.Window, rects)
+	wm.check(c, "shape frame", wm.conn.ShapeCombineRectangles(c.frame.Window, rects))
 	// The client slot inherits the client's shape too, so hit-testing
 	// inside the frame matches the visible pixels.
-	_ = wm.conn.ShapeCombineRectangles(c.clientSlot.Window, clientRects)
+	wm.check(c, "shape client slot", wm.conn.ShapeCombineRectangles(c.clientSlot.Window, clientRects))
 }

@@ -99,7 +99,7 @@ func (wm *WM) closeMenu(m *Menu) {
 			delete(wm.byObjWin, o.Window)
 		}
 	})
-	_ = objects.Destroy(wm.conn, m.tree)
+	wm.destroyTree(m.tree)
 	menus := m.scr.menus[:0]
 	for _, other := range m.scr.menus {
 		if other != m {

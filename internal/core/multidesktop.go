@@ -98,7 +98,7 @@ func (wm *WM) SelectDesktop(scr *Screen, n int) error {
 	if scr.PanX != px || scr.PanY != py {
 		// PanTo clamps; ensure the window really is at the remembered
 		// offset even when (px,py) == clamped value.
-		_ = wm.conn.MoveWindow(target, -scr.PanX, -scr.PanY)
+		wm.check(nil, "pan desktop", wm.conn.MoveWindow(target, -scr.PanX, -scr.PanY))
 	}
 	wm.updatePanner(scr)
 	return nil
@@ -155,8 +155,8 @@ func (wm *WM) SendToDesktop(c *Client, n int) error {
 	}
 	// SWM_ROOT tracks the frame's root window.
 	data := []byte{byte(target), byte(target >> 8), byte(target >> 16), byte(target >> 24)}
-	_ = wm.conn.ChangeProperty(c.Win, wm.conn.InternAtom("SWM_ROOT"),
-		wm.conn.InternAtom("WINDOW"), 32, xproto.PropModeReplace, data)
+	wm.check(c, "set SWM_ROOT", wm.conn.ChangeProperty(c.Win, wm.conn.InternAtom("SWM_ROOT"),
+		wm.conn.InternAtom("WINDOW"), 32, xproto.PropModeReplace, data))
 	wm.sendSyntheticConfigure(c)
 	wm.updatePanner(scr)
 	return nil

@@ -50,8 +50,8 @@ func (wm *WM) createPanner(scr *Screen) error {
 		wm: wm, scr: scr, content: content, scale: scale,
 		minis: make(map[xproto.XID]*Client),
 	}
-	_ = icccm.SetClass(wm.conn, content, icccm.Class{Instance: "panner", Class: "SwmPanner"})
-	_ = icccm.SetName(wm.conn, content, "Virtual Desktop")
+	wm.check(nil, "panner class", icccm.SetClass(wm.conn, content, icccm.Class{Instance: "panner", Class: "SwmPanner"}))
+	wm.check(nil, "panner name", icccm.SetName(wm.conn, content, "Virtual Desktop"))
 	// The panner must not pan with the desktop: start sticky.
 	wm.db.MustPut("swm*SwmPanner*sticky", "True")
 	if err := wm.conn.SelectInput(content,
@@ -114,7 +114,7 @@ func (wm *WM) updatePanner(scr *Screen) {
 		return
 	}
 	for mini := range p.minis {
-		_ = wm.conn.DestroyWindow(mini)
+		wm.destroyWindow(mini)
 		delete(p.minis, mini)
 	}
 	for _, c := range wm.clients {
@@ -129,10 +129,14 @@ func (wm *WM) updatePanner(scr *Screen) {
 		}
 		mini, err := wm.conn.CreateWindow(p.content, r, 0, xserverAttrs(miniLabel(c)))
 		if err != nil {
+			wm.check(nil, "create miniature", err)
 			continue
 		}
-		_ = wm.conn.SetWindowFill(mini, '#')
+		wm.check(nil, "fill miniature", wm.conn.SetWindowFill(mini, '#'))
 		if err := wm.conn.MapWindow(mini); err != nil {
+			// Don't keep an unmapped, untracked miniature alive.
+			wm.check(nil, "map miniature", err)
+			wm.destroyWindow(mini)
 			continue
 		}
 		p.minis[mini] = c
@@ -154,8 +158,8 @@ func (wm *WM) updatePannerViewport(scr *Screen) {
 	if p == nil || p.viewport == xproto.None {
 		return
 	}
-	_ = wm.conn.MoveWindow(p.viewport, scr.PanX/p.scale, scr.PanY/p.scale)
-	_ = wm.conn.RaiseWindow(p.viewport)
+	wm.check(nil, "move panner viewport", wm.conn.MoveWindow(p.viewport, scr.PanX/p.scale, scr.PanY/p.scale))
+	wm.check(nil, "raise panner viewport", wm.conn.RaiseWindow(p.viewport))
 }
 
 // handlePress processes a button press inside the panner content
@@ -215,10 +219,10 @@ func (p *Panner) miniAt(x, y int) xproto.XID {
 func (p *Panner) handleResize(w, h int) {
 	wm := p.wm
 	wm.ResizeDesktop(p.scr, w*p.scale, h*p.scale)
-	_ = wm.conn.MoveResizeWindow(p.viewport, xproto.Rect{
+	wm.check(nil, "resize panner viewport", wm.conn.MoveResizeWindow(p.viewport, xproto.Rect{
 		X: p.scr.PanX / p.scale, Y: p.scr.PanY / p.scale,
 		Width: p.scr.Width / p.scale, Height: p.scr.Height / p.scale,
-	})
+	}))
 }
 
 // MiniatureClients returns the clients currently represented by

@@ -64,16 +64,22 @@ func (wm *WM) createResizeCorners(c *Client) {
 		attrs.Class = xproto.InputOnly // invisible, input-catching handle
 		win, err := wm.conn.CreateWindow(c.frame.Window, r, 0, attrs)
 		if err != nil {
+			wm.check(nil, "create resize corner", err)
 			continue
 		}
 		if err := wm.conn.SelectInput(win,
 			xproto.ButtonPressMask|xproto.ButtonReleaseMask); err != nil {
+			// A handle that cannot see input is useless; don't leak it.
+			wm.check(nil, "corner input", err)
+			wm.destroyWindow(win)
 			continue
 		}
 		if err := wm.conn.MapWindow(win); err != nil {
+			wm.check(nil, "map corner", err)
+			wm.destroyWindow(win)
 			continue
 		}
-		_ = wm.conn.RaiseWindow(win)
+		wm.check(c, "raise corner", wm.conn.RaiseWindow(win))
 		c.corners[corner] = win
 		wm.byObjWin[win] = objRef{client: c, screen: c.scr, corner: corner + 1}
 	}
@@ -97,8 +103,8 @@ func (wm *WM) syncResizeCorners(c *Client) {
 			continue
 		}
 		r := cornerRect(c.FrameRect.Width, c.FrameRect.Height, corner)
-		_ = wm.conn.MoveWindow(win, r.X, r.Y)
-		_ = wm.conn.RaiseWindow(win)
+		wm.check(c, "move corner", wm.conn.MoveWindow(win, r.X, r.Y))
+		wm.check(c, "raise corner", wm.conn.RaiseWindow(win))
 	}
 }
 
@@ -124,8 +130,8 @@ func (wm *WM) startCornerResize(c *Client, corner int) {
 		ay += c.FrameRect.Height
 	}
 	wm.resizing = &resizeState{client: c, corner: corner, anchorX: ax, anchorY: ay}
-	_ = wm.conn.GrabPointer(c.scr.Root,
-		xproto.PointerMotionMask|xproto.ButtonReleaseMask)
+	wm.check(c, "grab pointer", wm.conn.GrabPointer(c.scr.Root,
+		xproto.PointerMotionMask|xproto.ButtonReleaseMask))
 }
 
 // continueCornerResize applies the pointer position to the resize in
@@ -161,6 +167,12 @@ func (wm *WM) continueCornerResize(rootX, rootY int, release bool) {
 		h = 8
 	}
 	wm.resizeClient(c, w, h)
+	if _, ok := wm.clients[c.Win]; !ok {
+		// The client died mid-resize and was unmanaged (which also
+		// cleared wm.resizing); just release the grab.
+		wm.conn.UngrabPointer()
+		return
+	}
 	wm.moveFrame(c, x1, y1)
 	wm.syncResizeCorners(c)
 	if release {

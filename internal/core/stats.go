@@ -1,0 +1,184 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/objects"
+	"repro/internal/xproto"
+)
+
+// Stats is a snapshot of the WM's observability counters: events
+// dispatched by type, X protocol errors by code (counted centrally in
+// the connection error handler, the analogue of XSetErrorHandler),
+// clients managed and unmanaged, and death races survived (BadWindow on
+// a managed client window answered with a clean unmanage).
+type Stats struct {
+	Events     map[string]int
+	Errors     map[string]int
+	Managed    int
+	Unmanaged  int
+	DeathRaces int
+}
+
+// Stats returns a copy of the current counters. Safe to call from any
+// goroutine.
+func (wm *WM) Stats() Stats {
+	wm.statsMu.Lock()
+	defer wm.statsMu.Unlock()
+	st := Stats{
+		Events:     make(map[string]int, len(wm.evCounts)),
+		Errors:     make(map[string]int, len(wm.errCounts)),
+		Managed:    wm.managed,
+		Unmanaged:  wm.unmanaged,
+		DeathRaces: wm.deathRaces,
+	}
+	for t, n := range wm.evCounts {
+		st.Events[t.String()] = n
+	}
+	for code, n := range wm.errCounts {
+		st.Errors[code.String()] = n
+	}
+	return st
+}
+
+func (wm *WM) countEvent(t xproto.EventType) {
+	wm.statsMu.Lock()
+	wm.evCounts[t]++
+	wm.statsMu.Unlock()
+}
+
+func (wm *WM) noteManaged() {
+	wm.statsMu.Lock()
+	wm.managed++
+	wm.statsMu.Unlock()
+}
+
+func (wm *WM) noteUnmanaged() {
+	wm.statsMu.Lock()
+	wm.unmanaged++
+	wm.statsMu.Unlock()
+}
+
+func (wm *WM) noteDeathRace() {
+	wm.statsMu.Lock()
+	wm.deathRaces++
+	wm.statsMu.Unlock()
+}
+
+// deadWindow reports whether err is a BadWindow naming win itself — the
+// only failure that can mean the window is really gone. A BadWindow on
+// any other resource (a frame child, the desktop) is just a failed
+// request and is always worth retrying.
+func deadWindow(win xproto.XID, err error) bool {
+	var xe *xproto.XError
+	return errors.As(err, &xe) && xe.Code == xproto.BadWindow && xe.Resource == win
+}
+
+// confirmDead reports whether err means win is really gone: a BadWindow
+// naming win itself, corroborated by an independent probe. A lone
+// BadWindow may be spurious (fault injection, server hiccup), so manage
+// paths only abandon a window after the probe agrees; post-manage the
+// unmanage path needs no probe because its rescue reparent already
+// preserves a window that turns out to be alive.
+func (wm *WM) confirmDead(win xproto.XID, err error) bool {
+	if !deadWindow(win, err) {
+		return false
+	}
+	_, gerr := wm.conn.GetGeometry(win)
+	return gerr != nil && errors.Is(gerr, xproto.ErrBadWindow)
+}
+
+// check classifies an X protocol error from a request made on behalf of
+// client c (nil when no client is involved). A BadWindow naming the
+// client's own window means the client destroyed it between the event
+// that named it and our request — the asynchronous death race — so the
+// client is cleanly unmanaged. Everything else is logged and survived;
+// per-code counting happens in the connection-level error handler
+// installed by New. It reports whether the caller may keep operating on
+// the client (false once the client window is gone).
+func (wm *WM) check(c *Client, op string, err error) bool {
+	if err == nil {
+		return true
+	}
+	wm.logf("%s: %v", op, err)
+	if c != nil {
+		var xe *xproto.XError
+		if errors.As(err, &xe) && xe.Code == xproto.BadWindow && xe.Resource == c.Win {
+			if _, managed := wm.clients[c.Win]; managed {
+				wm.noteDeathRace()
+				wm.unmanageDead(c)
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// unmanageDead tears down a client whose window the server reports
+// destroyed. The report can be spurious (fault injection, XID reuse),
+// so a rescue reparent to the root is attempted first: a window that is
+// in fact alive survives outside the frame about to be destroyed; a
+// truly dead one fails the reparent harmlessly.
+func (wm *WM) unmanageDead(c *Client) {
+	rx, ry := wm.clientRootPos(c)
+	if err := wm.conn.ReparentWindow(c.Win, c.scr.Root, rx, ry); err == nil {
+		wm.check(nil, "rescue save-set", wm.conn.ChangeSaveSet(c.Win, false))
+	}
+	wm.Unmanage(c, true)
+}
+
+// destroyWindow destroys a single WM-owned window, queueing it for the
+// orphan janitor if the request fails.
+func (wm *WM) destroyWindow(id xproto.XID) {
+	if id == xproto.None {
+		return
+	}
+	if err := wm.conn.DestroyWindow(id); err != nil {
+		wm.addOrphan(id)
+		wm.logf("destroy 0x%x: %v (queued for retry)", uint32(id), err)
+	}
+}
+
+// destroyTree tears down a realized object tree (frame or icon),
+// queueing the root window for the janitor when the destroy fails so a
+// single transient error cannot leak a whole server-side subtree.
+func (wm *WM) destroyTree(tree *objects.Object) {
+	if tree == nil || tree.Window == xproto.None {
+		return
+	}
+	id := tree.Window
+	if err := objects.Destroy(wm.conn, tree); err != nil {
+		wm.addOrphan(id)
+		wm.logf("destroy tree 0x%x: %v (queued for retry)", uint32(id), err)
+	}
+}
+
+func (wm *WM) addOrphan(id xproto.XID) {
+	if id != xproto.None {
+		wm.orphans = append(wm.orphans, id)
+	}
+}
+
+// sweepOrphans retries destruction of windows whose DestroyWindow
+// failed earlier. An orphan is only dropped once its death is certain:
+// either the destroy succeeds, or a BadWindow is confirmed by a second
+// independent request (a lone BadWindow may itself be injected).
+func (wm *WM) sweepOrphans() {
+	if len(wm.orphans) == 0 {
+		return
+	}
+	pending := wm.orphans
+	wm.orphans = nil
+	for _, id := range pending {
+		err := wm.conn.DestroyWindow(id)
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, xproto.ErrBadWindow) {
+			if _, gerr := wm.conn.GetGeometry(id); gerr != nil && errors.Is(gerr, xproto.ErrBadWindow) {
+				continue
+			}
+		}
+		wm.orphans = append(wm.orphans, id)
+	}
+}

@@ -200,11 +200,19 @@ func realize(conn *xserver.Conn, o *Object, parent xproto.XID, isRoot bool) erro
 	case KindMenu:
 		fill = ':'
 	}
-	id, err := conn.CreateWindow(parent, o.Rect, 0, xserver.WindowAttributes{
+	attrs := xserver.WindowAttributes{
 		OverrideRedirect: true, // decoration internals are never managed
 		Fill:             fill,
 		Label:            o.label,
-	})
+	}
+	// A failed creation has no partial effect, so a transient error is
+	// retried once before the whole realize is abandoned — a deep
+	// decoration tree issues enough requests that giving up on the
+	// first hiccup would make frames needlessly fragile.
+	id, err := conn.CreateWindow(parent, o.Rect, 0, attrs)
+	if err != nil {
+		id, err = conn.CreateWindow(parent, o.Rect, 0, attrs)
+	}
 	if err != nil {
 		return fmt.Errorf("objects: realizing %s %q: %w", o.Kind, o.Name, err)
 	}
@@ -216,7 +224,11 @@ func realize(conn *xserver.Conn, o *Object, parent xproto.XID, isRoot bool) erro
 			xproto.EnterWindowMask | xproto.LeaveWindowMask
 	}
 	if mask != 0 {
-		if err := conn.SelectInput(id, mask); err != nil {
+		err := conn.SelectInput(id, mask)
+		if err != nil {
+			err = conn.SelectInput(id, mask)
+		}
+		if err != nil {
 			return err
 		}
 	}

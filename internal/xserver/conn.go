@@ -1,6 +1,7 @@
 package xserver
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -19,6 +20,26 @@ type Conn struct {
 	cond    *sync.Cond
 	closed  bool
 	saveSet map[xproto.XID]bool
+
+	// fault injection and error observation (see fault.go).
+	faults     *faultState
+	errHandler func(*xproto.XError)
+	lastNoted  error
+}
+
+// lookupLocked resolves a window id for the request named major,
+// routing a typed BadWindow through the connection's error handler on
+// failure.
+func (c *Conn) lookupLocked(id xproto.XID, major string) (*window, error) {
+	w, err := c.server.lookupLocked(id)
+	if err != nil {
+		var xe *xproto.XError
+		if errors.As(err, &xe) {
+			xe.Major = major
+		}
+		return nil, c.noteLocked(err)
+	}
+	return w, nil
 }
 
 // Name returns the diagnostic name given at Connect.
@@ -46,12 +67,18 @@ func (c *Conn) CreateWindow(parent xproto.XID, r xproto.Rect, borderWidth int, a
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	p, err := s.lookupLocked(parent)
+	if err := c.faultLocked("CreateWindow", parent); err != nil {
+		return xproto.None, err
+	}
+	p, err := c.lookupLocked(parent, "CreateWindow")
 	if err != nil {
 		return xproto.None, err
 	}
 	if r.Width <= 0 || r.Height <= 0 {
-		return xproto.None, fmt.Errorf("xserver: BadValue: zero-sized window %v", r)
+		return xproto.None, c.noteLocked(&xproto.XError{
+			Code: xproto.BadValue, Major: "CreateWindow",
+			Detail: fmt.Sprintf("zero-sized window %v", r),
+		})
 	}
 	w := &window{
 		id:          s.allocIDLocked(),
@@ -84,7 +111,10 @@ func (c *Conn) DestroyWindow(id xproto.XID) error {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	w, err := s.lookupLocked(id)
+	if err := c.faultLocked("DestroyWindow", id); err != nil {
+		return err
+	}
+	w, err := c.lookupLocked(id, "DestroyWindow")
 	if err != nil {
 		return err
 	}
@@ -132,7 +162,10 @@ func (c *Conn) MapWindow(id xproto.XID) error {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	w, err := s.lookupLocked(id)
+	if err := c.faultLocked("MapWindow", id); err != nil {
+		return err
+	}
+	w, err := c.lookupLocked(id, "MapWindow")
 	if err != nil {
 		return err
 	}
@@ -178,7 +211,10 @@ func (c *Conn) UnmapWindow(id xproto.XID) error {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	w, err := s.lookupLocked(id)
+	if err := c.faultLocked("UnmapWindow", id); err != nil {
+		return err
+	}
+	w, err := c.lookupLocked(id, "UnmapWindow")
 	if err != nil {
 		return err
 	}
@@ -210,16 +246,22 @@ func (c *Conn) ReparentWindow(id, newParent xproto.XID, x, y int) error {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	w, err := s.lookupLocked(id)
+	if err := c.faultLocked("ReparentWindow", id); err != nil {
+		return err
+	}
+	w, err := c.lookupLocked(id, "ReparentWindow")
 	if err != nil {
 		return err
 	}
-	np, err := s.lookupLocked(newParent)
+	np, err := c.lookupLocked(newParent, "ReparentWindow")
 	if err != nil {
 		return err
 	}
 	if w == np || w.isAncestorOfLocked(np) {
-		return fmt.Errorf("xserver: BadMatch: reparent would create a cycle")
+		return c.noteLocked(&xproto.XError{
+			Code: xproto.BadMatch, Major: "ReparentWindow", Resource: id,
+			Detail: "reparent would create a cycle",
+		})
 	}
 	wasMapped := w.mapped
 	if wasMapped {
@@ -258,7 +300,10 @@ func (c *Conn) ConfigureWindow(id xproto.XID, ch xproto.WindowChanges) error {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	w, err := s.lookupLocked(id)
+	if err := c.faultLocked("ConfigureWindow", id); err != nil {
+		return err
+	}
+	w, err := c.lookupLocked(id, "ConfigureWindow")
 	if err != nil {
 		return err
 	}
@@ -274,7 +319,7 @@ func (c *Conn) ConfigureWindow(id xproto.XID, ch xproto.WindowChanges) error {
 			return nil
 		}
 	}
-	return s.configureLocked(w, ch)
+	return c.noteLocked(s.configureLocked(w, ch))
 }
 
 func (s *Server) configureLocked(w *window, ch xproto.WindowChanges) error {
@@ -286,13 +331,19 @@ func (s *Server) configureLocked(w *window, ch xproto.WindowChanges) error {
 	}
 	if ch.Mask&xproto.CWWidth != 0 {
 		if ch.Width <= 0 {
-			return fmt.Errorf("xserver: BadValue: width %d", ch.Width)
+			return &xproto.XError{
+				Code: xproto.BadValue, Major: "ConfigureWindow", Resource: w.id,
+				Detail: fmt.Sprintf("width %d", ch.Width),
+			}
 		}
 		w.rect.Width = ch.Width
 	}
 	if ch.Mask&xproto.CWHeight != 0 {
 		if ch.Height <= 0 {
-			return fmt.Errorf("xserver: BadValue: height %d", ch.Height)
+			return &xproto.XError{
+				Code: xproto.BadValue, Major: "ConfigureWindow", Resource: w.id,
+				Detail: fmt.Sprintf("height %d", ch.Height),
+			}
 		}
 		w.rect.Height = ch.Height
 	}
@@ -367,7 +418,10 @@ func (c *Conn) GetGeometry(id xproto.XID) (Geometry, error) {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	w, err := s.lookupLocked(id)
+	if err := c.faultLocked("GetGeometry", id); err != nil {
+		return Geometry{}, err
+	}
+	w, err := c.lookupLocked(id, "GetGeometry")
 	if err != nil {
 		return Geometry{}, err
 	}
@@ -392,7 +446,10 @@ func (c *Conn) GetWindowAttributes(id xproto.XID) (Attributes, error) {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	w, err := s.lookupLocked(id)
+	if err := c.faultLocked("GetWindowAttributes", id); err != nil {
+		return Attributes{}, err
+	}
+	w, err := c.lookupLocked(id, "GetWindowAttributes")
 	if err != nil {
 		return Attributes{}, err
 	}
@@ -421,7 +478,10 @@ func (c *Conn) QueryTree(id xproto.XID) (root, parent xproto.XID, children []xpr
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	w, err := s.lookupLocked(id)
+	if err := c.faultLocked("QueryTree", id); err != nil {
+		return 0, 0, nil, err
+	}
+	w, err := c.lookupLocked(id, "QueryTree")
 	if err != nil {
 		return 0, 0, nil, err
 	}
@@ -442,11 +502,14 @@ func (c *Conn) TranslateCoordinates(src, dst xproto.XID, x, y int) (dx, dy int, 
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sw, err := s.lookupLocked(src)
+	if err := c.faultLocked("TranslateCoordinates", src); err != nil {
+		return 0, 0, 0, err
+	}
+	sw, err := c.lookupLocked(src, "TranslateCoordinates")
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	dw, err := s.lookupLocked(dst)
+	dw, err := c.lookupLocked(dst, "TranslateCoordinates")
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -470,14 +533,20 @@ func (c *Conn) SelectInput(id xproto.XID, mask xproto.EventMask) error {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	w, err := s.lookupLocked(id)
+	if err := c.faultLocked("SelectInput", id); err != nil {
+		return err
+	}
+	w, err := c.lookupLocked(id, "SelectInput")
 	if err != nil {
 		return err
 	}
 	if mask&xproto.SubstructureRedirectMask != 0 {
 		for conn, m := range w.masks {
 			if conn != c && m&xproto.SubstructureRedirectMask != 0 {
-				return fmt.Errorf("xserver: BadAccess: SubstructureRedirect already selected on 0x%x", uint32(id))
+				return c.noteLocked(&xproto.XError{
+					Code: xproto.BadAccess, Major: "SelectInput", Resource: id,
+					Detail: fmt.Sprintf("SubstructureRedirect already selected on 0x%x", uint32(id)),
+				})
 			}
 		}
 	}
@@ -513,12 +582,18 @@ func (c *Conn) ChangeProperty(id xproto.XID, prop, typ xproto.Atom, format int, 
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	w, err := s.lookupLocked(id)
+	if err := c.faultLocked("ChangeProperty", id); err != nil {
+		return err
+	}
+	w, err := c.lookupLocked(id, "ChangeProperty")
 	if err != nil {
 		return err
 	}
 	if format != 8 && format != 16 && format != 32 {
-		return fmt.Errorf("xserver: BadValue: property format %d", format)
+		return c.noteLocked(&xproto.XError{
+			Code: xproto.BadValue, Major: "ChangeProperty", Resource: id,
+			Detail: fmt.Sprintf("property format %d", format),
+		})
 	}
 	old, exists := w.props[prop]
 	next := Property{Type: typ, Format: format}
@@ -527,12 +602,18 @@ func (c *Conn) ChangeProperty(id xproto.XID, prop, typ xproto.Atom, format int, 
 		next.Data = append([]byte(nil), data...)
 	case xproto.PropModeAppend:
 		if exists && (old.Type != typ || old.Format != format) {
-			return fmt.Errorf("xserver: BadMatch: append with mismatched type/format")
+			return c.noteLocked(&xproto.XError{
+				Code: xproto.BadMatch, Major: "ChangeProperty", Resource: id,
+				Detail: "append with mismatched type/format",
+			})
 		}
 		next.Data = append(append([]byte(nil), old.Data...), data...)
 	case xproto.PropModePrepend:
 		if exists && (old.Type != typ || old.Format != format) {
-			return fmt.Errorf("xserver: BadMatch: prepend with mismatched type/format")
+			return c.noteLocked(&xproto.XError{
+				Code: xproto.BadMatch, Major: "ChangeProperty", Resource: id,
+				Detail: "prepend with mismatched type/format",
+			})
 		}
 		next.Data = append(append([]byte(nil), data...), old.Data...)
 	}
@@ -550,7 +631,10 @@ func (c *Conn) GetProperty(id xproto.XID, prop xproto.Atom) (Property, bool, err
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	w, err := s.lookupLocked(id)
+	if err := c.faultLocked("GetProperty", id); err != nil {
+		return Property{}, false, err
+	}
+	w, err := c.lookupLocked(id, "GetProperty")
 	if err != nil {
 		return Property{}, false, err
 	}
@@ -567,7 +651,10 @@ func (c *Conn) DeleteProperty(id xproto.XID, prop xproto.Atom) error {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	w, err := s.lookupLocked(id)
+	if err := c.faultLocked("DeleteProperty", id); err != nil {
+		return err
+	}
+	w, err := c.lookupLocked(id, "DeleteProperty")
 	if err != nil {
 		return err
 	}
@@ -587,7 +674,10 @@ func (c *Conn) ListProperties(id xproto.XID) ([]xproto.Atom, error) {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	w, err := s.lookupLocked(id)
+	if err := c.faultLocked("ListProperties", id); err != nil {
+		return nil, err
+	}
+	w, err := c.lookupLocked(id, "ListProperties")
 	if err != nil {
 		return nil, err
 	}
@@ -608,7 +698,10 @@ func (c *Conn) ChangeSaveSet(id xproto.XID, insert bool) error {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, err := s.lookupLocked(id); err != nil {
+	if err := c.faultLocked("ChangeSaveSet", id); err != nil {
+		return err
+	}
+	if _, err := c.lookupLocked(id, "ChangeSaveSet"); err != nil {
 		return err
 	}
 	if insert {
@@ -714,7 +807,10 @@ func (c *Conn) SetWindowLabel(id xproto.XID, label string) error {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	w, err := s.lookupLocked(id)
+	if err := c.faultLocked("SetWindowLabel", id); err != nil {
+		return err
+	}
+	w, err := c.lookupLocked(id, "SetWindowLabel")
 	if err != nil {
 		return err
 	}
@@ -727,7 +823,10 @@ func (c *Conn) SetWindowFill(id xproto.XID, fill byte) error {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	w, err := s.lookupLocked(id)
+	if err := c.faultLocked("SetWindowFill", id); err != nil {
+		return err
+	}
+	w, err := c.lookupLocked(id, "SetWindowFill")
 	if err != nil {
 		return err
 	}

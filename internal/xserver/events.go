@@ -82,7 +82,10 @@ func (c *Conn) SendEvent(dst xproto.XID, mask xproto.EventMask, ev xproto.Event)
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	w, err := s.lookupLocked(dst)
+	if err := c.faultLocked("SendEvent", dst); err != nil {
+		return err
+	}
+	w, err := c.lookupLocked(dst, "SendEvent")
 	if err != nil {
 		return err
 	}
@@ -107,8 +110,11 @@ func (c *Conn) SetInputFocus(id xproto.XID) error {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := c.faultLocked("SetInputFocus", id); err != nil {
+		return err
+	}
 	if id != xproto.None && id != xproto.PointerRoot {
-		if _, err := s.lookupLocked(id); err != nil {
+		if _, err := c.lookupLocked(id, "SetInputFocus"); err != nil {
 			return err
 		}
 	}
@@ -142,16 +148,25 @@ func (c *Conn) GetInputFocus() xproto.XID {
 func (c *Conn) KillClient(id xproto.XID) error {
 	s := c.server
 	s.mu.Lock()
-	w, err := s.lookupLocked(id)
+	if err := c.faultLocked("KillClient", id); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	w, err := c.lookupLocked(id, "KillClient")
 	if err != nil {
 		s.mu.Unlock()
 		return err
 	}
 	owner := w.owner
-	s.mu.Unlock()
 	if owner == nil {
-		return fmt.Errorf("xserver: BadValue: window 0x%x has no owner", uint32(id))
+		err := c.noteLocked(&xproto.XError{
+			Code: xproto.BadValue, Major: "KillClient", Resource: id,
+			Detail: fmt.Sprintf("window 0x%x has no owner", uint32(id)),
+		})
+		s.mu.Unlock()
+		return err
 	}
+	s.mu.Unlock()
 	owner.Close()
 	return nil
 }

@@ -1,0 +1,147 @@
+package xserver
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xproto"
+)
+
+// Fault injection: a per-connection policy that makes request methods
+// fail with a chosen protocol error on a deterministic schedule. This
+// reproduces the asynchronous-death race — a client destroying its
+// window between event delivery and the WM's next request — without
+// needing a misbehaving client, so graceful-degradation paths can be
+// soaked under `go test -race` with a fixed seed.
+
+// FaultPolicy configures fault injection on a connection. EveryN and
+// Rate select the schedule: EveryN > 0 fails every Nth eligible
+// request; otherwise Rate (0..1) fails each eligible request with that
+// probability, drawn from a rand.Rand seeded with Seed (so the failure
+// sequence is a pure function of the seed and the request sequence).
+type FaultPolicy struct {
+	Seed   int64
+	EveryN int
+	Rate   float64
+
+	// Code is the protocol error to inject (default BadWindow).
+	Code xproto.ErrorCode
+	// Times caps the number of injected faults; 0 means unlimited.
+	Times int
+	// Ops restricts injection to the named request majors
+	// (e.g. "GetGeometry"); empty means all requests are eligible.
+	Ops []string
+	// KillTarget additionally destroys the request's target window
+	// (when it is a live, non-root window owned by another connection)
+	// before failing — a deterministic death race: the window named by
+	// the last event is gone by the time the request lands.
+	KillTarget bool
+}
+
+type faultState struct {
+	policy FaultPolicy
+	rng    *rand.Rand
+	ops    map[string]bool
+	seen   int // eligible requests observed
+	fired  int // faults injected
+}
+
+// SetFaultPolicy installs (or, with nil, removes) a fault policy on
+// this connection. Counters restart from zero each time a policy is
+// installed.
+func (c *Conn) SetFaultPolicy(p *FaultPolicy) {
+	c.server.mu.Lock()
+	defer c.server.mu.Unlock()
+	if p == nil {
+		c.faults = nil
+		return
+	}
+	f := &faultState{policy: *p, rng: rand.New(rand.NewSource(p.Seed))}
+	if len(p.Ops) > 0 {
+		f.ops = make(map[string]bool, len(p.Ops))
+		for _, op := range p.Ops {
+			f.ops[op] = true
+		}
+	}
+	c.faults = f
+}
+
+// FaultCount reports how many faults have been injected since the
+// current policy was installed.
+func (c *Conn) FaultCount() int {
+	c.server.mu.Lock()
+	defer c.server.mu.Unlock()
+	if c.faults == nil {
+		return 0
+	}
+	return c.faults.fired
+}
+
+// SetErrorHandler installs an observer invoked once for every X
+// protocol error this connection's requests return — the analogue of
+// Xlib's XSetErrorHandler, and the hook wm.Stats() error accounting
+// hangs off. The handler runs with the server lock held and must not
+// issue requests on any connection.
+func (c *Conn) SetErrorHandler(h func(*xproto.XError)) {
+	c.server.mu.Lock()
+	defer c.server.mu.Unlock()
+	c.errHandler = h
+}
+
+// faultLocked is called at the top of every error-returning request
+// method (before the target lookup, so faults fire for valid requests
+// too). It returns the injected error, or nil to proceed normally.
+func (c *Conn) faultLocked(major string, target xproto.XID) error {
+	f := c.faults
+	if f == nil {
+		return nil
+	}
+	if f.policy.Times > 0 && f.fired >= f.policy.Times {
+		return nil
+	}
+	if f.ops != nil && !f.ops[major] {
+		return nil
+	}
+	f.seen++
+	fire := false
+	switch {
+	case f.policy.EveryN > 0:
+		fire = f.seen%f.policy.EveryN == 0
+	case f.policy.Rate > 0:
+		fire = f.rng.Float64() < f.policy.Rate
+	}
+	if !fire {
+		return nil
+	}
+	f.fired++
+	code := f.policy.Code
+	if code == 0 {
+		code = xproto.BadWindow
+	}
+	if f.policy.KillTarget && target != xproto.None {
+		if w, ok := c.server.windows[target]; ok && !w.destroyed && !w.isRoot && w.owner != c {
+			c.server.destroyLocked(w)
+		}
+	}
+	return c.noteLocked(&xproto.XError{
+		Code: code, Major: major, Resource: target,
+		Detail: fmt.Sprintf("injected fault #%d on 0x%x", f.fired, uint32(target)),
+	})
+}
+
+// noteLocked reports err to the connection's error handler (exactly
+// once per error instance, guarded by lastNoted so an error returned
+// through several layers of the same request is not double-counted)
+// and returns it unchanged.
+func (c *Conn) noteLocked(err error) error {
+	if err == nil || c.errHandler == nil || err == c.lastNoted {
+		return err
+	}
+	var xe *xproto.XError
+	if errors.As(err, &xe) {
+		c.lastNoted = err
+		c.errHandler(xe)
+	}
+	return err
+}

@@ -1,0 +1,169 @@
+package xserver
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/xproto"
+)
+
+// failureSequence runs n GetGeometry requests against a fresh
+// connection with the given policy and returns the indices that failed.
+func failureSequence(t *testing.T, policy FaultPolicy, n int) []int {
+	t.Helper()
+	s := NewServer()
+	conn := s.Connect("probe")
+	win, err := conn.CreateWindow(s.Screens()[0].Root,
+		xproto.Rect{Width: 50, Height: 50}, 0, WindowAttributes{})
+	if err != nil {
+		t.Fatalf("CreateWindow: %v", err)
+	}
+	conn.SetFaultPolicy(&policy)
+	var failed []int
+	for i := 0; i < n; i++ {
+		if _, err := conn.GetGeometry(win); err != nil {
+			failed = append(failed, i)
+		}
+	}
+	return failed
+}
+
+func TestFaultPolicySeededRateIsDeterministic(t *testing.T) {
+	policy := FaultPolicy{Seed: 42, Rate: 0.3, Code: xproto.BadWindow}
+	first := failureSequence(t, policy, 200)
+	second := failureSequence(t, policy, 200)
+	if len(first) == 0 {
+		t.Fatal("rate 0.3 over 200 requests injected nothing")
+	}
+	if len(first) != len(second) {
+		t.Fatalf("same seed produced %d then %d failures", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("failure sequences diverge at %d: %d vs %d", i, first[i], second[i])
+		}
+	}
+	// A different seed must (overwhelmingly) produce a different schedule.
+	other := failureSequence(t, FaultPolicy{Seed: 43, Rate: 0.3}, 200)
+	same := len(other) == len(first)
+	if same {
+		for i := range first {
+			if first[i] != other[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical failure sequences")
+	}
+}
+
+func TestFaultPolicyEveryN(t *testing.T) {
+	failed := failureSequence(t, FaultPolicy{EveryN: 3}, 12)
+	want := []int{2, 5, 8, 11}
+	if len(failed) != len(want) {
+		t.Fatalf("EveryN=3 over 12 requests failed at %v, want %v", failed, want)
+	}
+	for i := range want {
+		if failed[i] != want[i] {
+			t.Fatalf("EveryN=3 failed at %v, want %v", failed, want)
+		}
+	}
+}
+
+func TestFaultPolicyTimesCap(t *testing.T) {
+	failed := failureSequence(t, FaultPolicy{EveryN: 2, Times: 3}, 50)
+	if len(failed) != 3 {
+		t.Fatalf("Times=3 injected %d faults", len(failed))
+	}
+}
+
+func TestFaultPolicyOpsFilterAndCount(t *testing.T) {
+	s := NewServer()
+	conn := s.Connect("probe")
+	win, err := conn.CreateWindow(s.Screens()[0].Root,
+		xproto.Rect{Width: 50, Height: 50}, 0, WindowAttributes{})
+	if err != nil {
+		t.Fatalf("CreateWindow: %v", err)
+	}
+	conn.SetFaultPolicy(&FaultPolicy{EveryN: 1, Code: xproto.BadMatch, Ops: []string{"GetGeometry"}})
+
+	// Filtered-out requests never fault.
+	if err := conn.MapWindow(win); err != nil {
+		t.Fatalf("MapWindow should not fault: %v", err)
+	}
+	err = nil
+	if _, err = conn.GetGeometry(win); err == nil {
+		t.Fatal("GetGeometry should fault with EveryN=1")
+	}
+	if !errors.Is(err, xproto.ErrBadMatch) {
+		t.Errorf("injected error %v is not BadMatch", err)
+	}
+	var xe *xproto.XError
+	if !errors.As(err, &xe) || xe.Major != "GetGeometry" || xe.Resource != win {
+		t.Errorf("injected error carries %+v", xe)
+	}
+	if got := conn.FaultCount(); got != 1 {
+		t.Errorf("FaultCount = %d, want 1", got)
+	}
+	// Removing the policy stops injection and resets the count.
+	conn.SetFaultPolicy(nil)
+	if _, err := conn.GetGeometry(win); err != nil {
+		t.Errorf("GetGeometry after removing policy: %v", err)
+	}
+	if got := conn.FaultCount(); got != 0 {
+		t.Errorf("FaultCount after removal = %d, want 0", got)
+	}
+}
+
+func TestFaultPolicyKillTarget(t *testing.T) {
+	s := NewServer()
+	wmConn := s.Connect("wm")
+	clConn := s.Connect("client")
+	win, err := clConn.CreateWindow(s.Screens()[0].Root,
+		xproto.Rect{Width: 50, Height: 50}, 0, WindowAttributes{})
+	if err != nil {
+		t.Fatalf("CreateWindow: %v", err)
+	}
+	wmConn.SetFaultPolicy(&FaultPolicy{EveryN: 1, Times: 1, KillTarget: true})
+
+	if err := wmConn.MapWindow(win); err == nil {
+		t.Fatal("expected an injected fault")
+	}
+	// The client's window really is gone now: the death race is real,
+	// not just reported.
+	if _, err := clConn.GetGeometry(win); !errors.Is(err, xproto.ErrBadWindow) {
+		t.Errorf("target window survived KillTarget: err=%v", err)
+	}
+	// The WM's own furniture is never killed: roots are immune.
+	wmConn.SetFaultPolicy(&FaultPolicy{EveryN: 1, Times: 1, KillTarget: true})
+	root := s.Screens()[0].Root
+	if err := wmConn.MapWindow(root); err == nil {
+		t.Fatal("expected an injected fault on the root request")
+	}
+	if _, err := wmConn.GetGeometry(root); err != nil {
+		t.Errorf("root window was harmed by KillTarget: %v", err)
+	}
+}
+
+func TestErrorHandlerSeesEachErrorOnce(t *testing.T) {
+	s := NewServer()
+	conn := s.Connect("probe")
+	var codes []xproto.ErrorCode
+	conn.SetErrorHandler(func(xe *xproto.XError) { codes = append(codes, xe.Code) })
+
+	// A genuine error (no fault policy): BadWindow for a bogus id.
+	if err := conn.MapWindow(xproto.XID(0xdeadbeef)); err == nil {
+		t.Fatal("MapWindow of a bogus id should fail")
+	}
+	// An injected error.
+	conn.SetFaultPolicy(&FaultPolicy{EveryN: 1, Times: 1, Code: xproto.BadAccess})
+	root := s.Screens()[0].Root
+	if _, err := conn.GetGeometry(root); err == nil {
+		t.Fatal("expected an injected fault")
+	}
+	if len(codes) != 2 || codes[0] != xproto.BadWindow || codes[1] != xproto.BadAccess {
+		t.Errorf("handler observed %v, want [BadWindow BadAccess]", codes)
+	}
+}

@@ -17,13 +17,19 @@ func (c *Conn) GrabButton(grabWindow xproto.XID, button int, modifiers uint16, e
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, err := s.lookupLocked(grabWindow); err != nil {
+	if err := c.faultLocked("GrabButton", grabWindow); err != nil {
+		return err
+	}
+	if _, err := c.lookupLocked(grabWindow, "GrabButton"); err != nil {
 		return err
 	}
 	for _, g := range s.buttonGrabs {
 		if g.window == grabWindow && g.button == button && g.modifiers == modifiers {
 			if g.conn != c {
-				return fmt.Errorf("xserver: BadAccess: button %d already grabbed on 0x%x", button, uint32(grabWindow))
+				return c.noteLocked(&xproto.XError{
+					Code: xproto.BadAccess, Major: "GrabButton", Resource: grabWindow,
+					Detail: fmt.Sprintf("button %d already grabbed on 0x%x", button, uint32(grabWindow)),
+				})
 			}
 			g.eventMask = eventMask
 			return nil
@@ -56,7 +62,10 @@ func (c *Conn) GrabKey(grabWindow xproto.XID, keysym string, modifiers uint16) e
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, err := s.lookupLocked(grabWindow); err != nil {
+	if err := c.faultLocked("GrabKey", grabWindow); err != nil {
+		return err
+	}
+	if _, err := c.lookupLocked(grabWindow, "GrabKey"); err != nil {
 		return err
 	}
 	s.keyGrabs = append(s.keyGrabs, &keyGrab{
@@ -87,7 +96,10 @@ func (c *Conn) GrabPointer(grabWindow xproto.XID, eventMask xproto.EventMask) er
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, err := s.lookupLocked(grabWindow); err != nil {
+	if err := c.faultLocked("GrabPointer", grabWindow); err != nil {
+		return err
+	}
+	if _, err := c.lookupLocked(grabWindow, "GrabPointer"); err != nil {
 		return err
 	}
 	if s.activeGrab != nil && s.activeGrab.conn != c {

@@ -14,7 +14,6 @@
 package xserver
 
 import (
-	"fmt"
 	"sync"
 
 	"repro/internal/xproto"
@@ -187,7 +186,7 @@ func (s *Server) internAtomLocked(name string) xproto.Atom {
 func (s *Server) lookupLocked(id xproto.XID) (*window, error) {
 	w, ok := s.windows[id]
 	if !ok || w.destroyed {
-		return nil, fmt.Errorf("xserver: BadWindow 0x%x", uint32(id))
+		return nil, &xproto.XError{Code: xproto.BadWindow, Resource: id}
 	}
 	return w, nil
 }
@@ -207,6 +206,14 @@ func (s *Server) NumConns() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.conns)
+}
+
+// NumWindows reports the number of live windows, roots included. Soak
+// tests use it to prove the WM leaks no server-side windows.
+func (s *Server) NumWindows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.windows)
 }
 
 // Now returns the current server timestamp without advancing it.

@@ -19,7 +19,10 @@ func (c *Conn) ShapeCombineRectangles(id xproto.XID, rects []xproto.Rect) error 
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	w, err := s.lookupLocked(id)
+	if err := c.faultLocked("ShapeCombineRectangles", id); err != nil {
+		return err
+	}
+	w, err := c.lookupLocked(id, "ShapeCombineRectangles")
 	if err != nil {
 		return err
 	}
@@ -43,7 +46,10 @@ func (c *Conn) ShapeQuery(id xproto.XID) (shaped bool, rects []xproto.Rect, err 
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	w, err := s.lookupLocked(id)
+	if err := c.faultLocked("ShapeQuery", id); err != nil {
+		return false, nil, err
+	}
+	w, err := c.lookupLocked(id, "ShapeQuery")
 	if err != nil {
 		return false, nil, err
 	}
@@ -64,7 +70,10 @@ func (c *Conn) ShapeSelectInput(id xproto.XID) error {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	w, err := s.lookupLocked(id)
+	if err := c.faultLocked("ShapeSelectInput", id); err != nil {
+		return err
+	}
+	w, err := c.lookupLocked(id, "ShapeSelectInput")
 	if err != nil {
 		return err
 	}
