@@ -24,6 +24,7 @@ import (
 	"repro/internal/baseline/twm"
 	"repro/internal/clients"
 	"repro/internal/core"
+	"repro/internal/perfbench"
 	"repro/internal/session"
 	"repro/internal/templates"
 	"repro/internal/xproto"
@@ -407,15 +408,15 @@ func BenchmarkPannerUpdate(b *testing.B) {
 		b.Fatal(err)
 	}
 	launchN(b, s, wm.Pump, 15)
-	scr := wm.Screens()[0]
 	c := wm.Clients()[0]
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		// A move triggers a panner rebuild.
+		// A move marks the panner dirty; the pump flushes the coalesced
+		// incremental sync, so the pair is one full panner update.
 		wm.MoveClientTo(c, 100+i%500, 100+i%400)
+		wm.Pump()
 	}
-	_ = scr
 }
 
 func BenchmarkStickUnstick(b *testing.B) {
@@ -540,4 +541,32 @@ func BenchmarkSwmPolicyLookup(b *testing.B) {
 		}
 	}
 	_ = xrdb.New()
+}
+
+// --- Tracked perf workloads (cmd/swmbench, BENCH_*.json) ---------------------
+
+// The workloads below are shared with cmd/swmbench through
+// internal/perfbench, so `go test -bench 'Perf'` and the JSON report
+// measure exactly the same code.
+
+func BenchmarkPerfManage100Clients(b *testing.B) { perfbench.ManageClients(100)(b) }
+func BenchmarkPerfMoveStorm(b *testing.B)        { perfbench.MoveStorm(b) }
+func BenchmarkPerfPanStorm(b *testing.B)         { perfbench.PanStorm(b) }
+
+// BenchmarkXrdbQueryCold defeats the DB.Query memo with a fresh clone
+// per iteration, measuring the raw matching walk the memo shortcuts.
+func BenchmarkXrdbQueryCold(b *testing.B) {
+	base, err := templates.Load(templates.OpenLook)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := []string{"swm", "color", "screen0", "XTerm", "xterm", "decoration"}
+	classes := []string{"Swm", "Color", "Screen0", "XTerm", "XTerm", "Decoration"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db := base.Clone()
+		if _, ok := db.Query(names, classes); !ok {
+			b.Fatal("no match")
+		}
+	}
 }

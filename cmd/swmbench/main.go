@@ -1,0 +1,75 @@
+// Command swmbench runs the repository's tracked performance workloads
+// (internal/perfbench) and writes a BENCH_<n>.json report: ns/op,
+// allocs/op and B/op for the manage, move-storm and pan-storm shapes
+// plus the twm/swm/gwm comparison.
+//
+//	swmbench -o BENCH_2.json -check
+//
+// With -check, the binary exits non-zero when a workload exceeds its
+// blocking allocation budget (perfbench.AllocBudgets). Timing is
+// reported but never enforced: wall-clock numbers depend on the
+// machine, allocation counts do not.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/perfbench"
+)
+
+func main() {
+	out := flag.String("o", "BENCH_2.json", "report output path (\"-\" for stdout)")
+	check := flag.Bool("check", false, "fail when a blocking allocation budget is exceeded")
+	flag.Parse()
+
+	results := perfbench.Run()
+	report := perfbench.Report{
+		GoVersion:    runtime.Version(),
+		Workloads:    results,
+		PreChange:    perfbench.PreChange,
+		AllocBudgets: perfbench.AllocBudgets,
+	}
+
+	fmt.Printf("%-32s %14s %12s %10s\n", "workload", "ns/op", "allocs/op", "B/op")
+	failed := false
+	for _, r := range results {
+		if r.Iterations == 0 {
+			fmt.Fprintf(os.Stderr, "swmbench: workload %s failed to run\n", r.Name)
+			failed = true
+			continue
+		}
+		line := fmt.Sprintf("%-32s %14.0f %12d %10d", r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+		if base, ok := perfbench.PreChange[r.Name]; ok && base.AllocsPerOp > 0 {
+			line += fmt.Sprintf("   (pre-change: %.0f ns/op, %d allocs/op)", base.NsPerOp, base.AllocsPerOp)
+		}
+		if budget, ok := perfbench.AllocBudgets[r.Name]; ok && r.AllocsPerOp > budget {
+			line += fmt.Sprintf("   OVER BUDGET (%d > %d allocs/op)", r.AllocsPerOp, budget)
+			if *check {
+				failed = true
+			}
+		}
+		fmt.Println(line)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swmbench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "swmbench: %v\n", err)
+		os.Exit(1)
+	} else {
+		fmt.Printf("\nreport written to %s\n", *out)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -134,8 +134,9 @@ func TestFigure3Panner(t *testing.T) {
 	}
 	wm.Pump()
 	wm.PanTo(scr, 25, 25)
+	wm.Pump() // flush the coalesced viewport move before rendering
 	p := scr.Panner()
-	if got := len(p.Miniatures()); got != 6 {
+	if got := p.MiniatureCount(); got != 6 {
 		t.Fatalf("%d miniatures, want 6", got)
 	}
 	art, err := raster.RenderWindow(wm.Conn(), p.Window(), raster.Options{ScaleX: 2, ScaleY: 4})

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/clients"
+)
+
+// Allocation regression guards for the incremental panner and the
+// batched request pipeline. Timing benchmarks (cmd/swmbench,
+// BENCH_*.json) are advisory because wall-clock depends on the
+// machine; allocation counts are deterministic, so these run as plain
+// tests and fail the ordinary test suite when a change reintroduces
+// O(all-miniatures) rebuild work on the hot paths.
+
+// TestPanStepAllocBudget bounds one pan step (PanBy + pump) against a
+// desktop with 25 clients. Before the incremental panner this cost ~50
+// allocs/op (every miniature destroyed and recreated); now the sync is
+// a no-op diff and the step allocates (nearly) nothing.
+func TestPanStepAllocBudget(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true, EnablePanner: true})
+	scr := wm.Screens()[0]
+	for i := 0; i < 25; i++ {
+		launch(t, s, wm, clients.Config{
+			Instance: fmt.Sprintf("pan%d", i), Class: "Bench",
+			Width: 200, Height: 150, X: 10 + i, Y: 10 + i,
+		})
+	}
+	wm.Pump()
+
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		i++
+		wm.PanTo(scr, (i%8)*256+(i%2), (i%5)*128)
+		wm.Pump()
+	})
+	const budget = 8 // pre-change: ~50
+	if avg > budget {
+		t.Errorf("pan step = %.1f allocs/op, budget %d — did the panner go back to full rebuilds?", avg, budget)
+	}
+}
+
+// TestMoveStepAllocBudget bounds one interactive move step (move +
+// pump) with the panner mirroring 25 clients. Pre-change: ~76
+// allocs/op; the budget enforces at least the 2× reduction the
+// incremental sync bought.
+func TestMoveStepAllocBudget(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true, EnablePanner: true})
+	for i := 0; i < 25; i++ {
+		launch(t, s, wm, clients.Config{
+			Instance: fmt.Sprintf("mv%d", i), Class: "Bench",
+			Width: 200, Height: 150, X: 10 + i, Y: 10 + i,
+		})
+	}
+	wm.Pump()
+	c := wm.Clients()[0]
+
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		i++
+		wm.MoveClientTo(c, 100+i%500, 100+i%400)
+		wm.Pump()
+	})
+	const budget = 38 // pre-change: 76; ≥2× reduction enforced
+	if avg > budget {
+		t.Errorf("move step = %.1f allocs/op, budget %d", avg, budget)
+	}
+}
+
+// TestManageCycleAllocBudget bounds a full client lifetime: launch,
+// manage, withdraw, close. This is dominated by decoration building
+// and is expected to be in the hundreds; the budget catches a change
+// that makes managing one client allocate proportionally to the
+// number of already-managed clients.
+func TestManageCycleAllocBudget(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true, EnablePanner: true})
+	for i := 0; i < 10; i++ {
+		launch(t, s, wm, clients.Config{
+			Instance: fmt.Sprintf("bg%d", i), Class: "Bench",
+			Width: 200, Height: 150, X: 10 + i, Y: 10 + i,
+		})
+	}
+	wm.Pump()
+
+	i := 0
+	avg := testing.AllocsPerRun(50, func() {
+		i++
+		app, err := clients.Launch(s, clients.Config{
+			Instance: fmt.Sprintf("cycle%d", i), Class: "Bench",
+			Width: 200, Height: 150, X: 40, Y: 40,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wm.Pump()
+		if err := app.Withdraw(); err != nil {
+			t.Fatal(err)
+		}
+		wm.Pump()
+		app.Close()
+		wm.Pump()
+	})
+	const budget = 1500
+	if avg > budget {
+		t.Errorf("manage cycle = %.1f allocs/op, budget %d", avg, budget)
+	}
+}

@@ -121,6 +121,10 @@ type Screen struct {
 	DesktopW, DesktopH         int
 	PanX, PanY                 int
 	panner                     *Panner
+	// pannerDirty and viewDirty coalesce redraw work: call sites mark
+	// them and flushRedraw settles the panner/scrollbars once per event
+	// burst (see markPannerDirty/markViewDirty).
+	pannerDirty, viewDirty     bool
 	hscroll, vscroll           xproto.XID
 	rootBindings               *bindings.Table
 	rootPanels                 []*Client
@@ -310,6 +314,7 @@ func New(server *xserver.Server, opts Options) (*WM, error) {
 	for _, scr := range wm.screens {
 		wm.adoptExisting(scr)
 	}
+	wm.flushRedraw()
 	return wm, nil
 }
 
@@ -541,18 +546,22 @@ func (wm *WM) loadHintTable() {
 }
 
 // Pump synchronously processes all pending events and returns how many
-// were handled. Deterministic driver for tests and benchmarks.
+// were handled, then settles coalesced redraw work (panner sync,
+// scrollbar labels) once for the whole burst. Deterministic driver for
+// tests and benchmarks.
 func (wm *WM) Pump() int {
 	wm.sweepOrphans()
 	n := 0
 	for {
 		ev, ok := wm.conn.PollEvent()
 		if !ok {
-			return n
+			break
 		}
 		wm.handleEvent(ev)
 		n++
 	}
+	wm.flushRedraw()
+	return n
 }
 
 // Run processes events until f.quit or f.restart executes (or the
@@ -564,9 +573,42 @@ func (wm *WM) Run() (restart bool) {
 			return false
 		}
 		wm.handleEvent(ev)
+		// Drain the rest of the burst before settling redraw work, so a
+		// storm of motion/configure events costs one panner sync rather
+		// than one per event.
+		for !wm.quitRequested && !wm.restartRequested {
+			ev, ok := wm.conn.PollEvent()
+			if !ok {
+				break
+			}
+			wm.handleEvent(ev)
+		}
 		wm.sweepOrphans()
+		wm.flushRedraw()
 	}
 	return wm.restartRequested
+}
+
+// flushRedraw settles dirty redraw state: at most one panner sync and
+// one viewport/scrollbar refresh per screen, regardless of how many
+// events marked them since the last flush.
+func (wm *WM) flushRedraw() {
+	for _, scr := range wm.screens {
+		synced := false
+		if scr.pannerDirty {
+			scr.pannerDirty = false
+			wm.syncPanner(scr)
+			synced = true
+		}
+		if scr.viewDirty {
+			scr.viewDirty = false
+			// syncPanner already repositioned the viewport outline.
+			if !synced {
+				wm.updatePannerViewport(scr)
+			}
+			wm.updateScrollbars(scr)
+		}
+	}
 }
 
 // Shutdown releases all clients: each client window is reparented back

@@ -136,6 +136,8 @@ func TestResizeDesktopShrinkReclampsPanAndScrollbars(t *testing.T) {
 	if scr.PanX != 100 || scr.PanY != 100 {
 		t.Fatalf("in-bounds pan moved to (%d,%d)", scr.PanX, scr.PanY)
 	}
+	// Scrollbar redraws coalesce behind the view-dirty bit; flush them.
+	wm.Pump()
 	snap, err := wm.Conn().Snapshot(scr.hscroll)
 	if err != nil {
 		t.Fatal(err)

@@ -81,8 +81,7 @@ func (wm *WM) PanTo(scr *Screen, x, y int) {
 	}
 	scr.PanX, scr.PanY = x, y
 	wm.check(nil, "pan desktop", wm.conn.MoveWindow(scr.Desktop, -x, -y))
-	wm.updatePannerViewport(scr)
-	wm.updateScrollbars(scr)
+	wm.markViewDirty(scr)
 }
 
 // PanBy scrolls relative to the current position.
@@ -105,13 +104,14 @@ func (wm *WM) ResizeDesktop(scr *Screen, w, h int) {
 	// early-outs when the clamped offset equals the current one, which
 	// is exactly the case after a shrink that leaves PanX/PanY inside
 	// the new bounds but the scrollbars and panner drawn for the old
-	// size — so move and redraw unconditionally here.
+	// size — so move and mark unconditionally here. (This used to call
+	// updatePannerViewport directly and then again via the full panner
+	// rebuild; the dirty bits collapse both into one flush.)
 	scr.PanX = clamp(scr.PanX, 0, w-scr.Width)
 	scr.PanY = clamp(scr.PanY, 0, h-scr.Height)
 	wm.check(nil, "pan desktop", wm.conn.MoveWindow(scr.Desktop, -scr.PanX, -scr.PanY))
-	wm.updatePannerViewport(scr)
-	wm.updateScrollbars(scr)
-	wm.updatePanner(scr)
+	wm.markViewDirty(scr)
+	wm.markPannerDirty(scr)
 }
 
 // Stick pins a client to the glass (§6.2): its frame is reparented from
@@ -131,6 +131,7 @@ func (wm *WM) Stick(c *Client) error {
 	c.FrameRect.X -= scr.PanX
 	c.FrameRect.Y -= scr.PanY
 	c.Sticky = true
+	wm.markPannerDirty(scr)
 	return wm.redecorate(c)
 }
 
@@ -147,6 +148,7 @@ func (wm *WM) Unstick(c *Client) error {
 	c.FrameRect.X += scr.PanX
 	c.FrameRect.Y += scr.PanY
 	c.Sticky = false
+	wm.markPannerDirty(scr)
 	return wm.redecorate(c)
 }
 

@@ -511,7 +511,8 @@ func fRefresh(wm *WM, ctx *FuncContext, inv bindings.Invocation) error {
 	// On a real server this forces exposure of every window; our model
 	// repaints implicitly, so refresh just touches the panner.
 	for _, scr := range wm.screens {
-		wm.updatePanner(scr)
+		wm.markPannerDirty(scr)
+		wm.markViewDirty(scr)
 	}
 	return nil
 }

@@ -84,7 +84,7 @@ func TestNoMapLeaksAtScale(t *testing.T) {
 			baselineObjWins, got)
 	}
 	// The panner shows no stale miniatures.
-	if got := len(wm.screens[0].Panner().Miniatures()); got != 0 {
+	if got := wm.screens[0].Panner().MiniatureCount(); got != 0 {
 		t.Errorf("%d stale panner miniatures", got)
 	}
 }

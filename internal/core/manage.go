@@ -229,7 +229,7 @@ func (wm *WM) Manage(win xproto.XID) (*Client, error) {
 	}
 
 	wm.sendSyntheticConfigure(c)
-	wm.updatePanner(scr)
+	wm.markPannerDirty(scr)
 	if _, still := wm.clients[win]; !still {
 		// A post-registration request hit the death race and the client
 		// was already unmanaged; it no longer exists for the caller.
@@ -440,7 +440,7 @@ func (wm *WM) Unmanage(c *Client, clientGone bool) {
 	if wm.resizing != nil && wm.resizing.client == c {
 		wm.resizing = nil
 	}
-	wm.updatePanner(c.scr)
+	wm.markPannerDirty(c.scr)
 }
 
 // registerObjectWindows indexes every decoration object window for
@@ -553,7 +553,7 @@ func (wm *WM) moveFrame(c *Client, x, y int) {
 	c.FrameRect.X, c.FrameRect.Y = x, y
 	wm.check(c, "move frame", wm.conn.MoveWindow(c.frame.Window, x, y))
 	wm.sendSyntheticConfigure(c)
-	wm.updatePanner(c.scr)
+	wm.markPannerDirty(c.scr)
 }
 
 // resizeClient resizes the client window and rebuilds the frame layout
@@ -576,7 +576,7 @@ func (wm *WM) resizeClient(c *Client, w, h int) {
 	c.FrameRect.Height = c.frame.Rect.Height
 	wm.syncResizeCorners(c)
 	wm.sendSyntheticConfigure(c)
-	wm.updatePanner(c.scr)
+	wm.markPannerDirty(c.scr)
 }
 
 // screenOf finds the Screen whose root is an ancestor of win.

@@ -100,7 +100,8 @@ func (wm *WM) SelectDesktop(scr *Screen, n int) error {
 		// offset even when (px,py) == clamped value.
 		wm.check(nil, "pan desktop", wm.conn.MoveWindow(target, -scr.PanX, -scr.PanY))
 	}
-	wm.updatePanner(scr)
+	wm.markPannerDirty(scr)
+	wm.markViewDirty(scr)
 	return nil
 }
 
@@ -158,7 +159,7 @@ func (wm *WM) SendToDesktop(c *Client, n int) error {
 	wm.check(c, "set SWM_ROOT", wm.conn.ChangeProperty(c.Win, wm.conn.InternAtom("SWM_ROOT"),
 		wm.conn.InternAtom("WINDOW"), 32, xproto.PropModeReplace, data))
 	wm.sendSyntheticConfigure(c)
-	wm.updatePanner(scr)
+	wm.markPannerDirty(scr)
 	return nil
 }
 

@@ -184,7 +184,7 @@ func TestPannerTracksDesktopSwitch(t *testing.T) {
 	scr := wm.screens[0]
 	launch(t, s, wm, clients.Config{Instance: "a", Class: "A", Width: 300, Height: 200,
 		NormalHints: &icccm.NormalHints{Flags: icccm.USPosition, X: 400, Y: 300}})
-	if got := len(scr.Panner().Miniatures()); got != 1 {
+	if got := scr.Panner().MiniatureCount(); got != 1 {
 		t.Fatalf("minis on desktop 0: %d", got)
 	}
 	if err := wm.SelectDesktop(scr, 1); err != nil {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/icccm"
 	"repro/internal/xproto"
+	"repro/internal/xserver"
 )
 
 // Panner is the Virtual Desktop panner (paper §6.1): a miniature
@@ -27,6 +28,17 @@ type Panner struct {
 
 	viewport xproto.XID             // viewport outline child window
 	minis    map[xproto.XID]*Client // miniature child -> client
+	// miniOf is the reverse index: the miniature mirroring each client,
+	// with the geometry and label last pushed to the server so syncPanner
+	// can skip clients whose mirrored state is unchanged.
+	miniOf map[*Client]*miniature
+}
+
+// miniature is the panner-side record of one client's miniature window.
+type miniature struct {
+	win   xproto.XID
+	rect  xproto.Rect
+	label string
 }
 
 // createPanner builds and manages the panner window.
@@ -48,7 +60,8 @@ func (wm *WM) createPanner(scr *Screen) error {
 	}
 	p := &Panner{
 		wm: wm, scr: scr, content: content, scale: scale,
-		minis: make(map[xproto.XID]*Client),
+		minis:  make(map[xproto.XID]*Client),
+		miniOf: make(map[*Client]*miniature),
 	}
 	wm.check(nil, "panner class", icccm.SetClass(wm.conn, content, icccm.Class{Instance: "panner", Class: "SwmPanner"}))
 	wm.check(nil, "panner name", icccm.SetName(wm.conn, content, "Virtual Desktop"))
@@ -80,7 +93,7 @@ func (wm *WM) createPanner(scr *Screen) error {
 		return err
 	}
 	p.viewport = vp
-	wm.updatePanner(scr)
+	wm.syncPanner(scr)
 	return nil
 }
 
@@ -105,43 +118,202 @@ func (p *Panner) Miniatures() map[xproto.XID]*Client {
 	return out
 }
 
-// updatePanner rebuilds the miniature windows to match current client
-// geometry. Sticky clients and the panner itself are not shown: they do
-// not live on the desktop.
-func (wm *WM) updatePanner(scr *Screen) {
+// MiniatureCount reports the number of miniatures without copying the
+// mapping the way Miniatures does.
+func (p *Panner) MiniatureCount() int { return len(p.minis) }
+
+// markPannerDirty schedules a panner sync for the next flushRedraw.
+// The ~10 places that used to rebuild the panner inline (manage,
+// unmanage, move, resize, iconify, desktop switch, ...) now just set
+// this bit, so an event burst costs one sync instead of one rebuild
+// per event.
+func (wm *WM) markPannerDirty(scr *Screen) {
+	if scr.panner != nil {
+		scr.pannerDirty = true
+	}
+}
+
+// markViewDirty schedules a viewport/scrollbar refresh (pan position
+// changed but client geometry did not).
+func (wm *WM) markViewDirty(scr *Screen) {
+	scr.viewDirty = true
+}
+
+// miniShown reports whether c is mirrored by a miniature on scr's
+// panner. Sticky clients and the panner itself are not shown: they do
+// not live on the desktop. Iconified clients are hidden with their
+// frames.
+func miniShown(c *Client, scr *Screen) bool {
+	return c.scr == scr && !c.Sticky && !c.isPanner && c.State == xproto.NormalState
+}
+
+// miniRect is the desktop-to-panner projection of the client's frame.
+func (p *Panner) miniRect(c *Client) xproto.Rect {
+	return xproto.Rect{
+		X:      c.FrameRect.X / p.scale,
+		Y:      c.FrameRect.Y / p.scale,
+		Width:  max(c.FrameRect.Width/p.scale, 2),
+		Height: max(c.FrameRect.Height/p.scale, 2),
+	}
+}
+
+// syncPanner reconciles the miniatures with the current client set:
+// create on appear, destroy on leave, move/resize/relabel only when
+// the mirrored state actually changed. All requests for one sync ride
+// one batch — one server lock acquisition however many miniatures
+// changed. (The previous implementation destroyed and recreated every
+// miniature on every call, at every call site.) The exception: when a
+// miniature is created, its fill and map ops go in a second batch
+// recorded only if the create succeeded — recording them blindly
+// against the pre-allocated XID would turn one failed create into a
+// cascade of BadWindow errors on a window that never existed.
+func (wm *WM) syncPanner(scr *Screen) {
 	p := scr.panner
 	if p == nil {
 		return
 	}
-	for mini := range p.minis {
-		wm.destroyWindow(mini)
-		delete(p.minis, mini)
+	b := wm.conn.Batch()
+	type pendingDestroy struct {
+		win xproto.XID
+		ck  *xserver.Cookie
 	}
+	type pendingCreate struct {
+		c  *Client
+		ck *xserver.Cookie
+	}
+	type pendingUpdate struct {
+		c  *Client
+		ck *xserver.Cookie
+	}
+	var destroys []pendingDestroy
+	var creates []pendingCreate
+	var updates []pendingUpdate
+
+	// Pass 1: drop miniatures whose client left the desktop (unmanaged,
+	// iconified, stuck, moved to another screen).
+	for c, m := range p.miniOf {
+		if wm.clients[c.Win] == c && miniShown(c, scr) {
+			continue
+		}
+		destroys = append(destroys, pendingDestroy{m.win, b.DestroyWindow(m.win)})
+		delete(p.miniOf, c)
+		delete(p.minis, m.win)
+	}
+	// Pass 2: create missing miniatures, update changed ones.
 	for _, c := range wm.clients {
-		if c.scr != scr || c.Sticky || c.isPanner || c.State != xproto.NormalState {
+		if !miniShown(c, scr) {
 			continue
 		}
-		r := xproto.Rect{
-			X:      c.FrameRect.X / p.scale,
-			Y:      c.FrameRect.Y / p.scale,
-			Width:  max(c.FrameRect.Width/p.scale, 2),
-			Height: max(c.FrameRect.Height/p.scale, 2),
-		}
-		mini, err := wm.conn.CreateWindow(p.content, r, 0, xserverAttrs(miniLabel(c)))
-		if err != nil {
-			wm.check(nil, "create miniature", err)
+		r := p.miniRect(c)
+		m := p.miniOf[c]
+		if m == nil {
+			label := miniLabel(c)
+			ck := b.CreateWindow(p.content, r, 0, xserverAttrs(label))
+			p.miniOf[c] = &miniature{win: ck.Window(), rect: r, label: label}
+			p.minis[ck.Window()] = c
+			creates = append(creates, pendingCreate{c, ck})
 			continue
 		}
-		wm.check(nil, "fill miniature", wm.conn.SetWindowFill(mini, '#'))
-		if err := wm.conn.MapWindow(mini); err != nil {
-			// Don't keep an unmapped, untracked miniature alive.
-			wm.check(nil, "map miniature", err)
-			wm.destroyWindow(mini)
-			continue
+		if m.rect != r {
+			updates = append(updates, pendingUpdate{c, b.MoveResizeWindow(m.win, r)})
+			m.rect = r
 		}
-		p.minis[mini] = c
+		if label := miniLabel(c); label != m.label {
+			updates = append(updates, pendingUpdate{c, b.SetWindowLabel(m.win, label)})
+			m.label = label
+		}
 	}
-	wm.updatePannerViewport(scr)
+	// The viewport outline rides along: it must stay above any newly
+	// created miniatures, so when there are creates it moves to the
+	// follow-up batch that realizes them.
+	var vpMove, vpRaise *xserver.Cookie
+	recordViewport := func(vb *xserver.Batch) {
+		if p.viewport != xproto.None {
+			vpMove = vb.MoveWindow(p.viewport, scr.PanX/p.scale, scr.PanY/p.scale)
+			vpRaise = vb.RaiseWindow(p.viewport)
+		}
+	}
+	if len(creates) == 0 {
+		recordViewport(b)
+	}
+
+	if b.Flush() != nil {
+		// Degraded path: some op failed (fault injection, death races).
+		// Resolve per-cookie, mirroring what the unbatched code did.
+		for _, d := range destroys {
+			if err := d.ck.Err(); err != nil {
+				wm.addOrphan(d.win)
+				wm.logf("destroy miniature 0x%x: %v (queued for retry)", uint32(d.win), err)
+			}
+		}
+		retry := false
+		for _, cr := range creates {
+			if err := cr.ck.Err(); err != nil {
+				wm.check(nil, "create miniature", err)
+				wm.dropMini(p, cr.c)
+			}
+		}
+		for _, u := range updates {
+			if err := u.ck.Err(); err != nil {
+				// The miniature may be gone under us (e.g. an injected
+				// KillTarget); drop it and let the next sync recreate it.
+				wm.check(nil, "update miniature", err)
+				if m := p.miniOf[u.c]; m != nil {
+					wm.destroyWindow(m.win)
+					wm.dropMini(p, u.c)
+				}
+				retry = true
+			}
+		}
+		if retry {
+			scr.pannerDirty = true
+		}
+	}
+
+	if len(creates) > 0 {
+		type pendingRealize struct {
+			c             *Client
+			fillCk, mapCk *xserver.Cookie
+		}
+		b2 := wm.conn.Batch()
+		var realizes []pendingRealize
+		for _, cr := range creates {
+			if cr.ck.Err() != nil || p.miniOf[cr.c] == nil {
+				continue
+			}
+			realizes = append(realizes, pendingRealize{
+				cr.c, b2.SetWindowFill(cr.ck.Window(), '#'), b2.MapWindow(cr.ck.Window()),
+			})
+		}
+		recordViewport(b2)
+		if b2.Flush() != nil {
+			for _, rz := range realizes {
+				wm.check(nil, "fill miniature", rz.fillCk.Err())
+				if err := rz.mapCk.Err(); err != nil {
+					// Don't keep an unmapped, untracked miniature alive.
+					wm.check(nil, "map miniature", err)
+					if m := p.miniOf[rz.c]; m != nil {
+						wm.destroyWindow(m.win)
+					}
+					wm.dropMini(p, rz.c)
+				}
+			}
+		}
+	}
+	if vpMove != nil {
+		wm.check(nil, "move panner viewport", vpMove.Err())
+	}
+	if vpRaise != nil {
+		wm.check(nil, "raise panner viewport", vpRaise.Err())
+	}
+}
+
+// dropMini removes c's miniature from both panner indexes.
+func (wm *WM) dropMini(p *Panner, c *Client) {
+	if m := p.miniOf[c]; m != nil {
+		delete(p.minis, m.win)
+		delete(p.miniOf, c)
+	}
 }
 
 func miniLabel(c *Client) string {
@@ -194,7 +366,6 @@ func (p *Panner) handleRelease(button, x, y int) {
 	c := wm.moveState.client
 	wm.moveState = nil
 	wm.moveFrame(c, x*p.scale, y*p.scale)
-	wm.updatePanner(p.scr)
 }
 
 // miniAt returns the miniature window containing the panner-relative

@@ -90,26 +90,31 @@ func (wm *WM) confirmDead(win xproto.XID, err error) bool {
 
 // check classifies an X protocol error from a request made on behalf of
 // client c (nil when no client is involved). A BadWindow naming the
-// client's own window means the client destroyed it between the event
-// that named it and our request — the asynchronous death race — so the
-// client is cleanly unmanaged. Everything else is logged and survived;
-// per-code counting happens in the connection-level error handler
-// installed by New. It reports whether the caller may keep operating on
-// the client (false once the client window is gone).
+// client's own window, corroborated by a probe, means the client
+// destroyed it between the event that named it and our request — the
+// asynchronous death race — so the client is cleanly unmanaged. An
+// uncorroborated BadWindow is treated as spurious (fault injection,
+// server hiccup) and survived: unmanaging a live client on one bad
+// reply would tear down a healthy window. Everything else is logged and
+// survived; per-code counting happens in the connection-level error
+// handler installed by New. It reports whether the caller may keep
+// operating on the client (false once the client window is gone).
 func (wm *WM) check(c *Client, op string, err error) bool {
 	if err == nil {
 		return true
 	}
 	wm.logf("%s: %v", op, err)
-	if c != nil {
-		var xe *xproto.XError
-		if errors.As(err, &xe) && xe.Code == xproto.BadWindow && xe.Resource == c.Win {
-			if _, managed := wm.clients[c.Win]; managed {
-				wm.noteDeathRace()
-				wm.unmanageDead(c)
+	if c != nil && deadWindow(c.Win, err) {
+		if _, managed := wm.clients[c.Win]; managed {
+			if !wm.confirmDead(c.Win, err) {
+				// The window is demonstrably alive; the failed request
+				// is lost but the client keeps working.
+				return true
 			}
-			return false
+			wm.noteDeathRace()
+			wm.unmanageDead(c)
 		}
+		return false
 	}
 	return true
 }

@@ -1,0 +1,224 @@
+// Package perfbench defines the performance workloads the repository
+// tracks across changes, runnable both as ordinary `go test -bench`
+// benchmarks (see bench_test.go at the repo root) and from the
+// cmd/swmbench binary, which measures every workload and writes a
+// BENCH_<n>.json report.
+//
+// Each workload is a plain benchmark function so the two entry points
+// cannot drift apart. The recorded PreChange numbers are the same
+// workloads measured on the tree immediately before the batched
+// request pipeline and incremental panner damage went in; AllocBudgets
+// are the blocking regression ceilings derived from them.
+package perfbench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline/gwm"
+	"repro/internal/baseline/twm"
+	"repro/internal/clients"
+	"repro/internal/core"
+	"repro/internal/templates"
+	"repro/internal/xserver"
+)
+
+// Baseline is a recorded measurement a run is compared against.
+type Baseline struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// PreChange holds the workload numbers measured before the batched
+// pipeline / incremental panner change, on the same machine class the
+// CI bench job uses. Timing is environment-sensitive and therefore
+// advisory; the allocation counts are deterministic and enforced via
+// AllocBudgets.
+var PreChange = map[string]Baseline{
+	"manage-100-clients": {NsPerOp: 33103595, AllocsPerOp: 81265},
+	"move-storm":         {NsPerOp: 51147, AllocsPerOp: 76},
+	"pan-storm":          {NsPerOp: 14842, AllocsPerOp: 50},
+}
+
+// AllocBudgets are blocking ceilings on allocs/op: at most half the
+// pre-change numbers, so a regression that undoes the incremental
+// panner or the batched pipeline fails the bench job even when timing
+// noise hides it.
+var AllocBudgets = map[string]int64{
+	"move-storm": 38,
+	"pan-storm":  25,
+}
+
+// Workload pairs a stable name (the key used in reports, PreChange and
+// AllocBudgets) with its benchmark body.
+type Workload struct {
+	Name  string
+	Bench func(b *testing.B)
+}
+
+// Workloads returns every tracked workload in report order.
+func Workloads() []Workload {
+	return []Workload{
+		{Name: "manage-100-clients", Bench: ManageClients(100)},
+		{Name: "move-storm", Bench: MoveStorm},
+		{Name: "pan-storm", Bench: PanStorm},
+		{Name: "wm-comparison/manage-25-twm", Bench: manage25(newTwmPump)},
+		{Name: "wm-comparison/manage-25-swm", Bench: manage25(newSwmPump)},
+		{Name: "wm-comparison/manage-25-gwm", Bench: manage25(newGwmPump)},
+	}
+}
+
+// Result is one measured workload.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the BENCH_<n>.json document.
+type Report struct {
+	GoVersion    string              `json:"go_version"`
+	Workloads    []Result            `json:"workloads"`
+	PreChange    map[string]Baseline `json:"pre_change"`
+	AllocBudgets map[string]int64    `json:"alloc_budgets"`
+}
+
+// Run measures every workload with the standard library's benchmark
+// driver and returns the results in report order.
+func Run() []Result {
+	out := make([]Result, 0, len(Workloads()))
+	for _, w := range Workloads() {
+		r := testing.Benchmark(w.Bench)
+		out = append(out, Result{
+			Name:        w.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(max(r.N, 1)),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return out
+}
+
+// newPannerWM builds the swm configuration the storm workloads run
+// against: Virtual Desktop plus panner (the subsystem the incremental
+// damage work targets).
+func newPannerWM(b *testing.B, s *xserver.Server) *core.WM {
+	b.Helper()
+	db, err := templates.Load(templates.OpenLook)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wm, err := core.New(s, core.Options{DB: db, VirtualDesktop: true, EnablePanner: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return wm
+}
+
+// launchN starts n standard bench clients and pumps once so they are
+// all managed.
+func launchN(b *testing.B, s *xserver.Server, pump func() int, n int) {
+	b.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := clients.Launch(s, clients.Config{
+			Instance: fmt.Sprintf("bench%d", i), Class: "Bench",
+			Width: 200, Height: 150, X: 10 + i, Y: 10 + i,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pump()
+}
+
+// ManageClients measures adopting n clients in one event-pump burst —
+// the WM-restart / session-restore shape. Setup (server, WM, client
+// launches) happens outside the timer; the measured region is the pump
+// that manages all n windows.
+func ManageClients(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s := xserver.NewServer()
+			wm := newPannerWM(b, s)
+			b.StartTimer()
+			launchN(b, s, wm.Pump, n)
+			b.StopTimer()
+			wm.Shutdown()
+		}
+	}
+}
+
+// MoveStorm measures an interactive drag: one client of 25 moved and
+// the event queue pumped per op, with the panner mirroring every step.
+func MoveStorm(b *testing.B) {
+	s := xserver.NewServer()
+	wm := newPannerWM(b, s)
+	launchN(b, s, wm.Pump, 25)
+	c := wm.Clients()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wm.MoveClientTo(c, 100+i%500, 100+i%400)
+		wm.Pump()
+	}
+}
+
+// PanStorm measures viewport scrolling across a populated desktop: one
+// pan plus a pump per op against 25 clients.
+func PanStorm(b *testing.B) {
+	s := xserver.NewServer()
+	wm := newPannerWM(b, s)
+	launchN(b, s, wm.Pump, 25)
+	scr := wm.Screens()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wm.PanTo(scr, (i%8)*256+(i%2), (i%5)*128)
+		wm.Pump()
+	}
+}
+
+// The E1 comparison (paper §8): the same manage-25 workload against
+// the three window managers built in this repository.
+
+func newSwmPump(b *testing.B, s *xserver.Server) (func() int, func()) {
+	wm := newPannerWM(b, s)
+	return wm.Pump, wm.Shutdown
+}
+
+func newTwmPump(b *testing.B, s *xserver.Server) (func() int, func()) {
+	b.Helper()
+	wm, err := twm.New(s, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return wm.Pump, wm.Shutdown
+}
+
+func newGwmPump(b *testing.B, s *xserver.Server) (func() int, func()) {
+	b.Helper()
+	wm, err := gwm.New(s, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return wm.Pump, wm.Shutdown
+}
+
+func manage25(mk func(b *testing.B, s *xserver.Server) (func() int, func())) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s := xserver.NewServer()
+			pump, shutdown := mk(b, s)
+			b.StartTimer()
+			launchN(b, s, pump, 25)
+			b.StopTimer()
+			shutdown()
+		}
+	}
+}

@@ -42,7 +42,8 @@ type entry struct {
 	seq        int // insertion order; later entries override equal specifiers
 }
 
-// DB is a resource database. The zero value is ready to use.
+// DB is a resource database. The zero value is ready to use. Like the
+// Xrm it models, a DB is not safe for concurrent use.
 type DB struct {
 	entries []entry
 	nextSeq int
@@ -50,6 +51,38 @@ type DB struct {
 	// the common case where queries differ only in their final resource
 	// name (e.g. "decoration", "bindings").
 	index map[string][]int
+	// memo caches Query results. The WM asks the same fully-qualified
+	// questions over and over (every decorate, every label sync), and
+	// the matching walk is the expensive part, so answers are kept until
+	// the next Put — any write may change any answer, so writes simply
+	// drop the whole cache.
+	memo map[string]memoResult
+}
+
+type memoResult struct {
+	value string
+	ok    bool
+}
+
+// memoKey encodes a names/classes query as one string. Component names
+// never contain control bytes, so the separators cannot collide.
+func memoKey(names, classes []string) string {
+	var sb strings.Builder
+	n := 1
+	for i := range names {
+		n += len(names[i]) + len(classes[i]) + 2
+	}
+	sb.Grow(n)
+	for _, s := range names {
+		sb.WriteString(s)
+		sb.WriteByte(0x00)
+	}
+	sb.WriteByte(0x01)
+	for _, s := range classes {
+		sb.WriteString(s)
+		sb.WriteByte(0x00)
+	}
+	return sb.String()
 }
 
 // New returns an empty database.
@@ -72,6 +105,7 @@ func (db *DB) Put(specifier, value string) error {
 	if db.index == nil {
 		db.index = make(map[string][]int)
 	}
+	db.memo = nil // any stored entry can change any query's answer
 	// Exact-specifier override.
 	for i := range db.entries {
 		if sameComponents(db.entries[i].components, comps) {
@@ -170,6 +204,19 @@ func (db *DB) Query(names, classes []string) (string, bool) {
 	if len(names) != len(classes) || len(names) == 0 {
 		return "", false
 	}
+	key := memoKey(names, classes)
+	if r, hit := db.memo[key]; hit {
+		return r.value, r.ok
+	}
+	value, ok := db.query(names, classes)
+	if db.memo == nil {
+		db.memo = make(map[string]memoResult)
+	}
+	db.memo[key] = memoResult{value, ok}
+	return value, ok
+}
+
+func (db *DB) query(names, classes []string) (string, bool) {
 	best := -1
 	var bestScore []int
 	consider := func(i int) {

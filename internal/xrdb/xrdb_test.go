@@ -430,3 +430,78 @@ func TestPlainLoadIgnoresDirectives(t *testing.T) {
 		t.Errorf("Len = %d", db.Len())
 	}
 }
+
+// --- Query memoization ------------------------------------------------------
+
+func TestQueryMemoInvalidatedByPut(t *testing.T) {
+	db := New()
+	db.MustPut("swm*decoration", "standard")
+	names := []string{"swm", "screen0", "xclock", "decoration"}
+	classes := []string{"Swm", "Screen0", "XClock", "Decoration"}
+	if v, ok := db.Query(names, classes); !ok || v != "standard" {
+		t.Fatalf("Query = %q, %v", v, ok)
+	}
+	// Repeat query is served from the memo; same answer.
+	if v, ok := db.Query(names, classes); !ok || v != "standard" {
+		t.Fatalf("memoized Query = %q, %v", v, ok)
+	}
+	// A more specific Put must not be shadowed by the cached answer.
+	db.MustPut("swm*xclock.decoration", "shapeit")
+	if v, ok := db.Query(names, classes); !ok || v != "shapeit" {
+		t.Errorf("Query after Put = %q, %v; stale memo?", v, ok)
+	}
+	// Negative answers are cached and invalidated too.
+	missN := []string{"swm", "nothing"}
+	missC := []string{"Swm", "Nothing"}
+	if _, ok := db.Query(missN, missC); ok {
+		t.Fatal("unexpected match")
+	}
+	db.MustPut("swm.nothing", "now-set")
+	if v, ok := db.Query(missN, missC); !ok || v != "now-set" {
+		t.Errorf("Query after filling a cached miss = %q, %v", v, ok)
+	}
+}
+
+func TestQueryMemoInvalidatedByLoad(t *testing.T) {
+	db := New()
+	db.MustPut("swm*a", "1")
+	names, classes := []string{"swm", "a"}, []string{"Swm", "A"}
+	if v, _ := db.Query(names, classes); v != "1" {
+		t.Fatalf("Query = %q", v)
+	}
+	if err := db.LoadString("swm.a: 2\n"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := db.Query(names, classes); v != "2" {
+		t.Errorf("Query after Load = %q, want 2", v)
+	}
+}
+
+func TestQueryMemoCloneIsIndependent(t *testing.T) {
+	db := New()
+	db.MustPut("swm*a", "base")
+	names, classes := []string{"swm", "a"}, []string{"Swm", "A"}
+	db.Query(names, classes) // warm the memo
+	cl := db.Clone()
+	cl.MustPut("swm.a", "override")
+	if v, _ := cl.Query(names, classes); v != "override" {
+		t.Errorf("clone Query = %q, want override", v)
+	}
+	if v, _ := db.Query(names, classes); v != "base" {
+		t.Errorf("original Query = %q, want base", v)
+	}
+}
+
+func TestQueryMemoKeyCollision(t *testing.T) {
+	// Two different queries whose joined text could collide under a
+	// naive separator scheme must stay distinct.
+	db := New()
+	db.MustPut("a.b", "ab")
+	db.MustPut("ab", "flat")
+	if v, ok := db.Query([]string{"a", "b"}, []string{"A", "B"}); !ok || v != "ab" {
+		t.Fatalf("Query a.b = %q, %v", v, ok)
+	}
+	if v, ok := db.Query([]string{"ab"}, []string{"AB"}); !ok || v != "flat" {
+		t.Errorf("Query ab = %q, %v", v, ok)
+	}
+}

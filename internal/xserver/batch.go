@@ -1,0 +1,284 @@
+package xserver
+
+import (
+	"errors"
+
+	"repro/internal/xproto"
+)
+
+// Batch collects window requests client-side and applies them to the
+// server under a single exclusive lock acquisition — the Xlib request
+// pipeline: callers queue requests, get back cookies immediately, and
+// learn about errors only after the flush, exactly as Xlib reports
+// asynchronous protocol errors. A batch of N ops costs one lock
+// round-trip instead of N, which is what makes bulk redraws (the
+// panner rebuilding dozens of miniatures) cheap.
+//
+// CreateWindow allocates the new window's XID at record time (clients
+// own their ID space, as in XCB), so the cookie's Window() may be used
+// as the target of later ops in the same batch.
+//
+// A Batch is not safe for concurrent use and must be flushed at most
+// once. Ops apply in record order; an op that fails does not stop the
+// ones after it (each gets its own cookie error, mirroring the X wire
+// protocol, where every queued request is executed regardless of
+// earlier errors).
+type Batch struct {
+	conn    *Conn
+	ops     []batchOp
+	flushed bool
+}
+
+// ErrNotFlushed is returned by Cookie.Err for a batch that has not
+// been flushed yet.
+var ErrNotFlushed = errors.New("xserver: batch not flushed")
+
+// Cookie is the deferred result of one batched request. After the
+// batch is flushed, Err reports the op's protocol error (nil on
+// success). For CreateWindow cookies, Window returns the XID assigned
+// at record time; it is valid immediately.
+type Cookie struct {
+	major string
+	win   xproto.XID
+	err   error
+	done  bool
+}
+
+// Window returns the window the op targets — for CreateWindow, the
+// pre-allocated XID of the window being created.
+func (ck *Cookie) Window() xproto.XID { return ck.win }
+
+// Err returns the op's result: nil on success, the protocol error on
+// failure, or ErrNotFlushed before the batch is flushed.
+func (ck *Cookie) Err() error {
+	if !ck.done {
+		return ErrNotFlushed
+	}
+	return ck.err
+}
+
+// Major returns the request name of the op ("CreateWindow", ...).
+func (ck *Cookie) Major() string { return ck.major }
+
+type opKind uint8
+
+const (
+	opCreateWindow opKind = iota
+	opDestroyWindow
+	opMapWindow
+	opUnmapWindow
+	opReparentWindow
+	opConfigureWindow
+	opChangeProperty
+	opSetWindowLabel
+	opSetWindowFill
+)
+
+var opMajors = [...]string{
+	opCreateWindow:    "CreateWindow",
+	opDestroyWindow:   "DestroyWindow",
+	opMapWindow:       "MapWindow",
+	opUnmapWindow:     "UnmapWindow",
+	opReparentWindow:  "ReparentWindow",
+	opConfigureWindow: "ConfigureWindow",
+	opChangeProperty:  "ChangeProperty",
+	opSetWindowLabel:  "SetWindowLabel",
+	opSetWindowFill:   "SetWindowFill",
+}
+
+// batchOp is a recorded request: a tagged union rather than a closure
+// so recording an op costs one slice slot plus its cookie.
+type batchOp struct {
+	kind   opKind
+	id     xproto.XID // target window (pre-allocated for CreateWindow)
+	parent xproto.XID // CreateWindow parent / ReparentWindow new parent
+	x, y   int        // ReparentWindow destination
+	bw     int
+	rect   xproto.Rect
+	attrs  WindowAttributes
+	ch     xproto.WindowChanges
+	prop   xproto.Atom
+	typ    xproto.Atom
+	format int
+	mode   xproto.PropMode
+	data   []byte
+	label  string
+	fill   byte
+	ck     *Cookie
+}
+
+// faultTarget is the window fault injection attributes the op to,
+// matching the unbatched request methods (CreateWindow faults are
+// attributed to the parent).
+func (op *batchOp) faultTarget() xproto.XID {
+	if op.kind == opCreateWindow {
+		return op.parent
+	}
+	return op.id
+}
+
+// Batch starts an empty request batch on this connection.
+func (c *Conn) Batch() *Batch {
+	return &Batch{conn: c}
+}
+
+// Len reports the number of recorded ops.
+func (b *Batch) Len() int { return len(b.ops) }
+
+func (b *Batch) record(op batchOp) *Cookie {
+	if b.flushed {
+		panic("xserver: op recorded on flushed batch")
+	}
+	op.ck = &Cookie{major: opMajors[op.kind], win: op.id}
+	b.ops = append(b.ops, op)
+	return op.ck
+}
+
+// CreateWindow records a window creation. The new window's XID is
+// assigned now and returned via the cookie's Window(), so it can be
+// the target of later ops in the same batch.
+func (b *Batch) CreateWindow(parent xproto.XID, r xproto.Rect, borderWidth int, attrs WindowAttributes) *Cookie {
+	return b.record(batchOp{
+		kind: opCreateWindow, id: b.conn.server.allocID(),
+		parent: parent, rect: r, bw: borderWidth, attrs: attrs,
+	})
+}
+
+// DestroyWindow records a window destruction.
+func (b *Batch) DestroyWindow(id xproto.XID) *Cookie {
+	return b.record(batchOp{kind: opDestroyWindow, id: id})
+}
+
+// MapWindow records a map request (subject to SubstructureRedirect,
+// like the unbatched call).
+func (b *Batch) MapWindow(id xproto.XID) *Cookie {
+	return b.record(batchOp{kind: opMapWindow, id: id})
+}
+
+// UnmapWindow records an unmap request.
+func (b *Batch) UnmapWindow(id xproto.XID) *Cookie {
+	return b.record(batchOp{kind: opUnmapWindow, id: id})
+}
+
+// ReparentWindow records a reparent to newParent at (x, y).
+func (b *Batch) ReparentWindow(id, newParent xproto.XID, x, y int) *Cookie {
+	return b.record(batchOp{kind: opReparentWindow, id: id, parent: newParent, x: x, y: y})
+}
+
+// ConfigureWindow records a geometry/stacking change (subject to
+// SubstructureRedirect, like the unbatched call).
+func (b *Batch) ConfigureWindow(id xproto.XID, ch xproto.WindowChanges) *Cookie {
+	return b.record(batchOp{kind: opConfigureWindow, id: id, ch: ch})
+}
+
+// MoveWindow is shorthand for ConfigureWindow with CWX|CWY.
+func (b *Batch) MoveWindow(id xproto.XID, x, y int) *Cookie {
+	return b.ConfigureWindow(id, xproto.WindowChanges{Mask: xproto.CWX | xproto.CWY, X: x, Y: y})
+}
+
+// ResizeWindow is shorthand for ConfigureWindow with CWWidth|CWHeight.
+func (b *Batch) ResizeWindow(id xproto.XID, width, height int) *Cookie {
+	return b.ConfigureWindow(id, xproto.WindowChanges{Mask: xproto.CWWidth | xproto.CWHeight, Width: width, Height: height})
+}
+
+// MoveResizeWindow combines a move and a resize in one op.
+func (b *Batch) MoveResizeWindow(id xproto.XID, r xproto.Rect) *Cookie {
+	return b.ConfigureWindow(id, xproto.WindowChanges{
+		Mask: xproto.CWX | xproto.CWY | xproto.CWWidth | xproto.CWHeight,
+		X:    r.X, Y: r.Y, Width: r.Width, Height: r.Height,
+	})
+}
+
+// RaiseWindow raises the window to the top of its siblings.
+func (b *Batch) RaiseWindow(id xproto.XID) *Cookie {
+	return b.ConfigureWindow(id, xproto.WindowChanges{Mask: xproto.CWStackMode, StackMode: xproto.Above})
+}
+
+// LowerWindow lowers the window to the bottom of its siblings.
+func (b *Batch) LowerWindow(id xproto.XID) *Cookie {
+	return b.ConfigureWindow(id, xproto.WindowChanges{Mask: xproto.CWStackMode, StackMode: xproto.Below})
+}
+
+// ChangeProperty records a property change.
+func (b *Batch) ChangeProperty(id xproto.XID, prop, typ xproto.Atom, format int, mode xproto.PropMode, data []byte) *Cookie {
+	return b.record(batchOp{
+		kind: opChangeProperty, id: id,
+		prop: prop, typ: typ, format: format, mode: mode, data: data,
+	})
+}
+
+// SetWindowLabel records a raster label change.
+func (b *Batch) SetWindowLabel(id xproto.XID, label string) *Cookie {
+	return b.record(batchOp{kind: opSetWindowLabel, id: id, label: label})
+}
+
+// SetWindowFill records a raster fill change.
+func (b *Batch) SetWindowFill(id xproto.XID, fill byte) *Cookie {
+	return b.record(batchOp{kind: opSetWindowFill, id: id, fill: fill})
+}
+
+// Flush applies all recorded ops under one lock acquisition, in record
+// order. Every cookie is resolved; Flush returns the first op error
+// (or nil if all succeeded) so callers that don't need per-op
+// granularity can treat the whole batch as one request. Flushing an
+// empty batch is a no-op; flushing twice is an error.
+func (b *Batch) Flush() error {
+	if b.flushed {
+		return errors.New("xserver: batch flushed twice")
+	}
+	b.flushed = true
+	if len(b.ops) == 0 {
+		return nil
+	}
+	s := b.conn.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyBatchLocked(b.conn, b.ops)
+}
+
+// applyBatchLocked executes recorded ops on behalf of c. Each op runs
+// through the same fault-injection gate and *Locked helper as its
+// unbatched counterpart, so a batch is observationally identical to
+// the equivalent request sequence — including which faults fire and
+// which events are generated.
+func (s *Server) applyBatchLocked(c *Conn, ops []batchOp) error {
+	var first error
+	for i := range ops {
+		op := &ops[i]
+		err := c.faultLocked(op.ck.major, op.faultTarget())
+		if err == nil {
+			err = s.applyOpLocked(c, op)
+		}
+		op.ck.err = err
+		op.ck.done = true
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (s *Server) applyOpLocked(c *Conn, op *batchOp) error {
+	switch op.kind {
+	case opCreateWindow:
+		_, err := c.createWindowLocked(op.id, op.parent, op.rect, op.bw, op.attrs)
+		return err
+	case opDestroyWindow:
+		return c.destroyWindowLocked(op.id)
+	case opMapWindow:
+		return c.mapWindowLocked(op.id)
+	case opUnmapWindow:
+		return c.unmapWindowLocked(op.id)
+	case opReparentWindow:
+		return c.reparentWindowLocked(op.id, op.parent, op.x, op.y)
+	case opConfigureWindow:
+		return c.configureWindowLocked(op.id, op.ch)
+	case opChangeProperty:
+		return c.changePropertyLocked(op.id, op.prop, op.typ, op.format, op.mode, op.data)
+	case opSetWindowLabel:
+		return c.setWindowLabelLocked(op.id, op.label)
+	case opSetWindowFill:
+		return c.setWindowFillLocked(op.id, op.fill)
+	}
+	return nil
+}

@@ -1,0 +1,299 @@
+package xserver
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/xproto"
+)
+
+// buildSequential performs a fixed request sequence with individual
+// calls; buildBatched performs the identical sequence through one
+// Batch. Both return the actor and a watcher that selected
+// SubstructureNotify on the root before any requests ran.
+func equivalenceServer(t *testing.T) (*Server, *Conn, *Conn) {
+	t.Helper()
+	s := NewServer()
+	watcher := s.Connect("watcher")
+	root := s.Screens()[0].Root
+	if err := watcher.SelectInput(root, xproto.SubstructureNotifyMask); err != nil {
+		t.Fatalf("SelectInput: %v", err)
+	}
+	return s, s.Connect("actor"), watcher
+}
+
+// TestBatchSequentialEquivalence proves a batch is observationally
+// identical to the same request sequence issued one call at a time:
+// same window tree (snapshot), same event streams, same XIDs.
+func TestBatchSequentialEquivalence(t *testing.T) {
+	atomName := "WM_NAME"
+
+	// Sequential reference run.
+	_, ca, wa := equivalenceServer(t)
+	rootA := ca.server.screens[0].Root
+	nameA := ca.InternAtom(atomName)
+	frameA, err := ca.CreateWindow(rootA, xproto.Rect{X: 10, Y: 20, Width: 300, Height: 200}, 2, WindowAttributes{Label: "frame"})
+	if err != nil {
+		t.Fatalf("CreateWindow: %v", err)
+	}
+	childA, err := ca.CreateWindow(frameA, xproto.Rect{X: 1, Y: 18, Width: 298, Height: 181}, 0, WindowAttributes{Fill: '.'})
+	if err != nil {
+		t.Fatalf("CreateWindow child: %v", err)
+	}
+	if err := ca.ChangeProperty(childA, nameA, nameA, 8, xproto.PropModeReplace, []byte("xterm")); err != nil {
+		t.Fatalf("ChangeProperty: %v", err)
+	}
+	if err := ca.MapWindow(frameA); err != nil {
+		t.Fatalf("MapWindow: %v", err)
+	}
+	if err := ca.MapWindow(childA); err != nil {
+		t.Fatalf("MapWindow child: %v", err)
+	}
+	if err := ca.MoveResizeWindow(frameA, xproto.Rect{X: 40, Y: 50, Width: 320, Height: 240}); err != nil {
+		t.Fatalf("MoveResizeWindow: %v", err)
+	}
+	if err := ca.SetWindowLabel(frameA, "frame*"); err != nil {
+		t.Fatalf("SetWindowLabel: %v", err)
+	}
+	if err := ca.RaiseWindow(frameA); err != nil {
+		t.Fatalf("RaiseWindow: %v", err)
+	}
+	if err := ca.ReparentWindow(childA, rootA, 5, 6); err != nil {
+		t.Fatalf("ReparentWindow: %v", err)
+	}
+	if err := ca.UnmapWindow(childA); err != nil {
+		t.Fatalf("UnmapWindow: %v", err)
+	}
+	if err := ca.DestroyWindow(childA); err != nil {
+		t.Fatalf("DestroyWindow: %v", err)
+	}
+
+	// Batched run: the same ops recorded up front, one flush.
+	_, cb, wb := equivalenceServer(t)
+	rootB := cb.server.screens[0].Root
+	nameB := cb.InternAtom(atomName)
+	b := cb.Batch()
+	frameCk := b.CreateWindow(rootB, xproto.Rect{X: 10, Y: 20, Width: 300, Height: 200}, 2, WindowAttributes{Label: "frame"})
+	childCk := b.CreateWindow(frameCk.Window(), xproto.Rect{X: 1, Y: 18, Width: 298, Height: 181}, 0, WindowAttributes{Fill: '.'})
+	b.ChangeProperty(childCk.Window(), nameB, nameB, 8, xproto.PropModeReplace, []byte("xterm"))
+	b.MapWindow(frameCk.Window())
+	b.MapWindow(childCk.Window())
+	b.MoveResizeWindow(frameCk.Window(), xproto.Rect{X: 40, Y: 50, Width: 320, Height: 240})
+	b.SetWindowLabel(frameCk.Window(), "frame*")
+	b.RaiseWindow(frameCk.Window())
+	b.ReparentWindow(childCk.Window(), rootB, 5, 6)
+	b.UnmapWindow(childCk.Window())
+	b.DestroyWindow(childCk.Window())
+	if childCk.Err() != ErrNotFlushed {
+		t.Fatalf("cookie resolved before flush: %v", childCk.Err())
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if frameCk.Err() != nil || childCk.Err() != nil {
+		t.Fatalf("cookie errors after flush: %v / %v", frameCk.Err(), childCk.Err())
+	}
+
+	if frameCk.Window() != frameA || childCk.Window() != childA {
+		t.Fatalf("XID divergence: batch (%#x, %#x) vs sequential (%#x, %#x)",
+			uint32(frameCk.Window()), uint32(childCk.Window()), uint32(frameA), uint32(childA))
+	}
+	snapA, err := ca.Snapshot(rootA)
+	if err != nil {
+		t.Fatalf("Snapshot A: %v", err)
+	}
+	snapB, err := cb.Snapshot(rootB)
+	if err != nil {
+		t.Fatalf("Snapshot B: %v", err)
+	}
+	if !reflect.DeepEqual(snapA, snapB) {
+		t.Errorf("tree state diverged:\nsequential: %+v\nbatched:    %+v", snapA, snapB)
+	}
+	if evA, evB := drain(wa), drain(wb); !reflect.DeepEqual(evA, evB) {
+		t.Errorf("watcher event streams diverged:\nsequential: %+v\nbatched:    %+v", evA, evB)
+	}
+	if evA, evB := drain(ca), drain(cb); !reflect.DeepEqual(evA, evB) {
+		t.Errorf("actor event streams diverged:\nsequential: %+v\nbatched:    %+v", evA, evB)
+	}
+}
+
+// TestBatchIntraBatchWindowReference checks that a window created in a
+// batch is usable as the target of later ops in the same batch.
+func TestBatchIntraBatchWindowReference(t *testing.T) {
+	s := NewServer()
+	c := s.Connect("actor")
+	root := s.Screens()[0].Root
+
+	b := c.Batch()
+	ck := b.CreateWindow(root, xproto.Rect{Width: 100, Height: 80}, 1, WindowAttributes{})
+	if ck.Window() == xproto.None {
+		t.Fatal("CreateWindow cookie has no XID before flush")
+	}
+	b.MapWindow(ck.Window())
+	b.MoveWindow(ck.Window(), 33, 44)
+	if err := b.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	g, err := c.GetGeometry(ck.Window())
+	if err != nil {
+		t.Fatalf("GetGeometry: %v", err)
+	}
+	if g.Rect.X != 33 || g.Rect.Y != 44 {
+		t.Errorf("geometry = %+v, want x=33 y=44", g.Rect)
+	}
+	attrs, err := c.GetWindowAttributes(ck.Window())
+	if err != nil {
+		t.Fatalf("GetWindowAttributes: %v", err)
+	}
+	if attrs.MapState == xproto.IsUnmapped {
+		t.Error("window not mapped after batched MapWindow")
+	}
+}
+
+// TestBatchFaultInjectionCookies proves injected faults surface
+// through the per-op cookies: the schedule fires at the same points it
+// would for unbatched requests, failed ops have no effect, and
+// subsequent ops still run.
+func TestBatchFaultInjectionCookies(t *testing.T) {
+	s := NewServer()
+	c := s.Connect("actor")
+	root := s.Screens()[0].Root
+
+	// Four target windows created before the policy is installed:
+	// co-prime with EveryN=3 so the fault schedule rotates across
+	// windows instead of always hitting the same one.
+	var wins []xproto.XID
+	for i := 0; i < 4; i++ {
+		w, err := c.CreateWindow(root, xproto.Rect{X: i * 10, Width: 50, Height: 50}, 0, WindowAttributes{})
+		if err != nil {
+			t.Fatalf("CreateWindow: %v", err)
+		}
+		wins = append(wins, w)
+	}
+	c.SetFaultPolicy(&FaultPolicy{EveryN: 3, Code: xproto.BadDrawable})
+
+	b := c.Batch()
+	var cks []*Cookie
+	for round := 0; round < 3; round++ {
+		for _, w := range wins {
+			cks = append(cks, b.MoveWindow(w, round+1, round+1))
+		}
+	}
+	err := b.Flush()
+	if err == nil {
+		t.Fatal("Flush reported no error despite injected faults")
+	}
+	if !errors.Is(err, xproto.ErrBadDrawable) {
+		t.Fatalf("Flush error = %v, want BadDrawable", err)
+	}
+	var failed []int
+	for i, ck := range cks {
+		if ck.Err() != nil {
+			failed = append(failed, i)
+			if !errors.Is(ck.Err(), xproto.ErrBadDrawable) {
+				t.Errorf("cookie %d error = %v, want BadDrawable", i, ck.Err())
+			}
+		}
+	}
+	// EveryN=3 over 12 eligible ops fires on the 3rd, 6th, 9th, 12th.
+	if want := []int{2, 5, 8, 11}; !reflect.DeepEqual(failed, want) {
+		t.Errorf("failed op indexes = %v, want %v", failed, want)
+	}
+	if got := c.FaultCount(); got != 4 {
+		t.Errorf("FaultCount = %d, want 4", got)
+	}
+	// Ops after a failed one still ran: every window reached a position
+	// from a successful round. (Policy removed so the verification
+	// queries are not themselves faulted.)
+	c.SetFaultPolicy(nil)
+	for i, w := range wins {
+		g, gerr := c.GetGeometry(w)
+		if gerr != nil {
+			t.Fatalf("GetGeometry: %v", gerr)
+		}
+		if g.Rect.X == i*10 {
+			t.Errorf("window %d never moved; batch stopped at first fault?", i)
+		}
+	}
+}
+
+// TestBatchFlushSemantics covers the edge rules: empty flush is a
+// no-op, double flush errors, and recording on a flushed batch panics.
+func TestBatchFlushSemantics(t *testing.T) {
+	s := NewServer()
+	c := s.Connect("actor")
+
+	b := c.Batch()
+	if err := b.Flush(); err != nil {
+		t.Fatalf("empty Flush: %v", err)
+	}
+	if err := b.Flush(); err == nil {
+		t.Error("second Flush did not error")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("recording on a flushed batch did not panic")
+			}
+		}()
+		b.MapWindow(s.Screens()[0].Root)
+	}()
+}
+
+// TestConcurrentReadersDuringWrites exercises the RWMutex conversion
+// under the race detector: read-only queries from several goroutines
+// interleaved with mutations must stay coherent.
+func TestConcurrentReadersDuringWrites(t *testing.T) {
+	s := NewServer()
+	c := s.Connect("writer")
+	root := s.Screens()[0].Root
+	win, err := c.CreateWindow(root, xproto.Rect{Width: 60, Height: 60}, 0, WindowAttributes{})
+	if err != nil {
+		t.Fatalf("CreateWindow: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := s.Connect("reader")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := r.GetGeometry(win); err != nil {
+					t.Errorf("GetGeometry: %v", err)
+					return
+				}
+				if _, _, _, err := r.QueryTree(root); err != nil {
+					t.Errorf("QueryTree: %v", err)
+					return
+				}
+				if _, _, err := r.GetProperty(win, 1); err != nil {
+					t.Errorf("GetProperty: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		if err := c.MoveWindow(win, i, i); err != nil {
+			t.Fatalf("MoveWindow: %v", err)
+		}
+		b := c.Batch()
+		ck := b.CreateWindow(root, xproto.Rect{Width: 10, Height: 10}, 0, WindowAttributes{})
+		b.MapWindow(ck.Window())
+		b.DestroyWindow(ck.Window())
+		if err := b.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

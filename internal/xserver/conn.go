@@ -11,6 +11,12 @@ import (
 // Conn is a client connection to the simulated server. All request
 // methods are safe for concurrent use; events are read with WaitEvent,
 // PollEvent or Pending.
+//
+// Mutating requests take the server's exclusive lock; read-only
+// requests (GetGeometry, QueryTree, GetProperty, TranslateCoordinates,
+// ...) share a read lock, so queries from different connections run
+// concurrently. Batch() collects several mutating requests and applies
+// them under a single lock acquisition.
 type Conn struct {
 	server *Server
 	fd     int
@@ -21,8 +27,14 @@ type Conn struct {
 	closed  bool
 	saveSet map[xproto.XID]bool
 
-	// fault injection and error observation (see fault.go).
-	faults     *faultState
+	// fault injection (see fault.go). faults is only written under the
+	// server's exclusive lock.
+	faults *faultState
+
+	// errMu is a leaf lock guarding error observation so note() is
+	// safe from requests holding only the server read lock. Nothing is
+	// acquired while it is held.
+	errMu      sync.Mutex
 	errHandler func(*xproto.XError)
 	lastNoted  error
 }
@@ -37,9 +49,36 @@ func (c *Conn) lookupLocked(id xproto.XID, major string) (*window, error) {
 		if errors.As(err, &xe) {
 			xe.Major = major
 		}
-		return nil, c.noteLocked(err)
+		return nil, c.note(err)
 	}
 	return w, nil
+}
+
+// readLock acquires the server lock for a read-only request and
+// reports whether the exclusive lock was taken. The shared read lock
+// suffices unless a fault policy is installed: injection mutates
+// scheduling state (and KillTarget destroys windows), so faulty
+// connections fall back to the exclusive lock. faults is only written
+// under the exclusive lock, so the check under RLock is race-free —
+// and while the read lock is held the policy cannot change, making a
+// subsequent faultLocked call a guaranteed no-op on the shared path.
+func (c *Conn) readLock() (exclusive bool) {
+	s := c.server
+	s.mu.RLock()
+	if c.faults == nil {
+		return false
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	return true
+}
+
+func (c *Conn) readUnlock(exclusive bool) {
+	if exclusive {
+		c.server.mu.Unlock()
+	} else {
+		c.server.mu.RUnlock()
+	}
 }
 
 // Name returns the diagnostic name given at Connect.
@@ -70,18 +109,29 @@ func (c *Conn) CreateWindow(parent xproto.XID, r xproto.Rect, borderWidth int, a
 	if err := c.faultLocked("CreateWindow", parent); err != nil {
 		return xproto.None, err
 	}
+	return c.createWindowLocked(xproto.None, parent, r, borderWidth, attrs)
+}
+
+// createWindowLocked creates the window under an already-held exclusive
+// lock. id may be a pre-allocated XID (batch path) or None to allocate
+// one here.
+func (c *Conn) createWindowLocked(id, parent xproto.XID, r xproto.Rect, borderWidth int, attrs WindowAttributes) (xproto.XID, error) {
+	s := c.server
 	p, err := c.lookupLocked(parent, "CreateWindow")
 	if err != nil {
 		return xproto.None, err
 	}
 	if r.Width <= 0 || r.Height <= 0 {
-		return xproto.None, c.noteLocked(&xproto.XError{
+		return xproto.None, c.note(&xproto.XError{
 			Code: xproto.BadValue, Major: "CreateWindow",
 			Detail: fmt.Sprintf("zero-sized window %v", r),
 		})
 	}
+	if id == xproto.None {
+		id = s.allocID()
+	}
 	w := &window{
-		id:          s.allocIDLocked(),
+		id:          id,
 		rect:        r,
 		borderWidth: borderWidth,
 		class:       attrs.Class,
@@ -114,6 +164,10 @@ func (c *Conn) DestroyWindow(id xproto.XID) error {
 	if err := c.faultLocked("DestroyWindow", id); err != nil {
 		return err
 	}
+	return c.destroyWindowLocked(id)
+}
+
+func (c *Conn) destroyWindowLocked(id xproto.XID) error {
 	w, err := c.lookupLocked(id, "DestroyWindow")
 	if err != nil {
 		return err
@@ -121,7 +175,7 @@ func (c *Conn) DestroyWindow(id xproto.XID) error {
 	if w.isRoot {
 		return fmt.Errorf("xserver: cannot destroy root window")
 	}
-	s.destroyLocked(w)
+	c.server.destroyLocked(w)
 	return nil
 }
 
@@ -165,6 +219,11 @@ func (c *Conn) MapWindow(id xproto.XID) error {
 	if err := c.faultLocked("MapWindow", id); err != nil {
 		return err
 	}
+	return c.mapWindowLocked(id)
+}
+
+func (c *Conn) mapWindowLocked(id xproto.XID) error {
+	s := c.server
 	w, err := c.lookupLocked(id, "MapWindow")
 	if err != nil {
 		return err
@@ -214,6 +273,10 @@ func (c *Conn) UnmapWindow(id xproto.XID) error {
 	if err := c.faultLocked("UnmapWindow", id); err != nil {
 		return err
 	}
+	return c.unmapWindowLocked(id)
+}
+
+func (c *Conn) unmapWindowLocked(id xproto.XID) error {
 	w, err := c.lookupLocked(id, "UnmapWindow")
 	if err != nil {
 		return err
@@ -221,7 +284,7 @@ func (c *Conn) UnmapWindow(id xproto.XID) error {
 	if !w.mapped {
 		return nil
 	}
-	s.unmapLocked(w, false)
+	c.server.unmapLocked(w, false)
 	return nil
 }
 
@@ -249,6 +312,11 @@ func (c *Conn) ReparentWindow(id, newParent xproto.XID, x, y int) error {
 	if err := c.faultLocked("ReparentWindow", id); err != nil {
 		return err
 	}
+	return c.reparentWindowLocked(id, newParent, x, y)
+}
+
+func (c *Conn) reparentWindowLocked(id, newParent xproto.XID, x, y int) error {
+	s := c.server
 	w, err := c.lookupLocked(id, "ReparentWindow")
 	if err != nil {
 		return err
@@ -258,7 +326,7 @@ func (c *Conn) ReparentWindow(id, newParent xproto.XID, x, y int) error {
 		return err
 	}
 	if w == np || w.isAncestorOfLocked(np) {
-		return c.noteLocked(&xproto.XError{
+		return c.note(&xproto.XError{
 			Code: xproto.BadMatch, Major: "ReparentWindow", Resource: id,
 			Detail: "reparent would create a cycle",
 		})
@@ -303,6 +371,11 @@ func (c *Conn) ConfigureWindow(id xproto.XID, ch xproto.WindowChanges) error {
 	if err := c.faultLocked("ConfigureWindow", id); err != nil {
 		return err
 	}
+	return c.configureWindowLocked(id, ch)
+}
+
+func (c *Conn) configureWindowLocked(id xproto.XID, ch xproto.WindowChanges) error {
+	s := c.server
 	w, err := c.lookupLocked(id, "ConfigureWindow")
 	if err != nil {
 		return err
@@ -319,7 +392,7 @@ func (c *Conn) ConfigureWindow(id xproto.XID, ch xproto.WindowChanges) error {
 			return nil
 		}
 	}
-	return c.noteLocked(s.configureLocked(w, ch))
+	return c.note(s.configureLocked(w, ch))
 }
 
 func (s *Server) configureLocked(w *window, ch xproto.WindowChanges) error {
@@ -416,8 +489,8 @@ type Geometry struct {
 // GetGeometry returns the window's parent-relative geometry.
 func (c *Conn) GetGeometry(id xproto.XID) (Geometry, error) {
 	s := c.server
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	ex := c.readLock()
+	defer c.readUnlock(ex)
 	if err := c.faultLocked("GetGeometry", id); err != nil {
 		return Geometry{}, err
 	}
@@ -443,9 +516,8 @@ type Attributes struct {
 
 // GetWindowAttributes returns the window's attributes.
 func (c *Conn) GetWindowAttributes(id xproto.XID) (Attributes, error) {
-	s := c.server
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	ex := c.readLock()
+	defer c.readUnlock(ex)
 	if err := c.faultLocked("GetWindowAttributes", id); err != nil {
 		return Attributes{}, err
 	}
@@ -476,8 +548,8 @@ func (c *Conn) GetWindowAttributes(id xproto.XID) (Attributes, error) {
 // window.
 func (c *Conn) QueryTree(id xproto.XID) (root, parent xproto.XID, children []xproto.XID, err error) {
 	s := c.server
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	ex := c.readLock()
+	defer c.readUnlock(ex)
 	if err := c.faultLocked("QueryTree", id); err != nil {
 		return 0, 0, nil, err
 	}
@@ -499,9 +571,8 @@ func (c *Conn) QueryTree(id xproto.XID) (root, parent xproto.XID, children []xpr
 // TranslateCoordinates converts (x, y) in src's coordinate space to
 // dst's, returning also the child of dst containing the point (or None).
 func (c *Conn) TranslateCoordinates(src, dst xproto.XID, x, y int) (dx, dy int, child xproto.XID, err error) {
-	s := c.server
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	ex := c.readLock()
+	defer c.readUnlock(ex)
 	if err := c.faultLocked("TranslateCoordinates", src); err != nil {
 		return 0, 0, 0, err
 	}
@@ -543,7 +614,7 @@ func (c *Conn) SelectInput(id xproto.XID, mask xproto.EventMask) error {
 	if mask&xproto.SubstructureRedirectMask != 0 {
 		for conn, m := range w.masks {
 			if conn != c && m&xproto.SubstructureRedirectMask != 0 {
-				return c.noteLocked(&xproto.XError{
+				return c.note(&xproto.XError{
 					Code: xproto.BadAccess, Major: "SelectInput", Resource: id,
 					Detail: fmt.Sprintf("SubstructureRedirect already selected on 0x%x", uint32(id)),
 				})
@@ -571,8 +642,8 @@ func (c *Conn) InternAtom(name string) xproto.Atom {
 // AtomName returns the name of an atom, or "" if unknown.
 func (c *Conn) AtomName(a xproto.Atom) string {
 	s := c.server
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.atomNames[a]
 }
 
@@ -585,12 +656,17 @@ func (c *Conn) ChangeProperty(id xproto.XID, prop, typ xproto.Atom, format int, 
 	if err := c.faultLocked("ChangeProperty", id); err != nil {
 		return err
 	}
+	return c.changePropertyLocked(id, prop, typ, format, mode, data)
+}
+
+func (c *Conn) changePropertyLocked(id xproto.XID, prop, typ xproto.Atom, format int, mode xproto.PropMode, data []byte) error {
+	s := c.server
 	w, err := c.lookupLocked(id, "ChangeProperty")
 	if err != nil {
 		return err
 	}
 	if format != 8 && format != 16 && format != 32 {
-		return c.noteLocked(&xproto.XError{
+		return c.note(&xproto.XError{
 			Code: xproto.BadValue, Major: "ChangeProperty", Resource: id,
 			Detail: fmt.Sprintf("property format %d", format),
 		})
@@ -602,7 +678,7 @@ func (c *Conn) ChangeProperty(id xproto.XID, prop, typ xproto.Atom, format int, 
 		next.Data = append([]byte(nil), data...)
 	case xproto.PropModeAppend:
 		if exists && (old.Type != typ || old.Format != format) {
-			return c.noteLocked(&xproto.XError{
+			return c.note(&xproto.XError{
 				Code: xproto.BadMatch, Major: "ChangeProperty", Resource: id,
 				Detail: "append with mismatched type/format",
 			})
@@ -610,7 +686,7 @@ func (c *Conn) ChangeProperty(id xproto.XID, prop, typ xproto.Atom, format int, 
 		next.Data = append(append([]byte(nil), old.Data...), data...)
 	case xproto.PropModePrepend:
 		if exists && (old.Type != typ || old.Format != format) {
-			return c.noteLocked(&xproto.XError{
+			return c.note(&xproto.XError{
 				Code: xproto.BadMatch, Major: "ChangeProperty", Resource: id,
 				Detail: "prepend with mismatched type/format",
 			})
@@ -628,9 +704,8 @@ func (c *Conn) ChangeProperty(id xproto.XID, prop, typ xproto.Atom, format int, 
 // GetProperty returns a property's value. ok is false if the property is
 // not set.
 func (c *Conn) GetProperty(id xproto.XID, prop xproto.Atom) (Property, bool, error) {
-	s := c.server
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	ex := c.readLock()
+	defer c.readUnlock(ex)
 	if err := c.faultLocked("GetProperty", id); err != nil {
 		return Property{}, false, err
 	}
@@ -671,9 +746,8 @@ func (c *Conn) DeleteProperty(id xproto.XID, prop xproto.Atom) error {
 
 // ListProperties returns the atoms of all properties set on the window.
 func (c *Conn) ListProperties(id xproto.XID) ([]xproto.Atom, error) {
-	s := c.server
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	ex := c.readLock()
+	defer c.readUnlock(ex)
 	if err := c.faultLocked("ListProperties", id); err != nil {
 		return nil, err
 	}
@@ -795,8 +869,8 @@ func (c *Conn) Close() {
 
 // Closed reports whether the connection has been shut down.
 func (c *Conn) Closed() bool {
-	c.server.mu.Lock()
-	defer c.server.mu.Unlock()
+	c.server.mu.RLock()
+	defer c.server.mu.RUnlock()
 	return c.closed
 }
 
@@ -810,6 +884,10 @@ func (c *Conn) SetWindowLabel(id xproto.XID, label string) error {
 	if err := c.faultLocked("SetWindowLabel", id); err != nil {
 		return err
 	}
+	return c.setWindowLabelLocked(id, label)
+}
+
+func (c *Conn) setWindowLabelLocked(id xproto.XID, label string) error {
 	w, err := c.lookupLocked(id, "SetWindowLabel")
 	if err != nil {
 		return err
@@ -826,6 +904,10 @@ func (c *Conn) SetWindowFill(id xproto.XID, fill byte) error {
 	if err := c.faultLocked("SetWindowFill", id); err != nil {
 		return err
 	}
+	return c.setWindowFillLocked(id, fill)
+}
+
+func (c *Conn) setWindowFillLocked(id xproto.XID, fill byte) error {
 	w, err := c.lookupLocked(id, "SetWindowFill")
 	if err != nil {
 		return err

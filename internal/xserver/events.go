@@ -69,8 +69,8 @@ func (c *Conn) PollEvent() (xproto.Event, bool) {
 // Pending reports the number of queued events.
 func (c *Conn) Pending() int {
 	s := c.server
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(c.queue)
 }
 
@@ -138,8 +138,8 @@ func (c *Conn) SetInputFocus(id xproto.XID) error {
 // GetInputFocus returns the current focus window.
 func (c *Conn) GetInputFocus() xproto.XID {
 	s := c.server
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.focus
 }
 
@@ -159,7 +159,7 @@ func (c *Conn) KillClient(id xproto.XID) error {
 	}
 	owner := w.owner
 	if owner == nil {
-		err := c.noteLocked(&xproto.XError{
+		err := c.note(&xproto.XError{
 			Code: xproto.BadValue, Major: "KillClient", Resource: id,
 			Detail: fmt.Sprintf("window 0x%x has no owner", uint32(id)),
 		})

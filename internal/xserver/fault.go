@@ -81,11 +81,12 @@ func (c *Conn) FaultCount() int {
 // SetErrorHandler installs an observer invoked once for every X
 // protocol error this connection's requests return — the analogue of
 // Xlib's XSetErrorHandler, and the hook wm.Stats() error accounting
-// hangs off. The handler runs with the server lock held and must not
-// issue requests on any connection.
+// hangs off. The handler runs with the server lock held (shared or
+// exclusive, depending on the failing request) and must not issue
+// requests on any connection.
 func (c *Conn) SetErrorHandler(h func(*xproto.XError)) {
-	c.server.mu.Lock()
-	defer c.server.mu.Unlock()
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
 	c.errHandler = h
 }
 
@@ -124,18 +125,24 @@ func (c *Conn) faultLocked(major string, target xproto.XID) error {
 			c.server.destroyLocked(w)
 		}
 	}
-	return c.noteLocked(&xproto.XError{
+	return c.note(&xproto.XError{
 		Code: code, Major: major, Resource: target,
 		Detail: fmt.Sprintf("injected fault #%d on 0x%x", f.fired, uint32(target)),
 	})
 }
 
-// noteLocked reports err to the connection's error handler (exactly
-// once per error instance, guarded by lastNoted so an error returned
-// through several layers of the same request is not double-counted)
-// and returns it unchanged.
-func (c *Conn) noteLocked(err error) error {
-	if err == nil || c.errHandler == nil || err == c.lastNoted {
+// note reports err to the connection's error handler (exactly once per
+// error instance, guarded by lastNoted so an error returned through
+// several layers of the same request is not double-counted) and
+// returns it unchanged. It is guarded by the errMu leaf lock so both
+// read-locked and write-locked requests may call it.
+func (c *Conn) note(err error) error {
+	if err == nil {
+		return err
+	}
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	if c.errHandler == nil || err == c.lastNoted {
 		return err
 	}
 	var xe *xproto.XError

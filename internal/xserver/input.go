@@ -26,7 +26,7 @@ func (c *Conn) GrabButton(grabWindow xproto.XID, button int, modifiers uint16, e
 	for _, g := range s.buttonGrabs {
 		if g.window == grabWindow && g.button == button && g.modifiers == modifiers {
 			if g.conn != c {
-				return c.noteLocked(&xproto.XError{
+				return c.note(&xproto.XError{
 					Code: xproto.BadAccess, Major: "GrabButton", Resource: grabWindow,
 					Detail: fmt.Sprintf("button %d already grabbed on 0x%x", button, uint32(grabWindow)),
 				})

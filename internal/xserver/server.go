@@ -15,15 +15,23 @@ package xserver
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/xproto"
 )
 
 // Server is a simulated X display server. Create one with NewServer and
 // attach clients with Connect.
+//
+// Locking: mutating requests hold mu exclusively; read-only requests
+// (GetGeometry, QueryTree, GetProperty, TranslateCoordinates, ...)
+// share a read lock so concurrent queries never serialize on each
+// other. XID allocation is atomic so batches can assign IDs to
+// CreateWindow requests before the batch is flushed (the Xlib model:
+// clients own their ID space).
 type Server struct {
-	mu     sync.Mutex
-	nextID xproto.XID
+	mu     sync.RWMutex
+	nextID atomic.Uint32
 	now    xproto.Timestamp
 
 	atoms     map[string]xproto.Atom
@@ -101,7 +109,6 @@ func NewServer(specs ...ScreenSpec) *Server {
 		specs = []ScreenSpec{{Width: 1152, Height: 900}}
 	}
 	s := &Server{
-		nextID:    0x200000,
 		atoms:     make(map[string]xproto.Atom),
 		atomNames: make(map[xproto.Atom]string),
 		nextAtom:  1,
@@ -109,12 +116,13 @@ func NewServer(specs ...ScreenSpec) *Server {
 		conns:     make(map[int]*Conn),
 		nextFD:    1,
 	}
+	s.nextID.Store(0x200000)
 	for _, name := range xproto.PredefinedAtoms {
 		s.internAtomLocked(name)
 	}
 	for i, spec := range specs {
 		root := &window{
-			id:     s.allocIDLocked(),
+			id:     s.allocID(),
 			rect:   xproto.Rect{Width: spec.Width, Height: spec.Height},
 			mapped: true,
 			class:  xproto.InputOutput,
@@ -138,8 +146,8 @@ func NewServer(specs ...ScreenSpec) *Server {
 
 // Screens returns the screen descriptors.
 func (s *Server) Screens() []*Screen {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]*Screen, len(s.screens))
 	copy(out, s.screens)
 	return out
@@ -161,10 +169,11 @@ func (s *Server) Connect(name string) *Conn {
 	return c
 }
 
-func (s *Server) allocIDLocked() xproto.XID {
-	id := s.nextID
-	s.nextID++
-	return id
+// allocID reserves a fresh XID. It is lock-free so batch recording can
+// hand out window IDs before the batch is applied, letting later ops in
+// the same batch reference a window created earlier in it.
+func (s *Server) allocID() xproto.XID {
+	return xproto.XID(s.nextID.Add(1) - 1)
 }
 
 func (s *Server) tickLocked() xproto.Timestamp {
@@ -203,22 +212,22 @@ func (s *Server) rootOfLocked(w *window) *window {
 
 // NumConns reports the number of live client connections (diagnostics).
 func (s *Server) NumConns() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.conns)
 }
 
 // NumWindows reports the number of live windows, roots included. Soak
 // tests use it to prove the WM leaks no server-side windows.
 func (s *Server) NumWindows() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.windows)
 }
 
 // Now returns the current server timestamp without advancing it.
 func (s *Server) Now() xproto.Timestamp {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.now
 }

@@ -43,9 +43,8 @@ func (c *Conn) ShapeCombineRectangles(id xproto.XID, rects []xproto.Rect) error 
 // ShapeQuery reports whether the window is shaped and returns a copy of
 // its bounding rectangles (window-relative, sorted for determinism).
 func (c *Conn) ShapeQuery(id xproto.XID) (shaped bool, rects []xproto.Rect, err error) {
-	s := c.server
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	ex := c.readLock()
+	defer c.readUnlock(ex)
 	if err := c.faultLocked("ShapeQuery", id); err != nil {
 		return false, nil, err
 	}

@@ -26,8 +26,8 @@ type TreeNode struct {
 // draw.
 func (c *Conn) Snapshot(id xproto.XID) (*TreeNode, error) {
 	s := c.server
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	w, err := s.lookupLocked(id)
 	if err != nil {
 		return nil, err
