@@ -49,7 +49,7 @@ func main() {
 		return
 	}
 	if flag.NArg() == 0 {
-		log.Fatal("usage: swmcmd [-render] '<f.function ...>'")
+		log.Fatal("usage: swmcmd [-render] '<f.function ...>'") //swm:ok f.function is a usage placeholder, not a registered function
 	}
 	command := strings.Join(flag.Args(), " ")
 

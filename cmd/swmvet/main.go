@@ -1,0 +1,100 @@
+// Command swmvet runs swm's repo-specific static-analysis suite
+// (internal/analysis) over the given package patterns:
+//
+//	go run ./cmd/swmvet ./...
+//	go run ./cmd/swmvet -json ./internal/core
+//	go run ./cmd/swmvet -analyzers conncheck,lockorder ./internal/xserver
+//
+// The exit status is 0 when every finding is waived or absent, 1 when
+// unwaived findings remain, and 2 on usage or load errors — so the
+// blocking CI job is just `go run ./cmd/swmvet ./...`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("swmvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit machine-readable findings (including waived ones)")
+	showWaived := fs.Bool("waived", false, "also list waived findings in text output")
+	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := analysis.ByName(*names)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	var all []analysis.Finding
+	loadBroken := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(stderr, "swmvet: %s: type error: %v\n", pkg.ImportPath, terr)
+			loadBroken = true
+		}
+		all = append(all, analysis.Run(pkg, loader.Ctx, analyzers)...)
+	}
+
+	if *jsonOut {
+		if err := analysis.WriteJSON(stdout, all); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, f := range all {
+			if f.Waived {
+				if *showWaived {
+					fmt.Fprintf(stdout, "%s (waived: %s)\n", f, f.Reason)
+				}
+				continue
+			}
+			fmt.Fprintln(stdout, f)
+		}
+		fmt.Fprintf(stdout, "swmvet: %s\n", analysis.Summary(all))
+	}
+
+	switch {
+	case loadBroken:
+		return 2
+	case analysis.Unwaived(all) > 0:
+		return 1
+	}
+	return 0
+}

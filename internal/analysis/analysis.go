@@ -1,0 +1,306 @@
+// Package analysis is swm's repo-specific static-analysis suite. It
+// enforces, by machine, the invariants earlier PRs established by hand:
+// the PR 1 rule that no X request error is silently swallowed (every
+// one is routed through a check helper or explicitly waived), the PR 2
+// rule that the server's RWMutex is never re-entered, the rule that
+// XID-creating requests cannot leak their window, the rule that every
+// `f.*` function name and binding modifier written in a policy string
+// actually exists, and the paper's 32767x32767 desktop coordinate
+// limit.
+//
+// The suite is built only on the standard library (go/parser, go/ast,
+// go/types); there is deliberately no golang.org/x/tools dependency so
+// the module stays dependency-free. Packages are type-checked against
+// export data obtained from `go list -export`, which the Go toolchain
+// produces from its build cache.
+//
+// A finding may be waived in source with a trailing or preceding
+// comment of the form:
+//
+//	//swm:ok <reason>
+//
+// The reason is mandatory; a bare `//swm:ok` does not waive anything.
+// Waived findings are still reported (with Waived set) so `swmvet
+// -json` output stays a complete inventory.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name is the analyzer's short name ("conncheck", ...). Finding IDs
+	// are derived from it.
+	Name string
+	// Doc is a one-line description shown by `swmvet -list`.
+	Doc string
+	// Run reports findings on the pass via Pass.Reportf.
+	Run func(*Pass)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		ConnCheck,
+		LockOrder,
+		XIDLife,
+		FuncRef,
+		CoordGuard,
+	}
+}
+
+// ByName resolves a comma-separated analyzer name list ("" means all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Ctx carries repo-level context shared by every pass (the module
+	// root and the f.*/modifier registry extracted from it).
+	Ctx *Context
+
+	findings []Finding
+}
+
+// A Finding is one report. File is relative to the module root when the
+// file is inside it. Stable IDs have the form "<analyzer>.<kind>".
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	ID       string `json:"id"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Waived   bool   `json:"waived"`
+	Reason   string `json:"reason,omitempty"`
+
+	// anchorLine is an additional line whose //swm:ok waiver also
+	// covers this finding — used for findings inside multi-line string
+	// literals, where the offending line is string content and cannot
+	// carry a comment of its own.
+	anchorLine int
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.ID, f.Message)
+}
+
+// Reportf records a finding at pos. kind is the ID suffix.
+func (p *Pass) Reportf(pos token.Pos, kind, format string, args ...any) {
+	p.report(pos, token.NoPos, kind, format, args...)
+}
+
+// ReportfAnchored records a finding at pos whose waiver may also sit on
+// anchor's line (the enclosing string literal's first line).
+func (p *Pass) ReportfAnchored(pos, anchor token.Pos, kind, format string, args ...any) {
+	p.report(pos, anchor, kind, format, args...)
+}
+
+func (p *Pass) report(pos, anchor token.Pos, kind, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	f := Finding{
+		Analyzer: p.Analyzer.Name,
+		ID:       p.Analyzer.Name + "." + kind,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	}
+	if anchor.IsValid() {
+		f.anchorLine = p.Fset.Position(anchor).Line
+	}
+	p.findings = append(p.findings, f)
+}
+
+// Run executes the given analyzers over one loaded package, applies
+// //swm:ok waivers, and returns findings sorted by position.
+func Run(pkg *Package, ctx *Context, analyzers []*Analyzer) []Finding {
+	waivers := collectWaivers(pkg)
+	var all []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Ctx:      ctx,
+		}
+		a.Run(pass)
+		for i := range pass.findings {
+			f := &pass.findings[i]
+			if reason, ok := waivers.lookup(f.File, f.Line); ok {
+				f.Waived, f.Reason = true, reason
+			} else if f.anchorLine != 0 {
+				if reason, ok := waivers.lookup(f.File, f.anchorLine); ok {
+					f.Waived, f.Reason = true, reason
+				}
+			}
+			f.File = ctx.rel(f.File)
+		}
+		all = append(all, pass.findings...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].File != all[j].File {
+			return all[i].File < all[j].File
+		}
+		if all[i].Line != all[j].Line {
+			return all[i].Line < all[j].Line
+		}
+		if all[i].Col != all[j].Col {
+			return all[i].Col < all[j].Col
+		}
+		return all[i].ID < all[j].ID
+	})
+	return all
+}
+
+// waiverSet maps file -> line -> reason. A waiver on line N covers
+// findings on line N (trailing comment) and line N+1 (comment on its
+// own line above the offending one).
+type waiverSet map[string]map[int]string
+
+func (ws waiverSet) lookup(file string, line int) (string, bool) {
+	lines, ok := ws[file]
+	if !ok {
+		return "", false
+	}
+	if r, ok := lines[line]; ok {
+		return r, true
+	}
+	if r, ok := lines[line-1]; ok {
+		return r, true
+	}
+	return "", false
+}
+
+const waiverPrefix = "//swm:ok"
+
+func collectWaivers(pkg *Package) waiverSet {
+	ws := make(waiverSet)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, waiverPrefix) {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(c.Text, waiverPrefix))
+				if reason == "" {
+					// A waiver without a reason is not a waiver: the
+					// whole point is that every suppression explains
+					// itself.
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := ws[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]string)
+					ws[pos.Filename] = lines
+				}
+				lines[pos.Line] = reason
+			}
+		}
+	}
+	return ws
+}
+
+// --- shared AST/type helpers --------------------------------------------
+
+// calleeFunc resolves the *types.Func a call statically invokes, or nil
+// for calls through function values, built-ins, and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// recvTypeName returns the name of a method's receiver type ("Conn" for
+// func (c *Conn) ...), or "" for plain functions.
+func recvTypeName(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// lastResultIsError reports whether f's final result is an error, and
+// how many results it has.
+func lastResultIsError(f *types.Func) (n int, isErr bool) {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return 0, false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return 0, false
+	}
+	return res.Len(), isErrorType(res.At(res.Len() - 1).Type())
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// funcDecls yields every function declaration with a body.
+func funcDecls(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// CoordGuard enforces the paper's wire limit on the Virtual Desktop:
+// "the desktop may be as large as the usable area of an X window,
+// 32767 x 32767 pixels" — coordinates ride the X protocol as int16, so
+// desktop fields that drift past the limit wrap on the wire. Every
+// store into a desktop coordinate field (PanX, PanY, DesktopW,
+// DesktopH) must therefore go through a clamp helper (core's clamp,
+// geom.Clamp, or the min/max built-ins); raw arithmetic assigned
+// directly to one of these fields is exactly the bug class
+// TestResizeDesktopShrinkReclampsPanAndScrollbars fixed in PR 1.
+//
+// Flagged forms:
+//
+//	scr.PanX = scr.PanX + dx   // raw arithmetic
+//	scr.PanY += dy             // compound assignment
+//	scr.DesktopW++             // increment
+//	Screen{DesktopW: w * 4}    // composite literal arithmetic
+//
+// Clean forms pass the value through a call — `scr.PanX = clamp(x, 0,
+// hi)` — which makes the clamp helpers the single doorway for desktop
+// coordinate writes.
+var CoordGuard = &Analyzer{
+	Name: "coordguard",
+	Doc:  "flags raw arithmetic stored into desktop coordinate fields without a clamp",
+	Run:  runCoordGuard,
+}
+
+// desktopCoordFields are the struct fields carrying desktop-space
+// coordinates subject to the 32767 limit.
+var desktopCoordFields = map[string]bool{
+	"PanX":     true,
+	"PanY":     true,
+	"DesktopW": true,
+	"DesktopH": true,
+}
+
+func runCoordGuard(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+					for i, lhs := range n.Lhs {
+						if !isDesktopCoord(lhs) || i >= len(n.Rhs) {
+							continue
+						}
+						if len(n.Lhs) != len(n.Rhs) {
+							continue // tuple assignment from a call: opaque
+						}
+						if rawArith(p, n.Rhs[i]) {
+							p.Reportf(n.Pos(), "unclamped",
+								"raw arithmetic stored into desktop coordinate %s without a clamp; route it through geom.Clamp (paper limit: 32767x32767)",
+								fieldName(lhs))
+						}
+					}
+				} else {
+					// Compound assignment (+=, -=, *=, ...) is raw
+					// arithmetic by construction.
+					for _, lhs := range n.Lhs {
+						if isDesktopCoord(lhs) {
+							p.Reportf(n.Pos(), "unclamped",
+								"compound assignment to desktop coordinate %s bypasses the clamp helpers (paper limit: 32767x32767)",
+								fieldName(lhs))
+						}
+					}
+				}
+			case *ast.IncDecStmt:
+				if isDesktopCoord(n.X) {
+					p.Reportf(n.Pos(), "unclamped",
+						"increment of desktop coordinate %s bypasses the clamp helpers (paper limit: 32767x32767)",
+						fieldName(n.X))
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok || !desktopCoordFields[key.Name] {
+						continue
+					}
+					if rawArith(p, kv.Value) {
+						p.Reportf(kv.Pos(), "unclamped",
+							"raw arithmetic initializes desktop coordinate %s without a clamp (paper limit: 32767x32767)",
+							key.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isDesktopCoord(e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	return ok && desktopCoordFields[sel.Sel.Name]
+}
+
+func fieldName(e ast.Expr) string {
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "field"
+}
+
+// maxDesktopCoord is the paper's wire limit: desktop coordinates ride
+// the X protocol as int16.
+const maxDesktopCoord = 32767
+
+// rawArith reports whether e computes arithmetic outside any call. A
+// call result — clamp(), geom.Clamp(), min(), a conversion — is opaque:
+// responsibility for the bound lies with the callee, and the clamp
+// helpers are the expected doorway. A compile-time constant is checked
+// against the limit directly, so sentinels like `scr.PanX = -1` pass
+// while `DesktopW: 40000` does not.
+func rawArith(p *Pass, e ast.Expr) bool {
+	if tv, ok := p.Info.Types[e]; ok && tv.Value != nil {
+		v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+		return !exact || v < -(maxDesktopCoord+1) || v > maxDesktopCoord
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.ADD, token.SUB, token.MUL:
+			return true
+		}
+		return rawArith(p, e.X) || rawArith(p, e.Y)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB {
+			return true
+		}
+		return rawArith(p, e.X)
+	case *ast.ParenExpr:
+		return rawArith(p, e.X)
+	}
+	return false
+}

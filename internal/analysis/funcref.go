@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// FuncRef cross-checks the repo's declarative policy layer against its
+// implementation. The paper's design puts look-and-feel in data —
+// resource strings full of `f.*` function invocations and binding
+// modifier names — which the Go compiler never sees: a typo'd
+// `f.pangoto` or an unknown modifier is a silent no-op at runtime.
+// FuncRef extracts the real function table from
+// internal/core/functions.go and the modifier table from
+// internal/bindings/bindings.go (see registry.go) and verifies every
+// string literal in the analyzed packages against them:
+//
+//   - funcref.func — an `f.<name>` token that is not a registered
+//     window-manager function.
+//   - funcref.modifier — a modifier token before a `<event>` in a
+//     binding line that is not a registered modifier.
+//   - funcref.event — an `<event>` type in a binding line that the
+//     bindings parser would reject.
+//
+// Findings inside multi-line string literals point at the exact line of
+// the offending token; a //swm:ok waiver on the literal's first line
+// covers the whole literal, since string content cannot carry comments.
+var FuncRef = &Analyzer{
+	Name: "funcref",
+	Doc:  "flags f.* names, binding modifiers, and event types that do not exist in the registries",
+	Run:  runFuncRef,
+}
+
+func runFuncRef(p *Pass) {
+	reg, err := p.Ctx.Registry()
+	if err != nil || reg == nil {
+		// Without the registry files there is nothing to check against.
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			value, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			checkLiteral(p, reg, lit, value)
+			return true
+		})
+	}
+}
+
+// litPos converts a byte offset within a string literal's value to a
+// source position. For raw strings the mapping is exact (the value is
+// the source text between the backquotes); for interpreted strings the
+// escape sequences make exact mapping impossible, so the literal's own
+// position is used.
+func litPos(lit *ast.BasicLit, off int) token.Pos {
+	if strings.HasPrefix(lit.Value, "`") {
+		return lit.ValuePos + token.Pos(1+off)
+	}
+	return lit.ValuePos
+}
+
+func isIdentChar(b byte) bool {
+	return b == '_' || b == '*' || b == '.' ||
+		('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z') || ('0' <= b && b <= '9')
+}
+
+func isAlnum(b byte) bool {
+	return ('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z') || ('0' <= b && b <= '9')
+}
+
+func checkLiteral(p *Pass, reg *Registry, lit *ast.BasicLit, value string) {
+	// 1. Every f.<name> token anywhere in the literal.
+	for i := 0; i+2 < len(value); i++ {
+		if value[i] != 'f' || value[i+1] != '.' {
+			continue
+		}
+		if i > 0 && isIdentChar(value[i-1]) {
+			continue // part of a larger word: "conf.", "self."
+		}
+		j := i + 2
+		if !isAlnum(value[j]) {
+			continue // "f." with no name: prose or a prefix constant
+		}
+		for j < len(value) && isAlnum(value[j]) {
+			j++
+		}
+		name := strings.ToLower(value[i:j])
+		if !reg.Functions[name] {
+			p.ReportfAnchored(litPos(lit, i), lit.Pos(), "func",
+				"unknown window manager function %q: not registered in internal/core/functions.go", name)
+		}
+		i = j - 1
+	}
+
+	// 2. Modifier and event tokens on binding lines. A binding line has
+	// the Xt shape `mods <Event>detail : f.func ...`; in a resource
+	// file it may be prefixed by `name.bindings:`. Only lines that bind
+	// an f.* function are inspected, which keeps prose and unrelated
+	// strings out of scope.
+	off := 0
+	for _, line := range strings.Split(value, "\n") {
+		lineOff := off
+		off += len(line) + 1
+		trimmed := strings.TrimRight(line, "\\ \t")
+		lt := strings.IndexByte(trimmed, '<')
+		if lt < 0 {
+			continue
+		}
+		gt := strings.IndexByte(trimmed[lt:], '>')
+		if gt < 0 {
+			continue
+		}
+		gt += lt
+		after := trimmed[gt+1:]
+		colon := strings.IndexByte(after, ':')
+		if colon < 0 || !strings.Contains(after[colon:], "f.") {
+			continue
+		}
+		// Modifiers: fields between the resource key (if any) and '<'.
+		prefix := trimmed[:lt]
+		prefixOff := lineOff
+		if c := strings.LastIndexByte(prefix, ':'); c >= 0 {
+			prefixOff += c + 1
+			prefix = prefix[c+1:]
+		}
+		for _, field := range strings.Fields(prefix) {
+			if !reg.Modifiers[strings.ToLower(field)] {
+				fieldOff := prefixOff + strings.Index(trimmed[prefixOff-lineOff:lt], field)
+				p.ReportfAnchored(litPos(lit, fieldOff), lit.Pos(), "modifier",
+					"unknown binding modifier %q: not in internal/bindings/bindings.go modifierNames", field)
+			}
+		}
+		// Event type inside <...>.
+		ev := strings.ToLower(strings.TrimSpace(trimmed[lt+1 : gt]))
+		if !validEventType(ev) {
+			p.ReportfAnchored(litPos(lit, lineOff+lt), lit.Pos(), "event",
+				"unknown binding event type %q: the bindings parser would reject it", trimmed[lt+1:gt])
+		}
+	}
+}
+
+// validEventType mirrors the event grammar of bindings.parseLine.
+func validEventType(ev string) bool {
+	if rest, ok := strings.CutPrefix(ev, "btn"); ok {
+		rest = strings.TrimSuffix(rest, "up")
+		rest = strings.TrimSuffix(rest, "down")
+		return len(rest) == 1 && rest[0] >= '1' && rest[0] <= '5'
+	}
+	switch ev {
+	case "key", "keyup", "enter", "enterwindow", "leave", "leavewindow", "motion", "ptrmoved":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors collects type-checker diagnostics. Analysis proceeds
+	// on a partially-checked package; the driver surfaces these so a
+	// broken tree cannot masquerade as a clean one.
+	TypeErrors []error
+}
+
+// Context is repo-level state shared by all passes: the module root
+// (for stable relative paths) and the lazily-extracted f.*/modifier
+// registry (see registry.go).
+type Context struct {
+	ModuleDir string
+
+	registryOnce sync.Once
+	registry     *Registry
+	registryErr  error
+}
+
+// rel makes a file path relative to the module root when possible.
+func (c *Context) rel(file string) string {
+	if c == nil || c.ModuleDir == "" {
+		return file
+	}
+	if r, err := filepath.Rel(c.ModuleDir, file); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return file
+}
+
+// A Loader parses and type-checks packages of the enclosing module. It
+// resolves imports through compiled export data from the go toolchain's
+// build cache (`go list -export`), keeping the analyzer itself free of
+// non-stdlib dependencies.
+type Loader struct {
+	Ctx  *Context
+	fset *token.FileSet
+
+	exportsOnce sync.Once
+	exports     map[string]string // import path -> export data file
+	exportsErr  error
+	imp         types.Importer
+}
+
+// NewLoader creates a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	out, err := goTool(dir, "env", "GOMOD")
+	if err != nil {
+		return nil, fmt.Errorf("analysis: locating go.mod: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return nil, fmt.Errorf("analysis: %s is not inside a Go module", dir)
+	}
+	l := &Loader{
+		Ctx:  &Context{ModuleDir: filepath.Dir(gomod)},
+		fset: token.NewFileSet(),
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookupExport)
+	return l, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// goTool runs the go command in dir and returns stdout.
+func goTool(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return stdout.Bytes(), nil
+}
+
+// loadExports builds the import-path -> export-data map for every
+// dependency of the module, compiling as needed via the build cache.
+func (l *Loader) loadExports() error {
+	l.exportsOnce.Do(func() {
+		out, err := goTool(l.Ctx.ModuleDir, "list", "-deps", "-export", "-json=ImportPath,Export", "./...")
+		if err != nil {
+			l.exportsErr = err
+			return
+		}
+		l.exports = make(map[string]string)
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				l.exportsErr = fmt.Errorf("analysis: decoding go list output: %w", err)
+				return
+			}
+			if p.Export != "" {
+				l.exports[p.ImportPath] = p.Export
+			}
+		}
+	})
+	return l.exportsErr
+}
+
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	if err := l.loadExports(); err != nil {
+		return nil, err
+	}
+	file, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// Load expands package patterns (e.g. "./...") with `go list` and
+// returns the parsed, type-checked packages. Packages with no non-test
+// Go files are skipped. testdata directories are excluded by the go
+// tool itself, which is what keeps the analyzer fixtures out of the
+// repo-wide sweep.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)
+	out, err := goTool(l.Ctx.ModuleDir, args...)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct {
+			ImportPath, Dir string
+			GoFiles         []string
+		}
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		var files []string
+		for _, f := range p.GoFiles {
+			files = append(files, filepath.Join(p.Dir, f))
+		}
+		pkg, err := l.check(p.ImportPath, p.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads a single directory outside the module's package list —
+// used by the golden-test driver to load testdata fixture packages.
+// Test files are skipped; fixtures are plain packages.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		abs = dir
+	}
+	return l.check("testdata/"+filepath.Base(abs), abs, files)
+}
+
+func (l *Loader) check(importPath, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		},
+	}
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// The returned error duplicates the first entry of TypeErrors;
+	// analysis runs on whatever was successfully checked.
+	pkg.Types, _ = conf.Check(importPath, l.fset, files, pkg.Info)
+	return pkg, nil
+}

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder guards the locking discipline the PR 2 RWMutex/batch
+// refactor introduced in internal/xserver: request methods take
+// `Server.mu` once at their entry and then do all work through *Locked
+// helpers, which never re-acquire. sync.RWMutex is not re-entrant, so a
+// locking public method called from code that already holds the lock is
+// a guaranteed deadlock — a class of bug the compiler cannot see.
+//
+// The analyzer builds the package's intra-package call graph, computes
+// which functions may acquire a field named `mu` of type sync.Mutex or
+// sync.RWMutex (directly, via a readLock helper, or transitively
+// through another package function), and reports:
+//
+//   - lockorder.reentrant — a function that is holding the lock calls
+//     a function that (transitively) acquires it again. The held
+//     region runs from an acquire to the next non-deferred release in
+//     source order; a deferred unlock holds to the end of the function.
+//   - lockorder.held — a function following the *Locked naming
+//     convention (callable only with the lock held) calls a function
+//     that acquires the lock, or acquires it itself.
+//
+// The region tracking is linear in source order, which is exact for
+// the straight-line lock-defer-unlock shape the package uses and a
+// safe approximation elsewhere; intentional exceptions carry //swm:ok.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "flags re-entrant Server.mu acquisition and locking calls from *Locked helpers",
+	Run:  runLockOrder,
+}
+
+type lockEventKind int
+
+const (
+	evAcquire lockEventKind = iota
+	evRelease
+	evCall
+)
+
+type lockEvent struct {
+	pos    token.Pos
+	kind   lockEventKind
+	callee *types.Func   // for evCall
+	call   *ast.CallExpr // for evCall
+}
+
+type funcLockInfo struct {
+	decl     *ast.FuncDecl
+	events   []lockEvent
+	acquires bool // has a direct acquire (mu.Lock/mu.RLock/readLock call)
+}
+
+func runLockOrder(p *Pass) {
+	if p.Pkg == nil {
+		return
+	}
+	infos := make(map[*types.Func]*funcLockInfo)
+	for _, fd := range funcDecls(p.Files) {
+		fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		infos[fn] = collectLockEvents(p, fd)
+	}
+
+	// mayAcquire: direct acquire, or a call (anywhere in the body) to a
+	// same-package function that may acquire.
+	mayAcquire := make(map[*types.Func]bool)
+	var visiting map[*types.Func]bool
+	var acquires func(fn *types.Func) bool
+	acquires = func(fn *types.Func) bool {
+		if v, ok := mayAcquire[fn]; ok {
+			return v
+		}
+		if visiting[fn] {
+			return false // break recursion cycles
+		}
+		visiting[fn] = true
+		defer delete(visiting, fn)
+		info, ok := infos[fn]
+		if !ok {
+			return false
+		}
+		result := info.acquires
+		for _, ev := range info.events {
+			if ev.kind == evCall && acquires(ev.callee) {
+				result = true
+				break
+			}
+		}
+		mayAcquire[fn] = result
+		return result
+	}
+	visiting = make(map[*types.Func]bool)
+
+	for fn, info := range infos {
+		heldByName := strings.HasSuffix(fn.Name(), "Locked")
+		held := heldByName
+		for _, ev := range info.events {
+			switch ev.kind {
+			case evAcquire:
+				if heldByName {
+					p.Reportf(ev.pos, "held",
+						"%s follows the *Locked convention (lock already held) but acquires the lock itself", fn.Name())
+				}
+				held = true
+			case evRelease:
+				held = false
+			case evCall:
+				if !acquires(ev.callee) {
+					continue
+				}
+				if heldByName {
+					p.Reportf(ev.pos, "held",
+						"%s follows the *Locked convention (lock already held) but calls %s, which acquires the lock",
+						fn.Name(), ev.callee.Name())
+				} else if held {
+					p.Reportf(ev.pos, "reentrant",
+						"%s calls %s while holding the lock; %s re-acquires it (sync.RWMutex is not re-entrant)",
+						fn.Name(), ev.callee.Name(), ev.callee.Name())
+				}
+			}
+		}
+	}
+}
+
+// collectLockEvents linearizes a function body into acquire / release /
+// intra-package-call events ordered by position.
+func collectLockEvents(p *Pass, fd *ast.FuncDecl) *funcLockInfo {
+	info := &funcLockInfo{decl: fd}
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			deferred[ds.Call] = true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if kind, isMu := muOp(p.Info, call); isMu {
+			// Deferred unlocks hold to function end: no release event.
+			if kind == evAcquire {
+				info.events = append(info.events, lockEvent{pos: call.Pos(), kind: evAcquire})
+				info.acquires = true
+			} else if !deferred[call] {
+				info.events = append(info.events, lockEvent{pos: call.Pos(), kind: evRelease})
+			}
+			return true
+		}
+		callee := calleeFunc(p.Info, call)
+		if callee == nil || callee.Pkg() != p.Pkg {
+			return true
+		}
+		switch callee.Name() {
+		case "readLock":
+			info.events = append(info.events, lockEvent{pos: call.Pos(), kind: evAcquire})
+			info.acquires = true
+		case "readUnlock":
+			if !deferred[call] {
+				info.events = append(info.events, lockEvent{pos: call.Pos(), kind: evRelease})
+			}
+		default:
+			info.events = append(info.events, lockEvent{pos: call.Pos(), kind: evCall, callee: callee, call: call})
+		}
+		return true
+	})
+	sort.SliceStable(info.events, func(i, j int) bool { return info.events[i].pos < info.events[j].pos })
+	return info
+}
+
+// muOp recognizes <expr>.mu.Lock() / RLock() / Unlock() / RUnlock()
+// where mu is a sync.Mutex or sync.RWMutex field named exactly "mu".
+func muOp(info *types.Info, call *ast.CallExpr) (lockEventKind, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0, false
+	}
+	var kind lockEventKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = evAcquire
+	case "Unlock", "RUnlock":
+		kind = evRelease
+	default:
+		return 0, false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || inner.Sel.Name != "mu" {
+		return 0, false
+	}
+	t := info.Types[inner].Type
+	if t == nil {
+		return 0, false
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return 0, false
+	}
+	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return 0, false
+	}
+	return kind, true
+}

@@ -1,0 +1,44 @@
+// Package conncheck is the golden fixture for the conncheck analyzer:
+// every form of discarded X request error is a finding, while handled,
+// routed, propagated, and waived calls are clean.
+package conncheck
+
+import (
+	"repro/internal/icccm"
+	"repro/internal/xproto"
+	"repro/internal/xserver"
+)
+
+// bad discards request errors in each flagged form.
+func bad(c *xserver.Conn, win xproto.XID) {
+	c.MapWindow(win)         // want "discarded error from .*MapWindow"
+	_ = c.RaiseWindow(win)   // want "discarded error from .*RaiseWindow"
+	defer c.UnmapWindow(win) // want "discarded error from .*UnmapWindow"
+	go c.LowerWindow(win)    // want "discarded error from .*LowerWindow"
+
+	g, _ := c.GetGeometry(win) // want "discarded error from .*GetGeometry"
+	_ = g
+
+	icccm.SetState(c, win, icccm.State{State: xproto.NormalState}) // want "discarded error from icccm.SetState"
+}
+
+// good handles, routes, or propagates every request error.
+func good(c *xserver.Conn, win xproto.XID) error {
+	if err := c.MapWindow(win); err != nil {
+		return err
+	}
+	check("raise", c.RaiseWindow(win))
+	return c.LowerWindow(win)
+}
+
+// check is the routing pattern conncheck recognizes by construction:
+// the request call is an argument, not a statement.
+func check(op string, err error) bool {
+	_ = op
+	return err == nil
+}
+
+// waived fires and forgets under an explicit reason.
+func waived(c *xserver.Conn, win xproto.XID) {
+	c.UnmapWindow(win) //swm:ok fixture: unmapping a dying window is best-effort
+}

@@ -1,0 +1,53 @@
+// Package coordguard is the golden fixture for the coordguard
+// analyzer: raw arithmetic stored into desktop coordinate fields is a
+// finding; writes routed through a clamp call, in-range constants, and
+// waived sites are clean.
+package coordguard
+
+// Screen mirrors core.Screen's desktop coordinate fields.
+type Screen struct {
+	PanX, PanY         int
+	DesktopW, DesktopH int
+	Width, Height      int
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// bad stores raw arithmetic into desktop coordinates.
+func bad(scr *Screen, dx, dy int) {
+	scr.PanX = scr.PanX + dx // want "raw arithmetic stored into desktop coordinate PanX"
+	scr.PanY += dy           // want "compound assignment to desktop coordinate PanY"
+	scr.DesktopW++           // want "increment of desktop coordinate DesktopW"
+}
+
+// badInit computes desktop sizes in a composite literal; the second
+// field is a compile-time constant past the 32767 wire limit.
+func badInit(w int) Screen {
+	return Screen{
+		DesktopW: w * 4, // want "raw arithmetic initializes desktop coordinate DesktopW"
+		DesktopH: 40000, // want "raw arithmetic initializes desktop coordinate DesktopH"
+	}
+}
+
+// good routes every write through the clamp doorway or stores
+// in-range constants.
+func good(scr *Screen, dx int) {
+	scr.PanX = clamp(scr.PanX+dx, 0, scr.DesktopW-scr.Width)
+	scr.PanY = 0
+	scr.PanX = -1 // the "force PanTo to reposition" sentinel
+	scr.DesktopH = clamp(scr.DesktopH, scr.Height, 32767)
+	_ = Screen{DesktopW: 32767}
+}
+
+// waived bypasses the clamp with an explicit reason.
+func waived(scr *Screen, dy int) {
+	scr.PanY = scr.PanY + dy //swm:ok fixture: the caller pre-validates dy against the desktop bounds
+}

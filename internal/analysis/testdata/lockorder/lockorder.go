@@ -1,0 +1,81 @@
+// Package lockorder is the golden fixture for the lockorder analyzer:
+// re-entrant acquisition of Server.mu — directly, transitively, or from
+// a *Locked helper — is a finding; the lock-once-then-*Locked shape and
+// release-before-call are clean.
+package lockorder
+
+import "sync"
+
+// Server mirrors the xserver locking shape: one mu guarding the state,
+// public methods that take it, *Locked helpers that must not.
+type Server struct {
+	mu    sync.RWMutex
+	items map[int]int
+}
+
+// Get takes the read lock; calling it with mu held deadlocks.
+func (s *Server) Get(k int) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.items[k]
+}
+
+// Sum re-enters through Get while still holding the lock.
+func (s *Server) Sum(k int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Get(k) + 1 // want "Sum calls Get while holding the lock"
+}
+
+// helper does not lock itself but calls Get, so it may acquire.
+func (s *Server) helper(k int) int { return s.Get(k) }
+
+// Walk re-enters transitively through helper.
+func (s *Server) Walk(k int) int {
+	s.mu.Lock()
+	v := s.helper(k) // want "Walk calls helper while holding the lock"
+	s.mu.Unlock()
+	return v
+}
+
+// putLocked violates its own naming contract by acquiring.
+func (s *Server) putLocked(k, v int) {
+	s.mu.Lock() // want "putLocked .* acquires the lock itself"
+	s.items[k] = v
+	s.mu.Unlock()
+}
+
+// sizeLocked calls a locking method from a lock-held context.
+func (s *Server) sizeLocked() int {
+	return s.Get(0) // want "sizeLocked .* calls Get, which acquires the lock"
+}
+
+// Put is the clean discipline: lock once, work through *Locked helpers.
+func (s *Server) Put(k, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.storeLocked(k, v)
+}
+
+func (s *Server) storeLocked(k, v int) { s.items[k] = v }
+
+// Reload releases before calling a locking method: clean.
+func (s *Server) Reload(k int) int {
+	s.mu.Lock()
+	s.items = map[int]int{}
+	s.mu.Unlock()
+	return s.Get(k)
+}
+
+// Recheck escapes the discipline deliberately, under a waiver.
+func (s *Server) Recheck(k int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peek(k) //swm:ok fixture: peek switches to its own lock-free path when mu is held
+}
+
+func (s *Server) peek(k int) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.items[k]
+}

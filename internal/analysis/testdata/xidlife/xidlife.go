@@ -1,0 +1,58 @@
+// Package xidlife is the golden fixture for the xidlife analyzer: a
+// created XID that provably never reaches a destroy path, a tracked
+// structure, a return, or another call is a leak.
+package xidlife
+
+import (
+	"repro/internal/xproto"
+	"repro/internal/xserver"
+)
+
+// tracker stands in for the WM structs that keep created windows
+// reachable for later destruction.
+type tracker struct {
+	frames []xproto.XID
+}
+
+// leak drops every reference to the XIDs it creates.
+func leak(c *xserver.Conn, root xproto.XID, r xproto.Rect) {
+	c.CreateWindow(root, r, 0, xserver.WindowAttributes{})            // want "result of .*CreateWindow is discarded"
+	_, _ = c.CreateWindow(root, r, 0, xserver.WindowAttributes{})     // want "assigned to _"
+	id, err := c.CreateWindow(root, r, 0, xserver.WindowAttributes{}) // want "stored in .id. but never reaches"
+	if err != nil || id == xproto.None {
+		return
+	}
+}
+
+// allocID mimics the raw XID allocator: its name marks it a creator.
+func allocID() xproto.XID { return 1 }
+
+// dropRaw burns an allocated XID without ever using it.
+func dropRaw() {
+	allocID() // want "result of .*allocID is discarded"
+}
+
+// tracked stores or destroys everything it creates.
+func tracked(c *xserver.Conn, t *tracker, root xproto.XID, r xproto.Rect) error {
+	id, err := c.CreateWindow(root, r, 0, xserver.WindowAttributes{})
+	if err != nil {
+		return err
+	}
+	t.frames = append(t.frames, id) // escapes into the tracked slice
+
+	tmp, err := c.CreateWindow(root, r, 0, xserver.WindowAttributes{})
+	if err != nil {
+		return err
+	}
+	return c.DestroyWindow(tmp) // escapes into the destroy path
+}
+
+// forwarded hands the fresh XID straight to its caller.
+func forwarded(c *xserver.Conn, root xproto.XID, r xproto.Rect) (xproto.XID, error) {
+	return c.CreateWindow(root, r, 0, xserver.WindowAttributes{})
+}
+
+// splash is a deliberate fire-and-forget window.
+func splash(c *xserver.Conn, root xproto.XID, r xproto.Rect) {
+	c.CreateWindow(root, r, 0, xserver.WindowAttributes{}) //swm:ok fixture: the splash window lives until server reset by design
+}

@@ -49,7 +49,28 @@ type WM struct {
 
 	placeX, placeY int
 	scrW, scrH     int
+
+	degraded int
+	lastErr  error
 }
+
+// check is gwm's minimal version of core's degradation path (PR 1): a
+// failed request is counted and remembered instead of silently
+// discarded, so tests can observe how often the baseline degrades.
+func (wm *WM) check(op string, err error) bool {
+	if err == nil {
+		return true
+	}
+	wm.degraded++
+	wm.lastErr = fmt.Errorf("gwm: %s: %w", op, err)
+	return false
+}
+
+// Degraded reports how many requests have failed and been dropped.
+func (wm *WM) Degraded() int { return wm.degraded }
+
+// LastError returns the most recent dropped request failure, if any.
+func (wm *WM) LastError() error { return wm.lastErr }
 
 // Client is one managed window.
 type Client struct {
@@ -185,8 +206,8 @@ func (wm *WM) Pump() int {
 // Shutdown releases clients and closes the connection.
 func (wm *WM) Shutdown() {
 	for _, c := range wm.clients {
-		_ = wm.conn.ReparentWindow(c.Win, wm.root, c.FrameRect.X, c.FrameRect.Y)
-		_ = wm.conn.MapWindow(c.Win)
+		wm.check("shutdown reparent", wm.conn.ReparentWindow(c.Win, wm.root, c.FrameRect.X, c.FrameRect.Y))
+		wm.check("shutdown map", wm.conn.MapWindow(c.Win))
 	}
 	wm.conn.Close()
 }
@@ -199,7 +220,7 @@ func (wm *WM) handleEvent(ev xproto.Event) {
 			return
 		}
 		if _, err := wm.Manage(ev.Subwindow); err != nil {
-			_ = wm.conn.MapWindow(ev.Subwindow)
+			wm.check("map unmanaged", wm.conn.MapWindow(ev.Subwindow))
 		}
 	case xproto.DestroyNotify:
 		if c, ok := wm.clients[ev.Subwindow]; ok {
@@ -226,7 +247,7 @@ func (wm *WM) Manage(win xproto.XID) (*Client, error) {
 	if name, ok := icccm.GetName(wm.conn, win); ok {
 		c.Name = name
 	}
-	if cl, ok, _ := icccm.GetClass(wm.conn, win); ok {
+	if cl, ok, _ := icccm.GetClass(wm.conn, win); ok { //swm:ok a client without WM_CLASS is managed with empty class
 		c.Class = cl
 	}
 
@@ -302,7 +323,7 @@ func (wm *WM) Manage(win xproto.XID) (*Client, error) {
 	if err := wm.conn.MapWindow(frame); err != nil {
 		return nil, err
 	}
-	_ = icccm.SetState(wm.conn, win, icccm.State{State: xproto.NormalState})
+	wm.check("set normal state", icccm.SetState(wm.conn, win, icccm.State{State: xproto.NormalState}))
 	c.Frame = frame
 	wm.clients[win] = c
 	wm.byFrame[frame] = c
@@ -317,25 +338,25 @@ func (wm *WM) unmanage(c *Client) {
 	}
 	if c.IconWin != xproto.None {
 		delete(wm.byIcon, c.IconWin)
-		_ = wm.conn.DestroyWindow(c.IconWin)
+		wm.check("destroy icon", wm.conn.DestroyWindow(c.IconWin))
 	}
-	_ = wm.conn.DestroyWindow(c.Frame)
+	wm.check("destroy frame", wm.conn.DestroyWindow(c.Frame))
 }
 
 func (wm *WM) moveFrame(c *Client, x, y int) {
 	c.FrameRect.X, c.FrameRect.Y = x, y
-	_ = wm.conn.MoveWindow(c.Frame, x, y)
-	_ = icccm.SendSyntheticConfigureNotify(wm.conn, c.Win,
-		x+c.frameBorder, y+c.frameBorder+c.titleHeight, c.clientW, c.clientH)
+	wm.check("move frame", wm.conn.MoveWindow(c.Frame, x, y))
+	wm.check("synthetic configure", icccm.SendSyntheticConfigureNotify(wm.conn, c.Win,
+		x+c.frameBorder, y+c.frameBorder+c.titleHeight, c.clientW, c.clientH))
 }
 
 func (wm *WM) handleConfigureRequest(ev xproto.Event) {
 	c, ok := wm.clients[ev.Subwindow]
 	if !ok {
-		_ = wm.conn.ConfigureWindow(ev.Subwindow, xproto.WindowChanges{
+		wm.check("pass-through configure", wm.conn.ConfigureWindow(ev.Subwindow, xproto.WindowChanges{
 			Mask: ev.ValueMask, X: ev.GX, Y: ev.GY,
 			Width: ev.Width, Height: ev.Height,
-		})
+		}))
 		return
 	}
 	if ev.ValueMask&(xproto.CWWidth|xproto.CWHeight) != 0 {
@@ -347,12 +368,12 @@ func (wm *WM) handleConfigureRequest(ev xproto.Event) {
 			h = ev.Height
 		}
 		c.clientW, c.clientH = w, h
-		_ = wm.conn.ResizeWindow(c.Win, w, h)
+		wm.check("resize client", wm.conn.ResizeWindow(c.Win, w, h))
 		c.FrameRect.Width = w + 2*c.frameBorder
 		c.FrameRect.Height = h + c.titleHeight + 2*c.frameBorder
-		_ = wm.conn.ResizeWindow(c.Frame, c.FrameRect.Width, c.FrameRect.Height)
+		wm.check("resize frame", wm.conn.ResizeWindow(c.Frame, c.FrameRect.Width, c.FrameRect.Height))
 		if c.Title != xproto.None {
-			_ = wm.conn.ResizeWindow(c.Title, w, c.titleHeight)
+			wm.check("resize title", wm.conn.ResizeWindow(c.Title, w, c.titleHeight))
 		}
 	}
 	if ev.ValueMask&(xproto.CWX|xproto.CWY) != 0 {
@@ -391,11 +412,11 @@ func (wm *WM) handleButtonPress(ev xproto.Event) {
 	switch sym {
 	case "raise":
 		if c != nil {
-			_ = wm.conn.RaiseWindow(c.Frame)
+			wm.check("raise", wm.conn.RaiseWindow(c.Frame))
 		}
 	case "lower":
 		if c != nil {
-			_ = wm.conn.LowerWindow(c.Frame)
+			wm.check("lower", wm.conn.LowerWindow(c.Frame))
 		}
 	case "iconify":
 		if c != nil {
@@ -419,22 +440,22 @@ func (wm *WM) Iconify(c *Client) {
 	if c.Iconified {
 		return
 	}
-	_ = wm.conn.UnmapWindow(c.Frame)
+	wm.check("unmap frame", wm.conn.UnmapWindow(c.Frame))
 	if c.IconWin == xproto.None {
 		icon, err := wm.conn.CreateWindow(wm.root, xproto.Rect{
 			X: 8, Y: 8, Width: 64, Height: 64,
 		}, 1, xserver.WindowAttributes{OverrideRedirect: true, Label: c.Name})
 		if err == nil {
-			_ = wm.conn.SelectInput(icon, xproto.ButtonPressMask)
+			wm.check("icon input", wm.conn.SelectInput(icon, xproto.ButtonPressMask))
 			c.IconWin = icon
 			wm.byIcon[icon] = c
 		}
 	}
 	if c.IconWin != xproto.None {
-		_ = wm.conn.MapWindow(c.IconWin)
+		wm.check("map icon", wm.conn.MapWindow(c.IconWin))
 	}
 	c.Iconified = true
-	_ = icccm.SetState(wm.conn, c.Win, icccm.State{State: xproto.IconicState})
+	wm.check("set iconic state", icccm.SetState(wm.conn, c.Win, icccm.State{State: xproto.IconicState}))
 }
 
 // Deiconify restores a client.
@@ -443,9 +464,9 @@ func (wm *WM) Deiconify(c *Client) {
 		return
 	}
 	if c.IconWin != xproto.None {
-		_ = wm.conn.UnmapWindow(c.IconWin)
+		wm.check("unmap icon", wm.conn.UnmapWindow(c.IconWin))
 	}
-	_ = wm.conn.MapWindow(c.Frame)
+	wm.check("map frame", wm.conn.MapWindow(c.Frame))
 	c.Iconified = false
-	_ = icccm.SetState(wm.conn, c.Win, icccm.State{State: xproto.NormalState})
+	wm.check("set normal state", icccm.SetState(wm.conn, c.Win, icccm.State{State: xproto.NormalState}))
 }

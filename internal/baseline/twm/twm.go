@@ -48,7 +48,28 @@ type WM struct {
 	placeX, placeY int
 	moveTarget     *Client
 	moveDX, moveDY int
+
+	degraded int
+	lastErr  error
 }
+
+// check is twm's minimal version of core's degradation path (PR 1): a
+// failed request is counted and remembered instead of silently
+// discarded, so tests can observe how often the baseline degrades.
+func (wm *WM) check(op string, err error) bool {
+	if err == nil {
+		return true
+	}
+	wm.degraded++
+	wm.lastErr = fmt.Errorf("twm: %s: %w", op, err)
+	return false
+}
+
+// Degraded reports how many requests have failed and been dropped.
+func (wm *WM) Degraded() int { return wm.degraded }
+
+// LastError returns the most recent dropped request failure, if any.
+func (wm *WM) LastError() error { return wm.lastErr }
 
 // Client is one managed window.
 type Client struct {
@@ -137,8 +158,8 @@ func (wm *WM) Pump() int {
 // Shutdown releases clients back to the root and closes the connection.
 func (wm *WM) Shutdown() {
 	for _, c := range wm.clients {
-		_ = wm.conn.ReparentWindow(c.Win, wm.root, c.FrameRect.X, c.FrameRect.Y+TitleHeight)
-		_ = wm.conn.MapWindow(c.Win)
+		wm.check("shutdown reparent", wm.conn.ReparentWindow(c.Win, wm.root, c.FrameRect.X, c.FrameRect.Y+TitleHeight))
+		wm.check("shutdown map", wm.conn.MapWindow(c.Win))
 	}
 	wm.conn.Close()
 }
@@ -151,7 +172,7 @@ func (wm *WM) handleEvent(ev xproto.Event) {
 			return
 		}
 		if _, err := wm.Manage(ev.Subwindow); err != nil {
-			_ = wm.conn.MapWindow(ev.Subwindow)
+			wm.check("map unmanaged", wm.conn.MapWindow(ev.Subwindow))
 		}
 	case xproto.ConfigureRequest:
 		wm.handleConfigureRequest(ev)
@@ -176,7 +197,7 @@ func (wm *WM) handleEvent(ev xproto.Event) {
 		if c, ok := wm.clients[ev.Window]; ok && wm.conn.AtomName(ev.Atom) == "WM_NAME" {
 			if name, ok := icccm.GetName(wm.conn, c.Win); ok {
 				c.Name = name
-				_ = wm.conn.SetWindowLabel(c.Title, name)
+				wm.check("retitle", wm.conn.SetWindowLabel(c.Title, name))
 			}
 		}
 	}
@@ -198,7 +219,7 @@ func (wm *WM) Manage(win xproto.XID) (*Client, error) {
 	if name, ok := icccm.GetName(wm.conn, win); ok {
 		c.Name = name
 	}
-	if cl, ok, _ := icccm.GetClass(wm.conn, win); ok {
+	if cl, ok, _ := icccm.GetClass(wm.conn, win); ok { //swm:ok a client without WM_CLASS is managed with empty class
 		c.Class = cl
 	}
 	noTitle := wm.cfg.NoTitle[c.Class.Instance] || wm.cfg.NoTitle[c.Class.Class]
@@ -268,7 +289,7 @@ func (wm *WM) Manage(win xproto.XID) (*Client, error) {
 		xproto.PropertyChangeMask|xproto.StructureNotifyMask); err != nil {
 		return nil, err
 	}
-	_ = icccm.SetState(wm.conn, win, icccm.State{State: xproto.NormalState})
+	wm.check("set normal state", icccm.SetState(wm.conn, win, icccm.State{State: xproto.NormalState}))
 	c.Frame = frame
 	c.FrameRect = frameRect
 	wm.clients[win] = c
@@ -285,24 +306,24 @@ func (wm *WM) unmanage(c *Client) {
 	if c.Title != xproto.None {
 		delete(wm.byTitle, c.Title)
 	}
-	_ = wm.conn.DestroyWindow(c.Frame)
+	wm.check("destroy frame", wm.conn.DestroyWindow(c.Frame))
 }
 
 func (wm *WM) moveFrame(c *Client, x, y int) {
 	c.FrameRect.X, c.FrameRect.Y = x, y
-	_ = wm.conn.MoveWindow(c.Frame, x, y)
-	_ = icccm.SendSyntheticConfigureNotify(wm.conn, c.Win,
-		x+FrameBorder, y+FrameBorder+TitleHeight, c.clientW, c.clientH)
+	wm.check("move frame", wm.conn.MoveWindow(c.Frame, x, y))
+	wm.check("synthetic configure", icccm.SendSyntheticConfigureNotify(wm.conn, c.Win,
+		x+FrameBorder, y+FrameBorder+TitleHeight, c.clientW, c.clientH))
 }
 
 func (wm *WM) handleConfigureRequest(ev xproto.Event) {
 	c, ok := wm.clients[ev.Subwindow]
 	if !ok {
-		_ = wm.conn.ConfigureWindow(ev.Subwindow, xproto.WindowChanges{
+		wm.check("pass-through configure", wm.conn.ConfigureWindow(ev.Subwindow, xproto.WindowChanges{
 			Mask: ev.ValueMask, X: ev.GX, Y: ev.GY,
 			Width: ev.Width, Height: ev.Height, BorderWidth: ev.BorderWidth,
 			Sibling: ev.Sibling, StackMode: ev.StackMode,
-		})
+		}))
 		return
 	}
 	if ev.ValueMask&(xproto.CWWidth|xproto.CWHeight) != 0 {
@@ -334,12 +355,12 @@ func (wm *WM) Resize(c *Client, w, h int) {
 	if c.Title == xproto.None {
 		titleH = 0
 	}
-	_ = wm.conn.ResizeWindow(c.Win, w, h)
+	wm.check("resize client", wm.conn.ResizeWindow(c.Win, w, h))
 	c.FrameRect.Width = w + 2*FrameBorder
 	c.FrameRect.Height = h + titleH + 2*FrameBorder
-	_ = wm.conn.ResizeWindow(c.Frame, c.FrameRect.Width, c.FrameRect.Height)
+	wm.check("resize frame", wm.conn.ResizeWindow(c.Frame, c.FrameRect.Width, c.FrameRect.Height))
 	if c.Title != xproto.None {
-		_ = wm.conn.ResizeWindow(c.Title, w, titleH)
+		wm.check("resize title", wm.conn.ResizeWindow(c.Title, w, titleH))
 	}
 }
 
@@ -363,11 +384,11 @@ func (wm *WM) runFunction(fn string, c *Client, ev xproto.Event) {
 	switch fn {
 	case "f.raise":
 		if c != nil {
-			_ = wm.conn.RaiseWindow(c.Frame)
+			wm.check("raise", wm.conn.RaiseWindow(c.Frame))
 		}
 	case "f.lower":
 		if c != nil {
-			_ = wm.conn.LowerWindow(c.Frame)
+			wm.check("lower", wm.conn.LowerWindow(c.Frame))
 		}
 	case "f.iconify":
 		if c != nil {
@@ -382,12 +403,12 @@ func (wm *WM) runFunction(fn string, c *Client, ev xproto.Event) {
 			wm.moveTarget = c
 			wm.moveDX = ev.RootX - c.FrameRect.X
 			wm.moveDY = ev.RootY - c.FrameRect.Y
-			_ = wm.conn.GrabPointer(wm.root,
-				xproto.PointerMotionMask|xproto.ButtonReleaseMask)
+			wm.check("grab pointer", wm.conn.GrabPointer(wm.root,
+				xproto.PointerMotionMask|xproto.ButtonReleaseMask))
 		}
-	case "f.raiselower":
+	case "f.raiselower": //swm:ok twm dispatches its own function set; f.raiselower is baseline-only
 		if c != nil {
-			_ = wm.conn.RaiseWindow(c.Frame)
+			wm.check("raiselower", wm.conn.RaiseWindow(c.Frame))
 		}
 	}
 }
@@ -398,9 +419,9 @@ func (wm *WM) Iconify(c *Client) {
 	if c.Iconified {
 		return
 	}
-	_ = wm.conn.UnmapWindow(c.Frame)
+	wm.check("unmap frame", wm.conn.UnmapWindow(c.Frame))
 	c.Iconified = true
-	_ = icccm.SetState(wm.conn, c.Win, icccm.State{State: xproto.IconicState})
+	wm.check("set iconic state", icccm.SetState(wm.conn, c.Win, icccm.State{State: xproto.IconicState}))
 	if wm.iconMgr == xproto.None {
 		return
 	}
@@ -411,8 +432,8 @@ func (wm *WM) Iconify(c *Client) {
 	if err != nil {
 		return
 	}
-	_ = wm.conn.SelectInput(entry, xproto.ButtonPressMask)
-	_ = wm.conn.MapWindow(entry)
+	wm.check("icon entry input", wm.conn.SelectInput(entry, xproto.ButtonPressMask))
+	wm.check("map icon entry", wm.conn.MapWindow(entry))
 	c.iconEntry = entry
 	wm.byIconEntry[entry] = c
 	wm.iconMgrEntries = append(wm.iconMgrEntries, c)
@@ -424,9 +445,9 @@ func (wm *WM) Deiconify(c *Client) {
 	if !c.Iconified {
 		return
 	}
-	_ = wm.conn.MapWindow(c.Frame)
+	wm.check("map frame", wm.conn.MapWindow(c.Frame))
 	c.Iconified = false
-	_ = icccm.SetState(wm.conn, c.Win, icccm.State{State: xproto.NormalState})
+	wm.check("set normal state", icccm.SetState(wm.conn, c.Win, icccm.State{State: xproto.NormalState}))
 	wm.removeIconEntry(c)
 }
 
@@ -434,7 +455,7 @@ func (wm *WM) removeIconEntry(c *Client) {
 	if c.iconEntry == xproto.None {
 		return
 	}
-	_ = wm.conn.DestroyWindow(c.iconEntry)
+	wm.check("destroy icon entry", wm.conn.DestroyWindow(c.iconEntry))
 	delete(wm.byIconEntry, c.iconEntry)
 	c.iconEntry = xproto.None
 	entries := wm.iconMgrEntries[:0]
@@ -454,13 +475,13 @@ func (wm *WM) layoutIconMgr() {
 	h := len(wm.iconMgrEntries) * IconMgrRowH
 	if h == 0 {
 		h = IconMgrRowH
-		_ = wm.conn.UnmapWindow(wm.iconMgr)
+		wm.check("unmap icon manager", wm.conn.UnmapWindow(wm.iconMgr))
 	} else {
-		_ = wm.conn.MapWindow(wm.iconMgr)
+		wm.check("map icon manager", wm.conn.MapWindow(wm.iconMgr))
 	}
-	_ = wm.conn.ResizeWindow(wm.iconMgr, IconMgrWidth, h)
+	wm.check("resize icon manager", wm.conn.ResizeWindow(wm.iconMgr, IconMgrWidth, h))
 	for i, c := range wm.iconMgrEntries {
-		_ = wm.conn.MoveWindow(c.iconEntry, 0, i*IconMgrRowH)
+		wm.check("move icon entry", wm.conn.MoveWindow(c.iconEntry, 0, i*IconMgrRowH))
 	}
 }
 

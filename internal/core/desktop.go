@@ -158,18 +158,7 @@ func (scr *Screen) Viewport() xproto.Rect {
 	return xproto.Rect{X: scr.PanX, Y: scr.PanY, Width: scr.Width, Height: scr.Height}
 }
 
-func clamp(v, lo, hi int) int {
-	if hi < lo {
-		hi = lo
-	}
-	if v < lo {
-		return lo
-	}
-	if v > hi {
-		return hi
-	}
-	return v
-}
+func clamp(v, lo, hi int) int { return geom.Clamp(v, lo, hi) }
 
 // --- Scrollbars (§6: one of the three ways to pan) -------------------------
 

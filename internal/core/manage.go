@@ -28,7 +28,7 @@ func (wm *WM) Manage(win xproto.XID) (*Client, error) {
 	}
 
 	c := &Client{wm: wm, scr: scr, Win: win, State: xproto.NormalState}
-	if cl, ok, _ := icccm.GetClass(wm.conn, win); ok {
+	if cl, ok, _ := icccm.GetClass(wm.conn, win); ok { //swm:ok a client without WM_CLASS is managed with empty class
 		c.Class = cl
 	}
 	if name, ok := icccm.GetName(wm.conn, win); ok {
@@ -48,7 +48,7 @@ func (wm *WM) Manage(win xproto.XID) (*Client, error) {
 	if shaped, _, err := wm.conn.ShapeQuery(win); err == nil {
 		c.Shaped = shaped
 	}
-	if p, ok, _ := wm.conn.GetProperty(win, wm.conn.InternAtom("WM_TRANSIENT_FOR")); ok && len(p.Data) >= 4 {
+	if p, ok, _ := wm.conn.GetProperty(win, wm.conn.InternAtom("WM_TRANSIENT_FOR")); ok && len(p.Data) >= 4 { //swm:ok missing WM_TRANSIENT_FOR means the window is not transient
 		c.Transient = xproto.XID(uint32(p.Data[0]) | uint32(p.Data[1])<<8 |
 			uint32(p.Data[2])<<16 | uint32(p.Data[3])<<24)
 	}
@@ -71,8 +71,8 @@ func (wm *WM) Manage(win xproto.XID) (*Client, error) {
 	}
 	c.clientW, c.clientH = g.Rect.Width, g.Rect.Height
 
-	hints, hasHints, _ := icccm.GetHints(wm.conn, win)
-	normal, hasNormal, _ := icccm.GetNormalHints(wm.conn, win)
+	hints, hasHints, _ := icccm.GetHints(wm.conn, win)         //swm:ok absent WM_HINTS means no initial-state or icon request
+	normal, hasNormal, _ := icccm.GetNormalHints(wm.conn, win) //swm:ok absent WM_NORMAL_HINTS means no size constraints
 
 	// Session restart hint (paper §7): match WM_COMMAND (+ machine),
 	// restore size, location, icon location, sticky and state.
@@ -192,7 +192,7 @@ func (wm *WM) Manage(win xproto.XID) (*Client, error) {
 	// WM-owned client, selects button/motion events). With the
 	// focusFollowsMouse resource, the pointer entering the client
 	// focuses it, so the WM watches crossings too.
-	prevAttrs, _ := wm.conn.GetWindowAttributes(win)
+	prevAttrs, _ := wm.conn.GetWindowAttributes(win) //swm:ok on failure the zero mask is merged, which is the pre-query behavior
 	clientMask := prevAttrs.YourEventMask | xproto.PropertyChangeMask | xproto.StructureNotifyMask
 	if v, ok := wm.ctx(scr).LookupGlobal("focusFollowsMouse"); ok && strings.EqualFold(v, "true") {
 		clientMask |= xproto.EnterWindowMask
