@@ -552,6 +552,7 @@ func BenchmarkSwmPolicyLookup(b *testing.B) {
 func BenchmarkPerfManage100Clients(b *testing.B) { perfbench.ManageClients(100)(b) }
 func BenchmarkPerfMoveStorm(b *testing.B)        { perfbench.MoveStorm(b) }
 func BenchmarkPerfPanStorm(b *testing.B)         { perfbench.PanStorm(b) }
+func BenchmarkPerfPanStormTraced(b *testing.B)   { perfbench.PanStormTraced(b) }
 
 // BenchmarkXrdbQueryCold defeats the DB.Query memo with a fresh clone
 // per iteration, measuring the raw matching walk the memo shortcuts.

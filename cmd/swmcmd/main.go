@@ -4,16 +4,27 @@
 //
 // Because the X server in this reproduction is in-process, swmcmd runs
 // a self-contained demonstration: it starts a server + swm + a few
-// clients, then delivers the given command string exactly the way the
-// real swmcmd does — by writing the SWM_COMMAND property from a second
-// client connection — and reports the observable effect.
+// clients, then delivers the given command exactly the way the real
+// swmcmd does — by writing a property from a second client connection —
+// and reports the observable effect.
+//
+// Two protocol forms are supported. The versioned request/response form
+// (internal/swmproto) is the default: commands are acknowledged and
+// structured state can be queried as JSON. The paper's original one-way
+// SWM_COMMAND form is kept behind -legacy.
 //
 //	swmcmd 'f.iconify(XTerm)'
-//	swmcmd 'f.save(XTerm) f.zoom(XTerm)'
+//	swmcmd -legacy 'f.save(XTerm) f.zoom(XTerm)'
+//	swmcmd -query stats
+//	swmcmd -query trace
+//	swmcmd -query clients
+//	swmcmd -query desktop
 //	swmcmd -list
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -22,6 +33,7 @@ import (
 	"repro/internal/clients"
 	"repro/internal/core"
 	"repro/internal/raster"
+	"repro/internal/swmproto"
 	"repro/internal/templates"
 	"repro/internal/xproto"
 	"repro/internal/xserver"
@@ -32,6 +44,8 @@ func main() {
 	log.SetPrefix("swmcmd: ")
 	list := flag.Bool("list", false, "list the window manager functions swm understands")
 	render := flag.Bool("render", false, "render the screen after executing the command")
+	query := flag.String("query", "", "query swm state: stats, trace, clients or desktop")
+	legacy := flag.Bool("legacy", false, "use the one-way SWM_COMMAND form (no acknowledgement)")
 	flag.Parse()
 
 	if *list {
@@ -48,8 +62,8 @@ func main() {
 		}
 		return
 	}
-	if flag.NArg() == 0 {
-		log.Fatal("usage: swmcmd [-render] '<f.function ...>'") //swm:ok f.function is a usage placeholder, not a registered function
+	if *query == "" && flag.NArg() == 0 {
+		log.Fatal("usage: swmcmd [-render] [-legacy] '<f.function ...>' | swmcmd -query stats|trace|clients|desktop") //swm:ok f.function is a usage placeholder, not a registered function
 	}
 	command := strings.Join(flag.Args(), " ")
 
@@ -63,6 +77,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Queries are about observing swm, so record the demo's activity.
+	if *query != "" {
+		wm.Trace().Enable()
+	}
 	term, err := clients.Xterm(s, "shell")
 	if err != nil {
 		log.Fatal(err)
@@ -72,18 +90,50 @@ func main() {
 	}
 	wm.Pump()
 
+	root := s.Screens()[0].Root
+
+	if *query != "" {
+		cmdConn := s.Connect("swmcmd")
+		cl, err := swmproto.NewClient(cmdConn, root)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp := roundTrip(wm, cl, swmproto.Request{Op: swmproto.OpQuery, Target: *query})
+		if !resp.OK {
+			log.Fatalf("query %s: %s", *query, resp.Error)
+		}
+		var pretty bytes.Buffer
+		if err := json.Indent(&pretty, resp.Result, "", "  "); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(pretty.String())
+		return
+	}
+
 	before := describe(wm, term)
 
-	// The actual protocol: write SWM_COMMAND on the root from a separate
-	// connection, exactly as the real swmcmd does from an xterm.
-	cmdConn := s.Connect("swmcmd")
-	root := s.Screens()[0].Root
-	err = cmdConn.ChangeProperty(root, cmdConn.InternAtom("SWM_COMMAND"),
-		cmdConn.InternAtom("STRING"), 8, xproto.PropModeReplace, []byte(command))
-	if err != nil {
-		log.Fatal(err)
+	if *legacy {
+		// The paper's protocol: write SWM_COMMAND on the root from a
+		// separate connection, exactly as the real swmcmd does from an
+		// xterm. One-way; errors are only visible in swm's log.
+		cmdConn := s.Connect("swmcmd")
+		err = cmdConn.ChangeProperty(root, cmdConn.InternAtom(swmproto.CommandProperty),
+			cmdConn.InternAtom("STRING"), 8, xproto.PropModeReplace, []byte(command))
+		if err != nil {
+			log.Fatal(err)
+		}
+		wm.Pump()
+	} else {
+		cmdConn := s.Connect("swmcmd")
+		cl, err := swmproto.NewClient(cmdConn, root)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp := roundTrip(wm, cl, swmproto.Request{Op: swmproto.OpExec, Command: command})
+		if !resp.OK {
+			log.Fatalf("exec %q: %s", command, resp.Error)
+		}
 	}
-	wm.Pump()
 
 	after := describe(wm, term)
 	fmt.Printf("executed: %s\n", command)
@@ -107,6 +157,27 @@ func main() {
 		}
 		fmt.Printf("screen:\n%s", art)
 	}
+}
+
+// roundTrip sends one request, pumps the window manager so it serves
+// it, and returns the reply.
+func roundTrip(wm *core.WM, cl *swmproto.Client, req swmproto.Request) swmproto.Response {
+	id, err := cl.Send(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wm.Pump()
+	resp, ok, err := cl.Poll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ok {
+		log.Fatalf("no reply to request %d", id)
+	}
+	if resp.ID != id {
+		log.Fatalf("reply %d does not match request %d", resp.ID, id)
+	}
+	return resp
 }
 
 func describe(wm *core.WM, app *clients.App) string {

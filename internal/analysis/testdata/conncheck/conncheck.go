@@ -42,3 +42,33 @@ func check(op string, err error) bool {
 func waived(c *xserver.Conn, win xproto.XID) {
 	c.UnmapWindow(win) //swm:ok fixture: unmapping a dying window is best-effort
 }
+
+// instrument mirrors an obs recording hook: no error return, nothing
+// to discard.
+type instrument interface {
+	Request(major string)
+}
+
+// instrumented mirrors the observability instrument points: recording
+// calls return nothing, so bracketing a properly handled request with
+// them must add no findings.
+func instrumented(c *xserver.Conn, win xproto.XID, in instrument) error {
+	if in != nil {
+		in.Request("MapWindow")
+	}
+	err := c.MapWindow(win)
+	check("map", err)
+	return err
+}
+
+// typedGetter exercises the icccm accessor contract: the (value, ok,
+// error) triple is clean when the error is routed, a finding when the
+// blank identifier swallows it.
+func typedGetter(c *xserver.Conn, win xproto.XID) string {
+	name, ok, err := icccm.GetName(c, win)
+	check("read WM_NAME", err)
+	if !ok {
+		return ""
+	}
+	return name
+}

@@ -11,6 +11,15 @@ import "sync"
 type Server struct {
 	mu    sync.RWMutex
 	items map[int]int
+	in    Instrument
+}
+
+// Instrument mirrors the xserver instrument hook (internal/obs): a
+// callback the server invokes while holding mu. Implementations touch
+// only their own leaf state, so the analyzer must treat the dynamic
+// call as clean rather than assuming it can re-enter the lock.
+type Instrument interface {
+	Note(k int)
 }
 
 // Get takes the read lock; calling it with mu held deadlocks.
@@ -48,6 +57,27 @@ func (s *Server) putLocked(k, v int) {
 // sizeLocked calls a locking method from a lock-held context.
 func (s *Server) sizeLocked() int {
 	return s.Get(0) // want "sizeLocked .* calls Get, which acquires the lock"
+}
+
+// Observe is the instrument-point shape: the callback fires with the
+// lock held (shared here, exclusive elsewhere) — clean, like the
+// faultLocked instrument gate in internal/xserver.
+func (s *Server) Observe(k int) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.in != nil {
+		s.in.Note(k)
+	}
+	return s.items[k]
+}
+
+// noteLocked shows the same hook from a *Locked helper: dispatching to
+// the instrument does not acquire, so the helper keeps its contract.
+func (s *Server) noteLocked(k int) {
+	if s.in != nil {
+		s.in.Note(k)
+	}
+	s.items[k]++
 }
 
 // Put is the clean discipline: lock once, work through *Locked helpers.

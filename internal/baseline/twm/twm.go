@@ -14,6 +14,7 @@ package twm
 import (
 	"fmt"
 
+	"repro/internal/degrade"
 	"repro/internal/icccm"
 	"repro/internal/xproto"
 	"repro/internal/xserver"
@@ -49,27 +50,21 @@ type WM struct {
 	moveTarget     *Client
 	moveDX, moveDY int
 
-	degraded int
-	lastErr  error
+	deg *degrade.Tracker
 }
 
-// check is twm's minimal version of core's degradation path (PR 1): a
-// failed request is counted and remembered instead of silently
-// discarded, so tests can observe how often the baseline degrades.
+// check routes a failed request through the shared degradation ledger
+// (internal/degrade) instead of silently discarding it, so tests can
+// observe how often the baseline degrades.
 func (wm *WM) check(op string, err error) bool {
-	if err == nil {
-		return true
-	}
-	wm.degraded++
-	wm.lastErr = fmt.Errorf("twm: %s: %w", op, err)
-	return false
+	return wm.deg.Check(op, err)
 }
 
 // Degraded reports how many requests have failed and been dropped.
-func (wm *WM) Degraded() int { return wm.degraded }
+func (wm *WM) Degraded() int { return wm.deg.Degraded() }
 
 // LastError returns the most recent dropped request failure, if any.
-func (wm *WM) LastError() error { return wm.lastErr }
+func (wm *WM) LastError() error { return wm.deg.LastError() }
 
 // Client is one managed window.
 type Client struct {
@@ -99,6 +94,7 @@ func New(server *xserver.Server, cfg *Config) (*WM, error) {
 		byFrame:     make(map[xproto.XID]*Client),
 		byTitle:     make(map[xproto.XID]*Client),
 		byIconEntry: make(map[xproto.XID]*Client),
+		deg:         degrade.New("twm"),
 	}
 	scr := server.Screens()[0]
 	wm.root = scr.Root
@@ -195,7 +191,9 @@ func (wm *WM) handleEvent(ev xproto.Event) {
 		}
 	case xproto.PropertyNotify:
 		if c, ok := wm.clients[ev.Window]; ok && wm.conn.AtomName(ev.Atom) == "WM_NAME" {
-			if name, ok := icccm.GetName(wm.conn, c.Win); ok {
+			name, ok, err := icccm.GetName(wm.conn, c.Win)
+			wm.check("read WM_NAME", err)
+			if ok {
 				c.Name = name
 				wm.check("retitle", wm.conn.SetWindowLabel(c.Title, name))
 			}
@@ -216,10 +214,14 @@ func (wm *WM) Manage(win xproto.XID) (*Client, error) {
 		return nil, err
 	}
 	c := &Client{Win: win, clientW: g.Rect.Width, clientH: g.Rect.Height}
-	if name, ok := icccm.GetName(wm.conn, win); ok {
+	name, okName, err := icccm.GetName(wm.conn, win)
+	wm.check("read WM_NAME", err)
+	if okName {
 		c.Name = name
 	}
-	if cl, ok, _ := icccm.GetClass(wm.conn, win); ok { //swm:ok a client without WM_CLASS is managed with empty class
+	cl, okClass, err := icccm.GetClass(wm.conn, win)
+	wm.check("read WM_CLASS", err)
+	if okClass {
 		c.Class = cl
 	}
 	noTitle := wm.cfg.NoTitle[c.Class.Instance] || wm.cfg.NoTitle[c.Class.Class]

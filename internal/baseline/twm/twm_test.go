@@ -51,7 +51,7 @@ func TestManageHardcodedDecoration(t *testing.T) {
 	if c.FrameRect.Height != 200+TitleHeight+2*FrameBorder {
 		t.Errorf("frame height = %d", c.FrameRect.Height)
 	}
-	st, _ := icccm.GetState(wm.conn, app.Win)
+	st, _, _ := icccm.GetState(wm.conn, app.Win)
 	if st.State != xproto.NormalState {
 		t.Error("WM_STATE not set")
 	}

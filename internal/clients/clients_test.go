@@ -25,19 +25,19 @@ func TestLaunchSetsICCCMProperties(t *testing.T) {
 	if cl, ok, _ := icccm.GetClass(conn, app.Win); !ok || cl.Instance != "xterm" || cl.Class != "XTerm" {
 		t.Errorf("class = %+v", cl)
 	}
-	if name, _ := icccm.GetName(conn, app.Win); name != "shell" {
+	if name, _, _ := icccm.GetName(conn, app.Win); name != "shell" {
 		t.Errorf("name = %q", name)
 	}
-	if iname, _ := icccm.GetIconName(conn, app.Win); iname != "sh" {
+	if iname, _, _ := icccm.GetIconName(conn, app.Win); iname != "sh" {
 		t.Errorf("icon name = %q", iname)
 	}
-	if cmd, _ := icccm.GetCommand(conn, app.Win); len(cmd) != 3 {
+	if cmd, _, _ := icccm.GetCommand(conn, app.Win); len(cmd) != 3 {
 		t.Errorf("command = %v", cmd)
 	}
-	if m, _ := icccm.GetClientMachine(conn, app.Win); m != "hosta" {
+	if m, _, _ := icccm.GetClientMachine(conn, app.Win); m != "hosta" {
 		t.Errorf("machine = %q", m)
 	}
-	if !icccm.HasProtocol(conn, app.Win, "WM_DELETE_WINDOW") {
+	if del, _ := icccm.HasProtocol(conn, app.Win, "WM_DELETE_WINDOW"); !del {
 		t.Error("protocol missing")
 	}
 	nh, ok, _ := icccm.GetNormalHints(conn, app.Win)
@@ -166,7 +166,7 @@ func TestShapedPresets(t *testing.T) {
 		t.Errorf("xeyes shaped=%v rects=%v", shaped, rects)
 	}
 	// Both advertise WM_COMMAND so the session manager can restart them.
-	if cmd, ok := icccm.GetCommand(oclock.Conn, oclock.Win); !ok || cmd[0] != "oclock" {
+	if cmd, ok, _ := icccm.GetCommand(oclock.Conn, oclock.Win); !ok || cmd[0] != "oclock" {
 		t.Errorf("oclock command = %v", cmd)
 	}
 }
@@ -189,14 +189,14 @@ func TestRectangularPresets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !icccm.HasProtocol(term.Conn, term.Win, "WM_DELETE_WINDOW") {
+	if del, _ := icccm.HasProtocol(term.Conn, term.Win, "WM_DELETE_WINDOW"); !del {
 		t.Error("xterm should support WM_DELETE_WINDOW")
 	}
 	ed, err := EditorWithDialogs(s, "notes.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if name, _ := icccm.GetName(ed.Conn, ed.Win); name != "xedit: notes.txt" {
+	if name, _, _ := icccm.GetName(ed.Conn, ed.Win); name != "xedit: notes.txt" {
 		t.Errorf("editor name = %q", name)
 	}
 }
@@ -230,7 +230,7 @@ func TestSetNameUpdatesProperty(t *testing.T) {
 	if err := app.SetName("two"); err != nil {
 		t.Fatal(err)
 	}
-	if name, _ := icccm.GetName(app.Conn, app.Win); name != "two" {
+	if name, _, _ := icccm.GetName(app.Conn, app.Win); name != "two" {
 		t.Errorf("name = %q", name)
 	}
 }

@@ -391,7 +391,7 @@ func wmInvariants(t *testing.T, wm *WM, c *Client) {
 		t.Fatalf("non-sticky frame on the root")
 	}
 	// WM_STATE agrees with the in-memory state.
-	st, ok := icccm.GetState(wm.conn, c.Win)
+	st, ok, _ := icccm.GetState(wm.conn, c.Win)
 	if !ok || st.State != c.State {
 		t.Fatalf("WM_STATE %v != state %d", st, c.State)
 	}

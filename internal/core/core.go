@@ -14,11 +14,13 @@ import (
 	"fmt"
 	"io"
 	"strings"
-	"sync"
+	"time"
 
 	"repro/internal/bindings"
+	"repro/internal/degrade"
 	"repro/internal/icccm"
 	"repro/internal/objects"
+	"repro/internal/obs"
 	"repro/internal/session"
 	"repro/internal/templates"
 	"repro/internal/xproto"
@@ -96,15 +98,16 @@ type WM struct {
 	// leak across transient errors.
 	orphans []xproto.XID
 
-	// statsMu guards the observability counters below. It is a leaf
-	// lock: the connection error handler runs while the server lock is
-	// held, so nothing under statsMu may issue X requests.
-	statsMu    sync.Mutex
-	evCounts   map[xproto.EventType]int
-	errCounts  map[xproto.ErrorCode]int
-	managed    int
-	unmanaged  int
-	deathRaces int
+	// metrics is the build-once instrument set (internal/obs); deg is
+	// the shared degradation ledger every survived failure flows
+	// through. Both are lock-free on the recording side: the connection
+	// error handler runs while the server lock is held, so nothing on
+	// those paths may block or issue X requests.
+	metrics *wmMetrics
+	deg     *degrade.Tracker
+	// sessionInst observes the session hint table (match hits/misses,
+	// malformed records) into the same registry.
+	sessionInst *obs.SessionInstrument
 }
 
 // Screen is per-screen WM state.
@@ -262,17 +265,20 @@ func New(server *xserver.Server, opts Options) (*WM, error) {
 		conn:     server.Connect("swm"),
 		db:       opts.DB,
 		opts:     opts,
-		clients:   make(map[xproto.XID]*Client),
-		byFrame:   make(map[xproto.XID]*Client),
-		byObjWin:  make(map[xproto.XID]objRef),
-		evCounts:  make(map[xproto.EventType]int),
-		errCounts: make(map[xproto.ErrorCode]int),
+		clients:  make(map[xproto.XID]*Client),
+		byFrame:  make(map[xproto.XID]*Client),
+		byObjWin: make(map[xproto.XID]objRef),
 	}
-	wm.conn.SetErrorHandler(func(xe *xproto.XError) {
-		wm.statsMu.Lock()
-		wm.errCounts[xe.Code]++
-		wm.statsMu.Unlock()
-	})
+	// Observability: one registry + trace per WM, instruments resolved
+	// once here and never looked up again (see metrics.go). The trace
+	// starts disabled; swmcmd or tests enable it on demand.
+	reg := obs.NewRegistry()
+	trace := obs.NewTrace(traceCap)
+	wm.metrics = newWMMetrics(reg, trace)
+	wm.deg = degrade.New("swm").Observe(reg, trace)
+	wm.conn.SetInstrument(obs.NewConnInstrument(reg, trace, xserver.RequestMajors))
+	wm.conn.SetErrorHandler(wm.metrics.noteXError)
+	wm.sessionInst = obs.NewSessionInstrument(reg)
 	wm.registerFunctions()
 
 	for _, srvScr := range server.Screens() {
@@ -534,12 +540,15 @@ func (wm *WM) loadHintTable() {
 	prop, ok, err := wm.conn.GetProperty(root, wm.conn.InternAtom("SWM_HINTS"))
 	if err != nil || !ok {
 		wm.hintTable, _ = session.NewTable("")
+		wm.hintTable.SetInstrument(wm.sessionInst)
 		return
 	}
 	tbl, bad := session.NewTable(string(prop.Data))
 	if bad > 0 {
 		wm.logf("%d malformed swmhints records ignored", bad)
+		wm.sessionInst.BadRecords(bad)
 	}
+	tbl.SetInstrument(wm.sessionInst)
 	wm.hintTable = tbl
 	// Consume the property so a later swm restart starts fresh.
 	wm.check(nil, "consume SWM_HINTS", wm.conn.DeleteProperty(root, wm.conn.InternAtom("SWM_HINTS")))
@@ -550,6 +559,7 @@ func (wm *WM) loadHintTable() {
 // scrollbar labels) once for the whole burst. Deterministic driver for
 // tests and benchmarks.
 func (wm *WM) Pump() int {
+	start := time.Now()
 	wm.sweepOrphans()
 	n := 0
 	for {
@@ -561,6 +571,8 @@ func (wm *WM) Pump() int {
 		n++
 	}
 	wm.flushRedraw()
+	wm.metrics.pumpCycles.Inc()
+	wm.metrics.pumpNs.Observe(time.Since(start).Nanoseconds())
 	return n
 }
 
@@ -572,10 +584,13 @@ func (wm *WM) Run() (restart bool) {
 		if !ok {
 			return false
 		}
+		// One pump cycle: the blocking event plus the rest of its burst,
+		// drained before settling redraw work, so a storm of
+		// motion/configure events costs one panner sync rather than one
+		// per event. The cycle timer starts after WaitEvent — blocked
+		// idle time is not pump latency.
+		start := time.Now()
 		wm.handleEvent(ev)
-		// Drain the rest of the burst before settling redraw work, so a
-		// storm of motion/configure events costs one panner sync rather
-		// than one per event.
 		for !wm.quitRequested && !wm.restartRequested {
 			ev, ok := wm.conn.PollEvent()
 			if !ok {
@@ -585,6 +600,8 @@ func (wm *WM) Run() (restart bool) {
 		}
 		wm.sweepOrphans()
 		wm.flushRedraw()
+		wm.metrics.pumpCycles.Inc()
+		wm.metrics.pumpNs.Observe(time.Since(start).Nanoseconds())
 	}
 	return wm.restartRequested
 }

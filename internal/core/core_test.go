@@ -78,7 +78,7 @@ func TestManageBasics(t *testing.T) {
 		t.Errorf("frame parent = %v, want desktop %v", fparent, wm.screens[0].Desktop)
 	}
 	// WM_STATE is NormalState.
-	st, ok := icccm.GetState(wm.conn, app.Win)
+	st, ok, _ := icccm.GetState(wm.conn, app.Win)
 	if !ok || st.State != xproto.NormalState {
 		t.Errorf("WM_STATE = %+v ok=%v", st, ok)
 	}
@@ -159,7 +159,7 @@ func TestClientWithdrawUnmanages(t *testing.T) {
 	if _, ok := wm.ClientOf(app.Win); ok {
 		t.Error("withdrawn client still managed")
 	}
-	st, ok := icccm.GetState(app.Conn, app.Win)
+	st, ok, _ := icccm.GetState(app.Conn, app.Win)
 	if !ok || st.State != xproto.WithdrawnState {
 		t.Errorf("WM_STATE = %+v, want Withdrawn", st)
 	}
@@ -198,7 +198,7 @@ func TestIconifyDeiconify(t *testing.T) {
 	if c.State != xproto.IconicState {
 		t.Error("state not iconic")
 	}
-	st, _ := icccm.GetState(wm.conn, app.Win)
+	st, _, _ := icccm.GetState(wm.conn, app.Win)
 	if st.State != xproto.IconicState {
 		t.Errorf("WM_STATE = %d", st.State)
 	}

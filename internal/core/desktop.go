@@ -80,6 +80,7 @@ func (wm *WM) PanTo(scr *Screen, x, y int) {
 		return
 	}
 	scr.PanX, scr.PanY = x, y
+	wm.notePan(scr.Desktop, x, y)
 	wm.check(nil, "pan desktop", wm.conn.MoveWindow(scr.Desktop, -x, -y))
 	wm.markViewDirty(scr)
 }

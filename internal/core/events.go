@@ -4,6 +4,7 @@ import (
 	"repro/internal/bindings"
 	"repro/internal/icccm"
 	"repro/internal/objects"
+	"repro/internal/swmproto"
 	"repro/internal/xproto"
 )
 
@@ -112,7 +113,8 @@ func (wm *WM) handlePropertyNotify(ev xproto.Event) {
 	for _, scr := range wm.screens {
 		if ev.Window == scr.Root {
 			switch atomName {
-			case "SWM_COMMAND":
+			case swmproto.CommandProperty:
+				// The legacy one-way protocol: execute, no reply.
 				if ev.PropertyState == xproto.PropertyNewValue {
 					wm.handleSwmCommand(scr)
 				}
@@ -120,6 +122,11 @@ func (wm *WM) handlePropertyNotify(ev xproto.Event) {
 				// swmhints appended while running: refresh the table.
 				if ev.PropertyState == xproto.PropertyNewValue {
 					wm.loadHintTable()
+				}
+			case swmproto.QueryProperty:
+				// The request/response protocol (internal/swmproto).
+				if ev.PropertyState == xproto.PropertyNewValue {
+					wm.handleSwmQuery(scr)
 				}
 			}
 			return
@@ -131,17 +138,23 @@ func (wm *WM) handlePropertyNotify(ev xproto.Event) {
 	}
 	switch atomName {
 	case "WM_NAME":
-		if name, ok := icccm.GetName(wm.conn, c.Win); ok {
+		name, ok, err := icccm.GetName(wm.conn, c.Win)
+		wm.check(c, "read WM_NAME", err)
+		if ok {
 			c.Name = name
 			wm.applyNameLabels(c)
 		}
 	case "WM_ICON_NAME":
-		if name, ok := icccm.GetIconName(wm.conn, c.Win); ok {
+		name, ok, err := icccm.GetIconName(wm.conn, c.Win)
+		wm.check(c, "read WM_ICON_NAME", err)
+		if ok {
 			c.IconName = name
 			wm.applyNameLabels(c)
 		}
 	case "WM_COMMAND":
-		if cmd, ok := icccm.GetCommand(wm.conn, c.Win); ok {
+		cmd, ok, err := icccm.GetCommand(wm.conn, c.Win)
+		wm.check(c, "read WM_COMMAND", err)
+		if ok {
 			c.Command = cmd
 		}
 	}
@@ -151,7 +164,7 @@ func (wm *WM) handlePropertyNotify(ev xproto.Event) {
 // "By writing a special property on the root window, swm interprets its
 // contents and executes commands" (§5).
 func (wm *WM) handleSwmCommand(scr *Screen) {
-	atom := wm.conn.InternAtom("SWM_COMMAND")
+	atom := wm.conn.InternAtom(swmproto.CommandProperty)
 	prop, ok, err := wm.conn.GetProperty(scr.Root, atom)
 	if err != nil || !ok {
 		return

@@ -374,7 +374,9 @@ func fDelete(wm *WM, ctx *FuncContext, inv bindings.Invocation) error {
 	if err != nil {
 		return err
 	}
-	if icccm.HasProtocol(wm.conn, c.Win, "WM_DELETE_WINDOW") {
+	del, err := icccm.HasProtocol(wm.conn, c.Win, "WM_DELETE_WINDOW")
+	wm.check(c, "read WM_PROTOCOLS", err)
+	if del {
 		return icccm.SendDeleteWindow(wm.conn, c.Win)
 	}
 	return wm.conn.KillClient(c.Win)

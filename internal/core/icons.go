@@ -82,7 +82,10 @@ func (wm *WM) buildIcon(c *Client) error {
 		tree.Children = []*objects.Object{b}
 	}
 	// Fill in the special objects before layout so sizes are right.
-	hints, hasHints, _ := icccm.GetHints(wm.conn, c.Win) //swm:ok absent hints fall back to the default icon image
+	// Absent hints (and failed reads, routed through check) fall back to
+	// the default icon image.
+	hints, hasHints, err := icccm.GetHints(wm.conn, c.Win)
+	wm.check(c, "read WM_HINTS", err)
 	if img := tree.Find("iconimage"); img != nil {
 		label := img.Attrs.Image
 		if label == "" {

@@ -27,30 +27,45 @@ func (wm *WM) Manage(win xproto.XID) (*Client, error) {
 		return nil, fmt.Errorf("core: window 0x%x has no screen", uint32(win))
 	}
 
+	// ICCCM properties. Every getter returns (value, ok, error): ok=false
+	// with a nil error is the common "property not set" case and falls
+	// back silently; a non-nil error is a failed request and goes through
+	// check like any other (the property is then treated as absent).
 	c := &Client{wm: wm, scr: scr, Win: win, State: xproto.NormalState}
-	if cl, ok, _ := icccm.GetClass(wm.conn, win); ok { //swm:ok a client without WM_CLASS is managed with empty class
+	cl, okClass, err := icccm.GetClass(wm.conn, win)
+	wm.check(nil, "read WM_CLASS", err)
+	if okClass {
 		c.Class = cl
 	}
-	if name, ok := icccm.GetName(wm.conn, win); ok {
+	name, okName, err := icccm.GetName(wm.conn, win)
+	wm.check(nil, "read WM_NAME", err)
+	if okName {
 		c.Name = name
 	}
-	if iname, ok := icccm.GetIconName(wm.conn, win); ok {
+	iname, okIcon, err := icccm.GetIconName(wm.conn, win)
+	wm.check(nil, "read WM_ICON_NAME", err)
+	if okIcon {
 		c.IconName = iname
 	} else {
 		c.IconName = c.Name
 	}
-	if cmd, ok := icccm.GetCommand(wm.conn, win); ok {
+	cmd, okCmd, err := icccm.GetCommand(wm.conn, win)
+	wm.check(nil, "read WM_COMMAND", err)
+	if okCmd {
 		c.Command = cmd
 	}
-	if m, ok := icccm.GetClientMachine(wm.conn, win); ok {
-		c.Machine = m
+	machine, okMachine, err := icccm.GetClientMachine(wm.conn, win)
+	wm.check(nil, "read WM_CLIENT_MACHINE", err)
+	if okMachine {
+		c.Machine = machine
 	}
 	if shaped, _, err := wm.conn.ShapeQuery(win); err == nil {
 		c.Shaped = shaped
 	}
-	if p, ok, _ := wm.conn.GetProperty(win, wm.conn.InternAtom("WM_TRANSIENT_FOR")); ok && len(p.Data) >= 4 { //swm:ok missing WM_TRANSIENT_FOR means the window is not transient
-		c.Transient = xproto.XID(uint32(p.Data[0]) | uint32(p.Data[1])<<8 |
-			uint32(p.Data[2])<<16 | uint32(p.Data[3])<<24)
+	transient, okTransient, err := icccm.GetTransientFor(wm.conn, win)
+	wm.check(nil, "read WM_TRANSIENT_FOR", err)
+	if okTransient {
+		c.Transient = transient
 	}
 
 	// Sticky start-up (paper §6.2): swm*xclock*sticky: True.
@@ -71,8 +86,10 @@ func (wm *WM) Manage(win xproto.XID) (*Client, error) {
 	}
 	c.clientW, c.clientH = g.Rect.Width, g.Rect.Height
 
-	hints, hasHints, _ := icccm.GetHints(wm.conn, win)         //swm:ok absent WM_HINTS means no initial-state or icon request
-	normal, hasNormal, _ := icccm.GetNormalHints(wm.conn, win) //swm:ok absent WM_NORMAL_HINTS means no size constraints
+	hints, hasHints, err := icccm.GetHints(wm.conn, win)
+	wm.check(nil, "read WM_HINTS", err)
+	normal, hasNormal, err := icccm.GetNormalHints(wm.conn, win)
+	wm.check(nil, "read WM_NORMAL_HINTS", err)
 
 	// Session restart hint (paper §7): match WM_COMMAND (+ machine),
 	// restore size, location, icon location, sticky and state.
@@ -207,7 +224,7 @@ func (wm *WM) Manage(win xproto.XID) (*Client, error) {
 	wm.applyClientShapeToFrame(c)
 
 	wm.clients[win] = c
-	wm.noteManaged()
+	wm.noteManaged(win)
 	wm.createResizeCorners(c)
 	wm.byFrame[c.frame.Window] = c
 	wm.registerObjectWindows(c)
@@ -402,7 +419,7 @@ func (wm *WM) Unmanage(c *Client, clientGone bool) {
 	// Deregister first: error classification during this teardown must
 	// never recurse into a second unmanage of the same client.
 	delete(wm.clients, c.Win)
-	wm.noteUnmanaged()
+	wm.noteUnmanaged(c.Win)
 	if !clientGone {
 		// Both requests retry once on a transient failure: a client left
 		// inside the frame would die with it, and a stale save-set entry

@@ -237,6 +237,11 @@ func (wm *WM) syncPanner(scr *Screen) {
 		recordViewport(b)
 	}
 
+	// Damage for this sync: how many miniatures the incremental index
+	// actually touched (the whole point of the PR 2 diff — a clean pump
+	// observes 0 here).
+	wm.metrics.pannerDamage.Observe(int64(len(destroys) + len(creates) + len(updates)))
+
 	if b.Flush() != nil {
 		// Degraded path: some op failed (fault injection, death races).
 		// Resolve per-cookie, mirroring what the unbatched code did.

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"encoding/json"
+	"sort"
+
+	"repro/internal/swmproto"
+	"repro/internal/xproto"
+)
+
+// handleSwmQuery serves the request/response form of the swmcmd
+// protocol (internal/swmproto): read and consume the SWM_QUERY property
+// from the root, serve the request, and write the response to the
+// SWM_REPLY property on the requester's reply window. The legacy
+// one-way SWM_COMMAND path is untouched; this is the versioned query
+// API layered on the same property mechanism.
+func (wm *WM) handleSwmQuery(scr *Screen) {
+	atom := wm.conn.InternAtom(swmproto.QueryProperty)
+	prop, ok, err := wm.conn.GetProperty(scr.Root, atom)
+	if err != nil || !ok {
+		return
+	}
+	wm.check(nil, "consume SWM_QUERY", wm.conn.DeleteProperty(scr.Root, atom))
+
+	req, err := swmproto.DecodeRequest(prop.Data)
+	if err != nil {
+		wm.logf("swm query: %v", err)
+		// A partially decoded request may still name a reply window;
+		// tell the peer why it was rejected rather than going silent.
+		if req.ReplyWindow != 0 {
+			wm.sendReply(req, swmproto.Response{OK: false, Error: err.Error()})
+		}
+		return
+	}
+	if req.ReplyWindow == 0 {
+		wm.logf("swm query: request %d has no reply window", req.ID)
+		return
+	}
+	wm.sendReply(req, wm.serveRequest(scr, req))
+}
+
+// serveRequest dispatches a decoded request to its handler and packs
+// the answer. Failures are reported in-band: OK=false plus Error.
+func (wm *WM) serveRequest(scr *Screen, req swmproto.Request) swmproto.Response {
+	switch req.Op {
+	case swmproto.OpExec:
+		ctx := &FuncContext{Screen: scr, Client: wm.clientUnderPointer()}
+		if err := wm.ExecuteString(ctx, req.Command); err != nil {
+			return swmproto.Response{OK: false, Error: err.Error()}
+		}
+		return swmproto.Response{OK: true}
+	case swmproto.OpQuery:
+		var result any
+		switch req.Target {
+		case swmproto.TargetStats:
+			result = wm.statsResult()
+		case swmproto.TargetTrace:
+			result = wm.traceResult()
+		case swmproto.TargetClients:
+			result = wm.clientsResult()
+		case swmproto.TargetDesktop:
+			result = wm.desktopResult()
+		default:
+			return swmproto.Response{OK: false, Error: "unknown query target " + req.Target}
+		}
+		data, err := json.Marshal(result)
+		if err != nil {
+			return swmproto.Response{OK: false, Error: err.Error()}
+		}
+		return swmproto.Response{OK: true, Result: data}
+	default:
+		return swmproto.Response{OK: false, Error: "unknown op " + req.Op}
+	}
+}
+
+// sendReply stamps the protocol fields and writes the response to the
+// reply window. The window belongs to the requesting client; if it died
+// in the meantime the write fails and check records the degradation.
+func (wm *WM) sendReply(req swmproto.Request, resp swmproto.Response) {
+	resp.V = swmproto.Version
+	resp.ID = req.ID
+	data, err := swmproto.EncodeResponse(resp)
+	if err != nil {
+		wm.logf("swm query %d: encode reply: %v", req.ID, err)
+		return
+	}
+	wm.check(nil, "write SWM_REPLY", wm.conn.ChangeProperty(
+		xproto.XID(req.ReplyWindow), wm.conn.InternAtom(swmproto.ReplyProperty),
+		wm.conn.InternAtom("STRING"), 8, xproto.PropModeReplace, data))
+}
+
+func (wm *WM) statsResult() swmproto.StatsResult {
+	res := swmproto.StatsResult{
+		Metrics:  wm.metrics.registry.Snapshot(),
+		Degraded: wm.Degraded(),
+	}
+	if err := wm.LastError(); err != nil {
+		res.LastError = err.Error()
+	}
+	return res
+}
+
+func (wm *WM) traceResult() swmproto.TraceResult {
+	t := wm.metrics.trace
+	return swmproto.TraceResult{
+		Enabled: t.Enabled(),
+		Cap:     t.Cap(),
+		Entries: t.Snapshot(),
+	}
+}
+
+func (wm *WM) clientsResult() swmproto.ClientsResult {
+	res := swmproto.ClientsResult{Clients: []swmproto.ClientInfo{}}
+	for _, c := range wm.clients {
+		state := "normal"
+		if c.State == xproto.IconicState {
+			state = "iconic"
+		}
+		res.Clients = append(res.Clients, swmproto.ClientInfo{
+			Window:    uint32(c.Win),
+			Name:      c.Name,
+			Class:     c.Class.Class,
+			Instance:  c.Class.Instance,
+			State:     state,
+			Sticky:    c.Sticky,
+			Transient: c.Transient != xproto.None,
+			X:         c.FrameRect.X,
+			Y:         c.FrameRect.Y,
+			Width:     c.FrameRect.Width,
+			Height:    c.FrameRect.Height,
+		})
+	}
+	sort.Slice(res.Clients, func(i, j int) bool {
+		return res.Clients[i].Window < res.Clients[j].Window
+	})
+	return res
+}
+
+func (wm *WM) desktopResult() swmproto.DesktopResult {
+	var res swmproto.DesktopResult
+	for _, scr := range wm.screens {
+		info := swmproto.DesktopInfo{
+			Screen:         scr.Num,
+			Enabled:        scr.Desktop != xproto.None,
+			Width:          scr.Width,
+			Height:         scr.Height,
+			ViewWidth:      scr.Width,
+			ViewHeight:     scr.Height,
+			CurrentDesktop: scr.currentDesktop,
+			Desktops:       1 + len(scr.extraDesktops),
+		}
+		if info.Enabled {
+			info.Width = scr.DesktopW
+			info.Height = scr.DesktopH
+			info.PanX = scr.PanX
+			info.PanY = scr.PanY
+		}
+		res.Screens = append(res.Screens, info)
+	}
+	return res
+}

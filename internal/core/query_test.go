@@ -1,0 +1,229 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/clients"
+	"repro/internal/swmproto"
+	"repro/internal/xproto"
+	"repro/internal/xserver"
+)
+
+// queryClient attaches a swmproto client to the WM's display.
+func queryClient(t *testing.T, s *xserver.Server, wm *WM) *swmproto.Client {
+	t.Helper()
+	conn := s.Connect("swmcmd")
+	cl, err := swmproto.NewClient(conn, wm.screens[0].Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// roundTrip pumps one request through the WM and returns the reply.
+func roundTrip(t *testing.T, wm *WM, cl *swmproto.Client, req swmproto.Request) swmproto.Response {
+	t.Helper()
+	id, err := cl.Send(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm.Pump()
+	resp, ok, err := cl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("no reply after pump")
+	}
+	if resp.V != swmproto.Version || resp.ID != id {
+		t.Fatalf("reply header = %+v, want v=%d id=%d", resp, swmproto.Version, id)
+	}
+	return resp
+}
+
+func TestQueryStats(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	launch(t, s, wm, clients.Config{Instance: "xterm", Class: "XTerm", Width: 200, Height: 100})
+	cl := queryClient(t, s, wm)
+
+	resp := roundTrip(t, wm, cl, swmproto.Request{Op: swmproto.OpQuery, Target: swmproto.TargetStats})
+	if !resp.OK {
+		t.Fatalf("stats query failed: %s", resp.Error)
+	}
+	var stats swmproto.StatsResult
+	if err := json.Unmarshal(resp.Result, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Metrics.Counters["wm.managed"] != 1 {
+		t.Errorf("wm.managed = %d, want 1", stats.Metrics.Counters["wm.managed"])
+	}
+	if stats.Metrics.Counters["xreq.total"] == 0 {
+		t.Error("no X requests counted")
+	}
+	if stats.Metrics.Histograms["pump.ns"].Count == 0 {
+		t.Error("no pump cycles observed")
+	}
+}
+
+func TestQueryTrace(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	wm.Trace().Enable()
+	launch(t, s, wm, clients.Config{Instance: "xterm", Class: "XTerm", Width: 200, Height: 100})
+	wm.PanTo(wm.screens[0], 128, 64)
+	cl := queryClient(t, s, wm)
+
+	resp := roundTrip(t, wm, cl, swmproto.Request{Op: swmproto.OpQuery, Target: swmproto.TargetTrace})
+	if !resp.OK {
+		t.Fatalf("trace query failed: %s", resp.Error)
+	}
+	var trace swmproto.TraceResult
+	if err := json.Unmarshal(resp.Result, &trace); err != nil {
+		t.Fatal(err)
+	}
+	if !trace.Enabled || trace.Cap != traceCap {
+		t.Errorf("trace enabled=%v cap=%d", trace.Enabled, trace.Cap)
+	}
+	var sawManage, sawPan, sawRequest bool
+	for _, e := range trace.Entries {
+		switch e.Op {
+		case "manage":
+			sawManage = true
+		case "pan":
+			sawPan = true
+		}
+		if e.Kind == 0 { // KindRequest marshals as "request"; decoded zero value
+			sawRequest = true
+		}
+	}
+	if !sawManage || !sawPan || !sawRequest {
+		t.Errorf("trace missing events: manage=%v pan=%v request=%v (%d entries)",
+			sawManage, sawPan, sawRequest, len(trace.Entries))
+	}
+}
+
+func TestQueryClients(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	app, c := launch(t, s, wm, clients.Config{
+		Instance: "xterm", Class: "XTerm", Name: "shell", Width: 300, Height: 200,
+	})
+	if err := wm.Iconify(c); err != nil {
+		t.Fatal(err)
+	}
+	cl := queryClient(t, s, wm)
+
+	resp := roundTrip(t, wm, cl, swmproto.Request{Op: swmproto.OpQuery, Target: swmproto.TargetClients})
+	if !resp.OK {
+		t.Fatalf("clients query failed: %s", resp.Error)
+	}
+	var res swmproto.ClientsResult
+	if err := json.Unmarshal(resp.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clients) != 1 {
+		t.Fatalf("clients = %+v", res.Clients)
+	}
+	got := res.Clients[0]
+	if got.Window != uint32(app.Win) || got.Name != "shell" || got.Class != "XTerm" ||
+		got.Instance != "xterm" || got.State != "iconic" {
+		t.Errorf("client info = %+v", got)
+	}
+}
+
+func TestQueryDesktop(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	wm.PanTo(wm.screens[0], 256, 128)
+	cl := queryClient(t, s, wm)
+
+	resp := roundTrip(t, wm, cl, swmproto.Request{Op: swmproto.OpQuery, Target: swmproto.TargetDesktop})
+	if !resp.OK {
+		t.Fatalf("desktop query failed: %s", resp.Error)
+	}
+	var res swmproto.DesktopResult
+	if err := json.Unmarshal(resp.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Screens) != 1 {
+		t.Fatalf("screens = %+v", res.Screens)
+	}
+	d := res.Screens[0]
+	if !d.Enabled || d.PanX != 256 || d.PanY != 128 {
+		t.Errorf("desktop = %+v", d)
+	}
+	if d.Width <= d.ViewWidth || d.Height <= d.ViewHeight {
+		t.Errorf("desktop not larger than view: %+v", d)
+	}
+}
+
+func TestExecRequest(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	_, c := launch(t, s, wm, clients.Config{
+		Instance: "xterm", Class: "XTerm", Width: 300, Height: 200,
+	})
+	cl := queryClient(t, s, wm)
+
+	resp := roundTrip(t, wm, cl, swmproto.Request{Op: swmproto.OpExec, Command: "f.iconify(XTerm)"})
+	if !resp.OK {
+		t.Fatalf("exec failed: %s", resp.Error)
+	}
+	if c.State != xproto.IconicState {
+		t.Error("exec did not iconify the client")
+	}
+
+	// A failing command reports its error in-band, unlike the legacy
+	// one-way protocol.
+	resp = roundTrip(t, wm, cl, swmproto.Request{Op: swmproto.OpExec, Command: "f.bogus()"})
+	if resp.OK || resp.Error == "" {
+		t.Errorf("bogus exec = %+v", resp)
+	}
+}
+
+func TestQueryBadVersionAnswered(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	cl := queryClient(t, s, wm)
+
+	// Hand-craft a request with the wrong version; swm must still reply
+	// on the named window rather than going silent.
+	conn := s.Connect("badver")
+	data, err := json.Marshal(swmproto.Request{
+		V: swmproto.Version + 1, ID: 42, Op: swmproto.OpQuery,
+		Target: swmproto.TargetStats, ReplyWindow: uint32(cl.ReplyWindow()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = conn.ChangeProperty(wm.screens[0].Root, conn.InternAtom(swmproto.QueryProperty),
+		conn.InternAtom("STRING"), 8, xproto.PropModeReplace, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm.Pump()
+	resp, ok, err := cl.Poll()
+	if err != nil || !ok {
+		t.Fatalf("no reply to bad-version request: ok=%v err=%v", ok, err)
+	}
+	if resp.OK || !strings.Contains(resp.Error, "version") {
+		t.Errorf("response = %+v", resp)
+	}
+}
+
+func TestQueryUnknownTarget(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	cl := queryClient(t, s, wm)
+	resp := roundTrip(t, wm, cl, swmproto.Request{Op: swmproto.OpQuery, Target: "nonsense"})
+	if resp.OK || !strings.Contains(resp.Error, "unknown query target") {
+		t.Errorf("response = %+v", resp)
+	}
+}
+
+func TestQueryPropertyConsumed(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	cl := queryClient(t, s, wm)
+	roundTrip(t, wm, cl, swmproto.Request{Op: swmproto.OpQuery, Target: swmproto.TargetDesktop})
+	conn := s.Connect("checker")
+	if _, ok, _ := conn.GetProperty(wm.screens[0].Root, conn.InternAtom(swmproto.QueryProperty)); ok {
+		t.Error("SWM_QUERY not consumed after serving")
+	}
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
 	"testing"
 
 	"repro/internal/clients"
@@ -154,6 +156,20 @@ func TestSoakFaultInjection(t *testing.T) {
 	st = wm.Stats()
 	if st.Managed-st.Unmanaged != len(wm.clients) {
 		t.Errorf("Managed-Unmanaged = %d, want %d live clients", st.Managed-st.Unmanaged, len(wm.clients))
+	}
+
+	// CI artifact: with SWM_OBS_SNAPSHOT set, write the full metrics
+	// registry as JSON so the bench job can upload what a fault-heavy
+	// run actually looks like (per-op error counts, pump latency
+	// distribution, batch sizes) alongside the timing report.
+	if path := os.Getenv("SWM_OBS_SNAPSHOT"); path != "" {
+		data, err := json.MarshalIndent(wm.Metrics().Snapshot(), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

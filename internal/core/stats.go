@@ -7,11 +7,13 @@ import (
 	"repro/internal/xproto"
 )
 
-// Stats is a snapshot of the WM's observability counters: events
+// Stats is a snapshot of the WM's core observability counters: events
 // dispatched by type, X protocol errors by code (counted centrally in
 // the connection error handler, the analogue of XSetErrorHandler),
 // clients managed and unmanaged, and death races survived (BadWindow on
-// a managed client window answered with a clean unmanage).
+// a managed client window answered with a clean unmanage). It is a view
+// over the obs registry — the full instrument set, including latency
+// histograms and per-op error counts, is wm.Metrics().Snapshot().
 type Stats struct {
 	Events     map[string]int
 	Errors     map[string]int
@@ -20,49 +22,33 @@ type Stats struct {
 	DeathRaces int
 }
 
-// Stats returns a copy of the current counters. Safe to call from any
-// goroutine.
+// Stats assembles the snapshot from the obs counters. Every read is an
+// atomic load, so this is safe from any goroutine — including
+// concurrently with the connection error handler, which runs while the
+// server lock is held (the PR 1 map counters needed a mutex for this;
+// the obs registry is the single atomically readable source now).
 func (wm *WM) Stats() Stats {
-	wm.statsMu.Lock()
-	defer wm.statsMu.Unlock()
+	m := wm.metrics
 	st := Stats{
-		Events:     make(map[string]int, len(wm.evCounts)),
-		Errors:     make(map[string]int, len(wm.errCounts)),
-		Managed:    wm.managed,
-		Unmanaged:  wm.unmanaged,
-		DeathRaces: wm.deathRaces,
+		Events:     make(map[string]int),
+		Errors:     make(map[string]int),
+		Managed:    int(m.managed.Value()),
+		Unmanaged:  int(m.unmanaged.Value()),
+		DeathRaces: int(m.deathRaces.Value()),
 	}
-	for t, n := range wm.evCounts {
-		st.Events[t.String()] = n
+	for t := xproto.KeyPress; t <= xproto.ShapeNotify; t++ {
+		if n := m.events[t].Value(); n > 0 {
+			st.Events[t.String()] = int(n)
+		}
 	}
-	for code, n := range wm.errCounts {
-		st.Errors[code.String()] = n
+	for code := xproto.ErrorCode(0); int(code) < numErrorSlots; code++ {
+		if c := m.errsByCode[code]; c != nil {
+			if n := c.Value(); n > 0 {
+				st.Errors[code.String()] = int(n)
+			}
+		}
 	}
 	return st
-}
-
-func (wm *WM) countEvent(t xproto.EventType) {
-	wm.statsMu.Lock()
-	wm.evCounts[t]++
-	wm.statsMu.Unlock()
-}
-
-func (wm *WM) noteManaged() {
-	wm.statsMu.Lock()
-	wm.managed++
-	wm.statsMu.Unlock()
-}
-
-func (wm *WM) noteUnmanaged() {
-	wm.statsMu.Lock()
-	wm.unmanaged++
-	wm.statsMu.Unlock()
-}
-
-func (wm *WM) noteDeathRace() {
-	wm.statsMu.Lock()
-	wm.deathRaces++
-	wm.statsMu.Unlock()
 }
 
 // deadWindow reports whether err is a BadWindow naming win itself — the
@@ -97,13 +83,21 @@ func (wm *WM) confirmDead(win xproto.XID, err error) bool {
 // server hiccup) and survived: unmanaging a live client on one bad
 // reply would tear down a healthy window. Everything else is logged and
 // survived; per-code counting happens in the connection-level error
-// handler installed by New. It reports whether the caller may keep
-// operating on the client (false once the client window is gone).
+// handler installed by New, and every survived failure is additionally
+// noted in the shared degrade ledger (the single doorway that feeds
+// Degraded()/LastError() and the obs trace). It reports whether the
+// caller may keep operating on the client (false once the client
+// window is gone).
 func (wm *WM) check(c *Client, op string, err error) bool {
 	if err == nil {
 		return true
 	}
 	wm.logf("%s: %v", op, err)
+	var win uint32
+	if c != nil {
+		win = uint32(c.Win)
+	}
+	wm.deg.Note(op, win, err)
 	if c != nil && deadWindow(c.Win, err) {
 		if _, managed := wm.clients[c.Win]; managed {
 			if !wm.confirmDead(c.Win, err) {

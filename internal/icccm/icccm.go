@@ -86,6 +86,48 @@ func get32(data []byte, idx int) uint32 {
 	return binary.LittleEndian.Uint32(data[off : off+4])
 }
 
+// --- Typed property access ------------------------------------------------
+
+// Prop is a typed window property: an atom name plus a decoder. It is
+// the single doorway every Get* accessor routes through, giving all of
+// them the same (value, ok, error) contract:
+//
+//   - (zero, false, nil): the property is simply not set — the common
+//     optional-property case, not an error.
+//   - (zero, false, err): the GetProperty request failed (err is the
+//     X error) or the value was malformed (err says how).
+//   - (value, true, nil): the property was present and well-formed.
+//
+// Callers are expected to route err through their degradation check
+// and treat ok as the presence signal; no error may be silently
+// discarded, which is what lets conncheck analyze icccm call sites
+// without per-site waivers.
+type Prop[T any] struct {
+	// Name is the property's atom name ("WM_NAME").
+	Name string
+	// Decode parses the raw property value. The connection is supplied
+	// for decoders that resolve atoms (WM_PROTOCOLS).
+	Decode func(c *xserver.Conn, data []byte) (T, error)
+}
+
+// Get reads and decodes the property from w.
+func (p Prop[T]) Get(c *xserver.Conn, w xproto.XID) (T, bool, error) {
+	var zero T
+	raw, ok, err := c.GetProperty(w, c.InternAtom(p.Name))
+	if err != nil || !ok {
+		return zero, false, err
+	}
+	v, err := p.Decode(c, raw.Data)
+	if err != nil {
+		return zero, false, err
+	}
+	return v, true, nil
+}
+
+func decodeString(_ *xserver.Conn, data []byte) (string, error) {
+	return string(data), nil
+}
+
 // --- NormalHints ----------------------------------------------------------
 
 // EncodeNormalHints serializes hints in WM_NORMAL_HINTS layout.
@@ -127,17 +169,14 @@ func SetNormalHints(c *xserver.Conn, w xproto.XID, h NormalHints) error {
 		EncodeNormalHints(h))
 }
 
+// PropNormalHints is the typed WM_NORMAL_HINTS property.
+var PropNormalHints = Prop[NormalHints]{"WM_NORMAL_HINTS", func(_ *xserver.Conn, data []byte) (NormalHints, error) {
+	return DecodeNormalHints(data)
+}}
+
 // GetNormalHints reads WM_NORMAL_HINTS from a window.
 func GetNormalHints(c *xserver.Conn, w xproto.XID) (NormalHints, bool, error) {
-	p, ok, err := c.GetProperty(w, c.InternAtom("WM_NORMAL_HINTS"))
-	if err != nil || !ok {
-		return NormalHints{}, false, err
-	}
-	h, err := DecodeNormalHints(p.Data)
-	if err != nil {
-		return NormalHints{}, false, err
-	}
-	return h, true, nil
+	return PropNormalHints.Get(c, w)
 }
 
 // --- Hints ------------------------------------------------------------------
@@ -185,17 +224,14 @@ func SetHints(c *xserver.Conn, w xproto.XID, h Hints) error {
 		c.InternAtom("WM_HINTS"), 32, xproto.PropModeReplace, EncodeHints(h))
 }
 
+// PropHints is the typed WM_HINTS property.
+var PropHints = Prop[Hints]{"WM_HINTS", func(_ *xserver.Conn, data []byte) (Hints, error) {
+	return DecodeHints(data)
+}}
+
 // GetHints reads WM_HINTS from a window.
 func GetHints(c *xserver.Conn, w xproto.XID) (Hints, bool, error) {
-	p, ok, err := c.GetProperty(w, c.InternAtom("WM_HINTS"))
-	if err != nil || !ok {
-		return Hints{}, false, err
-	}
-	h, err := DecodeHints(p.Data)
-	if err != nil {
-		return Hints{}, false, err
-	}
-	return h, true, nil
+	return PropHints.Get(c, w)
 }
 
 // --- Class -------------------------------------------------------------------
@@ -225,17 +261,14 @@ func SetClass(c *xserver.Conn, w xproto.XID, cl Class) error {
 		c.InternAtom("STRING"), 8, xproto.PropModeReplace, EncodeClass(cl))
 }
 
+// PropClass is the typed WM_CLASS property.
+var PropClass = Prop[Class]{"WM_CLASS", func(_ *xserver.Conn, data []byte) (Class, error) {
+	return DecodeClass(data)
+}}
+
 // GetClass reads WM_CLASS from a window.
 func GetClass(c *xserver.Conn, w xproto.XID) (Class, bool, error) {
-	p, ok, err := c.GetProperty(w, c.InternAtom("WM_CLASS"))
-	if err != nil || !ok {
-		return Class{}, false, err
-	}
-	cl, err := DecodeClass(p.Data)
-	if err != nil {
-		return Class{}, false, err
-	}
-	return cl, true, nil
+	return PropClass.Get(c, w)
 }
 
 // --- Simple string properties -------------------------------------------------
@@ -246,13 +279,12 @@ func SetName(c *xserver.Conn, w xproto.XID, name string) error {
 		c.InternAtom("STRING"), 8, xproto.PropModeReplace, []byte(name))
 }
 
+// PropName is the typed WM_NAME property.
+var PropName = Prop[string]{"WM_NAME", decodeString}
+
 // GetName reads WM_NAME.
-func GetName(c *xserver.Conn, w xproto.XID) (string, bool) {
-	p, ok, err := c.GetProperty(w, c.InternAtom("WM_NAME"))
-	if err != nil || !ok {
-		return "", false
-	}
-	return string(p.Data), true
+func GetName(c *xserver.Conn, w xproto.XID) (string, bool, error) {
+	return PropName.Get(c, w)
 }
 
 // SetIconName writes WM_ICON_NAME.
@@ -261,13 +293,12 @@ func SetIconName(c *xserver.Conn, w xproto.XID, name string) error {
 		c.InternAtom("STRING"), 8, xproto.PropModeReplace, []byte(name))
 }
 
+// PropIconName is the typed WM_ICON_NAME property.
+var PropIconName = Prop[string]{"WM_ICON_NAME", decodeString}
+
 // GetIconName reads WM_ICON_NAME.
-func GetIconName(c *xserver.Conn, w xproto.XID) (string, bool) {
-	p, ok, err := c.GetProperty(w, c.InternAtom("WM_ICON_NAME"))
-	if err != nil || !ok {
-		return "", false
-	}
-	return string(p.Data), true
+func GetIconName(c *xserver.Conn, w xproto.XID) (string, bool, error) {
+	return PropIconName.Get(c, w)
 }
 
 // SetClientMachine writes WM_CLIENT_MACHINE.
@@ -276,13 +307,12 @@ func SetClientMachine(c *xserver.Conn, w xproto.XID, host string) error {
 		c.InternAtom("STRING"), 8, xproto.PropModeReplace, []byte(host))
 }
 
+// PropClientMachine is the typed WM_CLIENT_MACHINE property.
+var PropClientMachine = Prop[string]{"WM_CLIENT_MACHINE", decodeString}
+
 // GetClientMachine reads WM_CLIENT_MACHINE.
-func GetClientMachine(c *xserver.Conn, w xproto.XID) (string, bool) {
-	p, ok, err := c.GetProperty(w, c.InternAtom("WM_CLIENT_MACHINE"))
-	if err != nil || !ok {
-		return "", false
-	}
-	return string(p.Data), true
+func GetClientMachine(c *xserver.Conn, w xproto.XID) (string, bool, error) {
+	return PropClientMachine.Get(c, w)
 }
 
 // --- WM_COMMAND ------------------------------------------------------------------
@@ -316,13 +346,14 @@ func SetCommand(c *xserver.Conn, w xproto.XID, argv []string) error {
 		c.InternAtom("STRING"), 8, xproto.PropModeReplace, EncodeCommand(argv))
 }
 
+// PropCommand is the typed WM_COMMAND property.
+var PropCommand = Prop[[]string]{"WM_COMMAND", func(_ *xserver.Conn, data []byte) ([]string, error) {
+	return DecodeCommand(data), nil
+}}
+
 // GetCommand reads WM_COMMAND.
-func GetCommand(c *xserver.Conn, w xproto.XID) ([]string, bool) {
-	p, ok, err := c.GetProperty(w, c.InternAtom("WM_COMMAND"))
-	if err != nil || !ok {
-		return nil, false
-	}
-	return DecodeCommand(p.Data), true
+func GetCommand(c *xserver.Conn, w xproto.XID) ([]string, bool, error) {
+	return PropCommand.Get(c, w)
 }
 
 // --- WM_STATE ------------------------------------------------------------------
@@ -335,16 +366,20 @@ func SetState(c *xserver.Conn, w xproto.XID, st State) error {
 		c.InternAtom("WM_STATE"), 32, xproto.PropModeReplace, data)
 }
 
-// GetState reads WM_STATE.
-func GetState(c *xserver.Conn, w xproto.XID) (State, bool) {
-	p, ok, err := c.GetProperty(w, c.InternAtom("WM_STATE"))
-	if err != nil || !ok || len(p.Data) < 8 {
-		return State{}, false
+// PropState is the typed WM_STATE property.
+var PropState = Prop[State]{"WM_STATE", func(_ *xserver.Conn, data []byte) (State, error) {
+	if len(data) < 8 {
+		return State{}, fmt.Errorf("icccm: WM_STATE too short (%d bytes)", len(data))
 	}
 	return State{
-		State:      int(get32(p.Data, 0)),
-		IconWindow: xproto.XID(get32(p.Data, 1)),
-	}, true
+		State:      int(get32(data, 0)),
+		IconWindow: xproto.XID(get32(data, 1)),
+	}, nil
+}}
+
+// GetState reads WM_STATE.
+func GetState(c *xserver.Conn, w xproto.XID) (State, bool, error) {
+	return PropState.Get(c, w)
 }
 
 // --- WM_PROTOCOLS ------------------------------------------------------------------
@@ -359,31 +394,58 @@ func SetProtocols(c *xserver.Conn, w xproto.XID, names []string) error {
 		c.InternAtom("ATOM"), 32, xproto.PropModeReplace, data)
 }
 
-// GetProtocols reads WM_PROTOCOLS, returning protocol names.
-func GetProtocols(c *xserver.Conn, w xproto.XID) ([]string, bool) {
-	p, ok, err := c.GetProperty(w, c.InternAtom("WM_PROTOCOLS"))
-	if err != nil || !ok {
-		return nil, false
-	}
+// PropProtocols is the typed WM_PROTOCOLS property. Its decoder needs
+// the connection to resolve atoms back to protocol names.
+var PropProtocols = Prop[[]string]{"WM_PROTOCOLS", func(c *xserver.Conn, data []byte) ([]string, error) {
 	var names []string
-	for i := 0; i*4+4 <= len(p.Data); i++ {
-		names = append(names, c.AtomName(xproto.Atom(get32(p.Data, i))))
+	for i := 0; i*4+4 <= len(data); i++ {
+		names = append(names, c.AtomName(xproto.Atom(get32(data, i))))
 	}
-	return names, true
+	return names, nil
+}}
+
+// GetProtocols reads WM_PROTOCOLS, returning protocol names.
+func GetProtocols(c *xserver.Conn, w xproto.XID) ([]string, bool, error) {
+	return PropProtocols.Get(c, w)
 }
 
-// HasProtocol reports whether the window advertises the given protocol.
-func HasProtocol(c *xserver.Conn, w xproto.XID, name string) bool {
-	names, ok := GetProtocols(c, w)
-	if !ok {
-		return false
+// HasProtocol reports whether the window advertises the given
+// protocol. The error is the underlying GetProperty failure, if any
+// (an absent WM_PROTOCOLS is false with a nil error).
+func HasProtocol(c *xserver.Conn, w xproto.XID, name string) (bool, error) {
+	names, ok, err := GetProtocols(c, w)
+	if err != nil || !ok {
+		return false, err
 	}
 	for _, n := range names {
 		if n == name {
-			return true
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
+}
+
+// --- WM_TRANSIENT_FOR ---------------------------------------------------------
+
+// PropTransientFor is the typed WM_TRANSIENT_FOR property: the window
+// this one is a transient dialog for.
+var PropTransientFor = Prop[xproto.XID]{"WM_TRANSIENT_FOR", func(_ *xserver.Conn, data []byte) (xproto.XID, error) {
+	if len(data) < 4 {
+		return xproto.None, fmt.Errorf("icccm: WM_TRANSIENT_FOR too short (%d bytes)", len(data))
+	}
+	return xproto.XID(get32(data, 0)), nil
+}}
+
+// SetTransientFor writes WM_TRANSIENT_FOR.
+func SetTransientFor(c *xserver.Conn, w, owner xproto.XID) error {
+	return c.ChangeProperty(w, c.InternAtom("WM_TRANSIENT_FOR"),
+		c.InternAtom("WINDOW"), 32, xproto.PropModeReplace, put32(nil, uint32(owner)))
+}
+
+// GetTransientFor reads WM_TRANSIENT_FOR; ok is false for ordinary
+// (non-transient) windows.
+func GetTransientFor(c *xserver.Conn, w xproto.XID) (xproto.XID, bool, error) {
+	return PropTransientFor.Get(c, w)
 }
 
 // SendDeleteWindow delivers a WM_DELETE_WINDOW ClientMessage to the

@@ -127,10 +127,10 @@ func TestNameIconName(t *testing.T) {
 	if err := SetIconName(c, w, "emacs"); err != nil {
 		t.Fatal(err)
 	}
-	if got, ok := GetName(c, w); !ok || got != "emacs: main.go" {
+	if got, ok, _ := GetName(c, w); !ok || got != "emacs: main.go" {
 		t.Errorf("name = %q ok=%v", got, ok)
 	}
-	if got, ok := GetIconName(c, w); !ok || got != "emacs" {
+	if got, ok, _ := GetIconName(c, w); !ok || got != "emacs" {
 		t.Errorf("icon name = %q ok=%v", got, ok)
 	}
 }
@@ -141,7 +141,7 @@ func TestCommandRoundTrip(t *testing.T) {
 	if err := SetCommand(c, w, argv); err != nil {
 		t.Fatal(err)
 	}
-	out, ok := GetCommand(c, w)
+	out, ok, _ := GetCommand(c, w)
 	if !ok || len(out) != 3 {
 		t.Fatalf("out=%v ok=%v", out, ok)
 	}
@@ -186,7 +186,7 @@ func TestClientMachine(t *testing.T) {
 	if err := SetClientMachine(c, w, "remotehost"); err != nil {
 		t.Fatal(err)
 	}
-	if got, ok := GetClientMachine(c, w); !ok || got != "remotehost" {
+	if got, ok, _ := GetClientMachine(c, w); !ok || got != "remotehost" {
 		t.Errorf("machine = %q ok=%v", got, ok)
 	}
 }
@@ -197,7 +197,7 @@ func TestStateRoundTrip(t *testing.T) {
 	if err := SetState(c, w, in); err != nil {
 		t.Fatal(err)
 	}
-	out, ok := GetState(c, w)
+	out, ok, _ := GetState(c, w)
 	if !ok || out != in {
 		t.Errorf("got %+v ok=%v", out, ok)
 	}
@@ -208,13 +208,13 @@ func TestProtocols(t *testing.T) {
 	if err := SetProtocols(c, w, []string{"WM_DELETE_WINDOW", "WM_TAKE_FOCUS"}); err != nil {
 		t.Fatal(err)
 	}
-	if !HasProtocol(c, w, "WM_DELETE_WINDOW") {
+	if del, _ := HasProtocol(c, w, "WM_DELETE_WINDOW"); !del {
 		t.Error("WM_DELETE_WINDOW not found")
 	}
-	if !HasProtocol(c, w, "WM_TAKE_FOCUS") {
+	if tf, _ := HasProtocol(c, w, "WM_TAKE_FOCUS"); !tf {
 		t.Error("WM_TAKE_FOCUS not found")
 	}
-	if HasProtocol(c, w, "WM_SAVE_YOURSELF") {
+	if sy, _ := HasProtocol(c, w, "WM_SAVE_YOURSELF"); sy {
 		t.Error("phantom protocol reported")
 	}
 }
@@ -262,5 +262,60 @@ func TestSyntheticConfigureNotify(t *testing.T) {
 	}
 	if ev.GX != 310 || ev.GY != 420 {
 		t.Errorf("synthetic coords (%d,%d)", ev.GX, ev.GY)
+	}
+}
+
+func TestTransientForRoundTrip(t *testing.T) {
+	c, w := testConnWindow(t)
+	if _, ok, err := GetTransientFor(c, w); ok || err != nil {
+		t.Fatalf("absent property: ok=%v err=%v", ok, err)
+	}
+	owner := xproto.XID(0x77)
+	if err := SetTransientFor(c, w, owner); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := GetTransientFor(c, w)
+	if err != nil || !ok || got != owner {
+		t.Errorf("got %v ok=%v err=%v, want %v", got, ok, err, owner)
+	}
+}
+
+func TestTransientForMalformed(t *testing.T) {
+	c, w := testConnWindow(t)
+	err := c.ChangeProperty(w, c.InternAtom("WM_TRANSIENT_FOR"),
+		c.InternAtom("WINDOW"), 32, xproto.PropModeReplace, []byte{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := GetTransientFor(c, w); ok || err == nil {
+		t.Errorf("truncated property: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestGetterContract pins the uniform accessor semantics: absent
+// properties are (zero, false, nil) — not errors — for every typed
+// getter, so callers can distinguish "not set" from "failed to read".
+func TestGetterContract(t *testing.T) {
+	c, w := testConnWindow(t)
+	if _, ok, err := GetNormalHints(c, w); ok || err != nil {
+		t.Errorf("GetNormalHints absent: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := GetHints(c, w); ok || err != nil {
+		t.Errorf("GetHints absent: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := GetClass(c, w); ok || err != nil {
+		t.Errorf("GetClass absent: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := GetName(c, w); ok || err != nil {
+		t.Errorf("GetName absent: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := GetState(c, w); ok || err != nil {
+		t.Errorf("GetState absent: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := GetProtocols(c, w); ok || err != nil {
+		t.Errorf("GetProtocols absent: ok=%v err=%v", ok, err)
+	}
+	if has, err := HasProtocol(c, w, "WM_DELETE_WINDOW"); has || err != nil {
+		t.Errorf("HasProtocol absent: has=%v err=%v", has, err)
 	}
 }

@@ -1,0 +1,248 @@
+// Package obs is the runtime observability layer: a typed metrics
+// registry (counters, gauges, latency histograms) and a fixed-size
+// ring-buffer event trace (trace.go). The paper's swm is blind at run
+// time — swmcmd is fire-and-forget — so this package gives the WM an
+// atomically readable account of what it is doing, cheap enough to
+// leave on permanently.
+//
+// Design constraints, in priority order:
+//
+//  1. Record paths allocate nothing. Counters, gauges and histograms
+//     are bare atomics; the trace stores fixed-size entries whose only
+//     pointer field is a static string. The hot paths (request gate,
+//     event pump, panner sync) run millions of times per benchmark and
+//     must stay inside the PR 2 allocation budgets (0 allocs/op for
+//     the pan storm).
+//  2. Instruments are registered once, at construction time, and held
+//     as struct fields thereafter. Registry lookups never happen on a
+//     hot path.
+//  3. Readers never block writers. Snapshot() assembles a consistent-
+//     enough view from atomic loads; it allocates freely because it
+//     runs on the cold query path (swmcmd -query stats).
+//
+// Instruments may be invoked while the X server's lock is held (the
+// connection instrument fires inside the request gate), so nothing in
+// this package acquires anything but its own leaf locks and nothing
+// here may issue X requests.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count. The zero value is ready
+// to use; Registry.Counter hands out registered instances.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; this is not checked on the hot
+// path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-write-wins instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets. Bounds are
+// inclusive upper bounds in ascending order; one implicit overflow
+// bucket catches everything above the last bound. Observe is wait-free
+// and allocation-free: a linear scan over a handful of bounds plus two
+// atomic adds.
+type Histogram struct {
+	bounds  []int64
+	buckets []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// NewHistogram builds a histogram with the given ascending upper
+// bounds. Registry.Histogram is the usual doorway.
+func NewHistogram(bounds []int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds:  append([]int64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Bucket is one histogram bucket in a snapshot: the count of
+// observations at or below UpperBound (exclusive of lower buckets).
+// The overflow bucket has UpperBound == -1, standing in for +Inf.
+type Bucket struct {
+	UpperBound int64 `json:"le"`
+	Count      int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Buckets: make([]Bucket, len(h.buckets)),
+	}
+	for i := range h.buckets {
+		ub := int64(-1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		s.Buckets[i] = Bucket{UpperBound: ub, Count: h.buckets[i].Load()}
+	}
+	return s
+}
+
+// LatencyBounds is the default bucket layout for nanosecond latencies:
+// 1µs to ~100ms in roughly 4x steps.
+var LatencyBounds = []int64{
+	1_000, 4_000, 16_000, 64_000, 256_000,
+	1_000_000, 4_000_000, 16_000_000, 64_000_000, 256_000_000,
+}
+
+// SizeBounds is the default bucket layout for small cardinalities
+// (batch flush sizes, panner damage per sync).
+var SizeBounds = []int64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// Registry holds named instruments. Registration (Counter, Gauge,
+// Histogram) is idempotent — asking for an existing name returns the
+// existing instrument — and guarded by a mutex; it happens at
+// construction time only. Reads of registered instruments are plain
+// atomic loads on the instruments themselves.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, registering it with the given
+// bounds on first use. Later calls ignore bounds and return the
+// existing instrument.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every registered instrument,
+// shaped for JSON (swmcmd -query stats round-trips it).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies every instrument's current value. Individual values
+// are atomically read; the set as a whole is not a consistent cut, the
+// usual metrics-scrape semantics.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// CounterNames returns the registered counter names, sorted (tests and
+// diagnostics).
+func (r *Registry) CounterNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("a")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if reg.Counter("a") != c {
+		t.Error("Counter not idempotent")
+	}
+	g := reg.Gauge("g")
+	g.Set(7)
+	g.Set(3)
+	if g.Value() != 3 {
+		t.Errorf("gauge = %d, want 3", g.Value())
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	// One value per region: first bucket, boundary (inclusive), middle,
+	// last bucket, overflow.
+	for _, v := range []int64{5, 10, 11, 1000, 5000} {
+		h.Observe(v)
+	}
+	snap := h.snapshot()
+	if snap.Count != 5 || snap.Sum != 5+10+11+1000+5000 {
+		t.Fatalf("count=%d sum=%d", snap.Count, snap.Sum)
+	}
+	want := []struct {
+		le    int64
+		count int64
+	}{{10, 2}, {100, 1}, {1000, 1}, {-1, 1}}
+	if len(snap.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v", snap.Buckets)
+	}
+	for i, w := range want {
+		if snap.Buckets[i].UpperBound != w.le || snap.Buckets[i].Count != w.count {
+			t.Errorf("bucket %d = %+v, want le=%d count=%d", i, snap.Buckets[i], w.le, w.count)
+		}
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unsorted bounds")
+		}
+	}()
+	NewHistogram([]int64{10, 10})
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Add(2)
+	reg.Gauge("g").Set(9)
+	reg.Histogram("h", []int64{1}).Observe(5)
+	snap := reg.Snapshot()
+	if snap.Counters["c"] != 2 || snap.Gauges["g"] != 9 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	h := snap.Histograms["h"]
+	if h.Count != 1 || h.Sum != 5 {
+		t.Errorf("histogram snapshot = %+v", h)
+	}
+	// The snapshot must be JSON-serializable: it is the stats query's
+	// wire payload.
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatal(err)
+	}
+	names := reg.CounterNames()
+	if len(names) != 1 || names[0] != "c" {
+		t.Errorf("CounterNames = %v", names)
+	}
+}
+
+func TestConcurrentRegistry(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				reg.Counter("shared").Inc()
+				reg.Histogram("lat", LatencyBounds).Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("shared").Value(); got != 8000 {
+		t.Errorf("shared = %d, want 8000", got)
+	}
+	if got := reg.Histogram("lat", LatencyBounds).Count(); got != 8000 {
+		t.Errorf("lat count = %d, want 8000", got)
+	}
+}
+
+func TestCounterRecordAllocs(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hot")
+	h := reg.Histogram("hist", SizeBounds)
+	if n := testing.AllocsPerRun(100, func() { c.Inc(); h.Observe(3) }); n != 0 {
+		t.Errorf("record path allocates %v/op, want 0", n)
+	}
+}

@@ -233,6 +233,9 @@ func (b *Batch) Flush() error {
 	s := b.conn.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if in := b.conn.instrument; in != nil {
+		in.BatchFlush(len(b.ops))
+	}
 	return s.applyBatchLocked(b.conn, b.ops)
 }
 

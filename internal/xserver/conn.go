@@ -31,6 +31,12 @@ type Conn struct {
 	// server's exclusive lock.
 	faults *faultState
 
+	// instrument, when non-nil, observes every request (see
+	// instrument.go). Only written under the server's exclusive lock;
+	// read from request paths holding either lock flavor, which is safe
+	// for the same reason the faults check is.
+	instrument Instrument
+
 	// errMu is a leaf lock guarding error observation so note() is
 	// safe from requests holding only the server read lock. Nothing is
 	// acquired while it is held.
@@ -60,8 +66,11 @@ func (c *Conn) lookupLocked(id xproto.XID, major string) (*window, error) {
 // scheduling state (and KillTarget destroys windows), so faulty
 // connections fall back to the exclusive lock. faults is only written
 // under the exclusive lock, so the check under RLock is race-free —
-// and while the read lock is held the policy cannot change, making a
-// subsequent faultLocked call a guaranteed no-op on the shared path.
+// and while the read lock is held the policy cannot change, so a
+// subsequent faultLocked call on the shared path injects nothing. (It
+// is no longer a pure no-op: the instrument callback still fires
+// there, which is why Instrument implementations must be safe under
+// the shared lock.)
 func (c *Conn) readLock() (exclusive bool) {
 	s := c.server
 	s.mu.RLock()

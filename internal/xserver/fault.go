@@ -93,7 +93,13 @@ func (c *Conn) SetErrorHandler(h func(*xproto.XError)) {
 // faultLocked is called at the top of every error-returning request
 // method (before the target lookup, so faults fire for valid requests
 // too). It returns the injected error, or nil to proceed normally.
+// Being the one gate every request passes through — batched ops
+// included, via applyBatchLocked — it is also where the connection's
+// instrument observes traffic.
 func (c *Conn) faultLocked(major string, target xproto.XID) error {
+	if in := c.instrument; in != nil {
+		in.Request(major, target)
+	}
 	f := c.faults
 	if f == nil {
 		return nil

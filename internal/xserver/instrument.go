@@ -1,0 +1,69 @@
+package xserver
+
+import "repro/internal/xproto"
+
+// Instrument observes a connection's request traffic. It is the
+// build-once hook the obs layer attaches to: Request fires once per
+// request from the fault-injection gate every request method passes
+// through (batched ops included, one call per op), and BatchFlush
+// fires once per Batch.Flush with the number of ops applied.
+//
+// Contract (mirrors SetErrorHandler): callbacks run with the server
+// lock held — shared for read-only requests, exclusive for mutating
+// ones, and concurrently from different connections — so an Instrument
+// must be safe for concurrent use, must not block, and must not issue
+// requests on any connection. obs.ConnInstrument satisfies this
+// interface structurally (atomics plus a read-only map) without
+// either package importing the other.
+type Instrument interface {
+	Request(major string, target xproto.XID)
+	BatchFlush(ops int)
+}
+
+// SetInstrument installs (or, with nil, removes) the connection's
+// instrument. Like the fault policy, the field is only written under
+// the server's exclusive lock so request paths may read it under the
+// shared lock without a data race. Install before issuing requests;
+// swapping instruments mid-flight is supported but counts in the old
+// and new instrument will not overlap cleanly.
+func (c *Conn) SetInstrument(in Instrument) {
+	c.server.mu.Lock()
+	defer c.server.mu.Unlock()
+	c.instrument = in
+}
+
+// RequestMajors lists every request major routed through the
+// fault-injection/instrument gate, i.e. every value the Instrument's
+// major parameter can take. obs uses it to prebuild one counter per
+// major so the per-request path stays allocation-free; the
+// xserver test suite cross-checks it against the faultLocked call
+// sites so it cannot drift silently.
+var RequestMajors = []string{
+	"ChangeProperty",
+	"ChangeSaveSet",
+	"ConfigureWindow",
+	"CreateWindow",
+	"DeleteProperty",
+	"DestroyWindow",
+	"GetGeometry",
+	"GetProperty",
+	"GetWindowAttributes",
+	"GrabButton",
+	"GrabKey",
+	"GrabPointer",
+	"KillClient",
+	"ListProperties",
+	"MapWindow",
+	"QueryTree",
+	"ReparentWindow",
+	"SelectInput",
+	"SendEvent",
+	"SetInputFocus",
+	"SetWindowFill",
+	"SetWindowLabel",
+	"ShapeCombineRectangles",
+	"ShapeQuery",
+	"ShapeSelectInput",
+	"TranslateCoordinates",
+	"UnmapWindow",
+}
