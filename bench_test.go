@@ -550,6 +550,8 @@ func BenchmarkSwmPolicyLookup(b *testing.B) {
 // measure exactly the same code.
 
 func BenchmarkPerfManage100Clients(b *testing.B) { perfbench.ManageClients(100)(b) }
+func BenchmarkPerfRestartAdopt200(b *testing.B)  { perfbench.RestartAdopt(200)(b) }
+func BenchmarkPerfXrdbQuery(b *testing.B)        { perfbench.XrdbQuery(b) }
 func BenchmarkPerfMoveStorm(b *testing.B)        { perfbench.MoveStorm(b) }
 func BenchmarkPerfPanStorm(b *testing.B)         { perfbench.PanStorm(b) }
 func BenchmarkPerfPanStormTraced(b *testing.B)   { perfbench.PanStormTraced(b) }

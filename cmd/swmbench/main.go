@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	out := flag.String("o", "BENCH_2.json", "report output path (\"-\" for stdout)")
+	out := flag.String("o", "BENCH_5.json", "report output path (\"-\" for stdout)")
 	check := flag.Bool("check", false, "fail when a blocking allocation budget is exceeded")
 	flag.Parse()
 

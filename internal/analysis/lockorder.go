@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -27,6 +28,12 @@ import (
 //   - lockorder.held — a function following the *Locked naming
 //     convention (callable only with the lock held) calls a function
 //     that acquires the lock, or acquires it itself.
+//   - lockorder.goroutine — a function literal spawned with `go` calls
+//     a *Locked helper without first acquiring the lock. A goroutine
+//     does not inherit its spawner's lock, so the hold region of the
+//     enclosing function never extends into the spawned body; each
+//     spawned literal is analyzed as its own context (named like
+//     Go does, "Spawner.func1"), starting unheld.
 //
 // The region tracking is linear in source order, which is exact for
 // the straight-line lock-defer-unlock shape the package uses and a
@@ -56,6 +63,17 @@ type funcLockInfo struct {
 	decl     *ast.FuncDecl
 	events   []lockEvent
 	acquires bool // has a direct acquire (mu.Lock/mu.RLock/readLock call)
+	spawned  []*spawnInfo
+}
+
+// spawnInfo is the event stream of one go-spawned function literal (or
+// direct `go f(...)` call). It is a separate analysis context from the
+// enclosing function: it starts with the lock unheld regardless of
+// where the spawn site sits, and its acquisitions do not make the
+// enclosing function "acquiring" from its callers' point of view.
+type spawnInfo struct {
+	name   string
+	events []lockEvent
 }
 
 func runLockOrder(p *Pass) {
@@ -129,50 +147,117 @@ func runLockOrder(p *Pass) {
 				}
 			}
 		}
+
+		// Spawned goroutine bodies: each is its own context, starting
+		// unheld no matter where the spawn site sits. The interesting
+		// bug here is the inverse of re-entrancy — a *Locked helper
+		// invoked on a goroutine that never took the lock.
+		for _, sp := range info.spawned {
+			held := false
+			for _, ev := range sp.events {
+				switch ev.kind {
+				case evAcquire:
+					held = true
+				case evRelease:
+					held = false
+				case evCall:
+					if acquires(ev.callee) {
+						if held {
+							p.Reportf(ev.pos, "reentrant",
+								"%s calls %s while holding the lock; %s re-acquires it (sync.RWMutex is not re-entrant)",
+								sp.name, ev.callee.Name(), ev.callee.Name())
+						}
+					} else if strings.HasSuffix(ev.callee.Name(), "Locked") && !held {
+						p.Reportf(ev.pos, "goroutine",
+							"%s runs on a spawned goroutine, which does not inherit the spawner's lock, but calls %s without acquiring it",
+							sp.name, ev.callee.Name())
+					}
+				}
+			}
+		}
 	}
 }
 
 // collectLockEvents linearizes a function body into acquire / release /
-// intra-package-call events ordered by position.
+// intra-package-call events ordered by position. Function literals
+// spawned with `go` are carved out into separate spawnInfo contexts —
+// their bodies run on another goroutine, so their events neither extend
+// the enclosing hold region nor count toward the enclosing function's
+// mayAcquire. The spawn statement's arguments, which ARE evaluated on
+// the spawning goroutine, stay in the enclosing context.
 func collectLockEvents(p *Pass, fd *ast.FuncDecl) *funcLockInfo {
 	info := &funcLockInfo{decl: fd}
-	deferred := make(map[*ast.CallExpr]bool)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if ds, ok := n.(*ast.DeferStmt); ok {
-			deferred[ds.Call] = true
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if kind, isMu := muOp(p.Info, call); isMu {
-			// Deferred unlocks hold to function end: no release event.
-			if kind == evAcquire {
-				info.events = append(info.events, lockEvent{pos: call.Pos(), kind: evAcquire})
-				info.acquires = true
-			} else if !deferred[call] {
-				info.events = append(info.events, lockEvent{pos: call.Pos(), kind: evRelease})
+	spawnN := 0
+
+	var walk func(body ast.Node, events *[]lockEvent, acquires *bool)
+	walk = func(body ast.Node, events *[]lockEvent, acquires *bool) {
+		deferred := make(map[*ast.CallExpr]bool)
+		goLit := make(map[*ast.FuncLit]bool)
+		goCall := make(map[*ast.CallExpr]bool)
+		ast.Inspect(body, func(n ast.Node) bool {
+			if gs, ok := n.(*ast.GoStmt); ok {
+				spawnN++
+				sp := &spawnInfo{name: fmt.Sprintf("%s.func%d", fd.Name.Name, spawnN)}
+				info.spawned = append(info.spawned, sp)
+				var spAcquires bool
+				if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+					// Analyze the literal's body in the spawn context,
+					// and skip it when the outer walk reaches it.
+					goLit[lit] = true
+					walk(lit.Body, &sp.events, &spAcquires)
+				} else {
+					// `go s.f(...)`: f runs on the new goroutine; only
+					// its arguments evaluate here.
+					goCall[gs.Call] = true
+					if callee := calleeFunc(p.Info, gs.Call); callee != nil && callee.Pkg() == p.Pkg {
+						sp.events = append(sp.events, lockEvent{pos: gs.Call.Pos(), kind: evCall, callee: callee, call: gs.Call})
+					}
+				}
+				return true
+			}
+			if lit, ok := n.(*ast.FuncLit); ok && goLit[lit] {
+				return false // already walked as a spawn context
+			}
+			if ds, ok := n.(*ast.DeferStmt); ok {
+				deferred[ds.Call] = true
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if kind, isMu := muOp(p.Info, call); isMu {
+				// Deferred unlocks hold to function end: no release event.
+				if kind == evAcquire {
+					*events = append(*events, lockEvent{pos: call.Pos(), kind: evAcquire})
+					*acquires = true
+				} else if !deferred[call] {
+					*events = append(*events, lockEvent{pos: call.Pos(), kind: evRelease})
+				}
+				return true
+			}
+			if goCall[call] {
+				return true // the call itself runs on the spawned goroutine
+			}
+			callee := calleeFunc(p.Info, call)
+			if callee == nil || callee.Pkg() != p.Pkg {
+				return true
+			}
+			switch callee.Name() {
+			case "readLock":
+				*events = append(*events, lockEvent{pos: call.Pos(), kind: evAcquire})
+				*acquires = true
+			case "readUnlock":
+				if !deferred[call] {
+					*events = append(*events, lockEvent{pos: call.Pos(), kind: evRelease})
+				}
+			default:
+				*events = append(*events, lockEvent{pos: call.Pos(), kind: evCall, callee: callee, call: call})
 			}
 			return true
-		}
-		callee := calleeFunc(p.Info, call)
-		if callee == nil || callee.Pkg() != p.Pkg {
-			return true
-		}
-		switch callee.Name() {
-		case "readLock":
-			info.events = append(info.events, lockEvent{pos: call.Pos(), kind: evAcquire})
-			info.acquires = true
-		case "readUnlock":
-			if !deferred[call] {
-				info.events = append(info.events, lockEvent{pos: call.Pos(), kind: evRelease})
-			}
-		default:
-			info.events = append(info.events, lockEvent{pos: call.Pos(), kind: evCall, callee: callee, call: call})
-		}
-		return true
-	})
-	sort.SliceStable(info.events, func(i, j int) bool { return info.events[i].pos < info.events[j].pos })
+		})
+		sort.SliceStable(*events, func(i, j int) bool { return (*events)[i].pos < (*events)[j].pos })
+	}
+	walk(fd.Body, &info.events, &info.acquires)
 	return info
 }
 

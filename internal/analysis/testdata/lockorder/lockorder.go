@@ -109,3 +109,61 @@ func (s *Server) peek(k int) int {
 	defer s.mu.RUnlock()
 	return s.items[k]
 }
+
+// Refresh spawns a worker while holding the lock — the adopt-sweep
+// shape. The goroutine does not inherit the hold, so its locking calls
+// are clean, and they do not make Refresh itself "acquiring" from its
+// callers' point of view.
+func (s *Server) Refresh(k int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items[k] = 0
+	go func() {
+		s.Put(k, s.Get(k)+1)
+	}()
+	go s.Get(k)
+}
+
+// RefreshAll shows the spawner stays non-acquiring: calling it with the
+// lock held is clean because only its goroutines lock.
+func (s *Server) RefreshAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k := range s.items {
+		s.refreshOne(k)
+	}
+}
+
+func (s *Server) refreshOne(k int) {
+	go func() {
+		s.Put(k, 0)
+	}()
+}
+
+// Prefetch's goroutine is its own context: it starts unheld, may take
+// the lock itself, and then the usual re-entrancy rules apply inside.
+func (s *Server) Prefetch(k int) {
+	go func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.storeLocked(k, 1) // clean: this goroutine holds the lock
+		_ = s.Get(k)        // want `Prefetch.func1 calls Get while holding the lock`
+	}()
+}
+
+// Sweep calls a *Locked helper from a goroutine that never locked —
+// the spawner's hold does not carry over.
+func (s *Server) Sweep(k int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.storeLocked(k, 2) // want `Sweep.func1 runs on a spawned goroutine, which does not inherit the spawner's lock, but calls storeLocked`
+	}()
+}
+
+// Kick shows the direct-call spawn form of the same bug.
+func (s *Server) Kick(k int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go s.storeLocked(k, 3) // want `Kick.func1 runs on a spawned goroutine, which does not inherit the spawner's lock, but calls storeLocked`
+}

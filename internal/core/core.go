@@ -108,6 +108,10 @@ type WM struct {
 	// sessionInst observes the session hint table (match hits/misses,
 	// malformed records) into the same registry.
 	sessionInst *obs.SessionInstrument
+
+	// protos caches resolved decoration trees by lookup context; see
+	// proto.go. Owned by the event-loop goroutine, like the client maps.
+	protos protoCache
 }
 
 // Screen is per-screen WM state.
@@ -120,10 +124,10 @@ type Screen struct {
 	Monochrome bool
 
 	// Desktop is the Virtual Desktop window (None when disabled).
-	Desktop                    xproto.XID
-	DesktopW, DesktopH         int
-	PanX, PanY                 int
-	panner                     *Panner
+	Desktop            xproto.XID
+	DesktopW, DesktopH int
+	PanX, PanY         int
+	panner             *Panner
 	// pannerDirty and viewDirty coalesce redraw work: call sites mark
 	// them and flushRedraw settles the panner/scrollbars once per event
 	// burst (see markPannerDirty/markViewDirty).
@@ -490,26 +494,6 @@ func (wm *WM) grabRootBindings(scr *Screen) {
 			if err := wm.conn.GrabKey(scr.Root, b.Keysym, mods); err != nil {
 				wm.logf("grab key %s: %v", b.Keysym, err)
 			}
-		}
-	}
-}
-
-// adoptExisting manages mapped top-level windows that predate the WM.
-func (wm *WM) adoptExisting(scr *Screen) {
-	_, _, children, err := wm.conn.QueryTree(scr.Root)
-	if err != nil {
-		return
-	}
-	for _, ch := range children {
-		if wm.ownsWindow(ch) {
-			continue
-		}
-		attrs, err := wm.conn.GetWindowAttributes(ch)
-		if err != nil || attrs.OverrideRedirect || attrs.MapState == xproto.IsUnmapped {
-			continue
-		}
-		if _, err := wm.Manage(ch); err != nil {
-			wm.logf("adopt 0x%x: %v", uint32(ch), err)
 		}
 	}
 }

@@ -19,6 +19,15 @@ import (
 // any session restart hint, and maps everything. It returns the managed
 // client.
 func (wm *WM) Manage(win xproto.XID) (*Client, error) {
+	return wm.manage(win, nil)
+}
+
+// manage is Manage with an optional prefetch: the parallel restart
+// sweep (adopt.go) gathers each window's read-only state on a worker
+// pool and hands it in here, so only the mutating half of adoption
+// runs serialized on the event-loop goroutine. With pre == nil the
+// reads happen inline (the MapRequest path).
+func (wm *WM) manage(win xproto.XID, pre *adoptPrefetch) (*Client, error) {
 	if c, ok := wm.clients[win]; ok {
 		return c, nil
 	}
@@ -27,45 +36,45 @@ func (wm *WM) Manage(win xproto.XID) (*Client, error) {
 		return nil, fmt.Errorf("core: window 0x%x has no screen", uint32(win))
 	}
 
-	// ICCCM properties. Every getter returns (value, ok, error): ok=false
+	// ICCCM properties, fetched in one flush (icccm.GetManageProps).
+	// Every slot carries the uniform (value, ok, error) triple: ok=false
 	// with a nil error is the common "property not set" case and falls
 	// back silently; a non-nil error is a failed request and goes through
 	// check like any other (the property is then treated as absent).
+	if pre == nil {
+		pf := wm.prefetchClient(win)
+		pre = &pf
+	}
+	p := pre.props
 	c := &Client{wm: wm, scr: scr, Win: win, State: xproto.NormalState}
-	cl, okClass, err := icccm.GetClass(wm.conn, win)
-	wm.check(nil, "read WM_CLASS", err)
-	if okClass {
-		c.Class = cl
+	wm.check(nil, "read WM_CLASS", p.Class.Err)
+	if p.Class.OK {
+		c.Class = p.Class.Value
 	}
-	name, okName, err := icccm.GetName(wm.conn, win)
-	wm.check(nil, "read WM_NAME", err)
-	if okName {
-		c.Name = name
+	wm.check(nil, "read WM_NAME", p.Name.Err)
+	if p.Name.OK {
+		c.Name = p.Name.Value
 	}
-	iname, okIcon, err := icccm.GetIconName(wm.conn, win)
-	wm.check(nil, "read WM_ICON_NAME", err)
-	if okIcon {
-		c.IconName = iname
+	wm.check(nil, "read WM_ICON_NAME", p.IconName.Err)
+	if p.IconName.OK {
+		c.IconName = p.IconName.Value
 	} else {
 		c.IconName = c.Name
 	}
-	cmd, okCmd, err := icccm.GetCommand(wm.conn, win)
-	wm.check(nil, "read WM_COMMAND", err)
-	if okCmd {
-		c.Command = cmd
+	wm.check(nil, "read WM_COMMAND", p.Command.Err)
+	if p.Command.OK {
+		c.Command = p.Command.Value
 	}
-	machine, okMachine, err := icccm.GetClientMachine(wm.conn, win)
-	wm.check(nil, "read WM_CLIENT_MACHINE", err)
-	if okMachine {
-		c.Machine = machine
+	wm.check(nil, "read WM_CLIENT_MACHINE", p.Machine.Err)
+	if p.Machine.OK {
+		c.Machine = p.Machine.Value
 	}
-	if shaped, _, err := wm.conn.ShapeQuery(win); err == nil {
-		c.Shaped = shaped
+	if pre.shapeErr == nil {
+		c.Shaped = pre.shaped
 	}
-	transient, okTransient, err := icccm.GetTransientFor(wm.conn, win)
-	wm.check(nil, "read WM_TRANSIENT_FOR", err)
-	if okTransient {
-		c.Transient = transient
+	wm.check(nil, "read WM_TRANSIENT_FOR", p.Transient.Err)
+	if p.Transient.OK {
+		c.Transient = p.Transient.Value
 	}
 
 	// Sticky start-up (paper §6.2): swm*xclock*sticky: True.
@@ -75,8 +84,9 @@ func (wm *WM) Manage(win xproto.XID) (*Client, error) {
 	}
 
 	// Client geometry as requested. Unless the window is confirmed
-	// gone, a failure is transient; retry once before giving up.
-	g, err := wm.conn.GetGeometry(win)
+	// gone, a failure is transient; retry once before giving up (the
+	// prefetched read counts as the first attempt).
+	g, err := pre.geom, pre.geomErr
 	if err != nil && !wm.confirmDead(win, err) {
 		wm.logf("manage geometry 0x%x: %v (retrying)", uint32(win), err)
 		g, err = wm.conn.GetGeometry(win)
@@ -86,10 +96,10 @@ func (wm *WM) Manage(win xproto.XID) (*Client, error) {
 	}
 	c.clientW, c.clientH = g.Rect.Width, g.Rect.Height
 
-	hints, hasHints, err := icccm.GetHints(wm.conn, win)
-	wm.check(nil, "read WM_HINTS", err)
-	normal, hasNormal, err := icccm.GetNormalHints(wm.conn, win)
-	wm.check(nil, "read WM_NORMAL_HINTS", err)
+	hints, hasHints := p.Hints.Value, p.Hints.OK
+	wm.check(nil, "read WM_HINTS", p.Hints.Err)
+	normal, hasNormal := p.Normal.Value, p.Normal.OK
+	wm.check(nil, "read WM_NORMAL_HINTS", p.Normal.Err)
 
 	// Session restart hint (paper §7): match WM_COMMAND (+ machine),
 	// restore size, location, icon location, sticky and state.
@@ -166,43 +176,79 @@ func (wm *WM) Manage(win xproto.XID) (*Client, error) {
 		return f()
 	}
 
-	// Rescue the client if we die (ICCCM / X save-set).
-	if err := step("save-set", func() error { return wm.conn.ChangeSaveSet(win, true) }); err != nil {
-		return fail(err)
-	}
-	savedSet = true
-	// Strip the client's border: the decoration replaces it.
+	// The whole setup sequence goes to the server in one batch flush:
+	// save-set insertion (rescue the client if we die, ICCCM / X
+	// save-set), border strip (the decoration replaces the client's
+	// border), reparent into the client slot, slot input selection
+	// (configure requests from the client must keep flowing through the
+	// WM, so the slot — the client's new parent — selects
+	// SubstructureRedirect, exactly as twm-style WMs do on their
+	// frames), and the two maps. Ops apply in record order, so event
+	// semantics match the old one-request-at-a-time sequence; the fast
+	// path costs one lock round-trip instead of six.
+	b := wm.conn.Batch()
+	ckSave := b.ChangeSaveSet(win, true)
+	var ckBorder *xserver.Cookie
 	if g.BorderWidth != 0 {
-		if err := step("strip border", func() error {
-			return wm.conn.ConfigureWindow(win, xproto.WindowChanges{
-				Mask: xproto.CWBorderWidth, BorderWidth: 0,
-			})
+		ckBorder = b.ConfigureWindow(win, xproto.WindowChanges{
+			Mask: xproto.CWBorderWidth, BorderWidth: 0,
+		})
+	}
+	ckReparent := b.ReparentWindow(win, c.clientSlot.Window, 0, 0)
+	ckSlotIn := b.SelectInput(c.clientSlot.Window,
+		xproto.SubstructureRedirectMask|xproto.SubstructureNotifyMask)
+	ckMapSlot := b.MapWindow(c.clientSlot.Window)
+	ckMapWin := b.MapWindow(win)
+	if flushErr := b.Flush(); flushErr != nil {
+		// At least one op failed. Ops after a failed one still executed
+		// (X wire semantics), so the rollback flags reflect what the
+		// server actually did; then each failed op gets the same
+		// one-retry-unless-dead treatment step gives, re-issued
+		// unbatched. Redoing is keyed off the cookie: ops that
+		// succeeded in the batch are not repeated.
+		savedSet = ckSave.Err() == nil
+		reparented = ckReparent.Err() == nil
+		redo := func(op string, ck *xserver.Cookie, f func() error) error {
+			err := ck.Err()
+			if err == nil || wm.confirmDead(win, err) {
+				return err
+			}
+			wm.logf("manage %s 0x%x: %v (retrying)", op, uint32(win), err)
+			return f()
+		}
+		if err := redo("save-set", ckSave, func() error { return wm.conn.ChangeSaveSet(win, true) }); err != nil {
+			return fail(err)
+		}
+		savedSet = true
+		if ckBorder != nil {
+			if err := redo("strip border", ckBorder, func() error {
+				return wm.conn.ConfigureWindow(win, xproto.WindowChanges{
+					Mask: xproto.CWBorderWidth, BorderWidth: 0,
+				})
+			}); err != nil {
+				return fail(err)
+			}
+		}
+		if err := redo("reparent", ckReparent, func() error {
+			return wm.conn.ReparentWindow(win, c.clientSlot.Window, 0, 0)
 		}); err != nil {
 			return fail(err)
 		}
+		reparented = true
+		if err := redo("slot input", ckSlotIn, func() error {
+			return wm.conn.SelectInput(c.clientSlot.Window,
+				xproto.SubstructureRedirectMask|xproto.SubstructureNotifyMask)
+		}); err != nil {
+			return fail(err)
+		}
+		if err := redo("map slot", ckMapSlot, func() error { return wm.conn.MapWindow(c.clientSlot.Window) }); err != nil {
+			return fail(err)
+		}
+		if err := redo("map client", ckMapWin, func() error { return wm.conn.MapWindow(win) }); err != nil {
+			return fail(err)
+		}
 	}
-	// Reparent into the client slot and map. Configure requests from the
-	// client must keep flowing through the WM, so the slot (the client's
-	// new parent) selects SubstructureRedirect, exactly as twm-style WMs
-	// do on their frames.
-	if err := step("reparent", func() error {
-		return wm.conn.ReparentWindow(win, c.clientSlot.Window, 0, 0)
-	}); err != nil {
-		return fail(err)
-	}
-	reparented = true
-	if err := step("slot input", func() error {
-		return wm.conn.SelectInput(c.clientSlot.Window,
-			xproto.SubstructureRedirectMask|xproto.SubstructureNotifyMask)
-	}); err != nil {
-		return fail(err)
-	}
-	if err := step("map slot", func() error { return wm.conn.MapWindow(c.clientSlot.Window) }); err != nil {
-		return fail(err)
-	}
-	if err := step("map client", func() error { return wm.conn.MapWindow(win) }); err != nil {
-		return fail(err)
-	}
+	savedSet, reparented = true, true
 
 	// Watch the client. SelectInput replaces this connection's mask, so
 	// preserve anything already selected (the panner content window, a
@@ -324,6 +370,9 @@ func (wm *WM) placeClient(c *Client, sess *sessionPlacement, normal icccm.Normal
 }
 
 // decorate selects and builds the decoration object tree for a client.
+// The resolved tree comes from the prototype cache when an identical
+// lookup context was built before; only the decoration-name query and
+// the deep clone run per client (see proto.go for the keying argument).
 func (wm *WM) decorate(c *Client) error {
 	ctx := wm.clientCtx(c.scr, c.Shaped, c.Sticky)
 	if c.Transient != xproto.None {
@@ -333,13 +382,34 @@ func (wm *WM) decorate(c *Client) error {
 	if !ok {
 		name = "default"
 	}
-	tree, err := objects.Build(ctx, name)
-	if err != nil {
-		// Fall back to a minimal frame: bare client slot panel.
-		tree = &objects.Object{Kind: objects.KindPanel, Name: "swmFallback"}
-		slot := &objects.Object{Kind: objects.KindPanel, Name: "client", Parent: tree}
-		tree.Children = []*objects.Object{slot}
-		wm.logf("decoration %q: %v (using fallback)", name, err)
+	gen := wm.db.Generation()
+	key := protoKey{
+		screen:     c.scr.Num,
+		monochrome: c.scr.Monochrome,
+		shaped:     c.Shaped,
+		sticky:     c.Sticky,
+		transient:  c.Transient != xproto.None,
+		panel:      name,
+	}
+	var tree *objects.Object
+	if proto, hit := wm.protos.get(gen, key); hit {
+		wm.metrics.protoHits.Inc()
+		tree = proto.Clone()
+	} else {
+		wm.metrics.protoMisses.Inc()
+		built, err := objects.Build(ctx, name)
+		if err != nil {
+			// Fall back to a minimal frame: bare client slot panel. Build
+			// failures are not cached — a later resource fix (new
+			// generation) or transient cause should get a fresh attempt.
+			tree = &objects.Object{Kind: objects.KindPanel, Name: "swmFallback"}
+			slot := &objects.Object{Kind: objects.KindPanel, Name: "client", Parent: tree}
+			tree.Children = []*objects.Object{slot}
+			wm.logf("decoration %q: %v (using fallback)", name, err)
+		} else {
+			wm.metrics.protoEvictions.Add(int64(wm.protos.put(gen, key, built)))
+			tree = built.Clone()
+		}
 	}
 	slot := tree.Find("client")
 	if slot == nil {

@@ -47,6 +47,15 @@ type wmMetrics struct {
 	deathRaces *obs.Counter
 	pans       *obs.Counter
 
+	// Adoption fast-path instruments: decoration prototype cache
+	// traffic (see proto.go) and the restart sweep's worker-pool
+	// backlog (see adopt.go). The gauge is written from pool workers,
+	// so it must stay a plain atomic like everything else here.
+	protoHits      *obs.Counter
+	protoMisses    *obs.Counter
+	protoEvictions *obs.Counter
+	adoptQueue     *obs.Gauge
+
 	pumpCycles   *obs.Counter
 	pumpNs       *obs.Histogram
 	pannerDamage *obs.Histogram
@@ -66,6 +75,11 @@ func newWMMetrics(reg *obs.Registry, trace *obs.Trace) *wmMetrics {
 		pumpCycles:   reg.Counter("pump.cycles"),
 		pumpNs:       reg.Histogram("pump.ns", obs.LatencyBounds),
 		pannerDamage: reg.Histogram("panner.damage", obs.SizeBounds),
+
+		protoHits:      reg.Counter("deco.proto_hits"),
+		protoMisses:    reg.Counter("deco.proto_misses"),
+		protoEvictions: reg.Counter("deco.proto_evictions"),
+		adoptQueue:     reg.Gauge("adopt.queue_depth"),
 	}
 	for t := xproto.KeyPress; t <= xproto.ShapeNotify; t++ {
 		m.events[t] = reg.Counter("event." + t.String())

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"repro/internal/objects"
+)
+
+// The decoration prototype cache. objects.Build resolves every panel,
+// button and text attribute through the resource database — dozens of
+// queries plus a bindings.Parse per object — yet the result depends
+// only on the lookup context, not on the individual client: the
+// database, the screen (number and monochrome), the dynamic resource
+// prefixes ("shaped", "sticky", "transient") and the resolved
+// decoration panel name. decorate therefore builds each distinct
+// context once, keeps the pristine tree here as a prototype, and hands
+// every subsequent client a deep Clone — per-client state (labels,
+// layout geometry, realized windows) only ever touches the clone.
+//
+// Correctness hinges on two points. First, the key must cover every
+// input Build reads: the prefixes are part of the key because the
+// paper's "shaped"/"sticky" components change which resource entries
+// match (swm.color.screen0.shaped.button.background can differ from
+// the unshaped answer), and the panel name is part of the key because
+// two classes may resolve to different decorations under the same
+// prefixes. Second, the cache must not outlive the database contents
+// it was built from: entries record the xrdb generation and the whole
+// cache is dropped when the generation moves (f.defaults, swmcmd
+// resource edits), mirroring how the query trie itself recompiles.
+type protoKey struct {
+	screen     int
+	monochrome bool
+	shaped     bool
+	sticky     bool
+	transient  bool
+	panel      string
+}
+
+// protoCacheCap bounds the cache. Real sessions see a handful of
+// distinct decorations; the cap only matters for adversarial resource
+// files that name a new panel per client, and FIFO eviction keeps even
+// that case bounded without bookkeeping on the hit path.
+const protoCacheCap = 64
+
+type protoCache struct {
+	gen     uint64
+	entries map[protoKey]*objects.Object
+	order   []protoKey // insertion order, for FIFO eviction
+}
+
+// get returns the prototype for key if it was built against database
+// generation gen.
+func (pc *protoCache) get(gen uint64, key protoKey) (*objects.Object, bool) {
+	if pc.entries == nil || pc.gen != gen {
+		return nil, false
+	}
+	t, ok := pc.entries[key]
+	return t, ok
+}
+
+// put stores a prototype built against generation gen and returns how
+// many entries were evicted to make room (0 or 1; the whole cache
+// flushing on a generation change is not an eviction).
+func (pc *protoCache) put(gen uint64, key protoKey, tree *objects.Object) int {
+	if pc.entries == nil || pc.gen != gen {
+		pc.entries = make(map[protoKey]*objects.Object)
+		pc.order = pc.order[:0]
+		pc.gen = gen
+	}
+	evicted := 0
+	if _, exists := pc.entries[key]; !exists && len(pc.entries) >= protoCacheCap {
+		oldest := pc.order[0]
+		pc.order = pc.order[1:]
+		delete(pc.entries, oldest)
+		evicted = 1
+	}
+	if _, exists := pc.entries[key]; !exists {
+		pc.order = append(pc.order, key)
+	}
+	pc.entries[key] = tree
+	return evicted
+}

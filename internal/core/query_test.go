@@ -68,6 +68,52 @@ func TestQueryStats(t *testing.T) {
 	}
 }
 
+// TestQueryStatsAdoptionCounters checks the adoption fast path's
+// instruments all the way out the wire: prototype-cache hit/miss/
+// eviction counters and the adoption-pool queue-depth gauge must be
+// visible to `swmcmd -query stats`, not just to in-process readers.
+func TestQueryStatsAdoptionCounters(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	// Two same-class clients: the first misses the prototype cache and
+	// populates it, the second hits.
+	launch(t, s, wm, clients.Config{Instance: "xterm", Class: "XTerm", Width: 200, Height: 100})
+	launch(t, s, wm, clients.Config{Instance: "xterm2", Class: "XTerm", Width: 200, Height: 100})
+	cl := queryClient(t, s, wm)
+
+	resp := roundTrip(t, wm, cl, swmproto.Request{Op: swmproto.OpQuery, Target: swmproto.TargetStats})
+	if !resp.OK {
+		t.Fatalf("stats query failed: %s", resp.Error)
+	}
+	var stats swmproto.StatsResult
+	if err := json.Unmarshal(resp.Result, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if n := stats.Metrics.Counters["deco.proto_misses"]; n < 1 {
+		t.Errorf("deco.proto_misses = %d, want at least 1", n)
+	}
+	if n := stats.Metrics.Counters["deco.proto_hits"]; n < 1 {
+		t.Errorf("deco.proto_hits = %d, want at least 1", n)
+	}
+	if _, ok := stats.Metrics.Counters["deco.proto_evictions"]; !ok {
+		t.Error("deco.proto_evictions not registered in stats")
+	}
+	depth, ok := stats.Metrics.Gauges["adopt.queue_depth"]
+	if !ok {
+		t.Error("adopt.queue_depth not registered in stats")
+	}
+	if depth != 0 {
+		t.Errorf("adopt.queue_depth = %d at rest, want 0", depth)
+	}
+	// Sanity: the in-process Stats view agrees with the wire view.
+	st := wm.Stats()
+	if int64(st.ProtoHits) != stats.Metrics.Counters["deco.proto_hits"] ||
+		int64(st.ProtoMisses) != stats.Metrics.Counters["deco.proto_misses"] {
+		t.Errorf("Stats() proto counters (%d/%d) disagree with wire (%d/%d)",
+			st.ProtoHits, st.ProtoMisses,
+			stats.Metrics.Counters["deco.proto_hits"], stats.Metrics.Counters["deco.proto_misses"])
+	}
+}
+
 func TestQueryTrace(t *testing.T) {
 	s, wm := newWM(t, Options{VirtualDesktop: true})
 	wm.Trace().Enable()

@@ -20,6 +20,12 @@ type Stats struct {
 	Managed    int
 	Unmanaged  int
 	DeathRaces int
+
+	// Decoration prototype cache traffic (see proto.go): a healthy
+	// restart shows Misses ≈ distinct decorations and Hits ≈ clients.
+	ProtoHits      int
+	ProtoMisses    int
+	ProtoEvictions int
 }
 
 // Stats assembles the snapshot from the obs counters. Every read is an
@@ -35,6 +41,10 @@ func (wm *WM) Stats() Stats {
 		Managed:    int(m.managed.Value()),
 		Unmanaged:  int(m.unmanaged.Value()),
 		DeathRaces: int(m.deathRaces.Value()),
+
+		ProtoHits:      int(m.protoHits.Value()),
+		ProtoMisses:    int(m.protoMisses.Value()),
+		ProtoEvictions: int(m.protoEvictions.Value()),
 	}
 	for t := xproto.KeyPress; t <= xproto.ShapeNotify; t++ {
 		if n := m.events[t].Value(); n > 0 {

@@ -1,0 +1,85 @@
+package icccm
+
+import (
+	"repro/internal/xproto"
+	"repro/internal/xserver"
+)
+
+// The batched multi-property fetcher. Manage historically issued one
+// GetProperty round-trip per ICCCM property — eight lock acquisitions
+// per adopted client before any window was touched. GetManageProps
+// pulls the whole set through xserver.GetProperties in one flush,
+// while each property keeps the package's uniform (value, ok, error)
+// contract: a failure on one property (fault injection, a window dying
+// mid-batch) is confined to that property's Err and the rest still
+// decode.
+
+// PropValue is one property's decoded outcome in a batched fetch —
+// Prop.Get's (value, ok, error) triple as a struct:
+//
+//   - OK=false, Err=nil: the property is simply not set.
+//   - OK=false, Err!=nil: the request failed or the value was
+//     malformed; route Err through the degradation check.
+//   - OK=true: Value holds the decoded property.
+type PropValue[T any] struct {
+	Value T
+	OK    bool
+	Err   error
+}
+
+// decodeResult applies p's decoder to one raw batch slot.
+func decodeResult[T any](p Prop[T], c *xserver.Conn, r xserver.PropResult) PropValue[T] {
+	if r.Err != nil || !r.OK {
+		return PropValue[T]{Err: r.Err}
+	}
+	v, err := p.Decode(c, r.Prop.Data)
+	if err != nil {
+		return PropValue[T]{Err: err}
+	}
+	return PropValue[T]{Value: v, OK: true}
+}
+
+// ManageProps is every client property the manage path reads, fetched
+// together.
+type ManageProps struct {
+	Name      PropValue[string]
+	IconName  PropValue[string]
+	Class     PropValue[Class]
+	Command   PropValue[[]string]
+	Machine   PropValue[string]
+	Hints     PropValue[Hints]
+	Normal    PropValue[NormalHints]
+	Transient PropValue[xproto.XID]
+}
+
+var managePropNames = [...]string{
+	PropName.Name,
+	PropIconName.Name,
+	PropClass.Name,
+	PropCommand.Name,
+	PropClientMachine.Name,
+	PropHints.Name,
+	PropNormalHints.Name,
+	PropTransientFor.Name,
+}
+
+// GetManageProps reads WM_NAME, WM_ICON_NAME, WM_CLASS, WM_COMMAND,
+// WM_CLIENT_MACHINE, WM_HINTS, WM_NORMAL_HINTS and WM_TRANSIENT_FOR
+// from w in one server flush. It is safe to call concurrently from
+// adoption workers: it only issues read requests on the connection.
+func GetManageProps(c *xserver.Conn, w xproto.XID) ManageProps {
+	var atoms [len(managePropNames)]xproto.Atom
+	c.InternAtoms(managePropNames[:], atoms[:])
+	var raw [len(managePropNames)]xserver.PropResult
+	c.GetProperties(w, atoms[:], raw[:])
+	return ManageProps{
+		Name:      decodeResult(PropName, c, raw[0]),
+		IconName:  decodeResult(PropIconName, c, raw[1]),
+		Class:     decodeResult(PropClass, c, raw[2]),
+		Command:   decodeResult(PropCommand, c, raw[3]),
+		Machine:   decodeResult(PropClientMachine, c, raw[4]),
+		Hints:     decodeResult(PropHints, c, raw[5]),
+		Normal:    decodeResult(PropNormalHints, c, raw[6]),
+		Transient: decodeResult(PropTransientFor, c, raw[7]),
+	}
+}

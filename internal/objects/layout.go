@@ -2,7 +2,6 @@ package objects
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/xproto"
 	"repro/internal/xserver"
@@ -23,13 +22,13 @@ func Layout(root *Object, clientW, clientH int) (w, h int) {
 	return root.Rect.Width, root.Rect.Height
 }
 
-type rowInfo struct {
-	index  int
-	items  []*Object
-	width  int // natural width of all items
-	height int
-}
-
+// layoutPanel computes sizes and positions without allocating: panels
+// are laid out on every relabel in the manage fast path, so rows and
+// anchor groups are found by ordered scans over the (small) child list
+// instead of building maps and sorted slices. The scans are O(rows ×
+// children) and O(cols × children) — decorations have a handful of
+// each, and the constant factor beats a map-and-sort for every tree
+// the templates produce.
 func layoutPanel(p *Object, clientW, clientH int) {
 	if p.Kind != KindPanel {
 		w, h := p.naturalSize()
@@ -57,88 +56,136 @@ func layoutPanel(p *Object, clientW, clientH int) {
 		layoutPanel(c, clientW, clientH)
 	}
 
-	// Group into rows.
-	rowsByIndex := map[int]*rowInfo{}
-	for _, c := range p.Children {
-		ri, ok := rowsByIndex[c.Pos.Row]
-		if !ok {
-			ri = &rowInfo{index: c.Pos.Row}
-			rowsByIndex[c.Pos.Row] = ri
-		}
-		ri.items = append(ri.items, c)
-		ri.width += c.Rect.Width
-		if c.Rect.Height > ri.height {
-			ri.height = c.Rect.Height
-		}
-	}
-	rows := make([]*rowInfo, 0, len(rowsByIndex))
-	for _, ri := range rowsByIndex {
-		rows = append(rows, ri)
-	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].index < rows[j].index })
-
 	// Panel content width is the widest row.
 	width := 0
-	for _, ri := range rows {
-		if ri.width > width {
-			width = ri.width
+	forEachRow(p.Children, func(row int) {
+		w := 0
+		for _, c := range p.Children {
+			if c.Pos.Row == row {
+				w += c.Rect.Width
+			}
 		}
-	}
+		if w > width {
+			width = w
+		}
+	})
 
 	// Place rows top to bottom, items within each row by anchor class.
 	y := 0
-	for _, ri := range rows {
-		placeRow(ri, width, y)
-		y += ri.height + RowGap
-	}
+	forEachRow(p.Children, func(row int) {
+		rowH := 0
+		for _, c := range p.Children {
+			if c.Pos.Row == row && c.Rect.Height > rowH {
+				rowH = c.Rect.Height
+			}
+		}
+		placeRow(p.Children, row, rowH, width, y)
+		y += rowH + RowGap
+	})
 	height := y - RowGap
 
 	p.Rect.Width = width
 	p.Rect.Height = height
 }
 
-// placeRow assigns x positions within one row.
-func placeRow(ri *rowInfo, panelWidth, y int) {
-	var left, right, center []*Object
-	for _, c := range ri.items {
-		switch {
-		case c.Pos.ColCentered:
-			center = append(center, c)
-		case c.Pos.ColFromRight:
-			right = append(right, c)
-		default:
-			left = append(left, c)
+// forEachRow calls f once per distinct Pos.Row value among children, in
+// increasing row order.
+func forEachRow(children []*Object, f func(row int)) {
+	const intMin, intMax = -1 << 63, 1<<63 - 1
+	prev := intMin
+	for {
+		row := intMax
+		found := false
+		for _, c := range children {
+			if c.Pos.Row > prev && (!found || c.Pos.Row < row) {
+				row, found = c.Pos.Row, true
+			}
 		}
+		if !found {
+			return
+		}
+		f(row)
+		prev = row
 	}
-	sort.SliceStable(left, func(i, j int) bool { return left[i].Pos.Col < left[j].Pos.Col })
-	// Right-anchored: column 0 is flush against the right edge, column 1
-	// next to it, etc.
-	sort.SliceStable(right, func(i, j int) bool { return right[i].Pos.Col < right[j].Pos.Col })
+}
 
-	x := 0
-	for _, c := range left {
-		c.Rect.X = x
-		c.Rect.Y = y + (ri.height-c.Rect.Height)/2
-		x += c.Rect.Width
+// rowAnchor classifies one child for placeRow's per-anchor passes.
+type rowAnchor uint8
+
+const (
+	anchorLeft rowAnchor = iota
+	anchorRight
+	anchorCenter
+)
+
+func anchorOf(c *Object) rowAnchor {
+	switch {
+	case c.Pos.ColCentered:
+		return anchorCenter
+	case c.Pos.ColFromRight:
+		return anchorRight
 	}
+	return anchorLeft
+}
+
+// forEachInRow calls f for every child in the given row with the given
+// anchor, in increasing column order; children sharing a column keep
+// their list order (the stable-sort behavior bindings and templates
+// rely on).
+func forEachInRow(children []*Object, row int, a rowAnchor, f func(c *Object)) {
+	const intMin, intMax = -1 << 63, 1<<63 - 1
+	prev := intMin
+	for {
+		col := intMax
+		found := false
+		for _, c := range children {
+			if c.Pos.Row == row && anchorOf(c) == a && c.Pos.Col > prev && (!found || c.Pos.Col < col) {
+				col, found = c.Pos.Col, true
+			}
+		}
+		if !found {
+			return
+		}
+		for _, c := range children {
+			if c.Pos.Row == row && anchorOf(c) == a && c.Pos.Col == col {
+				f(c)
+			}
+		}
+		prev = col
+	}
+}
+
+// placeRow assigns x positions within one row: left-anchored objects
+// pack from the left in column order, right-anchored ("-N") objects
+// pack from the right (column 0 flush against the right edge, column 1
+// next to it, etc.), and centered objects split the remaining space.
+func placeRow(children []*Object, row, rowH, panelWidth, y int) {
+	x := 0
+	forEachInRow(children, row, anchorLeft, func(c *Object) {
+		c.Rect.X = x
+		c.Rect.Y = y + (rowH-c.Rect.Height)/2
+		x += c.Rect.Width
+	})
 	leftEnd := x
 
 	rx := panelWidth
-	for _, c := range right {
+	forEachInRow(children, row, anchorRight, func(c *Object) {
 		rx -= c.Rect.Width
 		c.Rect.X = rx
-		c.Rect.Y = y + (ri.height-c.Rect.Height)/2
-	}
+		c.Rect.Y = y + (rowH-c.Rect.Height)/2
+	})
 	rightStart := rx
 
 	// Centered objects share the hole between left and right packs,
 	// centered as a group within the full panel width (matching how the
 	// OpenLook name button sits centered in the titlebar).
-	if len(center) > 0 {
-		total := 0
-		for _, c := range center {
-			total += c.Rect.Width
-		}
+	total := 0
+	count := 0
+	forEachInRow(children, row, anchorCenter, func(c *Object) {
+		total += c.Rect.Width
+		count++
+	})
+	if count > 0 {
 		start := (panelWidth - total) / 2
 		if start < leftEnd {
 			start = leftEnd
@@ -146,11 +193,11 @@ func placeRow(ri *rowInfo, panelWidth, y int) {
 		if start+total > rightStart {
 			start = rightStart - total
 		}
-		for _, c := range center {
+		forEachInRow(children, row, anchorCenter, func(c *Object) {
 			c.Rect.X = start
-			c.Rect.Y = y + (ri.height-c.Rect.Height)/2
+			c.Rect.Y = y + (rowH-c.Rect.Height)/2
 			start += c.Rect.Width
-		}
+		})
 	}
 }
 

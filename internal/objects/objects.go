@@ -117,6 +117,38 @@ func (o *Object) SetLabel(s string) { o.label = s }
 // also change functionality").
 func (o *Object) SetBindings(t *bindings.Table) { o.Bindings = t }
 
+// Clone returns a deep copy of the object tree rooted at o: fresh
+// Object nodes with Parent links rewired into the copy and Window
+// cleared (a clone is unrealized until Realize runs on it). The
+// Bindings tables are shared — a parsed bindings.Table is read-only;
+// runtime rebinding swaps the pointer via SetBindings, which affects
+// only the one clone. This is what makes the decoration prototype
+// cache sound: Build resolves a tree once per resource context and
+// every managed client decorates from a Clone of it.
+func (o *Object) Clone() *Object {
+	return o.cloneInto(nil)
+}
+
+func (o *Object) cloneInto(parent *Object) *Object {
+	c := &Object{
+		Kind:     o.Kind,
+		Name:     o.Name,
+		Pos:      o.Pos,
+		Parent:   parent,
+		Attrs:    o.Attrs,
+		Bindings: o.Bindings,
+		Rect:     o.Rect,
+		label:    o.label,
+	}
+	if len(o.Children) > 0 {
+		c.Children = make([]*Object, 0, len(o.Children))
+		for _, ch := range o.Children {
+			c.Children = append(c.Children, ch.cloneInto(c))
+		}
+	}
+	return c
+}
+
 // Find returns the descendant (or o itself) with the given name, or nil.
 func (o *Object) Find(name string) *Object {
 	if o.Name == name {
@@ -217,16 +249,46 @@ type Context struct {
 	Prefixes   []string
 }
 
+// titleCased memoizes the class form of every resource component the
+// manage fast path uses, so titleCase is allocation-free for them (map
+// reads never allocate). Unknown components still get the generic
+// concatenation.
+var titleCased = map[string]string{
+	"background":        "Background",
+	"bindings":          "Bindings",
+	"button":            "Button",
+	"cursor":            "Cursor",
+	"decoration":        "Decoration",
+	"focusFollowsMouse": "FocusFollowsMouse",
+	"font":              "Font",
+	"foreground":        "Foreground",
+	"iconHolders":       "IconHolders",
+	"iconPanel":         "IconPanel",
+	"image":             "Image",
+	"label":             "Label",
+	"menu":              "Menu",
+	"panel":             "Panel",
+	"remoteStart":       "RemoteStart",
+	"rootIcons":         "RootIcons",
+	"rootPanels":        "RootPanels",
+	"shape":             "Shape",
+	"shapeMask":         "ShapeMask",
+	"shaped":            "Shaped",
+	"sticky":            "Sticky",
+	"text":              "Text",
+	"transient":         "Transient",
+}
+
 // titleCase upper-cases the first letter, forming the class name of a
 // resource component ("decoration" -> "Decoration").
 func titleCase(s string) string {
-	if s == "" {
+	if s == "" || s[0] < 'a' || s[0] > 'z' {
 		return s
 	}
-	if s[0] >= 'a' && s[0] <= 'z' {
-		return string(s[0]-'a'+'A') + s[1:]
+	if t, ok := titleCased[s]; ok {
+		return t
 	}
-	return s
+	return string(s[0]-'a'+'A') + s[1:]
 }
 
 func (ctx *Context) colorComponent() (name, class string) {
@@ -236,14 +298,38 @@ func (ctx *Context) colorComponent() (name, class string) {
 	return "color", "Color"
 }
 
-// baseQuery builds the leading name/class components:
+// screenComponents precomputes the per-screen resource component for
+// the screen counts that occur in practice; higher numbers fall back
+// to formatting.
+var screenComponents = [8][2]string{
+	{"screen0", "Screen0"}, {"screen1", "Screen1"},
+	{"screen2", "Screen2"}, {"screen3", "Screen3"},
+	{"screen4", "Screen4"}, {"screen5", "Screen5"},
+	{"screen6", "Screen6"}, {"screen7", "Screen7"},
+}
+
+func screenComponent(n int) (name, class string) {
+	if n >= 0 && n < len(screenComponents) {
+		return screenComponents[n][0], screenComponents[n][1]
+	}
+	return fmt.Sprintf("screen%d", n), fmt.Sprintf("Screen%d", n)
+}
+
+// maxQueryDepth bounds a resource query's component count: swm, color,
+// screen, up to three prefixes (shaped, sticky, transient) and three
+// trailing components. Lookups build their component lists in
+// stack-backed arrays of this size, so a query in the manage fast path
+// does not allocate (the xrdb trie walk on the other side is
+// allocation-free too).
+const maxQueryDepth = 9
+
+// appendBase appends the leading name/class components:
 // swm.<color>.<screenN>[.<prefixes>...].
-func (ctx *Context) baseQuery() (names, classes []string) {
+func (ctx *Context) appendBase(names, classes []string) ([]string, []string) {
 	cn, cc := ctx.colorComponent()
-	sn := fmt.Sprintf("screen%d", ctx.ScreenNum)
-	sc := fmt.Sprintf("Screen%d", ctx.ScreenNum)
-	names = []string{"swm", cn, sn}
-	classes = []string{"Swm", cc, sc}
+	sn, sc := screenComponent(ctx.ScreenNum)
+	names = append(names, "swm", cn, sn)
+	classes = append(classes, "Swm", cc, sc)
 	for _, p := range ctx.Prefixes {
 		names = append(names, p)
 		classes = append(classes, titleCase(p))
@@ -254,7 +340,8 @@ func (ctx *Context) baseQuery() (names, classes []string) {
 // Lookup queries a non-specific object resource:
 // swm.<color>.<screenN>.<type>.<objName>.<attr>.
 func (ctx *Context) Lookup(kind Kind, objName, attr string) (string, bool) {
-	names, classes := ctx.baseQuery()
+	var nbuf, cbuf [maxQueryDepth]string
+	names, classes := ctx.appendBase(nbuf[:0], cbuf[:0])
 	names = append(names, kind.String(), objName, attr)
 	classes = append(classes, titleCase(kind.String()), objName, titleCase(attr))
 	return ctx.DB.Query(names, classes)
@@ -265,7 +352,8 @@ func (ctx *Context) Lookup(kind Kind, objName, attr string) (string, bool) {
 // are included in the resource string", giving the form
 // swm.<color>.<screenN>.<class>.<instance>.<attr>.
 func (ctx *Context) LookupClient(class, instance, attr string) (string, bool) {
-	names, classes := ctx.baseQuery()
+	var nbuf, cbuf [maxQueryDepth]string
+	names, classes := ctx.appendBase(nbuf[:0], cbuf[:0])
 	names = append(names, class, instance, attr)
 	classes = append(classes, class, class, titleCase(attr))
 	return ctx.DB.Query(names, classes)
@@ -274,7 +362,8 @@ func (ctx *Context) LookupClient(class, instance, attr string) (string, bool) {
 // LookupGlobal queries a non-specific operational resource:
 // swm.<color>.<screenN>.<attr>.
 func (ctx *Context) LookupGlobal(attr string) (string, bool) {
-	names, classes := ctx.baseQuery()
+	var nbuf, cbuf [maxQueryDepth]string
+	names, classes := ctx.appendBase(nbuf[:0], cbuf[:0])
 	names = append(names, attr)
 	classes = append(classes, titleCase(attr))
 	return ctx.DB.Query(names, classes)
@@ -283,7 +372,8 @@ func (ctx *Context) LookupGlobal(attr string) (string, bool) {
 // PanelDefFor fetches and parses the panel definition resource
 // swm*panel.<name> (no trailing attribute component).
 func (ctx *Context) PanelDefFor(name string) (PanelDef, error) {
-	names, classes := ctx.baseQuery()
+	var nbuf, cbuf [maxQueryDepth]string
+	names, classes := ctx.appendBase(nbuf[:0], cbuf[:0])
 	names = append(names, "panel", name)
 	classes = append(classes, "Panel", name)
 	v, found := ctx.DB.Query(names, classes)

@@ -47,48 +47,27 @@ type entry struct {
 type DB struct {
 	entries []entry
 	nextSeq int
-	// index from last component name to candidate entries, which prunes
-	// the common case where queries differ only in their final resource
-	// name (e.g. "decoration", "bindings").
-	index map[string][]int
-	// memo caches Query results. The WM asks the same fully-qualified
-	// questions over and over (every decorate, every label sync), and
-	// the matching walk is the expensive part, so answers are kept until
-	// the next Put — any write may change any answer, so writes simply
-	// drop the whole cache.
-	memo map[string]memoResult
-}
-
-type memoResult struct {
-	value string
-	ok    bool
-}
-
-// memoKey encodes a names/classes query as one string. Component names
-// never contain control bytes, so the separators cannot collide.
-func memoKey(names, classes []string) string {
-	var sb strings.Builder
-	n := 1
-	for i := range names {
-		n += len(names[i]) + len(classes[i]) + 2
-	}
-	sb.Grow(n)
-	for _, s := range names {
-		sb.WriteString(s)
-		sb.WriteByte(0x00)
-	}
-	sb.WriteByte(0x01)
-	for _, s := range classes {
-		sb.WriteString(s)
-		sb.WriteByte(0x00)
-	}
-	return sb.String()
+	// trie is the compiled matching automaton Query walks: one node per
+	// stored specifier prefix, children keyed by (binding, name). It is
+	// built lazily on the first Query after a mutation — any write may
+	// change any answer, so writes simply drop the whole structure —
+	// and a query walks it without allocating.
+	trie *trieNode
+	// gen counts mutations. Callers that cache values derived from
+	// queries (the decoration prototype cache in internal/core) compare
+	// generations instead of subscribing to invalidation.
+	gen uint64
 }
 
 // New returns an empty database.
 func New() *DB {
-	return &DB{index: make(map[string][]int)}
+	return &DB{}
 }
+
+// Generation returns a counter that changes whenever the database is
+// mutated. Two calls returning the same value bracket a span in which
+// every Query answer was stable.
+func (db *DB) Generation() uint64 { return db.gen }
 
 // Len reports the number of stored entries.
 func (db *DB) Len() int { return len(db.entries) }
@@ -102,10 +81,8 @@ func (db *DB) Put(specifier, value string) error {
 	if err != nil {
 		return err
 	}
-	if db.index == nil {
-		db.index = make(map[string][]int)
-	}
-	db.memo = nil // any stored entry can change any query's answer
+	db.trie = nil // any stored entry can change any query's answer
+	db.gen++
 	// Exact-specifier override.
 	for i := range db.entries {
 		if sameComponents(db.entries[i].components, comps) {
@@ -117,8 +94,6 @@ func (db *DB) Put(specifier, value string) error {
 	}
 	db.entries = append(db.entries, entry{components: comps, value: value, seq: db.nextSeq})
 	db.nextSeq++
-	last := comps[len(comps)-1].name
-	db.index[last] = append(db.index[last], len(db.entries)-1)
 	return nil
 }
 
@@ -199,62 +174,130 @@ func parseSpecifier(spec string) ([]component, error) {
 // Query looks up the value matching the fully-qualified names and
 // classes (parallel slices, one element per level). It returns the
 // best-matching value under X precedence rules and whether any entry
-// matched.
+// matched. The walk runs over the compiled trie and does not allocate;
+// the first Query after a mutation pays a one-time compile.
 func (db *DB) Query(names, classes []string) (string, bool) {
 	if len(names) != len(classes) || len(names) == 0 {
 		return "", false
 	}
-	key := memoKey(names, classes)
-	if r, hit := db.memo[key]; hit {
-		return r.value, r.ok
+	if db.trie == nil {
+		db.trie = compileTrie(db.entries)
 	}
-	value, ok := db.query(names, classes)
-	if db.memo == nil {
-		db.memo = make(map[string]memoResult)
+	n := db.trie.find(names, classes, 0, false)
+	if n == nil {
+		return "", false
 	}
-	db.memo[key] = memoResult{value, ok}
-	return value, ok
+	return n.value, true
 }
 
-func (db *DB) query(names, classes []string) (string, bool) {
-	best := -1
-	var bestScore []int
-	consider := func(i int) {
-		e := &db.entries[i]
-		if len(e.components) > len(names) {
-			return
+// trieNode is one state of the compiled matcher: the set of stored
+// specifiers sharing a component prefix. Children are split by the
+// binding of the edge leading to them, because precedence ranks tight
+// matches above loose ones and only loose edges may absorb skipped
+// query levels.
+type trieNode struct {
+	tight map[string]*trieNode
+	loose map[string]*trieNode
+	value string
+	leaf  bool // a stored specifier ends exactly here
+}
+
+func compileTrie(entries []entry) *trieNode {
+	root := &trieNode{}
+	for i := range entries {
+		e := &entries[i]
+		cur := root
+		for _, c := range e.components {
+			m := &cur.tight
+			if c.binding == Loose {
+				m = &cur.loose
+			}
+			if *m == nil {
+				*m = make(map[string]*trieNode)
+			}
+			next := (*m)[c.name]
+			if next == nil {
+				next = &trieNode{}
+				(*m)[c.name] = next
+			}
+			cur = next
 		}
-		score, ok := matchScore(e.components, names, classes)
-		if !ok {
-			return
-		}
-		if best == -1 || compareScores(score, bestScore) > 0 ||
-			(compareScores(score, bestScore) == 0 && e.seq > db.entries[best].seq) {
-			best = i
-			bestScore = score
-		}
+		// Put collapses duplicate specifiers, so each leaf is claimed by
+		// exactly one entry and no seq tie-break is needed here.
+		cur.leaf = true
+		cur.value = e.value
 	}
-	lastName := names[len(names)-1]
-	lastClass := classes[len(classes)-1]
-	if db.index != nil {
-		seen := map[int]bool{}
-		for _, key := range []string{lastName, lastClass, "?"} {
-			for _, i := range db.index[key] {
-				if !seen[i] {
-					seen[i] = true
-					consider(i)
+	return root
+}
+
+// find returns the leaf for the best match of names/classes[li:] from
+// this state, or nil. Branches are tried in per-level precedence order
+// (tight name > tight class > tight "?" > the loose forms > skipping
+// the level), so the first complete match found is the lexicographic
+// maximum — the same answer the brute-force scorer picks. A score
+// vector pins down the full component sequence that produced it
+// (each non-skipped level fixes its component's name and binding), so
+// two distinct entries can never tie and no seq comparison is needed.
+//
+// skipped means the previous level was consumed by a loose binding: the
+// walk is committed to one of this node's loose components, so tight
+// edges and leaf acceptance are off the table until a loose edge is
+// taken.
+func (n *trieNode) find(names, classes []string, li int, skipped bool) *trieNode {
+	if li == len(names) {
+		if !skipped && n.leaf {
+			return n
+		}
+		return nil
+	}
+	name, class := names[li], classes[li]
+	if !skipped && n.tight != nil {
+		if c := n.tight[name]; c != nil {
+			if r := c.find(names, classes, li+1, false); r != nil {
+				return r
+			}
+		}
+		if class != name {
+			if c := n.tight[class]; c != nil {
+				if r := c.find(names, classes, li+1, false); r != nil {
+					return r
 				}
 			}
 		}
-	} else {
-		for i := range db.entries {
-			consider(i)
+		if name != "?" && class != "?" {
+			if c := n.tight["?"]; c != nil {
+				if r := c.find(names, classes, li+1, false); r != nil {
+					return r
+				}
+			}
 		}
 	}
-	if best == -1 {
-		return "", false
+	if n.loose != nil {
+		if c := n.loose[name]; c != nil {
+			if r := c.find(names, classes, li+1, false); r != nil {
+				return r
+			}
+		}
+		if class != name {
+			if c := n.loose[class]; c != nil {
+				if r := c.find(names, classes, li+1, false); r != nil {
+					return r
+				}
+			}
+		}
+		if name != "?" && class != "?" {
+			if c := n.loose["?"]; c != nil {
+				if r := c.find(names, classes, li+1, false); r != nil {
+					return r
+				}
+			}
+		}
+		// Lowest precedence: a loose component absorbs this level.
+		if r := n.find(names, classes, li+1, true); r != nil {
+			return r
+		}
 	}
-	return db.entries[best].value, true
+	return nil
 }
 
 // QueryString is Query for dotted full name/class strings, e.g.
@@ -267,7 +310,10 @@ func (db *DB) QueryString(fullName, fullClass string) (string, bool) {
 
 // Match levels are encoded per query level as a single int so that
 // lexicographic comparison across levels implements X precedence:
-// higher is better at each level.
+// higher is better at each level. The trie walk above realizes the
+// same ordering by branch order; the constants and compareScores are
+// the currency of the brute-force reference (reference_test.go) that
+// cross-checks it.
 const (
 	scoreSkipped   = 0 // level consumed by a loose binding
 	scoreWildcard  = 1 // matched by "?"
@@ -277,59 +323,6 @@ const (
 	scorePerLevel  = 8
 	scoreLevelMask = scorePerLevel - 1
 )
-
-// matchScore aligns components against the query levels, returning the
-// best score (one int per level) if the entry matches.
-func matchScore(comps []component, names, classes []string) ([]int, bool) {
-	// Dynamic programming over (component index, level index) with
-	// memoized best scores is overkill for typical entry sizes (< 8
-	// components); a depth-first search with best-tracking is simple and
-	// fast enough, and scoring is lexicographic so the first level
-	// decided dominates.
-	var best []int
-	var walk func(ci, li int, acc []int) // ci: component index, li: level index
-	walk = func(ci, li int, acc []int) {
-		if ci == len(comps) {
-			if li == len(names) {
-				score := append([]int(nil), acc...)
-				if best == nil || compareScores(score, best) > 0 {
-					best = score
-				}
-			}
-			return
-		}
-		if li >= len(names) {
-			return
-		}
-		c := comps[ci]
-		// Option 1: match this component at this level.
-		var levelScore = -1
-		switch {
-		case c.name == names[li]:
-			levelScore = scoreName
-		case c.name == classes[li]:
-			levelScore = scoreClass
-		case c.name == "?":
-			levelScore = scoreWildcard
-		}
-		if levelScore >= 0 {
-			s := levelScore
-			if c.binding == Tight {
-				s += scoreTightBit
-			}
-			walk(ci+1, li+1, append(acc, s))
-		}
-		// Option 2: loose binding skips this level.
-		if c.binding == Loose {
-			walk(ci, li+1, append(acc, scoreSkipped))
-		}
-	}
-	walk(0, 0, make([]int, 0, len(names)))
-	if best == nil {
-		return nil, false
-	}
-	return best, true
-}
 
 func compareScores(a, b []int) int {
 	for i := 0; i < len(a) && i < len(b); i++ {
@@ -488,8 +481,6 @@ func (db *DB) Clone() *DB {
 		comps := append([]component(nil), e.components...)
 		out.entries = append(out.entries, entry{components: comps, value: e.value, seq: out.nextSeq})
 		out.nextSeq++
-		last := comps[len(comps)-1].name
-		out.index[last] = append(out.index[last], len(out.entries)-1)
 	}
 	return out
 }

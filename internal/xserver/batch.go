@@ -27,6 +27,14 @@ type Batch struct {
 	conn    *Conn
 	ops     []batchOp
 	flushed bool
+
+	// ckBuf backs the first cookies handed out, so a typical batch (the
+	// manage setup sequence is six ops) costs one Batch allocation plus
+	// one ops-slice allocation; only larger batches fall back to
+	// per-cookie allocations. Cookies must be individually stable
+	// pointers, which is why ops cannot simply embed them.
+	ckBuf [8]Cookie
+	ckN   int
 }
 
 // ErrNotFlushed is returned by Cookie.Err for a batch that has not
@@ -72,6 +80,8 @@ const (
 	opChangeProperty
 	opSetWindowLabel
 	opSetWindowFill
+	opSelectInput
+	opChangeSaveSet
 )
 
 var opMajors = [...]string{
@@ -84,6 +94,8 @@ var opMajors = [...]string{
 	opChangeProperty:  "ChangeProperty",
 	opSetWindowLabel:  "SetWindowLabel",
 	opSetWindowFill:   "SetWindowFill",
+	opSelectInput:     "SelectInput",
+	opChangeSaveSet:   "ChangeSaveSet",
 }
 
 // batchOp is a recorded request: a tagged union rather than a closure
@@ -97,6 +109,8 @@ type batchOp struct {
 	rect   xproto.Rect
 	attrs  WindowAttributes
 	ch     xproto.WindowChanges
+	mask   xproto.EventMask // SelectInput
+	insert bool             // ChangeSaveSet
 	prop   xproto.Atom
 	typ    xproto.Atom
 	format int
@@ -129,7 +143,17 @@ func (b *Batch) record(op batchOp) *Cookie {
 	if b.flushed {
 		panic("xserver: op recorded on flushed batch")
 	}
-	op.ck = &Cookie{major: opMajors[op.kind], win: op.id}
+	if b.ckN < len(b.ckBuf) {
+		op.ck = &b.ckBuf[b.ckN]
+		b.ckN++
+		op.ck.major = opMajors[op.kind]
+		op.ck.win = op.id
+	} else {
+		op.ck = &Cookie{major: opMajors[op.kind], win: op.id}
+	}
+	if b.ops == nil {
+		b.ops = make([]batchOp, 0, len(b.ckBuf))
+	}
 	b.ops = append(b.ops, op)
 	return op.ck
 }
@@ -217,6 +241,17 @@ func (b *Batch) SetWindowFill(id xproto.XID, fill byte) *Cookie {
 	return b.record(batchOp{kind: opSetWindowFill, id: id, fill: fill})
 }
 
+// SelectInput records an event-mask change (subject to the same
+// one-SubstructureRedirect-selector rule as the unbatched call).
+func (b *Batch) SelectInput(id xproto.XID, mask xproto.EventMask) *Cookie {
+	return b.record(batchOp{kind: opSelectInput, id: id, mask: mask})
+}
+
+// ChangeSaveSet records a save-set insertion or removal.
+func (b *Batch) ChangeSaveSet(id xproto.XID, insert bool) *Cookie {
+	return b.record(batchOp{kind: opChangeSaveSet, id: id, insert: insert})
+}
+
 // Flush applies all recorded ops under one lock acquisition, in record
 // order. Every cookie is resolved; Flush returns the first op error
 // (or nil if all succeeded) so callers that don't need per-op
@@ -282,6 +317,10 @@ func (s *Server) applyOpLocked(c *Conn, op *batchOp) error {
 		return c.setWindowLabelLocked(op.id, op.label)
 	case opSetWindowFill:
 		return c.setWindowFillLocked(op.id, op.fill)
+	case opSelectInput:
+		return c.selectInputLocked(op.id, op.mask)
+	case opChangeSaveSet:
+		return c.changeSaveSetLocked(op.id, op.insert)
 	}
 	return nil
 }

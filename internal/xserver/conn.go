@@ -22,7 +22,11 @@ type Conn struct {
 	fd     int
 	name   string
 
+	// queue is the pending event buffer; qhead indexes the next event
+	// to pop (pops advance the head so the buffer is reused once it
+	// drains, instead of the append tail growing forever).
 	queue   []xproto.Event
+	qhead   int
 	cond    *sync.Cond
 	closed  bool
 	saveSet map[xproto.XID]bool
@@ -139,20 +143,21 @@ func (c *Conn) createWindowLocked(id, parent xproto.XID, r xproto.Rect, borderWi
 	if id == xproto.None {
 		id = s.allocID()
 	}
+	// props and masks stay nil until first use: windows are created in
+	// bulk on the manage fast path and most decoration internals never
+	// receive a property or select events.
 	w := &window{
 		id:          id,
 		rect:        r,
 		borderWidth: borderWidth,
 		class:       attrs.Class,
 		override:    attrs.OverrideRedirect,
-		props:       make(map[xproto.Atom]Property),
-		masks:       make(map[*Conn]xproto.EventMask),
 		owner:       c,
 		fill:        attrs.Fill,
 		label:       attrs.Label,
 	}
 	if attrs.EventMask != 0 {
-		w.masks[c] = attrs.EventMask
+		w.masks = map[*Conn]xproto.EventMask{c: attrs.EventMask}
 	}
 	w.attachLocked(p)
 	s.windows[w.id] = w
@@ -271,7 +276,7 @@ func (s *Server) mapLocked(w *window) {
 			Width: w.rect.Width, Height: w.rect.Height, Time: s.tickLocked(),
 		})
 	}
-	s.updatePointerWindowLocked()
+	s.pointerRecheckLocked(w)
 }
 
 // UnmapWindow unmaps the window.
@@ -309,7 +314,7 @@ func (s *Server) unmapLocked(w *window, fromConfigure bool) {
 		pev.Window = w.parent.id
 		s.deliverLocked(w.parent, xproto.SubstructureNotifyMask, pev)
 	}
-	s.updatePointerWindowLocked()
+	s.pointerRecheckLocked(w)
 }
 
 // ReparentWindow makes the window a child of newParent at (x, y). The
@@ -454,7 +459,7 @@ func (s *Server) configureLocked(w *window, ch xproto.WindowChanges) error {
 		pev.Window = w.parent.id
 		s.deliverLocked(w.parent, xproto.SubstructureNotifyMask, pev)
 	}
-	s.updatePointerWindowLocked()
+	s.pointerRecheckLocked(w)
 	return nil
 }
 
@@ -616,6 +621,10 @@ func (c *Conn) SelectInput(id xproto.XID, mask xproto.EventMask) error {
 	if err := c.faultLocked("SelectInput", id); err != nil {
 		return err
 	}
+	return c.selectInputLocked(id, mask)
+}
+
+func (c *Conn) selectInputLocked(id xproto.XID, mask xproto.EventMask) error {
 	w, err := c.lookupLocked(id, "SelectInput")
 	if err != nil {
 		return err
@@ -633,6 +642,9 @@ func (c *Conn) SelectInput(id xproto.XID, mask xproto.EventMask) error {
 	if mask == 0 {
 		delete(w.masks, c)
 	} else {
+		if w.masks == nil {
+			w.masks = make(map[*Conn]xproto.EventMask, 1)
+		}
 		w.masks[c] = mask
 	}
 	return nil
@@ -702,6 +714,9 @@ func (c *Conn) changePropertyLocked(id xproto.XID, prop, typ xproto.Atom, format
 		}
 		next.Data = append(append([]byte(nil), data...), old.Data...)
 	}
+	if w.props == nil {
+		w.props = make(map[xproto.Atom]Property, 4)
+	}
 	w.props[prop] = next
 	s.deliverLocked(w, xproto.PropertyChangeMask, xproto.Event{
 		Type: xproto.PropertyNotify, Window: w.id, Atom: prop,
@@ -727,6 +742,64 @@ func (c *Conn) GetProperty(id xproto.XID, prop xproto.Atom) (Property, bool, err
 		p.Data = append([]byte(nil), p.Data...)
 	}
 	return p, ok, nil
+}
+
+// PropResult is one property's outcome in a GetProperties batch. The
+// fields mirror GetProperty's returns: OK is false with a nil Err when
+// the property is simply unset; a non-nil Err is the request failure
+// for that property alone.
+type PropResult struct {
+	Prop Property
+	OK   bool
+	Err  error
+}
+
+// GetProperties reads len(atoms) properties from one window under a
+// single lock acquisition, filling out (whose length must equal
+// len(atoms)). It is the read-side sibling of Batch: the adoption path
+// pulls every ICCCM property it needs in one flush instead of one
+// round-trip each. Each property keeps individual GetProperty
+// semantics — the fault/instrument gate fires once per property and a
+// failure (including a KillTarget fault destroying the window
+// mid-batch) affects only the remaining entries' own lookups, so
+// callers see exactly what N serial calls would have seen.
+func (c *Conn) GetProperties(id xproto.XID, atoms []xproto.Atom, out []PropResult) {
+	if len(atoms) != len(out) {
+		panic("xserver: GetProperties atoms/out length mismatch")
+	}
+	ex := c.readLock()
+	defer c.readUnlock(ex)
+	for i, prop := range atoms {
+		out[i] = PropResult{}
+		if err := c.faultLocked("GetProperty", id); err != nil {
+			out[i].Err = err
+			continue
+		}
+		w, err := c.lookupLocked(id, "GetProperty")
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		p, ok := w.props[prop]
+		if ok {
+			p.Data = append([]byte(nil), p.Data...)
+		}
+		out[i].Prop, out[i].OK = p, ok
+	}
+}
+
+// InternAtoms interns len(names) atoms under one lock acquisition,
+// filling out (whose length must equal len(names)).
+func (c *Conn) InternAtoms(names []string, out []xproto.Atom) {
+	if len(names) != len(out) {
+		panic("xserver: InternAtoms names/out length mismatch")
+	}
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, n := range names {
+		out[i] = s.internAtomLocked(n)
+	}
 }
 
 // DeleteProperty removes a property, notifying PropertyChangeMask
@@ -784,6 +857,10 @@ func (c *Conn) ChangeSaveSet(id xproto.XID, insert bool) error {
 	if err := c.faultLocked("ChangeSaveSet", id); err != nil {
 		return err
 	}
+	return c.changeSaveSetLocked(id, insert)
+}
+
+func (c *Conn) changeSaveSetLocked(id xproto.XID, insert bool) error {
 	if _, err := c.lookupLocked(id, "ChangeSaveSet"); err != nil {
 		return err
 	}

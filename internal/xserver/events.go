@@ -20,6 +20,9 @@ func (s *Server) redirectorLocked(w *window) *Conn {
 // deliverLocked appends ev to the queue of every connection that
 // selected mask on w.
 func (s *Server) deliverLocked(w *window, mask xproto.EventMask, ev xproto.Event) {
+	if len(w.masks) == 0 {
+		return
+	}
 	ev.Root = s.screens[w.screenLocked()].Root
 	for conn, m := range w.masks {
 		if m&mask != 0 {
@@ -32,6 +35,12 @@ func (c *Conn) enqueueLocked(ev xproto.Event) {
 	if c.closed {
 		return
 	}
+	if c.qhead > 0 && c.qhead == len(c.queue) {
+		// The queue drained; reuse the buffer from the start instead of
+		// growing the tail forever (pops advance qhead, not the base).
+		c.queue = c.queue[:0]
+		c.qhead = 0
+	}
 	c.queue = append(c.queue, ev)
 	c.cond.Broadcast()
 }
@@ -42,14 +51,14 @@ func (c *Conn) WaitEvent() (xproto.Event, bool) {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for len(c.queue) == 0 && !c.closed {
+	for c.qhead == len(c.queue) && !c.closed {
 		c.cond.Wait()
 	}
-	if len(c.queue) == 0 {
+	if c.qhead == len(c.queue) {
 		return xproto.Event{}, false
 	}
-	ev := c.queue[0]
-	c.queue = c.queue[1:]
+	ev := c.queue[c.qhead]
+	c.qhead++
 	return ev, true
 }
 
@@ -58,11 +67,11 @@ func (c *Conn) PollEvent() (xproto.Event, bool) {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(c.queue) == 0 {
+	if c.qhead == len(c.queue) {
 		return xproto.Event{}, false
 	}
-	ev := c.queue[0]
-	c.queue = c.queue[1:]
+	ev := c.queue[c.qhead]
+	c.qhead++
 	return ev, true
 }
 
@@ -71,7 +80,7 @@ func (c *Conn) Pending() int {
 	s := c.server
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(c.queue)
+	return len(c.queue) - c.qhead
 }
 
 // SendEvent delivers a synthetic event. If mask is zero the event goes to

@@ -308,6 +308,39 @@ func (s *Server) pointerWindowLocked() *window {
 	return root.descendantAtLocked(s.pointer.x, s.pointer.y)
 }
 
+// pointerRecheckLocked recomputes the window under the pointer after a
+// structural change to w (map, unmap, configure), skipping the full
+// tree walk when the change cannot affect the result: if the current
+// pointer window is not at-or-under w and w's extent (post-change) does
+// not contain the pointer, the deepest-hit scan returns what it
+// returned before. The extent test uses the bounding rect even for
+// shaped windows — conservative, so a skip is always sound.
+func (s *Server) pointerRecheckLocked(w *window) {
+	if w != nil && !s.pointerUnderLocked(w) {
+		wx, wy := w.rootCoordsLocked()
+		lx, ly := s.pointer.x-wx, s.pointer.y-wy
+		if lx < 0 || ly < 0 || lx >= w.rect.Width || ly >= w.rect.Height {
+			return
+		}
+	}
+	s.updatePointerWindowLocked()
+}
+
+// pointerUnderLocked reports whether the current pointer window is w or
+// a descendant of w.
+func (s *Server) pointerUnderLocked(w *window) bool {
+	cur, ok := s.windows[s.pointer.lastWin]
+	if !ok {
+		return false
+	}
+	for ; cur != nil; cur = cur.parent {
+		if cur == w {
+			return true
+		}
+	}
+	return false
+}
+
 // updatePointerWindowLocked recomputes the window under the pointer and
 // emits Enter/Leave events on change. Called after motion and after any
 // geometry/map change that can move the pointer between windows.

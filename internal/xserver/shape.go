@@ -76,6 +76,9 @@ func (c *Conn) ShapeSelectInput(id xproto.XID) error {
 	if err != nil {
 		return err
 	}
+	if w.masks == nil {
+		w.masks = make(map[*Conn]xproto.EventMask, 1)
+	}
 	w.masks[c] |= xproto.StructureNotifyMask
 	return nil
 }

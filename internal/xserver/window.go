@@ -140,8 +140,39 @@ func (w *window) containsPointLocked(rootX, rootY int) bool {
 // itself) containing the root-relative point, honouring stacking order
 // (topmost child wins). Returns nil if the point is outside w.
 func (w *window) descendantAtLocked(rootX, rootY int) *window {
-	if !w.mapped || !w.containsPointLocked(rootX, rootY) {
+	px, py := 0, 0
+	if w.parent != nil {
+		px, py = w.parent.rootCoordsLocked()
+	}
+	return w.descendantAtFromLocked(rootX, rootY, px, py)
+}
+
+// descendantAtFromLocked is descendantAtLocked with w's parent origin
+// (in root coordinates) threaded down the recursion, so the walk does
+// one coordinate addition per node instead of an O(depth)
+// rootCoordsLocked chain — the pointer-window recomputation runs after
+// every map/unmap/configure and would otherwise go quadratic in the
+// number of windows.
+func (w *window) descendantAtFromLocked(rootX, rootY, px, py int) *window {
+	if !w.mapped {
 		return nil
+	}
+	wx, wy := px+w.rect.X, py+w.rect.Y
+	lx, ly := rootX-wx, rootY-wy
+	if lx < 0 || ly < 0 || lx >= w.rect.Width || ly >= w.rect.Height {
+		return nil
+	}
+	if w.shaped {
+		in := false
+		for _, r := range w.shapeRects {
+			if r.Contains(lx, ly) {
+				in = true
+				break
+			}
+		}
+		if !in {
+			return nil
+		}
 	}
 	// Scan children top-to-bottom.
 	for i := len(w.children) - 1; i >= 0; i-- {
@@ -149,7 +180,7 @@ func (w *window) descendantAtLocked(rootX, rootY int) *window {
 		if !c.mapped {
 			continue
 		}
-		if hit := c.descendantAtLocked(rootX, rootY); hit != nil {
+		if hit := c.descendantAtFromLocked(rootX, rootY, wx, wy); hit != nil {
 			return hit
 		}
 	}
