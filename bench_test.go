@@ -556,6 +556,11 @@ func BenchmarkPerfMoveStorm(b *testing.B)        { perfbench.MoveStorm(b) }
 func BenchmarkPerfPanStorm(b *testing.B)         { perfbench.PanStorm(b) }
 func BenchmarkPerfPanStormTraced(b *testing.B)   { perfbench.PanStormTraced(b) }
 
+// BenchmarkPerfFleet1000Sessions is the fleet-mode lifecycle at full
+// scale; expect seconds per op (it builds and tears down a thousand
+// sessions each iteration).
+func BenchmarkPerfFleet1000Sessions(b *testing.B) { perfbench.FleetSessions(1000, 10)(b) }
+
 // BenchmarkXrdbQueryCold defeats the DB.Query memo with a fresh clone
 // per iteration, measuring the raw matching walk the memo shortcuts.
 func BenchmarkXrdbQueryCold(b *testing.B) {

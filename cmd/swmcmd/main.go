@@ -93,20 +93,9 @@ func main() {
 	root := s.Screens()[0].Root
 
 	if *query != "" {
-		cmdConn := s.Connect("swmcmd")
-		cl, err := swmproto.NewClient(cmdConn, root)
-		if err != nil {
+		if err := runQuery(s, wm, root, *query); err != nil {
 			log.Fatal(err)
 		}
-		resp := roundTrip(wm, cl, swmproto.Request{Op: swmproto.OpQuery, Target: *query})
-		if !resp.OK {
-			log.Fatalf("query %s: %s", *query, resp.Error)
-		}
-		var pretty bytes.Buffer
-		if err := json.Indent(&pretty, resp.Result, "", "  "); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println(pretty.String())
 		return
 	}
 
@@ -123,16 +112,8 @@ func main() {
 			log.Fatal(err)
 		}
 		wm.Pump()
-	} else {
-		cmdConn := s.Connect("swmcmd")
-		cl, err := swmproto.NewClient(cmdConn, root)
-		if err != nil {
-			log.Fatal(err)
-		}
-		resp := roundTrip(wm, cl, swmproto.Request{Op: swmproto.OpExec, Command: command})
-		if !resp.OK {
-			log.Fatalf("exec %q: %s", command, resp.Error)
-		}
+	} else if err := runExec(s, wm, root, command); err != nil {
+		log.Fatal(err)
 	}
 
 	after := describe(wm, term)
@@ -159,25 +140,68 @@ func main() {
 	}
 }
 
+// runQuery performs one versioned query round-trip and prints the
+// result. The protocol client — and with it the SWM_REPLY window — is
+// torn down on every path, success or error; log.Fatal in a caller
+// would skip the deferred Close, so errors are returned instead.
+func runQuery(s *xserver.Server, wm *core.WM, root xproto.XID, target string) error {
+	cl, err := swmproto.NewClient(s.Connect("swmcmd"), root)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	resp, err := roundTrip(wm, cl, swmproto.Request{Op: swmproto.OpQuery, Target: target})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("query %s: %s", target, resp.Error)
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, resp.Result, "", "  "); err != nil {
+		return err
+	}
+	fmt.Println(pretty.String())
+	return nil
+}
+
+// runExec delivers one command through the versioned request/response
+// protocol, with the same teardown guarantee as runQuery.
+func runExec(s *xserver.Server, wm *core.WM, root xproto.XID, command string) error {
+	cl, err := swmproto.NewClient(s.Connect("swmcmd"), root)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	resp, err := roundTrip(wm, cl, swmproto.Request{Op: swmproto.OpExec, Command: command})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("exec %q: %s", command, resp.Error)
+	}
+	return nil
+}
+
 // roundTrip sends one request, pumps the window manager so it serves
 // it, and returns the reply.
-func roundTrip(wm *core.WM, cl *swmproto.Client, req swmproto.Request) swmproto.Response {
+func roundTrip(wm *core.WM, cl *swmproto.Client, req swmproto.Request) (swmproto.Response, error) {
 	id, err := cl.Send(req)
 	if err != nil {
-		log.Fatal(err)
+		return swmproto.Response{}, err
 	}
 	wm.Pump()
 	resp, ok, err := cl.Poll()
 	if err != nil {
-		log.Fatal(err)
+		return swmproto.Response{}, err
 	}
 	if !ok {
-		log.Fatalf("no reply to request %d", id)
+		return swmproto.Response{}, fmt.Errorf("no reply to request %d", id)
 	}
 	if resp.ID != id {
-		log.Fatalf("reply %d does not match request %d", resp.ID, id)
+		return swmproto.Response{}, fmt.Errorf("reply %d does not match request %d", resp.ID, id)
 	}
-	return resp
+	return resp, nil
 }
 
 func describe(wm *core.WM, app *clients.App) string {

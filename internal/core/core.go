@@ -54,6 +54,11 @@ type Options struct {
 	// using scrollbars, a two dimensional panner object, or window
 	// manager functions").
 	EnableScrollbars bool
+	// SharedProtos attaches the WM to a fleet-wide decoration prototype
+	// cache (see SharedProtoCache). The cache is bound to one resource
+	// database: DB must be nil (the WM then adopts the cache's database)
+	// or identical to SharedProtos.DB().
+	SharedProtos *SharedProtoCache
 	// Log receives diagnostics; nil discards them.
 	Log io.Writer
 }
@@ -111,7 +116,13 @@ type WM struct {
 
 	// protos caches resolved decoration trees by lookup context; see
 	// proto.go. Owned by the event-loop goroutine, like the client maps.
-	protos protoCache
+	// When sharedProtos is set (fleet mode), it takes over and protos
+	// stays empty.
+	protos       protoCache
+	sharedProtos *SharedProtoCache
+
+	// closed makes Close idempotent.
+	closed bool
 }
 
 // Screen is per-screen WM state.
@@ -254,6 +265,16 @@ type funcImpl func(wm *WM, ctx *FuncContext, inv bindings.Invocation) error
 // panner, scrollbars, root panels, icon holders and root icons, reads
 // the session hint table, and adopts pre-existing client windows.
 func New(server *xserver.Server, opts Options) (*WM, error) {
+	if opts.SharedProtos != nil {
+		switch opts.DB {
+		case nil:
+			opts.DB = opts.SharedProtos.DB()
+		case opts.SharedProtos.DB():
+			// Already consistent.
+		default:
+			return nil, fmt.Errorf("core: SharedProtos is bound to a different resource database than Options.DB")
+		}
+	}
 	if opts.DB == nil {
 		db, err := templates.Load(templates.Default)
 		if err != nil {
@@ -265,13 +286,14 @@ func New(server *xserver.Server, opts Options) (*WM, error) {
 		opts.PannerScale = 32
 	}
 	wm := &WM{
-		server:   server,
-		conn:     server.Connect("swm"),
-		db:       opts.DB,
-		opts:     opts,
-		clients:  make(map[xproto.XID]*Client),
-		byFrame:  make(map[xproto.XID]*Client),
-		byObjWin: make(map[xproto.XID]objRef),
+		server:       server,
+		conn:         server.Connect("swm"),
+		db:           opts.DB,
+		opts:         opts,
+		clients:      make(map[xproto.XID]*Client),
+		byFrame:      make(map[xproto.XID]*Client),
+		byObjWin:     make(map[xproto.XID]objRef),
+		sharedProtos: opts.SharedProtos,
 	}
 	// Observability: one registry + trace per WM, instruments resolved
 	// once here and never looked up again (see metrics.go). The trace
@@ -629,6 +651,54 @@ func (wm *WM) Shutdown() {
 		wm.check(c, "shutdown: remap", wm.conn.MapWindow(c.Win))
 	}
 	wm.conn.Close()
+}
+
+// Close is the symmetric teardown for New: it releases clients the way
+// Shutdown does, closes the connection (destroying every WM-owned
+// server window via save-set semantics), and drops all retained state —
+// client maps, orphan list, focus, interaction state, the prototype
+// cache — so a stopped WM pins neither server resources nor heap. It is
+// idempotent.
+//
+// Close must not run concurrently with Run or Pump: like every WM
+// method it belongs to the event-loop goroutine. To stop a Run blocked
+// on another goroutine, close the connection (Conn().Close(), which
+// makes Run return once the queue drains) or execute f.quit, join, then
+// Close. Fleet sessions serialize Close onto the session's scheduler
+// lane for exactly this reason.
+func (wm *WM) Close() {
+	if wm.closed {
+		return
+	}
+	wm.closed = true
+	// Retry orphaned WM windows while the connection can still issue
+	// requests; whatever fails here is covered by connection teardown.
+	wm.sweepOrphans()
+	wm.Shutdown()
+
+	for k := range wm.clients {
+		delete(wm.clients, k)
+	}
+	for k := range wm.byFrame {
+		delete(wm.byFrame, k)
+	}
+	for k := range wm.byObjWin {
+		delete(wm.byObjWin, k)
+	}
+	wm.orphans = nil
+	wm.focus = nil
+	wm.moveState = nil
+	wm.resizing = nil
+	wm.prompt = nil
+	wm.protos = protoCache{}
+	for _, scr := range wm.screens {
+		scr.rootPanels = nil
+		scr.rootIcons = nil
+		scr.holders = nil
+		scr.menus = nil
+		scr.panner = nil
+		scr.extraDesktops = nil
+	}
 }
 
 // FrameWindow returns the client's decoration frame window.

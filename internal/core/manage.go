@@ -392,7 +392,7 @@ func (wm *WM) decorate(c *Client) error {
 		panel:      name,
 	}
 	var tree *objects.Object
-	if proto, hit := wm.protos.get(gen, key); hit {
+	if proto, hit := wm.protoGet(gen, key); hit {
 		wm.metrics.protoHits.Inc()
 		tree = proto.Clone()
 	} else {
@@ -407,7 +407,7 @@ func (wm *WM) decorate(c *Client) error {
 			tree.Children = []*objects.Object{slot}
 			wm.logf("decoration %q: %v (using fallback)", name, err)
 		} else {
-			wm.metrics.protoEvictions.Add(int64(wm.protos.put(gen, key, built)))
+			wm.metrics.protoEvictions.Add(int64(wm.protoPut(gen, key, built)))
 			tree = built.Clone()
 		}
 	}

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"sync"
+
 	"repro/internal/objects"
+	"repro/internal/xrdb"
 )
 
 // The decoration prototype cache. objects.Build resolves every panel,
@@ -60,6 +63,11 @@ func (pc *protoCache) get(gen uint64, key protoKey) (*objects.Object, bool) {
 // many entries were evicted to make room (0 or 1; the whole cache
 // flushing on a generation change is not an eviction).
 func (pc *protoCache) put(gen uint64, key protoKey, tree *objects.Object) int {
+	if pc.entries != nil && gen < pc.gen {
+		// A straggler built against an older database state must not
+		// flush entries keyed to the current one.
+		return 0
+	}
 	if pc.entries == nil || pc.gen != gen {
 		pc.entries = make(map[protoKey]*objects.Object)
 		pc.order = pc.order[:0]
@@ -77,4 +85,87 @@ func (pc *protoCache) put(gen uint64, key protoKey, tree *objects.Object) int {
 	}
 	pc.entries[key] = tree
 	return evicted
+}
+
+// SharedProtoCache is a prototype cache shared by every WM in a fleet.
+// Session startup is dominated by objects.Build, and a thousand sessions
+// decorating the same client classes against the same template database
+// rebuild identical trees a thousand times; sharing the cache makes the
+// build once-per-context for the whole process.
+//
+// Ownership rules (the fleet's shared read-mostly state contract):
+//
+//   - The cache is bound to exactly one *xrdb.DB at construction. A WM
+//     may attach only if it uses the same database — a cache keyed by
+//     generation is meaningless across databases, and core.New enforces
+//     the binding.
+//   - Cached prototypes are immutable. Writers publish fully-built trees
+//     under the cache lock; readers receive the pristine pointer and
+//     deep-Clone it outside the lock (objects.Clone never mutates its
+//     receiver), so one session's per-client mutations can never reach a
+//     tree another session is cloning.
+//   - A Put on the shared database retires the cache wholesale via the
+//     generation key, exactly as it retires the compiled query trie: a
+//     prototype built against generation g is unreachable once the
+//     database reports g+1.
+type SharedProtoCache struct {
+	db *xrdb.DB
+
+	mu    sync.Mutex
+	cache protoCache
+}
+
+// NewSharedProtoCache creates a cache bound to db. Every WM attached via
+// Options.SharedProtos must use this database.
+func NewSharedProtoCache(db *xrdb.DB) *SharedProtoCache {
+	if db == nil {
+		panic("core: NewSharedProtoCache requires a database")
+	}
+	return &SharedProtoCache{db: db}
+}
+
+// DB returns the database the cache is bound to.
+func (sc *SharedProtoCache) DB() *xrdb.DB { return sc.db }
+
+// Len reports the number of cached prototypes (diagnostics and tests).
+func (sc *SharedProtoCache) Len() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return len(sc.cache.entries)
+}
+
+func (sc *SharedProtoCache) get(gen uint64, key protoKey) (*objects.Object, bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.cache.get(gen, key)
+}
+
+func (sc *SharedProtoCache) put(gen uint64, key protoKey, tree *objects.Object) int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.db.Generation() != gen {
+		// The database moved while this tree was being built; publishing
+		// it under the stale generation could flush fresher entries, and
+		// publishing under the new one would lie about its inputs.
+		return 0
+	}
+	return sc.cache.put(gen, key, tree)
+}
+
+// protoGet consults the shared cache when the WM is attached to one,
+// falling back to the per-WM cache otherwise.
+func (wm *WM) protoGet(gen uint64, key protoKey) (*objects.Object, bool) {
+	if wm.sharedProtos != nil {
+		return wm.sharedProtos.get(gen, key)
+	}
+	return wm.protos.get(gen, key)
+}
+
+// protoPut publishes a freshly built prototype into whichever cache the
+// WM uses and reports evictions (see protoCache.put).
+func (wm *WM) protoPut(gen uint64, key protoKey, tree *objects.Object) int {
+	if wm.sharedProtos != nil {
+		return wm.sharedProtos.put(gen, key, tree)
+	}
+	return wm.protos.put(gen, key, tree)
 }

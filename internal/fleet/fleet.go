@@ -1,0 +1,548 @@
+// Package fleet runs many independent swm sessions — display server,
+// connection, window manager — inside one process. The paper frames swm
+// as a shell around mechanism with all policy in the resource database;
+// nothing ties one process to one display, and the ROADMAP's
+// WM-as-a-service direction needs exactly this multiplication: a
+// thousand sessions sharing one address space, one template database,
+// and one decoration prototype cache.
+//
+// Architecture:
+//
+//   - Each Session owns its xserver.Server, its WM connection and its
+//     core.WM. Sessions never touch each other's state; the only shared
+//     structures are read-mostly and ownership-explicit (the xrdb
+//     database behind its atomic snapshot, the SharedProtoCache behind
+//     its lock — see those types for the contract).
+//   - All WM work runs as tasks on a bounded worker pool, not a
+//     goroutine per session. A session's tasks are FIFO and never run
+//     concurrently with each other (the session is enqueued at most
+//     once, and only the worker that dequeued it drains it), which is
+//     what makes lock-free core.WM safe to drive here.
+//   - Tasks run isolated: a panic marks that one session Failed,
+//     increments fleet.session_panics, and the worker moves on. A
+//     crashing session degrades; it never takes down the fleet. A
+//     Failed session can be recovered with Restart.
+//
+// Lifecycle state machine (see DESIGN.md §11):
+//
+//	Stopped --Start--> Starting --ok--> Running
+//	Starting --error/panic--> Failed
+//	Running --panic--> Failed
+//	Running --Restart--> Running   (shutdown + adopt, clients survive)
+//	Failed  --Restart--> Running   (recovery path)
+//	Running --Stop--> Stopped      (WM.Close, clients released)
+//	Failed  --Stop--> Stopped
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/templates"
+	"repro/internal/xrdb"
+	"repro/internal/xserver"
+)
+
+// State is a session's lifecycle state.
+type State int32
+
+const (
+	StateStopped State = iota
+	StateStarting
+	StateRunning
+	StateFailed
+)
+
+func (st State) String() string {
+	switch st {
+	case StateStopped:
+		return "stopped"
+	case StateStarting:
+		return "starting"
+	case StateRunning:
+		return "running"
+	case StateFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("state(%d)", int32(st))
+}
+
+// taskKind gates which tasks a session in a given state will run: a
+// Failed session executes only recovery tasks (restart, stop), a
+// Stopped session only a start. Everything else is silently skipped —
+// a pump posted to a session that crashed a moment earlier is not an
+// error, it is the fleet degrading by one session.
+type taskKind int
+
+const (
+	taskStart taskKind = iota
+	taskWork  // pump, exec — requires Running
+	taskRestart
+	taskStop
+)
+
+type task struct {
+	kind taskKind
+	fn   func()
+}
+
+// Config configures a Manager.
+type Config struct {
+	// Sessions is the number of sessions to create (required).
+	Sessions int
+	// Workers bounds the scheduler pool; default min(GOMAXPROCS, 8).
+	Workers int
+	// Screens configures each session's display (default one 1152x900
+	// screen, as xserver.NewServer).
+	Screens []xserver.ScreenSpec
+	// DB is the shared resource database; nil loads the built-in
+	// default template once for the whole fleet.
+	DB *xrdb.DB
+	// WM is the per-session option template. DB and SharedProtos are
+	// overridden by the fleet's shared state.
+	WM core.Options
+	// Log receives fleet diagnostics (panics, start failures); nil
+	// discards them.
+	Log io.Writer
+}
+
+// Manager owns a fleet of sessions and the scheduler that drives them.
+type Manager struct {
+	cfg    Config
+	db     *xrdb.DB
+	protos *core.SharedProtoCache
+
+	reg             *obs.Registry
+	sessionsLive    *obs.Gauge
+	queueDepth      *obs.Gauge
+	sessionPanics   *obs.Counter
+	sessionRestarts *obs.Counter
+	sessionsStarted *obs.Counter
+	sessionsStopped *obs.Counter
+
+	queue     chan *Session
+	workersWG sync.WaitGroup
+	tasksWG   sync.WaitGroup
+
+	// mu guards closed. The sessions slice is immutable after New.
+	mu       sync.Mutex
+	closed   bool
+	sessions []*Session
+}
+
+// Session is one display+WM pair. Its WM state is owned by the
+// scheduler lane: at most one worker drains a session's task queue at
+// any moment, so tasks see the WM exactly as a single event-loop
+// goroutine would.
+type Session struct {
+	ID  int
+	mgr *Manager
+
+	// server is created at fleet construction and survives restarts
+	// (that is what makes restart-adopt meaningful: the clients live in
+	// the server across the WM generation change).
+	server *xserver.Server
+
+	state atomic.Int32
+
+	// mu guards tasks and queued.
+	mu     sync.Mutex
+	tasks  []task
+	queued bool
+
+	// wm is owned by the session's scheduler lane; outside a task it
+	// may only be read through a Drain barrier (see WM).
+	wm *core.WM
+
+	panics   atomic.Int64
+	restarts atomic.Int64
+}
+
+// New creates a fleet: the shared database and prototype cache, the
+// session set (each with its own server, all Stopped), and the worker
+// pool. Call StartAll (or Start) to bring sessions up, and Close to
+// tear the fleet down.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Sessions <= 0 {
+		return nil, fmt.Errorf("fleet: Sessions must be positive, got %d", cfg.Sessions)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+		if cfg.Workers > 8 {
+			cfg.Workers = 8
+		}
+	}
+	db := cfg.DB
+	if db == nil {
+		var err error
+		db, err = templates.Load(templates.Default)
+		if err != nil {
+			return nil, err
+		}
+	}
+	m := &Manager{
+		cfg:    cfg,
+		db:     db,
+		protos: core.NewSharedProtoCache(db),
+		reg:    obs.NewRegistry(),
+		queue:  make(chan *Session, cfg.Sessions),
+	}
+	m.sessionsLive = m.reg.Gauge("fleet.sessions_live")
+	m.queueDepth = m.reg.Gauge("fleet.queue_depth")
+	m.sessionPanics = m.reg.Counter("fleet.session_panics")
+	m.sessionRestarts = m.reg.Counter("fleet.session_restarts")
+	m.sessionsStarted = m.reg.Counter("fleet.sessions_started")
+	m.sessionsStopped = m.reg.Counter("fleet.sessions_stopped")
+
+	for i := 0; i < cfg.Sessions; i++ {
+		m.sessions = append(m.sessions, &Session{
+			ID:     i,
+			mgr:    m,
+			server: xserver.NewServer(cfg.Screens...),
+		})
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.workersWG.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// DB returns the fleet's shared resource database.
+func (m *Manager) DB() *xrdb.DB { return m.db }
+
+// Protos returns the fleet-wide decoration prototype cache.
+func (m *Manager) Protos() *core.SharedProtoCache { return m.protos }
+
+// Metrics returns the fleet's instrument registry; Snapshot() it for a
+// point-in-time view.
+func (m *Manager) Metrics() *obs.Registry { return m.reg }
+
+// Sessions reports the fleet size.
+func (m *Manager) Sessions() int { return len(m.sessions) }
+
+// Session returns session i.
+func (m *Manager) Session(i int) *Session { return m.sessions[i] }
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Log != nil {
+		fmt.Fprintf(m.cfg.Log, "fleet: "+format+"\n", args...)
+	}
+}
+
+// post appends a task to the session's FIFO and enqueues the session
+// with the scheduler if it is not already waiting. It reports false if
+// the fleet is closed (the task is dropped).
+func (s *Session) post(k taskKind, fn func()) bool {
+	m := s.mgr
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return false
+	}
+	m.tasksWG.Add(1)
+	s.mu.Lock()
+	s.tasks = append(s.tasks, task{kind: k, fn: fn})
+	already := s.queued
+	s.queued = true
+	s.mu.Unlock()
+	if !already {
+		// Never blocks: the queue holds every session once, and the
+		// queued flag guarantees at-most-once membership.
+		m.queue <- s
+		m.queueDepth.Set(int64(len(m.queue)))
+	}
+	m.mu.Unlock()
+	return true
+}
+
+func (m *Manager) worker() {
+	defer m.workersWG.Done()
+	for s := range m.queue {
+		m.queueDepth.Set(int64(len(m.queue)))
+		m.drainSession(s)
+	}
+}
+
+// drainSession runs the session's queued tasks to exhaustion. Only the
+// worker that dequeued the session runs this, which serializes all of a
+// session's tasks.
+func (m *Manager) drainSession(s *Session) {
+	for {
+		s.mu.Lock()
+		if len(s.tasks) == 0 {
+			s.queued = false
+			s.mu.Unlock()
+			return
+		}
+		t := s.tasks[0]
+		copy(s.tasks, s.tasks[1:])
+		s.tasks = s.tasks[:len(s.tasks)-1]
+		s.mu.Unlock()
+		if s.admits(t.kind) {
+			m.runIsolated(s, t.fn)
+		}
+		m.tasksWG.Done()
+	}
+}
+
+// admits applies the state gate: see taskKind.
+func (s *Session) admits(k taskKind) bool {
+	switch State(s.state.Load()) {
+	case StateStopped:
+		return k == taskStart
+	case StateStarting:
+		return k == taskStart
+	case StateRunning:
+		return k == taskWork || k == taskRestart || k == taskStop
+	case StateFailed:
+		return k == taskRestart || k == taskStop
+	}
+	return false
+}
+
+// runIsolated executes one task with panic isolation: a panic marks the
+// session Failed and is accounted, never propagated. The deferred
+// recover is the fleet's blast wall.
+func (m *Manager) runIsolated(s *Session, fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			m.sessionPanics.Inc()
+			prev := State(s.state.Swap(int32(StateFailed)))
+			if prev == StateRunning {
+				m.sessionsLive.Set(m.liveCount())
+			}
+			m.logf("session %d panic (now failed): %v\n%s", s.ID, r, debug.Stack())
+		}
+	}()
+	fn()
+}
+
+// liveCount recounts running sessions; cheap (an atomic load per
+// session) and immune to the increment/decrement drift a shared counter
+// accumulates across racing transitions.
+func (m *Manager) liveCount() int64 {
+	var n int64
+	for _, s := range m.sessions {
+		if State(s.state.Load()) == StateRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// wmOptions builds the per-session core options: the caller's template
+// with the fleet's shared database and prototype cache substituted.
+func (m *Manager) wmOptions() core.Options {
+	opts := m.cfg.WM
+	opts.DB = nil
+	opts.SharedProtos = m.protos
+	return opts
+}
+
+// publish mirrors the fleet instruments into a session WM's registry so
+// `swmcmd -query stats` against any fleet session shows fleet health
+// alongside its own. Counters mirror as gauges: the value is a
+// point-in-time copy taken at the session's last start/pump.
+func (m *Manager) publish(wm *core.WM) {
+	reg := wm.Metrics()
+	reg.Gauge("fleet.sessions_live").Set(m.sessionsLive.Value())
+	reg.Gauge("fleet.queue_depth").Set(m.queueDepth.Value())
+	reg.Gauge("fleet.session_panics").Set(m.sessionPanics.Value())
+	reg.Gauge("fleet.session_restarts").Set(m.sessionRestarts.Value())
+}
+
+// Start brings session i up. No-op unless the session is Stopped.
+func (m *Manager) Start(i int) {
+	s := m.sessions[i]
+	s.state.CompareAndSwap(int32(StateStopped), int32(StateStarting))
+	s.post(taskStart, func() {
+		if State(s.state.Load()) != StateStarting {
+			return
+		}
+		wm, err := core.New(s.server, m.wmOptions())
+		if err != nil {
+			s.state.Store(int32(StateFailed))
+			m.logf("session %d start: %v", s.ID, err)
+			return
+		}
+		s.wm = wm
+		s.state.Store(int32(StateRunning))
+		m.sessionsStarted.Inc()
+		m.sessionsLive.Set(m.liveCount())
+		m.publish(wm)
+	})
+}
+
+// Stop releases session i: its WM closes (clients are reparented to
+// the root and survive on the session's server), and the session
+// returns to Stopped, restartable later.
+func (m *Manager) Stop(i int) {
+	s := m.sessions[i]
+	s.post(taskStop, func() {
+		if s.wm != nil {
+			s.wm.Close()
+			s.wm = nil
+		}
+		prev := State(s.state.Swap(int32(StateStopped)))
+		if prev == StateRunning {
+			m.sessionsStopped.Inc()
+		}
+		m.sessionsLive.Set(m.liveCount())
+	})
+}
+
+// Restart replays the paper's f.restart inside session i: the old WM
+// shuts down (clients reparent to the root, mapped), a fresh WM starts
+// on the same server and adopts them. It is also the recovery path for
+// a Failed session.
+func (m *Manager) Restart(i int) {
+	s := m.sessions[i]
+	s.post(taskRestart, func() {
+		if s.wm != nil {
+			s.wm.Shutdown()
+			s.wm = nil
+		}
+		wm, err := core.New(s.server, m.wmOptions())
+		if err != nil {
+			s.state.Store(int32(StateFailed))
+			m.sessionsLive.Set(m.liveCount())
+			m.logf("session %d restart: %v", s.ID, err)
+			return
+		}
+		s.wm = wm
+		s.restarts.Add(1)
+		m.sessionRestarts.Inc()
+		s.state.Store(int32(StateRunning))
+		m.sessionsLive.Set(m.liveCount())
+		m.publish(wm)
+	})
+}
+
+// Pump posts one event-pump cycle to session i.
+func (m *Manager) Pump(i int) {
+	s := m.sessions[i]
+	s.post(taskWork, func() {
+		s.wm.Pump()
+		m.publish(s.wm)
+	})
+}
+
+// Exec posts fn to run on session i's scheduler lane with the session's
+// WM — the fleet equivalent of being on the event-loop goroutine. fn
+// must not retain the WM past its return.
+func (m *Manager) Exec(i int, fn func(*core.WM)) {
+	s := m.sessions[i]
+	s.post(taskWork, func() { fn(s.wm) })
+}
+
+// StartAll starts every session.
+func (m *Manager) StartAll() {
+	for i := range m.sessions {
+		m.Start(i)
+	}
+}
+
+// StopAll stops every session.
+func (m *Manager) StopAll() {
+	for i := range m.sessions {
+		m.Stop(i)
+	}
+}
+
+// PumpAll posts a pump to every session.
+func (m *Manager) PumpAll() {
+	for i := range m.sessions {
+		m.Pump(i)
+	}
+}
+
+// Drain blocks until every task posted so far has run (or been skipped
+// by its state gate). It is the synchronization barrier that makes
+// Session.WM and fleet stats safe to read from the caller's goroutine.
+func (m *Manager) Drain() {
+	m.tasksWG.Wait()
+}
+
+// Close stops every session, waits for the work to finish, and shuts
+// the scheduler down. The Manager is unusable afterwards; posts to a
+// closed fleet are dropped.
+func (m *Manager) Close() {
+	m.StopAll()
+	m.Drain()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.queue)
+	m.workersWG.Wait()
+}
+
+// Server returns the session's display server. The server is created
+// at fleet construction and never replaced, so this is safe from any
+// goroutine; the server itself is internally synchronized.
+func (s *Session) Server() *xserver.Server { return s.server }
+
+// State returns the session's lifecycle state.
+func (s *Session) State() State { return State(s.state.Load()) }
+
+// Panics reports how many tasks this session lost to panics.
+func (s *Session) Panics() int64 { return s.panics.Load() }
+
+// Restarts reports how many restart-adopt cycles this session ran.
+func (s *Session) Restarts() int64 { return s.restarts.Load() }
+
+// WM returns the session's window manager. It is owned by the
+// scheduler lane: only read it between Drain and the next post (tests
+// and stat collectors), or from inside Exec. It is nil unless the
+// session is Running or Failed-with-a-live-WM.
+func (s *Session) WM() *core.WM { return s.wm }
+
+// Stats is a point-in-time fleet summary.
+type Stats struct {
+	Sessions int
+	Live     int
+	Stopped  int
+	Starting int
+	Failed   int
+
+	Panics   int64
+	Restarts int64
+	Started  int64
+
+	QueueDepth int64
+}
+
+// Stats counts session states and copies the fleet counters.
+func (m *Manager) Stats() Stats {
+	st := Stats{
+		Sessions:   len(m.sessions),
+		Panics:     m.sessionPanics.Value(),
+		Restarts:   m.sessionRestarts.Value(),
+		Started:    m.sessionsStarted.Value(),
+		QueueDepth: m.queueDepth.Value(),
+	}
+	for _, s := range m.sessions {
+		switch s.State() {
+		case StateRunning:
+			st.Live++
+		case StateStopped:
+			st.Stopped++
+		case StateStarting:
+			st.Starting++
+		case StateFailed:
+			st.Failed++
+		}
+	}
+	return st
+}

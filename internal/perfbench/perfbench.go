@@ -55,10 +55,28 @@ var PreChange = map[string]Baseline{
 // job while a return to per-client trie recompiles or prototype-cache
 // misses (tens of thousands of allocs) still fails loudly.
 var AllocBudgets = map[string]int64{
-	"manage-100-clients": 9000,
-	"move-storm":         38,
-	"pan-storm":          0,
-	"xrdb-query":         0,
+	"manage-100-clients":  9000,
+	"move-storm":          38,
+	"pan-storm":           0,
+	"xrdb-query":          0,
+	"fleet-1000-sessions": 1_200_000,
+}
+
+// WallBudgets are blocking ceilings on ns/op. Timing is
+// environment-sensitive, so almost every workload keeps its wall clock
+// advisory — but fleet-1000-sessions exists precisely to pin the
+// thousand-session lifecycle to an order of magnitude, and a silent
+// slide from seconds to minutes (a scheduler livelock, an accidental
+// O(sessions²) sweep) must fail the bench job. The ceiling is ~15x the
+// measured wall time on the development machine so CI hardware and
+// scheduler noise cannot flake it while an asymptotic regression still
+// trips loudly. fleet-1000-sessions gets the same treatment on allocs:
+// ~25% headroom over the measured 947k allocs/op (10,000 managed
+// clients plus 250 restart-adopts), so a return to per-session
+// prototype builds or trie recompiles — tens of millions of allocs at
+// this scale — fails immediately.
+var WallBudgets = map[string]float64{
+	"fleet-1000-sessions": 30e9, // 30s; measured ~1.9s
 }
 
 // Workload pairs a stable name (the key used in reports, PreChange and
@@ -77,6 +95,7 @@ func Workloads() []Workload {
 		{Name: "move-storm", Bench: MoveStorm},
 		{Name: "pan-storm", Bench: PanStorm},
 		{Name: "pan-storm-traced", Bench: PanStormTraced},
+		{Name: "fleet-1000-sessions", Bench: FleetSessions(1000, 10)},
 		{Name: "wm-comparison/manage-25-twm", Bench: manage25(newTwmPump)},
 		{Name: "wm-comparison/manage-25-swm", Bench: manage25(newSwmPump)},
 		{Name: "wm-comparison/manage-25-gwm", Bench: manage25(newGwmPump)},
@@ -98,6 +117,7 @@ type Report struct {
 	Workloads    []Result            `json:"workloads"`
 	PreChange    map[string]Baseline `json:"pre_change"`
 	AllocBudgets map[string]int64    `json:"alloc_budgets"`
+	WallBudgets  map[string]float64  `json:"wall_budgets"`
 }
 
 // Run measures every workload with the standard library's benchmark

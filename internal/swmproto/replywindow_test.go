@@ -1,0 +1,108 @@
+package swmproto
+
+import (
+	"testing"
+
+	"repro/internal/xproto"
+	"repro/internal/xserver"
+)
+
+// The SWM_REPLY regression suite: every protocol client creates a real
+// server-side reply window, so a fleet issuing queries for its lifetime
+// leaks windows unless the client is torn down on *every* path —
+// success, no-reply (the WM never answered: timeout), and protocol
+// errors alike. These tests pin the reply-window lifecycle with the
+// same NumWindows accounting the xidlife analyzer enforces statically.
+
+func newTestClient(t *testing.T) (*xserver.Server, *Client) {
+	t.Helper()
+	s := xserver.NewServer()
+	cl, err := NewClient(s.Connect("swmcmd"), s.Screens()[0].Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, cl
+}
+
+func TestCloseDestroysReplyWindow(t *testing.T) {
+	s, cl := newTestClient(t)
+	base := 1 // root
+	if got := s.NumWindows(); got != base+1 {
+		t.Fatalf("after NewClient: %d windows, want %d", got, base+1)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NumWindows(); got != base {
+		t.Fatalf("reply window leaked: %d windows, want %d", got, base)
+	}
+	if cl.ReplyWindow() != xproto.None {
+		t.Error("ReplyWindow not cleared")
+	}
+	// Double Close is a no-op, not a BadWindow.
+	if err := cl.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestCloseAfterUnansweredQuery(t *testing.T) {
+	// The timeout shape: a request is sent but no WM ever serves it.
+	// Poll reports no reply; Close must still reclaim the window.
+	s, cl := newTestClient(t)
+	if _, err := cl.Send(Request{Op: OpQuery, Target: TargetStats}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := cl.Poll(); err != nil {
+		t.Fatal(err)
+	} else if ok {
+		t.Fatal("reply appeared with no WM attached")
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NumWindows(); got != 1 {
+		t.Fatalf("reply window leaked on the no-reply path: %d windows", got)
+	}
+}
+
+func TestCloseAfterSendError(t *testing.T) {
+	// Error shape: the connection dies under the client (server-side
+	// close reclaims its windows), and Close must stay clean — the
+	// reply window is already gone.
+	s, cl := newTestClient(t)
+	cl.conn.Close()
+	_ = cl.Close() // may report BadWindow; must not panic or leak
+	if got := s.NumWindows(); got != 1 {
+		t.Fatalf("windows after closed-conn teardown: %d, want root only", got)
+	}
+	if cl.ReplyWindow() != xproto.None {
+		t.Error("ReplyWindow not cleared on the error path")
+	}
+}
+
+// TestClientChurnLeaksNoWindows is the fleet-lifetime shape: many
+// short-lived protocol clients against one display.
+func TestClientChurnLeaksNoWindows(t *testing.T) {
+	s := xserver.NewServer()
+	root := s.Screens()[0].Root
+	for i := 0; i < 100; i++ {
+		conn := s.Connect("swmcmd")
+		cl, err := NewClient(conn, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Send(Request{Op: OpQuery, Target: TargetStats}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Close(); err != nil {
+			t.Fatal(err)
+		}
+		conn.Close()
+	}
+	if got := s.NumWindows(); got != 1 {
+		t.Fatalf("%d clients leaked %d windows", 100, s.NumWindows()-1)
+	}
+	if got := s.NumConns(); got != 0 {
+		t.Fatalf("connections leaked: %d", got)
+	}
+}

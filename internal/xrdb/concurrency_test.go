@@ -1,0 +1,120 @@
+package xrdb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Fleet mode shares one template DB across sessions, so the lifecycle
+// guarantees Put/Clone/Query make — idempotent re-assertion, generation
+// monotonicity across Clone, snapshot isolation under concurrent
+// mutation — are load-bearing. These tests pin each one down.
+
+func TestPutIdenticalValueIsNoOp(t *testing.T) {
+	db := New()
+	db.MustPut("swm*SwmPanner*sticky", "True")
+	gen := db.Generation()
+
+	// Re-asserting the same value must not advance the generation: every
+	// session startup replays template writes, and a generation bump per
+	// session would flush the fleet's shared caches for nothing.
+	db.MustPut("swm*SwmPanner*sticky", "True")
+	if got := db.Generation(); got != gen {
+		t.Fatalf("identical Put advanced generation: %d -> %d", gen, got)
+	}
+	// The snapshot survives too: a warm Query after the no-op write must
+	// not recompile.
+	if v, ok := db.Query([]string{"swm", "pan", "sticky"}, []string{"Swm", "SwmPanner", "Sticky"}); !ok || v != "True" {
+		t.Fatalf("Query after no-op Put = %q, %v", v, ok)
+	}
+
+	db.MustPut("swm*SwmPanner*sticky", "False")
+	if got := db.Generation(); got == gen {
+		t.Fatalf("changed Put did not advance generation from %d", gen)
+	}
+}
+
+func TestCloneKeepsGeneration(t *testing.T) {
+	db := New()
+	db.MustPut("swm*background", "gray")
+	db.MustPut("swm*foreground", "black")
+	gen := db.Generation()
+	if gen == 0 {
+		t.Fatal("mutations did not advance generation")
+	}
+
+	clone := db.Clone()
+	if got := clone.Generation(); got != gen {
+		t.Fatalf("Clone generation = %d, want parent's %d", got, gen)
+	}
+
+	// Mutating the clone must not disturb the parent (deep copy), and
+	// the clone's generation keeps counting from the parent's — a cache
+	// keyed by generation can never see the same number answer two ways
+	// within one lineage.
+	clone.MustPut("swm*background", "white")
+	if clone.Generation() <= gen {
+		t.Fatalf("clone generation %d did not advance past %d", clone.Generation(), gen)
+	}
+	if v, _ := db.Query([]string{"swm", "background"}, []string{"Swm", "Background"}); v != "gray" {
+		t.Fatalf("parent saw clone's mutation: background = %q", v)
+	}
+	if db.Generation() != gen {
+		t.Fatalf("parent generation moved: %d -> %d", gen, db.Generation())
+	}
+}
+
+func TestConcurrentQueryPut(t *testing.T) {
+	db := New()
+	for i := 0; i < 32; i++ {
+		db.MustPut(fmt.Sprintf("swm*res%d", i), fmt.Sprintf("v%d", i))
+	}
+
+	const (
+		readers = 8
+		writes  = 500
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			names := []string{"swm", "panel", fmt.Sprintf("res%d", r)}
+			classes := []string{"Swm", "Panel", "Res"}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if v, ok := db.Query(names, classes); ok && v == "" {
+					t.Error("Query returned ok with empty value")
+					return
+				}
+				_ = db.Generation()
+			}
+		}(r)
+	}
+	for i := 0; i < writes; i++ {
+		db.MustPut(fmt.Sprintf("swm*res%d", i%32), fmt.Sprintf("w%d", i))
+		if i%16 == 0 {
+			clone := db.Clone()
+			db.Merge(clone) // identical values: must be a generation no-op
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestMergeIdenticalIsGenerationNoOp(t *testing.T) {
+	db := New()
+	db.MustPut("swm*a", "1")
+	db.MustPut("swm*b", "2")
+	gen := db.Generation()
+	db.Merge(db.Clone())
+	if got := db.Generation(); got != gen {
+		t.Fatalf("self-equivalent Merge advanced generation: %d -> %d", gen, got)
+	}
+}

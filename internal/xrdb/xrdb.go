@@ -17,6 +17,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Binding says how a component is attached to its predecessor.
@@ -42,21 +44,34 @@ type entry struct {
 	seq        int // insertion order; later entries override equal specifiers
 }
 
-// DB is a resource database. The zero value is ready to use. Like the
-// Xrm it models, a DB is not safe for concurrent use.
+// DB is a resource database. The zero value is ready to use.
+//
+// Unlike the Xrm it models, a DB is safe for concurrent use: fleet mode
+// shares one template database across every session in the process.
+// Queries walk an immutable compiled snapshot published through an
+// atomic pointer, so the warm read path takes no lock and performs no
+// allocation; mutators serialize on mu, edit the entry list, and retire
+// the snapshot. A Put therefore can never scribble on a trie another
+// session is mid-walk through — the old snapshot stays intact until its
+// last reader drops it.
 type DB struct {
+	// mu guards entries and nextSeq, and serializes snapshot
+	// compilation. It is never held while walking the trie.
+	mu      sync.Mutex
 	entries []entry
 	nextSeq int
-	// trie is the compiled matching automaton Query walks: one node per
+	// snap is the compiled matching automaton Query walks: one node per
 	// stored specifier prefix, children keyed by (binding, name). It is
 	// built lazily on the first Query after a mutation — any write may
-	// change any answer, so writes simply drop the whole structure —
-	// and a query walks it without allocating.
-	trie *trieNode
+	// change any answer, so writes simply retire the whole structure —
+	// and once published a snapshot is immutable.
+	snap atomic.Pointer[trieNode]
 	// gen counts mutations. Callers that cache values derived from
 	// queries (the decoration prototype cache in internal/core) compare
-	// generations instead of subscribing to invalidation.
-	gen uint64
+	// generations instead of subscribing to invalidation. Clone
+	// preserves it so a cache keyed by (db, gen) can never confuse a
+	// clone lineage with its parent at the same numeric generation.
+	gen atomic.Uint64
 }
 
 // New returns an empty database.
@@ -67,34 +82,59 @@ func New() *DB {
 // Generation returns a counter that changes whenever the database is
 // mutated. Two calls returning the same value bracket a span in which
 // every Query answer was stable.
-func (db *DB) Generation() uint64 { return db.gen }
+func (db *DB) Generation() uint64 { return db.gen.Load() }
 
 // Len reports the number of stored entries.
-func (db *DB) Len() int { return len(db.entries) }
+func (db *DB) Len() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.entries)
+}
 
 // Put stores value under the given specifier, e.g.
 // "swm.monochrome.screen0.XClock.xclock.decoration" or
 // "Swm*panel.openLook". A later Put with an identical specifier
 // overrides the earlier one.
+//
+// A Put that changes nothing — identical specifier, identical value —
+// is a no-op and does not advance the generation. Session startup
+// re-asserts template resources (the panner writes its sticky resource
+// on every construction), and without this guard each such write would
+// flush every generation-keyed cache in the fleet for an answer that
+// could not have changed.
 func (db *DB) Put(specifier, value string) error {
 	comps, err := parseSpecifier(specifier)
 	if err != nil {
 		return err
 	}
-	db.trie = nil // any stored entry can change any query's answer
-	db.gen++
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	// Exact-specifier override.
 	for i := range db.entries {
 		if sameComponents(db.entries[i].components, comps) {
+			if db.entries[i].value == value {
+				return nil // nothing any Query returns can have changed
+			}
 			db.entries[i].value = value
 			db.entries[i].seq = db.nextSeq
 			db.nextSeq++
+			db.retireSnapshotLocked()
 			return nil
 		}
 	}
 	db.entries = append(db.entries, entry{components: comps, value: value, seq: db.nextSeq})
 	db.nextSeq++
+	db.retireSnapshotLocked()
 	return nil
+}
+
+// retireSnapshotLocked drops the compiled trie and advances the
+// generation after a mutation; any stored entry can change any query's
+// answer. Readers holding the old snapshot keep walking it safely — it
+// is immutable — they just describe the previous generation.
+func (db *DB) retireSnapshotLocked() {
+	db.snap.Store(nil)
+	db.gen.Add(1)
 }
 
 // MustPut is Put that panics on malformed specifiers; for use with
@@ -174,20 +214,38 @@ func parseSpecifier(spec string) ([]component, error) {
 // Query looks up the value matching the fully-qualified names and
 // classes (parallel slices, one element per level). It returns the
 // best-matching value under X precedence rules and whether any entry
-// matched. The walk runs over the compiled trie and does not allocate;
-// the first Query after a mutation pays a one-time compile.
+// matched. The walk runs over an immutable compiled snapshot loaded
+// through one atomic read — lock-free and allocation-free on the warm
+// path; the first Query after a mutation pays a one-time compile under
+// the database lock.
 func (db *DB) Query(names, classes []string) (string, bool) {
 	if len(names) != len(classes) || len(names) == 0 {
 		return "", false
 	}
-	if db.trie == nil {
-		db.trie = compileTrie(db.entries)
+	t := db.snap.Load()
+	if t == nil {
+		t = db.compileSnapshot()
 	}
-	n := db.trie.find(names, classes, 0, false)
+	n := t.find(names, classes, 0, false)
 	if n == nil {
 		return "", false
 	}
 	return n.value, true
+}
+
+// compileSnapshot builds and publishes the trie for the current entry
+// set. Concurrent callers race benignly: the double-check under mu
+// makes the compile once-per-generation, and whichever snapshot wins
+// publication is correct for the entries it was built from.
+func (db *DB) compileSnapshot() *trieNode {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if t := db.snap.Load(); t != nil {
+		return t
+	}
+	t := compileTrie(db.entries)
+	db.snap.Store(t)
+	return t
 }
 
 // trieNode is one state of the compiled matcher: the set of stored
@@ -447,22 +505,38 @@ func (db *DB) loadLine(line string, lineno int) error {
 	return nil
 }
 
+// specifierString reassembles the resource-file spelling of a stored
+// component sequence.
+func specifierString(comps []component) string {
+	var sb strings.Builder
+	for i, c := range comps {
+		if c.binding == Loose {
+			sb.WriteByte('*')
+		} else if i > 0 {
+			sb.WriteByte('.')
+		}
+		sb.WriteString(c.name)
+	}
+	return sb.String()
+}
+
+// snapshotEntries copies the entry list under the lock so callers can
+// iterate it without holding mu (components are never mutated in place,
+// so sharing the inner slices is safe).
+func (db *DB) snapshotEntries() []entry {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return append([]entry(nil), db.entries...)
+}
+
 // Dump writes the database back out in resource-file syntax, sorted by
 // specifier for determinism (used by tests and f.places debugging).
 func (db *DB) Dump(w io.Writer) error {
-	lines := make([]string, 0, len(db.entries))
-	for _, e := range db.entries {
-		var sb strings.Builder
-		for i, c := range e.components {
-			if c.binding == Loose {
-				sb.WriteByte('*')
-			} else if i > 0 {
-				sb.WriteByte('.')
-			}
-			sb.WriteString(c.name)
-		}
+	entries := db.snapshotEntries()
+	lines := make([]string, 0, len(entries))
+	for _, e := range entries {
 		value := strings.ReplaceAll(e.value, "\n", "\\\n")
-		lines = append(lines, fmt.Sprintf("%s: %s", sb.String(), value))
+		lines = append(lines, fmt.Sprintf("%s: %s", specifierString(e.components), value))
 	}
 	sort.Strings(lines)
 	for _, l := range lines {
@@ -474,30 +548,29 @@ func (db *DB) Dump(w io.Writer) error {
 }
 
 // Clone returns a deep copy of the database, used when the WM overlays
-// user resources on top of a template.
+// user resources on top of a template. The clone starts at the parent's
+// generation, not zero: generations must be monotone across a lineage,
+// or a cache warmed against the parent could mistake a divergent clone
+// that counted back up to the same number for the state it was built
+// from.
 func (db *DB) Clone() *DB {
+	entries := db.snapshotEntries()
 	out := New()
-	for _, e := range db.entries {
+	for _, e := range entries {
 		comps := append([]component(nil), e.components...)
 		out.entries = append(out.entries, entry{components: comps, value: e.value, seq: out.nextSeq})
 		out.nextSeq++
 	}
+	out.gen.Store(db.gen.Load())
 	return out
 }
 
 // Merge copies every entry of other into db, with other's entries taking
 // precedence on exact specifier collisions (user overrides template).
+// Other's entries are snapshotted first, so merging databases in
+// opposite orders from two goroutines cannot deadlock.
 func (db *DB) Merge(other *DB) {
-	for _, e := range other.entries {
-		var sb strings.Builder
-		for i, c := range e.components {
-			if c.binding == Loose {
-				sb.WriteByte('*')
-			} else if i > 0 {
-				sb.WriteByte('.')
-			}
-			sb.WriteString(c.name)
-		}
-		db.MustPut(sb.String(), e.value)
+	for _, e := range other.snapshotEntries() {
+		db.MustPut(specifierString(e.components), e.value)
 	}
 }
