@@ -561,6 +561,11 @@ func BenchmarkPerfPanStormTraced(b *testing.B)   { perfbench.PanStormTraced(b) }
 // sessions each iteration).
 func BenchmarkPerfFleet1000Sessions(b *testing.B) { perfbench.FleetSessions(1000, 10)(b) }
 
+// BenchmarkPerfConcurrentClients64 is the contended 64-connection
+// storm against one server — the workload the xserver lock striping is
+// gated on.
+func BenchmarkPerfConcurrentClients64(b *testing.B) { perfbench.ConcurrentClients(64)(b) }
+
 // BenchmarkXrdbQueryCold defeats the DB.Query memo with a fresh clone
 // per iteration, measuring the raw matching walk the memo shortcuts.
 func BenchmarkXrdbQueryCold(b *testing.B) {

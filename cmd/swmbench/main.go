@@ -3,16 +3,16 @@
 // allocs/op and B/op for the manage, move-storm and pan-storm shapes
 // plus the twm/swm/gwm comparison.
 //
-//	swmbench -o BENCH_6.json -check
+//	swmbench -o BENCH_7.json -check
 //
 // With -check, the binary exits non-zero when a workload exceeds its
 // blocking allocation budget (perfbench.AllocBudgets) or, for the few
 // workloads that carry one, its wall-clock budget
 // (perfbench.WallBudgets). Wall-clock numbers depend on the machine,
 // so wall budgets are order-of-magnitude ceilings reserved for
-// workloads — fleet-1000-sessions — whose whole point is bounding an
-// end-to-end lifecycle; everything else keeps timing advisory and
-// allocation counts enforced.
+// workloads — fleet-1000-sessions and concurrent-clients-64 — whose
+// whole point is bounding an end-to-end shape; everything else keeps
+// timing advisory and allocation counts enforced.
 package main
 
 import (
@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	out := flag.String("o", "BENCH_6.json", "report output path (\"-\" for stdout)")
+	out := flag.String("o", "BENCH_7.json", "report output path (\"-\" for stdout)")
 	check := flag.Bool("check", false, "fail when a blocking allocation or wall-clock budget is exceeded")
 	flag.Parse()
 

@@ -5,29 +5,51 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"sort"
 	"strings"
 )
 
-// LockOrder guards the locking discipline the PR 2 RWMutex/batch
-// refactor introduced in internal/xserver: request methods take
-// `Server.mu` once at their entry and then do all work through *Locked
-// helpers, which never re-acquire. sync.RWMutex is not re-entrant, so a
-// locking public method called from code that already holds the lock is
-// a guaranteed deadlock — a class of bug the compiler cannot see.
+// LockOrder guards the locking discipline of internal/xserver across
+// its two generations. The PR 2 shape — request methods take
+// `Server.mu` once at their entry and then work through *Locked
+// helpers, which never re-acquire — still holds for the exclusive
+// paths. The striped refactor added a second lock class: per-stripe
+// locks guarding shards of the window index, which sit *below* the
+// server lock in the hierarchy and may only be taken through the
+// doorways in stripes.go (lockStripe / lockStripes2), whose two-stripe
+// form acquires in ascending stripe order.
 //
 // The analyzer builds the package's intra-package call graph, computes
-// which functions may acquire a field named `mu` of type sync.Mutex or
-// sync.RWMutex (directly, via a readLock helper, or transitively
-// through another package function), and reports:
+// per lock class which functions may acquire — the server class is a
+// field named `mu` of type sync.Mutex/RWMutex on any type except
+// `stripe` (or the readLock helper); the stripe class is a `mu` field
+// on a type named `stripe`, or a doorway call — and reports:
 //
-//   - lockorder.reentrant — a function that is holding the lock calls
-//     a function that (transitively) acquires it again. The held
+//   - lockorder.reentrant — a function that is holding the server lock
+//     calls a function that (transitively) acquires it again. The held
 //     region runs from an acquire to the next non-deferred release in
 //     source order; a deferred unlock holds to the end of the function.
 //   - lockorder.held — a function following the *Locked naming
-//     convention (callable only with the lock held) calls a function
-//     that acquires the lock, or acquires it itself.
+//     convention (callable only with the server lock held exclusively)
+//     acquires either lock class itself, or calls a function that
+//     acquires the server lock. Holding mu exclusively already owns
+//     every stripe, so a *Locked helper taking a stripe is as wrong as
+//     one taking mu.
+//   - lockorder.stripe — re-entrant stripe acquisition: a second
+//     doorway acquire, or a call to a function that may acquire a
+//     stripe, while a stripe is already held. stripeFor is dynamic, so
+//     any nested acquire may hit the same stripe and self-deadlock;
+//     holding two stripes is legal only through the ascending-order
+//     lockStripes2 doorway.
+//   - lockorder.order — acquiring the server lock (directly or through
+//     a call) while holding a stripe. The hierarchy is mu above
+//     stripes; taking them bottom-up deadlocks against every
+//     RLock-then-stripe taker.
+//   - lockorder.stripeescape — a direct stripe-lock operation outside
+//     stripes.go. The doorways are the only sanctioned way in; a raw
+//     st.mu.Lock() elsewhere bypasses both the ordering and the
+//     contention observer.
 //   - lockorder.goroutine — a function literal spawned with `go` calls
 //     a *Locked helper without first acquiring the lock. A goroutine
 //     does not inherit its spawner's lock, so the hold region of the
@@ -40,7 +62,7 @@ import (
 // safe approximation elsewhere; intentional exceptions carry //swm:ok.
 var LockOrder = &Analyzer{
 	Name: "lockorder",
-	Doc:  "flags re-entrant Server.mu acquisition and locking calls from *Locked helpers",
+	Doc:  "flags re-entrant or misordered Server.mu/stripe acquisition and locking calls from *Locked helpers",
 	Run:  runLockOrder,
 }
 
@@ -52,18 +74,33 @@ const (
 	evCall
 )
 
+// lockClass distinguishes the two modeled lock classes.
+type lockClass int
+
+const (
+	classServer lockClass = iota
+	classStripe
+)
+
+// stripesFile is the one file allowed to touch stripe locks directly.
+const stripesFile = "stripes.go"
+
 type lockEvent struct {
 	pos    token.Pos
 	kind   lockEventKind
+	class  lockClass
+	direct bool          // a literal <x>.mu.Lock(), not a doorway call
 	callee *types.Func   // for evCall
 	call   *ast.CallExpr // for evCall
 }
 
 type funcLockInfo struct {
-	decl     *ast.FuncDecl
-	events   []lockEvent
-	acquires bool // has a direct acquire (mu.Lock/mu.RLock/readLock call)
-	spawned  []*spawnInfo
+	decl           *ast.FuncDecl
+	events         []lockEvent
+	acquiresServer bool // direct server-lock acquire
+	acquiresStripe bool // direct stripe acquire (doorway or raw)
+	inStripes      bool // declared in stripes.go (doorway implementation)
+	spawned        []*spawnInfo
 }
 
 // spawnInfo is the event stream of one go-spawned function literal (or
@@ -86,63 +123,100 @@ func runLockOrder(p *Pass) {
 		if !ok {
 			continue
 		}
-		infos[fn] = collectLockEvents(p, fd)
+		info := collectLockEvents(p, fd)
+		info.inStripes = filepath.Base(p.Fset.Position(fd.Pos()).Filename) == stripesFile
+		infos[fn] = info
 	}
 
-	// mayAcquire: direct acquire, or a call (anywhere in the body) to a
-	// same-package function that may acquire.
-	mayAcquire := make(map[*types.Func]bool)
-	var visiting map[*types.Func]bool
-	var acquires func(fn *types.Func) bool
-	acquires = func(fn *types.Func) bool {
-		if v, ok := mayAcquire[fn]; ok {
-			return v
-		}
-		if visiting[fn] {
-			return false // break recursion cycles
-		}
-		visiting[fn] = true
-		defer delete(visiting, fn)
-		info, ok := infos[fn]
-		if !ok {
-			return false
-		}
-		result := info.acquires
-		for _, ev := range info.events {
-			if ev.kind == evCall && acquires(ev.callee) {
-				result = true
-				break
+	// mayAcquire per class: direct acquire, or a call (anywhere in the
+	// body) to a same-package function that may acquire.
+	acquiresFn := func(direct func(*funcLockInfo) bool) func(*types.Func) bool {
+		cache := make(map[*types.Func]bool)
+		visiting := make(map[*types.Func]bool)
+		var rec func(fn *types.Func) bool
+		rec = func(fn *types.Func) bool {
+			if v, ok := cache[fn]; ok {
+				return v
 			}
+			if visiting[fn] {
+				return false // break recursion cycles
+			}
+			visiting[fn] = true
+			defer delete(visiting, fn)
+			info, ok := infos[fn]
+			if !ok {
+				return false
+			}
+			result := direct(info)
+			if !result {
+				for _, ev := range info.events {
+					if ev.kind == evCall && rec(ev.callee) {
+						result = true
+						break
+					}
+				}
+			}
+			cache[fn] = result
+			return result
 		}
-		mayAcquire[fn] = result
-		return result
+		return rec
 	}
-	visiting = make(map[*types.Func]bool)
+	acquiresServer := acquiresFn(func(i *funcLockInfo) bool { return i.acquiresServer })
+	acquiresStripe := acquiresFn(func(i *funcLockInfo) bool { return i.acquiresStripe })
 
 	for fn, info := range infos {
 		heldByName := strings.HasSuffix(fn.Name(), "Locked")
 		held := heldByName
+		stripeHeld := false
 		for _, ev := range info.events {
-			switch ev.kind {
-			case evAcquire:
+			switch {
+			case ev.kind == evAcquire && ev.class == classServer:
 				if heldByName {
 					p.Reportf(ev.pos, "held",
 						"%s follows the *Locked convention (lock already held) but acquires the lock itself", fn.Name())
+				} else if stripeHeld && !info.inStripes {
+					p.Reportf(ev.pos, "order",
+						"%s acquires the server lock while holding a stripe (hierarchy is mu above stripes)", fn.Name())
 				}
 				held = true
-			case evRelease:
-				held = false
-			case evCall:
-				if !acquires(ev.callee) {
-					continue
+			case ev.kind == evAcquire && ev.class == classStripe:
+				if ev.direct && !info.inStripes {
+					p.Reportf(ev.pos, "stripeescape",
+						"%s performs a direct stripe lock operation outside %s; use the lockStripe/lockStripes2 doorways", fn.Name(), stripesFile)
 				}
 				if heldByName {
 					p.Reportf(ev.pos, "held",
-						"%s follows the *Locked convention (lock already held) but calls %s, which acquires the lock",
-						fn.Name(), ev.callee.Name())
-				} else if held {
-					p.Reportf(ev.pos, "reentrant",
-						"%s calls %s while holding the lock; %s re-acquires it (sync.RWMutex is not re-entrant)",
+						"%s follows the *Locked convention (exclusive lock already owns every stripe) but acquires a stripe", fn.Name())
+				} else if stripeHeld && !info.inStripes {
+					p.Reportf(ev.pos, "stripe",
+						"%s acquires a second stripe while holding one; only the ascending lockStripes2 doorway may hold two", fn.Name())
+				}
+				stripeHeld = true
+			case ev.kind == evRelease && ev.class == classServer:
+				held = false
+			case ev.kind == evRelease && ev.class == classStripe:
+				stripeHeld = false
+			case ev.kind == evCall:
+				sAcq := acquiresServer(ev.callee)
+				stAcq := acquiresStripe(ev.callee)
+				if sAcq {
+					if heldByName {
+						p.Reportf(ev.pos, "held",
+							"%s follows the *Locked convention (lock already held) but calls %s, which acquires the lock",
+							fn.Name(), ev.callee.Name())
+					} else if held {
+						p.Reportf(ev.pos, "reentrant",
+							"%s calls %s while holding the lock; %s re-acquires it (sync.RWMutex is not re-entrant)",
+							fn.Name(), ev.callee.Name(), ev.callee.Name())
+					} else if stripeHeld && !info.inStripes {
+						p.Reportf(ev.pos, "order",
+							"%s calls %s, which acquires the server lock, while holding a stripe (hierarchy is mu above stripes)",
+							fn.Name(), ev.callee.Name())
+					}
+				}
+				if stAcq && stripeHeld && !info.inStripes {
+					p.Reportf(ev.pos, "stripe",
+						"%s calls %s while holding a stripe; %s re-acquires a stripe (stripeFor is dynamic, so this can self-deadlock)",
 						fn.Name(), ev.callee.Name(), ev.callee.Name())
 				}
 			}
@@ -154,14 +228,23 @@ func runLockOrder(p *Pass) {
 		// invoked on a goroutine that never took the lock.
 		for _, sp := range info.spawned {
 			held := false
+			stripeHeld := false
 			for _, ev := range sp.events {
-				switch ev.kind {
-				case evAcquire:
+				switch {
+				case ev.kind == evAcquire && ev.class == classServer:
 					held = true
-				case evRelease:
+				case ev.kind == evAcquire && ev.class == classStripe:
+					if stripeHeld {
+						p.Reportf(ev.pos, "stripe",
+							"%s acquires a second stripe while holding one; only the ascending lockStripes2 doorway may hold two", sp.name)
+					}
+					stripeHeld = true
+				case ev.kind == evRelease && ev.class == classServer:
 					held = false
-				case evCall:
-					if acquires(ev.callee) {
+				case ev.kind == evRelease && ev.class == classStripe:
+					stripeHeld = false
+				case ev.kind == evCall:
+					if acquiresServer(ev.callee) {
 						if held {
 							p.Reportf(ev.pos, "reentrant",
 								"%s calls %s while holding the lock; %s re-acquires it (sync.RWMutex is not re-entrant)",
@@ -178,6 +261,18 @@ func runLockOrder(p *Pass) {
 	}
 }
 
+// doorway maps the stripes.go doorway function names to their event
+// shape at a call site.
+func doorway(name string) (lockEventKind, bool) {
+	switch name {
+	case "lockStripe", "lockStripes2", "acquireStripe":
+		return evAcquire, true
+	case "unlockStripe", "unlockStripes2":
+		return evRelease, true
+	}
+	return 0, false
+}
+
 // collectLockEvents linearizes a function body into acquire / release /
 // intra-package-call events ordered by position. Function literals
 // spawned with `go` are carved out into separate spawnInfo contexts —
@@ -189,8 +284,8 @@ func collectLockEvents(p *Pass, fd *ast.FuncDecl) *funcLockInfo {
 	info := &funcLockInfo{decl: fd}
 	spawnN := 0
 
-	var walk func(body ast.Node, events *[]lockEvent, acquires *bool)
-	walk = func(body ast.Node, events *[]lockEvent, acquires *bool) {
+	var walk func(body ast.Node, events *[]lockEvent, acqServer, acqStripe *bool)
+	walk = func(body ast.Node, events *[]lockEvent, acqServer, acqStripe *bool) {
 		deferred := make(map[*ast.CallExpr]bool)
 		goLit := make(map[*ast.FuncLit]bool)
 		goCall := make(map[*ast.CallExpr]bool)
@@ -199,12 +294,12 @@ func collectLockEvents(p *Pass, fd *ast.FuncDecl) *funcLockInfo {
 				spawnN++
 				sp := &spawnInfo{name: fmt.Sprintf("%s.func%d", fd.Name.Name, spawnN)}
 				info.spawned = append(info.spawned, sp)
-				var spAcquires bool
+				var spServer, spStripe bool
 				if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
 					// Analyze the literal's body in the spawn context,
 					// and skip it when the outer walk reaches it.
 					goLit[lit] = true
-					walk(lit.Body, &sp.events, &spAcquires)
+					walk(lit.Body, &sp.events, &spServer, &spStripe)
 				} else {
 					// `go s.f(...)`: f runs on the new goroutine; only
 					// its arguments evaluate here.
@@ -225,13 +320,17 @@ func collectLockEvents(p *Pass, fd *ast.FuncDecl) *funcLockInfo {
 			if !ok {
 				return true
 			}
-			if kind, isMu := muOp(p.Info, call); isMu {
+			if kind, class, isMu := muOp(p.Info, call); isMu {
 				// Deferred unlocks hold to function end: no release event.
 				if kind == evAcquire {
-					*events = append(*events, lockEvent{pos: call.Pos(), kind: evAcquire})
-					*acquires = true
+					*events = append(*events, lockEvent{pos: call.Pos(), kind: evAcquire, class: class, direct: true})
+					if class == classStripe {
+						*acqStripe = true
+					} else {
+						*acqServer = true
+					}
 				} else if !deferred[call] {
-					*events = append(*events, lockEvent{pos: call.Pos(), kind: evRelease})
+					*events = append(*events, lockEvent{pos: call.Pos(), kind: evRelease, class: class, direct: true})
 				}
 				return true
 			}
@@ -242,13 +341,22 @@ func collectLockEvents(p *Pass, fd *ast.FuncDecl) *funcLockInfo {
 			if callee == nil || callee.Pkg() != p.Pkg {
 				return true
 			}
+			if kind, isDoorway := doorway(callee.Name()); isDoorway {
+				if kind == evAcquire {
+					*events = append(*events, lockEvent{pos: call.Pos(), kind: evAcquire, class: classStripe})
+					*acqStripe = true
+				} else if !deferred[call] {
+					*events = append(*events, lockEvent{pos: call.Pos(), kind: evRelease, class: classStripe})
+				}
+				return true
+			}
 			switch callee.Name() {
 			case "readLock":
-				*events = append(*events, lockEvent{pos: call.Pos(), kind: evAcquire})
-				*acquires = true
+				*events = append(*events, lockEvent{pos: call.Pos(), kind: evAcquire, class: classServer})
+				*acqServer = true
 			case "readUnlock":
 				if !deferred[call] {
-					*events = append(*events, lockEvent{pos: call.Pos(), kind: evRelease})
+					*events = append(*events, lockEvent{pos: call.Pos(), kind: evRelease, class: classServer})
 				}
 			default:
 				*events = append(*events, lockEvent{pos: call.Pos(), kind: evCall, callee: callee, call: call})
@@ -257,16 +365,18 @@ func collectLockEvents(p *Pass, fd *ast.FuncDecl) *funcLockInfo {
 		})
 		sort.SliceStable(*events, func(i, j int) bool { return (*events)[i].pos < (*events)[j].pos })
 	}
-	walk(fd.Body, &info.events, &info.acquires)
+	walk(fd.Body, &info.events, &info.acquiresServer, &info.acquiresStripe)
 	return info
 }
 
 // muOp recognizes <expr>.mu.Lock() / RLock() / Unlock() / RUnlock()
-// where mu is a sync.Mutex or sync.RWMutex field named exactly "mu".
-func muOp(info *types.Info, call *ast.CallExpr) (lockEventKind, bool) {
+// where mu is a sync.Mutex or sync.RWMutex field named exactly "mu",
+// classifying by the owning type: a `mu` on a type named "stripe" is a
+// stripe lock, any other is the server lock.
+func muOp(info *types.Info, call *ast.CallExpr) (lockEventKind, lockClass, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
-		return 0, false
+		return 0, 0, false
 	}
 	var kind lockEventKind
 	switch sel.Sel.Name {
@@ -275,22 +385,31 @@ func muOp(info *types.Info, call *ast.CallExpr) (lockEventKind, bool) {
 	case "Unlock", "RUnlock":
 		kind = evRelease
 	default:
-		return 0, false
+		return 0, 0, false
 	}
 	inner, ok := sel.X.(*ast.SelectorExpr)
 	if !ok || inner.Sel.Name != "mu" {
-		return 0, false
+		return 0, 0, false
 	}
 	t := info.Types[inner].Type
 	if t == nil {
-		return 0, false
+		return 0, 0, false
 	}
 	named, ok := t.(*types.Named)
 	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
-		return 0, false
+		return 0, 0, false
 	}
 	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
-		return 0, false
+		return 0, 0, false
 	}
-	return kind, true
+	class := classServer
+	if ot := info.Types[inner.X].Type; ot != nil {
+		if p, isPtr := ot.(*types.Pointer); isPtr {
+			ot = p.Elem()
+		}
+		if onamed, isNamed := ot.(*types.Named); isNamed && onamed.Obj().Name() == "stripe" {
+			class = classStripe
+		}
+	}
+	return kind, class, true
 }

@@ -1,0 +1,107 @@
+package lockorder
+
+// Fixtures for the stripe half of the lockorder analyzer: the clean
+// ascending doorway shapes, nested and misordered stripe acquisition,
+// hierarchy inversion (server lock under a stripe), doorway bypass,
+// and a deliberate waived escape.
+
+// MoveOne is the sanctioned single-stripe shape: server lock shared,
+// one stripe through the doorway. Clean.
+func (s *Striped) MoveOne(id int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := s.lockStripe(id)
+	s.items[id]++
+	s.unlockStripe(st)
+}
+
+// MovePair needs two stripes and goes through the ascending two-stripe
+// doorway. Clean.
+func (s *Striped) MovePair(a, b int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s1, s2 := s.lockStripes2(a, b)
+	s.items[a], s.items[b] = s.items[b], s.items[a]
+	s.unlockStripes2(s1, s2)
+}
+
+// MoveBoth takes its two stripes one doorway call at a time — the
+// acquisition order then depends on argument order, which deadlocks
+// against an ascending taker (the true-positive stripe-order bug).
+func (s *Striped) MoveBoth(a, b int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s1 := s.lockStripe(a)
+	s2 := s.lockStripe(b) // want `MoveBoth acquires a second stripe while holding one`
+	s.items[a], s.items[b] = s.items[b], s.items[a]
+	s.unlockStripe(s2)
+	s.unlockStripe(s1)
+}
+
+// bump takes a stripe but not the server lock, so calling it is a pure
+// stripe acquisition from its callers' point of view.
+func (s *Striped) bump(id int) {
+	st := s.lockStripe(id)
+	s.items[id]++
+	s.unlockStripe(st)
+}
+
+// Renest re-enters the stripes transitively: bump's stripe may be the
+// one already held (stripeFor is dynamic), a self-deadlock.
+func (s *Striped) Renest(id int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := s.lockStripe(id)
+	s.bump(id + 1) // want `Renest calls bump while holding a stripe`
+	s.unlockStripe(st)
+}
+
+// size takes the server lock; it must be called before any stripe.
+func (s *Striped) size() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.items)
+}
+
+// Audit inverts the hierarchy: stripe first, then a call that acquires
+// the server lock above it.
+func (s *Striped) Audit(id int) int {
+	st := s.lockStripe(id)
+	n := s.size() // want `Audit calls size, which acquires the server lock, while holding a stripe`
+	s.unlockStripe(st)
+	return n
+}
+
+// Poke bypasses the doorways with a raw stripe-lock operation.
+func (s *Striped) Poke(id int) {
+	st := s.stripeFor(id)
+	st.mu.Lock() // want `Poke performs a direct stripe lock operation outside stripes.go`
+	s.items[id]++
+	st.mu.Unlock()
+}
+
+// applyLocked runs under the exclusive server lock, which already owns
+// every stripe; taking one again breaks the helper contract.
+func (s *Striped) applyLocked(id int) {
+	st := s.lockStripe(id) // want `applyLocked follows the \*Locked convention .* but acquires a stripe`
+	s.items[id]++
+	s.unlockStripe(st)
+}
+
+// Apply gives applyLocked its caller so the fixture package compiles
+// without dead code warnings and shows the intended exclusive shape.
+func (s *Striped) Apply(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applyLocked(id)
+}
+
+// Drain holds two stripes outside the doorway on a shutdown path where
+// no concurrent taker can exist — the deliberate, waived escape.
+func (s *Striped) Drain() {
+	s1 := s.lockStripe(0)
+	s2 := s.lockStripe(1) //swm:ok fixture: shutdown path, no concurrent stripe takers
+	s.items = nil
+	s.unlockStripe(s2)
+	s.unlockStripe(s1)
+}

@@ -1,0 +1,54 @@
+package lockorder
+
+import "sync"
+
+// stripe mirrors internal/xserver.stripe: one shard of a striped lock.
+// Direct stripe.mu operations are legal only in this file — the
+// doorways below are the sanctioned way in, and the analyzer exempts
+// the file implementing the discipline from the checks it enforces on
+// everyone else.
+type stripe struct {
+	mu sync.RWMutex
+}
+
+// Striped mirrors the striped xserver shape: a server lock above a
+// fixed array of stripes, public methods that take the server lock
+// shared and then the touched stripes through the doorways.
+type Striped struct {
+	mu      sync.RWMutex
+	stripes [4]stripe
+	items   map[int]int
+}
+
+func (s *Striped) stripeFor(id int) *stripe { return &s.stripes[id&3] }
+
+// lockStripe is the single-stripe doorway.
+func (s *Striped) lockStripe(id int) *stripe {
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	return st
+}
+
+func (s *Striped) unlockStripe(st *stripe) { st.mu.Unlock() }
+
+// lockStripes2 is the two-stripe doorway: ascending index order, second
+// result nil when both ids land on the same stripe.
+func (s *Striped) lockStripes2(a, b int) (*stripe, *stripe) {
+	i, j := a&3, b&3
+	if i == j {
+		return s.lockStripe(a), nil
+	}
+	if j < i {
+		i, j = j, i
+	}
+	s.stripes[i].mu.Lock()
+	s.stripes[j].mu.Lock()
+	return &s.stripes[i], &s.stripes[j]
+}
+
+func (s *Striped) unlockStripes2(s1, s2 *stripe) {
+	if s2 != nil {
+		s2.mu.Unlock()
+	}
+	s1.mu.Unlock()
+}

@@ -71,9 +71,12 @@ func TestMoveStepAllocBudget(t *testing.T) {
 // TestManageCycleAllocBudget bounds a full client lifetime: launch,
 // manage, withdraw, close. Before the adoption fast path this was
 // dominated by decoration building and ran ~1,400 allocs/op; with the
-// prototype cache the warm cycle only clones a cached decoration
-// (~80 allocs/op). The budget enforces that warm manages keep hitting
-// the cache and never go back to resource queries plus a full Build.
+// prototype cache the warm cycle only clones a cached decoration. The
+// budget enforces that warm manages keep hitting the cache and never
+// go back to resource queries plus a full Build. The striped xserver
+// raised the structural-write cost slightly (copy-on-write child and
+// mask tables buy lock-free readers; measured 148 warm), still ~10x
+// under the cache-miss cliff the budget exists to catch.
 func TestManageCycleAllocBudget(t *testing.T) {
 	s, wm := newWM(t, Options{VirtualDesktop: true, EnablePanner: true})
 	for i := 0; i < 10; i++ {
@@ -102,7 +105,7 @@ func TestManageCycleAllocBudget(t *testing.T) {
 		app.Close()
 		wm.Pump()
 	})
-	const budget = 120 // measured 82 warm; pre-cache: ~1,400
+	const budget = 170 // measured 148 warm; pre-cache: ~1,400
 	if avg > budget {
 		t.Errorf("manage cycle = %.1f allocs/op, budget %d — are warm manages missing the prototype cache?", avg, budget)
 	}

@@ -304,6 +304,7 @@ func New(server *xserver.Server, opts Options) (*WM, error) {
 	wm.deg = degrade.New("swm").Observe(reg, trace)
 	wm.conn.SetInstrument(obs.NewConnInstrument(reg, trace, xserver.RequestMajors))
 	wm.conn.SetErrorHandler(wm.metrics.noteXError)
+	server.SetLockObserver(wm.metrics.lockInst)
 	wm.sessionInst = obs.NewSessionInstrument(reg)
 	wm.registerFunctions()
 

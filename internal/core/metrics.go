@@ -59,6 +59,11 @@ type wmMetrics struct {
 	pumpCycles   *obs.Counter
 	pumpNs       *obs.Histogram
 	pannerDamage *obs.Histogram
+
+	// lockInst feeds xserver's stripe-acquire slow path (installed via
+	// Server.SetLockObserver in New): contended acquisitions and how
+	// long they waited.
+	lockInst *obs.LockInstrument
 }
 
 func newWMMetrics(reg *obs.Registry, trace *obs.Trace) *wmMetrics {
@@ -80,6 +85,8 @@ func newWMMetrics(reg *obs.Registry, trace *obs.Trace) *wmMetrics {
 		protoMisses:    reg.Counter("deco.proto_misses"),
 		protoEvictions: reg.Counter("deco.proto_evictions"),
 		adoptQueue:     reg.Gauge("adopt.queue_depth"),
+
+		lockInst: obs.NewLockInstrument(reg),
 	}
 	for t := xproto.KeyPress; t <= xproto.ShapeNotify; t++ {
 		m.events[t] = reg.Counter("event." + t.String())

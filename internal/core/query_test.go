@@ -114,6 +114,46 @@ func TestQueryStatsAdoptionCounters(t *testing.T) {
 	}
 }
 
+// TestQueryStatsStripeContention checks the striped-lock telemetry all
+// the way out the wire: the xserver.stripe_contention counter and
+// xserver.lock_wait_ns histogram must reach `swmcmd -query stats`, and
+// wm.Stats() must agree with the wire view. The test drives the same
+// LockObserver hook the stripe-acquire slow path fires (generating real
+// stripe contention deterministically needs in-package access to the
+// stripes; xserver's TestLockObserverFiresOnContention covers that
+// half).
+func TestQueryStatsStripeContention(t *testing.T) {
+	s, wm := newWM(t, Options{VirtualDesktop: true})
+	cl := queryClient(t, s, wm)
+
+	var lo xserver.LockObserver = wm.metrics.lockInst
+	lo.StripeWait(2500)
+	lo.StripeWait(900)
+
+	resp := roundTrip(t, wm, cl, swmproto.Request{Op: swmproto.OpQuery, Target: swmproto.TargetStats})
+	if !resp.OK {
+		t.Fatalf("stats query failed: %s", resp.Error)
+	}
+	var stats swmproto.StatsResult
+	if err := json.Unmarshal(resp.Result, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if n := stats.Metrics.Counters["xserver.stripe_contention"]; n != 2 {
+		t.Errorf("xserver.stripe_contention = %d, want 2", n)
+	}
+	h, ok := stats.Metrics.Histograms["xserver.lock_wait_ns"]
+	if !ok {
+		t.Fatal("xserver.lock_wait_ns not registered in stats")
+	}
+	if h.Count != 2 || h.Sum != 3400 {
+		t.Errorf("lock_wait_ns count/sum = %d/%d, want 2/3400", h.Count, h.Sum)
+	}
+	if st := wm.Stats(); int64(st.StripeContention) != stats.Metrics.Counters["xserver.stripe_contention"] {
+		t.Errorf("Stats().StripeContention = %d disagrees with wire %d",
+			st.StripeContention, stats.Metrics.Counters["xserver.stripe_contention"])
+	}
+}
+
 func TestQueryTrace(t *testing.T) {
 	s, wm := newWM(t, Options{VirtualDesktop: true})
 	wm.Trace().Enable()

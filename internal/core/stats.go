@@ -26,6 +26,12 @@ type Stats struct {
 	ProtoHits      int
 	ProtoMisses    int
 	ProtoEvictions int
+
+	// StripeContention counts X server stripe acquisitions that missed
+	// the uncontended fast path and had to wait (xserver/stripes.go).
+	// Per-wait latency lives in the xserver.lock_wait_ns histogram,
+	// reachable via Metrics().Snapshot().
+	StripeContention int
 }
 
 // Stats assembles the snapshot from the obs counters. Every read is an
@@ -45,6 +51,8 @@ func (wm *WM) Stats() Stats {
 		ProtoHits:      int(m.protoHits.Value()),
 		ProtoMisses:    int(m.protoMisses.Value()),
 		ProtoEvictions: int(m.protoEvictions.Value()),
+
+		StripeContention: int(m.lockInst.Contended()),
 	}
 	for t := xproto.KeyPress; t <= xproto.ShapeNotify; t++ {
 		if n := m.events[t].Value(); n > 0 {

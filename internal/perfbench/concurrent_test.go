@@ -1,0 +1,16 @@
+package perfbench
+
+import "testing"
+
+// TestConcurrentClientsRace runs one round of the contended
+// 64-connection storm — the exact workload shape concurrent-clients-64
+// measures — so `go test -race` sweeps the striped xserver hot paths
+// (lock-free property seqlocks, the kidGeo position mirror, per-stripe
+// tree surgery) under real cross-connection contention. One round is
+// 64 goroutines × 384 requests; the benchmark's timing loop is what's
+// reduced away, not the concurrency.
+func TestConcurrentClientsRace(t *testing.T) {
+	f := newStorm(64, func(err error) { t.Fatal(err) })
+	f.run(0)
+	f.run(1)
+}

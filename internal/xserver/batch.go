@@ -28,13 +28,15 @@ type Batch struct {
 	ops     []batchOp
 	flushed bool
 
-	// ckBuf backs the first cookies handed out, so a typical batch (the
-	// manage setup sequence is six ops) costs one Batch allocation plus
-	// one ops-slice allocation; only larger batches fall back to
-	// per-cookie allocations. Cookies must be individually stable
-	// pointers, which is why ops cannot simply embed them.
-	ckBuf [8]Cookie
-	ckN   int
+	// ckBuf and opsBuf back the first cookies and ops recorded, so a
+	// typical batch (the manage setup sequence is six ops) costs one
+	// Batch allocation total; only larger batches fall back to
+	// per-cookie and grown-slice allocations. Cookies must be
+	// individually stable pointers, which is why ops cannot simply
+	// embed them.
+	ckBuf  [8]Cookie
+	ckN    int
+	opsBuf [8]batchOp
 }
 
 // ErrNotFlushed is returned by Cookie.Err for a batch that has not
@@ -152,7 +154,7 @@ func (b *Batch) record(op batchOp) *Cookie {
 		op.ck = &Cookie{major: opMajors[op.kind], win: op.id}
 	}
 	if b.ops == nil {
-		b.ops = make([]batchOp, 0, len(b.ckBuf))
+		b.ops = b.opsBuf[:0]
 	}
 	b.ops = append(b.ops, op)
 	return op.ck
@@ -268,8 +270,8 @@ func (b *Batch) Flush() error {
 	s := b.conn.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if in := b.conn.instrument; in != nil {
-		in.BatchFlush(len(b.ops))
+	if g := b.conn.gates.Load(); g != nil && g.in != nil {
+		g.in.BatchFlush(len(b.ops))
 	}
 	return s.applyBatchLocked(b.conn, b.ops)
 }
@@ -314,9 +316,9 @@ func (s *Server) applyOpLocked(c *Conn, op *batchOp) error {
 	case opChangeProperty:
 		return c.changePropertyLocked(op.id, op.prop, op.typ, op.format, op.mode, op.data)
 	case opSetWindowLabel:
-		return c.setWindowLabelLocked(op.id, op.label)
+		return c.storeWindowLabel(op.id, op.label)
 	case opSetWindowFill:
-		return c.setWindowFillLocked(op.id, op.fill)
+		return c.storeWindowFill(op.id, op.fill)
 	case opSelectInput:
 		return c.selectInputLocked(op.id, op.mask)
 	case opChangeSaveSet:

@@ -3,7 +3,9 @@ package xserver
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/xproto"
 )
@@ -12,48 +14,80 @@ import (
 // methods are safe for concurrent use; events are read with WaitEvent,
 // PollEvent or Pending.
 //
-// Mutating requests take the server's exclusive lock; read-only
-// requests (GetGeometry, QueryTree, GetProperty, TranslateCoordinates,
-// ...) share a read lock, so queries from different connections run
-// concurrently. Batch() collects several mutating requests and applies
-// them under a single lock acquisition.
+// Requests route per the scheme in stripes.go: window-local reads and
+// property/geometry writes are lock-free, single-window structural ops
+// hold the server lock shared plus the touched stripes, tree surgery
+// and connection lifecycle hold it exclusively. Batch() collects
+// several mutating requests and applies them under a single exclusive
+// acquisition. A connection with a fault policy installed routes every
+// request through the exclusive path so injection scheduling stays
+// deterministic (see gate).
 type Conn struct {
 	server *Server
 	fd     int
 	name   string
 
-	// queue is the pending event buffer; qhead indexes the next event
-	// to pop (pops advance the head so the buffer is reused once it
-	// drains, instead of the append tail growing forever).
-	queue   []xproto.Event
-	qhead   int
-	cond    *sync.Cond
-	closed  bool
+	// Event queue. qMu/qCond are leaf locks: nothing else is acquired
+	// while they are held, and delivery from any request context only
+	// touches them — which is what keeps delivery FIFO per connection
+	// without a global event order. queue is the pending buffer; qhead
+	// indexes the next event to pop (pops advance the head so the
+	// buffer is reused once it drains, instead of the append tail
+	// growing forever).
+	qMu    sync.Mutex
+	qCond  *sync.Cond
+	queue  []xproto.Event
+	qhead  int
+	closed atomic.Bool
+
+	// saveSet is guarded by the server's exclusive lock (it is only
+	// touched by ChangeSaveSet, destroy sweeps and Close).
 	saveSet map[xproto.XID]bool
 
-	// fault injection (see fault.go). faults is only written under the
-	// server's exclusive lock.
-	faults *faultState
-
-	// instrument, when non-nil, observes every request (see
-	// instrument.go). Only written under the server's exclusive lock;
-	// read from request paths holding either lock flavor, which is safe
-	// for the same reason the faults check is.
-	instrument Instrument
+	// gates bundles the request-path hooks (instrument + fault policy)
+	// behind one atomic pointer so the hot path pays a single load when
+	// neither is installed. Written under the server's exclusive lock.
+	gates atomic.Pointer[connGates]
 
 	// errMu is a leaf lock guarding error observation so note() is
-	// safe from requests holding only the server read lock. Nothing is
-	// acquired while it is held.
+	// safe from lock-free request paths. Nothing is acquired while it
+	// is held.
 	errMu      sync.Mutex
 	errHandler func(*xproto.XError)
 	lastNoted  error
 }
 
-// lookupLocked resolves a window id for the request named major,
-// routing a typed BadWindow through the connection's error handler on
-// failure.
-func (c *Conn) lookupLocked(id xproto.XID, major string) (*window, error) {
-	w, err := c.server.lookupLocked(id)
+// connGates is the installed request-path hooks; see Conn.gates.
+type connGates struct {
+	in     Instrument
+	faults *faultState
+}
+
+// gate fires the connection's instrument for the request named major
+// and reports whether the request must detour through its serialized
+// (exclusive-lock) variant because a fault policy is installed. When it
+// returns true the instrument has NOT fired yet — the gated path's
+// faultLocked call fires it, preserving the instrument-before-fault
+// ordering contract.
+func (c *Conn) gate(major string, target xproto.XID) bool {
+	g := c.gates.Load()
+	if g == nil {
+		return false
+	}
+	if g.faults != nil {
+		return true
+	}
+	if g.in != nil {
+		g.in.Request(major, target)
+	}
+	return false
+}
+
+// lookupWin resolves a window id for the request named major, routing a
+// typed BadWindow through the connection's error handler on failure.
+// Lock-free (striped index); callable from any context.
+func (c *Conn) lookupWin(id xproto.XID, major string) (*window, error) {
+	w, err := c.server.lookupErr(id)
 	if err != nil {
 		var xe *xproto.XError
 		if errors.As(err, &xe) {
@@ -62,36 +96,6 @@ func (c *Conn) lookupLocked(id xproto.XID, major string) (*window, error) {
 		return nil, c.note(err)
 	}
 	return w, nil
-}
-
-// readLock acquires the server lock for a read-only request and
-// reports whether the exclusive lock was taken. The shared read lock
-// suffices unless a fault policy is installed: injection mutates
-// scheduling state (and KillTarget destroys windows), so faulty
-// connections fall back to the exclusive lock. faults is only written
-// under the exclusive lock, so the check under RLock is race-free —
-// and while the read lock is held the policy cannot change, so a
-// subsequent faultLocked call on the shared path injects nothing. (It
-// is no longer a pure no-op: the instrument callback still fires
-// there, which is why Instrument implementations must be safe under
-// the shared lock.)
-func (c *Conn) readLock() (exclusive bool) {
-	s := c.server
-	s.mu.RLock()
-	if c.faults == nil {
-		return false
-	}
-	s.mu.RUnlock()
-	s.mu.Lock()
-	return true
-}
-
-func (c *Conn) readUnlock(exclusive bool) {
-	if exclusive {
-		c.server.mu.Unlock()
-	} else {
-		c.server.mu.RUnlock()
-	}
 }
 
 // Name returns the diagnostic name given at Connect.
@@ -116,6 +120,30 @@ type WindowAttributes struct {
 // CreateWindow creates a child of parent at the given parent-relative
 // geometry and returns its XID. The window starts unmapped.
 func (c *Conn) CreateWindow(parent xproto.XID, r xproto.Rect, borderWidth int, attrs WindowAttributes) (xproto.XID, error) {
+	if c.gate("CreateWindow", parent) {
+		return c.gatedCreateWindow(parent, r, borderWidth, attrs)
+	}
+	s := c.server
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, err := c.lookupWin(parent, "CreateWindow")
+	if err != nil {
+		return xproto.None, err
+	}
+	if r.Width <= 0 || r.Height <= 0 {
+		return xproto.None, c.note(&xproto.XError{
+			Code: xproto.BadValue, Major: "CreateWindow",
+			Detail: fmt.Sprintf("zero-sized window %v", r),
+		})
+	}
+	id := s.allocID()
+	s1, s2 := s.lockStripes2(p.id, id)
+	w := c.buildWindow(id, p, r, borderWidth, attrs)
+	s.unlockStripes2(s1, s2)
+	return w.id, nil
+}
+
+func (c *Conn) gatedCreateWindow(parent xproto.XID, r xproto.Rect, borderWidth int, attrs WindowAttributes) (xproto.XID, error) {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -126,11 +154,11 @@ func (c *Conn) CreateWindow(parent xproto.XID, r xproto.Rect, borderWidth int, a
 }
 
 // createWindowLocked creates the window under an already-held exclusive
-// lock. id may be a pre-allocated XID (batch path) or None to allocate
-// one here.
+// lock (batch and gated paths). id may be a pre-allocated XID (batch)
+// or None to allocate one here.
 func (c *Conn) createWindowLocked(id, parent xproto.XID, r xproto.Rect, borderWidth int, attrs WindowAttributes) (xproto.XID, error) {
 	s := c.server
-	p, err := c.lookupLocked(parent, "CreateWindow")
+	p, err := c.lookupWin(parent, "CreateWindow")
 	if err != nil {
 		return xproto.None, err
 	}
@@ -143,31 +171,43 @@ func (c *Conn) createWindowLocked(id, parent xproto.XID, r xproto.Rect, borderWi
 	if id == xproto.None {
 		id = s.allocID()
 	}
-	// props and masks stay nil until first use: windows are created in
-	// bulk on the manage fast path and most decoration internals never
-	// receive a property or select events.
+	w := c.buildWindow(id, p, r, borderWidth, attrs)
+	return w.id, nil
+}
+
+// buildWindow constructs, attaches and publishes a window. Caller must
+// hold the stripes of parent and id, or the server lock exclusively.
+func (c *Conn) buildWindow(id xproto.XID, p *window, r xproto.Rect, borderWidth int, attrs WindowAttributes) *window {
+	s := c.server
 	w := &window{
-		id:          id,
-		rect:        r,
-		borderWidth: borderWidth,
-		class:       attrs.Class,
-		override:    attrs.OverrideRedirect,
-		owner:       c,
-		fill:        attrs.Fill,
-		label:       attrs.Label,
+		id:       id,
+		class:    attrs.Class,
+		override: attrs.OverrideRedirect,
+		owner:    c,
+	}
+	w.setRect(r)
+	w.borderW.Store(int32(borderWidth))
+	w.screenIdx.Store(p.screenIdx.Load())
+	if attrs.Fill != 0 {
+		w.fill.Store(uint32(attrs.Fill))
+	}
+	if attrs.Label != "" {
+		w.label.Store(&attrs.Label)
 	}
 	if attrs.EventMask != 0 {
-		w.masks = map[*Conn]xproto.EventMask{c: attrs.EventMask}
+		w.setMask(c, attrs.EventMask)
 	}
-	w.attachLocked(p)
-	s.windows[w.id] = w
-	s.deliverLocked(p, xproto.SubstructureNotifyMask, xproto.Event{
-		Type: xproto.CreateNotify, Window: p.id, Subwindow: w.id, Parent: p.id,
-		GX: r.X, GY: r.Y, Width: r.Width, Height: r.Height,
-		BorderWidth: borderWidth, OverrideRedirect: w.override,
-		Time: s.tickLocked(),
-	})
-	return w.id, nil
+	w.attach(p)
+	s.indexPut(w)
+	if anySelects(p.masks.Load(), xproto.SubstructureNotifyMask) {
+		s.deliver(p, xproto.SubstructureNotifyMask, xproto.Event{
+			Type: xproto.CreateNotify, Window: p.id, Subwindow: w.id, Parent: p.id,
+			GX: r.X, GY: r.Y, Width: r.Width, Height: r.Height,
+			BorderWidth: borderWidth, OverrideRedirect: w.override,
+			Time: s.tick(),
+		})
+	}
+	return w
 }
 
 // DestroyWindow destroys the window and all its descendants.
@@ -182,7 +222,7 @@ func (c *Conn) DestroyWindow(id xproto.XID) error {
 }
 
 func (c *Conn) destroyWindowLocked(id xproto.XID) error {
-	w, err := c.lookupLocked(id, "DestroyWindow")
+	w, err := c.lookupWin(id, "DestroyWindow")
 	if err != nil {
 		return err
 	}
@@ -193,33 +233,49 @@ func (c *Conn) destroyWindowLocked(id xproto.XID) error {
 	return nil
 }
 
+// destroyLocked tears down w and its subtree. Caller must hold the
+// server lock exclusively — destruction is the one mutation every
+// lock-free reader relies on being globally serialized.
 func (s *Server) destroyLocked(w *window) {
-	// Destroy children first (depth-first), as in X.
-	for len(w.children) > 0 {
-		s.destroyLocked(w.children[len(w.children)-1])
+	s.destroyTreeLocked(w, true)
+}
+
+// destroyTreeLocked destroys w depth-first. Children skip the detach
+// from their dying parent — its child list is dropped whole instead of
+// being cloned down one element at a time.
+func (s *Server) destroyTreeLocked(w *window, detachSelf bool) {
+	// Destroy children first (topmost first, depth-first), as in X.
+	ks := w.kids()
+	for i := len(ks) - 1; i >= 0; i-- {
+		s.destroyTreeLocked(ks[i], false)
 	}
-	if w.mapped {
-		s.unmapLocked(w, false)
+	if ks != nil {
+		w.kidGeo.Store(nil)
 	}
-	parent := w.parent
-	w.detachLocked()
-	w.destroyed = true
-	delete(s.windows, w.id)
+	if w.mapped.Load() {
+		s.unmapNow(w, false)
+	}
+	parent := w.parent.Load()
+	if detachSelf {
+		w.detach()
+	}
+	w.destroyed.Store(true)
+	s.indexDel(w)
 	ev := xproto.Event{
 		Type: xproto.DestroyNotify, Window: w.id, Subwindow: w.id,
-		Time: s.tickLocked(),
+		Time: s.tick(),
 	}
-	s.deliverLocked(w, xproto.StructureNotifyMask, ev)
+	s.deliver(w, xproto.StructureNotifyMask, ev)
 	if parent != nil {
 		pev := ev
 		pev.Window = parent.id
-		s.deliverLocked(parent, xproto.SubstructureNotifyMask, pev)
+		s.deliver(parent, xproto.SubstructureNotifyMask, pev)
 	}
 	for _, conn := range s.conns {
 		delete(conn.saveSet, w.id)
 	}
-	if s.focus == w.id {
-		s.focus = xproto.PointerRoot
+	if xproto.XID(s.focus.Load()) == w.id {
+		s.focus.Store(uint32(xproto.PointerRoot))
 	}
 }
 
@@ -227,6 +283,24 @@ func (s *Server) destroyLocked(w *window) {
 // SubstructureRedirect on the parent and the window is not
 // override-redirect, a MapRequest is sent to that client instead.
 func (c *Conn) MapWindow(id xproto.XID) error {
+	if c.gate("MapWindow", id) {
+		return c.gatedMapWindow(id)
+	}
+	s := c.server
+	s.mu.RLock()
+	w, err := c.lookupWin(id, "MapWindow")
+	if err != nil {
+		s.mu.RUnlock()
+		return err
+	}
+	st := s.lockStripe(w.id)
+	err = c.mapCore(w)
+	s.unlockStripe(st)
+	s.mu.RUnlock()
+	return err
+}
+
+func (c *Conn) gatedMapWindow(id xproto.XID) error {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -236,51 +310,87 @@ func (c *Conn) MapWindow(id xproto.XID) error {
 	return c.mapWindowLocked(id)
 }
 
+// mapWindowLocked is the exclusive-lock variant (batch/gated paths).
 func (c *Conn) mapWindowLocked(id xproto.XID) error {
-	s := c.server
-	w, err := c.lookupLocked(id, "MapWindow")
+	w, err := c.lookupWin(id, "MapWindow")
 	if err != nil {
 		return err
 	}
-	if w.mapped {
+	return c.mapCore(w)
+}
+
+// mapCore maps w. Caller must hold w's stripe or the server lock
+// exclusively.
+func (c *Conn) mapCore(w *window) error {
+	s := c.server
+	if w.mapped.Load() {
 		return nil
 	}
-	if !w.override && w.parent != nil {
-		if redirector := s.redirectorLocked(w.parent); redirector != nil && redirector != c {
-			redirector.enqueueLocked(xproto.Event{
-				Type: xproto.MapRequest, Window: w.parent.id, Subwindow: w.id,
-				Parent: w.parent.id, Time: s.tickLocked(),
-			})
-			return nil
+	if !w.override {
+		if p := w.parent.Load(); p != nil {
+			if redirector := s.redirector(p); redirector != nil && redirector != c {
+				redirector.enqueue(xproto.Event{
+					Type: xproto.MapRequest, Window: p.id, Subwindow: w.id,
+					Parent: p.id, Time: s.tick(),
+				})
+				return nil
+			}
 		}
 	}
-	s.mapLocked(w)
+	s.mapNow(w)
 	return nil
 }
 
-func (s *Server) mapLocked(w *window) {
-	w.mapped = true
-	ev := xproto.Event{
-		Type: xproto.MapNotify, Window: w.id, Subwindow: w.id,
-		OverrideRedirect: w.override, Time: s.tickLocked(),
+// mapNow flips w to mapped and emits the notify/expose events. Caller
+// must hold w's stripe or the server lock exclusively.
+func (s *Server) mapNow(w *window) {
+	w.mapped.Store(true)
+	p := w.parent.Load()
+	wmt := w.masks.Load()
+	if anySelects(wmt, xproto.StructureNotifyMask) || (p != nil && anySelects(p.masks.Load(), xproto.SubstructureNotifyMask)) {
+		ev := xproto.Event{
+			Type: xproto.MapNotify, Window: w.id, Subwindow: w.id,
+			OverrideRedirect: w.override, Time: s.tick(),
+		}
+		s.deliver(w, xproto.StructureNotifyMask, ev)
+		if p != nil {
+			pev := ev
+			pev.Window = p.id
+			s.deliver(p, xproto.SubstructureNotifyMask, pev)
+		}
 	}
-	s.deliverLocked(w, xproto.StructureNotifyMask, ev)
-	if w.parent != nil {
-		pev := ev
-		pev.Window = w.parent.id
-		s.deliverLocked(w.parent, xproto.SubstructureNotifyMask, pev)
-	}
-	if w.viewableLocked() {
-		s.deliverLocked(w, xproto.ExposureMask, xproto.Event{
+	if anySelects(wmt, xproto.ExposureMask) && w.viewable() {
+		ww, wh := w.size()
+		s.deliver(w, xproto.ExposureMask, xproto.Event{
 			Type: xproto.Expose, Window: w.id,
-			Width: w.rect.Width, Height: w.rect.Height, Time: s.tickLocked(),
+			Width: ww, Height: wh, Time: s.tick(),
 		})
 	}
-	s.pointerRecheckLocked(w)
+	s.pointerRecheck(w)
 }
 
 // UnmapWindow unmaps the window.
 func (c *Conn) UnmapWindow(id xproto.XID) error {
+	if c.gate("UnmapWindow", id) {
+		return c.gatedUnmapWindow(id)
+	}
+	s := c.server
+	s.mu.RLock()
+	w, err := c.lookupWin(id, "UnmapWindow")
+	if err != nil {
+		s.mu.RUnlock()
+		return err
+	}
+	st := s.lockStripe(w.id)
+	if w.mapped.Load() {
+		s.unmapNow(w, false)
+	}
+	s.unlockStripe(st)
+	s.mu.RUnlock()
+	return nil
+}
+
+func (c *Conn) gatedUnmapWindow(id xproto.XID) error {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -291,34 +401,42 @@ func (c *Conn) UnmapWindow(id xproto.XID) error {
 }
 
 func (c *Conn) unmapWindowLocked(id xproto.XID) error {
-	w, err := c.lookupLocked(id, "UnmapWindow")
+	w, err := c.lookupWin(id, "UnmapWindow")
 	if err != nil {
 		return err
 	}
-	if !w.mapped {
+	if !w.mapped.Load() {
 		return nil
 	}
-	c.server.unmapLocked(w, false)
+	c.server.unmapNow(w, false)
 	return nil
 }
 
-func (s *Server) unmapLocked(w *window, fromConfigure bool) {
-	w.mapped = false
-	ev := xproto.Event{
-		Type: xproto.UnmapNotify, Window: w.id, Subwindow: w.id,
-		FromConfigure: fromConfigure, Time: s.tickLocked(),
+// unmapNow flips w to unmapped and emits the notify events. Caller must
+// hold w's stripe or the server lock exclusively.
+func (s *Server) unmapNow(w *window, fromConfigure bool) {
+	w.mapped.Store(false)
+	p := w.parent.Load()
+	if anySelects(w.masks.Load(), xproto.StructureNotifyMask) || (p != nil && anySelects(p.masks.Load(), xproto.SubstructureNotifyMask)) {
+		ev := xproto.Event{
+			Type: xproto.UnmapNotify, Window: w.id, Subwindow: w.id,
+			FromConfigure: fromConfigure, Time: s.tick(),
+		}
+		s.deliver(w, xproto.StructureNotifyMask, ev)
+		if p != nil {
+			pev := ev
+			pev.Window = p.id
+			s.deliver(p, xproto.SubstructureNotifyMask, pev)
+		}
 	}
-	s.deliverLocked(w, xproto.StructureNotifyMask, ev)
-	if w.parent != nil {
-		pev := ev
-		pev.Window = w.parent.id
-		s.deliverLocked(w.parent, xproto.SubstructureNotifyMask, pev)
-	}
-	s.pointerRecheckLocked(w)
+	s.pointerRecheck(w)
 }
 
 // ReparentWindow makes the window a child of newParent at (x, y). The
 // window keeps its map state; a ReparentNotify is generated.
+//
+// Reparenting always holds the server lock exclusively: the cycle check
+// and the subtree screen rewrite need a stable tree.
 func (c *Conn) ReparentWindow(id, newParent xproto.XID, x, y int) error {
 	s := c.server
 	s.mu.Lock()
@@ -331,54 +449,106 @@ func (c *Conn) ReparentWindow(id, newParent xproto.XID, x, y int) error {
 
 func (c *Conn) reparentWindowLocked(id, newParent xproto.XID, x, y int) error {
 	s := c.server
-	w, err := c.lookupLocked(id, "ReparentWindow")
+	w, err := c.lookupWin(id, "ReparentWindow")
 	if err != nil {
 		return err
 	}
-	np, err := c.lookupLocked(newParent, "ReparentWindow")
+	np, err := c.lookupWin(newParent, "ReparentWindow")
 	if err != nil {
 		return err
 	}
-	if w == np || w.isAncestorOfLocked(np) {
+	if w == np || w.isAncestorOf(np) {
 		return c.note(&xproto.XError{
 			Code: xproto.BadMatch, Major: "ReparentWindow", Resource: id,
 			Detail: "reparent would create a cycle",
 		})
 	}
-	wasMapped := w.mapped
+	wasMapped := w.mapped.Load()
 	if wasMapped {
-		s.unmapLocked(w, false)
+		s.unmapNow(w, false)
 	}
-	oldParent := w.parent
-	w.detachLocked()
-	w.rect.X, w.rect.Y = x, y
-	w.attachLocked(np)
+	oldParent := w.parent.Load()
+	w.detach()
+	w.geomXY.Store(packIntPair(x, y))
+	w.attach(np)
+	if sc := np.screenIdx.Load(); sc != w.screenIdx.Load() {
+		setScreenIdx(w, sc)
+	}
 	ev := xproto.Event{
 		Type: xproto.ReparentNotify, Window: w.id, Subwindow: w.id,
 		Parent: np.id, GX: x, GY: y, OverrideRedirect: w.override,
-		Time: s.tickLocked(),
+		Time: s.tick(),
 	}
-	s.deliverLocked(w, xproto.StructureNotifyMask, ev)
+	s.deliver(w, xproto.StructureNotifyMask, ev)
 	if oldParent != nil {
 		oev := ev
 		oev.Window = oldParent.id
-		s.deliverLocked(oldParent, xproto.SubstructureNotifyMask, oev)
+		s.deliver(oldParent, xproto.SubstructureNotifyMask, oev)
 	}
 	nev := ev
 	nev.Window = np.id
-	s.deliverLocked(np, xproto.SubstructureNotifyMask, nev)
+	s.deliver(np, xproto.SubstructureNotifyMask, nev)
 	if wasMapped {
 		// Remapping after reparent bypasses redirection, as the X server
 		// does for the re-map performed as part of ReparentWindow.
-		s.mapLocked(w)
+		s.mapNow(w)
 	}
 	return nil
+}
+
+// setScreenIdx rewrites the cached screen index for a whole subtree.
+// Caller must hold the server lock exclusively.
+func setScreenIdx(w *window, sc int32) {
+	w.screenIdx.Store(sc)
+	for _, ch := range w.kids() {
+		setScreenIdx(ch, sc)
+	}
 }
 
 // ConfigureWindow changes window geometry and/or stacking. If another
 // client holds SubstructureRedirect on the parent, the request is
 // redirected as a ConfigureRequest.
+//
+// Geometry-only configures are lock-free (atomic field stores);
+// restacks hold the server lock shared plus the stripes of the window
+// and its parent.
 func (c *Conn) ConfigureWindow(id xproto.XID, ch xproto.WindowChanges) error {
+	if c.gate("ConfigureWindow", id) {
+		return c.gatedConfigureWindow(id, ch)
+	}
+	s := c.server
+	if ch.Mask&(xproto.CWStackMode|xproto.CWSibling) == 0 {
+		w, err := c.lookupWin(id, "ConfigureWindow")
+		if err != nil {
+			return err
+		}
+		if c.configRedirected(w, ch) {
+			return nil
+		}
+		return c.note(s.configure(w, ch))
+	}
+	s.mu.RLock()
+	w, err := c.lookupWin(id, "ConfigureWindow")
+	if err != nil {
+		s.mu.RUnlock()
+		return err
+	}
+	if c.configRedirected(w, ch) {
+		s.mu.RUnlock()
+		return nil
+	}
+	pid := w.id
+	if p := w.parent.Load(); p != nil {
+		pid = p.id
+	}
+	s1, s2 := s.lockStripes2(w.id, pid)
+	err = c.note(s.configure(w, ch))
+	s.unlockStripes2(s1, s2)
+	s.mu.RUnlock()
+	return err
+}
+
+func (c *Conn) gatedConfigureWindow(id xproto.XID, ch xproto.WindowChanges) error {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -388,78 +558,116 @@ func (c *Conn) ConfigureWindow(id xproto.XID, ch xproto.WindowChanges) error {
 	return c.configureWindowLocked(id, ch)
 }
 
+// configureWindowLocked is the exclusive-lock variant (batch/gated).
 func (c *Conn) configureWindowLocked(id xproto.XID, ch xproto.WindowChanges) error {
-	s := c.server
-	w, err := c.lookupLocked(id, "ConfigureWindow")
+	w, err := c.lookupWin(id, "ConfigureWindow")
 	if err != nil {
 		return err
 	}
-	if !w.override && w.parent != nil {
-		if redirector := s.redirectorLocked(w.parent); redirector != nil && redirector != c {
-			redirector.enqueueLocked(xproto.Event{
-				Type: xproto.ConfigureRequest, Window: w.parent.id, Subwindow: w.id,
-				Parent: w.parent.id, ValueMask: ch.Mask,
-				GX: ch.X, GY: ch.Y, Width: ch.Width, Height: ch.Height,
-				BorderWidth: ch.BorderWidth, Sibling: ch.Sibling,
-				StackMode: ch.StackMode, Time: s.tickLocked(),
-			})
-			return nil
-		}
+	if c.configRedirected(w, ch) {
+		return nil
 	}
-	return c.note(s.configureLocked(w, ch))
+	return c.note(c.server.configure(w, ch))
 }
 
-func (s *Server) configureLocked(w *window, ch xproto.WindowChanges) error {
-	if ch.Mask&xproto.CWX != 0 {
-		w.rect.X = ch.X
+// configRedirected forwards the configure as a ConfigureRequest when
+// another client holds SubstructureRedirect on the parent, reporting
+// whether it did.
+func (c *Conn) configRedirected(w *window, ch xproto.WindowChanges) bool {
+	s := c.server
+	if w.override {
+		return false
 	}
-	if ch.Mask&xproto.CWY != 0 {
-		w.rect.Y = ch.Y
+	p := w.parent.Load()
+	if p == nil {
+		return false
 	}
-	if ch.Mask&xproto.CWWidth != 0 {
-		if ch.Width <= 0 {
-			return &xproto.XError{
-				Code: xproto.BadValue, Major: "ConfigureWindow", Resource: w.id,
-				Detail: fmt.Sprintf("width %d", ch.Width),
-			}
+	redirector := s.redirector(p)
+	if redirector == nil || redirector == c {
+		return false
+	}
+	redirector.enqueue(xproto.Event{
+		Type: xproto.ConfigureRequest, Window: p.id, Subwindow: w.id,
+		Parent: p.id, ValueMask: ch.Mask,
+		GX: ch.X, GY: ch.Y, Width: ch.Width, Height: ch.Height,
+		BorderWidth: ch.BorderWidth, Sibling: ch.Sibling,
+		StackMode: ch.StackMode, Time: s.tick(),
+	})
+	return true
+}
+
+// configure applies a configure change. Geometry fields are atomic
+// stores (safe from any context); the restack branch requires the
+// stripes of w and its parent or the server lock exclusively — callers
+// route accordingly. Field application order (and mid-request error
+// behavior) matches the X server: earlier fields stick even when a
+// later one fails validation.
+func (s *Server) configure(w *window, ch xproto.WindowChanges) error {
+	if ch.Mask&(xproto.CWX|xproto.CWY) != 0 {
+		switch ch.Mask & (xproto.CWX | xproto.CWY) {
+		case xproto.CWX | xproto.CWY:
+			w.geomXY.Store(packIntPair(ch.X, ch.Y))
+		case xproto.CWX:
+			w.storeX(ch.X)
+		case xproto.CWY:
+			w.storeY(ch.Y)
 		}
-		w.rect.Width = ch.Width
+		w.syncGeoCell()
 	}
-	if ch.Mask&xproto.CWHeight != 0 {
-		if ch.Height <= 0 {
-			return &xproto.XError{
-				Code: xproto.BadValue, Major: "ConfigureWindow", Resource: w.id,
-				Detail: fmt.Sprintf("height %d", ch.Height),
-			}
+	if ch.Mask&xproto.CWWidth != 0 && ch.Width <= 0 {
+		return &xproto.XError{
+			Code: xproto.BadValue, Major: "ConfigureWindow", Resource: w.id,
+			Detail: fmt.Sprintf("width %d", ch.Width),
 		}
-		w.rect.Height = ch.Height
+	}
+	if ch.Mask&xproto.CWHeight != 0 && ch.Height <= 0 {
+		if ch.Mask&xproto.CWWidth != 0 {
+			w.storeW(ch.Width)
+		}
+		return &xproto.XError{
+			Code: xproto.BadValue, Major: "ConfigureWindow", Resource: w.id,
+			Detail: fmt.Sprintf("height %d", ch.Height),
+		}
+	}
+	switch ch.Mask & (xproto.CWWidth | xproto.CWHeight) {
+	case xproto.CWWidth | xproto.CWHeight:
+		w.geomWH.Store(packIntPair(ch.Width, ch.Height))
+	case xproto.CWWidth:
+		w.storeW(ch.Width)
+	case xproto.CWHeight:
+		w.storeH(ch.Height)
 	}
 	if ch.Mask&xproto.CWBorderWidth != 0 {
-		w.borderWidth = ch.BorderWidth
+		w.borderW.Store(int32(ch.BorderWidth))
 	}
 	if ch.Mask&xproto.CWStackMode != 0 {
 		var sibling *window
 		if ch.Mask&xproto.CWSibling != 0 && ch.Sibling != xproto.None {
-			sb, err := s.lookupLocked(ch.Sibling)
+			sb, err := s.lookupErr(ch.Sibling)
 			if err != nil {
 				return err
 			}
 			sibling = sb
 		}
-		w.restackLocked(ch.StackMode, sibling)
+		w.restack(ch.StackMode, sibling)
 	}
-	ev := xproto.Event{
-		Type: xproto.ConfigureNotify, Window: w.id, Subwindow: w.id,
-		GX: w.rect.X, GY: w.rect.Y, Width: w.rect.Width, Height: w.rect.Height,
-		BorderWidth: w.borderWidth, Time: s.tickLocked(),
+	p := w.parent.Load()
+	if anySelects(w.masks.Load(), xproto.StructureNotifyMask) || (p != nil && anySelects(p.masks.Load(), xproto.SubstructureNotifyMask)) {
+		x, y := w.pos()
+		ww, wh := w.size()
+		ev := xproto.Event{
+			Type: xproto.ConfigureNotify, Window: w.id, Subwindow: w.id,
+			GX: x, GY: y, Width: ww, Height: wh,
+			BorderWidth: int(w.borderW.Load()), Time: s.tick(),
+		}
+		s.deliver(w, xproto.StructureNotifyMask, ev)
+		if p != nil {
+			pev := ev
+			pev.Window = p.id
+			s.deliver(p, xproto.SubstructureNotifyMask, pev)
+		}
 	}
-	s.deliverLocked(w, xproto.StructureNotifyMask, ev)
-	if w.parent != nil {
-		pev := ev
-		pev.Window = w.parent.id
-		s.deliverLocked(w.parent, xproto.SubstructureNotifyMask, pev)
-	}
-	s.pointerRecheckLocked(w)
+	s.pointerRecheck(w)
 	return nil
 }
 
@@ -500,23 +708,38 @@ type Geometry struct {
 	BorderWidth int
 }
 
-// GetGeometry returns the window's parent-relative geometry.
-func (c *Conn) GetGeometry(id xproto.XID) (Geometry, error) {
-	s := c.server
-	ex := c.readLock()
-	defer c.readUnlock(ex)
-	if err := c.faultLocked("GetGeometry", id); err != nil {
-		return Geometry{}, err
+func (s *Server) geometryOf(w *window) Geometry {
+	return Geometry{
+		Root:        s.screens[w.screen()].Root,
+		Rect:        w.rect(),
+		BorderWidth: int(w.borderW.Load()),
 	}
-	w, err := c.lookupLocked(id, "GetGeometry")
+}
+
+// GetGeometry returns the window's parent-relative geometry. Lock-free.
+func (c *Conn) GetGeometry(id xproto.XID) (Geometry, error) {
+	if c.gate("GetGeometry", id) {
+		return c.gatedGetGeometry(id)
+	}
+	w, err := c.lookupWin(id, "GetGeometry")
 	if err != nil {
 		return Geometry{}, err
 	}
-	return Geometry{
-		Root:        s.screens[w.screenLocked()].Root,
-		Rect:        w.rect,
-		BorderWidth: w.borderWidth,
-	}, nil
+	return c.server.geometryOf(w), nil
+}
+
+func (c *Conn) gatedGetGeometry(id xproto.XID) (Geometry, error) {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := c.faultLocked("GetGeometry", id); err != nil {
+		return Geometry{}, err
+	}
+	w, err := c.lookupWin(id, "GetGeometry")
+	if err != nil {
+		return Geometry{}, err
+	}
+	return s.geometryOf(w), nil
 }
 
 // Attributes reports a window's attributes (GetWindowAttributes).
@@ -528,93 +751,205 @@ type Attributes struct {
 	AllEventMasks    xproto.EventMask
 }
 
-// GetWindowAttributes returns the window's attributes.
-func (c *Conn) GetWindowAttributes(id xproto.XID) (Attributes, error) {
-	ex := c.readLock()
-	defer c.readUnlock(ex)
-	if err := c.faultLocked("GetWindowAttributes", id); err != nil {
-		return Attributes{}, err
-	}
-	w, err := c.lookupLocked(id, "GetWindowAttributes")
-	if err != nil {
-		return Attributes{}, err
-	}
+func (c *Conn) attributesOf(w *window) Attributes {
 	a := Attributes{
 		Class:            w.class,
 		OverrideRedirect: w.override,
-		YourEventMask:    w.masks[c],
 	}
-	for _, m := range w.masks {
-		a.AllEventMasks |= m
+	if mt := w.masks.Load(); mt != nil {
+		for _, ms := range mt.sel {
+			if ms.conn == c {
+				a.YourEventMask = ms.mask
+			}
+			a.AllEventMasks |= ms.mask
+		}
 	}
 	switch {
-	case !w.mapped:
+	case !w.mapped.Load():
 		a.MapState = xproto.IsUnmapped
-	case w.viewableLocked():
+	case w.viewable():
 		a.MapState = xproto.IsViewable
 	default:
 		a.MapState = xproto.IsUnviewable
 	}
-	return a, nil
+	return a
+}
+
+// GetWindowAttributes returns the window's attributes. Lock-free.
+func (c *Conn) GetWindowAttributes(id xproto.XID) (Attributes, error) {
+	if c.gate("GetWindowAttributes", id) {
+		return c.gatedGetWindowAttributes(id)
+	}
+	w, err := c.lookupWin(id, "GetWindowAttributes")
+	if err != nil {
+		return Attributes{}, err
+	}
+	return c.attributesOf(w), nil
+}
+
+func (c *Conn) gatedGetWindowAttributes(id xproto.XID) (Attributes, error) {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := c.faultLocked("GetWindowAttributes", id); err != nil {
+		return Attributes{}, err
+	}
+	w, err := c.lookupWin(id, "GetWindowAttributes")
+	if err != nil {
+		return Attributes{}, err
+	}
+	return c.attributesOf(w), nil
 }
 
 // QueryTree returns the root, parent and children (bottom-to-top) of the
-// window.
+// window. Lock-free: the children snapshot is the momentary stacking
+// order.
 func (c *Conn) QueryTree(id xproto.XID) (root, parent xproto.XID, children []xproto.XID, err error) {
-	s := c.server
-	ex := c.readLock()
-	defer c.readUnlock(ex)
-	if err := c.faultLocked("QueryTree", id); err != nil {
-		return 0, 0, nil, err
+	if c.gate("QueryTree", id) {
+		return c.gatedQueryTree(id)
 	}
-	w, err := c.lookupLocked(id, "QueryTree")
+	w, err := c.lookupWin(id, "QueryTree")
 	if err != nil {
 		return 0, 0, nil, err
 	}
-	root = s.screens[w.screenLocked()].Root
-	if w.parent != nil {
-		parent = w.parent.id
+	root, parent, children = c.server.treeOf(w)
+	return root, parent, children, nil
+}
+
+func (c *Conn) gatedQueryTree(id xproto.XID) (root, parent xproto.XID, children []xproto.XID, err error) {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := c.faultLocked("QueryTree", id); err != nil {
+		return 0, 0, nil, err
 	}
-	children = make([]xproto.XID, len(w.children))
-	for i, ch := range w.children {
+	w, err := c.lookupWin(id, "QueryTree")
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	root, parent, children = s.treeOf(w)
+	return root, parent, children, nil
+}
+
+func (s *Server) treeOf(w *window) (root, parent xproto.XID, children []xproto.XID) {
+	root = s.screens[w.screen()].Root
+	if p := w.parent.Load(); p != nil {
+		parent = p.id
+	}
+	ks := w.kids()
+	children = make([]xproto.XID, len(ks))
+	for i, ch := range ks {
 		children[i] = ch.id
 	}
-	return root, parent, children, nil
+	return root, parent, children
 }
 
 // TranslateCoordinates converts (x, y) in src's coordinate space to
 // dst's, returning also the child of dst containing the point (or None).
+// Lock-free.
 func (c *Conn) TranslateCoordinates(src, dst xproto.XID, x, y int) (dx, dy int, child xproto.XID, err error) {
-	ex := c.readLock()
-	defer c.readUnlock(ex)
+	if c.gate("TranslateCoordinates", src) {
+		return c.gatedTranslateCoordinates(src, dst, x, y)
+	}
+	sw, err := c.lookupWin(src, "TranslateCoordinates")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	dw, err := c.lookupWin(dst, "TranslateCoordinates")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	dx, dy, child = translate(sw, dw, x, y)
+	return dx, dy, child, nil
+}
+
+func (c *Conn) gatedTranslateCoordinates(src, dst xproto.XID, x, y int) (dx, dy int, child xproto.XID, err error) {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := c.faultLocked("TranslateCoordinates", src); err != nil {
 		return 0, 0, 0, err
 	}
-	sw, err := c.lookupLocked(src, "TranslateCoordinates")
+	sw, err := c.lookupWin(src, "TranslateCoordinates")
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	dw, err := c.lookupLocked(dst, "TranslateCoordinates")
+	dw, err := c.lookupWin(dst, "TranslateCoordinates")
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	sx, sy := sw.rootCoordsLocked()
-	dxr, dyr := dw.rootCoordsLocked()
+	dx, dy, child = translate(sw, dw, x, y)
+	return dx, dy, child, nil
+}
+
+func translate(sw, dw *window, x, y int) (dx, dy int, child xproto.XID) {
+	sx, sy := sw.rootCoords()
+	dxr, dyr := dw.rootCoords()
 	rx, ry := sx+x, sy+y
 	dx, dy = rx-dxr, ry-dyr
-	for i := len(dw.children) - 1; i >= 0; i-- {
-		ch := dw.children[i]
-		if ch.mapped && ch.containsPointLocked(rx, ry) {
-			child = ch.id
-			break
-		}
+	// The child scan works in dst-relative coordinates against the
+	// parent's dense geometry snapshot: each reject is one sequential
+	// 8-byte load from the snapshot's position array — no pointer chase
+	// into the child, no rootCoords ancestor walk. When dst is a root
+	// or a virtual desktop the scan visits every sibling toplevel, so
+	// the per-child cost is the whole request's cost.
+	snap := dw.kidGeo.Load()
+	if snap == nil {
+		return dx, dy, child
 	}
-	return dx, dy, child, nil
+	for i := int(snap.n.Load()) - 1; i >= 0; i-- {
+		// Fast reject on the mirrored packed position alone: the border
+		// only grows the left/top inset, so dx < cx rules the child out
+		// before the window itself is ever touched.
+		cx, cy := unpackIntPair(snap.xy[i].Load())
+		if dx < cx || dy < cy {
+			continue
+		}
+		ch := snap.wins[i]
+		// Candidate: redo the test against the window's own geometry
+		// (the snapshot cell is the authority only for rejects).
+		cx, cy = ch.pos()
+		bw := int(ch.borderW.Load())
+		lx, ly := dx-cx-bw, dy-cy-bw
+		if lx < 0 || ly < 0 {
+			continue
+		}
+		cw, chh := ch.size()
+		if lx >= cw || ly >= chh || !ch.mapped.Load() {
+			continue
+		}
+		if ch.shaped.Load() {
+			if !ch.containsPoint(rx, ry) {
+				continue
+			}
+		}
+		child = ch.id
+		break
+	}
+	return dx, dy, child
 }
 
 // SelectInput sets this connection's event mask on the window. Only one
 // client at a time may select SubstructureRedirect on a given window.
 func (c *Conn) SelectInput(id xproto.XID, mask xproto.EventMask) error {
+	if c.gate("SelectInput", id) {
+		return c.gatedSelectInput(id, mask)
+	}
+	s := c.server
+	s.mu.RLock()
+	w, err := c.lookupWin(id, "SelectInput")
+	if err != nil {
+		s.mu.RUnlock()
+		return err
+	}
+	st := s.lockStripe(w.id)
+	err = c.selectCore(w, mask)
+	s.unlockStripe(st)
+	s.mu.RUnlock()
+	return err
+}
+
+func (c *Conn) gatedSelectInput(id xproto.XID, mask xproto.EventMask) error {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -625,52 +960,61 @@ func (c *Conn) SelectInput(id xproto.XID, mask xproto.EventMask) error {
 }
 
 func (c *Conn) selectInputLocked(id xproto.XID, mask xproto.EventMask) error {
-	w, err := c.lookupLocked(id, "SelectInput")
+	w, err := c.lookupWin(id, "SelectInput")
 	if err != nil {
 		return err
 	}
+	return c.selectCore(w, mask)
+}
+
+// selectCore applies the mask change. Caller must hold w's stripe or
+// the server lock exclusively — the one-redirector invariant needs
+// check-and-set atomicity per window.
+func (c *Conn) selectCore(w *window, mask xproto.EventMask) error {
 	if mask&xproto.SubstructureRedirectMask != 0 {
-		for conn, m := range w.masks {
-			if conn != c && m&xproto.SubstructureRedirectMask != 0 {
-				return c.note(&xproto.XError{
-					Code: xproto.BadAccess, Major: "SelectInput", Resource: id,
-					Detail: fmt.Sprintf("SubstructureRedirect already selected on 0x%x", uint32(id)),
-				})
+		if mt := w.masks.Load(); mt != nil {
+			for _, ms := range mt.sel {
+				if ms.conn != c && ms.mask&xproto.SubstructureRedirectMask != 0 {
+					return c.note(&xproto.XError{
+						Code: xproto.BadAccess, Major: "SelectInput", Resource: w.id,
+						Detail: fmt.Sprintf("SubstructureRedirect already selected on 0x%x", uint32(w.id)),
+					})
+				}
 			}
 		}
 	}
-	if mask == 0 {
-		delete(w.masks, c)
-	} else {
-		if w.masks == nil {
-			w.masks = make(map[*Conn]xproto.EventMask, 1)
-		}
-		w.masks[c] = mask
-	}
+	w.setMask(c, mask)
 	return nil
 }
 
 // --- Properties ---------------------------------------------------------
 
 // InternAtom returns the atom for name, interning it if needed.
+// Lock-free on the hit path.
 func (c *Conn) InternAtom(name string) xproto.Atom {
-	s := c.server
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.internAtomLocked(name)
+	return c.server.internAtom(name)
 }
 
-// AtomName returns the name of an atom, or "" if unknown.
+// AtomName returns the name of an atom, or "" if unknown. Lock-free.
 func (c *Conn) AtomName(a xproto.Atom) string {
-	s := c.server
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.atomNames[a]
+	return c.server.atoms.Load().byID[a]
 }
 
 // ChangeProperty replaces, prepends or appends data to a window property
-// and notifies PropertyChangeMask selectors.
+// and notifies PropertyChangeMask selectors. Lock-free: replacement is
+// an atomic publish of an immutable entry, append/prepend a CAS loop.
 func (c *Conn) ChangeProperty(id xproto.XID, prop, typ xproto.Atom, format int, mode xproto.PropMode, data []byte) error {
+	if c.gate("ChangeProperty", id) {
+		return c.gatedChangeProperty(id, prop, typ, format, mode, data)
+	}
+	w, err := c.lookupWin(id, "ChangeProperty")
+	if err != nil {
+		return err
+	}
+	return c.changeProp(w, prop, typ, format, mode, data)
+}
+
+func (c *Conn) gatedChangeProperty(id xproto.XID, prop, typ xproto.Atom, format int, mode xproto.PropMode, data []byte) error {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -680,68 +1024,138 @@ func (c *Conn) ChangeProperty(id xproto.XID, prop, typ xproto.Atom, format int, 
 	return c.changePropertyLocked(id, prop, typ, format, mode, data)
 }
 
+// changePropertyLocked is the exclusive-lock variant (batch/gated).
 func (c *Conn) changePropertyLocked(id xproto.XID, prop, typ xproto.Atom, format int, mode xproto.PropMode, data []byte) error {
-	s := c.server
-	w, err := c.lookupLocked(id, "ChangeProperty")
+	w, err := c.lookupWin(id, "ChangeProperty")
 	if err != nil {
 		return err
 	}
+	return c.changeProp(w, prop, typ, format, mode, data)
+}
+
+// changeProp applies the property change. Safe from any context.
+func (c *Conn) changeProp(w *window, prop, typ xproto.Atom, format int, mode xproto.PropMode, data []byte) error {
+	s := c.server
 	if format != 8 && format != 16 && format != 32 {
 		return c.note(&xproto.XError{
-			Code: xproto.BadValue, Major: "ChangeProperty", Resource: id,
+			Code: xproto.BadValue, Major: "ChangeProperty", Resource: w.id,
 			Detail: fmt.Sprintf("property format %d", format),
 		})
 	}
-	old, exists := w.props[prop]
-	next := Property{Type: typ, Format: format}
+	ref := w.propRefCreate(prop)
 	switch mode {
 	case xproto.PropModeReplace:
-		next.Data = append([]byte(nil), data...)
-	case xproto.PropModeAppend:
-		if exists && (old.Type != typ || old.Format != format) {
-			return c.note(&xproto.XError{
-				Code: xproto.BadMatch, Major: "ChangeProperty", Resource: id,
-				Detail: "append with mismatched type/format",
-			})
+		// The hot path: an existing inline entry is rewritten in place
+		// under its seqlock, costing zero allocations. A fresh entry is
+		// published only for the first write, spilled values, or when
+		// the in-place attempt loses a race — and then by CAS, so a
+		// racing writer's published value is never silently clobbered.
+		for {
+			old := ref.Load()
+			if old != nil && replaceInPlace(ref, old, typ, format, data) {
+				break
+			}
+			if ref.CompareAndSwap(old, newPropEntry(typ, format, data)) {
+				break
+			}
+			runtime.Gosched()
 		}
-		next.Data = append(append([]byte(nil), old.Data...), data...)
-	case xproto.PropModePrepend:
-		if exists && (old.Type != typ || old.Format != format) {
-			return c.note(&xproto.XError{
-				Code: xproto.BadMatch, Major: "ChangeProperty", Resource: id,
-				Detail: "prepend with mismatched type/format",
-			})
+	default:
+		// Append/Prepend: combine with the current value. The old
+		// entry's seqlock is held across the read-combine-publish so an
+		// in-place replacer cannot rewrite it mid-combine, the ref
+		// re-check under the latch keeps a superseded entry from being
+		// combined with, and the CAS publish keeps racing writers
+		// linearizable (the loser retries against the winner's entry).
+		for {
+			old := ref.Load()
+			if old == nil {
+				// First write: publish directly, then fall through to
+				// the PropertyNotify delivery below like every other
+				// successful mode.
+				if ref.CompareAndSwap(nil, newPropEntry(typ, format, data)) {
+					break
+				}
+				continue
+			}
+			s, ok := old.latch()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			if ref.Load() != old {
+				old.seq.Store(s)
+				continue
+			}
+			otyp, oformat, prev := old.valueLatched()
+			if otyp != typ || oformat != format {
+				old.seq.Store(s)
+				return c.note(&xproto.XError{
+					Code: xproto.BadMatch, Major: "ChangeProperty", Resource: w.id,
+					Detail: modeDetail(mode),
+				})
+			}
+			combined := make([]byte, 0, len(prev)+len(data))
+			if mode == xproto.PropModeAppend {
+				combined = append(append(combined, prev...), data...)
+			} else {
+				combined = append(append(combined, data...), prev...)
+			}
+			done := ref.CompareAndSwap(old, newPropEntry(typ, format, combined))
+			old.seq.Store(s)
+			if done {
+				break
+			}
 		}
-		next.Data = append(append([]byte(nil), data...), old.Data...)
 	}
-	if w.props == nil {
-		w.props = make(map[xproto.Atom]Property, 4)
+	if anySelects(w.masks.Load(), xproto.PropertyChangeMask) {
+		s.deliver(w, xproto.PropertyChangeMask, xproto.Event{
+			Type: xproto.PropertyNotify, Window: w.id, Atom: prop,
+			PropertyState: xproto.PropertyNewValue, Time: s.tick(),
+		})
 	}
-	w.props[prop] = next
-	s.deliverLocked(w, xproto.PropertyChangeMask, xproto.Event{
-		Type: xproto.PropertyNotify, Window: w.id, Atom: prop,
-		PropertyState: xproto.PropertyNewValue, Time: s.tickLocked(),
-	})
 	return nil
 }
 
-// GetProperty returns a property's value. ok is false if the property is
-// not set.
-func (c *Conn) GetProperty(id xproto.XID, prop xproto.Atom) (Property, bool, error) {
-	ex := c.readLock()
-	defer c.readUnlock(ex)
-	if err := c.faultLocked("GetProperty", id); err != nil {
-		return Property{}, false, err
+func modeDetail(mode xproto.PropMode) string {
+	if mode == xproto.PropModeAppend {
+		return "append with mismatched type/format"
 	}
-	w, err := c.lookupLocked(id, "GetProperty")
+	return "prepend with mismatched type/format"
+}
+
+// GetProperty returns a property's value. ok is false if the property is
+// not set. Lock-free; Property.Data is the caller's own copy, taken
+// under the entry's seqlock.
+func (c *Conn) GetProperty(id xproto.XID, prop xproto.Atom) (Property, bool, error) {
+	if c.gate("GetProperty", id) {
+		return c.gatedGetProperty(id, prop)
+	}
+	w, err := c.lookupWin(id, "GetProperty")
 	if err != nil {
 		return Property{}, false, err
 	}
-	p, ok := w.props[prop]
-	if ok {
-		p.Data = append([]byte(nil), p.Data...)
+	if e := w.getProp(prop); e != nil {
+		return e.property(), true, nil
 	}
-	return p, ok, nil
+	return Property{}, false, nil
+}
+
+func (c *Conn) gatedGetProperty(id xproto.XID, prop xproto.Atom) (Property, bool, error) {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := c.faultLocked("GetProperty", id); err != nil {
+		return Property{}, false, err
+	}
+	w, err := c.lookupWin(id, "GetProperty")
+	if err != nil {
+		return Property{}, false, err
+	}
+	if e := w.getProp(prop); e != nil {
+		return e.property(), true, nil
+	}
+	return Property{}, false, nil
 }
 
 // PropResult is one property's outcome in a GetProperties batch. The
@@ -754,47 +1168,81 @@ type PropResult struct {
 	Err  error
 }
 
-// GetProperties reads len(atoms) properties from one window under a
-// single lock acquisition, filling out (whose length must equal
-// len(atoms)). It is the read-side sibling of Batch: the adoption path
-// pulls every ICCCM property it needs in one flush instead of one
-// round-trip each. Each property keeps individual GetProperty
-// semantics — the fault/instrument gate fires once per property and a
-// failure (including a KillTarget fault destroying the window
-// mid-batch) affects only the remaining entries' own lookups, so
-// callers see exactly what N serial calls would have seen.
+// GetProperties reads len(atoms) properties from one window, filling
+// out (whose length must equal len(atoms)). It is the read-side sibling
+// of Batch: the adoption path pulls every ICCCM property it needs in
+// one call instead of one round-trip each. Each property keeps
+// individual GetProperty semantics — the fault/instrument gate fires
+// once per property and a failure (including a KillTarget fault
+// destroying the window mid-batch) affects only the remaining entries'
+// own lookups, so callers see exactly what N serial calls would have
+// seen.
 func (c *Conn) GetProperties(id xproto.XID, atoms []xproto.Atom, out []PropResult) {
 	if len(atoms) != len(out) {
 		panic("xserver: GetProperties atoms/out length mismatch")
 	}
-	ex := c.readLock()
-	defer c.readUnlock(ex)
+	if g := c.gates.Load(); g != nil && g.faults != nil {
+		c.gatedGetProperties(id, atoms, out)
+		return
+	}
+	for i, prop := range atoms {
+		out[i] = PropResult{}
+		if g := c.gates.Load(); g != nil && g.in != nil {
+			g.in.Request("GetProperty", id)
+		}
+		w, err := c.lookupWin(id, "GetProperty")
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		if e := w.getProp(prop); e != nil {
+			out[i].Prop, out[i].OK = e.property(), true
+		}
+	}
+}
+
+func (c *Conn) gatedGetProperties(id xproto.XID, atoms []xproto.Atom, out []PropResult) {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i, prop := range atoms {
 		out[i] = PropResult{}
 		if err := c.faultLocked("GetProperty", id); err != nil {
 			out[i].Err = err
 			continue
 		}
-		w, err := c.lookupLocked(id, "GetProperty")
+		w, err := c.lookupWin(id, "GetProperty")
 		if err != nil {
 			out[i].Err = err
 			continue
 		}
-		p, ok := w.props[prop]
-		if ok {
-			p.Data = append([]byte(nil), p.Data...)
+		if e := w.getProp(prop); e != nil {
+			out[i].Prop, out[i].OK = e.property(), true
 		}
-		out[i].Prop, out[i].OK = p, ok
 	}
 }
 
-// InternAtoms interns len(names) atoms under one lock acquisition,
-// filling out (whose length must equal len(names)).
+// InternAtoms interns len(names) atoms, filling out (whose length must
+// equal len(names)). Hits are lock-free; misses intern in bulk under a
+// single exclusive acquisition.
 func (c *Conn) InternAtoms(names []string, out []xproto.Atom) {
 	if len(names) != len(out) {
 		panic("xserver: InternAtoms names/out length mismatch")
 	}
 	s := c.server
+	at := s.atoms.Load()
+	miss := false
+	for i, n := range names {
+		a, ok := at.byName[n]
+		if !ok {
+			miss = true
+			break
+		}
+		out[i] = a
+	}
+	if !miss {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i, n := range names {
@@ -803,45 +1251,97 @@ func (c *Conn) InternAtoms(names []string, out []xproto.Atom) {
 }
 
 // DeleteProperty removes a property, notifying PropertyChangeMask
-// selectors with state PropertyDeleted.
+// selectors with state PropertyDeleted. Lock-free.
 func (c *Conn) DeleteProperty(id xproto.XID, prop xproto.Atom) error {
+	if c.gate("DeleteProperty", id) {
+		return c.gatedDeleteProperty(id, prop)
+	}
+	w, err := c.lookupWin(id, "DeleteProperty")
+	if err != nil {
+		return err
+	}
+	c.server.deleteProp(w, prop)
+	return nil
+}
+
+func (c *Conn) gatedDeleteProperty(id xproto.XID, prop xproto.Atom) error {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := c.faultLocked("DeleteProperty", id); err != nil {
 		return err
 	}
-	w, err := c.lookupLocked(id, "DeleteProperty")
+	w, err := c.lookupWin(id, "DeleteProperty")
 	if err != nil {
 		return err
 	}
-	if _, ok := w.props[prop]; !ok {
-		return nil
-	}
-	delete(w.props, prop)
-	s.deliverLocked(w, xproto.PropertyChangeMask, xproto.Event{
-		Type: xproto.PropertyNotify, Window: w.id, Atom: prop,
-		PropertyState: xproto.PropertyDeleted, Time: s.tickLocked(),
-	})
+	s.deleteProp(w, prop)
 	return nil
 }
 
-// ListProperties returns the atoms of all properties set on the window.
-func (c *Conn) ListProperties(id xproto.XID) ([]xproto.Atom, error) {
-	ex := c.readLock()
-	defer c.readUnlock(ex)
-	if err := c.faultLocked("ListProperties", id); err != nil {
-		return nil, err
+// deleteProp clears the property if present. Safe from any context; the
+// CAS ensures exactly one of two racing deletes emits the notify.
+func (s *Server) deleteProp(w *window, prop xproto.Atom) {
+	ref := w.propRef(prop)
+	if ref == nil {
+		return
 	}
-	w, err := c.lookupLocked(id, "ListProperties")
+	for {
+		old := ref.Load()
+		if old == nil {
+			return
+		}
+		if ref.CompareAndSwap(old, nil) {
+			break
+		}
+	}
+	if anySelects(w.masks.Load(), xproto.PropertyChangeMask) {
+		s.deliver(w, xproto.PropertyChangeMask, xproto.Event{
+			Type: xproto.PropertyNotify, Window: w.id, Atom: prop,
+			PropertyState: xproto.PropertyDeleted, Time: s.tick(),
+		})
+	}
+}
+
+// ListProperties returns the atoms of all properties set on the window.
+// Lock-free.
+func (c *Conn) ListProperties(id xproto.XID) ([]xproto.Atom, error) {
+	if c.gate("ListProperties", id) {
+		return c.gatedListProperties(id)
+	}
+	w, err := c.lookupWin(id, "ListProperties")
 	if err != nil {
 		return nil, err
 	}
-	out := make([]xproto.Atom, 0, len(w.props))
-	for a := range w.props {
-		out = append(out, a)
+	return listProps(w), nil
+}
+
+func (c *Conn) gatedListProperties(id xproto.XID) ([]xproto.Atom, error) {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := c.faultLocked("ListProperties", id); err != nil {
+		return nil, err
 	}
-	return out, nil
+	w, err := c.lookupWin(id, "ListProperties")
+	if err != nil {
+		return nil, err
+	}
+	return listProps(w), nil
+}
+
+func listProps(w *window) []xproto.Atom {
+	tp := w.props.Load()
+	if tp == nil {
+		return nil
+	}
+	out := make([]xproto.Atom, 0, len(tp.sel))
+	for i := range tp.sel {
+		if tp.sel[i].ref.Load() != nil {
+			out = append(out, tp.sel[i].atom)
+		}
+	}
+	return out
 }
 
 // --- Save-set and connection shutdown -----------------------------------
@@ -861,7 +1361,7 @@ func (c *Conn) ChangeSaveSet(id xproto.XID, insert bool) error {
 }
 
 func (c *Conn) changeSaveSetLocked(id xproto.XID, insert bool) error {
-	if _, err := c.lookupLocked(id, "ChangeSaveSet"); err != nil {
+	if _, err := c.lookupWin(id, "ChangeSaveSet"); err != nil {
 		return err
 	}
 	if insert {
@@ -879,59 +1379,60 @@ func (c *Conn) Close() {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if c.closed {
+	if !c.closed.CompareAndSwap(false, true) {
 		return
 	}
-	c.closed = true
 
 	// Rescue save-set windows first.
 	for id := range c.saveSet {
-		w, ok := s.windows[id]
-		if !ok || w.destroyed {
+		w := s.lookup(id)
+		if w == nil {
 			continue
 		}
-		root := s.rootOfLocked(w)
-		if w.parent != root {
-			rx, ry := w.rootCoordsLocked()
-			wasMapped := w.mapped
+		root := s.rootOf(w)
+		if w.parent.Load() != root {
+			rx, ry := w.rootCoords()
+			wasMapped := w.mapped.Load()
 			if wasMapped {
-				s.unmapLocked(w, false)
+				s.unmapNow(w, false)
 			}
-			w.detachLocked()
-			w.rect.X, w.rect.Y = rx, ry
-			w.attachLocked(root)
-			s.deliverLocked(w, xproto.StructureNotifyMask, xproto.Event{
+			w.detach()
+			w.geomXY.Store(packIntPair(rx, ry))
+			w.attach(root)
+			s.deliver(w, xproto.StructureNotifyMask, xproto.Event{
 				Type: xproto.ReparentNotify, Window: w.id, Subwindow: w.id,
-				Parent: root.id, GX: rx, GY: ry, Time: s.tickLocked(),
+				Parent: root.id, GX: rx, GY: ry, Time: s.tick(),
 			})
-			s.deliverLocked(root, xproto.SubstructureNotifyMask, xproto.Event{
+			s.deliver(root, xproto.SubstructureNotifyMask, xproto.Event{
 				Type: xproto.ReparentNotify, Window: root.id, Subwindow: w.id,
-				Parent: root.id, GX: rx, GY: ry, Time: s.tickLocked(),
+				Parent: root.id, GX: rx, GY: ry, Time: s.tick(),
 			})
-			s.mapLocked(w)
-		} else if !w.mapped {
-			s.mapLocked(w)
+			s.mapNow(w)
+		} else if !w.mapped.Load() {
+			s.mapNow(w)
 		}
 	}
 
-	// Destroy remaining windows owned by this connection (top-level
-	// first to avoid double-destroys via recursion).
+	// Destroy remaining windows owned by this connection (the recursion
+	// marks children destroyed, so the sweep skips them naturally).
 	var owned []*window
-	for _, w := range s.windows {
-		if w.owner == c && !w.destroyed {
+	s.forEachWindow(func(w *window) {
+		if w.owner == c {
 			owned = append(owned, w)
 		}
-	}
+	})
 	for _, w := range owned {
-		if !w.destroyed {
+		if !w.destroyed.Load() {
 			s.destroyLocked(w)
 		}
 	}
 
 	// Drop event selections and grabs.
-	for _, w := range s.windows {
-		delete(w.masks, c)
-	}
+	s.forEachWindow(func(w *window) {
+		if w.maskOf(c) != 0 {
+			w.setMask(c, 0)
+		}
+	})
 	grabs := s.buttonGrabs[:0]
 	for _, g := range s.buttonGrabs {
 		if g.conn != c {
@@ -949,55 +1450,77 @@ func (c *Conn) Close() {
 	if s.activeGrab != nil && s.activeGrab.conn == c {
 		s.activeGrab = nil
 	}
+	s.connMu.Lock()
 	delete(s.conns, c.fd)
-	c.cond.Broadcast()
+	s.connMu.Unlock()
+	c.qMu.Lock()
+	c.qCond.Broadcast()
+	c.qMu.Unlock()
 }
 
-// Closed reports whether the connection has been shut down.
+// Closed reports whether the connection has been shut down. Lock-free.
 func (c *Conn) Closed() bool {
-	c.server.mu.RLock()
-	defer c.server.mu.RUnlock()
-	return c.closed
+	return c.closed.Load()
 }
 
 // --- Rendering hints ------------------------------------------------------
 
 // SetWindowLabel sets the raster label drawn inside the window.
+// Lock-free.
 func (c *Conn) SetWindowLabel(id xproto.XID, label string) error {
+	if c.gate("SetWindowLabel", id) {
+		return c.gatedSetWindowLabel(id, label)
+	}
+	return c.storeWindowLabel(id, label)
+}
+
+func (c *Conn) gatedSetWindowLabel(id xproto.XID, label string) error {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := c.faultLocked("SetWindowLabel", id); err != nil {
 		return err
 	}
-	return c.setWindowLabelLocked(id, label)
+	return c.storeWindowLabel(id, label)
 }
 
-func (c *Conn) setWindowLabelLocked(id xproto.XID, label string) error {
-	w, err := c.lookupLocked(id, "SetWindowLabel")
+func (c *Conn) storeWindowLabel(id xproto.XID, label string) error {
+	w, err := c.lookupWin(id, "SetWindowLabel")
 	if err != nil {
 		return err
 	}
-	w.label = label
+	if label == "" {
+		w.label.Store(nil)
+	} else if w.labelStr() != label {
+		w.label.Store(&label)
+	}
 	return nil
 }
 
 // SetWindowFill sets the raster fill glyph for the window background.
+// Lock-free.
 func (c *Conn) SetWindowFill(id xproto.XID, fill byte) error {
+	if c.gate("SetWindowFill", id) {
+		return c.gatedSetWindowFill(id, fill)
+	}
+	return c.storeWindowFill(id, fill)
+}
+
+func (c *Conn) gatedSetWindowFill(id xproto.XID, fill byte) error {
 	s := c.server
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := c.faultLocked("SetWindowFill", id); err != nil {
 		return err
 	}
-	return c.setWindowFillLocked(id, fill)
+	return c.storeWindowFill(id, fill)
 }
 
-func (c *Conn) setWindowFillLocked(id xproto.XID, fill byte) error {
-	w, err := c.lookupLocked(id, "SetWindowFill")
+func (c *Conn) storeWindowFill(id xproto.XID, fill byte) error {
+	w, err := c.lookupWin(id, "SetWindowFill")
 	if err != nil {
 		return err
 	}
-	w.fill = fill
+	w.fill.Store(uint32(fill))
 	return nil
 }

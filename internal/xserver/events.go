@@ -6,33 +6,48 @@ import (
 	"repro/internal/xproto"
 )
 
-// redirectorLocked returns the connection holding SubstructureRedirect
-// on w, or nil.
-func (s *Server) redirectorLocked(w *window) *Conn {
-	for conn, m := range w.masks {
-		if m&xproto.SubstructureRedirectMask != 0 {
-			return conn
+// redirector returns the connection holding SubstructureRedirect on w,
+// or nil. Lock-free: scans the immutable mask snapshot.
+func (s *Server) redirector(w *window) *Conn {
+	mt := w.masks.Load()
+	if mt == nil {
+		return nil
+	}
+	for _, ms := range mt.sel {
+		if ms.mask&xproto.SubstructureRedirectMask != 0 {
+			return ms.conn
 		}
 	}
 	return nil
 }
 
-// deliverLocked appends ev to the queue of every connection that
-// selected mask on w.
-func (s *Server) deliverLocked(w *window, mask xproto.EventMask, ev xproto.Event) {
-	if len(w.masks) == 0 {
+// deliver appends ev to the queue of every connection that selected
+// mask on w. Safe from any context: the mask table is an immutable
+// snapshot and each queue has its own leaf lock, so delivery needs no
+// server lock and stays FIFO per connection.
+func (s *Server) deliver(w *window, mask xproto.EventMask, ev xproto.Event) {
+	mt := w.masks.Load()
+	if mt == nil {
 		return
 	}
-	ev.Root = s.screens[w.screenLocked()].Root
-	for conn, m := range w.masks {
-		if m&mask != 0 {
-			conn.enqueueLocked(ev)
+	rootSet := false
+	for _, ms := range mt.sel {
+		if ms.mask&mask != 0 {
+			if !rootSet {
+				ev.Root = s.screens[w.screen()].Root
+				rootSet = true
+			}
+			ms.conn.enqueue(ev)
 		}
 	}
 }
 
-func (c *Conn) enqueueLocked(ev xproto.Event) {
-	if c.closed {
+// enqueue appends ev to the connection's event queue. Safe from any
+// context (leaf lock).
+func (c *Conn) enqueue(ev xproto.Event) {
+	c.qMu.Lock()
+	if c.closed.Load() {
+		c.qMu.Unlock()
 		return
 	}
 	if c.qhead > 0 && c.qhead == len(c.queue) {
@@ -41,18 +56,23 @@ func (c *Conn) enqueueLocked(ev xproto.Event) {
 		c.queue = c.queue[:0]
 		c.qhead = 0
 	}
+	if c.queue == nil {
+		// First event: start at a capacity that absorbs a typical
+		// manage sequence in one allocation instead of a growth chain.
+		c.queue = make([]xproto.Event, 0, 16)
+	}
 	c.queue = append(c.queue, ev)
-	c.cond.Broadcast()
+	c.qCond.Broadcast()
+	c.qMu.Unlock()
 }
 
 // WaitEvent blocks until an event is available and returns it. It
 // returns ok=false if the connection is closed.
 func (c *Conn) WaitEvent() (xproto.Event, bool) {
-	s := c.server
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for c.qhead == len(c.queue) && !c.closed {
-		c.cond.Wait()
+	c.qMu.Lock()
+	defer c.qMu.Unlock()
+	for c.qhead == len(c.queue) && !c.closed.Load() {
+		c.qCond.Wait()
 	}
 	if c.qhead == len(c.queue) {
 		return xproto.Event{}, false
@@ -64,9 +84,8 @@ func (c *Conn) WaitEvent() (xproto.Event, bool) {
 
 // PollEvent returns the next queued event without blocking.
 func (c *Conn) PollEvent() (xproto.Event, bool) {
-	s := c.server
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	c.qMu.Lock()
+	defer c.qMu.Unlock()
 	if c.qhead == len(c.queue) {
 		return xproto.Event{}, false
 	}
@@ -77,9 +96,8 @@ func (c *Conn) PollEvent() (xproto.Event, bool) {
 
 // Pending reports the number of queued events.
 func (c *Conn) Pending() int {
-	s := c.server
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	c.qMu.Lock()
+	defer c.qMu.Unlock()
 	return len(c.queue) - c.qhead
 }
 
@@ -94,22 +112,22 @@ func (c *Conn) SendEvent(dst xproto.XID, mask xproto.EventMask, ev xproto.Event)
 	if err := c.faultLocked("SendEvent", dst); err != nil {
 		return err
 	}
-	w, err := c.lookupLocked(dst, "SendEvent")
+	w, err := c.lookupWin(dst, "SendEvent")
 	if err != nil {
 		return err
 	}
 	ev.SendEvent = true
 	ev.Window = dst
 	if ev.Time == 0 {
-		ev.Time = s.tickLocked()
+		ev.Time = s.tick()
 	}
 	if mask == 0 {
 		if w.owner != nil {
-			w.owner.enqueueLocked(ev)
+			w.owner.enqueue(ev)
 		}
 		return nil
 	}
-	s.deliverLocked(w, mask, ev)
+	s.deliver(w, mask, ev)
 	return nil
 }
 
@@ -123,33 +141,30 @@ func (c *Conn) SetInputFocus(id xproto.XID) error {
 		return err
 	}
 	if id != xproto.None && id != xproto.PointerRoot {
-		if _, err := c.lookupLocked(id, "SetInputFocus"); err != nil {
+		if _, err := c.lookupWin(id, "SetInputFocus"); err != nil {
 			return err
 		}
 	}
-	old := s.focus
-	s.focus = id
+	old := xproto.XID(s.focus.Load())
+	s.focus.Store(uint32(id))
 	if old != id {
-		if ow, ok := s.windows[old]; ok && !ow.destroyed {
-			s.deliverLocked(ow, xproto.FocusChangeMask, xproto.Event{
-				Type: xproto.FocusOut, Window: old, Time: s.tickLocked(),
+		if ow := s.lookup(old); ow != nil {
+			s.deliver(ow, xproto.FocusChangeMask, xproto.Event{
+				Type: xproto.FocusOut, Window: old, Time: s.tick(),
 			})
 		}
-		if nw, ok := s.windows[id]; ok && !nw.destroyed {
-			s.deliverLocked(nw, xproto.FocusChangeMask, xproto.Event{
-				Type: xproto.FocusIn, Window: id, Time: s.tickLocked(),
+		if nw := s.lookup(id); nw != nil {
+			s.deliver(nw, xproto.FocusChangeMask, xproto.Event{
+				Type: xproto.FocusIn, Window: id, Time: s.tick(),
 			})
 		}
 	}
 	return nil
 }
 
-// GetInputFocus returns the current focus window.
+// GetInputFocus returns the current focus window. Lock-free.
 func (c *Conn) GetInputFocus() xproto.XID {
-	s := c.server
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.focus
+	return xproto.XID(c.server.focus.Load())
 }
 
 // KillClient closes the connection owning the given resource, as the X
@@ -161,7 +176,7 @@ func (c *Conn) KillClient(id xproto.XID) error {
 		s.mu.Unlock()
 		return err
 	}
-	w, err := c.lookupLocked(id, "KillClient")
+	w, err := c.lookupWin(id, "KillClient")
 	if err != nil {
 		s.mu.Unlock()
 		return err

@@ -49,12 +49,23 @@ type faultState struct {
 
 // SetFaultPolicy installs (or, with nil, removes) a fault policy on
 // this connection. Counters restart from zero each time a policy is
-// installed.
+// installed. While a policy is installed, every request on this
+// connection routes through its exclusive-locked variant so the
+// deterministic schedule observes a serialized request sequence.
 func (c *Conn) SetFaultPolicy(p *FaultPolicy) {
 	c.server.mu.Lock()
 	defer c.server.mu.Unlock()
+	old := c.gates.Load()
+	var in Instrument
+	if old != nil {
+		in = old.in
+	}
 	if p == nil {
-		c.faults = nil
+		if in == nil {
+			c.gates.Store(nil)
+		} else {
+			c.gates.Store(&connGates{in: in})
+		}
 		return
 	}
 	f := &faultState{policy: *p, rng: rand.New(rand.NewSource(p.Seed))}
@@ -64,7 +75,7 @@ func (c *Conn) SetFaultPolicy(p *FaultPolicy) {
 			f.ops[op] = true
 		}
 	}
-	c.faults = f
+	c.gates.Store(&connGates{in: in, faults: f})
 }
 
 // FaultCount reports how many faults have been injected since the
@@ -72,35 +83,44 @@ func (c *Conn) SetFaultPolicy(p *FaultPolicy) {
 func (c *Conn) FaultCount() int {
 	c.server.mu.Lock()
 	defer c.server.mu.Unlock()
-	if c.faults == nil {
+	g := c.gates.Load()
+	if g == nil || g.faults == nil {
 		return 0
 	}
-	return c.faults.fired
+	return g.faults.fired
 }
 
 // SetErrorHandler installs an observer invoked once for every X
 // protocol error this connection's requests return — the analogue of
 // Xlib's XSetErrorHandler, and the hook wm.Stats() error accounting
-// hangs off. The handler runs with the server lock held (shared or
-// exclusive, depending on the failing request) and must not issue
-// requests on any connection.
+// hangs off. The handler runs from whatever context the failing
+// request executed in (possibly with the server lock held) and must
+// not issue requests on any connection.
 func (c *Conn) SetErrorHandler(h func(*xproto.XError)) {
 	c.errMu.Lock()
 	defer c.errMu.Unlock()
 	c.errHandler = h
 }
 
-// faultLocked is called at the top of every error-returning request
-// method (before the target lookup, so faults fire for valid requests
+// faultLocked is called at the top of every exclusive-locked request
+// variant (before the target lookup, so faults fire for valid requests
 // too). It returns the injected error, or nil to proceed normally.
-// Being the one gate every request passes through — batched ops
-// included, via applyBatchLocked — it is also where the connection's
-// instrument observes traffic.
+// It also fires the connection's instrument: lock-free fast paths fire
+// the instrument themselves through gate() and bypass this function
+// entirely when no fault policy is installed, so each request observes
+// the instrument exactly once either way. The fault schedule itself
+// only ever runs under mu held exclusively (installing a policy forces
+// every request on the connection onto its gated variant), so the
+// counters need no further synchronization.
 func (c *Conn) faultLocked(major string, target xproto.XID) error {
-	if in := c.instrument; in != nil {
-		in.Request(major, target)
+	g := c.gates.Load()
+	if g == nil {
+		return nil
 	}
-	f := c.faults
+	if g.in != nil {
+		g.in.Request(major, target)
+	}
+	f := g.faults
 	if f == nil {
 		return nil
 	}
@@ -127,7 +147,7 @@ func (c *Conn) faultLocked(major string, target xproto.XID) error {
 		code = xproto.BadWindow
 	}
 	if f.policy.KillTarget && target != xproto.None {
-		if w, ok := c.server.windows[target]; ok && !w.destroyed && !w.isRoot && w.owner != c {
+		if w := c.server.lookup(target); w != nil && !w.isRoot && w.owner != c {
 			c.server.destroyLocked(w)
 		}
 	}
@@ -140,8 +160,8 @@ func (c *Conn) faultLocked(major string, target xproto.XID) error {
 // note reports err to the connection's error handler (exactly once per
 // error instance, guarded by lastNoted so an error returned through
 // several layers of the same request is not double-counted) and
-// returns it unchanged. It is guarded by the errMu leaf lock so both
-// read-locked and write-locked requests may call it.
+// returns it unchanged. It is guarded by the errMu leaf lock so
+// requests in any locking regime may call it.
 func (c *Conn) note(err error) error {
 	if err == nil {
 		return err

@@ -6,6 +6,14 @@ import (
 	"repro/internal/xproto"
 )
 
+// Input locking: grab tables are written under the server lock held
+// exclusively and read under either mode. Pointer state lives in
+// atomics readable from anywhere; compound pointer updates (motion +
+// crossing recomputation, implicit grab lifecycle) additionally hold
+// inputMu, which sits below the stripes in the lock order — so a
+// lock-free configure can recheck the pointer without touching the
+// server lock at all. Helpers suffixed *Input require inputMu.
+
 // --- Grabs ----------------------------------------------------------------
 
 // GrabButton establishes a passive grab: when the button is pressed with
@@ -20,7 +28,7 @@ func (c *Conn) GrabButton(grabWindow xproto.XID, button int, modifiers uint16, e
 	if err := c.faultLocked("GrabButton", grabWindow); err != nil {
 		return err
 	}
-	if _, err := c.lookupLocked(grabWindow, "GrabButton"); err != nil {
+	if _, err := c.lookupWin(grabWindow, "GrabButton"); err != nil {
 		return err
 	}
 	for _, g := range s.buttonGrabs {
@@ -65,7 +73,7 @@ func (c *Conn) GrabKey(grabWindow xproto.XID, keysym string, modifiers uint16) e
 	if err := c.faultLocked("GrabKey", grabWindow); err != nil {
 		return err
 	}
-	if _, err := c.lookupLocked(grabWindow, "GrabKey"); err != nil {
+	if _, err := c.lookupWin(grabWindow, "GrabKey"); err != nil {
 		return err
 	}
 	s.keyGrabs = append(s.keyGrabs, &keyGrab{
@@ -99,7 +107,7 @@ func (c *Conn) GrabPointer(grabWindow xproto.XID, eventMask xproto.EventMask) er
 	if err := c.faultLocked("GrabPointer", grabWindow); err != nil {
 		return err
 	}
-	if _, err := c.lookupLocked(grabWindow, "GrabPointer"); err != nil {
+	if _, err := c.lookupWin(grabWindow, "GrabPointer"); err != nil {
 		return err
 	}
 	if s.activeGrab != nil && s.activeGrab.conn != c {
@@ -131,19 +139,24 @@ type PointerInfo struct {
 }
 
 // QueryPointer reports the pointer position and the root child under it.
+// Lock-free.
 func (c *Conn) QueryPointer() PointerInfo {
 	s := c.server
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	scr := s.screens[s.pointer.screen]
+	scrIdx := int(s.pointer.screen.Load())
+	scr := s.screens[scrIdx]
+	px, py := unpackIntPair(s.pointer.xy.Load())
 	info := PointerInfo{
-		Screen: s.pointer.screen, Root: scr.Root,
-		RootX: s.pointer.x, RootY: s.pointer.y, State: s.pointer.state,
+		Screen: scrIdx, Root: scr.Root,
+		RootX: px, RootY: py, State: uint16(s.pointer.state.Load()),
 	}
-	root := s.windows[scr.Root]
-	for i := len(root.children) - 1; i >= 0; i-- {
-		ch := root.children[i]
-		if ch.mapped && ch.containsPointLocked(s.pointer.x, s.pointer.y) {
+	root := s.lookup(scr.Root)
+	if root == nil {
+		return info
+	}
+	ks := root.kids()
+	for i := len(ks) - 1; i >= 0; i-- {
+		ch := ks[i]
+		if ch.mapped.Load() && ch.containsPoint(px, py) {
 			info.Child = ch.id
 			break
 		}
@@ -152,16 +165,17 @@ func (c *Conn) QueryPointer() PointerInfo {
 }
 
 // WindowAt returns the deepest viewable window containing the
-// root-relative point on the given screen.
+// root-relative point on the given screen. Lock-free.
 func (c *Conn) WindowAt(screen, rootX, rootY int) xproto.XID {
 	s := c.server
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if screen < 0 || screen >= len(s.screens) {
 		return xproto.None
 	}
-	root := s.windows[s.screens[screen].Root]
-	if hit := root.descendantAtLocked(rootX, rootY); hit != nil {
+	root := s.lookup(s.screens[screen].Root)
+	if root == nil {
+		return xproto.None
+	}
+	if hit := root.descendantAt(rootX, rootY); hit != nil {
 		return hit.id
 	}
 	return xproto.None
@@ -171,71 +185,90 @@ func (c *Conn) WindowAt(screen, rootX, rootY int) xproto.XID {
 // pointer's current screen, generating crossing and motion events.
 func (c *Conn) WarpPointer(rootX, rootY int) {
 	s := c.server
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.motionLocked(rootX, rootY)
+	s.mu.RLock()
+	s.inputMu.Lock()
+	s.motionInput(rootX, rootY)
+	s.inputMu.Unlock()
+	s.mu.RUnlock()
 }
 
 // --- Input injection (test/driver API) --------------------------------------
 //
 // These methods stand in for a human at the physical display; they live
 // on Server rather than Conn because input originates at the device, not
-// at any client.
+// at any client. They hold the server lock shared (keeping grab tables
+// and the tree stable against exclusive writers) plus inputMu.
 
 // FakeMotion moves the pointer to root coordinates, delivering
 // MotionNotify and crossing events.
 func (s *Server) FakeMotion(rootX, rootY int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.motionLocked(rootX, rootY)
+	s.mu.RLock()
+	s.inputMu.Lock()
+	s.motionInput(rootX, rootY)
+	s.inputMu.Unlock()
+	s.mu.RUnlock()
 }
 
 // FakeSetScreen moves the pointer to another screen.
 func (s *Server) FakeSetScreen(screen int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	s.inputMu.Lock()
 	if screen >= 0 && screen < len(s.screens) {
-		s.pointer.screen = screen
-		s.pointer.lastWin = xproto.None
+		s.pointer.screen.Store(int32(screen))
+		s.pointer.lastWin.Store(uint32(xproto.None))
 	}
+	s.inputMu.Unlock()
+	s.mu.RUnlock()
 }
 
 // FakeButtonPress presses a pointer button at the current pointer
 // position, running passive-grab activation and event delivery.
 func (s *Server) FakeButtonPress(button int, modifiers uint16) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.pointer.state |= buttonStateBit(button)
-	s.pointer.state |= modifiers
-	s.buttonEventLocked(xproto.ButtonPress, button, modifiers)
+	s.mu.RLock()
+	s.inputMu.Lock()
+	st := uint16(s.pointer.state.Load())
+	st |= buttonStateBit(button)
+	st |= modifiers
+	s.pointer.state.Store(uint32(st))
+	s.buttonEventInput(xproto.ButtonPress, button, modifiers)
+	s.inputMu.Unlock()
+	s.mu.RUnlock()
 }
 
 // FakeButtonRelease releases a pointer button.
 func (s *Server) FakeButtonRelease(button int, modifiers uint16) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.buttonEventLocked(xproto.ButtonRelease, button, modifiers)
-	s.pointer.state &^= buttonStateBit(button)
-	s.pointer.state &^= modifiers
+	s.mu.RLock()
+	s.inputMu.Lock()
+	s.buttonEventInput(xproto.ButtonRelease, button, modifiers)
+	st := uint16(s.pointer.state.Load())
+	st &^= buttonStateBit(button)
+	st &^= modifiers
+	s.pointer.state.Store(uint32(st))
 	// A button release ends an implicit grab.
-	if s.activeGrab != nil && s.activeGrab.implicit && s.pointer.state&allButtonsMask == 0 {
+	if s.activeGrab != nil && s.activeGrab.implicit && st&allButtonsMask == 0 {
 		s.activeGrab = nil
 	}
+	s.inputMu.Unlock()
+	s.mu.RUnlock()
 }
 
 // FakeKeyPress presses a key described by an X keysym name ("a", "Up",
 // "F1"...), honouring passive key grabs.
 func (s *Server) FakeKeyPress(keysym string, modifiers uint16) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.keyEventLocked(xproto.KeyPress, keysym, modifiers)
+	s.mu.RLock()
+	s.inputMu.Lock()
+	s.keyEventInput(xproto.KeyPress, keysym, modifiers)
+	s.inputMu.Unlock()
+	s.mu.RUnlock()
 }
 
 // FakeKeyRelease releases a key.
 func (s *Server) FakeKeyRelease(keysym string, modifiers uint16) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.keyEventLocked(xproto.KeyRelease, keysym, modifiers)
+	s.mu.RLock()
+	s.inputMu.Lock()
+	s.keyEventInput(xproto.KeyRelease, keysym, modifiers)
+	s.inputMu.Unlock()
+	s.mu.RUnlock()
 }
 
 const allButtonsMask = uint16(xproto.Button1Mask | xproto.Button2Mask |
@@ -257,42 +290,47 @@ func buttonStateBit(button int) uint16 {
 	return 0
 }
 
-// motionLocked updates pointer position and emits crossing + motion
-// events.
-func (s *Server) motionLocked(rootX, rootY int) {
-	s.pointer.x, s.pointer.y = rootX, rootY
-	s.updatePointerWindowLocked()
+func (s *Server) pointerPos() (int, int) {
+	return unpackIntPair(s.pointer.xy.Load())
+}
+
+// motionInput updates pointer position and emits crossing + motion
+// events. Caller holds inputMu.
+func (s *Server) motionInput(rootX, rootY int) {
+	s.pointer.xy.Store(packIntPair(rootX, rootY))
+	s.updatePointerWindowInput()
 	// Motion delivery: to the active grab, else to the deepest window
 	// selecting PointerMotion, walking up.
-	t := s.tickLocked()
+	t := s.tick()
+	state := uint16(s.pointer.state.Load())
+	rootID := s.screens[s.pointer.screen.Load()].Root
 	if g := s.activeGrab; g != nil {
 		if g.eventMask&xproto.PointerMotionMask != 0 {
-			gw, ok := s.windows[g.window]
-			if ok {
-				gx, gy := gw.rootCoordsLocked()
-				g.conn.enqueueLocked(xproto.Event{
+			if gw := s.lookup(g.window); gw != nil {
+				gx, gy := gw.rootCoords()
+				g.conn.enqueue(xproto.Event{
 					Type: xproto.MotionNotify, Window: g.window,
 					X: rootX - gx, Y: rootY - gy, RootX: rootX, RootY: rootY,
-					State: s.pointer.state, Time: t,
-					Root: s.screens[s.pointer.screen].Root,
+					State: state, Time: t, Root: rootID,
 				})
 			}
 		}
 		return
 	}
-	w := s.pointerWindowLocked()
-	for ; w != nil; w = w.parent {
+	w := s.pointerWindow()
+	for ; w != nil; w = w.parent.Load() {
 		delivered := false
-		for conn, m := range w.masks {
-			if m&xproto.PointerMotionMask != 0 {
-				wx, wy := w.rootCoordsLocked()
-				conn.enqueueLocked(xproto.Event{
-					Type: xproto.MotionNotify, Window: w.id,
-					X: rootX - wx, Y: rootY - wy, RootX: rootX, RootY: rootY,
-					State: s.pointer.state, Time: t,
-					Root: s.screens[s.pointer.screen].Root,
-				})
-				delivered = true
+		if mt := w.masks.Load(); mt != nil {
+			for _, ms := range mt.sel {
+				if ms.mask&xproto.PointerMotionMask != 0 {
+					wx, wy := w.rootCoords()
+					ms.conn.enqueue(xproto.Event{
+						Type: xproto.MotionNotify, Window: w.id,
+						X: rootX - wx, Y: rootY - wy, RootX: rootX, RootY: rootY,
+						State: state, Time: t, Root: rootID,
+					})
+					delivered = true
+				}
 			}
 		}
 		if delivered {
@@ -301,39 +339,45 @@ func (s *Server) motionLocked(rootX, rootY int) {
 	}
 }
 
-// pointerWindowLocked returns the deepest viewable window under the
-// pointer.
-func (s *Server) pointerWindowLocked() *window {
-	root := s.windows[s.screens[s.pointer.screen].Root]
-	return root.descendantAtLocked(s.pointer.x, s.pointer.y)
+// pointerWindow returns the deepest viewable window under the pointer.
+// Lock-free.
+func (s *Server) pointerWindow() *window {
+	root := s.lookup(s.screens[s.pointer.screen.Load()].Root)
+	if root == nil {
+		return nil
+	}
+	px, py := s.pointerPos()
+	return root.descendantAt(px, py)
 }
 
-// pointerRecheckLocked recomputes the window under the pointer after a
+// pointerRecheck recomputes the window under the pointer after a
 // structural change to w (map, unmap, configure), skipping the full
 // tree walk when the change cannot affect the result: if the current
 // pointer window is not at-or-under w and w's extent (post-change) does
 // not contain the pointer, the deepest-hit scan returns what it
 // returned before. The extent test uses the bounding rect even for
-// shaped windows — conservative, so a skip is always sound.
-func (s *Server) pointerRecheckLocked(w *window) {
-	if w != nil && !s.pointerUnderLocked(w) {
-		wx, wy := w.rootCoordsLocked()
-		lx, ly := s.pointer.x-wx, s.pointer.y-wy
-		if lx < 0 || ly < 0 || lx >= w.rect.Width || ly >= w.rect.Height {
+// shaped windows — conservative, so a skip is always sound. The skip
+// test reads only atomics; the slow path takes inputMu.
+func (s *Server) pointerRecheck(w *window) {
+	if w != nil && !s.pointerUnder(w) {
+		px, py := s.pointerPos()
+		wx, wy := w.rootCoords()
+		lx, ly := px-wx, py-wy
+		ww, wh := w.size()
+		if lx < 0 || ly < 0 || lx >= ww || ly >= wh {
 			return
 		}
 	}
-	s.updatePointerWindowLocked()
+	s.inputMu.Lock()
+	s.updatePointerWindowInput()
+	s.inputMu.Unlock()
 }
 
-// pointerUnderLocked reports whether the current pointer window is w or
-// a descendant of w.
-func (s *Server) pointerUnderLocked(w *window) bool {
-	cur, ok := s.windows[s.pointer.lastWin]
-	if !ok {
-		return false
-	}
-	for ; cur != nil; cur = cur.parent {
+// pointerUnder reports whether the current pointer window is w or a
+// descendant of w. Lock-free.
+func (s *Server) pointerUnder(w *window) bool {
+	cur := s.lookup(xproto.XID(s.pointer.lastWin.Load()))
+	for ; cur != nil; cur = cur.parent.Load() {
 		if cur == w {
 			return true
 		}
@@ -341,47 +385,54 @@ func (s *Server) pointerUnderLocked(w *window) bool {
 	return false
 }
 
-// updatePointerWindowLocked recomputes the window under the pointer and
+// updatePointerWindowInput recomputes the window under the pointer and
 // emits Enter/Leave events on change. Called after motion and after any
-// geometry/map change that can move the pointer between windows.
-func (s *Server) updatePointerWindowLocked() {
-	w := s.pointerWindowLocked()
+// geometry/map change that can move the pointer between windows. Caller
+// holds inputMu.
+func (s *Server) updatePointerWindowInput() {
+	w := s.pointerWindow()
 	var id xproto.XID
 	if w != nil {
 		id = w.id
 	}
-	if id == s.pointer.lastWin {
+	last := xproto.XID(s.pointer.lastWin.Load())
+	if id == last {
 		return
 	}
-	t := s.tickLocked()
-	if old, ok := s.windows[s.pointer.lastWin]; ok && !old.destroyed {
-		ox, oy := old.rootCoordsLocked()
-		s.deliverLocked(old, xproto.LeaveWindowMask, xproto.Event{
+	t := s.tick()
+	px, py := s.pointerPos()
+	state := uint16(s.pointer.state.Load())
+	if old := s.lookup(last); old != nil {
+		ox, oy := old.rootCoords()
+		s.deliver(old, xproto.LeaveWindowMask, xproto.Event{
 			Type: xproto.LeaveNotify, Window: old.id,
-			X: s.pointer.x - ox, Y: s.pointer.y - oy,
-			RootX: s.pointer.x, RootY: s.pointer.y,
-			State: s.pointer.state, Time: t,
+			X: px - ox, Y: py - oy,
+			RootX: px, RootY: py,
+			State: state, Time: t,
 		})
 	}
-	s.pointer.lastWin = id
+	s.pointer.lastWin.Store(uint32(id))
 	if w != nil {
-		wx, wy := w.rootCoordsLocked()
-		s.deliverLocked(w, xproto.EnterWindowMask, xproto.Event{
+		wx, wy := w.rootCoords()
+		s.deliver(w, xproto.EnterWindowMask, xproto.Event{
 			Type: xproto.EnterNotify, Window: w.id,
-			X: s.pointer.x - wx, Y: s.pointer.y - wy,
-			RootX: s.pointer.x, RootY: s.pointer.y,
-			State: s.pointer.state, Time: t,
+			X: px - wx, Y: py - wy,
+			RootX: px, RootY: py,
+			State: state, Time: t,
 		})
 	}
 }
 
-// buttonEventLocked dispatches a button press/release: active grab
+// buttonEventInput dispatches a button press/release: active grab
 // first, then passive grab activation (press only), then normal
 // delivery to the deepest selecting window with upward propagation.
-func (s *Server) buttonEventLocked(typ xproto.EventType, button int, modifiers uint16) {
-	t := s.tickLocked()
-	rootID := s.screens[s.pointer.screen].Root
-	under := s.pointerWindowLocked()
+// Caller holds the server lock shared plus inputMu.
+func (s *Server) buttonEventInput(typ xproto.EventType, button int, modifiers uint16) {
+	t := s.tick()
+	rootID := s.screens[s.pointer.screen.Load()].Root
+	px, py := s.pointerPos()
+	state := uint16(s.pointer.state.Load())
+	under := s.pointerWindow()
 	var underID xproto.XID
 	if under != nil {
 		underID = under.id
@@ -395,13 +446,13 @@ func (s *Server) buttonEventLocked(typ xproto.EventType, button int, modifiers u
 	// Active grab takes priority.
 	if g := s.activeGrab; g != nil {
 		if g.eventMask&mask != 0 {
-			if gw, ok := s.windows[g.window]; ok {
-				gx, gy := gw.rootCoordsLocked()
-				g.conn.enqueueLocked(xproto.Event{
+			if gw := s.lookup(g.window); gw != nil {
+				gx, gy := gw.rootCoords()
+				g.conn.enqueue(xproto.Event{
 					Type: typ, Window: g.window, Subwindow: underID,
-					X: s.pointer.x - gx, Y: s.pointer.y - gy,
-					RootX: s.pointer.x, RootY: s.pointer.y,
-					Button: button, State: modifiers | s.pointer.state,
+					X: px - gx, Y: py - gy,
+					RootX: px, RootY: py,
+					Button: button, State: modifiers | state,
 					Time: t, Root: rootID,
 				})
 			}
@@ -421,15 +472,15 @@ func (s *Server) buttonEventLocked(typ xproto.EventType, button int, modifiers u
 			if g.modifiers != xproto.AnyModifier && g.modifiers != modifiers {
 				continue
 			}
-			gw, ok := s.windows[g.window]
-			if !ok || gw.destroyed {
+			gw := s.lookup(g.window)
+			if gw == nil {
 				continue
 			}
-			if gw != under && !gw.isAncestorOfLocked(under) {
+			if gw != under && !gw.isAncestorOf(under) {
 				continue
 			}
 			depth := 0
-			for p := under; p != nil && p != gw; p = p.parent {
+			for p := under; p != nil && p != gw; p = p.parent.Load() {
 				depth++
 			}
 			// Smaller depth = grab window closer to the pointer window.
@@ -438,13 +489,13 @@ func (s *Server) buttonEventLocked(typ xproto.EventType, button int, modifiers u
 			}
 		}
 		if best != nil {
-			gw := s.windows[best.window]
-			gx, gy := gw.rootCoordsLocked()
-			best.conn.enqueueLocked(xproto.Event{
+			gw := s.lookup(best.window)
+			gx, gy := gw.rootCoords()
+			best.conn.enqueue(xproto.Event{
 				Type: typ, Window: best.window, Subwindow: underID,
-				X: s.pointer.x - gx, Y: s.pointer.y - gy,
-				RootX: s.pointer.x, RootY: s.pointer.y,
-				Button: button, State: modifiers | s.pointer.state,
+				X: px - gx, Y: py - gy,
+				RootX: px, RootY: py,
+				Button: button, State: modifiers | state,
 				Time: t, Root: rootID,
 			})
 			// Activate an implicit grab so the matching release goes to
@@ -459,33 +510,35 @@ func (s *Server) buttonEventLocked(typ xproto.EventType, button int, modifiers u
 	}
 
 	// Normal delivery: deepest window selecting the mask, walking up.
-	for w := under; w != nil; w = w.parent {
+	for w := under; w != nil; w = w.parent.Load() {
 		delivered := false
-		for conn, m := range w.masks {
-			if m&mask != 0 {
-				wx, wy := w.rootCoordsLocked()
-				conn.enqueueLocked(xproto.Event{
-					Type: typ, Window: w.id, Subwindow: underID,
-					X: s.pointer.x - wx, Y: s.pointer.y - wy,
-					RootX: s.pointer.x, RootY: s.pointer.y,
-					Button: button, State: modifiers | s.pointer.state,
-					Time: t, Root: rootID,
-				})
-				delivered = true
+		var grabConn *Conn
+		var grabMask xproto.EventMask
+		if mt := w.masks.Load(); mt != nil {
+			for _, ms := range mt.sel {
+				if ms.mask&mask != 0 {
+					wx, wy := w.rootCoords()
+					ms.conn.enqueue(xproto.Event{
+						Type: typ, Window: w.id, Subwindow: underID,
+						X: px - wx, Y: py - wy,
+						RootX: px, RootY: py,
+						Button: button, State: modifiers | state,
+						Time: t, Root: rootID,
+					})
+					if !delivered {
+						grabConn, grabMask = ms.conn, ms.mask
+					}
+					delivered = true
+				}
 			}
 		}
 		if delivered {
-			if typ == xproto.ButtonPress {
+			if typ == xproto.ButtonPress && grabConn != nil {
 				// Implicit grab for press/release pairing.
-				for conn, m := range w.masks {
-					if m&mask != 0 {
-						s.activeGrab = &activeGrab{
-							conn: conn, window: w.id,
-							eventMask: m | xproto.ButtonReleaseMask,
-							implicit:  true,
-						}
-						break
-					}
+				s.activeGrab = &activeGrab{
+					conn: grabConn, window: w.id,
+					eventMask: grabMask | xproto.ButtonReleaseMask,
+					implicit:  true,
 				}
 			}
 			return
@@ -493,12 +546,15 @@ func (s *Server) buttonEventLocked(typ xproto.EventType, button int, modifiers u
 	}
 }
 
-// keyEventLocked dispatches a key press/release: passive key grabs
-// first, then focus/pointer delivery.
-func (s *Server) keyEventLocked(typ xproto.EventType, keysym string, modifiers uint16) {
-	t := s.tickLocked()
-	rootID := s.screens[s.pointer.screen].Root
-	under := s.pointerWindowLocked()
+// keyEventInput dispatches a key press/release: passive key grabs
+// first, then focus/pointer delivery. Caller holds the server lock
+// shared plus inputMu.
+func (s *Server) keyEventInput(typ xproto.EventType, keysym string, modifiers uint16) {
+	t := s.tick()
+	rootID := s.screens[s.pointer.screen.Load()].Root
+	px, py := s.pointerPos()
+	state := uint16(s.pointer.state.Load())
+	under := s.pointerWindow()
 
 	mask := xproto.KeyPressMask
 	if typ == xproto.KeyRelease {
@@ -513,23 +569,23 @@ func (s *Server) keyEventLocked(typ xproto.EventType, keysym string, modifiers u
 			if g.modifiers != xproto.AnyModifier && g.modifiers != modifiers {
 				continue
 			}
-			gw, ok := s.windows[g.window]
-			if !ok || gw.destroyed {
+			gw := s.lookup(g.window)
+			if gw == nil {
 				continue
 			}
-			if gw != under && !gw.isAncestorOfLocked(under) {
+			if gw != under && !gw.isAncestorOf(under) {
 				continue
 			}
-			gx, gy := gw.rootCoordsLocked()
+			gx, gy := gw.rootCoords()
 			var underID xproto.XID
 			if under != nil {
 				underID = under.id
 			}
-			g.conn.enqueueLocked(xproto.Event{
+			g.conn.enqueue(xproto.Event{
 				Type: typ, Window: g.window, Subwindow: underID,
-				X: s.pointer.x - gx, Y: s.pointer.y - gy,
-				RootX: s.pointer.x, RootY: s.pointer.y,
-				Keysym: keysym, State: modifiers | s.pointer.state,
+				X: px - gx, Y: py - gy,
+				RootX: px, RootY: py,
+				Keysym: keysym, State: modifiers | state,
 				Time: t, Root: rootID,
 			})
 			return
@@ -538,27 +594,30 @@ func (s *Server) keyEventLocked(typ xproto.EventType, keysym string, modifiers u
 
 	// Determine the delivery window: explicit focus, else pointer window.
 	var target *window
-	if s.focus != xproto.PointerRoot && s.focus != xproto.None {
-		if fw, ok := s.windows[s.focus]; ok && !fw.destroyed {
+	focus := xproto.XID(s.focus.Load())
+	if focus != xproto.PointerRoot && focus != xproto.None {
+		if fw := s.lookup(focus); fw != nil {
 			target = fw
 		}
 	}
 	if target == nil {
 		target = under
 	}
-	for w := target; w != nil; w = w.parent {
+	for w := target; w != nil; w = w.parent.Load() {
 		delivered := false
-		for conn, m := range w.masks {
-			if m&mask != 0 {
-				wx, wy := w.rootCoordsLocked()
-				conn.enqueueLocked(xproto.Event{
-					Type: typ, Window: w.id,
-					X: s.pointer.x - wx, Y: s.pointer.y - wy,
-					RootX: s.pointer.x, RootY: s.pointer.y,
-					Keysym: keysym, State: modifiers | s.pointer.state,
-					Time: t, Root: rootID,
-				})
-				delivered = true
+		if mt := w.masks.Load(); mt != nil {
+			for _, ms := range mt.sel {
+				if ms.mask&mask != 0 {
+					wx, wy := w.rootCoords()
+					ms.conn.enqueue(xproto.Event{
+						Type: typ, Window: w.id,
+						X: px - wx, Y: py - wy,
+						RootX: px, RootY: py,
+						Keysym: keysym, State: modifiers | state,
+						Time: t, Root: rootID,
+					})
+					delivered = true
+				}
 			}
 		}
 		if delivered {

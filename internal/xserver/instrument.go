@@ -8,28 +8,37 @@ import "repro/internal/xproto"
 // through (batched ops included, one call per op), and BatchFlush
 // fires once per Batch.Flush with the number of ops applied.
 //
-// Contract (mirrors SetErrorHandler): callbacks run with the server
-// lock held — shared for read-only requests, exclusive for mutating
-// ones, and concurrently from different connections — so an Instrument
-// must be safe for concurrent use, must not block, and must not issue
-// requests on any connection. obs.ConnInstrument satisfies this
-// interface structurally (atomics plus a read-only map) without
-// either package importing the other.
+// Contract (mirrors SetErrorHandler): callbacks run from whatever
+// locking regime the request executes in — lock-free fast paths, the
+// shared lock, or the exclusive lock — and concurrently from different
+// connections, so an Instrument must be safe for concurrent use, must
+// not block, and must not issue requests on any connection.
+// obs.ConnInstrument satisfies this interface structurally (atomics
+// plus a read-only map) without either package importing the other.
 type Instrument interface {
 	Request(major string, target xproto.XID)
 	BatchFlush(ops int)
 }
 
 // SetInstrument installs (or, with nil, removes) the connection's
-// instrument. Like the fault policy, the field is only written under
-// the server's exclusive lock so request paths may read it under the
-// shared lock without a data race. Install before issuing requests;
-// swapping instruments mid-flight is supported but counts in the old
-// and new instrument will not overlap cleanly.
+// instrument. The instrument rides in the connection's atomic gates
+// snapshot, so lock-free request paths observe it with a single
+// pointer load. Install before issuing requests; swapping instruments
+// mid-flight is supported but counts in the old and new instrument
+// will not overlap cleanly.
 func (c *Conn) SetInstrument(in Instrument) {
 	c.server.mu.Lock()
 	defer c.server.mu.Unlock()
-	c.instrument = in
+	old := c.gates.Load()
+	var f *faultState
+	if old != nil {
+		f = old.faults
+	}
+	if in == nil && f == nil {
+		c.gates.Store(nil)
+		return
+	}
+	c.gates.Store(&connGates{in: in, faults: f})
 }
 
 // RequestMajors lists every request major routed through the

@@ -7,10 +7,10 @@
 // SHAPE extension.
 //
 // The server is a deterministic, single-process model: requests take
-// effect immediately under one lock and events are appended to
-// per-connection FIFO queues. This gives window-manager code the exact
-// protocol surface it would see against a real display while keeping
-// tests and benchmarks reproducible.
+// effect immediately and events are appended to per-connection FIFO
+// queues. This gives window-manager code the exact protocol surface it
+// would see against a real display while keeping tests and benchmarks
+// reproducible.
 package xserver
 
 import (
@@ -23,34 +23,58 @@ import (
 // Server is a simulated X display server. Create one with NewServer and
 // attach clients with Connect.
 //
-// Locking: mutating requests hold mu exclusively; read-only requests
-// (GetGeometry, QueryTree, GetProperty, TranslateCoordinates, ...)
-// share a read lock so concurrent queries never serialize on each
-// other. XID allocation is atomic so batches can assign IDs to
-// CreateWindow requests before the batch is flushed (the Xlib model:
-// clients own their ID space).
+// Locking — the global lock is gone from the hot paths. The scheme
+// (detailed in stripes.go) is:
+//
+//   - Window lookups, property/geometry/tree reads (GetProperty,
+//     GetGeometry, QueryTree, TranslateCoordinates, ListProperties,
+//     GetWindowAttributes, ShapeQuery, QueryPointer, ...) and
+//     property/geometry writes (ChangeProperty, DeleteProperty,
+//     geometry-only ConfigureWindow) are lock-free: the striped index
+//     and per-window atomics serve them with no shared mutex.
+//   - Structural single-window ops (CreateWindow, Map/UnmapWindow,
+//     SelectInput, restacking configures) hold mu *shared* plus the
+//     stripes of the touched windows, acquired in ascending stripe
+//     order through the stripes.go doorways.
+//   - Tree surgery and rare ops (ReparentWindow, DestroyWindow,
+//     Connect/Close, grabs, focus, SendEvent, batch flush, and any
+//     request on a connection with a fault policy installed) hold mu
+//     *exclusively*, which implies every stripe.
+//
+// XID allocation is atomic so batches can assign IDs to CreateWindow
+// requests before the batch is flushed (the Xlib model: clients own
+// their ID space). Event queues are per-connection with their own
+// mutex, so delivery stays FIFO per client without a global order.
 type Server struct {
-	mu     sync.RWMutex
-	nextID atomic.Uint32
-	now    xproto.Timestamp
+	mu      sync.RWMutex // structural lock; see above
+	inputMu sync.Mutex   // serializes pointer/crossing recomputation; below stripes
+	nextID  atomic.Uint32
+	now     atomic.Uint64 // advances when an event is generated
 
-	atoms     map[string]xproto.Atom
-	atomNames map[xproto.Atom]string
-	nextAtom  xproto.Atom
+	atoms atomic.Pointer[atomTab] // copy-on-write; misses intern under mu
 
-	windows map[xproto.XID]*window
-	screens []*Screen
-	conns   map[int]*Conn
-	nextFD  int
+	stripes  [numStripes]stripe
+	winCount atomic.Int64
+
+	screens []*Screen // immutable after NewServer
+
+	connMu sync.Mutex // guards conns/nextFD for lock-free NumConns; under mu
+	conns  map[int]*Conn
+	nextFD int
 
 	pointer pointerState
-	focus   xproto.XID
+	focus   atomic.Uint32 // XID; PointerRoot when unset
 
-	// passive button grabs established with GrabButton.
+	lockObs atomic.Pointer[LockObserver]
+
+	// passive button grabs established with GrabButton. Guarded by mu:
+	// written exclusively, read under either mode.
 	buttonGrabs []*buttonGrab
 	// keyGrabs established with GrabKey.
 	keyGrabs []*keyGrab
-	// active pointer grab, if any.
+	// active pointer grab, if any. Written under mu exclusive (grab
+	// requests) or mu shared + inputMu (implicit grabs from input
+	// delivery); both regimes mutually exclude.
 	activeGrab *activeGrab
 }
 
@@ -70,11 +94,15 @@ type ScreenSpec struct {
 	Monochrome bool
 }
 
+// pointerState is the pointer position and button/crossing state. All
+// fields are atomic so hit-testing and recheck fast paths read them
+// lock-free; writers additionally hold inputMu so compound updates
+// (move + crossing events) stay coherent.
 type pointerState struct {
-	screen  int
-	x, y    int // root-relative on the current screen
-	state   uint16
-	lastWin xproto.XID // window the pointer was last inside (for crossing events)
+	screen  atomic.Int32
+	xy      atomic.Uint64 // packIntPair(x, y), root-relative on the current screen
+	state   atomic.Uint32 // button mask (uint16)
+	lastWin atomic.Uint32 // window the pointer was last inside (for crossing events)
 }
 
 type buttonGrab struct {
@@ -101,6 +129,15 @@ type activeGrab struct {
 	implicit bool
 }
 
+// atomTab is the interned-atom table, published as an immutable
+// snapshot: InternAtom hits and AtomName are lock-free; a miss clones
+// the table under mu.
+type atomTab struct {
+	byName map[string]xproto.Atom
+	byID   map[xproto.Atom]string
+	next   xproto.Atom
+}
+
 // NewServer creates a server with the given screens. With no specs, a
 // single 1152x900 color screen is created (the Sun-era default that swm
 // was developed on).
@@ -109,29 +146,32 @@ func NewServer(specs ...ScreenSpec) *Server {
 		specs = []ScreenSpec{{Width: 1152, Height: 900}}
 	}
 	s := &Server{
-		atoms:     make(map[string]xproto.Atom),
-		atomNames: make(map[xproto.Atom]string),
-		nextAtom:  1,
-		windows:   make(map[xproto.XID]*window),
-		conns:     make(map[int]*Conn),
-		nextFD:    1,
+		conns:  make(map[int]*Conn),
+		nextFD: 1,
 	}
-	s.nextID.Store(0x200000)
+	s.nextID.Store(baseXID)
+	at := &atomTab{
+		byName: make(map[string]xproto.Atom),
+		byID:   make(map[xproto.Atom]string),
+		next:   1,
+	}
 	for _, name := range xproto.PredefinedAtoms {
-		s.internAtomLocked(name)
+		a := at.next
+		at.next++
+		at.byName[name] = a
+		at.byID[a] = name
 	}
+	s.atoms.Store(at)
 	for i, spec := range specs {
 		root := &window{
 			id:     s.allocID(),
-			rect:   xproto.Rect{Width: spec.Width, Height: spec.Height},
-			mapped: true,
 			class:  xproto.InputOutput,
-			props:  make(map[xproto.Atom]Property),
-			masks:  make(map[*Conn]xproto.EventMask),
-			screen: i,
 			isRoot: true,
 		}
-		s.windows[root.id] = root
+		root.setRect(xproto.Rect{Width: spec.Width, Height: spec.Height})
+		root.mapped.Store(true)
+		root.screenIdx.Store(int32(i))
+		s.indexPut(root)
 		s.screens = append(s.screens, &Screen{
 			Number:     i,
 			Root:       root.id,
@@ -140,14 +180,13 @@ func NewServer(specs ...ScreenSpec) *Server {
 			Monochrome: spec.Monochrome,
 		})
 	}
-	s.focus = xproto.PointerRoot
+	s.focus.Store(uint32(xproto.PointerRoot))
 	return s
 }
 
-// Screens returns the screen descriptors.
+// Screens returns the screen descriptors. Lock-free: the slice is
+// immutable after NewServer.
 func (s *Server) Screens() []*Screen {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make([]*Screen, len(s.screens))
 	copy(out, s.screens)
 	return out
@@ -159,13 +198,15 @@ func (s *Server) Connect(name string) *Conn {
 	defer s.mu.Unlock()
 	c := &Conn{
 		server:  s,
-		fd:      s.nextFD,
 		name:    name,
 		saveSet: make(map[xproto.XID]bool),
 	}
-	c.cond = sync.NewCond(&s.mu)
+	c.qCond = sync.NewCond(&c.qMu)
+	s.connMu.Lock()
+	c.fd = s.nextFD
 	s.nextFD++
 	s.conns[c.fd] = c
+	s.connMu.Unlock()
 	return c
 }
 
@@ -176,58 +217,83 @@ func (s *Server) allocID() xproto.XID {
 	return xproto.XID(s.nextID.Add(1) - 1)
 }
 
-func (s *Server) tickLocked() xproto.Timestamp {
-	s.now++
-	return s.now
+// tick advances the server timestamp and returns the new value. The
+// clock moves only when an event is actually generated, so silent
+// requests stay store-free.
+func (s *Server) tick() xproto.Timestamp {
+	return xproto.Timestamp(s.now.Add(1))
 }
 
-func (s *Server) internAtomLocked(name string) xproto.Atom {
-	if a, ok := s.atoms[name]; ok {
+// internAtom interns name, lock-free on the hit path. A miss clones the
+// atom table under mu.
+func (s *Server) internAtom(name string) xproto.Atom {
+	if a, ok := s.atoms.Load().byName[name]; ok {
 		return a
 	}
-	a := s.nextAtom
-	s.nextAtom++
-	s.atoms[name] = a
-	s.atomNames[a] = name
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.internAtomLocked(name)
+}
+
+// internAtomLocked is the miss path; caller holds mu exclusively.
+func (s *Server) internAtomLocked(name string) xproto.Atom {
+	old := s.atoms.Load()
+	if a, ok := old.byName[name]; ok {
+		return a
+	}
+	nt := &atomTab{
+		byName: make(map[string]xproto.Atom, len(old.byName)+1),
+		byID:   make(map[xproto.Atom]string, len(old.byID)+1),
+		next:   old.next + 1,
+	}
+	for k, v := range old.byName {
+		nt.byName[k] = v
+	}
+	for k, v := range old.byID {
+		nt.byID[k] = v
+	}
+	a := old.next
+	nt.byName[name] = a
+	nt.byID[a] = name
+	s.atoms.Store(nt)
 	return a
 }
 
-func (s *Server) lookupLocked(id xproto.XID) (*window, error) {
-	w, ok := s.windows[id]
-	if !ok || w.destroyed {
+// lookupErr resolves id to a live window or a BadWindow error. It takes
+// no lock — the striped index is safe from any context — and is the
+// doorway request impls use so error construction stays in one place.
+func (s *Server) lookupErr(id xproto.XID) (*window, error) {
+	w := s.lookup(id)
+	if w == nil {
 		return nil, &xproto.XError{Code: xproto.BadWindow, Resource: id}
 	}
 	return w, nil
 }
 
 // screenOf returns the screen struct for a window.
-func (s *Server) screenOfLocked(w *window) *Screen {
-	return s.screens[w.screenLocked()]
+func (s *Server) screenOf(w *window) *Screen {
+	return s.screens[w.screen()]
 }
 
-// rootOfLocked returns the root window of w's screen.
-func (s *Server) rootOfLocked(w *window) *window {
-	return s.windows[s.screens[w.screenLocked()].Root]
+// rootOf returns the root window of w's screen.
+func (s *Server) rootOf(w *window) *window {
+	return s.lookup(s.screens[w.screen()].Root)
 }
 
 // NumConns reports the number of live client connections (diagnostics).
 func (s *Server) NumConns() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
 	return len(s.conns)
 }
 
 // NumWindows reports the number of live windows, roots included. Soak
-// tests use it to prove the WM leaks no server-side windows.
+// tests use it to prove the WM leaks no server-side windows. Lock-free.
 func (s *Server) NumWindows() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.windows)
+	return int(s.winCount.Load())
 }
 
 // Now returns the current server timestamp without advancing it.
 func (s *Server) Now() xproto.Timestamp {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.now
+	return xproto.Timestamp(s.now.Load())
 }

@@ -22,44 +22,68 @@ func (c *Conn) ShapeCombineRectangles(id xproto.XID, rects []xproto.Rect) error 
 	if err := c.faultLocked("ShapeCombineRectangles", id); err != nil {
 		return err
 	}
-	w, err := c.lookupLocked(id, "ShapeCombineRectangles")
+	w, err := c.lookupWin(id, "ShapeCombineRectangles")
 	if err != nil {
 		return err
 	}
 	if len(rects) == 0 {
-		w.shaped = false
-		w.shapeRects = nil
+		w.shaped.Store(false)
+		w.shapeRects.Store(nil)
 	} else {
-		w.shaped = true
-		w.shapeRects = append([]xproto.Rect(nil), rects...)
+		rs := append([]xproto.Rect(nil), rects...)
+		w.shapeRects.Store(&rs)
+		w.shaped.Store(true)
 	}
-	s.deliverLocked(w, xproto.StructureNotifyMask, xproto.Event{
-		Type: xproto.ShapeNotify, Window: w.id, Shaped: w.shaped,
-		Width: w.rect.Width, Height: w.rect.Height, Time: s.tickLocked(),
-	})
+	if anySelects(w.masks.Load(), xproto.StructureNotifyMask) {
+		ww, wh := w.size()
+		s.deliver(w, xproto.StructureNotifyMask, xproto.Event{
+			Type: xproto.ShapeNotify, Window: w.id, Shaped: w.shaped.Load(),
+			Width: ww, Height: wh, Time: s.tick(),
+		})
+	}
 	return nil
 }
 
 // ShapeQuery reports whether the window is shaped and returns a copy of
 // its bounding rectangles (window-relative, sorted for determinism).
+// Lock-free.
 func (c *Conn) ShapeQuery(id xproto.XID) (shaped bool, rects []xproto.Rect, err error) {
-	ex := c.readLock()
-	defer c.readUnlock(ex)
-	if err := c.faultLocked("ShapeQuery", id); err != nil {
-		return false, nil, err
+	if c.gate("ShapeQuery", id) {
+		return c.gatedShapeQuery(id)
 	}
-	w, err := c.lookupLocked(id, "ShapeQuery")
+	w, err := c.lookupWin(id, "ShapeQuery")
 	if err != nil {
 		return false, nil, err
 	}
-	out := append([]xproto.Rect(nil), w.shapeRects...)
+	return shapeOf(w)
+}
+
+func (c *Conn) gatedShapeQuery(id xproto.XID) (bool, []xproto.Rect, error) {
+	s := c.server
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := c.faultLocked("ShapeQuery", id); err != nil {
+		return false, nil, err
+	}
+	w, err := c.lookupWin(id, "ShapeQuery")
+	if err != nil {
+		return false, nil, err
+	}
+	return shapeOf(w)
+}
+
+func shapeOf(w *window) (bool, []xproto.Rect, error) {
+	var out []xproto.Rect
+	if rp := w.shapeRects.Load(); rp != nil {
+		out = append(out, *rp...)
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Y != out[j].Y {
 			return out[i].Y < out[j].Y
 		}
 		return out[i].X < out[j].X
 	})
-	return w.shaped, out, nil
+	return w.shaped.Load(), out, nil
 }
 
 // ShapeSelectInput arranges for ShapeNotify events on the window to be
@@ -72,13 +96,10 @@ func (c *Conn) ShapeSelectInput(id xproto.XID) error {
 	if err := c.faultLocked("ShapeSelectInput", id); err != nil {
 		return err
 	}
-	w, err := c.lookupLocked(id, "ShapeSelectInput")
+	w, err := c.lookupWin(id, "ShapeSelectInput")
 	if err != nil {
 		return err
 	}
-	if w.masks == nil {
-		w.masks = make(map[*Conn]xproto.EventMask, 1)
-	}
-	w.masks[c] |= xproto.StructureNotifyMask
+	w.setMask(c, w.maskOf(c)|xproto.StructureNotifyMask)
 	return nil
 }

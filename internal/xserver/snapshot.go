@@ -23,33 +23,38 @@ type TreeNode struct {
 
 // Snapshot captures the window tree rooted at id. Unmapped windows are
 // included (their Mapped flag is false) so callers can decide what to
-// draw.
+// draw. The walk holds the server lock shared so the tree shape is a
+// consistent cut; per-window fields read their own atomics.
 func (c *Conn) Snapshot(id xproto.XID) (*TreeNode, error) {
 	s := c.server
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	w, err := s.lookupLocked(id)
+	w, err := s.lookupErr(id)
 	if err != nil {
 		return nil, err
 	}
-	return snapshotLocked(w), nil
+	return snapshotOf(w), nil
 }
 
-func snapshotLocked(w *window) *TreeNode {
+func snapshotOf(w *window) *TreeNode {
+	var srects []xproto.Rect
+	if rp := w.shapeRects.Load(); rp != nil {
+		srects = append(srects, *rp...)
+	}
 	n := &TreeNode{
 		ID:          w.id,
-		Rect:        w.rect,
-		BorderWidth: w.borderWidth,
-		Mapped:      w.mapped,
+		Rect:        w.rect(),
+		BorderWidth: int(w.borderW.Load()),
+		Mapped:      w.mapped.Load(),
 		Override:    w.override,
 		InputOnly:   w.class == xproto.InputOnly,
-		Label:       w.label,
-		Fill:        w.fill,
-		Shaped:      w.shaped,
-		ShapeRects:  append([]xproto.Rect(nil), w.shapeRects...),
+		Label:       w.labelStr(),
+		Fill:        byte(w.fill.Load()),
+		Shaped:      w.shaped.Load(),
+		ShapeRects:  srects,
 	}
-	for _, ch := range w.children {
-		n.Children = append(n.Children, snapshotLocked(ch))
+	for _, ch := range w.kids() {
+		n.Children = append(n.Children, snapshotOf(ch))
 	}
 	return n
 }

@@ -1,0 +1,242 @@
+package xserver
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/xproto"
+)
+
+// countObserver is a test LockObserver: atomic counters only, like the
+// real obs-backed one.
+type countObserver struct {
+	n      atomic.Int64
+	waitNs atomic.Int64
+}
+
+func (o *countObserver) StripeWait(ns int64) {
+	o.n.Add(1)
+	o.waitNs.Add(ns)
+}
+
+// TestLockObserverFiresOnContention proves the stripe-acquire slow path
+// reports to the observer: the test holds a window's stripe directly
+// (legal only in tests — the lockorder analyzer exempts _test.go files)
+// while a second goroutine maps the window, which must wait on that
+// stripe and fire StripeWait when it finally gets in.
+func TestLockObserverFiresOnContention(t *testing.T) {
+	s, c := newTestServer(t)
+	w := mustCreate(t, c, s.Screens()[0].Root, xproto.Rect{X: 0, Y: 0, Width: 10, Height: 10})
+	obs := &countObserver{}
+	s.SetLockObserver(obs)
+
+	st := &s.stripes[stripeIndex(w)]
+	deadline := time.Now().Add(10 * time.Second)
+	for obs.n.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("observer never fired despite a held stripe")
+		}
+		st.mu.Lock()
+		done := make(chan struct{})
+		go func() {
+			// MapWindow acquires w's stripe via the doorway.
+			c.MapWindow(w)
+			c.UnmapWindow(w)
+			close(done)
+		}()
+		// Yield so the goroutine reaches the contended acquire while the
+		// stripe is held; one round is normally enough, the outer loop
+		// retries if the scheduler didn't cooperate.
+		time.Sleep(2 * time.Millisecond)
+		st.mu.Unlock()
+		<-done
+	}
+	if obs.waitNs.Load() <= 0 {
+		t.Errorf("observer fired %d times but recorded %d ns total wait",
+			obs.n.Load(), obs.waitNs.Load())
+	}
+}
+
+// TestConcurrentPropertyChurn hammers one window with 64 goroutines of
+// interleaved ChangeProperty/GetProperty. Run under -race this checks
+// the copy-on-write property table: readers must never observe a torn
+// entry, and every read must see a value some writer actually stored.
+func TestConcurrentPropertyChurn(t *testing.T) {
+	s, c := newTestServer(t)
+	w := mustCreate(t, c, s.Screens()[0].Root, xproto.Rect{X: 0, Y: 0, Width: 10, Height: 10})
+	prop := c.InternAtom("CHURN")
+	typ := c.InternAtom("STRING")
+
+	const goroutines = 64
+	const rounds = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				payload := []byte(fmt.Sprintf("writer-%02d", g))
+				for i := 0; i < rounds; i++ {
+					if err := c.ChangeProperty(w, prop, typ, 8, xproto.PropModeReplace, payload); err != nil {
+						errs <- fmt.Errorf("ChangeProperty: %w", err)
+						return
+					}
+				}
+			} else {
+				for i := 0; i < rounds; i++ {
+					p, ok, err := c.GetProperty(w, prop)
+					if err != nil {
+						errs <- fmt.Errorf("GetProperty: %w", err)
+						return
+					}
+					if ok && (len(p.Data) != 9 || string(p.Data[:7]) != "writer-") {
+						errs <- fmt.Errorf("torn property read: %q", p.Data)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentReparentVsQueryTree pits structural writers against the
+// lock-free QueryTree read path: windows bounce between two parents
+// while readers walk the tree. Under -race this exercises the
+// copy-on-write children slices and the ascending two-stripe doorway.
+func TestConcurrentReparentVsQueryTree(t *testing.T) {
+	s, c := newTestServer(t)
+	root := s.Screens()[0].Root
+	r := xproto.Rect{X: 0, Y: 0, Width: 10, Height: 10}
+	pa := mustCreate(t, c, root, r)
+	pb := mustCreate(t, c, root, r)
+	const kids = 8
+	wins := make([]xproto.XID, kids)
+	for i := range wins {
+		wins[i] = mustCreate(t, c, pa, r)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, kids+4)
+	for i, w := range wins {
+		wg.Add(1)
+		go func(i int, w xproto.XID) {
+			defer wg.Done()
+			for round := 0; round < 40; round++ {
+				dst := pa
+				if (round+i)%2 == 0 {
+					dst = pb
+				}
+				if err := c.ReparentWindow(w, dst, i, i); err != nil {
+					errs <- fmt.Errorf("ReparentWindow: %w", err)
+					return
+				}
+			}
+		}(i, w)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 100; round++ {
+				na, nb := 0, 0
+				if _, _, ch, err := c.QueryTree(pa); err == nil {
+					na = len(ch)
+				} else {
+					errs <- fmt.Errorf("QueryTree(pa): %w", err)
+					return
+				}
+				if _, _, ch, err := c.QueryTree(pb); err == nil {
+					nb = len(ch)
+				} else {
+					errs <- fmt.Errorf("QueryTree(pb): %w", err)
+					return
+				}
+				// Weakly consistent cut: each parent individually must
+				// never report more children than exist in total.
+				if na > kids || nb > kids {
+					errs <- fmt.Errorf("impossible child counts: pa=%d pb=%d", na, nb)
+					return
+				}
+				for _, w := range wins {
+					if _, parent, _, err := c.QueryTree(w); err != nil {
+						errs <- fmt.Errorf("QueryTree(win): %w", err)
+						return
+					} else if parent != pa && parent != pb {
+						errs <- fmt.Errorf("window 0x%x has parent 0x%x, want pa or pb", uint32(w), uint32(parent))
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentConnectClose cycles connections while other clients
+// keep issuing requests — the lifecycle path (Connect registers in the
+// conn table, Close escalates to the exclusive lock and reaps
+// owner-attributed state) racing the lock-free request paths.
+func TestConcurrentConnectClose(t *testing.T) {
+	s, c := newTestServer(t)
+	root := s.Screens()[0].Root
+	r := xproto.Rect{X: 0, Y: 0, Width: 10, Height: 10}
+	w := mustCreate(t, c, root, r)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 17)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 25; round++ {
+				cc := s.Connect(fmt.Sprintf("churn-%d-%d", g, round))
+				id, err := cc.CreateWindow(root, r, 0, WindowAttributes{})
+				if err != nil {
+					errs <- fmt.Errorf("CreateWindow: %w", err)
+					return
+				}
+				if err := cc.MapWindow(id); err != nil {
+					errs <- fmt.Errorf("MapWindow: %w", err)
+					return
+				}
+				cc.Close()
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 200; round++ {
+			if _, err := c.GetGeometry(w); err != nil {
+				errs <- fmt.Errorf("GetGeometry: %w", err)
+				return
+			}
+			if _, _, _, err := c.QueryTree(root); err != nil {
+				errs <- fmt.Errorf("QueryTree(root): %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := int(s.NumWindows()); got < 1 {
+		t.Errorf("NumWindows = %d after churn, want >= 1", got)
+	}
+	c.Close()
+}

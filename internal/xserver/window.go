@@ -1,83 +1,640 @@
 package xserver
 
 import (
+	"bytes"
+	"encoding/binary"
+	"runtime"
+	"sync/atomic"
+
 	"repro/internal/xproto"
 )
 
 // Property is a window property value: typed, formatted bytes exactly as
-// in the X protocol.
+// in the X protocol. Data is the caller's copy — mutating it does not
+// affect the stored value.
 type Property struct {
 	Type   xproto.Atom
 	Format int // 8, 16 or 32
 	Data   []byte
 }
 
-// window is the server-internal window record. Clients refer to windows
-// only by XID; all fields are guarded by Server.mu.
-type window struct {
-	id     xproto.XID
-	parent *window
-	// children in bottom-to-top stacking order: children[len-1] is the
-	// highest window.
-	children []*window
-
-	rect        xproto.Rect // relative to parent
-	borderWidth int
-	class       xproto.WindowClass
-	mapped      bool
-	override    bool
-	destroyed   bool
-	isRoot      bool
-	screen      int // valid for roots; others derive from ancestry
-
-	props map[xproto.Atom]Property
-	masks map[*Conn]xproto.EventMask
-
-	owner *Conn // creating connection; nil for roots
-
-	// SHAPE extension: when shaped is true, the effective bounding
-	// region is the union of shapeRects (window-relative).
-	shaped     bool
-	shapeRects []xproto.Rect
-
-	// Rendering hints consumed by internal/raster. A real server stores
-	// pixmaps and GC state; for figure reproduction we keep a label and
-	// a fill glyph per window.
-	label string
-	fill  byte
+// propEntry is one property value slot. Values that fit the inline
+// buffer (the common case: WM_STATE, atoms, short strings) are updated
+// in place under a per-entry seqlock — even sequence means stable, odd
+// means a writer is mid-update — with the payload held in atomic words
+// so lock-free readers can snapshot it without a data race and validate
+// the snapshot against the sequence. A PropModeReplace of a fitting
+// value therefore allocates nothing. Values too large for the buffer
+// spill to ext, which is set at construction and never reassigned; any
+// update that cannot take the in-place path publishes a fresh entry
+// through the slot's shared ref instead.
+type propEntry struct {
+	seq    atomic.Uint32
+	meta   atomic.Uint64 // typ<<16 | format<<8 | inline length
+	ext    []byte        // construction-immutable spill for large values
+	inline [inlineWords]atomic.Uint64
 }
 
-func (w *window) screenLocked() int {
-	for p := w; p != nil; p = p.parent {
-		if p.isRoot {
-			return p.screen
+const (
+	inlineWords = 5
+	inlineCap   = inlineWords * 8
+)
+
+func packMeta(typ xproto.Atom, format, n int) uint64 {
+	return uint64(typ)<<16 | uint64(format)<<8 | uint64(n)
+}
+
+func newPropEntry(typ xproto.Atom, format int, data []byte) *propEntry {
+	e := &propEntry{}
+	if len(data) <= inlineCap {
+		e.storeInline(typ, format, data)
+	} else {
+		e.ext = append([]byte(nil), data...)
+		e.meta.Store(packMeta(typ, format, 0))
+	}
+	return e
+}
+
+func (e *propEntry) storeInline(typ xproto.Atom, format int, data []byte) {
+	var buf [inlineCap]byte
+	copy(buf[:], data)
+	// A fresh entry's unwritten words are already zero; only the words
+	// the value covers need stores.
+	for i := 0; i < (len(data)+7)/8; i++ {
+		e.inline[i].Store(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	e.meta.Store(packMeta(typ, format, len(data)))
+}
+
+// latch takes the entry's seqlock, returning the pre-latch sequence
+// and false when another writer already holds it.
+func (e *propEntry) latch() (uint32, bool) {
+	s := e.seq.Load()
+	if s&1 != 0 || !e.seq.CompareAndSwap(s, s+1) {
+		return 0, false
+	}
+	return s, true
+}
+
+// replaceInPlace rewrites ref's current entry old in place when the new
+// value fits the inline buffer. It returns false — changing nothing —
+// when old spilled to ext, the value doesn't fit, another writer holds
+// the seqlock, or old was superseded in the ref; the caller then
+// retries against the ref. The seqlock doubles as the writer latch:
+// holding it excludes both other in-place writers and the append path,
+// and the ref re-check under the latch ensures a superseded entry is
+// never resurrected by a late write.
+func replaceInPlace(ref *propRef, old *propEntry, typ xproto.Atom, format int, data []byte) bool {
+	if old.ext != nil || len(data) > inlineCap {
+		return false
+	}
+	// Identical-value rewrite — the common shape of WM property churn
+	// (the same state rewritten every round). Verified under a stable
+	// sequence the store can be skipped outright: the rewrite
+	// linearizes just before any concurrent writer, and PropertyNotify
+	// delivery happens in the caller either way.
+	if s := old.seq.Load(); s&1 == 0 && old.meta.Load() == packMeta(typ, format, len(data)) {
+		var buf [inlineCap]byte
+		for i := 0; i < (len(data)+7)/8; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], old.inline[i].Load())
+		}
+		if bytes.Equal(buf[:len(data)], data) && old.seq.Load() == s {
+			return true
+		}
+	}
+	s, ok := old.latch()
+	if !ok {
+		return false
+	}
+	if ref.Load() != old {
+		old.seq.Store(s) // nothing changed; restore the even sequence
+		return false
+	}
+	var buf [inlineCap]byte
+	copy(buf[:], data)
+	// Only the words the new length covers need rewriting: readers
+	// slice the inline buffer to meta's length, so stale bytes past it
+	// are never observed.
+	for i := 0; i < (len(data)+7)/8; i++ {
+		old.inline[i].Store(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	if m := packMeta(typ, format, len(data)); old.meta.Load() != m {
+		old.meta.Store(m)
+	}
+	old.seq.Store(s + 2)
+	return true
+}
+
+// valueLatched returns the entry's fields. Caller must hold the
+// entry's seqlock (property() would spin on it).
+func (e *propEntry) valueLatched() (typ xproto.Atom, format int, data []byte) {
+	m := e.meta.Load()
+	typ, format = xproto.Atom(m>>16), int(m>>8&0xff)
+	if e.ext != nil {
+		return typ, format, e.ext
+	}
+	var buf [inlineCap]byte
+	for i := range e.inline {
+		binary.LittleEndian.PutUint64(buf[i*8:], e.inline[i].Load())
+	}
+	return typ, format, append([]byte(nil), buf[:int(m&0xff)]...)
+}
+
+// property materializes the entry as a caller-owned Property; the data
+// is copied so callers may scribble on it. For inline entries the copy
+// is taken under the seqlock protocol, retrying while a writer is
+// mid-update.
+func (e *propEntry) property() Property {
+	if e.ext != nil {
+		m := e.meta.Load()
+		return Property{
+			Type: xproto.Atom(m >> 16), Format: int(m >> 8 & 0xff),
+			Data: append([]byte(nil), e.ext...),
+		}
+	}
+	var buf [inlineCap]byte
+	for {
+		s := e.seq.Load()
+		if s&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		m := e.meta.Load()
+		n := int(m & 0xff)
+		for i := 0; i < (n+7)/8; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], e.inline[i].Load())
+		}
+		if e.seq.Load() == s {
+			out := make([]byte, n)
+			copy(out, buf[:n])
+			return Property{
+				Type: xproto.Atom(m >> 16), Format: int(m >> 8 & 0xff),
+				Data: out,
+			}
+		}
+	}
+}
+
+// propRef is the per-atom slot a window's property value lives behind.
+// The ref itself is allocated once when the atom first appears on the
+// window and is *shared across every published propTab version* — a
+// writer that raced a table clone still stores through the same ref the
+// new table carries, so no update can be lost to a stale table. A nil
+// entry means "deleted".
+type propRef = atomic.Pointer[propEntry]
+
+type propSlot struct {
+	atom xproto.Atom
+	ref  *propRef
+}
+
+// propTab is a window's atom → value index: a small immutable table,
+// cloned only when a *new* atom is added (CAS on the table pointer).
+// Value replacement and deletion go through the shared refs and never
+// touch the table. Tables up to the usual WM property count live in
+// the inline buffer, so a clone is a single allocation.
+type propTab struct {
+	sel []propSlot
+	buf [4]propSlot
+	// ref is the inline home of the one ref this table version minted
+	// (each clone adds exactly one atom). Later versions carry the
+	// pointer onward, which keeps the minting version reachable — a
+	// few dozen bytes per atom ever set, in exchange for a clone being
+	// a single allocation.
+	ref propRef
+}
+
+// propRef returns the ref for atom, or nil if the window has never had
+// that property. Lock-free.
+func (w *window) propRef(atom xproto.Atom) *propRef {
+	tp := w.props.Load()
+	if tp == nil {
+		return nil
+	}
+	for i := range tp.sel {
+		if tp.sel[i].atom == atom {
+			return tp.sel[i].ref
+		}
+	}
+	return nil
+}
+
+// propRefCreate returns the ref for atom, inserting a slot if needed.
+// Lock-free: concurrent inserts race on a table CAS, and the loser
+// retries against the winner's table.
+func (w *window) propRefCreate(atom xproto.Atom) *propRef {
+	for {
+		old := w.props.Load()
+		var cur []propSlot
+		if old != nil {
+			for i := range old.sel {
+				if old.sel[i].atom == atom {
+					return old.sel[i].ref
+				}
+			}
+			cur = old.sel
+		}
+		nt := &propTab{}
+		if len(cur)+1 <= len(nt.buf) {
+			nt.sel = nt.buf[:0]
+		} else {
+			nt.sel = make([]propSlot, 0, len(cur)+1)
+		}
+		nt.sel = append(nt.sel, cur...)
+		ref := &nt.ref
+		nt.sel = append(nt.sel, propSlot{atom: atom, ref: ref})
+		if w.props.CompareAndSwap(old, nt) {
+			return ref
+		}
+	}
+}
+
+// getProp returns the live entry for atom, or nil. Lock-free.
+func (w *window) getProp(atom xproto.Atom) *propEntry {
+	if ref := w.propRef(atom); ref != nil {
+		return ref.Load()
+	}
+	return nil
+}
+
+// maskSel is one connection's event-mask selection on a window.
+type maskSel struct {
+	conn *Conn
+	mask xproto.EventMask
+}
+
+// maskTab is a window's full selection set, published as an immutable
+// snapshot: mutation clones (under the window's stripe or Server.mu
+// exclusive), delivery loads and iterates sel with no lock. Small sets
+// — the norm is one or two selections, the owner plus the WM — live in
+// the inline buffer, so publishing a snapshot is a single allocation.
+type maskTab struct {
+	sel []maskSel
+	buf [2]maskSel
+}
+
+func (w *window) maskOf(c *Conn) xproto.EventMask {
+	tp := w.masks.Load()
+	if tp == nil {
+		return 0
+	}
+	for i := range tp.sel {
+		if tp.sel[i].conn == c {
+			return tp.sel[i].mask
 		}
 	}
 	return 0
 }
 
-// rootCoordsLocked returns w's top-left corner in root coordinates.
-func (w *window) rootCoordsLocked() (x, y int) {
-	for p := w; p != nil && !p.isRoot; p = p.parent {
-		x += p.rect.X + p.borderWidth
-		y += p.rect.Y + p.borderWidth
+// setMask publishes a new selection snapshot with c's mask set (or the
+// entry dropped when mask is 0). Caller must hold w's stripe or
+// Server.mu exclusively.
+func (w *window) setMask(c *Conn, mask xproto.EventMask) {
+	var cur []maskSel
+	if tp := w.masks.Load(); tp != nil {
+		cur = tp.sel
+	}
+	n := 0
+	for _, ms := range cur {
+		if ms.conn != c {
+			n++
+		}
+	}
+	if mask != 0 {
+		n++
+	}
+	if n == 0 {
+		w.masks.Store(nil)
+		return
+	}
+	nt := &maskTab{}
+	if n <= len(nt.buf) {
+		nt.sel = nt.buf[:0]
+	} else {
+		nt.sel = make([]maskSel, 0, n)
+	}
+	for _, ms := range cur {
+		if ms.conn != c {
+			nt.sel = append(nt.sel, ms)
+		}
+	}
+	if mask != 0 {
+		nt.sel = append(nt.sel, maskSel{conn: c, mask: mask})
+	}
+	w.masks.Store(nt)
+}
+
+// anySelects reports whether any connection in the snapshot selects one
+// of the mask bits.
+func anySelects(tp *maskTab, mask xproto.EventMask) bool {
+	if tp == nil {
+		return false
+	}
+	for i := range tp.sel {
+		if tp.sel[i].mask&mask != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// window is the server-internal window record. Clients refer to windows
+// only by XID.
+//
+// Concurrency: identity fields (id, owner, class, override, isRoot) are
+// immutable after creation. Everything else is atomic or copy-on-write,
+// so *reads never lock* — any walker (geometry, tree, hit-testing,
+// delivery) may run against concurrent mutation and sees a weakly
+// consistent but tear-free view. Writers are serialized per the scheme
+// in stripes.go: geometry and properties are last-writer-wins atomics
+// (no lock at all); tree links (parent/children), masks and map state
+// are written under the touched windows' stripes or Server.mu exclusive.
+type window struct {
+	id       xproto.XID
+	owner    *Conn // creating connection; nil for roots
+	class    xproto.WindowClass
+	override bool
+	isRoot   bool
+
+	// Geometry relative to parent, packed as two int32 pairs so a move
+	// or resize is one atomic store and a read is tear-free.
+	geomXY  atomic.Uint64 // packIntPair(X, Y)
+	geomWH  atomic.Uint64 // packIntPair(Width, Height)
+	borderW atomic.Int32
+
+	mapped    atomic.Bool
+	destroyed atomic.Bool
+	screenIdx atomic.Int32 // kept eager: reparent rewrites the subtree
+
+	parent atomic.Pointer[window]
+	// kidGeo is the children snapshot — bottom-to-top stacking order
+	// (last = highest), copy-on-write, nil when empty — paired with a
+	// dense array of packed child positions kept live by lock-free
+	// moves writing through geoSlot. Sibling scans
+	// (TranslateCoordinates) reject on one sequential 8-byte load per
+	// child instead of a pointer chase.
+	kidGeo atomic.Pointer[kidGeoSnap]
+	// geoSlot is this window's live position cell inside the parent's
+	// current kidGeo snapshot; nil for roots and detached windows.
+	geoSlot atomic.Pointer[atomic.Uint64]
+
+	props atomic.Pointer[propTab]
+	masks atomic.Pointer[maskTab]
+
+	// SHAPE extension: when shaped is true, the effective bounding
+	// region is the union of shapeRects (window-relative, immutable
+	// snapshot).
+	shaped     atomic.Bool
+	shapeRects atomic.Pointer[[]xproto.Rect]
+
+	// Rendering hints consumed by internal/raster. A real server stores
+	// pixmaps and GC state; for figure reproduction we keep a label and
+	// a fill glyph per window.
+	label atomic.Pointer[string]
+	fill  atomic.Uint32 // low byte
+}
+
+func packIntPair(a, b int) uint64 {
+	return uint64(uint32(int32(a)))<<32 | uint64(uint32(int32(b)))
+}
+
+func unpackIntPair(v uint64) (int, int) {
+	return int(int32(uint32(v >> 32))), int(int32(uint32(v)))
+}
+
+func (w *window) pos() (x, y int)  { return unpackIntPair(w.geomXY.Load()) }
+func (w *window) size() (ww, h int) { return unpackIntPair(w.geomWH.Load()) }
+
+func (w *window) rect() xproto.Rect {
+	x, y := w.pos()
+	ww, h := w.size()
+	return xproto.Rect{X: x, Y: y, Width: ww, Height: h}
+}
+
+func (w *window) setRect(r xproto.Rect) {
+	w.geomXY.Store(packIntPair(r.X, r.Y))
+	w.geomWH.Store(packIntPair(r.Width, r.Height))
+}
+
+// storeX..storeH update one half of a packed pair with a CAS loop, so a
+// partial configure racing another writer can't resurrect a stale
+// sibling field.
+func (w *window) storeX(x int) {
+	for {
+		o := w.geomXY.Load()
+		_, y := unpackIntPair(o)
+		if w.geomXY.CompareAndSwap(o, packIntPair(x, y)) {
+			return
+		}
+	}
+}
+
+func (w *window) storeY(y int) {
+	for {
+		o := w.geomXY.Load()
+		x, _ := unpackIntPair(o)
+		if w.geomXY.CompareAndSwap(o, packIntPair(x, y)) {
+			return
+		}
+	}
+}
+
+func (w *window) storeW(ww int) {
+	for {
+		o := w.geomWH.Load()
+		_, h := unpackIntPair(o)
+		if w.geomWH.CompareAndSwap(o, packIntPair(ww, h)) {
+			return
+		}
+	}
+}
+
+func (w *window) storeH(h int) {
+	for {
+		o := w.geomWH.Load()
+		ww, _ := unpackIntPair(o)
+		if w.geomWH.CompareAndSwap(o, packIntPair(ww, h)) {
+			return
+		}
+	}
+}
+
+// kids returns the current children snapshot (bottom-to-top). The
+// returned prefix is immutable; lock-free.
+func (w *window) kids() []*window {
+	if snap := w.kidGeo.Load(); snap != nil {
+		return snap.wins[:snap.n.Load()]
+	}
+	return nil
+}
+
+// setKids publishes a new children snapshot. ks must own its backing
+// array (no published snapshot may share it — appendKid writes past the
+// published count). Caller must hold w's stripe or Server.mu
+// exclusively.
+func (w *window) setKids(ks []*window) {
+	if len(ks) == 0 {
+		w.kidGeo.Store(nil)
+		return
+	}
+	n := len(ks)
+	snap := &kidGeoSnap{}
+	if cap(ks) <= len(snap.winsBuf) {
+		snap.wins = snap.winsBuf[:len(snap.winsBuf)]
+		copy(snap.wins, ks)
+		snap.xy = snap.xyBuf[:len(snap.xyBuf)]
+	} else {
+		snap.wins = ks[:cap(ks):cap(ks)]
+		snap.xy = make([]atomic.Uint64, cap(ks))
+	}
+	snap.n.Store(int32(n))
+	for i, c := range ks {
+		snap.xy[i].Store(c.geomXY.Load())
+	}
+	w.kidGeo.Store(snap)
+	// Re-point every child's live cell at the new snapshot, then
+	// re-sync from the truth: a lock-free move that raced the build
+	// wrote the superseded snapshot's cell, and the sync pass folds its
+	// position in.
+	for i, c := range ks {
+		c.geoSlot.Store(&snap.xy[i])
+	}
+	for _, c := range ks {
+		c.syncGeoCell()
+	}
+}
+
+// appendKid stacks w on top of p's children. When the current
+// snapshot's backing arrays have spare capacity the new child is
+// written past the published count and then published with one atomic
+// count store — no allocation at all. Backing arrays are append-only
+// between full rebuilds (detach and restack always allocate anew), so
+// a concurrent reader's previously loaded count never covers the
+// in-flight write. This keeps the attach-heavy manage path O(1)
+// amortized instead of rebuilding the sibling arrays per CreateWindow.
+// Caller must hold p's stripe or Server.mu exclusively.
+func (p *window) appendKid(w *window) {
+	snap := p.kidGeo.Load()
+	if snap != nil {
+		if n := int(snap.n.Load()); n < len(snap.wins) {
+			snap.wins[n] = w
+			snap.xy[n].Store(w.geomXY.Load())
+			// Point the newcomer at its cell before publishing the
+			// count, so any reader that sees the child also sees a
+			// live mirror cell. Existing children keep their cells
+			// (same backing array) — no re-point, no sync sweep.
+			w.geoSlot.Store(&snap.xy[n])
+			snap.n.Store(int32(n + 1))
+			w.syncGeoCell()
+			return
+		}
+	}
+	// Grow with headroom, then publish and re-point like setKids.
+	n := 0
+	if snap != nil {
+		n = int(snap.n.Load())
+	}
+	c := 2 * (n + 1)
+	if c < 4 {
+		c = 4
+	}
+	ns := &kidGeoSnap{}
+	if c <= len(ns.winsBuf) {
+		ns.wins = ns.winsBuf[:c]
+		ns.xy = ns.xyBuf[:c]
+	} else {
+		ns.wins = make([]*window, c)
+		ns.xy = make([]atomic.Uint64, c)
+	}
+	wins := ns.wins
+	if snap != nil {
+		copy(wins, snap.wins[:n])
+	}
+	wins[n] = w
+	ns.n.Store(int32(n + 1))
+	for i := 0; i <= n; i++ {
+		ns.xy[i].Store(wins[i].geomXY.Load())
+	}
+	p.kidGeo.Store(ns)
+	for i := 0; i <= n; i++ {
+		wins[i].geoSlot.Store(&ns.xy[i])
+	}
+	for i := 0; i <= n; i++ {
+		wins[i].syncGeoCell()
+	}
+}
+
+// kidGeoSnap is a children snapshot paired with a dense array of the
+// children's packed positions. The xy cells are live — moves write
+// through geoSlot — so one snapshot stays current across any number of
+// geometry-only configures; appends extend the backing in place and
+// publish by bumping n, and only detach/restack rebuild. Readers load
+// n once and treat wins[:n]/xy[:n] as the immutable snapshot.
+type kidGeoSnap struct {
+	n    atomic.Int32 // published child count; wins/xy valid in [0, n)
+	wins []*window    // backing, len == cap, append-only past n
+	xy   []atomic.Uint64
+	// Inline backing for small families (the common case: a frame
+	// holds a client window and a handful of decorations), so building
+	// their snapshot is a single allocation.
+	winsBuf [4]*window
+	xyBuf   [4]atomic.Uint64
+}
+
+// syncGeoCell copies w's position into its live cell in the parent's
+// kidGeo snapshot. Called lock-free after every position store; the
+// re-validation loop makes concurrent movers and snapshot rebuilds
+// converge on the latest truth (a stale cell write is always observed
+// by the racing writer's re-check, which rewrites it).
+func (w *window) syncGeoCell() {
+	for {
+		cell := w.geoSlot.Load()
+		if cell == nil {
+			return
+		}
+		v := w.geomXY.Load()
+		cell.Store(v)
+		if w.geoSlot.Load() == cell && w.geomXY.Load() == v {
+			return
+		}
+	}
+}
+
+func (w *window) labelStr() string {
+	if lp := w.label.Load(); lp != nil {
+		return *lp
+	}
+	return ""
+}
+
+func (w *window) screen() int {
+	return int(w.screenIdx.Load())
+}
+
+// rootCoords returns w's top-left corner in root coordinates. Lock-free.
+func (w *window) rootCoords() (x, y int) {
+	for p := w; p != nil && !p.isRoot; p = p.parent.Load() {
+		px, py := p.pos()
+		bw := int(p.borderW.Load())
+		x += px + bw
+		y += py + bw
 	}
 	return x, y
 }
 
-// viewableLocked reports whether w and all ancestors are mapped.
-func (w *window) viewableLocked() bool {
-	for p := w; p != nil; p = p.parent {
-		if !p.mapped {
+// viewable reports whether w and all ancestors are mapped. Lock-free.
+func (w *window) viewable() bool {
+	for p := w; p != nil; p = p.parent.Load() {
+		if !p.mapped.Load() {
 			return false
 		}
 	}
 	return true
 }
 
-// isAncestorOfLocked reports whether w is a (transitive) ancestor of o.
-func (w *window) isAncestorOfLocked(o *window) bool {
-	for p := o.parent; p != nil; p = p.parent {
+// isAncestorOf reports whether w is a (transitive) ancestor of o.
+func (w *window) isAncestorOf(o *window) bool {
+	for p := o.parent.Load(); p != nil; p = p.parent.Load() {
 		if p == w {
 			return true
 		}
@@ -85,13 +642,14 @@ func (w *window) isAncestorOfLocked(o *window) bool {
 	return false
 }
 
-// stackIndexLocked returns w's index in its parent's children slice, or
-// -1 for roots.
-func (w *window) stackIndexLocked() int {
-	if w.parent == nil {
+// stackIndex returns w's index in its parent's children snapshot, or -1
+// for roots and detached windows.
+func (w *window) stackIndex() int {
+	p := w.parent.Load()
+	if p == nil {
 		return -1
 	}
-	for i, c := range w.parent.children {
+	for i, c := range p.kids() {
 		if c == w {
 			return i
 		}
@@ -99,75 +657,95 @@ func (w *window) stackIndexLocked() int {
 	return -1
 }
 
-// detachLocked removes w from its parent's children.
-func (w *window) detachLocked() {
-	if w.parent == nil {
+// detach removes w from its parent's children. Caller must hold the
+// parent's stripe or Server.mu exclusively.
+func (w *window) detach() {
+	p := w.parent.Load()
+	if p == nil {
 		return
 	}
-	idx := w.stackIndexLocked()
-	if idx >= 0 {
-		w.parent.children = append(w.parent.children[:idx], w.parent.children[idx+1:]...)
+	cur := p.kids()
+	for i, c := range cur {
+		if c == w {
+			// Keep the old backing's capacity so the reparent pattern
+			// (detach here, attach elsewhere, repeat) stays on
+			// appendKid's in-place path instead of re-growing.
+			nk := make([]*window, 0, cap(cur))
+			nk = append(nk, cur[:i]...)
+			nk = append(nk, cur[i+1:]...)
+			p.setKids(nk)
+			break
+		}
 	}
-	w.parent = nil
+	w.parent.Store(nil)
 }
 
-// attachLocked appends w on top of parent's children.
-func (w *window) attachLocked(parent *window) {
-	w.parent = parent
-	parent.children = append(parent.children, w)
+// attach appends w on top of parent's children. Caller must hold the
+// stripes of both windows or Server.mu exclusively.
+func (w *window) attach(parent *window) {
+	w.parent.Store(parent)
+	parent.appendKid(w)
 }
 
-// containsPointLocked reports whether the root-relative point lies
-// within w's (possibly shaped) extent.
-func (w *window) containsPointLocked(rootX, rootY int) bool {
-	wx, wy := w.rootCoordsLocked()
+// containsPoint reports whether the root-relative point lies within w's
+// (possibly shaped) extent. Lock-free.
+func (w *window) containsPoint(rootX, rootY int) bool {
+	wx, wy := w.rootCoords()
 	lx, ly := rootX-wx, rootY-wy
-	if lx < 0 || ly < 0 || lx >= w.rect.Width || ly >= w.rect.Height {
+	ww, wh := w.size()
+	if lx < 0 || ly < 0 || lx >= ww || ly >= wh {
 		return false
 	}
-	if !w.shaped {
+	if !w.shaped.Load() {
 		return true
 	}
-	for _, r := range w.shapeRects {
-		if r.Contains(lx, ly) {
-			return true
+	if rp := w.shapeRects.Load(); rp != nil {
+		for _, r := range *rp {
+			if r.Contains(lx, ly) {
+				return true
+			}
 		}
 	}
 	return false
 }
 
-// descendantAtLocked returns the deepest viewable descendant of w (or w
+// descendantAt returns the deepest viewable descendant of w (or w
 // itself) containing the root-relative point, honouring stacking order
 // (topmost child wins). Returns nil if the point is outside w.
-func (w *window) descendantAtLocked(rootX, rootY int) *window {
+// Lock-free: against concurrent tree mutation the result is one of the
+// momentarily valid answers.
+func (w *window) descendantAt(rootX, rootY int) *window {
 	px, py := 0, 0
-	if w.parent != nil {
-		px, py = w.parent.rootCoordsLocked()
+	if p := w.parent.Load(); p != nil {
+		px, py = p.rootCoords()
 	}
-	return w.descendantAtFromLocked(rootX, rootY, px, py)
+	return w.descendantAtFrom(rootX, rootY, px, py)
 }
 
-// descendantAtFromLocked is descendantAtLocked with w's parent origin
-// (in root coordinates) threaded down the recursion, so the walk does
-// one coordinate addition per node instead of an O(depth)
-// rootCoordsLocked chain — the pointer-window recomputation runs after
-// every map/unmap/configure and would otherwise go quadratic in the
-// number of windows.
-func (w *window) descendantAtFromLocked(rootX, rootY, px, py int) *window {
-	if !w.mapped {
+// descendantAtFrom is descendantAt with w's parent origin (in root
+// coordinates) threaded down the recursion, so the walk does one
+// coordinate addition per node instead of an O(depth) rootCoords chain —
+// the pointer-window recomputation runs after every map/unmap/configure
+// and would otherwise go quadratic in the number of windows.
+func (w *window) descendantAtFrom(rootX, rootY, px, py int) *window {
+	if !w.mapped.Load() {
 		return nil
 	}
-	wx, wy := px+w.rect.X, py+w.rect.Y
+	x, y := w.pos()
+	wx, wy := px+x, py+y
 	lx, ly := rootX-wx, rootY-wy
-	if lx < 0 || ly < 0 || lx >= w.rect.Width || ly >= w.rect.Height {
+	ww, wh := w.size()
+	if lx < 0 || ly < 0 || lx >= ww || ly >= wh {
 		return nil
 	}
-	if w.shaped {
+	if w.shaped.Load() {
 		in := false
-		for _, r := range w.shapeRects {
-			if r.Contains(lx, ly) {
-				in = true
-				break
+		if rp := w.shapeRects.Load(); rp != nil {
+			for _, r := range *rp {
+				if r.Contains(lx, ly) {
+					in = true
+					break
+				}
 			}
 		}
 		if !in {
@@ -175,65 +753,92 @@ func (w *window) descendantAtFromLocked(rootX, rootY, px, py int) *window {
 		}
 	}
 	// Scan children top-to-bottom.
-	for i := len(w.children) - 1; i >= 0; i-- {
-		c := w.children[i]
-		if !c.mapped {
+	ks := w.kids()
+	for i := len(ks) - 1; i >= 0; i-- {
+		c := ks[i]
+		if !c.mapped.Load() {
 			continue
 		}
-		if hit := c.descendantAtFromLocked(rootX, rootY, wx, wy); hit != nil {
+		if hit := c.descendantAtFrom(rootX, rootY, wx, wy); hit != nil {
 			return hit
 		}
 	}
 	return w
 }
 
-// restackLocked applies a stacking change relative to an optional
-// sibling, mirroring ConfigureWindow's sibling/stack-mode semantics for
-// the modes a WM uses (Above, Below, Opposite).
-func (w *window) restackLocked(mode xproto.StackMode, sibling *window) {
-	parent := w.parent
+// restack applies a stacking change relative to an optional sibling,
+// mirroring ConfigureWindow's sibling/stack-mode semantics for the modes
+// a WM uses (Above, Below, Opposite). Caller must hold the stripes of w
+// and its parent or Server.mu exclusively.
+func (w *window) restack(mode xproto.StackMode, sibling *window) {
+	parent := w.parent.Load()
 	if parent == nil {
 		return
 	}
-	idx := w.stackIndexLocked()
+	cur := parent.kids()
+	idx := -1
+	for i, c := range cur {
+		if c == w {
+			idx = i
+			break
+		}
+	}
 	if idx < 0 {
 		return
 	}
-	parent.children = append(parent.children[:idx], parent.children[idx+1:]...)
+	// Raising an already-topmost window (the common case in a raise
+	// storm) is a no-op: skip the clone.
+	if idx == len(cur)-1 && sibling == nil && (mode == xproto.Above || mode == xproto.TopIf) {
+		return
+	}
+	rest := make([]*window, 0, len(cur))
+	rest = append(rest, cur[:idx]...)
+	rest = append(rest, cur[idx+1:]...)
+	sidx := func() int {
+		for i, c := range rest {
+			if c == sibling {
+				return i
+			}
+		}
+		return -1
+	}
+	insert := func(at int) {
+		nk := make([]*window, 0, cap(cur))
+		nk = append(nk, rest[:at]...)
+		nk = append(nk, w)
+		nk = append(nk, rest[at:]...)
+		parent.setKids(nk)
+	}
 	switch mode {
 	case xproto.Above:
 		if sibling == nil {
-			parent.children = append(parent.children, w)
+			insert(len(rest))
 		} else {
-			si := sibling.stackIndexLocked()
-			// insert just above sibling
-			parent.children = append(parent.children, nil)
-			copy(parent.children[si+2:], parent.children[si+1:])
-			parent.children[si+1] = w
+			insert(sidx() + 1)
 		}
 	case xproto.Below:
 		if sibling == nil {
-			parent.children = append([]*window{w}, parent.children...)
+			insert(0)
 		} else {
-			si := sibling.stackIndexLocked()
-			parent.children = append(parent.children, nil)
-			copy(parent.children[si+1:], parent.children[si:])
-			parent.children[si] = w
+			si := sidx()
+			if si < 0 {
+				si = 0
+			}
+			insert(si)
 		}
 	case xproto.Opposite:
-		// Raise if anything overlaps above it; we approximate with: if
-		// not already topmost, raise, else lower.
-		if idx == len(parent.children) {
-			parent.children = append([]*window{w}, parent.children...)
+		// Raise if not already topmost, else lower.
+		if idx == len(cur)-1 {
+			insert(0)
 		} else {
-			parent.children = append(parent.children, w)
+			insert(len(rest))
 		}
 	default:
 		// TopIf / BottomIf degrade to Above / Below for our purposes.
 		if mode == xproto.TopIf {
-			parent.children = append(parent.children, w)
+			insert(len(rest))
 		} else {
-			parent.children = append([]*window{w}, parent.children...)
+			insert(0)
 		}
 	}
 }
