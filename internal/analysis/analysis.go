@@ -8,6 +8,14 @@
 // actually exists, and the paper's 32767x32767 desktop coordinate
 // limit.
 //
+// The concurrency suite machine-checks the striped/lock-free xserver
+// scheme (DESIGN.md §12–13): lockorder models the full hierarchy
+// Server.mu > stripes > inputMu > Conn.qMu/errMu, atomicfield forbids
+// mixed atomic/plain access to a field, snapshotimmut freezes values
+// published through atomic.Pointer Stores, seqlock pins the odd/even
+// writer and retry-reader protocols of seq-guarded entries, and
+// waiveraudit keeps the //swm:ok ledger from accreting dead entries.
+//
 // The suite is built only on the standard library (go/parser, go/ast,
 // go/types); there is deliberately no golang.org/x/tools dependency so
 // the module stays dependency-free. Packages are type-checked against
@@ -52,6 +60,10 @@ func All() []*Analyzer {
 		XIDLife,
 		FuncRef,
 		CoordGuard,
+		AtomicField,
+		SnapshotImmut,
+		SeqLock,
+		WaiverAudit,
 	}
 }
 
@@ -141,10 +153,21 @@ func (p *Pass) report(pos, anchor token.Pos, kind, format string, args ...any) {
 
 // Run executes the given analyzers over one loaded package, applies
 // //swm:ok waivers, and returns findings sorted by position.
+//
+// WaiverAudit is special: it reports waivers no other analyzer's
+// findings consume, so requesting it runs the rest of the suite
+// internally (findings of analyzers not in the request are used only
+// to mark waivers live, never reported). Each analyzer still runs at
+// most once per Run call.
 func Run(pkg *Package, ctx *Context, analyzers []*Analyzer) []Finding {
 	waivers := collectWaivers(pkg)
-	var all []Finding
-	for _, a := range analyzers {
+	raw := make(map[*Analyzer][]Finding)
+	// rawRun runs one analyzer (memoized), applies waivers to its
+	// findings, and marks each consumed waiver used.
+	rawRun := func(a *Analyzer) []Finding {
+		if fs, ok := raw[a]; ok {
+			return fs
+		}
 		pass := &Pass{
 			Analyzer: a,
 			Fset:     pkg.Fset,
@@ -156,16 +179,41 @@ func Run(pkg *Package, ctx *Context, analyzers []*Analyzer) []Finding {
 		a.Run(pass)
 		for i := range pass.findings {
 			f := &pass.findings[i]
-			if reason, ok := waivers.lookup(f.File, f.Line); ok {
-				f.Waived, f.Reason = true, reason
+			if w := waivers.match(f.File, f.Line); w != nil {
+				f.Waived, f.Reason = true, w.reason
+				w.used = true
 			} else if f.anchorLine != 0 {
-				if reason, ok := waivers.lookup(f.File, f.anchorLine); ok {
-					f.Waived, f.Reason = true, reason
+				if w := waivers.match(f.File, f.anchorLine); w != nil {
+					f.Waived, f.Reason = true, w.reason
+					w.used = true
 				}
 			}
-			f.File = ctx.rel(f.File)
 		}
-		all = append(all, pass.findings...)
+		raw[a] = pass.findings
+		return pass.findings
+	}
+
+	var all []Finding
+	auditRequested := false
+	for _, a := range analyzers {
+		if a == WaiverAudit {
+			auditRequested = true
+			continue
+		}
+		all = append(all, rawRun(a)...)
+	}
+	if auditRequested {
+		// Mark waiver usage across the *whole* suite, not just the
+		// requested subset: a waiver is live if any analyzer needs it.
+		for _, a := range All() {
+			if a != WaiverAudit {
+				rawRun(a)
+			}
+		}
+		all = append(all, auditWaivers(waivers)...)
+	}
+	for i := range all {
+		all[i].File = ctx.rel(all[i].File)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].File != all[j].File {
@@ -182,23 +230,34 @@ func Run(pkg *Package, ctx *Context, analyzers []*Analyzer) []Finding {
 	return all
 }
 
-// waiverSet maps file -> line -> reason. A waiver on line N covers
+// A waiver is one //swm:ok comment, tracked so the audit can tell live
+// waivers (some finding consumed them) from dead ones.
+type waiver struct {
+	line   int
+	col    int
+	reason string
+	used   bool
+}
+
+// waiverSet maps file -> line -> waiver. A waiver on line N covers
 // findings on line N (trailing comment) and line N+1 (comment on its
 // own line above the offending one).
-type waiverSet map[string]map[int]string
+type waiverSet map[string]map[int]*waiver
 
-func (ws waiverSet) lookup(file string, line int) (string, bool) {
+// match returns the waiver covering a finding on the given line, or
+// nil. The caller marks the returned waiver used.
+func (ws waiverSet) match(file string, line int) *waiver {
 	lines, ok := ws[file]
 	if !ok {
-		return "", false
+		return nil
 	}
-	if r, ok := lines[line]; ok {
-		return r, true
+	if w, ok := lines[line]; ok {
+		return w
 	}
-	if r, ok := lines[line-1]; ok {
-		return r, true
+	if w, ok := lines[line-1]; ok {
+		return w
 	}
-	return "", false
+	return nil
 }
 
 const waiverPrefix = "//swm:ok"
@@ -211,7 +270,13 @@ func collectWaivers(pkg *Package) waiverSet {
 				if !strings.HasPrefix(c.Text, waiverPrefix) {
 					continue
 				}
-				reason := strings.TrimSpace(strings.TrimPrefix(c.Text, waiverPrefix))
+				rest := strings.TrimPrefix(c.Text, waiverPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// "//swm:okay ..." is some other comment, not a
+					// misspelled waiver.
+					continue
+				}
+				reason := strings.TrimSpace(rest)
 				if reason == "" {
 					// A waiver without a reason is not a waiver: the
 					// whole point is that every suppression explains
@@ -221,10 +286,10 @@ func collectWaivers(pkg *Package) waiverSet {
 				pos := pkg.Fset.Position(c.Pos())
 				lines := ws[pos.Filename]
 				if lines == nil {
-					lines = make(map[int]string)
+					lines = make(map[int]*waiver)
 					ws[pos.Filename] = lines
 				}
-				lines[pos.Line] = reason
+				lines[pos.Line] = &waiver{line: pos.Line, col: pos.Column, reason: reason}
 			}
 		}
 	}

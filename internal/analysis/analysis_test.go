@@ -81,6 +81,47 @@ func TestCoordGuardGolden(t *testing.T) {
 	}
 }
 
+func TestAtomicFieldGolden(t *testing.T) {
+	fs := analysis.RunGolden(t, sharedLoader(t), analysis.AtomicField, "testdata/atomicfield")
+	if got := waivedReasons(t, fs); len(got) != 1 {
+		t.Errorf("waived findings = %d, want 1 (%q)", len(got), got)
+	}
+}
+
+func TestSnapshotImmutGolden(t *testing.T) {
+	fs := analysis.RunGolden(t, sharedLoader(t), analysis.SnapshotImmut, "testdata/snapshotimmut")
+	if got := waivedReasons(t, fs); len(got) != 1 {
+		t.Errorf("waived findings = %d, want 1 (%q)", len(got), got)
+	}
+}
+
+func TestSeqLockGolden(t *testing.T) {
+	// The waived diagnostic reader carries two findings (no re-check,
+	// no oddness test) under one waiver.
+	fs := analysis.RunGolden(t, sharedLoader(t), analysis.SeqLock, "testdata/seqlock")
+	if got := waivedReasons(t, fs); len(got) != 2 {
+		t.Errorf("waived findings = %d, want 2 (%q)", len(got), got)
+	}
+}
+
+func TestWaiverAuditGolden(t *testing.T) {
+	// Three dead waivers (one plain, two stacked), none waivable; the
+	// live waiver in the fixture must stay unreported.
+	fs := analysis.RunGolden(t, sharedLoader(t), analysis.WaiverAudit, "testdata/waiveraudit")
+	if got := waivedReasons(t, fs); len(got) != 0 {
+		t.Errorf("waived findings = %d, want 0 (%q)", len(got), got)
+	}
+	dead := 0
+	for _, f := range fs {
+		if f.ID == "waiveraudit.dead" {
+			dead++
+		}
+	}
+	if dead != 3 {
+		t.Errorf("dead waivers = %d, want 3", dead)
+	}
+}
+
 // TestRegistryExtraction pins the registry to the real tables: the
 // function names come from internal/core/functions.go and the modifiers
 // from internal/bindings/bindings.go, not from a hand-kept copy.

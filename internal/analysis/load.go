@@ -57,14 +57,33 @@ func (c *Context) rel(file string) string {
 // resolves imports through compiled export data from the go toolchain's
 // build cache (`go list -export`), keeping the analyzer itself free of
 // non-stdlib dependencies.
+//
+// The loader is a process-wide cache: the single `go list -deps
+// -export` invocation that discovers the module's packages also yields
+// their file lists and every dependency's export data, and each
+// type-checked package is memoized by import path. Running the full
+// analyzer suite, the golden fixtures, and a dogfood sweep in one
+// process therefore shells out to the go tool once and type-checks
+// each package once, no matter how many analyzers or tests consume it.
 type Loader struct {
 	Ctx  *Context
 	fset *token.FileSet
 
-	exportsOnce sync.Once
-	exports     map[string]string // import path -> export data file
-	exportsErr  error
-	imp         types.Importer
+	listOnce sync.Once
+	exports  map[string]string // import path -> export data file
+	modPkgs  []listedPkg       // the module's own packages, listing order
+	listErr  error
+	imp      types.Importer
+
+	mu   sync.Mutex
+	pkgs map[string]*Package // import path -> checked package
+}
+
+// listedPkg is one `go list` record the loader caches.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
 }
 
 // NewLoader creates a loader rooted at the module containing dir.
@@ -80,6 +99,7 @@ func NewLoader(dir string) (*Loader, error) {
 	l := &Loader{
 		Ctx:  &Context{ModuleDir: filepath.Dir(gomod)},
 		fset: token.NewFileSet(),
+		pkgs: make(map[string]*Package),
 	}
 	l.imp = importer.ForCompiler(l.fset, "gc", l.lookupExport)
 	return l, nil
@@ -100,35 +120,47 @@ func goTool(dir string, args ...string) ([]byte, error) {
 	return stdout.Bytes(), nil
 }
 
-// loadExports builds the import-path -> export-data map for every
-// dependency of the module, compiling as needed via the build cache.
-func (l *Loader) loadExports() error {
-	l.exportsOnce.Do(func() {
-		out, err := goTool(l.Ctx.ModuleDir, "list", "-deps", "-export", "-json=ImportPath,Export", "./...")
+// loadList runs the one `go list -deps -export` invocation the whole
+// process shares: it compiles export data for every dependency via the
+// build cache and records the module's own package file lists, so
+// Load("./...") never has to shell out again.
+func (l *Loader) loadList() error {
+	l.listOnce.Do(func() {
+		out, err := goTool(l.Ctx.ModuleDir, "list", "-deps", "-export",
+			"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard", "./...")
 		if err != nil {
-			l.exportsErr = err
+			l.listErr = err
 			return
 		}
 		l.exports = make(map[string]string)
 		dec := json.NewDecoder(bytes.NewReader(out))
 		for {
-			var p struct{ ImportPath, Export string }
+			var p struct {
+				ImportPath, Dir, Export string
+				GoFiles                 []string
+				DepOnly, Standard       bool
+			}
 			if err := dec.Decode(&p); err == io.EOF {
 				break
 			} else if err != nil {
-				l.exportsErr = fmt.Errorf("analysis: decoding go list output: %w", err)
+				l.listErr = fmt.Errorf("analysis: decoding go list output: %w", err)
 				return
 			}
 			if p.Export != "" {
 				l.exports[p.ImportPath] = p.Export
 			}
+			if !p.DepOnly && !p.Standard {
+				l.modPkgs = append(l.modPkgs, listedPkg{
+					ImportPath: p.ImportPath, Dir: p.Dir, GoFiles: p.GoFiles,
+				})
+			}
 		}
 	})
-	return l.exportsErr
+	return l.listErr
 }
 
 func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
-	if err := l.loadExports(); err != nil {
+	if err := l.loadList(); err != nil {
 		return nil, err
 	}
 	file, ok := l.exports[path]
@@ -143,32 +175,21 @@ func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
 // Go files are skipped. testdata directories are excluded by the go
 // tool itself, which is what keeps the analyzer fixtures out of the
 // repo-wide sweep.
+//
+// The whole-module pattern "./..." is answered from the cached listing
+// (no extra go list run); any pattern set reuses the per-import-path
+// type-check memo, so repeated Loads in one process are cheap.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
-	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)
-	out, err := goTool(l.Ctx.ModuleDir, args...)
+	listed, err := l.list(patterns)
 	if err != nil {
 		return nil, err
 	}
 	var pkgs []*Package
-	dec := json.NewDecoder(bytes.NewReader(out))
-	for {
-		var p struct {
-			ImportPath, Dir string
-			GoFiles         []string
-		}
-		if err := dec.Decode(&p); err == io.EOF {
-			break
-		} else if err != nil {
-			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
-		}
+	for _, p := range listed {
 		if len(p.GoFiles) == 0 {
 			continue
 		}
-		var files []string
-		for _, f := range p.GoFiles {
-			files = append(files, filepath.Join(p.Dir, f))
-		}
-		pkg, err := l.check(p.ImportPath, p.Dir, files)
+		pkg, err := l.checkCached(p)
 		if err != nil {
 			return nil, err
 		}
@@ -177,10 +198,73 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// list resolves patterns to package records, serving "./..." from the
+// shared listing and shelling out only for narrower patterns.
+func (l *Loader) list(patterns []string) ([]listedPkg, error) {
+	wholeModule := len(patterns) == 0 || (len(patterns) == 1 && patterns[0] == "./...")
+	if wholeModule {
+		if err := l.loadList(); err != nil {
+			return nil, err
+		}
+		return l.modPkgs, nil
+	}
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)
+	out, err := goTool(l.Ctx.ModuleDir, args...)
+	if err != nil {
+		return nil, err
+	}
+	var listed []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		listed = append(listed, p)
+	}
+	return listed, nil
+}
+
+// checkCached type-checks a listed package once per process.
+func (l *Loader) checkCached(p listedPkg) (*Package, error) {
+	l.mu.Lock()
+	if pkg, ok := l.pkgs[p.ImportPath]; ok {
+		l.mu.Unlock()
+		return pkg, nil
+	}
+	l.mu.Unlock()
+	var files []string
+	for _, f := range p.GoFiles {
+		files = append(files, filepath.Join(p.Dir, f))
+	}
+	pkg, err := l.check(p.ImportPath, p.Dir, files)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.pkgs[p.ImportPath] = pkg
+	l.mu.Unlock()
+	return pkg, nil
+}
+
 // LoadDir loads a single directory outside the module's package list —
 // used by the golden-test driver to load testdata fixture packages.
-// Test files are skipped; fixtures are plain packages.
+// Test files are skipped; fixtures are plain packages. Results are
+// memoized like module packages.
 func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		abs = dir
+	}
+	importPath := "testdata/" + filepath.Base(abs)
+	l.mu.Lock()
+	if pkg, ok := l.pkgs[importPath]; ok {
+		l.mu.Unlock()
+		return pkg, nil
+	}
+	l.mu.Unlock()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -196,11 +280,14 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
-	abs, err := filepath.Abs(dir)
+	pkg, err := l.check(importPath, abs, files)
 	if err != nil {
-		abs = dir
+		return nil, err
 	}
-	return l.check("testdata/"+filepath.Base(abs), abs, files)
+	l.mu.Lock()
+	l.pkgs[importPath] = pkg
+	l.mu.Unlock()
+	return pkg, nil
 }
 
 func (l *Loader) check(importPath, dir string, filenames []string) (*Package, error) {

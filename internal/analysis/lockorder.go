@@ -57,6 +57,14 @@ import (
 //     spawned literal is analyzed as its own context (named like
 //     Go does, "Spawner.func1"), starting unheld.
 //
+// Below the stripes the hierarchy continues through the input-dispatch
+// lock and the per-connection leaf locks: Server.mu > stripes >
+// inputMu > Conn.qMu/errMu. Fields named inputMu, qMu and errMu of
+// type sync.Mutex/RWMutex form three more classes; acquiring up the
+// chain while holding a lower lock (or a leaf while holding its peer
+// leaf — the two are unordered) is lockorder.order, and re-acquiring
+// any of them while held is lockorder.reentrant.
+//
 // The region tracking is linear in source order, which is exact for
 // the straight-line lock-defer-unlock shape the package uses and a
 // safe approximation elsewhere; intentional exceptions carry //swm:ok.
@@ -74,13 +82,45 @@ const (
 	evCall
 )
 
-// lockClass distinguishes the two modeled lock classes.
+// lockClass distinguishes the modeled lock classes, in hierarchy order:
+// Server.mu > stripes > inputMu > Conn.qMu/errMu (DESIGN.md §12). The
+// two connection leaf locks share a rank and are unordered peers —
+// holding both is itself a violation.
 type lockClass int
 
 const (
 	classServer lockClass = iota
 	classStripe
+	classInput   // a field named inputMu (the input-dispatch lock)
+	classConnQ   // a field named qMu (per-connection event queue leaf)
+	classConnErr // a field named errMu (per-connection error queue leaf)
+	numLockClasses
 )
+
+// lockClassName renders a class for findings.
+func lockClassName(c lockClass) string {
+	switch c {
+	case classServer:
+		return "the server lock"
+	case classStripe:
+		return "a stripe"
+	case classInput:
+		return "inputMu"
+	case classConnQ:
+		return "qMu"
+	case classConnErr:
+		return "errMu"
+	}
+	return "?"
+}
+
+// leafPeer returns the other connection leaf class.
+func leafPeer(c lockClass) lockClass {
+	if c == classConnQ {
+		return classConnErr
+	}
+	return classConnQ
+}
 
 // stripesFile is the one file allowed to touch stripe locks directly.
 const stripesFile = "stripes.go"
@@ -95,12 +135,11 @@ type lockEvent struct {
 }
 
 type funcLockInfo struct {
-	decl           *ast.FuncDecl
-	events         []lockEvent
-	acquiresServer bool // direct server-lock acquire
-	acquiresStripe bool // direct stripe acquire (doorway or raw)
-	inStripes      bool // declared in stripes.go (doorway implementation)
-	spawned        []*spawnInfo
+	decl      *ast.FuncDecl
+	events    []lockEvent
+	acquires  [numLockClasses]bool // direct acquire per class
+	inStripes bool                 // declared in stripes.go (doorway implementation)
+	spawned   []*spawnInfo
 }
 
 // spawnInfo is the event stream of one go-spawned function literal (or
@@ -161,13 +200,27 @@ func runLockOrder(p *Pass) {
 		}
 		return rec
 	}
-	acquiresServer := acquiresFn(func(i *funcLockInfo) bool { return i.acquiresServer })
-	acquiresStripe := acquiresFn(func(i *funcLockInfo) bool { return i.acquiresStripe })
+	var acquiresClass [numLockClasses]func(*types.Func) bool
+	for c := lockClass(0); c < numLockClasses; c++ {
+		c := c
+		acquiresClass[c] = acquiresFn(func(i *funcLockInfo) bool { return i.acquires[c] })
+	}
+	acquiresServer := acquiresClass[classServer]
+	acquiresStripe := acquiresClass[classStripe]
 
 	for fn, info := range infos {
 		heldByName := strings.HasSuffix(fn.Name(), "Locked")
 		held := heldByName
 		stripeHeld := false
+		var heldC [numLockClasses]bool // classInput and below
+		heldBelow := func() (lockClass, bool) {
+			for _, c := range []lockClass{classInput, classConnQ, classConnErr} {
+				if heldC[c] {
+					return c, true
+				}
+			}
+			return 0, false
+		}
 		for _, ev := range info.events {
 			switch {
 			case ev.kind == evAcquire && ev.class == classServer:
@@ -177,6 +230,10 @@ func runLockOrder(p *Pass) {
 				} else if stripeHeld && !info.inStripes {
 					p.Reportf(ev.pos, "order",
 						"%s acquires the server lock while holding a stripe (hierarchy is mu above stripes)", fn.Name())
+				} else if below, ok := heldBelow(); ok {
+					p.Reportf(ev.pos, "order",
+						"%s acquires the server lock while holding %s (hierarchy is Server.mu > stripes > inputMu > qMu/errMu)",
+						fn.Name(), lockClassName(below))
 				}
 				held = true
 			case ev.kind == evAcquire && ev.class == classStripe:
@@ -190,12 +247,38 @@ func runLockOrder(p *Pass) {
 				} else if stripeHeld && !info.inStripes {
 					p.Reportf(ev.pos, "stripe",
 						"%s acquires a second stripe while holding one; only the ascending lockStripes2 doorway may hold two", fn.Name())
+				} else if below, ok := heldBelow(); ok {
+					p.Reportf(ev.pos, "order",
+						"%s acquires a stripe while holding %s (hierarchy is Server.mu > stripes > inputMu > qMu/errMu)",
+						fn.Name(), lockClassName(below))
 				}
 				stripeHeld = true
+			case ev.kind == evAcquire && ev.class >= classInput:
+				label := lockClassName(ev.class)
+				switch {
+				case heldC[ev.class]:
+					p.Reportf(ev.pos, "reentrant",
+						"%s re-acquires %s while holding it (sync.Mutex is not re-entrant)", fn.Name(), label)
+				case ev.class == classInput && (heldC[classConnQ] || heldC[classConnErr]):
+					below := classConnQ
+					if !heldC[classConnQ] {
+						below = classConnErr
+					}
+					p.Reportf(ev.pos, "order",
+						"%s acquires inputMu while holding %s (hierarchy is Server.mu > stripes > inputMu > qMu/errMu)",
+						fn.Name(), lockClassName(below))
+				case ev.class != classInput && heldC[leafPeer(ev.class)]:
+					p.Reportf(ev.pos, "order",
+						"%s acquires %s while holding %s; the connection leaf locks are unordered peers — never hold both",
+						fn.Name(), label, lockClassName(leafPeer(ev.class)))
+				}
+				heldC[ev.class] = true
 			case ev.kind == evRelease && ev.class == classServer:
 				held = false
 			case ev.kind == evRelease && ev.class == classStripe:
 				stripeHeld = false
+			case ev.kind == evRelease && ev.class >= classInput:
+				heldC[ev.class] = false
 			case ev.kind == evCall:
 				sAcq := acquiresServer(ev.callee)
 				stAcq := acquiresStripe(ev.callee)
@@ -212,12 +295,43 @@ func runLockOrder(p *Pass) {
 						p.Reportf(ev.pos, "order",
 							"%s calls %s, which acquires the server lock, while holding a stripe (hierarchy is mu above stripes)",
 							fn.Name(), ev.callee.Name())
+					} else if below, ok := heldBelow(); ok {
+						p.Reportf(ev.pos, "order",
+							"%s calls %s, which acquires the server lock, while holding %s (hierarchy is Server.mu > stripes > inputMu > qMu/errMu)",
+							fn.Name(), ev.callee.Name(), lockClassName(below))
 					}
 				}
-				if stAcq && stripeHeld && !info.inStripes {
-					p.Reportf(ev.pos, "stripe",
-						"%s calls %s while holding a stripe; %s re-acquires a stripe (stripeFor is dynamic, so this can self-deadlock)",
-						fn.Name(), ev.callee.Name(), ev.callee.Name())
+				if stAcq {
+					if stripeHeld && !info.inStripes {
+						p.Reportf(ev.pos, "stripe",
+							"%s calls %s while holding a stripe; %s re-acquires a stripe (stripeFor is dynamic, so this can self-deadlock)",
+							fn.Name(), ev.callee.Name(), ev.callee.Name())
+					} else if below, ok := heldBelow(); ok {
+						p.Reportf(ev.pos, "order",
+							"%s calls %s, which acquires a stripe, while holding %s (hierarchy is Server.mu > stripes > inputMu > qMu/errMu)",
+							fn.Name(), ev.callee.Name(), lockClassName(below))
+					}
+				}
+				for _, c := range []lockClass{classInput, classConnQ, classConnErr} {
+					if !acquiresClass[c](ev.callee) {
+						continue
+					}
+					label := lockClassName(c)
+					switch {
+					case heldC[c]:
+						p.Reportf(ev.pos, "reentrant",
+							"%s calls %s while holding %s; %s re-acquires it (sync.Mutex is not re-entrant)",
+							fn.Name(), ev.callee.Name(), label, ev.callee.Name())
+					case c == classInput && (heldC[classConnQ] || heldC[classConnErr]):
+						below, _ := heldBelow()
+						p.Reportf(ev.pos, "order",
+							"%s calls %s, which acquires inputMu, while holding %s (hierarchy is Server.mu > stripes > inputMu > qMu/errMu)",
+							fn.Name(), ev.callee.Name(), lockClassName(below))
+					case c != classInput && heldC[leafPeer(c)]:
+						p.Reportf(ev.pos, "order",
+							"%s calls %s, which acquires %s, while holding %s; the connection leaf locks are unordered peers — never hold both",
+							fn.Name(), ev.callee.Name(), label, lockClassName(leafPeer(c)))
+					}
 				}
 			}
 		}
@@ -284,8 +398,8 @@ func collectLockEvents(p *Pass, fd *ast.FuncDecl) *funcLockInfo {
 	info := &funcLockInfo{decl: fd}
 	spawnN := 0
 
-	var walk func(body ast.Node, events *[]lockEvent, acqServer, acqStripe *bool)
-	walk = func(body ast.Node, events *[]lockEvent, acqServer, acqStripe *bool) {
+	var walk func(body ast.Node, events *[]lockEvent, acq *[numLockClasses]bool)
+	walk = func(body ast.Node, events *[]lockEvent, acq *[numLockClasses]bool) {
 		deferred := make(map[*ast.CallExpr]bool)
 		goLit := make(map[*ast.FuncLit]bool)
 		goCall := make(map[*ast.CallExpr]bool)
@@ -294,12 +408,12 @@ func collectLockEvents(p *Pass, fd *ast.FuncDecl) *funcLockInfo {
 				spawnN++
 				sp := &spawnInfo{name: fmt.Sprintf("%s.func%d", fd.Name.Name, spawnN)}
 				info.spawned = append(info.spawned, sp)
-				var spServer, spStripe bool
+				var spAcq [numLockClasses]bool
 				if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
 					// Analyze the literal's body in the spawn context,
 					// and skip it when the outer walk reaches it.
 					goLit[lit] = true
-					walk(lit.Body, &sp.events, &spServer, &spStripe)
+					walk(lit.Body, &sp.events, &spAcq)
 				} else {
 					// `go s.f(...)`: f runs on the new goroutine; only
 					// its arguments evaluate here.
@@ -324,11 +438,7 @@ func collectLockEvents(p *Pass, fd *ast.FuncDecl) *funcLockInfo {
 				// Deferred unlocks hold to function end: no release event.
 				if kind == evAcquire {
 					*events = append(*events, lockEvent{pos: call.Pos(), kind: evAcquire, class: class, direct: true})
-					if class == classStripe {
-						*acqStripe = true
-					} else {
-						*acqServer = true
-					}
+					acq[class] = true
 				} else if !deferred[call] {
 					*events = append(*events, lockEvent{pos: call.Pos(), kind: evRelease, class: class, direct: true})
 				}
@@ -344,7 +454,7 @@ func collectLockEvents(p *Pass, fd *ast.FuncDecl) *funcLockInfo {
 			if kind, isDoorway := doorway(callee.Name()); isDoorway {
 				if kind == evAcquire {
 					*events = append(*events, lockEvent{pos: call.Pos(), kind: evAcquire, class: classStripe})
-					*acqStripe = true
+					acq[classStripe] = true
 				} else if !deferred[call] {
 					*events = append(*events, lockEvent{pos: call.Pos(), kind: evRelease, class: classStripe})
 				}
@@ -353,7 +463,7 @@ func collectLockEvents(p *Pass, fd *ast.FuncDecl) *funcLockInfo {
 			switch callee.Name() {
 			case "readLock":
 				*events = append(*events, lockEvent{pos: call.Pos(), kind: evAcquire, class: classServer})
-				*acqServer = true
+				acq[classServer] = true
 			case "readUnlock":
 				if !deferred[call] {
 					*events = append(*events, lockEvent{pos: call.Pos(), kind: evRelease, class: classServer})
@@ -365,14 +475,14 @@ func collectLockEvents(p *Pass, fd *ast.FuncDecl) *funcLockInfo {
 		})
 		sort.SliceStable(*events, func(i, j int) bool { return (*events)[i].pos < (*events)[j].pos })
 	}
-	walk(fd.Body, &info.events, &info.acquiresServer, &info.acquiresStripe)
+	walk(fd.Body, &info.events, &info.acquires)
 	return info
 }
 
-// muOp recognizes <expr>.mu.Lock() / RLock() / Unlock() / RUnlock()
-// where mu is a sync.Mutex or sync.RWMutex field named exactly "mu",
-// classifying by the owning type: a `mu` on a type named "stripe" is a
-// stripe lock, any other is the server lock.
+// muOp recognizes <expr>.<field>.Lock() / RLock() / Unlock() /
+// RUnlock() where the field is a sync.Mutex or sync.RWMutex named for
+// one of the modeled classes: `mu` (server, or stripe when the owning
+// type is named "stripe"), `inputMu`, `qMu`, or `errMu`.
 func muOp(info *types.Info, call *ast.CallExpr) (lockEventKind, lockClass, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
@@ -388,7 +498,20 @@ func muOp(info *types.Info, call *ast.CallExpr) (lockEventKind, lockClass, bool)
 		return 0, 0, false
 	}
 	inner, ok := sel.X.(*ast.SelectorExpr)
-	if !ok || inner.Sel.Name != "mu" {
+	if !ok {
+		return 0, 0, false
+	}
+	var class lockClass
+	switch inner.Sel.Name {
+	case "mu":
+		class = classServer
+	case "inputMu":
+		class = classInput
+	case "qMu":
+		class = classConnQ
+	case "errMu":
+		class = classConnErr
+	default:
 		return 0, 0, false
 	}
 	t := info.Types[inner].Type
@@ -402,13 +525,14 @@ func muOp(info *types.Info, call *ast.CallExpr) (lockEventKind, lockClass, bool)
 	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
 		return 0, 0, false
 	}
-	class := classServer
-	if ot := info.Types[inner.X].Type; ot != nil {
-		if p, isPtr := ot.(*types.Pointer); isPtr {
-			ot = p.Elem()
-		}
-		if onamed, isNamed := ot.(*types.Named); isNamed && onamed.Obj().Name() == "stripe" {
-			class = classStripe
+	if class == classServer {
+		if ot := info.Types[inner.X].Type; ot != nil {
+			if p, isPtr := ot.(*types.Pointer); isPtr {
+				ot = p.Elem()
+			}
+			if onamed, isNamed := ot.(*types.Named); isNamed && onamed.Obj().Name() == "stripe" {
+				class = classStripe
+			}
 		}
 	}
 	return kind, class, true

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// SARIF 2.1.0 output, minimal but valid: one run, one driver, a rule
+// per finding ID, one result per finding. Waived findings are emitted
+// at level "note" so the inventory stays complete without tripping
+// SARIF-consuming gates; unwaived findings are "error". File URIs are
+// module-relative with forward slashes, which is what code-scanning
+// uploaders expect.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF emits findings as a SARIF 2.1.0 log. Rules are derived
+// from the analyzer suite (one per analyzer, described by its Doc) so
+// every finding's ruleId resolves even for IDs with no findings this
+// run.
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, findings []Finding) error {
+	ruleIDs := make(map[string]string) // id -> description
+	for _, a := range analyzers {
+		ruleIDs[a.Name] = a.Doc
+	}
+	// Finding IDs are "<analyzer>.<kind>"; register each concrete ID
+	// seen so consumers can group by exact rule.
+	for _, f := range findings {
+		if _, ok := ruleIDs[f.ID]; !ok {
+			ruleIDs[f.ID] = "swmvet " + f.Analyzer + " finding"
+		}
+	}
+	var rules []sarifRule
+	for id, doc := range ruleIDs {
+		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: doc}})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		level := "error"
+		msg := f.Message
+		if f.Waived {
+			level = "note"
+			msg += " (waived: " + f.Reason + ")"
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.ID,
+			Level:   level,
+			Message: sarifMessage{Text: msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(f.File)},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "swmvet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

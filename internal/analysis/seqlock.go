@@ -1,0 +1,356 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// SeqLock structurally checks the repo's seqlock protocol (DESIGN.md
+// §12): a struct field named seq of type atomic.Uint32/Uint64 is a
+// sequence lock guarding its sibling fields. Writers latch it with an
+// even→odd CompareAndSwap and must release back to even (Store(s) to
+// restore, Store(s+2) to publish); readers must test the loaded
+// sequence for oddness (a writer is mid-update), read the protected
+// fields, re-check the sequence before trusting the snapshot, and must
+// not carry pointers into the protected region out of the retry loop.
+//
+// The checks are per function, grouped by the seq field's base
+// expression. A function that Stores or CompareAndSwaps the sequence
+// is a writer; one that only Loads it while also reading sibling
+// fields is a reader. Finding kinds:
+//
+//   - seqlock.parity — a latch CAS with an even delta, or a release
+//     Store that leaves the sequence odd.
+//   - seqlock.unreleased — a function latches (CAS succeeds) but never
+//     stores the sequence afterwards and the pre-latch value does not
+//     escape by return (so no caller can release either). The latch()
+//     helper shape — `return s, true` — is recognized and exempt.
+//   - seqlock.norecheck — a reader consumes protected fields but never
+//     compares a re-loaded sequence against the first load.
+//   - seqlock.oddcheck — a reader never tests the sequence for
+//     oddness, so it can consume a torn mid-write snapshot.
+//   - seqlock.retain — a reader takes the address of a protected
+//     sibling field; the pointer outlives the validity the sequence
+//     re-check establishes.
+var SeqLock = &Analyzer{
+	Name: "seqlock",
+	Doc:  "checks seqlock writers for odd/even discipline and readers for retry-loop re-checks",
+	Run:  runSeqLock,
+}
+
+// seqOp is one operation on a seq field within a function.
+type seqOp struct {
+	kind string // "load", "store", "cas"
+	call *ast.CallExpr
+	pos  token.Pos
+	base string // rendered base expression owning the seq field
+}
+
+func runSeqLock(p *Pass) {
+	if p.Pkg == nil {
+		return
+	}
+	for _, fd := range funcDecls(p.Files) {
+		checkSeqFunc(p, fd)
+	}
+}
+
+// seqFieldCall matches base.seq.<Method>(...) where seq is an
+// atomic.Uint32/Uint64 struct field named "seq", returning the rendered
+// base and the op kind.
+func seqFieldCall(p *Pass, call *ast.CallExpr) (base, kind string, ok bool) {
+	fun, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch fun.Sel.Name {
+	case "Load":
+		kind = "load"
+	case "Store":
+		kind = "store"
+	case "CompareAndSwap":
+		kind = "cas"
+	case "Swap", "Add":
+		kind = "store" // mutates the sequence; treat as a release-class op
+	default:
+		return "", "", false
+	}
+	inner, isSel := ast.Unparen(fun.X).(*ast.SelectorExpr)
+	if !isSel || inner.Sel.Name != "seq" {
+		return "", "", false
+	}
+	s, found := p.Info.Selections[inner]
+	if !found || s.Kind() != types.FieldVal {
+		return "", "", false
+	}
+	named, isNamed := s.Obj().Type().(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return "", "", false
+	}
+	if obj.Name() != "Uint32" && obj.Name() != "Uint64" {
+		return "", "", false
+	}
+	return types.ExprString(inner.X), kind, true
+}
+
+func checkSeqFunc(p *Pass, fd *ast.FuncDecl) {
+	var ops []seqOp
+	seqIdents := make(map[types.Object]string) // ident -> base it was Loaded from
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			if base, kind, ok := seqFieldCall(p, st); ok {
+				ops = append(ops, seqOp{kind: kind, call: st, pos: st.Pos(), base: base})
+			}
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i, rhs := range st.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					if base, kind, ok := seqFieldCall(p, call); ok && kind == "load" {
+						if id, ok := ast.Unparen(st.Lhs[i]).(*ast.Ident); ok {
+							if obj := p.Info.Defs[id]; obj != nil {
+								seqIdents[obj] = base
+							} else if obj := p.Info.Uses[id]; obj != nil {
+								seqIdents[obj] = base
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(ops) == 0 {
+		return
+	}
+	byBase := make(map[string][]seqOp)
+	for _, op := range ops {
+		byBase[op.base] = append(byBase[op.base], op)
+	}
+	for base, bops := range byBase {
+		writer := false
+		for _, op := range bops {
+			if op.kind != "load" {
+				writer = true
+			}
+		}
+		if writer {
+			checkSeqWriter(p, fd, base, bops)
+		} else {
+			checkSeqReader(p, fd, base, bops, seqIdents)
+		}
+	}
+}
+
+// intConstVal returns e's compile-time integer value, if it has one.
+func intConstVal(p *Pass, e ast.Expr) (int64, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// addDelta decomposes e as `expr + k` (either order), returning the
+// non-constant side and k.
+func addDelta(p *Pass, e ast.Expr) (ast.Expr, int64, bool) {
+	bin, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.ADD {
+		return nil, 0, false
+	}
+	if k, ok := intConstVal(p, bin.Y); ok {
+		return bin.X, k, true
+	}
+	if k, ok := intConstVal(p, bin.X); ok {
+		return bin.Y, k, true
+	}
+	return nil, 0, false
+}
+
+func checkSeqWriter(p *Pass, fd *ast.FuncDecl, base string, ops []seqOp) {
+	var casOps, storeOps []seqOp
+	for _, op := range ops {
+		switch op.kind {
+		case "cas":
+			casOps = append(casOps, op)
+		case "store":
+			storeOps = append(storeOps, op)
+		}
+	}
+	for _, op := range casOps {
+		if len(op.call.Args) != 2 {
+			continue
+		}
+		oldArg, newArg := op.call.Args[0], op.call.Args[1]
+		if types.ExprString(oldArg) == types.ExprString(newArg) {
+			p.Reportf(op.pos, "parity",
+				"seqlock latch on %s.seq swaps the sequence for itself; a latch must make an even→odd transition (CompareAndSwap(s, s+1))", base)
+			continue
+		}
+		if expr, k, ok := addDelta(p, newArg); ok && k%2 == 0 &&
+			types.ExprString(expr) == types.ExprString(oldArg) {
+			p.Reportf(op.pos, "parity",
+				"seqlock latch on %s.seq adds an even delta (%d) and keeps parity; a latch must make an even→odd transition (CompareAndSwap(s, s+1))", base, k)
+		}
+	}
+	for _, op := range storeOps {
+		if len(op.call.Args) != 1 {
+			continue
+		}
+		arg := op.call.Args[0]
+		if k, ok := intConstVal(p, arg); ok && k%2 != 0 {
+			p.Reportf(op.pos, "parity",
+				"seqlock release on %s.seq stores the odd constant %d; a release must restore even parity (Store(s) to undo, Store(s+2) to publish)", base, k)
+			continue
+		}
+		if _, k, ok := addDelta(p, arg); ok && k%2 != 0 {
+			p.Reportf(op.pos, "parity",
+				"seqlock release on %s.seq adds an odd delta (%d) and leaves the sequence odd; a release must restore even parity (Store(s) to undo, Store(s+2) to publish)", base, k)
+		}
+	}
+	// A successful latch must be paired with a release, or hand the
+	// pre-latch sequence to the caller (the latch() helper shape).
+	for _, op := range casOps {
+		released := false
+		for _, st := range storeOps {
+			if st.pos > op.pos {
+				released = true
+				break
+			}
+		}
+		if released {
+			continue
+		}
+		if latchedIdent, ok := ast.Unparen(op.call.Args[0]).(*ast.Ident); ok &&
+			identEscapesByReturn(p, fd, latchedIdent) {
+			continue
+		}
+		p.Reportf(op.pos, "unreleased",
+			"seqlock on %s.seq is latched here but never released in this function, and the pre-latch sequence does not escape by return; a crashed writer would spin every reader forever", base)
+	}
+}
+
+// identEscapesByReturn reports whether id's variable appears in some
+// return statement of fd.
+func identEscapesByReturn(p *Pass, fd *ast.FuncDecl, id *ast.Ident) bool {
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		obj = p.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	escapes := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			ast.Inspect(res, func(m ast.Node) bool {
+				if rid, ok := m.(*ast.Ident); ok && p.Info.Uses[rid] == obj {
+					escapes = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return escapes
+}
+
+func checkSeqReader(p *Pass, fd *ast.FuncDecl, base string, ops []seqOp, seqIdents map[types.Object]string) {
+	first := ops[0]
+	for _, op := range ops[1:] {
+		if op.pos < first.pos {
+			first = op
+		}
+	}
+	// seqDerived reports whether e is the sequence value: a direct
+	// base.seq.Load() or an ident bound to one.
+	seqDerived := func(e ast.Expr) bool {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			b, kind, ok := seqFieldCall(p, x)
+			return ok && kind == "load" && b == base
+		case *ast.Ident:
+			obj := p.Info.Uses[x]
+			if obj == nil {
+				obj = p.Info.Defs[x]
+			}
+			return obj != nil && seqIdents[obj] == base
+		case *ast.BinaryExpr:
+			return false
+		}
+		return false
+	}
+
+	readsProtected := false
+	rechecks := false
+	oddTested := false
+	var retained []*ast.SelectorExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if x.Sel.Name != "seq" && x.Pos() > first.pos && types.ExprString(x.X) == base {
+				if s, ok := p.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+					readsProtected = true
+				}
+			}
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.EQL, token.NEQ:
+				if seqDerived(x.X) || seqDerived(x.Y) {
+					rechecks = true
+				}
+			case token.AND:
+				if k, ok := intConstVal(p, x.Y); ok && k == 1 && seqDerived(x.X) {
+					oddTested = true
+				}
+				if k, ok := intConstVal(p, x.X); ok && k == 1 && seqDerived(x.Y) {
+					oddTested = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				target := ast.Unparen(x.X)
+				if idx, ok := target.(*ast.IndexExpr); ok {
+					target = ast.Unparen(idx.X)
+				}
+				if sel, ok := target.(*ast.SelectorExpr); ok &&
+					sel.Sel.Name != "seq" && types.ExprString(sel.X) == base {
+					if s, ok := p.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+						retained = append(retained, sel)
+					}
+				}
+			}
+		}
+		return true
+	})
+	if !readsProtected {
+		// Loads the sequence but not the guarded fields — a gen-counter
+		// style use, not a seqlock read; nothing to check.
+		return
+	}
+	if len(ops) < 2 || !rechecks {
+		p.Reportf(first.pos, "norecheck",
+			"seqlock reader loads %s.seq but never compares a re-loaded sequence against it after reading the protected fields; wrap the reads in a retry loop that re-checks seq", base)
+	}
+	if !oddTested {
+		p.Reportf(first.pos, "oddcheck",
+			"seqlock reader never tests %s.seq for oddness, so it can consume a torn mid-write snapshot; reject odd sequences (s&1 != 0) before reading", base)
+	}
+	for _, sel := range retained {
+		p.Reportf(sel.Pos(), "retain",
+			"seqlock reader takes the address of protected field %s.%s; the pointer outlives the sequence re-check — copy the data out instead", base, sel.Sel.Name)
+	}
+}

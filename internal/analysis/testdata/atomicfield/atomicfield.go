@@ -1,0 +1,60 @@
+// Package atomicfield is the golden fixture for the atomicfield
+// analyzer: a field is either atomic or plain, never both. Mixed
+// sync/atomic + plain access and atomic-typed fields copied as values
+// are findings; method access, address-taking for the atomic functions
+// themselves, and constructor initialization are clean.
+package atomicfield
+
+import "sync/atomic"
+
+// counter mixes sync/atomic package functions with plain access.
+type counter struct {
+	hits int64
+	cold int64
+}
+
+func newCounter(seed int64) *counter {
+	c := &counter{}
+	c.hits = seed // constructor: nothing shared yet, clean
+	return c
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) loadOK() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counter) read() int64 {
+	return c.hits // want `accessed atomically .* but read or written plainly`
+}
+
+func (c *counter) coldPath() int64 {
+	return c.cold // plain-only field: clean
+}
+
+// gauge holds a sync/atomic value type; methods are the only legal use.
+type gauge struct {
+	n     atomic.Uint64
+	cells [3]atomic.Uint32
+}
+
+func (g *gauge) snapshotOK() uint64 {
+	return g.n.Load()
+}
+
+func (g *gauge) cellOK(i int) uint32 {
+	return g.cells[i].Load()
+}
+
+func (g *gauge) copyBad() atomic.Uint64 {
+	return g.n // want `used as a plain value`
+}
+
+func (g *gauge) waivedCopy() uint64 {
+	//swm:ok fixture: frozen value copied for a single-threaded report
+	v := g.n
+	return v.Load()
+}

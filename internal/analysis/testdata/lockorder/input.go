@@ -1,0 +1,88 @@
+// input.go pins the lower half of the lock hierarchy end to end:
+// Server.mu > stripes > inputMu > Conn.qMu/errMu. Descending the chain
+// is clean; acquiring upward from a leaf, holding both unordered leaf
+// locks, or re-entering a leaf through a call are findings.
+
+package lockorder
+
+import "sync"
+
+// InputServer models the input-dispatch tier: the server lock above,
+// the inputMu serializing device events below it.
+type InputServer struct {
+	mu      sync.RWMutex
+	inputMu sync.Mutex
+}
+
+// FixConn models the per-connection leaf tier: qMu guards the event
+// queue, errMu the error queue, and the two are unordered peers.
+type FixConn struct {
+	qMu   sync.Mutex
+	errMu sync.Mutex
+	q     []int
+	errs  []int
+}
+
+// enqueue is the sanctioned leaf shape: qMu guards only the append.
+func (c *FixConn) enqueue(v int) {
+	c.qMu.Lock()
+	c.q = append(c.q, v)
+	c.qMu.Unlock()
+}
+
+// pushErr is the other leaf, same shape.
+func (c *FixConn) pushErr(v int) {
+	c.errMu.Lock()
+	c.errs = append(c.errs, v)
+	c.errMu.Unlock()
+}
+
+// Motion descends legally: inputMu above the connection leaf.
+func (s *InputServer) Motion(c *FixConn, v int) {
+	s.inputMu.Lock()
+	defer s.inputMu.Unlock()
+	c.enqueue(v)
+}
+
+// Dispatch descends the whole chain legally: server read lock, then
+// inputMu, then the leaf through enqueue.
+func (s *InputServer) Dispatch(c *FixConn, v int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.inputMu.Lock()
+	defer s.inputMu.Unlock()
+	c.enqueue(v)
+}
+
+// DrainNotify inverts the input edge: the leaf is held when inputMu is
+// taken.
+func (c *FixConn) DrainNotify(s *InputServer) {
+	c.qMu.Lock()
+	defer c.qMu.Unlock()
+	s.inputMu.Lock() // want `acquires inputMu while holding qMu`
+	s.inputMu.Unlock()
+}
+
+// Requeue re-enters the leaf through a call while holding it.
+func (c *FixConn) Requeue(v int) {
+	c.qMu.Lock()
+	defer c.qMu.Unlock()
+	c.enqueue(v) // want `re-acquires it \(sync.Mutex is not re-entrant\)`
+}
+
+// CrossLeaf holds both unordered leaf locks at once.
+func (c *FixConn) CrossLeaf() {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	c.qMu.Lock() // want `the connection leaf locks are unordered peers`
+	c.q = nil
+	c.qMu.Unlock()
+}
+
+// PumpInput ascends from the leaf all the way to the server lock.
+func (c *FixConn) PumpInput(s *InputServer) {
+	c.qMu.Lock()
+	s.mu.Lock() // want `acquires the server lock while holding qMu`
+	s.mu.Unlock()
+	c.qMu.Unlock()
+}

@@ -1,0 +1,130 @@
+// Package seqlock is the golden fixture for the seqlock analyzer:
+// writers must make odd/even sequence transitions around the critical
+// section (latch via CAS to odd, release back to even), readers must
+// reject odd sequences, re-check after reading, and not retain
+// pointers into the protected region.
+package seqlock
+
+import "sync/atomic"
+
+type cell struct {
+	seq atomic.Uint32
+	a   atomic.Uint64
+	b   atomic.Uint64
+	ext []byte
+}
+
+// latch is the sanctioned helper shape: the pre-latch sequence escapes
+// by return, so the caller releases.
+func (c *cell) latch() (uint32, bool) {
+	s := c.seq.Load()
+	if s&1 != 0 || !c.seq.CompareAndSwap(s, s+1) {
+		return 0, false
+	}
+	return s, true
+}
+
+// goodWrite is a conforming writer: latch, mutate, publish even.
+func (c *cell) goodWrite(a, b uint64) bool {
+	s, ok := c.latch()
+	if !ok {
+		return false
+	}
+	c.a.Store(a)
+	c.b.Store(b)
+	c.seq.Store(s + 2)
+	return true
+}
+
+// badLatchParity keeps the sequence even across the latch, so readers
+// cannot tell a writer is mid-update.
+func (c *cell) badLatchParity(v uint64) bool {
+	s := c.seq.Load()
+	if s&1 != 0 || !c.seq.CompareAndSwap(s, s+2) { // want `even delta`
+		return false
+	}
+	c.a.Store(v)
+	c.seq.Store(s + 2)
+	return true
+}
+
+// badOddRelease leaves the sequence odd after the write, spinning
+// every future reader.
+func (c *cell) badOddRelease(v uint64) bool {
+	s, ok := c.latch()
+	if !ok {
+		return false
+	}
+	c.a.Store(v)
+	c.seq.Store(s + 1) // want `odd delta`
+	return true
+}
+
+// badUnreleased latches and forgets to release; the pre-latch sequence
+// dies with the function.
+func (c *cell) badUnreleased(v uint64) {
+	s := c.seq.Load()
+	if s&1 != 0 || !c.seq.CompareAndSwap(s, s+1) { // want `never released`
+		return
+	}
+	c.a.Store(v)
+}
+
+// goodRead is the canonical retry-loop reader.
+func (c *cell) goodRead() (uint64, uint64) {
+	for {
+		s := c.seq.Load()
+		if s&1 != 0 {
+			continue
+		}
+		a := c.a.Load()
+		b := c.b.Load()
+		if c.seq.Load() == s {
+			return a, b
+		}
+	}
+}
+
+// badReadNoRecheck trusts a single sequence load.
+func (c *cell) badReadNoRecheck() uint64 {
+	s := c.seq.Load() // want `never compares a re-loaded sequence`
+	if s&1 != 0 {
+		return 0
+	}
+	return c.a.Load()
+}
+
+// badReadNoOddCheck re-checks but accepts torn mid-write snapshots.
+func (c *cell) badReadNoOddCheck() uint64 {
+	for {
+		s := c.seq.Load() // want `never tests .* for oddness`
+		v := c.a.Load()
+		if c.seq.Load() == s {
+			return v
+		}
+	}
+}
+
+// badRetain carries a pointer into the protected region out of the
+// re-checked window.
+func (c *cell) badRetain() *[]byte {
+	for {
+		s := c.seq.Load()
+		if s&1 != 0 {
+			continue
+		}
+		p := &c.ext // want `takes the address of protected field`
+		if c.seq.Load() == s {
+			return p
+		}
+	}
+}
+
+// waivedReader documents a tolerated torn read; the waiver covers both
+// the missing re-check and the missing oddness test.
+func (c *cell) waivedReader() uint64 {
+	//swm:ok fixture: diagnostic probe tolerates a torn read
+	s := c.seq.Load()
+	_ = s
+	return c.a.Load()
+}

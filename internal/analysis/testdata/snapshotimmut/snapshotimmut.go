@@ -1,0 +1,79 @@
+// Package snapshotimmut is the golden fixture for the snapshotimmut
+// analyzer: memory published through an atomic.Pointer Store or
+// CompareAndSwap is frozen. Writes through a loaded snapshot are
+// findings; the clone-mutate-publish loop and the cyclic builder idiom
+// (the xrdb trie compiler's shape) are clean.
+package snapshotimmut
+
+import "sync/atomic"
+
+type snap struct {
+	items []int
+	name  string
+}
+
+type holder struct {
+	cur atomic.Pointer[snap]
+}
+
+// mutateLoaded writes through a loaded snapshot: both writes flagged.
+func (h *holder) mutateLoaded(v int) {
+	s := h.cur.Load()
+	s.items[0] = v   // want `published memory is frozen`
+	s.name = "dirty" // want `published memory is frozen`
+}
+
+// replaceCloned is the sanctioned clone-mutate-publish loop.
+func (h *holder) replaceCloned(v int) {
+	for {
+		old := h.cur.Load()
+		ns := &snap{name: "clean"}
+		if old != nil {
+			ns.items = append([]int(nil), old.items...)
+		}
+		if len(ns.items) > 0 {
+			ns.items[0] = v
+		}
+		if h.cur.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// node/reg mimic the xrdb trie compiler: a cyclic builder chain
+// (cur = next drawn from cur's own subtree) stays fresh until the
+// final Store publishes the root.
+type node struct {
+	kids map[string]*node
+	hits int
+}
+
+type reg struct {
+	root atomic.Pointer[node]
+}
+
+func (r *reg) rebuild(keys []string) {
+	root := &node{kids: map[string]*node{}}
+	cur := root
+	for _, k := range keys {
+		m := &cur.kids
+		next := (*m)[k]
+		if next == nil {
+			next = &node{kids: map[string]*node{}}
+			(*m)[k] = next
+		}
+		cur = next
+		cur.hits++
+	}
+	r.root.Store(root)
+}
+
+// appendPast is the documented append-only exception, waived.
+func (h *holder) appendPast(v int) {
+	s := h.cur.Load()
+	if s == nil {
+		return
+	}
+	//swm:ok fixture: append-only write past the published length
+	s.items = append(s.items, v)
+}

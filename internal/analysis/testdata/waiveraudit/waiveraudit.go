@@ -1,0 +1,39 @@
+// Package waiveraudit is the golden fixture for the waiveraudit
+// analyzer: a //swm:ok waiver is live while some analyzer finding
+// consumes it, and dead — reported for deletion — once nothing does.
+// Audit findings are generated after waiver matching, so they cannot
+// themselves be waived: stacking a waiver on a dead waiver just makes
+// two dead waivers.
+package waiveraudit
+
+import "sync/atomic"
+
+type counter struct {
+	hits int64
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// read carries a live waiver: the plain read below is a real
+// atomicfield.mixed finding, so the waiver pays its way and the audit
+// stays silent about it.
+func (c *counter) read() int64 {
+	//swm:ok fixture: torn read acceptable in this one-shot report
+	return c.hits
+}
+
+// idle carries a dead waiver: nothing it covers produces a finding.
+func (c *counter) idle() int64 {
+	//swm:ok fixture: stale explanation for code long since fixed // want `suppresses no finding`
+	return 42
+}
+
+// stacked proves unwaivability: the second waiver tries to cover the
+// first one's dead-waiver finding, and both report dead.
+func (c *counter) stacked() int64 {
+	//swm:ok fixture: attempt to waive the audit finding below // want `suppresses no finding`
+	//swm:ok fixture: this waiver is itself dead // want `suppresses no finding`
+	return 7
+}

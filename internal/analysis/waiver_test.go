@@ -1,0 +1,292 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parseOne builds a minimal Package from source, enough for waiver
+// collection and a fake analyzer that only needs positions.
+func parseOne(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "w.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	return &Package{
+		ImportPath: "example/w",
+		Fset:       fset,
+		Files:      []*ast.File{f},
+		Info:       &types.Info{},
+	}
+}
+
+// markAnalyzer reports a finding at every identifier named FLAG. For
+// the anchored variant it also reports inside every string literal
+// containing the byte sequence "boom", anchored at the literal start —
+// the multi-line-string shape funcref uses for policy text.
+func markAnalyzer(anchored bool) *Analyzer {
+	a := &Analyzer{Name: "mark", Doc: "test analyzer"}
+	a.Run = func(p *Pass) {
+		for _, file := range p.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.Ident:
+					if n.Name == "FLAG" {
+						p.Reportf(n.Pos(), "flag", "flagged identifier")
+					}
+				case *ast.BasicLit:
+					if anchored && n.Kind == token.STRING {
+						if off := strings.Index(n.Value, "boom"); off >= 0 {
+							p.ReportfAnchored(n.Pos()+token.Pos(off), n.Pos(), "boom", "flagged literal content")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func TestCollectWaivers(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		// want maps line -> reason; absent lines must hold no waiver.
+		want map[int]string
+	}{
+		{
+			name: "trailing waiver with reason",
+			src: `package w
+var x = 1 //swm:ok trailing reason
+`,
+			want: map[int]string{2: "trailing reason"},
+		},
+		{
+			name: "own-line waiver above code",
+			src: `package w
+//swm:ok standalone reason
+var x = 1
+`,
+			want: map[int]string{2: "standalone reason"},
+		},
+		{
+			name: "bare waiver is not a waiver",
+			src: `package w
+var x = 1 //swm:ok
+`,
+			want: map[int]string{},
+		},
+		{
+			name: "bare waiver with only whitespace",
+			src: `package w
+var x = 1 //swm:ok   ` + `
+`,
+			want: map[int]string{},
+		},
+		{
+			name: "prefix must match exactly",
+			src: `package w
+var x = 1 // swm:ok spaced out, ignored
+var y = 2 //swm:okay not the marker
+`,
+			want: map[int]string{},
+		},
+		{
+			name: "multiple waivers keep distinct reasons",
+			src: `package w
+var x = 1 //swm:ok first
+var y = 2
+var z = 3 //swm:ok second
+`,
+			want: map[int]string{2: "first", 4: "second"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			pkg := parseOne(t, tt.src)
+			ws := collectWaivers(pkg)
+			lines := ws["w.go"]
+			if len(lines) != len(tt.want) {
+				t.Fatalf("collected %d waivers, want %d (%v)", len(lines), len(tt.want), lines)
+			}
+			for line, reason := range tt.want {
+				w, ok := lines[line]
+				if !ok {
+					t.Errorf("no waiver on line %d", line)
+					continue
+				}
+				if w.reason != reason {
+					t.Errorf("line %d reason = %q, want %q", line, w.reason, reason)
+				}
+				if w.used {
+					t.Errorf("line %d waiver born used", line)
+				}
+			}
+		})
+	}
+}
+
+func TestWaiverSetMatch(t *testing.T) {
+	ws := waiverSet{
+		"a.go": {10: &waiver{line: 10, reason: "r"}},
+	}
+	tests := []struct {
+		name string
+		file string
+		line int
+		hit  bool
+	}{
+		{"same line (trailing comment)", "a.go", 10, true},
+		{"next line (comment above code)", "a.go", 11, true},
+		{"two lines below", "a.go", 12, false},
+		{"line above the waiver", "a.go", 9, false},
+		{"wrong file", "b.go", 10, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ws.match(tt.file, tt.line); (got != nil) != tt.hit {
+				t.Errorf("match(%s, %d) = %v, want hit=%v", tt.file, tt.line, got, tt.hit)
+			}
+		})
+	}
+}
+
+// TestRunWaiverApplication drives waivers end-to-end through Run with a
+// fake analyzer: placement decides coverage, bare markers waive
+// nothing, and consumed waivers stop reporting dead.
+func TestRunWaiverApplication(t *testing.T) {
+	tests := []struct {
+		name       string
+		src        string
+		wantWaived bool
+		wantReason string
+	}{
+		{
+			name: "trailing waiver covers same line",
+			src: `package w
+var FLAG = 1 //swm:ok same-line coverage
+`,
+			wantWaived: true,
+			wantReason: "same-line coverage",
+		},
+		{
+			name: "waiver above covers next line",
+			src: `package w
+//swm:ok above-line coverage
+var FLAG = 1
+`,
+			wantWaived: true,
+			wantReason: "above-line coverage",
+		},
+		{
+			name: "waiver two lines up misses",
+			src: `package w
+//swm:ok too far away
+var pad = 0
+var FLAG = 1
+`,
+			wantWaived: false,
+		},
+		{
+			name: "waiver below the finding misses",
+			src: `package w
+var FLAG = 1
+//swm:ok waivers do not reach upward
+var pad = 0
+`,
+			wantWaived: false,
+		},
+		{
+			name: "bare marker waives nothing",
+			src: `package w
+var FLAG = 1 //swm:ok
+`,
+			wantWaived: false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			pkg := parseOne(t, tt.src)
+			fs := Run(pkg, &Context{}, []*Analyzer{markAnalyzer(false)})
+			var found []Finding
+			for _, f := range fs {
+				if f.ID == "mark.flag" {
+					found = append(found, f)
+				}
+			}
+			if len(found) != 1 {
+				t.Fatalf("findings = %d, want 1 (%v)", len(found), fs)
+			}
+			f := found[0]
+			if f.Waived != tt.wantWaived {
+				t.Errorf("Waived = %v, want %v (%s)", f.Waived, tt.wantWaived, f)
+			}
+			if f.Reason != tt.wantReason {
+				t.Errorf("Reason = %q, want %q", f.Reason, tt.wantReason)
+			}
+		})
+	}
+}
+
+// TestRunAnchoredWaiver pins the multi-line-string escape hatch: the
+// finding sits on a raw-string content line that cannot carry a
+// comment, so the waiver anchors at the literal's opening line instead.
+func TestRunAnchoredWaiver(t *testing.T) {
+	src := "package w\n\n" +
+		"//swm:ok policy text reviewed by hand\n" +
+		"var policy = `line one\nline two boom here\nline three`\n"
+	pkg := parseOne(t, src)
+	fs := Run(pkg, &Context{}, []*Analyzer{markAnalyzer(true)})
+	if len(fs) != 1 {
+		t.Fatalf("findings = %d, want 1 (%v)", len(fs), fs)
+	}
+	f := fs[0]
+	if f.Line != 5 {
+		t.Errorf("finding line = %d, want 5 (inside the literal)", f.Line)
+	}
+	if !f.Waived || f.Reason != "policy text reviewed by hand" {
+		t.Errorf("anchored waiver not applied: %+v", f)
+	}
+
+	// The same finding with the waiver on the wrong line — adjacent to
+	// the content line, but not to the literal's anchor — stays live.
+	srcWrong := "package w\n\n" +
+		"var policy = `line one\n//swm:ok not a comment, just string text\nline two boom here\nline three`\n"
+	pkgWrong := parseOne(t, srcWrong)
+	fsWrong := Run(pkgWrong, &Context{}, []*Analyzer{markAnalyzer(true)})
+	if len(fsWrong) != 1 || fsWrong[0].Waived {
+		t.Errorf("waiver text inside the literal must not waive: %v", fsWrong)
+	}
+}
+
+// TestAuditWaivers exercises the dead-waiver report directly: used
+// waivers stay silent, unused ones are flagged with their reason.
+func TestAuditWaivers(t *testing.T) {
+	ws := waiverSet{
+		"a.go": {
+			3: &waiver{line: 3, col: 2, reason: "live one", used: true},
+			9: &waiver{line: 9, col: 4, reason: "dead one"},
+		},
+	}
+	fs := auditWaivers(ws)
+	if len(fs) != 1 {
+		t.Fatalf("audit findings = %d, want 1 (%v)", len(fs), fs)
+	}
+	f := fs[0]
+	if f.ID != "waiveraudit.dead" || f.File != "a.go" || f.Line != 9 || f.Col != 4 {
+		t.Errorf("dead waiver reported at %s, want a.go:9:4 [waiveraudit.dead]", f)
+	}
+	if !strings.Contains(f.Message, `"dead one"`) {
+		t.Errorf("message %q does not quote the reason", f.Message)
+	}
+	if f.Waived {
+		t.Error("audit findings must be unwaivable")
+	}
+}

@@ -1,0 +1,44 @@
+package analysis
+
+// WaiverAudit reports //swm:ok waivers that no longer suppress any
+// finding, so the waiver ledger can only shrink: every entry either
+// pays its way or is deleted. A waiver is live when any analyzer in
+// the suite produces a finding it covers, so the driver (Run) executes
+// the whole suite for usage-marking whenever this analyzer is
+// requested — the Run field below is a sentinel and never called.
+//
+// Audit findings are reported at the waiver's own position and are
+// deliberately unwaivable: they are generated after waiver matching,
+// so stacking a second //swm:ok on a dead waiver just produces two
+// dead-waiver findings. One finding kind: waiveraudit.dead.
+var WaiverAudit = &Analyzer{
+	Name: "waiveraudit",
+	Doc:  "reports //swm:ok waivers that no longer suppress any finding (delete them)",
+	Run:  func(*Pass) {}, // driven specially by Run; see analysis.go
+}
+
+// auditWaivers turns every waiver left unused after the full suite ran
+// into a dead-waiver finding.
+func auditWaivers(ws waiverSet) []Finding {
+	var out []Finding
+	for file, lines := range ws {
+		for _, w := range lines {
+			if w.used {
+				continue
+			}
+			out = append(out, Finding{
+				Analyzer: WaiverAudit.Name,
+				ID:       WaiverAudit.Name + ".dead",
+				File:     file,
+				Line:     w.line,
+				Col:      w.col,
+				Message:  "//swm:ok waiver (reason: " + quoteReason(w.reason) + ") suppresses no finding; delete it",
+			})
+		}
+	}
+	return out
+}
+
+func quoteReason(r string) string {
+	return `"` + r + `"`
+}

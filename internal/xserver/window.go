@@ -517,6 +517,7 @@ func (p *window) appendKid(w *window) {
 	snap := p.kidGeo.Load()
 	if snap != nil {
 		if n := int(snap.n.Load()); n < len(snap.wins) {
+			//swm:ok append-only publish: the slot is past the published count n, invisible until the n.Store below; backing arrays never shrink between full rebuilds
 			snap.wins[n] = w
 			snap.xy[n].Store(w.geomXY.Load())
 			// Point the newcomer at its cell before publishing the
