@@ -3,7 +3,7 @@
 // allocs/op and B/op for the manage, move-storm and pan-storm shapes
 // plus the twm/swm/gwm comparison.
 //
-//	swmbench -o BENCH_7.json -check
+//	swmbench -o BENCH_9.json -check
 //
 // With -check, the binary exits non-zero when a workload exceeds its
 // blocking allocation budget (perfbench.AllocBudgets) or, for the few
@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	out := flag.String("o", "BENCH_7.json", "report output path (\"-\" for stdout)")
+	out := flag.String("o", "BENCH_9.json", "report output path (\"-\" for stdout)")
 	check := flag.Bool("check", false, "fail when a blocking allocation or wall-clock budget is exceeded")
 	flag.Parse()
 
@@ -37,6 +37,7 @@ func main() {
 		PreChange:    perfbench.PreChange,
 		AllocBudgets: perfbench.AllocBudgets,
 		WallBudgets:  perfbench.WallBudgets,
+		Load:         perfbench.LoadSummaries(),
 	}
 
 	fmt.Printf("%-32s %14s %12s %10s\n", "workload", "ns/op", "allocs/op", "B/op")
@@ -64,6 +65,16 @@ func main() {
 			}
 		}
 		fmt.Println(line)
+	}
+
+	if len(report.Load) > 0 {
+		fmt.Println()
+		for name, sum := range report.Load {
+			fmt.Printf("%s traffic: %d requests, %d clients, %d sessions\n",
+				name, sum.Requests, sum.Clients, sum.Sessions)
+			fmt.Printf("  p50=%v p95=%v p99=%v max=%v  %.0f req/s  errors %.2f%%\n",
+				sum.P50, sum.P95, sum.P99, sum.Max, sum.QPS, 100*sum.ErrorRate())
+		}
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")

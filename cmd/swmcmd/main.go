@@ -20,6 +20,19 @@
 //	swmcmd -query clients
 //	swmcmd -query desktop
 //	swmcmd -list
+//
+// With -http, swmcmd targets a running fleet service (swmhttpd or
+// swmfleet -listen) instead of the self-contained demo; -session picks
+// the fleet session. Query output is identical on both transports —
+// the indented JSON result from the one shared dispatch path.
+//
+//	swmcmd -http http://127.0.0.1:7070 -session 3 -query clients
+//	swmcmd -http http://127.0.0.1:7070 -session 3 'f.iconify(XTerm)'
+//
+// Exit status is the protocol's error-code mapping (swmproto.ExitCode)
+// on both transports: 0 success, 1 transport failure, then one code
+// per protocol error class (bad_request=2, unknown_op=3, ... — pinned
+// by the swmproto tests).
 package main
 
 import (
@@ -27,12 +40,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"os"
 	"strings"
 
 	"repro/internal/clients"
 	"repro/internal/core"
 	"repro/internal/raster"
+	"repro/internal/swmhttp"
 	"repro/internal/swmproto"
 	"repro/internal/templates"
 	"repro/internal/xproto"
@@ -46,6 +63,8 @@ func main() {
 	render := flag.Bool("render", false, "render the screen after executing the command")
 	query := flag.String("query", "", "query swm state: stats, trace, clients or desktop")
 	legacy := flag.Bool("legacy", false, "use the one-way SWM_COMMAND form (no acknowledgement)")
+	httpBase := flag.String("http", "", "target a running fleet service at this base URL instead of the in-process demo")
+	session := flag.Int("session", 0, "fleet session id (with -http)")
 	flag.Parse()
 
 	if *list {
@@ -66,6 +85,17 @@ func main() {
 		log.Fatal("usage: swmcmd [-render] [-legacy] '<f.function ...>' | swmcmd -query stats|trace|clients|desktop") //swm:ok f.function is a usage placeholder, not a registered function
 	}
 	command := strings.Join(flag.Args(), " ")
+
+	if *httpBase != "" {
+		if *legacy {
+			log.Fatal("-legacy is the X-property transport; it cannot be combined with -http")
+		}
+		if *render {
+			log.Fatal("-render needs the in-process demo; it cannot be combined with -http")
+		}
+		runHTTP(*httpBase, *session, *query, command)
+		return
+	}
 
 	// Bring up the demo session.
 	s := xserver.NewServer()
@@ -93,7 +123,12 @@ func main() {
 	root := s.Screens()[0].Root
 
 	if *query != "" {
-		if err := runQuery(s, wm, root, *query); err != nil {
+		resp, err := runQuery(s, wm, root, *query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		conclude(resp)
+		if err := printResult(resp); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -112,8 +147,12 @@ func main() {
 			log.Fatal(err)
 		}
 		wm.Pump()
-	} else if err := runExec(s, wm, root, command); err != nil {
-		log.Fatal(err)
+	} else {
+		resp, err := runExec(s, wm, root, command)
+		if err != nil {
+			log.Fatal(err)
+		}
+		conclude(resp)
 	}
 
 	after := describe(wm, term)
@@ -140,23 +179,46 @@ func main() {
 	}
 }
 
-// runQuery performs one versioned query round-trip and prints the
-// result. The protocol client — and with it the SWM_REPLY window — is
-// torn down on every path, success or error; log.Fatal in a caller
-// would skip the deferred Close, so errors are returned instead.
-func runQuery(s *xserver.Server, wm *core.WM, root xproto.XID, target string) error {
+// runQuery performs one versioned query round-trip and returns the
+// reply envelope. The protocol client — and with it the SWM_REPLY
+// window — is torn down on every path, success or error; os.Exit in a
+// caller of conclude must not skip the deferred Close, so the envelope
+// is returned for the caller to judge instead.
+func runQuery(s *xserver.Server, wm *core.WM, root xproto.XID, target string) (swmproto.Response, error) {
 	cl, err := swmproto.NewClient(s.Connect("swmcmd"), root)
 	if err != nil {
-		return err
+		return swmproto.Response{}, err
 	}
 	defer cl.Close()
-	resp, err := roundTrip(wm, cl, swmproto.Request{Op: swmproto.OpQuery, Target: target})
+	return roundTrip(wm, cl, swmproto.Request{Op: swmproto.OpQuery, Target: target})
+}
+
+// runExec delivers one command through the versioned request/response
+// protocol, with the same teardown guarantee as runQuery.
+func runExec(s *xserver.Server, wm *core.WM, root xproto.XID, command string) (swmproto.Response, error) {
+	cl, err := swmproto.NewClient(s.Connect("swmcmd"), root)
 	if err != nil {
-		return err
+		return swmproto.Response{}, err
 	}
-	if !resp.OK {
-		return fmt.Errorf("query %s: %s", target, resp.Error)
+	defer cl.Close()
+	return roundTrip(wm, cl, swmproto.Request{Op: swmproto.OpExec, Command: command})
+}
+
+// conclude terminates with the protocol's mapped exit status when the
+// envelope is an error; success falls through. Both transports funnel
+// here, so `swmcmd; echo $?` means the same thing over a property
+// write and over HTTP.
+func conclude(resp swmproto.Response) {
+	if resp.OK {
+		return
 	}
+	fmt.Fprintf(os.Stderr, "swmcmd: %s: %s\n", resp.Code, resp.Error)
+	os.Exit(swmproto.ExitCode(resp.Code))
+}
+
+// printResult pretty-prints a successful query payload — the one
+// output format both transports share.
+func printResult(resp swmproto.Response) error {
 	var pretty bytes.Buffer
 	if err := json.Indent(&pretty, resp.Result, "", "  "); err != nil {
 		return err
@@ -165,22 +227,56 @@ func runQuery(s *xserver.Server, wm *core.WM, root xproto.XID, target string) er
 	return nil
 }
 
-// runExec delivers one command through the versioned request/response
-// protocol, with the same teardown guarantee as runQuery.
-func runExec(s *xserver.Server, wm *core.WM, root xproto.XID, command string) error {
-	cl, err := swmproto.NewClient(s.Connect("swmcmd"), root)
+// runHTTP performs the query or exec against a running fleet service.
+// Transport failures (no listener, bad URL, non-envelope body) exit 1;
+// protocol errors exit through the shared code table like the property
+// transport.
+func runHTTP(base string, session int, query, command string) {
+	var resp swmproto.Response
+	var err error
+	if query != "" {
+		resp, err = httpRoundTrip("GET",
+			fmt.Sprintf("%s/v1/sessions/%d/%s", base, session, query), nil)
+	} else {
+		var body []byte
+		body, err = json.Marshal(swmhttp.ExecBody{Command: command})
+		if err == nil {
+			resp, err = httpRoundTrip("POST",
+				fmt.Sprintf("%s/v1/sessions/%d/exec", base, session), body)
+		}
+	}
 	if err != nil {
-		return err
+		log.Fatal(err)
 	}
-	defer cl.Close()
-	resp, err := roundTrip(wm, cl, swmproto.Request{Op: swmproto.OpExec, Command: command})
+	conclude(resp)
+	if query != "" {
+		if err := printResult(resp); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("executed: %s (session %d acknowledged)\n", command, session)
+}
+
+func httpRoundTrip(method, url string, body []byte) (swmproto.Response, error) {
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
 	if err != nil {
-		return err
+		return swmproto.Response{}, err
 	}
-	if !resp.OK {
-		return fmt.Errorf("exec %q: %s", command, resp.Error)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
 	}
-	return nil
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return swmproto.Response{}, err
+	}
+	defer res.Body.Close()
+	var resp swmproto.Response
+	if err := json.NewDecoder(res.Body).Decode(&resp); err != nil {
+		return swmproto.Response{}, fmt.Errorf("decode reply from %s: %w", url, err)
+	}
+	io.Copy(io.Discard, res.Body) //nolint:errcheck // drain for keep-alive
+	return resp, nil
 }
 
 // roundTrip sends one request, pumps the window manager so it serves

@@ -9,19 +9,26 @@
 //	swmfleet -restart 0.25            # restart-adopt a quarter of the fleet
 //	swmfleet -crash 3                 # panic-crash session 3, show isolation
 //	swmfleet -query                   # swmcmd-style stats query via session 0
+//	swmfleet -listen :7070            # serve the fleet over HTTP until SIGINT
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/clients"
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/swmhttp"
 	"repro/internal/templates"
 )
 
@@ -35,6 +42,7 @@ func main() {
 	restart := flag.Float64("restart", 0.25, "fraction of the fleet to restart-adopt")
 	crash := flag.Int("crash", -1, "panic-crash this session to demonstrate isolation (-1 = none)")
 	query := flag.Bool("query", false, "print a swmcmd-style stats query against session 0")
+	listen := flag.String("listen", "", "serve the fleet over HTTP on this address until SIGINT")
 	verbose := flag.Bool("v", false, "log fleet diagnostics")
 	flag.Parse()
 
@@ -111,6 +119,19 @@ func main() {
 	st := m.Stats()
 	fmt.Printf("fleet: sessions=%d live=%d failed=%d panics=%d restarts=%d queue=%d\n",
 		st.Sessions, st.Live, st.Failed, st.Panics, st.Restarts, st.QueueDepth)
+
+	if *listen != "" {
+		httpCfg := swmhttp.Config{}
+		if *verbose {
+			httpCfg.Log = os.Stderr
+		}
+		fmt.Printf("serving on %s (SIGINT to stop)\n", *listen)
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := swmhttp.New(m, httpCfg).ListenAndServe(ctx, *listen); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
 
 	m.Close()
 	fmt.Println("fleet closed")

@@ -61,6 +61,21 @@ func instrumented(c *xserver.Conn, win xproto.XID, in instrument) error {
 	return err
 }
 
+// serveReply mirrors the property transport's reply write: the
+// ChangeProperty that acknowledges a swmproto request. Dropping its
+// error loses the reply silently — the client polls forever — so the
+// discard is a finding even though the call "is just a property write".
+func serveReply(c *xserver.Conn, win xproto.XID, payload []byte) {
+	c.ChangeProperty(win, c.InternAtom("SWM_REPLY"), c.InternAtom("STRING"), 8, xproto.PropModeReplace, payload) // want "discarded error from .*ChangeProperty"
+}
+
+// serveReplyRouted is the clean transport shape: the reply write's
+// error is routed into a degrade counter, as core.sendReply does.
+func serveReplyRouted(c *xserver.Conn, win xproto.XID, payload []byte) {
+	check("write SWM_REPLY", c.ChangeProperty(win, c.InternAtom("SWM_REPLY"),
+		c.InternAtom("STRING"), 8, xproto.PropModeReplace, payload))
+}
+
 // typedGetter exercises the icccm accessor contract: the (value, ok,
 // error) triple is clean when the error is routed, a finding when the
 // blank identifier swallows it.

@@ -110,6 +110,28 @@ func (s *Server) peek(k int) int {
 	return s.items[k]
 }
 
+// Serve mirrors the transport dispatch seam (swmhttp → fleet →
+// handler): copy what the lock guards, release, then dispatch — the
+// handler is free to re-enter locking methods.
+func (s *Server) Serve(k int) int {
+	s.mu.Lock()
+	v := s.items[k]
+	s.mu.Unlock()
+	return v + s.Get(k)
+}
+
+// ServeHeld dispatches the handler with the lock still held — the
+// transport bug the seam exists to prevent: a handler that re-enters
+// Get deadlocks every request behind it.
+func (s *Server) ServeHeld(k int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dispatch(k) // want "ServeHeld calls dispatch while holding the lock"
+}
+
+// dispatch stands in for a protocol handler: it may acquire through Get.
+func (s *Server) dispatch(k int) int { return s.Get(k) }
+
 // Refresh spawns a worker while holding the lock — the adopt-sweep
 // shape. The goroutine does not inherit the hold, so its locking calls
 // are clean, and they do not make Refresh itself "acquiring" from its

@@ -8,6 +8,10 @@ import (
 	"repro/internal/xproto"
 )
 
+// The WM is the canonical implementation of the protocol's
+// transport-agnostic handler seam.
+var _ swmproto.Handler = (*WM)(nil)
+
 // handleSwmQuery serves the request/response form of the swmcmd
 // protocol (internal/swmproto): read and consume the SWM_QUERY property
 // from the root, serve the request, and write the response to the
@@ -28,7 +32,7 @@ func (wm *WM) handleSwmQuery(scr *Screen) {
 		// A partially decoded request may still name a reply window;
 		// tell the peer why it was rejected rather than going silent.
 		if req.ReplyWindow != 0 {
-			wm.sendReply(req, swmproto.Response{OK: false, Error: err.Error()})
+			wm.sendReply(req, swmproto.Errorf(swmproto.CodeBadRequest, "%v", err))
 		}
 		return
 	}
@@ -36,17 +40,45 @@ func (wm *WM) handleSwmQuery(scr *Screen) {
 		wm.logf("swm query: request %d has no reply window", req.ID)
 		return
 	}
-	wm.sendReply(req, wm.serveRequest(scr, req))
+	// The property transport's screen binding is the root the request
+	// was written on, whatever the client put in the field.
+	req.Screen = scr.Num
+	wm.sendReply(req, wm.ServeProto(req))
 }
 
-// serveRequest dispatches a decoded request to its handler and packs
-// the answer. Failures are reported in-band: OK=false plus Error.
-func (wm *WM) serveRequest(scr *Screen, req swmproto.Request) swmproto.Response {
+// ServeProto dispatches a decoded request to its handler and packs the
+// answer: the swmproto.Handler implementation every transport shares.
+// The property transport (handleSwmQuery) and the fleet's HTTP lane
+// dispatch (fleet.Manager.ServeSession → internal/swmhttp) both land
+// here, so the query-serving logic exists exactly once. Failures are
+// reported in-band: OK=false plus a typed Code and human-readable
+// Error.
+//
+// Like every other WM entry point, ServeProto must run on the event
+// loop (or the session's scheduler lane in a fleet); it is not
+// internally synchronized.
+func (wm *WM) ServeProto(req swmproto.Request) swmproto.Response {
+	if req.V != 0 && req.V != swmproto.Version {
+		// Transports that decode off a wire check the version before
+		// dispatching; this guards direct in-process callers. Zero
+		// means "current" so handler users need not stamp it.
+		return swmproto.Errorf(swmproto.CodeBadRequest, "swmproto: version %d, want %d", req.V, swmproto.Version)
+	}
+	var scr *Screen
+	for _, s := range wm.screens {
+		if s.Num == req.Screen {
+			scr = s
+			break
+		}
+	}
+	if scr == nil {
+		return swmproto.Errorf(swmproto.CodeBadRequest, "no screen %d", req.Screen)
+	}
 	switch req.Op {
 	case swmproto.OpExec:
 		ctx := &FuncContext{Screen: scr, Client: wm.clientUnderPointer()}
 		if err := wm.ExecuteString(ctx, req.Command); err != nil {
-			return swmproto.Response{OK: false, Error: err.Error()}
+			return swmproto.Errorf(swmproto.CodeExecFailed, "%v", err)
 		}
 		return swmproto.Response{OK: true}
 	case swmproto.OpQuery:
@@ -61,15 +93,15 @@ func (wm *WM) serveRequest(scr *Screen, req swmproto.Request) swmproto.Response 
 		case swmproto.TargetDesktop:
 			result = wm.desktopResult()
 		default:
-			return swmproto.Response{OK: false, Error: "unknown query target " + req.Target}
+			return swmproto.Errorf(swmproto.CodeUnknownTarget, "unknown query target %s", req.Target)
 		}
 		data, err := json.Marshal(result)
 		if err != nil {
-			return swmproto.Response{OK: false, Error: err.Error()}
+			return swmproto.Errorf(swmproto.CodeInternal, "%v", err)
 		}
-		return swmproto.Response{OK: true, Result: data}
+		return swmproto.OKResult(data)
 	default:
-		return swmproto.Response{OK: false, Error: "unknown op " + req.Op}
+		return swmproto.Errorf(swmproto.CodeUnknownOp, "unknown op %s", req.Op)
 	}
 }
 

@@ -41,9 +41,11 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/swmproto"
 	"repro/internal/templates"
 	"repro/internal/xrdb"
 	"repro/internal/xserver"
@@ -110,6 +112,11 @@ type Config struct {
 	// Log receives fleet diagnostics (panics, start failures); nil
 	// discards them.
 	Log io.Writer
+	// ServeTimeout bounds how long ServeSession waits for a session's
+	// scheduler lane to serve a protocol request (default 5s). A
+	// session that panics between the state check and its lane turn
+	// answers with a timeout envelope instead of hanging the caller.
+	ServeTimeout time.Duration
 }
 
 // Manager owns a fleet of sessions and the scheduler that drives them.
@@ -159,6 +166,12 @@ type Session struct {
 	// wm is owned by the session's scheduler lane; outside a task it
 	// may only be read through a Drain barrier (see WM).
 	wm *core.WM
+
+	// reg mirrors wm.Metrics() behind an atomic pointer so scrape
+	// paths (the /metrics exporter) can read a session's registry from
+	// any goroutine without a lane turn: the registry itself is
+	// internally synchronized, only the WM pointer is lane-owned.
+	reg atomic.Pointer[obs.Registry]
 
 	panics   atomic.Int64
 	restarts atomic.Int64
@@ -374,6 +387,7 @@ func (m *Manager) Start(i int) {
 			return
 		}
 		s.wm = wm
+		s.reg.Store(wm.Metrics())
 		s.state.Store(int32(StateRunning))
 		m.sessionsStarted.Inc()
 		m.sessionsLive.Set(m.liveCount())
@@ -391,6 +405,7 @@ func (m *Manager) Stop(i int) {
 			s.wm.Close()
 			s.wm = nil
 		}
+		s.reg.Store(nil)
 		prev := State(s.state.Swap(int32(StateStopped)))
 		if prev == StateRunning {
 			m.sessionsStopped.Inc()
@@ -410,6 +425,7 @@ func (m *Manager) Restart(i int) {
 			s.wm.Shutdown()
 			s.wm = nil
 		}
+		s.reg.Store(nil)
 		wm, err := core.New(s.server, m.wmOptions())
 		if err != nil {
 			s.state.Store(int32(StateFailed))
@@ -418,6 +434,7 @@ func (m *Manager) Restart(i int) {
 			return
 		}
 		s.wm = wm
+		s.reg.Store(wm.Metrics())
 		s.restarts.Add(1)
 		m.sessionRestarts.Inc()
 		s.state.Store(int32(StateRunning))
@@ -521,6 +538,84 @@ type Stats struct {
 	Started  int64
 
 	QueueDepth int64
+}
+
+// The Manager is the fleet-shaped implementation of the protocol's
+// session-addressed handler seam: transports route requests here and
+// the Manager runs them on the addressed session's lane.
+var _ swmproto.SessionHandler = (*Manager)(nil)
+
+// ServeSession serves one protocol request against session id: the
+// request is posted to the session's scheduler lane — the same
+// serialization a Pump gets, which is what makes the lane-owned WM
+// safe to query — and the caller blocks for the response. All failure
+// modes come back as protocol envelopes (unknown_session,
+// session_down, timeout), never as Go errors: the envelope is the
+// transport contract, and HTTP status / exit codes derive from the
+// code. Safe to call from any goroutine; concurrent requests against
+// one session serialize on its lane, requests against different
+// sessions run in parallel across the worker pool.
+func (m *Manager) ServeSession(id int, req swmproto.Request) swmproto.Response {
+	resp := m.serveSession(id, req)
+	// Stamp the envelope header exactly as the property transport's
+	// sendReply does, so the two transports answer byte-identically.
+	resp.V = swmproto.Version
+	resp.ID = req.ID
+	return resp
+}
+
+func (m *Manager) serveSession(id int, req swmproto.Request) swmproto.Response {
+	if id < 0 || id >= len(m.sessions) {
+		return swmproto.Errorf(swmproto.CodeUnknownSession, "no session %d (fleet has %d)", id, len(m.sessions))
+	}
+	s := m.sessions[id]
+	if st := s.State(); st != StateRunning {
+		return swmproto.Errorf(swmproto.CodeSessionDown, "session %d is %s", id, st)
+	}
+	// Buffered so the lane's send cannot block if the caller timed out
+	// and walked away.
+	ch := make(chan swmproto.Response, 1)
+	if !s.post(taskWork, func() { ch <- s.wm.ServeProto(req) }) {
+		return swmproto.Errorf(swmproto.CodeSessionDown, "fleet is closed")
+	}
+	timeout := m.cfg.ServeTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		return resp
+	case <-timer.C:
+		// The session crashed or stopped between the state check and
+		// its lane turn: the state gate skipped the task and nobody
+		// will ever send. Degrade to a timeout envelope.
+		return swmproto.Errorf(swmproto.CodeTimeout, "session %d did not serve request %d within %v", id, req.ID, timeout)
+	}
+}
+
+// SessionState names session i's lifecycle state for discovery
+// listings ("running", "stopped", ...). Out-of-range ids report
+// "unknown" rather than panicking — the HTTP transport calls this with
+// client-supplied ids.
+func (m *Manager) SessionState(i int) string {
+	if i < 0 || i >= len(m.sessions) {
+		return "unknown"
+	}
+	return m.sessions[i].State().String()
+}
+
+// SessionRegistry returns session i's metrics registry, or nil when
+// the session has no live WM (or i is out of range). Unlike WM(), this
+// is safe from any goroutine at any time: the pointer is published
+// atomically at start/restart and the registry itself is built of
+// atomics — it is the scrape-path window into a session.
+func (m *Manager) SessionRegistry(i int) *obs.Registry {
+	if i < 0 || i >= len(m.sessions) {
+		return nil
+	}
+	return m.sessions[i].reg.Load()
 }
 
 // Stats counts session states and copies the fleet counters.

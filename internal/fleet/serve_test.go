@@ -1,0 +1,208 @@
+package fleet
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/swmproto"
+)
+
+func serveFleet(t *testing.T, sessions int) *Manager {
+	t.Helper()
+	m, err := New(Config{Sessions: sessions, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	m.StartAll()
+	m.Drain()
+	return m
+}
+
+func TestServeSessionQueryRoundTrip(t *testing.T) {
+	m := serveFleet(t, 2)
+	launchClients(t, m, 1, 3)
+	m.Drain()
+
+	resp := m.ServeSession(1, swmproto.Request{ID: 7, Op: swmproto.OpQuery, Target: swmproto.TargetClients})
+	if !resp.OK {
+		t.Fatalf("clients query failed: %+v", resp)
+	}
+	if resp.V != swmproto.Version || resp.ID != 7 {
+		t.Errorf("envelope header v=%d id=%d, want v=%d id=7", resp.V, resp.ID, swmproto.Version)
+	}
+	var res swmproto.ClientsResult
+	if err := json.Unmarshal(resp.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clients) != 3 {
+		t.Errorf("session 1 clients = %d, want 3", len(res.Clients))
+	}
+
+	// Sessions are isolated: session 0 has no clients.
+	resp = m.ServeSession(0, swmproto.Request{Op: swmproto.OpQuery, Target: swmproto.TargetClients})
+	if !resp.OK {
+		t.Fatalf("session 0 query failed: %+v", resp)
+	}
+	if err := json.Unmarshal(resp.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clients) != 0 {
+		t.Errorf("session 0 clients = %d, want 0", len(res.Clients))
+	}
+}
+
+func TestServeSessionExec(t *testing.T) {
+	m := serveFleet(t, 1)
+	launchClients(t, m, 0, 1)
+	m.Drain()
+
+	resp := m.ServeSession(0, swmproto.Request{Op: swmproto.OpExec, Command: "f.iconify(XTerm)"})
+	if !resp.OK {
+		t.Fatalf("exec failed: %+v", resp)
+	}
+	resp = m.ServeSession(0, swmproto.Request{Op: swmproto.OpExec, Command: "f.bogus()"})
+	if resp.OK || resp.Code != swmproto.CodeExecFailed {
+		t.Errorf("bogus exec = %+v, want code %s", resp, swmproto.CodeExecFailed)
+	}
+}
+
+func TestServeSessionErrorEnvelopes(t *testing.T) {
+	m := serveFleet(t, 2)
+
+	if resp := m.ServeSession(99, swmproto.Request{Op: swmproto.OpQuery, Target: swmproto.TargetStats}); resp.OK || resp.Code != swmproto.CodeUnknownSession {
+		t.Errorf("out-of-range session = %+v", resp)
+	}
+	if resp := m.ServeSession(-1, swmproto.Request{}); resp.OK || resp.Code != swmproto.CodeUnknownSession {
+		t.Errorf("negative session = %+v", resp)
+	}
+
+	m.Stop(1)
+	m.Drain()
+	if resp := m.ServeSession(1, swmproto.Request{Op: swmproto.OpQuery, Target: swmproto.TargetStats}); resp.OK || resp.Code != swmproto.CodeSessionDown {
+		t.Errorf("stopped session = %+v", resp)
+	}
+
+	if resp := m.ServeSession(0, swmproto.Request{Op: swmproto.OpQuery, Target: "nonsense"}); resp.OK || resp.Code != swmproto.CodeUnknownTarget {
+		t.Errorf("unknown target = %+v", resp)
+	}
+	if resp := m.ServeSession(0, swmproto.Request{Op: "mystery"}); resp.OK || resp.Code != swmproto.CodeUnknownOp {
+		t.Errorf("unknown op = %+v", resp)
+	}
+}
+
+// TestServeSessionTimeout pins the degrade path: a request stuck
+// behind a slow lane answers with a timeout envelope instead of
+// hanging the transport.
+func TestServeSessionTimeout(t *testing.T) {
+	m, err := New(Config{Sessions: 1, Workers: 1, ServeTimeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	m.StartAll()
+	m.Drain()
+
+	// Occupy the session's lane so the serve task queues behind it
+	// past the timeout.
+	release := make(chan struct{})
+	m.sessions[0].post(taskWork, func() { <-release })
+	resp := m.ServeSession(0, swmproto.Request{ID: 3, Op: swmproto.OpQuery, Target: swmproto.TargetStats})
+	close(release)
+	if resp.OK || resp.Code != swmproto.CodeTimeout {
+		t.Errorf("stuck lane = %+v, want code %s", resp, swmproto.CodeTimeout)
+	}
+	if resp.ID != 3 {
+		t.Errorf("timeout envelope id = %d, want 3", resp.ID)
+	}
+	m.Drain()
+	// The lane drained; the session serves again.
+	if resp := m.ServeSession(0, swmproto.Request{Op: swmproto.OpQuery, Target: swmproto.TargetDesktop}); !resp.OK {
+		t.Errorf("after unblocking = %+v", resp)
+	}
+}
+
+// TestServeSessionFailedLane pins the crashed-session path: a Failed
+// session answers session_down, and serves again after Restart.
+func TestServeSessionFailedLane(t *testing.T) {
+	m := serveFleet(t, 1)
+	s := m.sessions[0]
+	s.post(taskWork, func() { panic("serve fixture crash") })
+	m.Drain()
+	if st := s.State(); st != StateFailed {
+		t.Fatalf("session state = %s, want failed", st)
+	}
+	if resp := m.ServeSession(0, swmproto.Request{}); resp.Code != swmproto.CodeSessionDown {
+		t.Errorf("failed session = %+v", resp)
+	}
+	m.Restart(0)
+	m.Drain()
+	if resp := m.ServeSession(0, swmproto.Request{Op: swmproto.OpQuery, Target: swmproto.TargetDesktop}); !resp.OK {
+		t.Errorf("restarted session = %+v", resp)
+	}
+}
+
+// TestServeSessionConcurrent hammers one small fleet from many
+// goroutines — the HTTP transport's concurrency shape, checked here
+// under -race without the HTTP layer in the way.
+func TestServeSessionConcurrent(t *testing.T) {
+	m := serveFleet(t, 4)
+	for i := 0; i < 4; i++ {
+		launchClients(t, m, i, 2)
+	}
+	m.Drain()
+
+	const goroutines = 16
+	const perG = 25
+	targets := []string{swmproto.TargetStats, swmproto.TargetClients, swmproto.TargetDesktop, swmproto.TargetTrace}
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				session := (g + i) % m.Sessions()
+				resp := m.ServeSession(session, swmproto.Request{
+					ID: uint64(g*1000 + i), Op: swmproto.OpQuery, Target: targets[i%len(targets)],
+				})
+				if !resp.OK {
+					errs <- resp.Error
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Errorf("concurrent query failed: %s", e)
+	}
+}
+
+func TestSessionRegistryLifecycle(t *testing.T) {
+	m := serveFleet(t, 2)
+	if m.SessionRegistry(0) == nil {
+		t.Fatal("running session has nil registry")
+	}
+	if m.SessionRegistry(0) != m.Session(0).WM().Metrics() {
+		t.Error("SessionRegistry disagrees with the WM's registry")
+	}
+	if m.SessionRegistry(99) != nil || m.SessionRegistry(-1) != nil {
+		t.Error("out-of-range session returned a registry")
+	}
+	m.Stop(0)
+	m.Drain()
+	if m.SessionRegistry(0) != nil {
+		t.Error("stopped session kept its registry published")
+	}
+	m.Start(0)
+	m.Drain()
+	if m.SessionRegistry(0) == nil {
+		t.Error("restarted session did not republish its registry")
+	}
+	if m.SessionState(0) != "running" || m.SessionState(99) != "unknown" {
+		t.Errorf("states = %s/%s", m.SessionState(0), m.SessionState(99))
+	}
+}

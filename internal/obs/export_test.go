@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func populated() *Registry {
+	r := NewRegistry()
+	r.Counter("wm.managed").Add(7)
+	r.Counter("degrade.core").Add(2)
+	r.Gauge("fleet.sessions_live").Set(64)
+	h := r.Histogram("pump.ns", []int64{1000, 4000})
+	h.Observe(500)
+	h.Observe(500)
+	h.Observe(3000)
+	h.Observe(9000)
+	return r
+}
+
+func TestVisitOrderAndValues(t *testing.T) {
+	r := populated()
+	var got []string
+	v := visitRecorder{names: &got}
+	r.Visit(v)
+	want := []string{
+		"counter:degrade.core=2",
+		"counter:wm.managed=7",
+		"gauge:fleet.sessions_live=64",
+		"histogram:pump.ns",
+	}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("visit order = %v, want %v", got, want)
+	}
+}
+
+type visitRecorder struct{ names *[]string }
+
+func (v visitRecorder) VisitCounter(name string, value int64) {
+	*v.names = append(*v.names, "counter:"+name+"="+itoa(value))
+}
+func (v visitRecorder) VisitGauge(name string, value int64) {
+	*v.names = append(*v.names, "gauge:"+name+"="+itoa(value))
+}
+func (v visitRecorder) VisitHistogram(name string, h *Histogram) {
+	*v.names = append(*v.names, "histogram:"+name)
+}
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }
+
+// TestSnapshotMatchesVisit pins the shared-doorway contract: the JSON
+// snapshot and a direct Visit enumerate the same instruments with the
+// same values.
+func TestSnapshotMatchesVisit(t *testing.T) {
+	r := populated()
+	s := r.Snapshot()
+	if s.Counters["wm.managed"] != 7 || s.Counters["degrade.core"] != 2 {
+		t.Errorf("counters = %v", s.Counters)
+	}
+	if s.Gauges["fleet.sessions_live"] != 64 {
+		t.Errorf("gauges = %v", s.Gauges)
+	}
+	h := s.Histograms["pump.ns"]
+	if h.Count != 4 || h.Sum != 13000 {
+		t.Errorf("histogram count/sum = %d/%d", h.Count, h.Sum)
+	}
+	wantBuckets := []Bucket{{1000, 2}, {4000, 1}, {-1, 1}}
+	if len(h.Buckets) != len(wantBuckets) {
+		t.Fatalf("buckets = %+v", h.Buckets)
+	}
+	for i, b := range wantBuckets {
+		if h.Buckets[i] != b {
+			t.Errorf("bucket %d = %+v, want %+v", i, h.Buckets[i], b)
+		}
+	}
+}
+
+func TestExportTextFormat(t *testing.T) {
+	r := populated()
+	var sb strings.Builder
+	if err := r.Export(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE swm_wm_managed counter\n",
+		"swm_wm_managed 7\n",
+		"# TYPE swm_fleet_sessions_live gauge\n",
+		"swm_fleet_sessions_live 64\n",
+		"# TYPE swm_pump_ns histogram\n",
+		"swm_pump_ns_bucket{le=\"1000\"} 2\n",
+		"swm_pump_ns_bucket{le=\"4000\"} 3\n",
+		"swm_pump_ns_bucket{le=\"+Inf\"} 4\n",
+		"swm_pump_ns_sum 13000\n",
+		"swm_pump_ns_count 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "..") || strings.Contains(out, "swm_swm_") {
+		t.Errorf("bad mangling in:\n%s", out)
+	}
+}
+
+// TestExportTextLabelsAndGrouping drives the fleet shape: the same
+// metric name in several labeled registries must appear as one family —
+// a single # TYPE line with one series per registry.
+func TestExportTextLabelsAndGrouping(t *testing.T) {
+	r0 := NewRegistry()
+	r0.Counter("wm.managed").Add(3)
+	r1 := NewRegistry()
+	r1.Counter("wm.managed").Add(5)
+	var sb strings.Builder
+	err := ExportText(&sb,
+		LabeledRegistry{Registry: r0, Labels: []Label{{"session", "0"}}},
+		LabeledRegistry{Registry: r1, Labels: []Label{{"session", "1"}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if n := strings.Count(out, "# TYPE swm_wm_managed counter"); n != 1 {
+		t.Errorf("family declared %d times:\n%s", n, out)
+	}
+	for _, want := range []string{
+		"swm_wm_managed{session=\"0\"} 3\n",
+		"swm_wm_managed{session=\"1\"} 5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestExportTextHistogramLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat.ns", []int64{10}).Observe(5)
+	var sb strings.Builder
+	if err := r.Export(&sb, Label{"session", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"swm_lat_ns_bucket{session=\"3\",le=\"10\"} 1\n",
+		"swm_lat_ns_bucket{session=\"3\",le=\"+Inf\"} 1\n",
+		"swm_lat_ns_sum{session=\"3\"} 5\n",
+		"swm_lat_ns_count{session=\"3\"} 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g").Set(1)
+	var sb strings.Builder
+	if err := r.Export(&sb, Label{"name", `a"b\c` + "\n"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `swm_g{name="a\"b\\c\n"} 1`) {
+		t.Errorf("escaping wrong:\n%s", sb.String())
+	}
+}

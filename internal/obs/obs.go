@@ -56,6 +56,10 @@ type Gauge struct {
 // Set replaces the value.
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
+// Add adjusts the value by n (atomically — concurrent in/decrements
+// such as an in-flight request count never lose updates).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
@@ -117,19 +121,30 @@ type HistogramSnapshot struct {
 	Buckets []Bucket `json:"buckets"`
 }
 
-func (h *Histogram) snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{
-		Count:   h.count.Load(),
-		Sum:     h.sum.Load(),
-		Buckets: make([]Bucket, len(h.buckets)),
-	}
+// Range calls f once per bucket in bound order: the bucket's inclusive
+// upper bound (-1 standing for +Inf on the overflow bucket, as in
+// Bucket) and its non-cumulative count. Counts are individual atomic
+// loads; like any scrape, the set is not a consistent cut. Range is
+// the allocation-free doorway snapshot() and the text exporter share.
+func (h *Histogram) Range(f func(upperBound, count int64)) {
 	for i := range h.buckets {
 		ub := int64(-1)
 		if i < len(h.bounds) {
 			ub = h.bounds[i]
 		}
-		s.Buckets[i] = Bucket{UpperBound: ub, Count: h.buckets[i].Load()}
+		f(ub, h.buckets[i].Load())
 	}
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Buckets: make([]Bucket, 0, len(h.buckets)),
+	}
+	h.Range(func(ub, count int64) {
+		s.Buckets = append(s.Buckets, Bucket{UpperBound: ub, Count: count})
+	})
 	return s
 }
 
@@ -213,24 +228,16 @@ type Snapshot struct {
 
 // Snapshot copies every instrument's current value. Individual values
 // are atomically read; the set as a whole is not a consistent cut, the
-// usual metrics-scrape semantics.
+// usual metrics-scrape semantics. Snapshot rides the same Visit walk
+// the text exporter uses (export.go), so the JSON and Prometheus views
+// enumerate identical instrument sets by construction.
 func (r *Registry) Snapshot() Snapshot {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	s := Snapshot{
-		Counters:   make(map[string]int64, len(r.counters)),
-		Gauges:     make(map[string]int64, len(r.gauges)),
-		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
 	}
-	for name, c := range r.counters {
-		s.Counters[name] = c.Value()
-	}
-	for name, g := range r.gauges {
-		s.Gauges[name] = g.Value()
-	}
-	for name, h := range r.histograms {
-		s.Histograms[name] = h.snapshot()
-	}
+	r.Visit(snapshotVisitor{&s})
 	return s
 }
 

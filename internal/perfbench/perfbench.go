@@ -21,6 +21,7 @@ import (
 	"repro/internal/baseline/twm"
 	"repro/internal/clients"
 	"repro/internal/core"
+	"repro/internal/swmload"
 	"repro/internal/templates"
 	"repro/internal/xserver"
 )
@@ -68,6 +69,10 @@ var PreChange = map[string]Baseline{
 // post-striping measurement (4,802 allocs/op — seqlock in-place
 // property rewrites allocate nothing); a return to allocate-per-write
 // property entries (9,410 allocs/op on the pre-change tree) fails.
+// swmload-fleet-http's ceiling carries ~30% headroom over the measured
+// 3.43M allocs/op for a 20,000-request run (≈170 allocs per HTTP
+// round-trip across client and server); a per-request regression of
+// even one extra marshal-decode cycle (~50 allocs) lands far over it.
 var AllocBudgets = map[string]int64{
 	"manage-100-clients":    9000,
 	"move-storm":            38,
@@ -75,6 +80,7 @@ var AllocBudgets = map[string]int64{
 	"xrdb-query":            0,
 	"fleet-1000-sessions":   1_200_000,
 	"concurrent-clients-64": 6000,
+	"swmload-fleet-http":    4_500_000,
 }
 
 // WallBudgets are blocking ceilings on ns/op. Timing is
@@ -95,9 +101,17 @@ var AllocBudgets = map[string]int64{
 // against ~10-16ms/op for the identical workload on the pre-striping
 // global lock, so a ceiling of 9ms/op absorbs host noise while a
 // return to globally serialized request handling still fails.
+// swmload-fleet-http pins the whole network service path — 1,000
+// concurrent HTTP clients against a 64-session fleet, 20,000 requests
+// per op — to an order of magnitude: measured ~2.8s/op, so a 40s
+// ceiling absorbs CI hardware while a slide into lock-convoyed or
+// serialized request handling still fails. The workload additionally
+// hard-fails on any request error, so the percentile numbers it
+// records (Report.Load) always describe an error-free run.
 var WallBudgets = map[string]float64{
 	"fleet-1000-sessions":   30e9, // 30s; measured ~1.9s
 	"concurrent-clients-64": 9e6,  // 9ms; measured ~3.0-4.3ms
+	"swmload-fleet-http":    40e9, // 40s; measured ~2.8s
 }
 
 // Workload pairs a stable name (the key used in reports, PreChange and
@@ -118,6 +132,7 @@ func Workloads() []Workload {
 		{Name: "pan-storm-traced", Bench: PanStormTraced},
 		{Name: "fleet-1000-sessions", Bench: FleetSessions(1000, 10)},
 		{Name: "concurrent-clients-64", Bench: ConcurrentClients(64)},
+		{Name: "swmload-fleet-http", Bench: FleetHTTPLoad(64, 1000, 20000)},
 		{Name: "wm-comparison/manage-25-twm", Bench: manage25(newTwmPump)},
 		{Name: "wm-comparison/manage-25-swm", Bench: manage25(newSwmPump)},
 		{Name: "wm-comparison/manage-25-gwm", Bench: manage25(newGwmPump)},
@@ -140,6 +155,10 @@ type Report struct {
 	PreChange    map[string]Baseline `json:"pre_change"`
 	AllocBudgets map[string]int64    `json:"alloc_budgets"`
 	WallBudgets  map[string]float64  `json:"wall_budgets"`
+	// Load carries the traffic summaries (latency percentiles, error
+	// rate, request mix) the load workloads record via
+	// RecordLoadSummary — numbers a ns/op cannot express.
+	Load map[string]swmload.Summary `json:"load,omitempty"`
 }
 
 // Run measures every workload with the standard library's benchmark

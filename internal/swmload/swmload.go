@@ -1,0 +1,314 @@
+// Package swmload is the traffic generator for the swmproto HTTP
+// service: a seeded, closed-loop load driver that sustains many
+// concurrent clients issuing query and exec requests against a live
+// fleet and reports latency percentiles and error rates.
+//
+// The shape is deliberately boring and reproducible:
+//
+//   - Workers are closed-loop: each issues its next request when the
+//     previous one completes, so concurrency == Clients exactly and the
+//     generator cannot outrun the service into a coordinated-omission
+//     death spiral.
+//   - Every worker owns a rand.Rand seeded Seed+worker. The request mix
+//     (session choice, target choice, exec cadence) is a pure function
+//     of the seed, so two runs with the same Config hit the fleet with
+//     the same request stream — the property the perfbench workload and
+//     the CI smoke rely on to compare numbers across commits.
+//   - Latencies are recorded per worker (no contended append) and
+//     merged for percentiles once the run ends.
+//
+// An error is any transport failure, non-envelope body, or !ok
+// envelope; ByCode counts the protocol error classes seen so a failure
+// mode is nameable, not just countable.
+package swmload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/swmhttp"
+	"repro/internal/swmproto"
+)
+
+// Config tunes one load run.
+type Config struct {
+	// BaseURL locates the service, e.g. "http://127.0.0.1:7070".
+	BaseURL string
+	// Clients is the number of concurrent closed-loop workers
+	// (default 100).
+	Clients int
+	// Requests is the total request count across all workers
+	// (default 10,000).
+	Requests int
+	// Seed makes the request mix reproducible (default 1).
+	Seed int64
+	// ExecEvery makes every Nth request per worker an exec instead of
+	// a query; 0 disables execs.
+	ExecEvery int
+	// ExecCommand is the command execs deliver (default "f.nop" —
+	// a full round-trip through the command interpreter with no
+	// window-state side effects, so runs are independent).
+	ExecCommand string
+	// Timeout bounds each request (default 10s).
+	Timeout time.Duration
+	// HTTPClient overrides the tuned default client (tests).
+	HTTPClient *http.Client
+}
+
+// Summary is the result of one load run. Durations marshal as
+// nanoseconds (time.Duration's JSON form).
+type Summary struct {
+	Requests int            `json:"requests"`
+	Errors   int            `json:"errors"`
+	Clients  int            `json:"clients"`
+	Sessions int            `json:"sessions"`
+	Elapsed  time.Duration  `json:"elapsed_ns"`
+	QPS      float64        `json:"qps"`
+	P50      time.Duration  `json:"p50_ns"`
+	P95      time.Duration  `json:"p95_ns"`
+	P99      time.Duration  `json:"p99_ns"`
+	Max      time.Duration  `json:"max_ns"`
+	ByTarget map[string]int `json:"by_target"`
+	ByCode   map[string]int `json:"by_code"`
+}
+
+// ErrorRate is Errors over Requests, 0 for an empty run.
+func (s Summary) ErrorRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Errors) / float64(s.Requests)
+}
+
+// Format writes the human-readable report.
+func (s Summary) Format(w io.Writer) {
+	fmt.Fprintf(w, "requests  %d (%d clients, %d sessions)\n", s.Requests, s.Clients, s.Sessions)
+	fmt.Fprintf(w, "elapsed   %v (%.0f req/s)\n", s.Elapsed.Round(time.Millisecond), s.QPS)
+	fmt.Fprintf(w, "latency   p50=%v p95=%v p99=%v max=%v\n",
+		s.P50.Round(time.Microsecond), s.P95.Round(time.Microsecond),
+		s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+	fmt.Fprintf(w, "errors    %d (%.2f%%)\n", s.Errors, 100*s.ErrorRate())
+	targets := make([]string, 0, len(s.ByTarget))
+	for t := range s.ByTarget {
+		targets = append(targets, t)
+	}
+	sort.Strings(targets)
+	for _, t := range targets {
+		fmt.Fprintf(w, "  %-8s %d\n", t, s.ByTarget[t])
+	}
+	codes := make([]string, 0, len(s.ByCode))
+	for c := range s.ByCode {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	for _, c := range codes {
+		fmt.Fprintf(w, "  code %-16s %d\n", c, s.ByCode[c])
+	}
+}
+
+// workerResult is one worker's tally, merged after the run.
+type workerResult struct {
+	latencies []time.Duration
+	errors    int
+	byTarget  map[string]int
+	byCode    map[string]int
+}
+
+// Run executes one load run: probe health, discover running sessions,
+// fan out workers, merge the tallies.
+func Run(cfg Config) (Summary, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 100
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 10000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.ExecCommand == "" {
+		cfg.ExecCommand = "f.nop"
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	client := cfg.HTTPClient
+	if client == nil {
+		// The default transport idles out all but two connections per
+		// host; at hundreds of closed-loop workers that means constant
+		// reconnect churn measuring the dialer, not the service.
+		client = &http.Client{
+			Timeout: cfg.Timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.Clients + 8,
+				MaxIdleConnsPerHost: cfg.Clients + 8,
+				IdleConnTimeout:     30 * time.Second,
+			},
+		}
+	}
+
+	sessions, err := discover(client, cfg.BaseURL)
+	if err != nil {
+		return Summary{}, err
+	}
+
+	results := make([]workerResult, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Clients; w++ {
+		n := cfg.Requests / cfg.Clients
+		if w < cfg.Requests%cfg.Clients {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			results[w] = worker(client, cfg, sessions, cfg.Seed+int64(w), n)
+		}(w, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	s := Summary{
+		Clients:  cfg.Clients,
+		Sessions: len(sessions),
+		Elapsed:  elapsed,
+		ByTarget: make(map[string]int),
+		ByCode:   make(map[string]int),
+	}
+	var all []time.Duration
+	for _, r := range results {
+		all = append(all, r.latencies...)
+		s.Errors += r.errors
+		for t, n := range r.byTarget {
+			s.ByTarget[t] += n
+		}
+		for c, n := range r.byCode {
+			s.ByCode[c] += n
+		}
+	}
+	// Requests counts attempts (transport failures included, though
+	// they have no latency sample); percentiles cover completed ones.
+	for _, n := range s.ByTarget {
+		s.Requests += n
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) > 0 {
+		s.P50 = percentile(all, 50)
+		s.P95 = percentile(all, 95)
+		s.P99 = percentile(all, 99)
+		s.Max = all[len(all)-1]
+		s.QPS = float64(len(all)) / elapsed.Seconds()
+	}
+	return s, nil
+}
+
+// discover probes /healthz and lists the running sessions — the load
+// targets. A dead fleet is a setup error, not a measurement.
+func discover(client *http.Client, baseURL string) ([]int, error) {
+	res, err := client.Get(baseURL + "/healthz")
+	if err != nil {
+		return nil, fmt.Errorf("swmload: health probe: %w", err)
+	}
+	io.Copy(io.Discard, res.Body) //nolint:errcheck // drain for keep-alive
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("swmload: fleet unhealthy: healthz = %d", res.StatusCode)
+	}
+	res, err = client.Get(baseURL + "/v1/sessions")
+	if err != nil {
+		return nil, fmt.Errorf("swmload: session discovery: %w", err)
+	}
+	defer res.Body.Close()
+	var list swmhttp.SessionsResult
+	if err := json.NewDecoder(res.Body).Decode(&list); err != nil {
+		return nil, fmt.Errorf("swmload: decode session list: %w", err)
+	}
+	var running []int
+	for _, s := range list.Sessions {
+		if s.State == "running" {
+			running = append(running, s.ID)
+		}
+	}
+	if len(running) == 0 {
+		return nil, fmt.Errorf("swmload: no running sessions in a fleet of %d", len(list.Sessions))
+	}
+	return running, nil
+}
+
+var queryTargets = []string{
+	swmproto.TargetStats, swmproto.TargetTrace,
+	swmproto.TargetClients, swmproto.TargetDesktop,
+}
+
+// worker is one closed-loop client: n requests, each chosen by the
+// worker's own seeded rng, timed individually.
+func worker(client *http.Client, cfg Config, sessions []int, seed int64, n int) workerResult {
+	rng := rand.New(rand.NewSource(seed))
+	r := workerResult{
+		latencies: make([]time.Duration, 0, n),
+		byTarget:  make(map[string]int),
+		byCode:    make(map[string]int),
+	}
+	execBody, _ := json.Marshal(swmhttp.ExecBody{Command: cfg.ExecCommand})
+	for i := 0; i < n; i++ {
+		session := sessions[rng.Intn(len(sessions))]
+		target := queryTargets[rng.Intn(len(queryTargets))]
+		exec := cfg.ExecEvery > 0 && (i+1)%cfg.ExecEvery == 0
+		if exec {
+			target = "exec"
+		}
+		url := fmt.Sprintf("%s/v1/sessions/%d/%s", cfg.BaseURL, session, target)
+		r.byTarget[target]++
+
+		begin := time.Now()
+		var res *http.Response
+		var err error
+		if exec {
+			res, err = client.Post(url, "application/json", bytes.NewReader(execBody))
+		} else {
+			res, err = client.Get(url)
+		}
+		if err != nil {
+			r.errors++
+			r.byCode["transport"]++
+			continue
+		}
+		var resp swmproto.Response
+		decodeErr := json.NewDecoder(res.Body).Decode(&resp)
+		io.Copy(io.Discard, res.Body) //nolint:errcheck // drain for keep-alive
+		res.Body.Close()
+		r.latencies = append(r.latencies, time.Since(begin))
+		switch {
+		case decodeErr != nil:
+			r.errors++
+			r.byCode["malformed"]++
+		case !resp.OK:
+			r.errors++
+			r.byCode[resp.Code]++
+		}
+	}
+	return r
+}
+
+// percentile is nearest-rank over an ascending slice.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p/100*float64(len(sorted)-1) + 0.5)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

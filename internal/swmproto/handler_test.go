@@ -1,0 +1,109 @@
+package swmproto
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// TestCodeTables pins the shared error-code contract: every code maps
+// to exactly the documented HTTP status and exit code, the exit codes
+// are pairwise distinct (a script can branch on them), and unknown
+// codes fall back to 500 / 1. Both transports read these tables, so a
+// drift here is a protocol break, not a refactor.
+func TestCodeTables(t *testing.T) {
+	wantHTTP := map[string]int{
+		CodeBadRequest:     400,
+		CodeUnknownOp:      400,
+		CodeUnknownTarget:  404,
+		CodeUnknownSession: 404,
+		CodeSessionDown:    503,
+		CodeTimeout:        504,
+		CodeExecFailed:     422,
+		CodeInternal:       500,
+	}
+	wantExit := map[string]int{
+		CodeBadRequest:     2,
+		CodeUnknownOp:      3,
+		CodeUnknownTarget:  4,
+		CodeUnknownSession: 5,
+		CodeSessionDown:    6,
+		CodeTimeout:        7,
+		CodeExecFailed:     8,
+		CodeInternal:       9,
+	}
+	codes := Codes()
+	if len(codes) != len(wantHTTP) {
+		t.Fatalf("Codes() lists %d codes, the pin table has %d — update both", len(codes), len(wantHTTP))
+	}
+	seenExit := map[int]string{}
+	for _, code := range codes {
+		if got := HTTPStatus(code); got != wantHTTP[code] {
+			t.Errorf("HTTPStatus(%s) = %d, want %d", code, got, wantHTTP[code])
+		}
+		got := ExitCode(code)
+		if got != wantExit[code] {
+			t.Errorf("ExitCode(%s) = %d, want %d", code, got, wantExit[code])
+		}
+		if prev, dup := seenExit[got]; dup {
+			t.Errorf("exit code %d shared by %s and %s", got, prev, code)
+		}
+		seenExit[got] = code
+		if got == 0 || got == 1 {
+			t.Errorf("exit code %d for %s collides with success/transport-failure", got, code)
+		}
+	}
+	if got := HTTPStatus("no_such_code"); got != 500 {
+		t.Errorf("HTTPStatus(unknown) = %d, want 500", got)
+	}
+	if got := ExitCode("no_such_code"); got != 1 {
+		t.Errorf("ExitCode(unknown) = %d, want 1", got)
+	}
+}
+
+// TestCodeShape keeps codes machine-friendly: lowercase snake_case, the
+// shape documented in the protocol.
+func TestCodeShape(t *testing.T) {
+	for _, code := range Codes() {
+		for _, r := range code {
+			if r != '_' && !unicode.IsLower(r) {
+				t.Errorf("code %q is not lowercase snake_case", code)
+			}
+		}
+	}
+}
+
+// TestErrorfEnvelope checks the helper fills the uniform envelope.
+func TestErrorfEnvelope(t *testing.T) {
+	resp := Errorf(CodeUnknownTarget, "unknown query target %q", "nonsense")
+	if resp.OK || resp.Code != CodeUnknownTarget || !strings.Contains(resp.Error, "nonsense") {
+		t.Errorf("envelope = %+v", resp)
+	}
+}
+
+// FuzzDecodeRequest feeds the request decoder malformed input: it must
+// return an error or a request, never panic, whatever the bytes. The
+// seeds are the malformed-JSON corpus the HTTP transport's body decode
+// shares (swmhttp routes its exec bodies through the same
+// encoding/json machinery).
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte(`{"v":1,"op":"query","target":"stats"}`))
+	f.Add([]byte(`{"v":1,"op":"exec","command":"f.nop"}`))
+	f.Add([]byte(`{"v":999,"op":"query"}`))
+	f.Add([]byte(`{"v":1,"op":`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"v":"one"}`))
+	f.Add([]byte(`{"v":1,"id":-3}`))
+	f.Add([]byte(`{"v":1,"screen":"zero"}`))
+	f.Add([]byte("\x00\xff\xfe"))
+	f.Add([]byte(`{"v":1,"op":"query","target":"` + strings.Repeat("a", 1<<12) + `"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data)
+		if err == nil && req.V != Version {
+			t.Errorf("decode accepted version %d", req.V)
+		}
+	})
+}

@@ -66,21 +66,36 @@ const (
 	TargetDesktop = "desktop"
 )
 
-// Request is what a client writes to SWM_QUERY on the root window.
+// Request is the transport-independent request form: what a client
+// writes to SWM_QUERY on the root window, and what the HTTP transport
+// decodes its route and body into.
 type Request struct {
-	V           int    `json:"v"`
-	ID          uint64 `json:"id"`
-	Op          string `json:"op"`                // OpQuery or OpExec
-	Target      string `json:"target,omitempty"`  // for OpQuery
-	Command     string `json:"command,omitempty"` // for OpExec
-	ReplyWindow uint32 `json:"reply_window"`
+	V       int    `json:"v"`
+	ID      uint64 `json:"id"`
+	Op      string `json:"op"`                // OpQuery or OpExec
+	Target  string `json:"target,omitempty"`  // for OpQuery
+	Command string `json:"command,omitempty"` // for OpExec
+	// Screen selects which of the WM's screens serves the request
+	// (exec context, 0 = first). The property transport overrides it
+	// with the screen whose root the request was written on; the HTTP
+	// transport passes the client's choice through.
+	Screen int `json:"screen,omitempty"`
+	// ReplyWindow is property-transport plumbing: the XID the response
+	// is written to. Other transports leave it zero.
+	ReplyWindow uint32 `json:"reply_window,omitempty"`
 }
 
-// Response is what swm writes to SWM_REPLY on the reply window.
+// Response is the uniform envelope every transport returns: what swm
+// writes to SWM_REPLY on the reply window and what the HTTP transport
+// serves as the response body, status derived from Code via HTTPStatus.
 type Response struct {
-	V     int    `json:"v"`
-	ID    uint64 `json:"id"`
-	OK    bool   `json:"ok"`
+	V  int    `json:"v"`
+	ID uint64 `json:"id"`
+	OK bool   `json:"ok"`
+	// Code is the machine-readable error class (the Code* constants),
+	// set exactly when OK is false. Error carries the human-readable
+	// detail.
+	Code  string `json:"code,omitempty"`
 	Error string `json:"error,omitempty"`
 	// Result is the target-specific payload for successful queries:
 	// StatsResult, TraceResult, ClientsResult or DesktopResult.
