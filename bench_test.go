@@ -566,11 +566,16 @@ func BenchmarkPerfFleet1000Sessions(b *testing.B) { perfbench.FleetSessions(1000
 // gated on.
 func BenchmarkPerfConcurrentClients64(b *testing.B) { perfbench.ConcurrentClients(64)(b) }
 
+// BenchmarkPerfHTTPStatsQuery is one warm stats query through the
+// full in-process handler stack — the snapshot-cache hit path the
+// zero-alloc serving work is gated on (blocking at ≤20 allocs/op).
+func BenchmarkPerfHTTPStatsQuery(b *testing.B) { perfbench.HTTPStatsQuery()(b) }
+
 // BenchmarkPerfSwmloadFleetHTTP is the network service layer under
 // load: a 64-session fleet behind the swmhttp transport on a loopback
-// listener, driven by 1,000 concurrent swmload workers; expect seconds
-// per op (one op is a complete 20,000-request run).
-func BenchmarkPerfSwmloadFleetHTTP(b *testing.B) { perfbench.FleetHTTPLoad(64, 1000, 20000)(b) }
+// listener, driven by 128 concurrent swmload workers (one op is a
+// complete 20,000-request run).
+func BenchmarkPerfSwmloadFleetHTTP(b *testing.B) { perfbench.FleetHTTPLoad(64, 128, 20000)(b) }
 
 // BenchmarkXrdbQueryCold defeats the DB.Query memo with a fresh clone
 // per iteration, measuring the raw matching walk the memo shortcuts.

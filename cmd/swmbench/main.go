@@ -1,18 +1,25 @@
 // Command swmbench runs the repository's tracked performance workloads
 // (internal/perfbench) and writes a BENCH_<n>.json report: ns/op,
-// allocs/op and B/op for the manage, move-storm and pan-storm shapes
-// plus the twm/swm/gwm comparison.
+// allocs/op and B/op for the manage, move-storm and pan-storm shapes,
+// the twm/swm/gwm comparison, and the HTTP serving-path workloads.
 //
-//	swmbench -o BENCH_9.json -check
+//	swmbench -o BENCH_10.json -check -delta BENCH_9.json -delta-out delta.md
 //
 // With -check, the binary exits non-zero when a workload exceeds its
-// blocking allocation budget (perfbench.AllocBudgets) or, for the few
-// workloads that carry one, its wall-clock budget
-// (perfbench.WallBudgets). Wall-clock numbers depend on the machine,
-// so wall budgets are order-of-magnitude ceilings reserved for
-// workloads — fleet-1000-sessions and concurrent-clients-64 — whose
-// whole point is bounding an end-to-end shape; everything else keeps
-// timing advisory and allocation counts enforced.
+// blocking allocation budget (perfbench.AllocBudgets), its wall-clock
+// budget (perfbench.WallBudgets), or — for the load workloads — misses
+// its traffic budget (perfbench.LoadBudgets: a qps floor and a p99
+// ceiling). Wall-clock numbers depend on the machine, so wall budgets
+// are order-of-magnitude ceilings reserved for workloads whose whole
+// point is bounding an end-to-end shape; everything else keeps timing
+// advisory and allocation counts enforced.
+//
+// With -delta pointing at a previous report, a markdown comparison
+// table (ns/op, allocs/op, qps, p99 per workload) is written to
+// -delta-out, or stdout when -delta-out is empty — the table the CI
+// bench job appends to its job summary. A missing -delta file is
+// skipped with a note, not an error, so the first run after a report
+// rename still passes.
 package main
 
 import (
@@ -26,8 +33,10 @@ import (
 )
 
 func main() {
-	out := flag.String("o", "BENCH_9.json", "report output path (\"-\" for stdout)")
-	check := flag.Bool("check", false, "fail when a blocking allocation or wall-clock budget is exceeded")
+	out := flag.String("o", "BENCH_10.json", "report output path (\"-\" for stdout)")
+	check := flag.Bool("check", false, "fail when a blocking allocation, wall-clock, or load budget is exceeded")
+	deltaIn := flag.String("delta", "", "previous BENCH_<n>.json to diff against (missing file is skipped)")
+	deltaOut := flag.String("delta-out", "", "write the markdown delta table here instead of stdout")
 	flag.Parse()
 
 	results := perfbench.Run()
@@ -76,6 +85,28 @@ func main() {
 				sum.P50, sum.P95, sum.P99, sum.Max, sum.QPS, 100*sum.ErrorRate())
 		}
 	}
+	for name, budget := range perfbench.LoadBudgets {
+		sum, ok := report.Load[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "swmbench: load budget for %s has no recorded summary\n", name)
+			if *check {
+				failed = true
+			}
+			continue
+		}
+		if sum.QPS < budget.MinQPS {
+			fmt.Printf("%s UNDER THROUGHPUT FLOOR (%.0f < %.0f req/s)\n", name, sum.QPS, budget.MinQPS)
+			if *check {
+				failed = true
+			}
+		}
+		if sum.P99 > budget.MaxP99 {
+			fmt.Printf("%s OVER P99 CEILING (%v > %v)\n", name, sum.P99, budget.MaxP99)
+			if *check {
+				failed = true
+			}
+		}
+	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -91,7 +122,37 @@ func main() {
 	} else {
 		fmt.Printf("\nreport written to %s\n", *out)
 	}
+
+	if *deltaIn != "" {
+		if err := writeDelta(*deltaIn, *deltaOut, report); err != nil {
+			fmt.Fprintf(os.Stderr, "swmbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeDelta diffs the freshly measured report against a previous one
+// on disk. A missing previous report is not an error.
+func writeDelta(prevPath, outPath string, cur perfbench.Report) error {
+	raw, err := os.ReadFile(prevPath)
+	if os.IsNotExist(err) {
+		fmt.Printf("no previous report at %s; skipping delta\n", prevPath)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var prev perfbench.Report
+	if err := json.Unmarshal(raw, &prev); err != nil {
+		return fmt.Errorf("parse %s: %w", prevPath, err)
+	}
+	table := perfbench.DeltaTable(prev, cur)
+	if outPath == "" {
+		fmt.Printf("\ndelta vs %s:\n%s", prevPath, table)
+		return nil
+	}
+	return os.WriteFile(outPath, []byte(table), 0o644)
 }

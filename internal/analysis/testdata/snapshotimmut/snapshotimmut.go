@@ -77,3 +77,45 @@ func (h *holder) appendPast(v int) {
 	//swm:ok fixture: append-only write past the published length
 	s.items = append(s.items, v)
 }
+
+// payload/cacheSlot mimic the fleet query cache: a generation-tagged
+// pre-rendered body published behind an atomic.Pointer. Publishing a
+// fresh composite literal whose body came from a render call is the
+// sanctioned shape; the analyzer must not demand a clone of bytes
+// nothing else aliases.
+type payload struct {
+	gen  uint64
+	body []byte
+}
+
+type cacheSlot struct {
+	cur atomic.Pointer[payload]
+}
+
+func render(gen uint64) []byte { return []byte{byte(gen)} }
+
+// publishFresh is the cache's store path: fresh allocation, fresh
+// bytes, no writes after Store. Clean.
+func (c *cacheSlot) publishFresh(gen uint64) {
+	c.cur.Store(&payload{gen: gen, body: render(gen)})
+}
+
+// serveCached reads the published payload without writing it. Clean.
+func (c *cacheSlot) serveCached(gen uint64) []byte {
+	if p := c.cur.Load(); p != nil && p.gen == gen {
+		return p.body
+	}
+	return nil
+}
+
+// scribbleCached mutates a served payload in place — the bug the cache
+// contract forbids: every reader of the cached bytes would see the
+// edit.
+func (c *cacheSlot) scribbleCached() {
+	p := c.cur.Load()
+	if p == nil {
+		return
+	}
+	p.body[0] = '!' // want `published memory is frozen`
+	p.gen++         // want `published memory is frozen`
+}

@@ -82,24 +82,33 @@ func (wm *WM) ServeProto(req swmproto.Request) swmproto.Response {
 		}
 		return swmproto.Response{OK: true}
 	case swmproto.OpQuery:
-		var result any
+		// The hot targets render through the hand-rolled append
+		// encoders (byte-parity with encoding/json pinned in
+		// swmproto's encode_test.go): one exact-size allocation per
+		// render, no reflect walk. These rendered bytes are what the
+		// fleet's per-session snapshot cache publishes, so a render
+		// here is the *miss* path — the warm path never reaches the
+		// lane at all. Trace stays on reflection: its Entry Kind needs
+		// a custom marshaler and the result is cached upstream anyway.
 		switch req.Target {
 		case swmproto.TargetStats:
-			result = wm.statsResult()
+			res := wm.statsResult()
+			return swmproto.OKResult(swmproto.AppendStatsResult(make([]byte, 0, 2048), &res))
 		case swmproto.TargetTrace:
-			result = wm.traceResult()
+			data, err := json.Marshal(wm.traceResult())
+			if err != nil {
+				return swmproto.Errorf(swmproto.CodeInternal, "%v", err)
+			}
+			return swmproto.OKResult(data)
 		case swmproto.TargetClients:
-			result = wm.clientsResult()
+			res := wm.clientsResult()
+			return swmproto.OKResult(swmproto.AppendClientsResult(make([]byte, 0, 64+128*len(res.Clients)), &res))
 		case swmproto.TargetDesktop:
-			result = wm.desktopResult()
+			res := wm.desktopResult()
+			return swmproto.OKResult(swmproto.AppendDesktopResult(make([]byte, 0, 256), &res))
 		default:
 			return swmproto.Errorf(swmproto.CodeUnknownTarget, "unknown query target %s", req.Target)
 		}
-		data, err := json.Marshal(result)
-		if err != nil {
-			return swmproto.Errorf(swmproto.CodeInternal, "%v", err)
-		}
-		return swmproto.OKResult(data)
 	default:
 		return swmproto.Errorf(swmproto.CodeUnknownOp, "unknown op %s", req.Op)
 	}

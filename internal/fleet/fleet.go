@@ -173,8 +173,62 @@ type Session struct {
 	// internally synchronized, only the WM pointer is lane-owned.
 	reg atomic.Pointer[obs.Registry]
 
+	// gen counts observable-state generations: every mutating post
+	// (start, stop, restart, pump, exec) bumps it inside the FIFO
+	// append's critical section — see postMutate for why the two must
+	// be atomic together. Queries read it lock-free to validate cache.
+	gen atomic.Uint64
+
+	// cache holds the session's pre-rendered query payloads, one slot
+	// per cacheable target (see cacheSlot). Each payload is immutable
+	// after publish — DESIGN.md §15's snapshot-cache protocol: a warm
+	// query is an atomic gen load plus an atomic payload load, zero
+	// lane turns, zero registry iteration.
+	cache [slotCount]atomic.Pointer[queryPayload]
+
 	panics   atomic.Int64
 	restarts atomic.Int64
+}
+
+// queryPayload is one pre-rendered query result: the marshalled
+// Result bytes tagged with the generation they were rendered under.
+// Frozen after Store; serving aliases body without copying.
+type queryPayload struct {
+	gen  uint64
+	body []byte
+}
+
+// Cache slots, one per cacheable query target. Trace gets its own slot
+// but is rendered only on demand — it is heavy (the whole ring) and
+// pointless to refresh alongside the cheap trio.
+const (
+	slotStats = iota
+	slotClients
+	slotDesktop
+	slotTrace
+	slotCount
+)
+
+// cacheSlot maps a query target to its cache slot, -1 for targets the
+// cache does not cover.
+func cacheSlot(target string) int {
+	switch target {
+	case swmproto.TargetStats:
+		return slotStats
+	case swmproto.TargetClients:
+		return slotClients
+	case swmproto.TargetDesktop:
+		return slotDesktop
+	case swmproto.TargetTrace:
+		return slotTrace
+	}
+	return -1
+}
+
+// slotTargets names each slot's query target, for sibling renders.
+var slotTargets = [slotCount]string{
+	swmproto.TargetStats, swmproto.TargetClients,
+	swmproto.TargetDesktop, swmproto.TargetTrace,
 }
 
 // New creates a fleet: the shared database and prototype cache, the
@@ -253,6 +307,27 @@ func (m *Manager) logf(format string, args ...any) {
 // with the scheduler if it is not already waiting. It reports false if
 // the fleet is closed (the task is dropped).
 func (s *Session) post(k taskKind, fn func()) bool {
+	return s.enqueue(k, fn, false)
+}
+
+// postMutate is post for tasks that may change observable session
+// state (start, stop, restart, pump, exec): it bumps the generation
+// counter inside the same critical section that appends the task.
+//
+// The bump MUST share the append's critical section — it is what makes
+// the query cache's staleness argument airtight. gen never decreases,
+// and a mutation's bump becomes visible no later than its FIFO entry:
+// a query that reads generation g and later finds a payload tagged g
+// can conclude no mutation was enqueued after the tag was taken, so
+// the payload renders exactly generation-g state. If the bump happened
+// outside the lock, a query could read g+1, append its render ahead of
+// the mutation's append, and publish pre-mutation bytes tagged g+1 —
+// stale bytes served as current.
+func (s *Session) postMutate(k taskKind, fn func()) bool {
+	return s.enqueue(k, fn, true)
+}
+
+func (s *Session) enqueue(k taskKind, fn func(), mutate bool) bool {
 	m := s.mgr
 	m.mu.Lock()
 	if m.closed {
@@ -261,6 +336,9 @@ func (s *Session) post(k taskKind, fn func()) bool {
 	}
 	m.tasksWG.Add(1)
 	s.mu.Lock()
+	if mutate {
+		s.gen.Add(1)
+	}
 	s.tasks = append(s.tasks, task{kind: k, fn: fn})
 	already := s.queued
 	s.queued = true
@@ -376,7 +454,7 @@ func (m *Manager) publish(wm *core.WM) {
 func (m *Manager) Start(i int) {
 	s := m.sessions[i]
 	s.state.CompareAndSwap(int32(StateStopped), int32(StateStarting))
-	s.post(taskStart, func() {
+	s.postMutate(taskStart, func() {
 		if State(s.state.Load()) != StateStarting {
 			return
 		}
@@ -400,7 +478,7 @@ func (m *Manager) Start(i int) {
 // returns to Stopped, restartable later.
 func (m *Manager) Stop(i int) {
 	s := m.sessions[i]
-	s.post(taskStop, func() {
+	s.postMutate(taskStop, func() {
 		if s.wm != nil {
 			s.wm.Close()
 			s.wm = nil
@@ -420,7 +498,7 @@ func (m *Manager) Stop(i int) {
 // a Failed session.
 func (m *Manager) Restart(i int) {
 	s := m.sessions[i]
-	s.post(taskRestart, func() {
+	s.postMutate(taskRestart, func() {
 		if s.wm != nil {
 			s.wm.Shutdown()
 			s.wm = nil
@@ -446,7 +524,7 @@ func (m *Manager) Restart(i int) {
 // Pump posts one event-pump cycle to session i.
 func (m *Manager) Pump(i int) {
 	s := m.sessions[i]
-	s.post(taskWork, func() {
+	s.postMutate(taskWork, func() {
 		s.wm.Pump()
 		m.publish(s.wm)
 	})
@@ -457,7 +535,7 @@ func (m *Manager) Pump(i int) {
 // must not retain the WM past its return.
 func (m *Manager) Exec(i int, fn func(*core.WM)) {
 	s := m.sessions[i]
-	s.post(taskWork, func() { fn(s.wm) })
+	s.postMutate(taskWork, func() { fn(s.wm) })
 }
 
 // StartAll starts every session.
@@ -572,10 +650,71 @@ func (m *Manager) serveSession(id int, req swmproto.Request) swmproto.Response {
 	if st := s.State(); st != StateRunning {
 		return swmproto.Errorf(swmproto.CodeSessionDown, "session %d is %s", id, st)
 	}
+
+	// The snapshot cache: default-screen queries against cacheable
+	// targets serve pre-rendered bytes when nothing has mutated since
+	// they were rendered — two atomic loads, no lane turn, no
+	// allocation. The tag is read BEFORE the payload so a concurrent
+	// render can only make us conservative (recompute), never stale;
+	// see postMutate for the ordering argument.
+	slot := -1
+	var gen uint64
+	if req.Op == swmproto.OpQuery && req.Screen == 0 {
+		if slot = cacheSlot(req.Target); slot >= 0 {
+			gen = s.gen.Load()
+			if p := s.cache[slot].Load(); p != nil && p.gen == gen {
+				return swmproto.Response{OK: true, Result: p.body}
+			}
+		}
+	}
+
 	// Buffered so the lane's send cannot block if the caller timed out
 	// and walked away.
 	ch := make(chan swmproto.Response, 1)
-	if !s.post(taskWork, func() { ch <- s.wm.ServeProto(req) }) {
+	var fn func()
+	if slot >= 0 {
+		// Cache miss: render on the lane, answer the caller, then
+		// publish — this render plus the cheap sibling targets, so one
+		// lane turn warms stats, clients and desktop together (the
+		// load mix hits all three; per-target misses would triple the
+		// turns). Trace refreshes only on its own miss: it serializes
+		// the whole ring and most traffic never asks for it.
+		renderSlot, renderGen := slot, gen
+		fn = func() {
+			resp := s.wm.ServeProto(req)
+			ch <- resp
+			if !resp.OK {
+				return
+			}
+			s.cache[renderSlot].Store(&queryPayload{gen: renderGen, body: resp.Result})
+			if renderSlot == slotTrace {
+				return
+			}
+			for sib := slotStats; sib <= slotDesktop; sib++ {
+				if sib == renderSlot {
+					continue
+				}
+				if p := s.cache[sib].Load(); p != nil && p.gen == renderGen {
+					continue
+				}
+				sr := s.wm.ServeProto(swmproto.Request{Op: swmproto.OpQuery, Target: slotTargets[sib]})
+				if sr.OK {
+					s.cache[sib].Store(&queryPayload{gen: renderGen, body: sr.Result})
+				}
+			}
+		}
+	} else {
+		fn = func() { ch <- s.wm.ServeProto(req) }
+	}
+	var posted bool
+	if req.Op == swmproto.OpExec {
+		// Execs mutate observable state; their post must invalidate
+		// the cache like every other mutating task.
+		posted = s.postMutate(taskWork, fn)
+	} else {
+		posted = s.post(taskWork, fn)
+	}
+	if !posted {
 		return swmproto.Errorf(swmproto.CodeSessionDown, "fleet is closed")
 	}
 	timeout := m.cfg.ServeTimeout

@@ -10,6 +10,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"sync"
 )
 
 // Visitor receives every registered instrument, one call per
@@ -86,10 +87,19 @@ type Label struct {
 }
 
 // LabeledRegistry pairs a registry with the labels its series carry.
+// Prefix, when non-empty, is the pre-rendered text-exposition form of
+// Labels (PrerenderLabels) and is used verbatim — scrape paths that
+// export the same label sets every cycle (a fleet's per-session
+// registries) render them once at construction instead of per scrape.
 type LabeledRegistry struct {
 	Registry *Registry
 	Labels   []Label
+	Prefix   string
 }
+
+// PrerenderLabels renders a label set once into the `k="v",k2="v2"`
+// series form ExportText embeds, for LabeledRegistry.Prefix.
+func PrerenderLabels(labels []Label) string { return renderLabels(labels) }
 
 // Export writes this registry alone in the Prometheus text exposition
 // format; see ExportText for the multi-registry form.
@@ -128,12 +138,19 @@ func ExportText(w io.Writer, regs ...LabeledRegistry) error {
 		if lr.Registry == nil {
 			continue
 		}
-		labels := renderLabels(lr.Labels)
+		labels := lr.Prefix
+		if labels == "" {
+			labels = renderLabels(lr.Labels)
+		}
 		lr.Registry.Visit(&collectVisitor{add: add, labels: labels})
 	}
 	sort.Slice(families, func(i, j int) bool { return families[i].name < families[j].name })
 
-	buf := make([]byte, 0, 256)
+	bp := exportBufPool.Get().(*[]byte)
+	buf := *bp
+	// Return whatever capacity the scrape grew into; the capture is by
+	// reference so the final buffer, not the initial one, is pooled.
+	defer func() { *bp = buf[:0]; exportBufPool.Put(bp) }()
 	for _, f := range families {
 		buf = buf[:0]
 		buf = append(buf, "# TYPE "...)
@@ -158,6 +175,11 @@ func ExportText(w io.Writer, regs ...LabeledRegistry) error {
 	}
 	return nil
 }
+
+// exportBufPool recycles the scrape scratch buffer across ExportText
+// calls: /metrics on a busy fleet renders thousands of series per
+// scrape, and regrowing the line buffer every cycle is pure churn.
+var exportBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
 
 type series struct {
 	labels string // pre-rendered `k="v",k2="v2"`, no braces; "" for none

@@ -1,0 +1,85 @@
+package perfbench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// DeltaTable renders a markdown comparison between two BENCH reports —
+// the shape the CI bench job writes into its job summary so a reviewer
+// sees what a change did to every tracked workload without opening
+// either JSON file. Workloads present in only one report are listed
+// with a dash on the missing side rather than dropped; the load-run
+// section compares the traffic summaries (qps, p99) the ns/op rows
+// cannot express.
+func DeltaTable(old, cur Report) string {
+	var b strings.Builder
+	b.WriteString("| workload | ns/op (old) | ns/op (new) | Δ | allocs/op (old) | allocs/op (new) | Δ |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---:|---:|\n")
+
+	oldByName := make(map[string]Result, len(old.Workloads))
+	for _, r := range old.Workloads {
+		oldByName[r.Name] = r
+	}
+	seen := make(map[string]bool, len(cur.Workloads))
+	for _, r := range cur.Workloads {
+		seen[r.Name] = true
+		o, ok := oldByName[r.Name]
+		if !ok {
+			fmt.Fprintf(&b, "| %s | — | %.0f | new | — | %d | new |\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+			continue
+		}
+		fmt.Fprintf(&b, "| %s | %.0f | %.0f | %s | %d | %d | %s |\n",
+			r.Name, o.NsPerOp, r.NsPerOp, pctDelta(o.NsPerOp, r.NsPerOp),
+			o.AllocsPerOp, r.AllocsPerOp, pctDelta(float64(o.AllocsPerOp), float64(r.AllocsPerOp)))
+	}
+	for _, r := range old.Workloads {
+		if !seen[r.Name] {
+			fmt.Fprintf(&b, "| %s | %.0f | — | removed | %d | — | removed |\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+		}
+	}
+
+	names := make([]string, 0, len(cur.Load)+len(old.Load))
+	for n := range cur.Load {
+		names = append(names, n)
+	}
+	for n := range old.Load {
+		if _, ok := cur.Load[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	if len(names) > 0 {
+		sort.Strings(names)
+		b.WriteString("\n| load run | qps (old) | qps (new) | Δ | p99 (old) | p99 (new) | Δ |\n")
+		b.WriteString("|---|---:|---:|---:|---:|---:|---:|\n")
+		for _, n := range names {
+			o, hasOld := old.Load[n]
+			c, hasCur := cur.Load[n]
+			switch {
+			case !hasOld:
+				fmt.Fprintf(&b, "| %s | — | %.0f | new | — | %v | new |\n", n, c.QPS, c.P99.Round(time.Microsecond))
+			case !hasCur:
+				fmt.Fprintf(&b, "| %s | %.0f | — | removed | %v | — | removed |\n", n, o.QPS, o.P99.Round(time.Microsecond))
+			default:
+				fmt.Fprintf(&b, "| %s | %.0f | %.0f | %s | %v | %v | %s |\n",
+					n, o.QPS, c.QPS, pctDelta(o.QPS, c.QPS),
+					o.P99.Round(time.Microsecond), c.P99.Round(time.Microsecond),
+					pctDelta(float64(o.P99), float64(c.P99)))
+			}
+		}
+	}
+	return b.String()
+}
+
+// pctDelta formats the relative change from old to cur, signed.
+func pctDelta(old, cur float64) string {
+	switch {
+	case old == cur:
+		return "±0%"
+	case old == 0:
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(cur-old)/old)
+}

@@ -29,6 +29,7 @@
 package swmhttp
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -36,6 +37,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -83,6 +85,11 @@ type Server struct {
 	errs     *obs.Counter
 	latency  *obs.Histogram
 	inflight *obs.Gauge
+
+	// sessionPrefixes holds each session's pre-rendered
+	// session="<id>" label series prefix, built once at New so a
+	// scrape renders no labels and formats no ids.
+	sessionPrefixes []string
 }
 
 // ExecBody is the POST /v1/sessions/{id}/exec request body.
@@ -126,6 +133,10 @@ func New(b Backend, cfg Config) *Server {
 		errs:     reg.Counter("http.errors"),
 		latency:  reg.Histogram("http.request_ns", obs.LatencyBounds),
 		inflight: reg.Gauge("http.inflight"),
+	}
+	s.sessionPrefixes = make([]string, b.Sessions())
+	for i := range s.sessionPrefixes {
+		s.sessionPrefixes[i] = obs.PrerenderLabels([]obs.Label{{Key: "session", Value: strconv.Itoa(i)}})
 	}
 	mux := http.NewServeMux()
 	for _, r := range s.routes() {
@@ -193,7 +204,8 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 		start := time.Now()
 		s.requests.Inc()
 		s.inflight.Add(1)
-		sw := &statusWriter{ResponseWriter: w}
+		sw := swPool.Get().(*statusWriter)
+		sw.ResponseWriter, sw.wrote, sw.code = w, false, 0
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.errs.Inc()
@@ -206,10 +218,24 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 			if s.cfg.Log != nil {
 				fmt.Fprintf(s.cfg.Log, "swmhttp: %s %s %d %v\n", r.Method, r.URL.Path, sw.status(), time.Since(start).Round(time.Microsecond))
 			}
+			// Nothing may touch sw past this point: it recycles.
+			sw.ResponseWriter = nil
+			swPool.Put(sw)
 		}()
 		next.ServeHTTP(sw, r)
 	})
 }
+
+// Request-lifecycle pools and shared header values: the 2xx serving
+// path allocates neither its writer wrapper nor its envelope buffer,
+// and header assignment installs shared pre-built slices instead of
+// copying strings through Header.Set.
+var (
+	swPool     = sync.Pool{New: func() any { return new(statusWriter) }}
+	envBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+	ctJSON     = []string{"application/json; charset=utf-8"}
+	ccNoStore  = []string{"no-store"}
+)
 
 // statusWriter remembers whether and what the handler wrote, for the
 // recovery envelope and the request log.
@@ -252,17 +278,30 @@ func (s *Server) writeEnvelope(w http.ResponseWriter, resp swmproto.Response) {
 		s.errs.Inc()
 	}
 	resp.V = swmproto.Version
-	w.Header().Set("Content-Type", "application/json")
+	// Render into a pooled buffer with the append encoder — the wire
+	// bytes are json.Encoder-identical (trailing newline included;
+	// parity pinned in swmproto's encode_test.go) without the reflect
+	// walk or the per-request encoder state.
+	bp := envBufPool.Get().(*[]byte)
+	buf := swmproto.AppendResponse((*bp)[:0], &resp)
+	buf = append(buf, '\n')
+	h := w.Header()
+	h["Content-Type"] = ctJSON
+	h["Cache-Control"] = ccNoStore
+	h["Content-Length"] = []string{strconv.Itoa(len(buf))}
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(resp); err != nil && s.cfg.Log != nil {
+	if _, err := w.Write(buf); err != nil && s.cfg.Log != nil {
 		fmt.Fprintf(s.cfg.Log, "swmhttp: write envelope: %v\n", err)
 	}
+	*bp = buf[:0]
+	envBufPool.Put(bp)
 }
 
 // writeJSON serves a non-envelope payload (discovery, health).
 func (s *Server) writeJSON(w http.ResponseWriter, status int, payload any) {
-	w.Header().Set("Content-Type", "application/json")
+	h := w.Header()
+	h["Content-Type"] = ctJSON
+	h["Cache-Control"] = ccNoStore
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(payload); err != nil && s.cfg.Log != nil {
@@ -291,13 +330,18 @@ func (s *Server) handleQuery(target string) http.HandlerFunc {
 			return
 		}
 		screen := 0
-		if raw := r.URL.Query().Get("screen"); raw != "" {
-			n, err := strconv.Atoi(raw)
-			if err != nil {
-				s.writeEnvelope(w, swmproto.Errorf(swmproto.CodeBadRequest, "bad screen %q", raw))
-				return
+		// r.URL.Query() allocates its map even for bare URLs; the hot
+		// path (no query string) must not pay for the cold one.
+		if r.URL.RawQuery != "" {
+			raw := r.URL.Query().Get("screen")
+			if raw != "" {
+				n, err := strconv.Atoi(raw)
+				if err != nil {
+					s.writeEnvelope(w, swmproto.Errorf(swmproto.CodeBadRequest, "bad screen %q", raw))
+					return
+				}
+				screen = n
 			}
-			screen = n
 		}
 		s.writeEnvelope(w, s.backend.ServeSession(id, swmproto.Request{
 			V:      swmproto.Version,
@@ -317,7 +361,12 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxExecBody))
+	bp := envBufPool.Get().(*[]byte)
+	defer func() { envBufPool.Put(bp) }()
+	rd := bytes.NewBuffer((*bp)[:0])
+	_, err := rd.ReadFrom(http.MaxBytesReader(w, r.Body, s.cfg.MaxExecBody))
+	body := rd.Bytes()
+	*bp = body[:0]
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
@@ -387,10 +436,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	regs = append(regs, obs.LabeledRegistry{Registry: s.backend.Metrics()})
 	for i := 0; i < n; i++ {
 		if reg := s.backend.SessionRegistry(i); reg != nil {
-			regs = append(regs, obs.LabeledRegistry{
-				Registry: reg,
-				Labels:   []obs.Label{{Key: "session", Value: strconv.Itoa(i)}},
-			})
+			regs = append(regs, obs.LabeledRegistry{Registry: reg, Prefix: s.sessionPrefixes[i]})
 		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -374,3 +374,98 @@ func TestConcurrentQueries(t *testing.T) {
 		t.Errorf("concurrent query: %s", e)
 	}
 }
+
+// TestResponseHeaders pins the JSON response headers across the
+// surface: envelopes (success and error), discovery and health all
+// declare an explicit charset and forbid caching — a snapshot-cached
+// payload is only correct for one generation, and a proxy that cached
+// it would serve state the fleet has already moved past.
+func TestResponseHeaders(t *testing.T) {
+	m, ts := newStack(t, 2)
+	launchClients(t, m, 0, 1)
+
+	urls := []string{
+		ts.URL + "/v1/sessions/0/stats",   // warm-path envelope
+		ts.URL + "/v1/sessions/0/stats",   // repeat: served from cache
+		ts.URL + "/v1/sessions/0/clients", // sibling-rendered payload
+		ts.URL + "/v1/sessions/99/stats",  // error envelope
+		ts.URL + "/no/such/route",         // catch-all envelope
+		ts.URL + "/v1/sessions",           // discovery (writeJSON)
+		ts.URL + "/healthz",               // health (writeJSON)
+	}
+	for _, url := range urls {
+		res, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, res.Body) //nolint:errcheck
+		res.Body.Close()
+		if ct := res.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+			t.Errorf("GET %s: Content-Type = %q, want application/json; charset=utf-8", url, ct)
+		}
+		if cc := res.Header.Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("GET %s: Cache-Control = %q, want no-store", url, cc)
+		}
+	}
+
+	// Envelopes carry an explicit Content-Length (no chunked framing:
+	// the body was rendered to a buffer before the status line).
+	res, err := http.Get(ts.URL + "/v1/sessions/0/desktop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.ContentLength != int64(len(body)) || res.ContentLength <= 0 {
+		t.Errorf("desktop envelope Content-Length = %d, body is %d bytes", res.ContentLength, len(body))
+	}
+}
+
+// nullWriter is the allocation probe's ResponseWriter: a header map
+// reused across requests and a discarding body sink, so the probe
+// counts the serving path's allocations, not the recorder's.
+type nullWriter struct {
+	h http.Header
+	n int
+}
+
+func (w *nullWriter) Header() http.Header         { return w.h }
+func (w *nullWriter) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }
+func (w *nullWriter) WriteHeader(int)             {}
+
+// TestWarmQueryAllocs pins the zero-alloc serving claim at the
+// transport seam: a warm stats query through the full handler stack —
+// mux, middleware, session cache, envelope encode — stays within the
+// http-stats-query perfbench budget without a socket in the way.
+func TestWarmQueryAllocs(t *testing.T) {
+	m, err := fleet.New(fleet.Config{Sessions: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	m.StartAll()
+	m.Drain()
+	launchClients(t, m, 0, 2)
+
+	h := swmhttp.New(m, swmhttp.Config{}).Handler()
+	req := httptest.NewRequest("GET", "/v1/sessions/0/stats", nil)
+	w := &nullWriter{h: make(http.Header, 8)}
+	h.ServeHTTP(w, req) // warm the cache and the pools
+	if w.n == 0 {
+		t.Fatal("warm-up request wrote no body")
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		w.n = 0
+		h.ServeHTTP(w, req)
+		if w.n == 0 {
+			t.Fatal("warm request wrote no body")
+		}
+	})
+	// The perfbench budget is 20; the in-process path should sit far
+	// below it, leaving the headroom for the socket layer.
+	if allocs > 20 {
+		t.Errorf("warm stats query allocates %.0f/op, budget 20", allocs)
+	}
+	t.Logf("warm stats query: %.1f allocs/op", allocs)
+}

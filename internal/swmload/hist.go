@@ -1,0 +1,94 @@
+package swmload
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// LatencyHist is a log₂-bucketed latency histogram: bucket i counts
+// samples whose nanosecond value needs exactly i bits, i.e. the range
+// [2^(i-1), 2^i). The fixed array makes Observe allocation-free and
+// branch-cheap (one bits.Len64), recording stays per-worker (no
+// contended counters), and Merge is element-wise addition — the shape
+// open-loop runs need, where every scheduled request records a sample
+// and a sort of millions of durations would dominate the run it
+// measures.
+type LatencyHist struct {
+	counts [65]int64
+}
+
+// Observe records one latency sample.
+func (h *LatencyHist) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bits.Len64(uint64(ns))]++
+}
+
+// Merge adds o's counts into h.
+func (h *LatencyHist) Merge(o *LatencyHist) {
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+}
+
+// Total is the number of recorded samples.
+func (h *LatencyHist) Total() int64 {
+	var n int64
+	for _, c := range h.counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile returns an upper bound on the p-th percentile (p in
+// 0..100): the upper edge of the bucket holding the nearest-rank
+// sample, using the same nearest-rank rule as percentile(). The bound
+// is loose by at most the bucket width (a factor of two), which is the
+// resolution/price of not keeping samples.
+func (h *LatencyHist) Quantile(p float64) time.Duration {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(p/100*float64(total-1)+0.5) + 1 // 1-based
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if c > 0 && cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(len(h.counts) - 1)
+}
+
+// bucketUpper is bucket i's inclusive upper edge in nanoseconds.
+func bucketUpper(i int) time.Duration {
+	if i >= 63 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(int64(1)<<i - 1)
+}
+
+// HistBucket is one non-empty histogram bucket in the Summary's JSON
+// form: Le is the bucket's inclusive upper edge in nanoseconds.
+type HistBucket struct {
+	Le    int64 `json:"le_ns"`
+	Count int64 `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in ascending order.
+func (h *LatencyHist) Buckets() []HistBucket {
+	var out []HistBucket
+	for i, c := range h.counts {
+		if c > 0 {
+			out = append(out, HistBucket{Le: int64(bucketUpper(i)), Count: c})
+		}
+	}
+	return out
+}

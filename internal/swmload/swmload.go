@@ -1,21 +1,31 @@
 // Package swmload is the traffic generator for the swmproto HTTP
-// service: a seeded, closed-loop load driver that sustains many
-// concurrent clients issuing query and exec requests against a live
-// fleet and reports latency percentiles and error rates.
+// service: a seeded load driver that sustains many concurrent clients
+// issuing query and exec requests against a live fleet and reports
+// latency percentiles, a log₂ latency histogram, and error rates.
 //
 // The shape is deliberately boring and reproducible:
 //
-//   - Workers are closed-loop: each issues its next request when the
-//     previous one completes, so concurrency == Clients exactly and the
-//     generator cannot outrun the service into a coordinated-omission
-//     death spiral.
+//   - By default workers are closed-loop: each issues its next request
+//     when the previous one completes, so concurrency == Clients
+//     exactly and the generator cannot outrun the service into a
+//     coordinated-omission death spiral. Setting Rate switches to an
+//     open loop: requests fire on a fixed global schedule and latency
+//     is measured from the scheduled instant, so a stalled service
+//     accrues queueing delay instead of silently pausing the clock.
 //   - Every worker owns a rand.Rand seeded Seed+worker. The request mix
 //     (session choice, target choice, exec cadence) is a pure function
 //     of the seed, so two runs with the same Config hit the fleet with
 //     the same request stream — the property the perfbench workload and
 //     the CI smoke rely on to compare numbers across commits.
-//   - Latencies are recorded per worker (no contended append) and
-//     merged for percentiles once the run ends.
+//   - The generator's own cost is kept off the books: every request is
+//     prebuilt to raw bytes once per (session, target) at setup, each
+//     worker owns one keep-alive connection driven by the package's
+//     raw HTTP/1.1 client (see loadConn), responses land in a reused
+//     per-worker buffer, and the common envelope is classified by a
+//     prefix scan instead of a JSON decode. The warm request path
+//     performs two syscalls and zero allocations. Latencies are
+//     recorded per worker (no contended append) and merged once the
+//     run ends.
 //
 // An error is any transport failure, non-envelope body, or !ok
 // envelope; ByCode counts the protocol error classes seen so a failure
@@ -29,6 +39,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"sort"
 	"sync"
 	"time"
@@ -41,8 +52,7 @@ import (
 type Config struct {
 	// BaseURL locates the service, e.g. "http://127.0.0.1:7070".
 	BaseURL string
-	// Clients is the number of concurrent closed-loop workers
-	// (default 100).
+	// Clients is the number of concurrent workers (default 100).
 	Clients int
 	// Requests is the total request count across all workers
 	// (default 10,000).
@@ -56,9 +66,16 @@ type Config struct {
 	// a full round-trip through the command interpreter with no
 	// window-state side effects, so runs are independent).
 	ExecCommand string
-	// Timeout bounds each request (default 10s).
+	// Timeout bounds how long each request may wait for response
+	// headers (default 10s).
 	Timeout time.Duration
-	// HTTPClient overrides the tuned default client (tests).
+	// Rate switches the run to open-loop mode: requests are issued at
+	// a fixed Rate per second spread evenly across workers, regardless
+	// of completions, and each latency is measured from the request's
+	// scheduled slot. 0 (the default) keeps the closed loop.
+	Rate float64
+	// HTTPClient overrides the client used for discovery (tests). The
+	// load path itself always runs on the raw per-worker connections.
 	HTTPClient *http.Client
 }
 
@@ -75,8 +92,11 @@ type Summary struct {
 	P95      time.Duration  `json:"p95_ns"`
 	P99      time.Duration  `json:"p99_ns"`
 	Max      time.Duration  `json:"max_ns"`
+	OpenLoop bool           `json:"open_loop,omitempty"`
+	Rate     float64        `json:"rate,omitempty"`
 	ByTarget map[string]int `json:"by_target"`
 	ByCode   map[string]int `json:"by_code"`
+	Hist     []HistBucket   `json:"histogram,omitempty"`
 }
 
 // ErrorRate is Errors over Requests, 0 for an empty run.
@@ -91,6 +111,9 @@ func (s Summary) ErrorRate() float64 {
 func (s Summary) Format(w io.Writer) {
 	fmt.Fprintf(w, "requests  %d (%d clients, %d sessions)\n", s.Requests, s.Clients, s.Sessions)
 	fmt.Fprintf(w, "elapsed   %v (%.0f req/s)\n", s.Elapsed.Round(time.Millisecond), s.QPS)
+	if s.OpenLoop {
+		fmt.Fprintf(w, "offered   %.0f req/s (open loop)\n", s.Rate)
+	}
 	fmt.Fprintf(w, "latency   p50=%v p95=%v p99=%v max=%v\n",
 		s.P50.Round(time.Microsecond), s.P95.Round(time.Microsecond),
 		s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
@@ -116,13 +139,14 @@ func (s Summary) Format(w io.Writer) {
 // workerResult is one worker's tally, merged after the run.
 type workerResult struct {
 	latencies []time.Duration
+	hist      LatencyHist
 	errors    int
 	byTarget  map[string]int
 	byCode    map[string]int
 }
 
 // Run executes one load run: probe health, discover running sessions,
-// fan out workers, merge the tallies.
+// build the request plan, fan out workers, merge the tallies.
 func Run(cfg Config) (Summary, error) {
 	if cfg.Clients <= 0 {
 		cfg.Clients = 100
@@ -139,22 +163,19 @@ func Run(cfg Config) (Summary, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 10 * time.Second
 	}
+	// Discovery is two requests; the stdlib client is fine there. The
+	// load path never touches it — each worker drives its own raw
+	// connection.
 	client := cfg.HTTPClient
 	if client == nil {
-		// The default transport idles out all but two connections per
-		// host; at hundreds of closed-loop workers that means constant
-		// reconnect churn measuring the dialer, not the service.
-		client = &http.Client{
-			Timeout: cfg.Timeout,
-			Transport: &http.Transport{
-				MaxIdleConns:        cfg.Clients + 8,
-				MaxIdleConnsPerHost: cfg.Clients + 8,
-				IdleConnTimeout:     30 * time.Second,
-			},
-		}
+		client = &http.Client{Timeout: cfg.Timeout}
 	}
 
 	sessions, err := discover(client, cfg.BaseURL)
+	if err != nil {
+		return Summary{}, err
+	}
+	p, err := buildPlan(cfg, sessions)
 	if err != nil {
 		return Summary{}, err
 	}
@@ -173,22 +194,30 @@ func Run(cfg Config) (Summary, error) {
 		wg.Add(1)
 		go func(w, n int) {
 			defer wg.Done()
-			results[w] = worker(client, cfg, sessions, cfg.Seed+int64(w), n)
+			results[w] = worker(cfg, p, cfg.Seed+int64(w), w, n, start)
 		}(w, n)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	return merge(cfg, len(sessions), time.Since(start), results), nil
+}
 
+// merge folds the per-worker tallies into the run summary.
+func merge(cfg Config, sessions int, elapsed time.Duration, results []workerResult) Summary {
 	s := Summary{
 		Clients:  cfg.Clients,
-		Sessions: len(sessions),
+		Sessions: sessions,
 		Elapsed:  elapsed,
+		OpenLoop: cfg.Rate > 0,
+		Rate:     cfg.Rate,
 		ByTarget: make(map[string]int),
 		ByCode:   make(map[string]int),
 	}
 	var all []time.Duration
-	for _, r := range results {
+	var hist LatencyHist
+	for i := range results {
+		r := &results[i]
 		all = append(all, r.latencies...)
+		hist.Merge(&r.hist)
 		s.Errors += r.errors
 		for t, n := range r.byTarget {
 			s.ByTarget[t] += n
@@ -208,9 +237,12 @@ func Run(cfg Config) (Summary, error) {
 		s.P95 = percentile(all, 95)
 		s.P99 = percentile(all, 99)
 		s.Max = all[len(all)-1]
-		s.QPS = float64(len(all)) / elapsed.Seconds()
+		if sec := elapsed.Seconds(); sec > 0 {
+			s.QPS = float64(len(all)) / sec
+		}
 	}
-	return s, nil
+	s.Hist = hist.Buckets()
+	return s
 }
 
 // discover probes /healthz and lists the running sessions — the load
@@ -251,51 +283,144 @@ var queryTargets = []string{
 	swmproto.TargetClients, swmproto.TargetDesktop,
 }
 
-// worker is one closed-loop client: n requests, each chosen by the
-// worker's own seeded rng, timed individually.
-func worker(client *http.Client, cfg Config, sessions []int, seed int64, n int) workerResult {
+// plan is the request matrix built once per run: every request the mix
+// can choose is prebuilt to raw HTTP/1.1 bytes and shared read-only
+// across workers, so the hot loop writes bytes it never constructs.
+type plan struct {
+	addr    string
+	queries [][][]byte // [session index][index into queryTargets]
+	execs   [][]byte
+}
+
+func buildPlan(cfg Config, sessions []int) (*plan, error) {
+	u, err := url.Parse(cfg.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("swmload: bad base URL: %w", err)
+	}
+	if u.Scheme != "http" || u.Host == "" {
+		return nil, fmt.Errorf("swmload: base URL must be http://host:port, got %q", cfg.BaseURL)
+	}
+	execBody, _ := json.Marshal(swmhttp.ExecBody{Command: cfg.ExecCommand})
+	p := &plan{
+		addr:    u.Host,
+		queries: make([][][]byte, len(sessions)),
+		execs:   make([][]byte, len(sessions)),
+	}
+	for i, id := range sessions {
+		p.queries[i] = make([][]byte, len(queryTargets))
+		for j, target := range queryTargets {
+			p.queries[i][j] = []byte(fmt.Sprintf(
+				"GET /v1/sessions/%d/%s HTTP/1.1\r\nHost: %s\r\n\r\n", id, target, u.Host))
+		}
+		p.execs[i] = []byte(fmt.Sprintf(
+			"POST /v1/sessions/%d/exec HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s",
+			id, u.Host, len(execBody), execBody))
+	}
+	return p, nil
+}
+
+// envPrefix is the byte prefix every envelope response starts with:
+// the encoder writes fields in a fixed order, so the common case is
+// classifiable with a prefix scan instead of a JSON decode.
+var envPrefix = []byte(fmt.Sprintf(`{"v":%d,"id":`, swmproto.Version))
+
+// fastEnvelope classifies a response body without a decoder: matched
+// reports whether body carries the canonical envelope prefix, ok the
+// envelope's ok field. Anything unmatched (or !ok, where the error
+// code matters) falls back to the full decoder — correctness never
+// rides on the fast path, only the happy path's cost does.
+func fastEnvelope(body []byte) (ok, matched bool) {
+	if !bytes.HasPrefix(body, envPrefix) {
+		return false, false
+	}
+	rest := body[len(envPrefix):]
+	j := 0
+	for j < len(rest) && rest[j] >= '0' && rest[j] <= '9' {
+		j++
+	}
+	if j == 0 {
+		return false, false
+	}
+	rest = rest[j:]
+	switch {
+	case bytes.HasPrefix(rest, []byte(`,"ok":true`)):
+		return true, true
+	case bytes.HasPrefix(rest, []byte(`,"ok":false`)):
+		return false, true
+	}
+	return false, false
+}
+
+// worker is one load client: n requests over its own keep-alive
+// connection, each chosen by the worker's seeded rng, timed
+// individually. The rng consumption order (session, then target) is
+// part of the determinism contract — both draws happen on every
+// iteration, exec or not.
+func worker(cfg Config, p *plan, seed int64, w, n int, start time.Time) workerResult {
 	rng := rand.New(rand.NewSource(seed))
 	r := workerResult{
 		latencies: make([]time.Duration, 0, n),
 		byTarget:  make(map[string]int),
 		byCode:    make(map[string]int),
 	}
-	execBody, _ := json.Marshal(swmhttp.ExecBody{Command: cfg.ExecCommand})
+	lc := &loadConn{addr: p.addr, buf: make([]byte, 0, 4096)}
+	defer lc.close()
 	for i := 0; i < n; i++ {
-		session := sessions[rng.Intn(len(sessions))]
-		target := queryTargets[rng.Intn(len(queryTargets))]
+		si := rng.Intn(len(p.queries))
+		ti := rng.Intn(len(queryTargets))
 		exec := cfg.ExecEvery > 0 && (i+1)%cfg.ExecEvery == 0
-		if exec {
-			target = "exec"
-		}
-		url := fmt.Sprintf("%s/v1/sessions/%d/%s", cfg.BaseURL, session, target)
-		r.byTarget[target]++
 
 		begin := time.Now()
-		var res *http.Response
-		var err error
-		if exec {
-			res, err = client.Post(url, "application/json", bytes.NewReader(execBody))
-		} else {
-			res, err = client.Get(url)
+		if cfg.Rate > 0 {
+			// Open loop: request i of worker w owns global slot
+			// i*Clients+w on the fixed schedule. Latency is measured
+			// from the slot, not the send, so when the service falls
+			// behind the backlog shows up as latency rather than being
+			// coordinated away.
+			sched := start.Add(time.Duration(float64(i*cfg.Clients+w) / cfg.Rate * float64(time.Second)))
+			if d := time.Until(sched); d > 0 {
+				time.Sleep(d)
+			}
+			begin = sched
 		}
+		req := p.queries[si][ti]
+		if exec {
+			r.byTarget["exec"]++
+			req = p.execs[si]
+		} else {
+			r.byTarget[queryTargets[ti]]++
+		}
+		_, body, closing, err := lc.roundTrip(req, time.Now().Add(cfg.Timeout))
 		if err != nil {
 			r.errors++
 			r.byCode["transport"]++
 			continue
 		}
-		var resp swmproto.Response
-		decodeErr := json.NewDecoder(res.Body).Decode(&resp)
-		io.Copy(io.Discard, res.Body) //nolint:errcheck // drain for keep-alive
-		res.Body.Close()
-		r.latencies = append(r.latencies, time.Since(begin))
-		switch {
-		case decodeErr != nil:
-			r.errors++
-			r.byCode["malformed"]++
-		case !resp.OK:
-			r.errors++
-			r.byCode[resp.Code]++
+		lat := time.Since(begin)
+		r.latencies = append(r.latencies, lat)
+		r.hist.Observe(lat)
+		if ok, matched := fastEnvelope(body); !matched {
+			var resp swmproto.Response
+			if json.Unmarshal(body, &resp) != nil {
+				r.errors++
+				r.byCode["malformed"]++
+			} else if !resp.OK {
+				r.errors++
+				r.byCode[resp.Code]++
+			}
+		} else if !ok {
+			// Error envelope: decode fully for the protocol code.
+			var resp swmproto.Response
+			if json.Unmarshal(body, &resp) != nil {
+				r.errors++
+				r.byCode["malformed"]++
+			} else {
+				r.errors++
+				r.byCode[resp.Code]++
+			}
+		}
+		if closing {
+			lc.close()
 		}
 	}
 	return r

@@ -1,0 +1,328 @@
+// Hand-rolled append encoders for the protocol's hot response shapes.
+//
+// The reflective encoding/json path costs ~25 allocations and a
+// reflect walk per stats response — measurable at fleet traffic rates
+// (BENCH_9: ~170 allocs per HTTP round-trip). These encoders build the
+// identical bytes with nothing but appends into a caller-supplied
+// buffer, so the serving path can render into pooled or cached storage
+// with zero garbage.
+//
+// The parity contract: for every value these functions accept, the
+// output is byte-identical to encoding/json.Marshal of the same value
+// (and AppendResponse plus a trailing '\n' matches
+// json.Encoder.Encode). The contract is pinned by golden tests and a
+// fuzzer in encode_test.go; any divergence is a bug here, never a new
+// dialect. Two consequences worth naming:
+//
+//   - Strings use encoding/json's HTML-escaping form ('<', '>', '&'
+//     become \u003c, \u003e, \u0026), invalid UTF-8 collapses to
+//     \ufffd, and U+2028/U+2029 are escaped — exactly the default
+//     Marshal behavior the property transport has always produced.
+//   - AppendResponse copies Response.Result verbatim, so the envelope
+//     matches Marshal only when Result holds compact marshal-produced
+//     JSON. Every producer in this repository satisfies that (results
+//     come from Marshal or from these encoders); the fuzzer generates
+//     results the same way.
+package swmproto
+
+import (
+	"strconv"
+	"unicode/utf8"
+
+	"repro/internal/obs"
+)
+
+const hexDigits = "0123456789abcdef"
+
+// jsonSafe marks the ASCII bytes encoding/json emits verbatim inside a
+// string literal with HTML escaping on: everything from 0x20 up except
+// the JSON metacharacters '"' and '\\' and the HTML trio '<' '>' '&'.
+var jsonSafe = func() (t [utf8.RuneSelf]bool) {
+	for b := 0x20; b < utf8.RuneSelf; b++ {
+		switch b {
+		case '"', '\\', '<', '>', '&':
+		default:
+			t[b] = true
+		}
+	}
+	return
+}()
+
+// appendJSONString appends s as a JSON string literal, byte-identical
+// to encoding/json.Marshal(s).
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if jsonSafe[b] {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				// Control characters and the HTML trio take the
+				// \u00xx form (lowercase hex, as encoding/json).
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i++
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, "true"...)
+	}
+	return append(dst, "false"...)
+}
+
+// AppendResponse appends the envelope's JSON form. With a trailing
+// '\n' added by the caller it is byte-identical to what
+// json.NewEncoder(w).Encode(resp) writes, provided Result is compact
+// marshal-produced JSON (see the package comment).
+func AppendResponse(dst []byte, resp *Response) []byte {
+	dst = append(dst, `{"v":`...)
+	dst = strconv.AppendInt(dst, int64(resp.V), 10)
+	dst = append(dst, `,"id":`...)
+	dst = strconv.AppendUint(dst, resp.ID, 10)
+	dst = append(dst, `,"ok":`...)
+	dst = appendBool(dst, resp.OK)
+	if resp.Code != "" {
+		dst = append(dst, `,"code":`...)
+		dst = appendJSONString(dst, resp.Code)
+	}
+	if resp.Error != "" {
+		dst = append(dst, `,"error":`...)
+		dst = appendJSONString(dst, resp.Error)
+	}
+	if len(resp.Result) > 0 {
+		dst = append(dst, `,"result":`...)
+		dst = append(dst, resp.Result...)
+	}
+	return append(dst, '}')
+}
+
+// AppendStatsResult appends the TargetStats payload, byte-identical to
+// json.Marshal(*s).
+func AppendStatsResult(dst []byte, s *StatsResult) []byte {
+	dst = append(dst, `{"metrics":`...)
+	dst = appendMetricsSnapshot(dst, &s.Metrics)
+	dst = append(dst, `,"degraded":`...)
+	dst = strconv.AppendInt(dst, int64(s.Degraded), 10)
+	if s.LastError != "" {
+		dst = append(dst, `,"last_error":`...)
+		dst = appendJSONString(dst, s.LastError)
+	}
+	return append(dst, '}')
+}
+
+func appendMetricsSnapshot(dst []byte, s *obs.Snapshot) []byte {
+	dst = append(dst, `{"counters":`...)
+	dst = appendInt64Map(dst, s.Counters)
+	dst = append(dst, `,"gauges":`...)
+	dst = appendInt64Map(dst, s.Gauges)
+	dst = append(dst, `,"histograms":`...)
+	dst = appendHistogramMap(dst, s.Histograms)
+	return append(dst, '}')
+}
+
+func appendInt64Map(dst []byte, m map[string]int64) []byte {
+	if m == nil {
+		return append(dst, "null"...)
+	}
+	dst = append(dst, '{')
+	for i, k := range sortedKeys(m) {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendJSONString(dst, k)
+		dst = append(dst, ':')
+		dst = strconv.AppendInt(dst, m[k], 10)
+	}
+	return append(dst, '}')
+}
+
+func appendHistogramMap(dst []byte, m map[string]obs.HistogramSnapshot) []byte {
+	if m == nil {
+		return append(dst, "null"...)
+	}
+	dst = append(dst, '{')
+	for i, k := range sortedKeys(m) {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendJSONString(dst, k)
+		dst = append(dst, ':')
+		dst = appendHistogramSnapshot(dst, m[k])
+	}
+	return append(dst, '}')
+}
+
+func appendHistogramSnapshot(dst []byte, h obs.HistogramSnapshot) []byte {
+	dst = append(dst, `{"count":`...)
+	dst = strconv.AppendInt(dst, h.Count, 10)
+	dst = append(dst, `,"sum":`...)
+	dst = strconv.AppendInt(dst, h.Sum, 10)
+	dst = append(dst, `,"buckets":`...)
+	if h.Buckets == nil {
+		dst = append(dst, "null"...)
+	} else {
+		dst = append(dst, '[')
+		for i, b := range h.Buckets {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, `{"le":`...)
+			dst = strconv.AppendInt(dst, b.UpperBound, 10)
+			dst = append(dst, `,"count":`...)
+			dst = strconv.AppendInt(dst, b.Count, 10)
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+	return append(dst, '}')
+}
+
+// sortedKeys returns m's keys in encoding/json's map order (ascending
+// byte-wise), for either snapshot map type.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// Insertion sort: snapshot maps are small (tens of keys) and this
+	// keeps the encoder dependency-free.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// AppendClientsResult appends the TargetClients payload, byte-identical
+// to json.Marshal(*res).
+func AppendClientsResult(dst []byte, res *ClientsResult) []byte {
+	dst = append(dst, `{"clients":`...)
+	if res.Clients == nil {
+		dst = append(dst, "null"...)
+		return append(dst, '}')
+	}
+	dst = append(dst, '[')
+	for i := range res.Clients {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendClientInfo(dst, &res.Clients[i])
+	}
+	dst = append(dst, ']')
+	return append(dst, '}')
+}
+
+func appendClientInfo(dst []byte, c *ClientInfo) []byte {
+	dst = append(dst, `{"window":`...)
+	dst = strconv.AppendUint(dst, uint64(c.Window), 10)
+	if c.Name != "" {
+		dst = append(dst, `,"name":`...)
+		dst = appendJSONString(dst, c.Name)
+	}
+	if c.Class != "" {
+		dst = append(dst, `,"class":`...)
+		dst = appendJSONString(dst, c.Class)
+	}
+	if c.Instance != "" {
+		dst = append(dst, `,"instance":`...)
+		dst = appendJSONString(dst, c.Instance)
+	}
+	dst = append(dst, `,"state":`...)
+	dst = appendJSONString(dst, c.State)
+	if c.Sticky {
+		dst = append(dst, `,"sticky":true`...)
+	}
+	if c.Transient {
+		dst = append(dst, `,"transient":true`...)
+	}
+	dst = append(dst, `,"x":`...)
+	dst = strconv.AppendInt(dst, int64(c.X), 10)
+	dst = append(dst, `,"y":`...)
+	dst = strconv.AppendInt(dst, int64(c.Y), 10)
+	dst = append(dst, `,"width":`...)
+	dst = strconv.AppendInt(dst, int64(c.Width), 10)
+	dst = append(dst, `,"height":`...)
+	dst = strconv.AppendInt(dst, int64(c.Height), 10)
+	return append(dst, '}')
+}
+
+// AppendDesktopResult appends the TargetDesktop payload, byte-identical
+// to json.Marshal(*res).
+func AppendDesktopResult(dst []byte, res *DesktopResult) []byte {
+	dst = append(dst, `{"screens":`...)
+	if res.Screens == nil {
+		dst = append(dst, "null"...)
+		return append(dst, '}')
+	}
+	dst = append(dst, '[')
+	for i := range res.Screens {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		d := &res.Screens[i]
+		dst = append(dst, `{"screen":`...)
+		dst = strconv.AppendInt(dst, int64(d.Screen), 10)
+		dst = append(dst, `,"enabled":`...)
+		dst = appendBool(dst, d.Enabled)
+		dst = append(dst, `,"width":`...)
+		dst = strconv.AppendInt(dst, int64(d.Width), 10)
+		dst = append(dst, `,"height":`...)
+		dst = strconv.AppendInt(dst, int64(d.Height), 10)
+		dst = append(dst, `,"view_width":`...)
+		dst = strconv.AppendInt(dst, int64(d.ViewWidth), 10)
+		dst = append(dst, `,"view_height":`...)
+		dst = strconv.AppendInt(dst, int64(d.ViewHeight), 10)
+		dst = append(dst, `,"pan_x":`...)
+		dst = strconv.AppendInt(dst, int64(d.PanX), 10)
+		dst = append(dst, `,"pan_y":`...)
+		dst = strconv.AppendInt(dst, int64(d.PanY), 10)
+		dst = append(dst, `,"current_desktop":`...)
+		dst = strconv.AppendInt(dst, int64(d.CurrentDesktop), 10)
+		dst = append(dst, `,"desktops":`...)
+		dst = strconv.AppendInt(dst, int64(d.Desktops), 10)
+		dst = append(dst, '}')
+	}
+	dst = append(dst, ']')
+	return append(dst, '}')
+}

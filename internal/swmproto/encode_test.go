@@ -1,0 +1,163 @@
+package swmproto
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// parity fails the test unless got is byte-identical to
+// json.Marshal(v) — the encoder contract.
+func parity(t *testing.T, got []byte, v any) {
+	t.Helper()
+	want, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("json.Marshal: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("encoder diverges from encoding/json\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// trickyStrings covers every escaping class appendJSONString handles:
+// metacharacters, control bytes, the HTML trio, invalid UTF-8, the
+// JS line separators, and the unescaped tail (DEL, multibyte runes).
+var trickyStrings = []string{
+	"",
+	"plain ascii",
+	`quote " and backslash \`,
+	"tab\tnewline\nreturn\r backspace\b formfeed\f",
+	"low controls \x00\x01\x1f",
+	"html <tag> & entity",
+	"del \x7f survives",
+	"multibyte héllo ☃ 日本",
+	"invalid \xff\xfe utf8",
+	"truncated rune \xe2\x80",
+	string(rune(0x2028)) + " line seps " + string(rune(0x2029)),
+	"mixed \xffé<&> end",
+}
+
+func TestAppendJSONStringParity(t *testing.T) {
+	for _, s := range trickyStrings {
+		parity(t, appendJSONString(nil, s), s)
+	}
+}
+
+func TestAppendResponseParity(t *testing.T) {
+	result, err := json.Marshal(map[string]any{"clients": []int{1, 2}, "note": "a<b&c\xff"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []Response{
+		{},
+		{V: Version, ID: 42, OK: true},
+		{V: Version, ID: 1, OK: true, Result: result},
+		{V: Version, ID: 7, OK: false, Code: CodeExecFailed, Error: `unknown function "f.bogus"`},
+		{V: Version, ID: 9, OK: false, Code: CodeTimeout, Error: "session 3 did not serve request 9 within 5s"},
+	}
+	for _, resp := range cases {
+		parity(t, AppendResponse(nil, &resp), resp)
+
+		// The HTTP transport's contract is json.Encoder.Encode parity:
+		// the envelope plus a trailing newline.
+		var wire bytes.Buffer
+		if err := json.NewEncoder(&wire).Encode(resp); err != nil {
+			t.Fatal(err)
+		}
+		got := append(AppendResponse(nil, &resp), '\n')
+		if !bytes.Equal(got, wire.Bytes()) {
+			t.Errorf("envelope wire form diverges\n got: %q\nwant: %q", got, wire.Bytes())
+		}
+	}
+}
+
+func TestAppendStatsResultParity(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("wm.managed").Add(3)
+	reg.Counter("a.first").Inc()
+	reg.Counter("Z.capital-sorts-first").Inc()
+	reg.Counter("weird<name>&").Inc()
+	reg.Gauge("fleet.sessions_live").Set(-2)
+	h := reg.Histogram("pump.latency_ns", obs.LatencyBounds)
+	h.Observe(120)
+	h.Observe(5_000_000)
+
+	cases := []StatsResult{
+		{Metrics: reg.Snapshot(), Degraded: 2, LastError: "X error <Window> & more\n"},
+		{Metrics: reg.Snapshot()},
+		{}, // zero value: nil snapshot maps must render as null
+	}
+	for _, res := range cases {
+		parity(t, AppendStatsResult(nil, &res), res)
+	}
+}
+
+func TestAppendClientsResultParity(t *testing.T) {
+	cases := []ClientsResult{
+		{}, // nil slice
+		{Clients: []ClientInfo{}},
+		{Clients: []ClientInfo{
+			{Window: 0x400001, Name: "xterm <1>", Class: "XTerm", Instance: "s0c0",
+				State: "normal", X: -4, Y: 12, Width: 120, Height: 90},
+			{Window: 2, State: "iconic", Sticky: true, Transient: true},
+		}},
+	}
+	for _, res := range cases {
+		parity(t, AppendClientsResult(nil, &res), res)
+	}
+}
+
+func TestAppendDesktopResultParity(t *testing.T) {
+	cases := []DesktopResult{
+		{}, // nil slice
+		{Screens: []DesktopInfo{}},
+		{Screens: []DesktopInfo{
+			{Screen: 0, Enabled: true, Width: 3456, Height: 2700, ViewWidth: 1152,
+				ViewHeight: 900, PanX: 1152, PanY: -900, CurrentDesktop: 2, Desktops: 3},
+			{Screen: 1, Width: 1152, Height: 900, ViewWidth: 1152, ViewHeight: 900},
+		}},
+	}
+	for _, res := range cases {
+		parity(t, AppendDesktopResult(nil, &res), res)
+	}
+}
+
+// FuzzStringEncodeParity pins appendJSONString to encoding/json across
+// arbitrary byte sequences — the invalid-UTF-8 and escaping corners a
+// table can miss.
+func FuzzStringEncodeParity(f *testing.F) {
+	for _, s := range trickyStrings {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		got := appendJSONString(nil, s)
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Skip() // encoding/json cannot marshal it either
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("appendJSONString(%q) = %s, want %s", s, got, want)
+		}
+	})
+}
+
+// FuzzResponseEncodeParity pins the whole envelope: arbitrary header
+// fields plus a marshal-produced result payload.
+func FuzzResponseEncodeParity(f *testing.F) {
+	f.Add(uint64(1), true, "", "", "payload")
+	f.Add(uint64(0), false, CodeBadRequest, "bad <body> & worse", "")
+	f.Add(^uint64(0), false, "weird\xffcode", "err\nline", "res\x00ult")
+	f.Fuzz(func(t *testing.T, id uint64, ok bool, code, errStr, resultStr string) {
+		resp := Response{V: Version, ID: id, OK: ok, Code: code, Error: errStr}
+		if resultStr != "" {
+			raw, err := json.Marshal(resultStr)
+			if err != nil {
+				t.Skip()
+			}
+			resp.Result = raw
+		}
+		parity(t, AppendResponse(nil, &resp), resp)
+	})
+}
